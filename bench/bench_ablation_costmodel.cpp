@@ -1,0 +1,66 @@
+// Ablation: the synthesis cost model's knobs, exercised on the Verilog
+// designs. Shows what each modelling decision (DSP budget, CSD recoding,
+// range narrowing, trim slack) contributes to the reported numbers — the
+// calibration story behind EXPERIMENTS.md.
+#include <cstdio>
+
+#include "base/strings.hpp"
+#include "rtl/designs.hpp"
+#include "synth/synthesize.hpp"
+
+using hlshc::format_fixed;
+using hlshc::format_grouped;
+using namespace hlshc;
+
+namespace {
+
+void run(const char* tag, const synth::SynthOptions& opts) {
+  auto init = synth::synthesize(rtl::build_verilog_initial(), opts);
+  auto opt = synth::synthesize(rtl::build_verilog_opt2(), opts);
+  std::printf("%-34s init: fmax=%7s LUT=%7s DSP=%4ld | opt: fmax=%7s "
+              "LUT=%6s DSP=%3ld\n",
+              tag, format_fixed(init.fmax_mhz, 2).c_str(),
+              format_grouped(init.n_lut).c_str(), init.n_dsp,
+              format_fixed(opt.fmax_mhz, 2).c_str(),
+              format_grouped(opt.n_lut).c_str(), opt.n_dsp);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Cost-model ablation (Verilog initial / optimized) ===\n");
+
+  synth::SynthOptions base;
+  run("baseline (DSP, CSD, narrowing)", base);
+
+  synth::SynthOptions nodsp = base;
+  nodsp.maxdsp = 0;
+  run("maxdsp=0 (the paper's A metric)", nodsp);
+
+  synth::SynthOptions few_dsp = base;
+  few_dsp.maxdsp = 40;
+  run("maxdsp=40 (budgeted mapping)", few_dsp);
+
+  synth::SynthOptions naive = base;
+  naive.maxdsp = 0;
+  naive.csd_recoding = false;
+  run("maxdsp=0 + naive binary shift-add", naive);
+
+  synth::SynthOptions wide = base;
+  wide.range_narrowing = false;
+  run("no range narrowing (declared widths)", wide);
+
+  synth::SynthOptions exact = base;
+  exact.trim_slack = 0.0;
+  run("perfect trim (slack=0)", exact);
+
+  synth::SynthOptions sloppy = base;
+  sloppy.trim_slack = 0.5;
+  run("poor trim (slack=0.5)", sloppy);
+
+  std::puts("\nTakeaways: DSP mapping halves the LUT bill of the butterfly "
+            "constants; CSD recoding\nsaves ~20-30% of shift-add fabric; "
+            "range narrowing is what keeps 32-bit source\narithmetic from "
+            "tripling the area (the Verilog-vs-Chisel story).");
+  return 0;
+}

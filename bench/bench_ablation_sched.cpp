@@ -1,0 +1,68 @@
+// Ablation: the HLS scheduler's resource and chaining options, on the
+// shipped idct.c. Shows how memory ports dominate the schedule (the
+// paper's Bambu story), and what chaining, speculation and functional-unit
+// counts buy.
+#include <cstdio>
+
+#include "base/strings.hpp"
+#include "hls/ast.hpp"
+#include "hls/schedule.hpp"
+#include "hls/tool.hpp"
+
+using namespace hlshc::hls;
+
+namespace {
+
+void run(const char* tag, const Dfg& dfg, ScheduleOptions so) {
+  Schedule s = schedule(dfg, so);
+  std::printf("%-44s states=%4d  muls-used=%d  adds-used=%d\n", tag,
+              s.length, s.mul_units_used, s.add_units_used);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== HLS scheduler ablation on idct.c ===\n");
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  std::printf("DFG: %zu operations (128 loads + 128 stores + arithmetic)\n\n",
+              dfg.nodes.size());
+
+  ScheduleOptions base;  // 1R+1W, 2 muls, unlimited adds, chaining
+  run("base: 1R+1W, 2 muls, chaining", dfg, base);
+
+  ScheduleOptions two = base;
+  two.mem_read_ports = 2;
+  two.mem_write_ports = 2;
+  run("MEM_ACC_NN: 2R+2W", dfg, two);
+
+  ScheduleOptions nochain = base;
+  nochain.chaining = false;
+  run("no operator chaining", dfg, nochain);
+
+  ScheduleOptions spec = two;
+  spec.speculative = true;
+  spec.mul_units = 4;
+  run("2R+2W + 4 muls + speculative SDC", dfg, spec);
+
+  ScheduleOptions one_mul = base;
+  one_mul.mul_units = 1;
+  run("1 multiplier unit", dfg, one_mul);
+
+  ScheduleOptions shared_adds = base;
+  shared_adds.add_units = 2;
+  run("2 shared adder units", dfg, shared_adds);
+
+  ScheduleOptions tight = base;
+  tight.cycle_budget_ns = 3.0;
+  run("3 ns cycle budget (short chains)", dfg, tight);
+
+  ScheduleOptions loose = base;
+  loose.cycle_budget_ns = 12.0;
+  run("12 ns cycle budget (deep chains)", dfg, loose);
+
+  std::puts("\nTakeaway: the 1R+1W memory interface caps the schedule at "
+            ">= 256 port cycles —\nexactly why the paper's Bambu designs "
+            "sit at periodicity 323/185 regardless of\nmost other options.");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Section IV, Chisel narrative: width inference vs 32-bit Verilog. The
+// paper: the initial Chisel design reaches 105.7% of Verilog's performance
+// at 94.6% of its area (inferred widths trim the fat the Verilog code
+// declares); the optimized design is 98.7% / 109.5%.
+#include <cstdio>
+
+#include "base/strings.hpp"
+#include "chisel/designs.hpp"
+#include "core/evaluate.hpp"
+#include "rtl/designs.hpp"
+
+using hlshc::format_fixed;
+
+int main() {
+  std::puts("=== Chisel width inference vs 32-bit Verilog ===\n");
+  auto vi = hlshc::core::evaluate_axis_design(
+      hlshc::rtl::build_verilog_initial());
+  auto vo =
+      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
+  auto ci = hlshc::core::evaluate_axis_design(
+      hlshc::chisel::build_chisel_initial());
+  auto co =
+      hlshc::core::evaluate_axis_design(hlshc::chisel::build_chisel_opt());
+
+  std::printf("initial:  perf %s%% of Verilog (paper 105.7%%),  "
+              "area %s%% (paper 94.6%%)\n",
+              format_fixed(100.0 * ci.throughput_mops / vi.throughput_mops,
+                           1)
+                  .c_str(),
+              format_fixed(100.0 * ci.area / vi.area, 1).c_str());
+  std::printf("optimized: perf %s%% of Verilog (paper 98.7%%),  "
+              "area %s%% (paper 109.5%%)\n",
+              format_fixed(100.0 * co.throughput_mops / vo.throughput_mops,
+                           1)
+                  .c_str(),
+              format_fixed(100.0 * co.area / vo.area, 1).c_str());
+  std::puts("\n(the mechanism: Chisel infers minimal net widths; the tool's"
+            "\n width-trimming sweep recovers most — not all — of the same"
+            "\n fat from the 32-bit Verilog, so the two land within a few"
+            "\n percent, as the paper observes)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Software micro-benchmarks (google-benchmark): the fixed-point kernels,
+// the floating-point reference, and the netlist simulator's cycle rate.
+// Supporting data for the evaluation harness, not a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "idct/chenwang.hpp"
+#include "idct/reference.hpp"
+#include "rtl/designs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hlshc;
+
+idct::Block random_block(SplitMix64& rng) {
+  idct::Block b{};
+  for (auto& v : b)
+    v = static_cast<int32_t>(rng.next_in(idct::kCoeffMin, idct::kCoeffMax));
+  return b;
+}
+
+void BM_ChenWangIdct(benchmark::State& state) {
+  SplitMix64 rng(1);
+  idct::Block b = random_block(rng);
+  for (auto _ : state) {
+    idct::Block work = b;
+    idct::idct_2d(work);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_ChenWangIdct);
+
+void BM_ChenWangStraightLine(benchmark::State& state) {
+  SplitMix64 rng(2);
+  idct::Block b = random_block(rng);
+  for (auto _ : state) {
+    idct::Block work = b;
+    idct::idct_2d_straight(work);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_ChenWangStraightLine);
+
+void BM_ReferenceIdct(benchmark::State& state) {
+  SplitMix64 rng(3);
+  idct::Block b = random_block(rng);
+  for (auto _ : state) {
+    idct::Block out = idct::idct_reference(b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReferenceIdct);
+
+void BM_ForwardDct(benchmark::State& state) {
+  SplitMix64 rng(4);
+  idct::Block b{};
+  for (auto& v : b) v = static_cast<int32_t>(rng.next_in(-256, 255));
+  for (auto _ : state) {
+    idct::Block out = idct::forward_dct_reference(b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  netlist::Design d = rtl::build_verilog_opt2();
+  sim::Simulator sim(d);
+  sim.set_input("s_tvalid", 1);
+  sim.set_input("m_tready", 1);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// Regenerates Table I: the languages and tools under evaluation.
+#include <cstdio>
+
+#include "tools/flows.hpp"
+
+int main() {
+  std::puts("=== Table I: languages and tools under evaluation ===\n");
+  std::puts(hlshc::tools::render_table1().c_str());
+  std::puts("(paper: Verilog/Vivado LS/PR commercial; Chisel and BSC open-"
+            "source HC; XLS open-source HLS;\n MaxCompiler and Vivado HLS "
+            "commercial HLS; Bambu open-source HLS)");
+  return 0;
+}

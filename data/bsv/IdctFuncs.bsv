@@ -1,0 +1,93 @@
+// Shared Chen-Wang transform functions (32-bit, as the C reference).
+package IdctFuncs;
+
+import Vector::*;
+
+typedef Int#(12) Coeff;
+typedef Int#(9)  Sample;
+typedef Int#(32) Word;
+
+Word w1 = 2841; Word w2 = 2676; Word w3 = 2408;
+Word w5 = 1609; Word w6 = 1108; Word w7 = 565;
+
+function Vector#(8, Word) idctRow(Vector#(8, Word) blk);
+   Word x1 = blk[4] << 11;
+   Word x2 = blk[6]; Word x3 = blk[2]; Word x4 = blk[1];
+   Word x5 = blk[7]; Word x6 = blk[5]; Word x7 = blk[3];
+   Word x0 = (blk[0] << 11) + 128;
+
+   Word a  = w7 * (x4 + x5);
+   Word r4 = a + (w1 - w7) * x4;
+   Word r5 = a - (w1 + w7) * x5;
+   Word b  = w3 * (x6 + x7);
+   Word r6 = b - (w3 - w5) * x6;
+   Word r7 = b - (w3 + w5) * x7;
+
+   Word x8 = x0 + x1;
+   Word y0 = x0 - x1;
+   Word c  = w6 * (x3 + x2);
+   Word y2 = c - (w2 + w6) * x2;
+   Word y3 = c + (w2 - w6) * x3;
+   Word y1 = r4 + r6;
+   Word y4 = r4 - r6;
+   Word y6 = r5 + r7;
+   Word y5 = r5 - r7;
+
+   Word z7 = x8 + y3;
+   Word z8 = x8 - y3;
+   Word z3 = y0 + y2;
+   Word z0 = y0 - y2;
+   Word z2 = (181 * (y4 + y5) + 128) >> 8;
+   Word z4 = (181 * (y4 - y5) + 128) >> 8;
+
+   Vector#(8, Word) o = newVector;
+   o[0] = (z7 + y1) >> 8; o[1] = (z3 + z2) >> 8;
+   o[2] = (z0 + z4) >> 8; o[3] = (z8 + y6) >> 8;
+   o[4] = (z8 - y6) >> 8; o[5] = (z0 - z4) >> 8;
+   o[6] = (z3 - z2) >> 8; o[7] = (z7 - y1) >> 8;
+   return o;
+endfunction
+
+function Sample iclip(Word v);
+   return v < -256 ? -256 : (v > 255 ? 255 : truncate(v));
+endfunction
+
+function Vector#(8, Sample) idctCol(Vector#(8, Word) blk);
+   Word x1 = blk[4] << 8;
+   Word x2 = blk[6]; Word x3 = blk[2]; Word x4 = blk[1];
+   Word x5 = blk[7]; Word x6 = blk[5]; Word x7 = blk[3];
+   Word x0 = (blk[0] << 8) + 8192;
+
+   Word a  = w7 * (x4 + x5) + 4;
+   Word r4 = (a + (w1 - w7) * x4) >> 3;
+   Word r5 = (a - (w1 + w7) * x5) >> 3;
+   Word b  = w3 * (x6 + x7) + 4;
+   Word r6 = (b - (w3 - w5) * x6) >> 3;
+   Word r7 = (b - (w3 + w5) * x7) >> 3;
+
+   Word x8 = x0 + x1;
+   Word y0 = x0 - x1;
+   Word c  = w6 * (x3 + x2) + 4;
+   Word y2 = (c - (w2 + w6) * x2) >> 3;
+   Word y3 = (c + (w2 - w6) * x3) >> 3;
+   Word y1 = r4 + r6;
+   Word y4 = r4 - r6;
+   Word y6 = r5 + r7;
+   Word y5 = r5 - r7;
+
+   Word z7 = x8 + y3;
+   Word z8 = x8 - y3;
+   Word z3 = y0 + y2;
+   Word z0 = y0 - y2;
+   Word z2 = (181 * (y4 + y5) + 128) >> 8;
+   Word z4 = (181 * (y4 - y5) + 128) >> 8;
+
+   Vector#(8, Sample) o = newVector;
+   o[0] = iclip((z7 + y1) >> 14); o[1] = iclip((z3 + z2) >> 14);
+   o[2] = iclip((z0 + z4) >> 14); o[3] = iclip((z8 + y6) >> 14);
+   o[4] = iclip((z8 - y6) >> 14); o[5] = iclip((z0 - z4) >> 14);
+   o[6] = iclip((z3 - z2) >> 14); o[7] = iclip((z7 - y1) >> 14);
+   return o;
+endfunction
+
+endpackage

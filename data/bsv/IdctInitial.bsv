@@ -1,0 +1,71 @@
+// 8x8 IDCT, initial BSV design: a direct translation of the reference C
+// program into rules. One rule collects rows, one rule applies all eight
+// row passes, one applies all eight column passes, one emits. The phase
+// token handoffs between rules cost the extra periodicity the paper notes.
+package IdctInitial;
+
+import Vector::*;
+import GetPut::*;
+
+import IdctFuncs::*;
+
+typedef enum { PhIn, PhRows, PhCols } Phase deriving (Bits, Eq);
+
+interface IdctAxis;
+   interface Put#(Tuple2#(Vector#(8, Coeff), Bool)) inRow;
+   interface Get#(Tuple2#(Vector#(8, Sample), Bool)) outRow;
+endinterface
+
+module mkIdctInitial (IdctAxis);
+   Reg#(Phase)    phase     <- mkReg(PhIn);
+   Reg#(UInt#(3)) inCnt     <- mkReg(0);
+   Reg#(Bool)     outActive <- mkReg(False);
+   Reg#(UInt#(3)) outCnt    <- mkReg(0);
+   Reg#(Vector#(8, Vector#(8, Coeff)))  inRegs  <- mkRegU;
+   Reg#(Vector#(8, Vector#(8, Word)))   rowRegs <- mkRegU;
+   Reg#(Vector#(8, Vector#(8, Sample))) outRegs <- mkRegU;
+
+   rule doRows (phase == PhRows);
+      Vector#(8, Vector#(8, Word)) r = newVector;
+      for (Integer i = 0; i < 8; i = i + 1)
+         r[i] = idctRow(map(signExtend, inRegs[i]));
+      rowRegs <= r;
+      phase <= PhCols;
+   endrule
+
+   rule doCols (phase == PhCols && !outActive);
+      Vector#(8, Vector#(8, Sample)) o = newVector;
+      for (Integer c = 0; c < 8; c = c + 1) begin
+         Vector#(8, Word) column = newVector;
+         for (Integer r = 0; r < 8; r = r + 1)
+            column[r] = rowRegs[r][c];
+         let res = idctCol(column);
+         for (Integer r = 0; r < 8; r = r + 1)
+            o[r][c] = res[r];
+      end
+      outRegs <= o;
+      outActive <= True;
+      outCnt <= 0;
+      phase <= PhIn;
+   endrule
+
+   interface Put inRow;
+      method Action put(Tuple2#(Vector#(8, Coeff), Bool) beat)
+                    if (phase == PhIn);
+         inRegs[inCnt] <= tpl_1(beat);
+         inCnt <= inCnt + 1;
+         if (inCnt == 7) phase <= PhRows;
+      endmethod
+   endinterface
+
+   interface Get outRow;
+      method ActionValue#(Tuple2#(Vector#(8, Sample), Bool)) get()
+                          if (outActive);
+         outCnt <= outCnt + 1;
+         if (outCnt == 7) outActive <= False;
+         return tuple2(outRegs[outCnt], outCnt == 7);
+      endmethod
+   endinterface
+endmodule
+
+endpackage

@@ -1,0 +1,104 @@
+// Hand-written AXI-Stream adapter for the Bambu-generated IDCT accelerator
+// (Bambu cannot generate stream interfaces). Strictly sequential: fill the
+// accelerator's block RAM one element per cycle, pulse start, wait for
+// done, then read the matrix back out row by row.
+
+module bambu_idct_axis (
+  input              clk,
+  input              rst,
+  input  [95:0]      s_tdata,
+  input              s_tvalid,
+  input              s_tlast,
+  output             s_tready,
+  output [71:0]      m_tdata,
+  output             m_tvalid,
+  output             m_tlast,
+  input              m_tready
+);
+  localparam PH_LOAD = 2'd0, PH_RUN = 2'd1, PH_READ = 2'd2, PH_EMIT = 2'd3;
+
+  reg [1:0]  phase;
+  reg        have;
+  reg [5:0]  widx;
+  reg        start_pending;
+  reg [2:0]  relem;
+  reg [2:0]  orow;
+  reg signed [11:0] staging [0:7];
+  reg signed [8:0]  ostg    [0:7];
+
+  wire        done;
+  wire [15:0] ext_rdata;
+  wire [2:0]  wlane = widx[2:0];
+  wire        drain = (phase == PH_LOAD) & have;
+  wire        load_done = drain & (widx == 6'd63);
+
+  idct_accel u_accel (
+    .clk(clk),
+    .start(start_pending),
+    .done(done),
+    .ext_we(drain),
+    .ext_waddr(widx),
+    .ext_wdata({{4{staging[wlane][11]}}, staging[wlane]}),
+    .ext_raddr({orow, relem}),
+    .ext_rdata(ext_rdata)
+  );
+
+  assign s_tready = (phase == PH_LOAD) & ~have;
+  wire in_fire    = s_tvalid & s_tready;
+  assign m_tvalid = (phase == PH_EMIT);
+  assign m_tlast  = (orow == 3'd7);
+  wire out_fire   = m_tvalid & m_tready;
+
+  integer k;
+  always @(posedge clk) begin
+    if (rst) begin
+      phase <= PH_LOAD; have <= 0; widx <= 0; start_pending <= 0;
+      relem <= 0; orow <= 0;
+    end else begin
+      start_pending <= load_done;
+      case (phase)
+        PH_LOAD: begin
+          if (in_fire) begin
+            for (k = 0; k < 8; k = k + 1)
+              staging[k] <= s_tdata[12*k +: 12];
+            have <= 1'b1;
+          end else if (drain & (wlane == 3'd7)) begin
+            have <= 1'b0;
+          end
+          if (drain) widx <= widx + 1;
+          if (load_done) phase <= PH_RUN;
+        end
+        PH_RUN: begin
+          if (done) begin
+            phase <= PH_READ;
+            relem <= 0;
+            orow <= 0;
+          end
+        end
+        PH_READ: begin
+          ostg[relem] <= ext_rdata[8:0];
+          relem <= relem + 1;
+          if (relem == 3'd7) phase <= PH_EMIT;
+        end
+        PH_EMIT: begin
+          if (out_fire) begin
+            if (orow == 3'd7) begin
+              phase <= PH_LOAD;
+              widx <= 0;
+            end else begin
+              orow <= orow + 1;
+              phase <= PH_READ;
+            end
+          end
+        end
+      endcase
+    end
+  end
+
+  genvar oc;
+  generate
+    for (oc = 0; oc < 8; oc = oc + 1) begin : olanes
+      assign m_tdata[9*oc +: 9] = ostg[oc];
+    end
+  endgenerate
+endmodule

@@ -1,0 +1,158 @@
+/* 8x8 inverse discrete cosine transform.
+ *
+ * Based on the ISO/IEC 13818-4:2004 conformance decoder (mpeg2decode,
+ * idct.c), adapted for high-level synthesis exactly as the paper
+ * describes:
+ *   - the rounding in idctcol is implemented as a function (iclip), not a
+ *     pre-filled clipping array;
+ *   - explicit array indexing replaces pointer arithmetic;
+ *   - the software-only zero-AC shortcut is dropped (hardware evaluates
+ *     the straight-line butterfly; the results are bit-identical).
+ */
+
+#define W1 2841 /* 2048*sqrt(2)*cos(1*pi/16) */
+#define W2 2676 /* 2048*sqrt(2)*cos(2*pi/16) */
+#define W3 2408 /* 2048*sqrt(2)*cos(3*pi/16) */
+#define W5 1609 /* 2048*sqrt(2)*cos(5*pi/16) */
+#define W6 1108 /* 2048*sqrt(2)*cos(6*pi/16) */
+#define W7 565  /* 2048*sqrt(2)*cos(7*pi/16) */
+
+static int iclip(int x) {
+  return x < -256 ? -256 : (x > 255 ? 255 : x);
+}
+
+/* row (horizontal) IDCT, operating on block[off .. off+7] */
+static void idctrow(short blk[64], int off) {
+#pragma HLS INLINE
+#pragma HLS PIPELINE II = 1
+  int x0;
+  int x1;
+  int x2;
+  int x3;
+  int x4;
+  int x5;
+  int x6;
+  int x7;
+  int x8;
+
+  x1 = blk[off + 4] << 11;
+  x2 = blk[off + 6];
+  x3 = blk[off + 2];
+  x4 = blk[off + 1];
+  x5 = blk[off + 7];
+  x6 = blk[off + 5];
+  x7 = blk[off + 3];
+  x0 = (blk[off + 0] << 11) + 128; /* for proper rounding in fourth stage */
+
+  /* first stage */
+  x8 = W7 * (x4 + x5);
+  x4 = x8 + (W1 - W7) * x4;
+  x5 = x8 - (W1 + W7) * x5;
+  x8 = W3 * (x6 + x7);
+  x6 = x8 - (W3 - W5) * x6;
+  x7 = x8 - (W3 + W5) * x7;
+
+  /* second stage */
+  x8 = x0 + x1;
+  x0 = x0 - x1;
+  x1 = W6 * (x3 + x2);
+  x2 = x1 - (W2 + W6) * x2;
+  x3 = x1 + (W2 - W6) * x3;
+  x1 = x4 + x6;
+  x4 = x4 - x6;
+  x6 = x5 + x7;
+  x5 = x5 - x7;
+
+  /* third stage */
+  x7 = x8 + x3;
+  x8 = x8 - x3;
+  x3 = x0 + x2;
+  x0 = x0 - x2;
+  x2 = (181 * (x4 + x5) + 128) >> 8;
+  x4 = (181 * (x4 - x5) + 128) >> 8;
+
+  /* fourth stage */
+  blk[off + 0] = (short)((x7 + x1) >> 8);
+  blk[off + 1] = (short)((x3 + x2) >> 8);
+  blk[off + 2] = (short)((x0 + x4) >> 8);
+  blk[off + 3] = (short)((x8 + x6) >> 8);
+  blk[off + 4] = (short)((x8 - x6) >> 8);
+  blk[off + 5] = (short)((x0 - x4) >> 8);
+  blk[off + 6] = (short)((x3 - x2) >> 8);
+  blk[off + 7] = (short)((x7 - x1) >> 8);
+}
+
+/* column (vertical) IDCT, operating on block[off], block[off+8], ... */
+static void idctcol(short blk[64], int off) {
+#pragma HLS INLINE
+#pragma HLS PIPELINE II = 1
+  int x0;
+  int x1;
+  int x2;
+  int x3;
+  int x4;
+  int x5;
+  int x6;
+  int x7;
+  int x8;
+
+  x1 = blk[off + 8 * 4] << 8;
+  x2 = blk[off + 8 * 6];
+  x3 = blk[off + 8 * 2];
+  x4 = blk[off + 8 * 1];
+  x5 = blk[off + 8 * 7];
+  x6 = blk[off + 8 * 5];
+  x7 = blk[off + 8 * 3];
+  x0 = (blk[off + 0] << 8) + 8192;
+
+  /* first stage */
+  x8 = W7 * (x4 + x5) + 4;
+  x4 = (x8 + (W1 - W7) * x4) >> 3;
+  x5 = (x8 - (W1 + W7) * x5) >> 3;
+  x8 = W3 * (x6 + x7) + 4;
+  x6 = (x8 - (W3 - W5) * x6) >> 3;
+  x7 = (x8 - (W3 + W5) * x7) >> 3;
+
+  /* second stage */
+  x8 = x0 + x1;
+  x0 = x0 - x1;
+  x1 = W6 * (x3 + x2) + 4;
+  x2 = (x1 - (W2 + W6) * x2) >> 3;
+  x3 = (x1 + (W2 - W6) * x3) >> 3;
+  x1 = x4 + x6;
+  x4 = x4 - x6;
+  x6 = x5 + x7;
+  x5 = x5 - x7;
+
+  /* third stage */
+  x7 = x8 + x3;
+  x8 = x8 - x3;
+  x3 = x0 + x2;
+  x0 = x0 - x2;
+  x2 = (181 * (x4 + x5) + 128) >> 8;
+  x4 = (181 * (x4 - x5) + 128) >> 8;
+
+  /* fourth stage */
+  blk[off + 8 * 0] = (short)iclip((x7 + x1) >> 14);
+  blk[off + 8 * 1] = (short)iclip((x3 + x2) >> 14);
+  blk[off + 8 * 2] = (short)iclip((x0 + x4) >> 14);
+  blk[off + 8 * 3] = (short)iclip((x8 + x6) >> 14);
+  blk[off + 8 * 4] = (short)iclip((x8 - x6) >> 14);
+  blk[off + 8 * 5] = (short)iclip((x0 - x4) >> 14);
+  blk[off + 8 * 6] = (short)iclip((x3 - x2) >> 14);
+  blk[off + 8 * 7] = (short)iclip((x7 - x1) >> 14);
+}
+
+/* two dimensional inverse discrete cosine transform */
+void idct(short block[64]) {
+#pragma HLS INTERFACE axis port = block
+#pragma HLS ARRAY_PARTITION variable = block complete
+#pragma HLS PIPELINE II = 8
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    idctrow(block, 8 * i);
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    idctcol(block, i);
+  }
+}

@@ -1,0 +1,83 @@
+// Shared Chen-Wang butterfly passes with inferred widths.
+package idct
+
+import chisel3._
+import chisel3.util._
+
+object Butterfly {
+  val W1 = 2841.S; val W2 = 2676.S; val W3 = 2408.S
+  val W5 = 1609.S; val W6 = 1108.S; val W7 = 565.S
+
+  def row(blk: Vec[SInt]): Seq[SInt] = {
+    val x1 = blk(4) << 11
+    val x2 = blk(6); val x3 = blk(2); val x4 = blk(1)
+    val x5 = blk(7); val x6 = blk(5); val x7 = blk(3)
+    val x0 = (blk(0) << 11) + 128.S
+
+    val a  = W7 * (x4 + x5)
+    val r4 = a + (W1 - W7) * x4
+    val r5 = a - (W1 + W7) * x5
+    val b  = W3 * (x6 + x7)
+    val r6 = b - (W3 - W5) * x6
+    val r7 = b - (W3 + W5) * x7
+
+    val x8 = x0 + x1
+    val y0 = x0 - x1
+    val c  = W6 * (x3 + x2)
+    val y2 = c - (W2 + W6) * x2
+    val y3 = c + (W2 - W6) * x3
+    val y1 = r4 + r6
+    val y4 = r4 - r6
+    val y6 = r5 + r7
+    val y5 = r5 - r7
+
+    val z7 = x8 + y3
+    val z8 = x8 - y3
+    val z3 = y0 + y2
+    val z0 = y0 - y2
+    val z2 = (181.S * (y4 + y5) + 128.S) >> 8
+    val z4 = (181.S * (y4 - y5) + 128.S) >> 8
+
+    Seq((z7 + y1) >> 8, (z3 + z2) >> 8, (z0 + z4) >> 8, (z8 + y6) >> 8,
+        (z8 - y6) >> 8, (z0 - z4) >> 8, (z3 - z2) >> 8, (z7 - y1) >> 8)
+  }
+
+  def clip9(v: SInt): SInt =
+    Mux(v < -256.S, -256.S, Mux(v > 255.S, 255.S, v))(8, 0).asSInt
+
+  def col(blk: Vec[SInt]): Seq[SInt] = {
+    val x1 = blk(4) << 8
+    val x2 = blk(6); val x3 = blk(2); val x4 = blk(1)
+    val x5 = blk(7); val x6 = blk(5); val x7 = blk(3)
+    val x0 = (blk(0) << 8) + 8192.S
+
+    val a  = W7 * (x4 + x5) + 4.S
+    val r4 = (a + (W1 - W7) * x4) >> 3
+    val r5 = (a - (W1 + W7) * x5) >> 3
+    val b  = W3 * (x6 + x7) + 4.S
+    val r6 = (b - (W3 - W5) * x6) >> 3
+    val r7 = (b - (W3 + W5) * x7) >> 3
+
+    val x8 = x0 + x1
+    val y0 = x0 - x1
+    val c  = W6 * (x3 + x2) + 4.S
+    val y2 = (c - (W2 + W6) * x2) >> 3
+    val y3 = (c + (W2 - W6) * x3) >> 3
+    val y1 = r4 + r6
+    val y4 = r4 - r6
+    val y6 = r5 + r7
+    val y5 = r5 - r7
+
+    val z7 = x8 + y3
+    val z8 = x8 - y3
+    val z3 = y0 + y2
+    val z0 = y0 - y2
+    val z2 = (181.S * (y4 + y5) + 128.S) >> 8
+    val z4 = (181.S * (y4 - y5) + 128.S) >> 8
+
+    Seq(clip9((z7 + y1) >> 14), clip9((z3 + z2) >> 14),
+        clip9((z0 + z4) >> 14), clip9((z8 + y6) >> 14),
+        clip9((z8 - y6) >> 14), clip9((z0 - z4) >> 14),
+        clip9((z3 - z2) >> 14), clip9((z7 - y1) >> 14))
+  }
+}

@@ -1,0 +1,60 @@
+// 8x8 IDCT, initial Chisel design: naive combinational 2-D transform with
+// inferred bit widths behind the row-by-row AXI-Stream adapter.
+package idct
+
+import chisel3._
+import chisel3.util._
+
+
+class IdctAxis extends Module {
+  val io = IO(new Bundle {
+    val s = Flipped(Decoupled(new Bundle {
+      val data = Vec(8, SInt(12.W)); val last = Bool()
+    }))
+    val m = Decoupled(new Bundle {
+      val data = Vec(8, SInt(9.W)); val last = Bool()
+    })
+  })
+
+  val inCnt     = RegInit(0.U(3.W))
+  val pend      = RegInit(false.B)
+  val outActive = RegInit(false.B)
+  val outCnt    = RegInit(0.U(3.W))
+  val inRegs    = Reg(Vec(8, Vec(8, SInt(12.W))))
+  val outRegs   = Reg(Vec(8, Vec(8, SInt(9.W))))
+
+  val outLast     = outCnt === 7.U
+  val outFire     = io.m.fire
+  val outLastFire = outFire && outLast
+  val capture     = pend && (!outActive || outLastFire)
+  io.s.ready     := !pend || capture
+  val inFire      = io.s.fire
+  val inLastFire  = inFire && inCnt === 7.U
+
+  when(inFire) {
+    inRegs(inCnt) := io.s.bits.data
+    inCnt := inCnt + 1.U
+  }
+  pend := inLastFire || (pend && !capture)
+
+  // 8 row units chained into 8 column units, widths inferred throughout.
+  val rowOut = VecInit(inRegs.map(r => VecInit(Butterfly.row(r))))
+  val result = (0 until 8).map { c =>
+    Butterfly.col(VecInit((0 until 8).map(r => rowOut(r)(c))))
+  }
+
+  when(capture) {
+    for (r <- 0 until 8; c <- 0 until 8)
+      outRegs(r)(c) := result(c)(r)
+    outActive := true.B
+    outCnt := 0.U
+  }.elsewhen(outLastFire) {
+    outActive := false.B
+  }.elsewhen(outFire) {
+    outCnt := outCnt + 1.U
+  }
+
+  io.m.valid     := outActive
+  io.m.bits.last := outLast
+  io.m.bits.data := outRegs(outCnt)
+}

@@ -1,0 +1,74 @@
+// 8x8 IDCT, optimized Chisel design: one row unit at the input, ping-pong
+// row buffers (widths inferred from the row pass), one column unit walking
+// a column per cycle, ping-pong output buffers. Latency 24, periodicity 8.
+package idct
+
+import chisel3._
+import chisel3.util._
+
+class IdctAxisOpt extends Module {
+  val io = IO(new Bundle {
+    val s = Flipped(Decoupled(new Bundle {
+      val data = Vec(8, SInt(12.W)); val last = Bool()
+    }))
+    val m = Decoupled(new Bundle {
+      val data = Vec(8, SInt(9.W)); val last = Bool()
+    })
+  })
+
+  val inCnt   = RegInit(0.U(3.W))
+  val inBuf   = RegInit(false.B)
+  val rowFull = RegInit(VecInit(Seq.fill(2)(false.B)))
+  val colCnt  = RegInit(0.U(3.W))
+  val colR    = RegInit(false.B)
+  val colW    = RegInit(false.B)
+  val outFull = RegInit(VecInit(Seq.fill(2)(false.B)))
+  val outCnt  = RegInit(0.U(3.W))
+  val outR    = RegInit(false.B)
+
+  io.s.ready := !rowFull(inBuf)
+  val inFire     = io.s.fire
+  val inLastFire = inFire && inCnt === 7.U
+
+  // Row pass on the arriving beat; the register type is inferred from the
+  // butterfly result, not declared.
+  val rowNow = Butterfly.row(io.s.bits.data)
+  val rowBuf = Reg(Vec(2, Vec(8, Vec(8, chiselTypeOf(rowNow.head)))))
+  when(inFire) {
+    rowBuf(inBuf)(inCnt) := VecInit(rowNow)
+    inCnt := inCnt + 1.U
+    when(inLastFire) {
+      inBuf := !inBuf
+      rowFull(inBuf) := true.B
+    }
+  }
+
+  val colProc = rowFull(colR) && !outFull(colW)
+  val colDone = colProc && colCnt === 7.U
+  val colIn   = VecInit((0 until 8).map(r => rowBuf(colR)(r)(colCnt)))
+  val colOut  = Butterfly.col(colIn)
+
+  val outBuf = Reg(Vec(2, Vec(8, Vec(8, SInt(9.W)))))
+  when(colProc) {
+    for (r <- 0 until 8)
+      outBuf(colW)(r)(colCnt) := colOut(r)
+    colCnt := colCnt + 1.U
+    when(colDone) {
+      rowFull(colR) := false.B
+      outFull(colW) := true.B
+      colR := !colR
+      colW := !colW
+    }
+  }
+
+  io.m.valid     := outFull(outR)
+  io.m.bits.last := outCnt === 7.U
+  io.m.bits.data := outBuf(outR)(outCnt)
+  when(io.m.fire) {
+    outCnt := outCnt + 1.U
+    when(io.m.bits.last) {
+      outFull(outR) := false.B
+      outR := !outR
+    }
+  }
+}

@@ -1,0 +1,93 @@
+// Hand-crafted AXI-Stream adapter for the XLS-generated IDCT kernel
+// (XLS compiles the dataflow function; the stream interface is manual).
+// Collects eight rows, launches one matrix per free output slot into the
+// kernel, and serializes results from two capture banks; a valid-token
+// shift register tracks wavefronts through the generated pipeline.
+
+module xls_idct_axis #(
+  parameter LATENCY = 0   // pipeline stages reported by XLS codegen
+)(
+  input              clk,
+  input              rst,
+  input  [95:0]      s_tdata,
+  input              s_tvalid,
+  input              s_tlast,
+  output             s_tready,
+  output [71:0]      m_tdata,
+  output             m_tvalid,
+  output             m_tlast,
+  input              m_tready
+);
+  reg [2:0]  in_cnt;
+  reg        pend;
+  reg [2:0]  in_flight;
+  reg        cap_ptr;
+  reg        out_full [0:1];
+  reg [2:0]  out_cnt;
+  reg        out_rptr;
+  reg signed [11:0] in_regs [0:63];
+  reg signed [8:0]  outbuf  [0:1][0:63];
+  reg [LATENCY:0]   token;
+
+  assign m_tvalid = out_full[out_rptr];
+  wire out_fire   = m_tvalid & m_tready;
+  assign m_tlast  = (out_cnt == 3'd7);
+  wire out_done   = out_fire & m_tlast;
+
+  wire slots_free = in_flight < 3'd2;
+  wire launch     = pend & (slots_free | out_done);
+  assign s_tready = ~pend | launch;
+  wire in_fire    = s_tvalid & s_tready;
+  wire in_last    = in_fire & (in_cnt == 3'd7);
+
+  wire [575:0] kernel_y;   // 64 x 9-bit results
+  xls_idct_kernel u_kernel (
+    .clk(clk),
+    .x(in_regs_flat),
+    .y(kernel_y)
+  );
+  wire [767:0] in_regs_flat;
+  genvar gi;
+  generate
+    for (gi = 0; gi < 64; gi = gi + 1) begin : flat
+      assign in_regs_flat[12*gi +: 12] = in_regs[gi];
+    end
+  endgenerate
+
+  wire arrive = (LATENCY == 0) ? launch : token[LATENCY];
+
+  integer k;
+  always @(posedge clk) begin
+    if (rst) begin
+      in_cnt <= 0; pend <= 0; in_flight <= 0; cap_ptr <= 0;
+      out_cnt <= 0; out_rptr <= 0; token <= 0;
+      out_full[0] <= 0; out_full[1] <= 0;
+    end else begin
+      token <= {token[LATENCY-1:0], launch};
+      if (in_fire) begin
+        for (k = 0; k < 8; k = k + 1)
+          in_regs[{in_cnt, 3'b000} + k] <= s_tdata[12*k +: 12];
+        in_cnt <= in_cnt + 1;
+      end
+      pend <= in_last | (pend & ~launch);
+      in_flight <= in_flight + (launch ? 1 : 0) - (out_done ? 1 : 0);
+      if (arrive) begin
+        for (k = 0; k < 64; k = k + 1)
+          outbuf[cap_ptr][k] <= kernel_y[9*k +: 9];
+        out_full[cap_ptr] <= 1'b1;
+        cap_ptr <= ~cap_ptr;
+      end
+      if (out_done & ~(arrive & (cap_ptr == out_rptr)))
+        out_full[out_rptr] <= 1'b0;
+      if (out_fire) out_cnt <= out_cnt + 1;
+      if (out_done) out_rptr <= ~out_rptr;
+    end
+  end
+
+  genvar oc;
+  generate
+    for (oc = 0; oc < 8; oc = oc + 1) begin : olanes
+      assign m_tdata[9*oc +: 9] = outbuf[out_rptr][{out_cnt, 3'b000} + oc];
+    end
+  endgenerate
+endmodule

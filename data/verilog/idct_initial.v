@@ -1,0 +1,245 @@
+// 8x8 IDCT, initial Verilog design: a naive combinational 2-D transform
+// (eight row units chained into eight column units) behind a row-by-row
+// AXI-Stream adapter. 32-bit arithmetic as in the ISO reference C code.
+
+module idct_row (
+  input  signed [31:0] i0,
+  input  signed [31:0] i1,
+  input  signed [31:0] i2,
+  input  signed [31:0] i3,
+  input  signed [31:0] i4,
+  input  signed [31:0] i5,
+  input  signed [31:0] i6,
+  input  signed [31:0] i7,
+  output signed [31:0] o0,
+  output signed [31:0] o1,
+  output signed [31:0] o2,
+  output signed [31:0] o3,
+  output signed [31:0] o4,
+  output signed [31:0] o5,
+  output signed [31:0] o6,
+  output signed [31:0] o7
+);
+  localparam signed [31:0] W1 = 2841;
+  localparam signed [31:0] W2 = 2676;
+  localparam signed [31:0] W3 = 2408;
+  localparam signed [31:0] W5 = 1609;
+  localparam signed [31:0] W6 = 1108;
+  localparam signed [31:0] W7 = 565;
+
+  wire signed [31:0] x0 = (i0 <<< 11) + 32'sd128;
+  wire signed [31:0] x1 = i4 <<< 11;
+  wire signed [31:0] x2 = i6;
+  wire signed [31:0] x3 = i2;
+  wire signed [31:0] x4 = i1;
+  wire signed [31:0] x5 = i7;
+  wire signed [31:0] x6 = i5;
+  wire signed [31:0] x7 = i3;
+
+  // first stage
+  wire signed [31:0] s1_a = W7 * (x4 + x5);
+  wire signed [31:0] s1_x4 = s1_a + (W1 - W7) * x4;
+  wire signed [31:0] s1_x5 = s1_a - (W1 + W7) * x5;
+  wire signed [31:0] s1_b = W3 * (x6 + x7);
+  wire signed [31:0] s1_x6 = s1_b - (W3 - W5) * x6;
+  wire signed [31:0] s1_x7 = s1_b - (W3 + W5) * x7;
+
+  // second stage
+  wire signed [31:0] s2_x8 = x0 + x1;
+  wire signed [31:0] s2_x0 = x0 - x1;
+  wire signed [31:0] s2_a  = W6 * (x3 + x2);
+  wire signed [31:0] s2_x2 = s2_a - (W2 + W6) * x2;
+  wire signed [31:0] s2_x3 = s2_a + (W2 - W6) * x3;
+  wire signed [31:0] s2_x1 = s1_x4 + s1_x6;
+  wire signed [31:0] s2_x4 = s1_x4 - s1_x6;
+  wire signed [31:0] s2_x6 = s1_x5 + s1_x7;
+  wire signed [31:0] s2_x5 = s1_x5 - s1_x7;
+
+  // third stage
+  wire signed [31:0] s3_x7 = s2_x8 + s2_x3;
+  wire signed [31:0] s3_x8 = s2_x8 - s2_x3;
+  wire signed [31:0] s3_x3 = s2_x0 + s2_x2;
+  wire signed [31:0] s3_x0 = s2_x0 - s2_x2;
+  wire signed [31:0] s3_x2 = (32'sd181 * (s2_x4 + s2_x5) + 32'sd128) >>> 8;
+  wire signed [31:0] s3_x4 = (32'sd181 * (s2_x4 - s2_x5) + 32'sd128) >>> 8;
+
+  // fourth stage
+  assign o0 = (s3_x7 + s2_x1) >>> 8;
+  assign o1 = (s3_x3 + s3_x2) >>> 8;
+  assign o2 = (s3_x0 + s3_x4) >>> 8;
+  assign o3 = (s3_x8 + s2_x6) >>> 8;
+  assign o4 = (s3_x8 - s2_x6) >>> 8;
+  assign o5 = (s3_x0 - s3_x4) >>> 8;
+  assign o6 = (s3_x3 - s3_x2) >>> 8;
+  assign o7 = (s3_x7 - s2_x1) >>> 8;
+endmodule
+
+module idct_col (
+  input  signed [31:0] i0,
+  input  signed [31:0] i1,
+  input  signed [31:0] i2,
+  input  signed [31:0] i3,
+  input  signed [31:0] i4,
+  input  signed [31:0] i5,
+  input  signed [31:0] i6,
+  input  signed [31:0] i7,
+  output signed [8:0]  o0,
+  output signed [8:0]  o1,
+  output signed [8:0]  o2,
+  output signed [8:0]  o3,
+  output signed [8:0]  o4,
+  output signed [8:0]  o5,
+  output signed [8:0]  o6,
+  output signed [8:0]  o7
+);
+  localparam signed [31:0] W1 = 2841;
+  localparam signed [31:0] W2 = 2676;
+  localparam signed [31:0] W3 = 2408;
+  localparam signed [31:0] W5 = 1609;
+  localparam signed [31:0] W6 = 1108;
+  localparam signed [31:0] W7 = 565;
+
+  function signed [8:0] iclip(input signed [31:0] v);
+    iclip = v < -256 ? -9'sd256 : (v > 255 ? 9'sd255 : v[8:0]);
+  endfunction
+
+  wire signed [31:0] x0 = (i0 <<< 8) + 32'sd8192;
+  wire signed [31:0] x1 = i4 <<< 8;
+  wire signed [31:0] x2 = i6;
+  wire signed [31:0] x3 = i2;
+  wire signed [31:0] x4 = i1;
+  wire signed [31:0] x5 = i7;
+  wire signed [31:0] x6 = i5;
+  wire signed [31:0] x7 = i3;
+
+  // first stage
+  wire signed [31:0] s1_a  = W7 * (x4 + x5) + 32'sd4;
+  wire signed [31:0] s1_x4 = (s1_a + (W1 - W7) * x4) >>> 3;
+  wire signed [31:0] s1_x5 = (s1_a - (W1 + W7) * x5) >>> 3;
+  wire signed [31:0] s1_b  = W3 * (x6 + x7) + 32'sd4;
+  wire signed [31:0] s1_x6 = (s1_b - (W3 - W5) * x6) >>> 3;
+  wire signed [31:0] s1_x7 = (s1_b - (W3 + W5) * x7) >>> 3;
+
+  // second stage
+  wire signed [31:0] s2_x8 = x0 + x1;
+  wire signed [31:0] s2_x0 = x0 - x1;
+  wire signed [31:0] s2_a  = W6 * (x3 + x2) + 32'sd4;
+  wire signed [31:0] s2_x2 = (s2_a - (W2 + W6) * x2) >>> 3;
+  wire signed [31:0] s2_x3 = (s2_a + (W2 - W6) * x3) >>> 3;
+  wire signed [31:0] s2_x1 = s1_x4 + s1_x6;
+  wire signed [31:0] s2_x4 = s1_x4 - s1_x6;
+  wire signed [31:0] s2_x6 = s1_x5 + s1_x7;
+  wire signed [31:0] s2_x5 = s1_x5 - s1_x7;
+
+  // third stage
+  wire signed [31:0] s3_x7 = s2_x8 + s2_x3;
+  wire signed [31:0] s3_x8 = s2_x8 - s2_x3;
+  wire signed [31:0] s3_x3 = s2_x0 + s2_x2;
+  wire signed [31:0] s3_x0 = s2_x0 - s2_x2;
+  wire signed [31:0] s3_x2 = (32'sd181 * (s2_x4 + s2_x5) + 32'sd128) >>> 8;
+  wire signed [31:0] s3_x4 = (32'sd181 * (s2_x4 - s2_x5) + 32'sd128) >>> 8;
+
+  // fourth stage
+  assign o0 = iclip((s3_x7 + s2_x1) >>> 14);
+  assign o1 = iclip((s3_x3 + s3_x2) >>> 14);
+  assign o2 = iclip((s3_x0 + s3_x4) >>> 14);
+  assign o3 = iclip((s3_x8 + s2_x6) >>> 14);
+  assign o4 = iclip((s3_x8 - s2_x6) >>> 14);
+  assign o5 = iclip((s3_x0 - s3_x4) >>> 14);
+  assign o6 = iclip((s3_x3 - s3_x2) >>> 14);
+  assign o7 = iclip((s3_x7 - s2_x1) >>> 14);
+endmodule
+
+module idct_axis (
+  input              clk,
+  input              rst,
+  input  [95:0]      s_tdata,
+  input              s_tvalid,
+  input              s_tlast,
+  output             s_tready,
+  output [71:0]      m_tdata,
+  output             m_tvalid,
+  output             m_tlast,
+  input              m_tready
+);
+  reg  [2:0] in_cnt;
+  reg        pend;
+  reg        out_active;
+  reg  [2:0] out_cnt;
+  reg signed [11:0] in_regs  [0:63];
+  reg signed [8:0]  out_regs [0:63];
+
+  wire out_last      = (out_cnt == 3'd7);
+  wire out_fire      = out_active & m_tready;
+  wire out_last_fire = out_fire & out_last;
+  wire capture_now   = pend & (~out_active | out_last_fire);
+  assign s_tready    = ~pend | capture_now;
+  wire in_fire       = s_tvalid & s_tready;
+  wire in_last_fire  = in_fire & (in_cnt == 3'd7);
+
+  assign m_tvalid = out_active;
+  assign m_tlast  = out_last;
+
+  // 2-D combinational transform: 8 row units feeding 8 column units.
+  wire signed [31:0] row_out [0:63];
+  wire signed [8:0]  col_out [0:63];
+  genvar r, c;
+  generate
+    for (r = 0; r < 8; r = r + 1) begin : rows
+      idct_row u_row (
+        .i0({{20{in_regs[8*r+0][11]}}, in_regs[8*r+0]}),
+        .i1({{20{in_regs[8*r+1][11]}}, in_regs[8*r+1]}),
+        .i2({{20{in_regs[8*r+2][11]}}, in_regs[8*r+2]}),
+        .i3({{20{in_regs[8*r+3][11]}}, in_regs[8*r+3]}),
+        .i4({{20{in_regs[8*r+4][11]}}, in_regs[8*r+4]}),
+        .i5({{20{in_regs[8*r+5][11]}}, in_regs[8*r+5]}),
+        .i6({{20{in_regs[8*r+6][11]}}, in_regs[8*r+6]}),
+        .i7({{20{in_regs[8*r+7][11]}}, in_regs[8*r+7]}),
+        .o0(row_out[8*r+0]), .o1(row_out[8*r+1]), .o2(row_out[8*r+2]),
+        .o3(row_out[8*r+3]), .o4(row_out[8*r+4]), .o5(row_out[8*r+5]),
+        .o6(row_out[8*r+6]), .o7(row_out[8*r+7])
+      );
+    end
+    for (c = 0; c < 8; c = c + 1) begin : cols
+      idct_col u_col (
+        .i0(row_out[c]),      .i1(row_out[c+8]),  .i2(row_out[c+16]),
+        .i3(row_out[c+24]),   .i4(row_out[c+32]), .i5(row_out[c+40]),
+        .i6(row_out[c+48]),   .i7(row_out[c+56]),
+        .o0(col_out[c]),      .o1(col_out[c+8]),  .o2(col_out[c+16]),
+        .o3(col_out[c+24]),   .o4(col_out[c+32]), .o5(col_out[c+40]),
+        .o6(col_out[c+48]),   .o7(col_out[c+56])
+      );
+    end
+  endgenerate
+
+  integer k;
+  always @(posedge clk) begin
+    if (rst) begin
+      in_cnt <= 0; pend <= 0; out_active <= 0; out_cnt <= 0;
+    end else begin
+      if (in_fire) begin
+        for (k = 0; k < 8; k = k + 1)
+          in_regs[{in_cnt, 3'b000} + k] <= s_tdata[12*k +: 12];
+        in_cnt <= in_cnt + 1;
+      end
+      pend <= in_last_fire | (pend & ~capture_now);
+      if (capture_now) begin
+        for (k = 0; k < 64; k = k + 1)
+          out_regs[k] <= col_out[k];
+        out_active <= 1'b1;
+        out_cnt <= 0;
+      end else if (out_last_fire) begin
+        out_active <= 1'b0;
+      end else if (out_fire) begin
+        out_cnt <= out_cnt + 1;
+      end
+    end
+  end
+
+  genvar oc;
+  generate
+    for (oc = 0; oc < 8; oc = oc + 1) begin : olanes
+      assign m_tdata[9*oc +: 9] = out_regs[{out_cnt, 3'b000} + oc];
+    end
+  endgenerate
+endmodule

@@ -1,0 +1,254 @@
+// 8x8 IDCT, optimized Verilog design: one row unit processes each arriving
+// beat, ping-pong row buffers feed a single column unit one column per
+// cycle, ping-pong output buffers stream results out. Latency 24 cycles,
+// one matrix per 8 beats.
+
+module idct_row (
+  input  signed [31:0] i0,
+  input  signed [31:0] i1,
+  input  signed [31:0] i2,
+  input  signed [31:0] i3,
+  input  signed [31:0] i4,
+  input  signed [31:0] i5,
+  input  signed [31:0] i6,
+  input  signed [31:0] i7,
+  output signed [31:0] o0,
+  output signed [31:0] o1,
+  output signed [31:0] o2,
+  output signed [31:0] o3,
+  output signed [31:0] o4,
+  output signed [31:0] o5,
+  output signed [31:0] o6,
+  output signed [31:0] o7
+);
+  localparam signed [31:0] W1 = 2841;
+  localparam signed [31:0] W2 = 2676;
+  localparam signed [31:0] W3 = 2408;
+  localparam signed [31:0] W5 = 1609;
+  localparam signed [31:0] W6 = 1108;
+  localparam signed [31:0] W7 = 565;
+
+  wire signed [31:0] x0 = (i0 <<< 11) + 32'sd128;
+  wire signed [31:0] x1 = i4 <<< 11;
+  wire signed [31:0] x2 = i6;
+  wire signed [31:0] x3 = i2;
+  wire signed [31:0] x4 = i1;
+  wire signed [31:0] x5 = i7;
+  wire signed [31:0] x6 = i5;
+  wire signed [31:0] x7 = i3;
+
+  wire signed [31:0] s1_a = W7 * (x4 + x5);
+  wire signed [31:0] s1_x4 = s1_a + (W1 - W7) * x4;
+  wire signed [31:0] s1_x5 = s1_a - (W1 + W7) * x5;
+  wire signed [31:0] s1_b = W3 * (x6 + x7);
+  wire signed [31:0] s1_x6 = s1_b - (W3 - W5) * x6;
+  wire signed [31:0] s1_x7 = s1_b - (W3 + W5) * x7;
+
+  wire signed [31:0] s2_x8 = x0 + x1;
+  wire signed [31:0] s2_x0 = x0 - x1;
+  wire signed [31:0] s2_a  = W6 * (x3 + x2);
+  wire signed [31:0] s2_x2 = s2_a - (W2 + W6) * x2;
+  wire signed [31:0] s2_x3 = s2_a + (W2 - W6) * x3;
+  wire signed [31:0] s2_x1 = s1_x4 + s1_x6;
+  wire signed [31:0] s2_x4 = s1_x4 - s1_x6;
+  wire signed [31:0] s2_x6 = s1_x5 + s1_x7;
+  wire signed [31:0] s2_x5 = s1_x5 - s1_x7;
+
+  wire signed [31:0] s3_x7 = s2_x8 + s2_x3;
+  wire signed [31:0] s3_x8 = s2_x8 - s2_x3;
+  wire signed [31:0] s3_x3 = s2_x0 + s2_x2;
+  wire signed [31:0] s3_x0 = s2_x0 - s2_x2;
+  wire signed [31:0] s3_x2 = (32'sd181 * (s2_x4 + s2_x5) + 32'sd128) >>> 8;
+  wire signed [31:0] s3_x4 = (32'sd181 * (s2_x4 - s2_x5) + 32'sd128) >>> 8;
+
+  assign o0 = (s3_x7 + s2_x1) >>> 8;
+  assign o1 = (s3_x3 + s3_x2) >>> 8;
+  assign o2 = (s3_x0 + s3_x4) >>> 8;
+  assign o3 = (s3_x8 + s2_x6) >>> 8;
+  assign o4 = (s3_x8 - s2_x6) >>> 8;
+  assign o5 = (s3_x0 - s3_x4) >>> 8;
+  assign o6 = (s3_x3 - s3_x2) >>> 8;
+  assign o7 = (s3_x7 - s2_x1) >>> 8;
+endmodule
+
+module idct_col (
+  input  signed [31:0] i0,
+  input  signed [31:0] i1,
+  input  signed [31:0] i2,
+  input  signed [31:0] i3,
+  input  signed [31:0] i4,
+  input  signed [31:0] i5,
+  input  signed [31:0] i6,
+  input  signed [31:0] i7,
+  output signed [8:0]  o0,
+  output signed [8:0]  o1,
+  output signed [8:0]  o2,
+  output signed [8:0]  o3,
+  output signed [8:0]  o4,
+  output signed [8:0]  o5,
+  output signed [8:0]  o6,
+  output signed [8:0]  o7
+);
+  localparam signed [31:0] W1 = 2841;
+  localparam signed [31:0] W2 = 2676;
+  localparam signed [31:0] W3 = 2408;
+  localparam signed [31:0] W5 = 1609;
+  localparam signed [31:0] W6 = 1108;
+  localparam signed [31:0] W7 = 565;
+
+  function signed [8:0] iclip(input signed [31:0] v);
+    iclip = v < -256 ? -9'sd256 : (v > 255 ? 9'sd255 : v[8:0]);
+  endfunction
+
+  wire signed [31:0] x0 = (i0 <<< 8) + 32'sd8192;
+  wire signed [31:0] x1 = i4 <<< 8;
+  wire signed [31:0] x2 = i6;
+  wire signed [31:0] x3 = i2;
+  wire signed [31:0] x4 = i1;
+  wire signed [31:0] x5 = i7;
+  wire signed [31:0] x6 = i5;
+  wire signed [31:0] x7 = i3;
+
+  wire signed [31:0] s1_a  = W7 * (x4 + x5) + 32'sd4;
+  wire signed [31:0] s1_x4 = (s1_a + (W1 - W7) * x4) >>> 3;
+  wire signed [31:0] s1_x5 = (s1_a - (W1 + W7) * x5) >>> 3;
+  wire signed [31:0] s1_b  = W3 * (x6 + x7) + 32'sd4;
+  wire signed [31:0] s1_x6 = (s1_b - (W3 - W5) * x6) >>> 3;
+  wire signed [31:0] s1_x7 = (s1_b - (W3 + W5) * x7) >>> 3;
+
+  wire signed [31:0] s2_x8 = x0 + x1;
+  wire signed [31:0] s2_x0 = x0 - x1;
+  wire signed [31:0] s2_a  = W6 * (x3 + x2) + 32'sd4;
+  wire signed [31:0] s2_x2 = (s2_a - (W2 + W6) * x2) >>> 3;
+  wire signed [31:0] s2_x3 = (s2_a + (W2 - W6) * x3) >>> 3;
+  wire signed [31:0] s2_x1 = s1_x4 + s1_x6;
+  wire signed [31:0] s2_x4 = s1_x4 - s1_x6;
+  wire signed [31:0] s2_x6 = s1_x5 + s1_x7;
+  wire signed [31:0] s2_x5 = s1_x5 - s1_x7;
+
+  wire signed [31:0] s3_x7 = s2_x8 + s2_x3;
+  wire signed [31:0] s3_x8 = s2_x8 - s2_x3;
+  wire signed [31:0] s3_x3 = s2_x0 + s2_x2;
+  wire signed [31:0] s3_x0 = s2_x0 - s2_x2;
+  wire signed [31:0] s3_x2 = (32'sd181 * (s2_x4 + s2_x5) + 32'sd128) >>> 8;
+  wire signed [31:0] s3_x4 = (32'sd181 * (s2_x4 - s2_x5) + 32'sd128) >>> 8;
+
+  assign o0 = iclip((s3_x7 + s2_x1) >>> 14);
+  assign o1 = iclip((s3_x3 + s3_x2) >>> 14);
+  assign o2 = iclip((s3_x0 + s3_x4) >>> 14);
+  assign o3 = iclip((s3_x8 + s2_x6) >>> 14);
+  assign o4 = iclip((s3_x8 - s2_x6) >>> 14);
+  assign o5 = iclip((s3_x0 - s3_x4) >>> 14);
+  assign o6 = iclip((s3_x3 - s3_x2) >>> 14);
+  assign o7 = iclip((s3_x7 - s2_x1) >>> 14);
+endmodule
+
+module idct_axis (
+  input              clk,
+  input              rst,
+  input  [95:0]      s_tdata,
+  input              s_tvalid,
+  input              s_tlast,
+  output             s_tready,
+  output [71:0]      m_tdata,
+  output             m_tvalid,
+  output             m_tlast,
+  input              m_tready
+);
+  reg  [2:0] in_cnt;
+  reg        in_buf;
+  reg        row_full [0:1];
+  reg  [2:0] col_cnt;
+  reg        col_rptr, col_wptr;
+  reg        out_full [0:1];
+  reg  [2:0] out_cnt;
+  reg        out_rptr;
+  reg signed [19:0] rowbuf [0:1][0:63];
+  reg signed [8:0]  outbuf [0:1][0:63];
+
+  assign s_tready   = ~row_full[in_buf];
+  wire in_fire      = s_tvalid & s_tready;
+  wire in_last_fire = in_fire & (in_cnt == 3'd7);
+
+  // one row unit on the incoming beat
+  wire signed [31:0] row_out [0:7];
+  idct_row u_row (
+    .i0({{20{s_tdata[11]}},  s_tdata[11:0]}),
+    .i1({{20{s_tdata[23]}},  s_tdata[23:12]}),
+    .i2({{20{s_tdata[35]}},  s_tdata[35:24]}),
+    .i3({{20{s_tdata[47]}},  s_tdata[47:36]}),
+    .i4({{20{s_tdata[59]}},  s_tdata[59:48]}),
+    .i5({{20{s_tdata[71]}},  s_tdata[71:60]}),
+    .i6({{20{s_tdata[83]}},  s_tdata[83:72]}),
+    .i7({{20{s_tdata[95]}},  s_tdata[95:84]}),
+    .o0(row_out[0]), .o1(row_out[1]), .o2(row_out[2]), .o3(row_out[3]),
+    .o4(row_out[4]), .o5(row_out[5]), .o6(row_out[6]), .o7(row_out[7])
+  );
+
+  // one column unit on the selected stored column
+  wire col_proc = row_full[col_rptr] & ~out_full[col_wptr];
+  wire col_done = col_proc & (col_cnt == 3'd7);
+  wire signed [8:0] col_out [0:7];
+  idct_col u_col (
+    .i0({{12{rowbuf[col_rptr][{3'd0, col_cnt}][19]}}, rowbuf[col_rptr][{3'd0, col_cnt}]}),
+    .i1({{12{rowbuf[col_rptr][{3'd1, col_cnt}][19]}}, rowbuf[col_rptr][{3'd1, col_cnt}]}),
+    .i2({{12{rowbuf[col_rptr][{3'd2, col_cnt}][19]}}, rowbuf[col_rptr][{3'd2, col_cnt}]}),
+    .i3({{12{rowbuf[col_rptr][{3'd3, col_cnt}][19]}}, rowbuf[col_rptr][{3'd3, col_cnt}]}),
+    .i4({{12{rowbuf[col_rptr][{3'd4, col_cnt}][19]}}, rowbuf[col_rptr][{3'd4, col_cnt}]}),
+    .i5({{12{rowbuf[col_rptr][{3'd5, col_cnt}][19]}}, rowbuf[col_rptr][{3'd5, col_cnt}]}),
+    .i6({{12{rowbuf[col_rptr][{3'd6, col_cnt}][19]}}, rowbuf[col_rptr][{3'd6, col_cnt}]}),
+    .i7({{12{rowbuf[col_rptr][{3'd7, col_cnt}][19]}}, rowbuf[col_rptr][{3'd7, col_cnt}]}),
+    .o0(col_out[0]), .o1(col_out[1]), .o2(col_out[2]), .o3(col_out[3]),
+    .o4(col_out[4]), .o5(col_out[5]), .o6(col_out[6]), .o7(col_out[7])
+  );
+
+  assign m_tvalid = out_full[out_rptr];
+  wire out_fire   = m_tvalid & m_tready;
+  assign m_tlast  = (out_cnt == 3'd7);
+  wire out_done   = out_fire & m_tlast;
+
+  integer k;
+  always @(posedge clk) begin
+    if (rst) begin
+      in_cnt <= 0; in_buf <= 0; col_cnt <= 0; col_rptr <= 0; col_wptr <= 0;
+      out_cnt <= 0; out_rptr <= 0;
+      row_full[0] <= 0; row_full[1] <= 0;
+      out_full[0] <= 0; out_full[1] <= 0;
+    end else begin
+      if (in_fire) begin
+        for (k = 0; k < 8; k = k + 1)
+          rowbuf[in_buf][{in_cnt, 3'b000} + k] <= row_out[k][19:0];
+        in_cnt <= in_cnt + 1;
+        if (in_last_fire) begin
+          in_buf <= ~in_buf;
+          row_full[in_buf] <= 1'b1;
+        end
+      end
+      if (col_proc) begin
+        for (k = 0; k < 8; k = k + 1)
+          outbuf[col_wptr][{k[2:0], col_cnt}] <= col_out[k];
+        col_cnt <= col_cnt + 1;
+        if (col_done) begin
+          row_full[col_rptr] <= 1'b0;
+          out_full[col_wptr] <= 1'b1;
+          col_rptr <= ~col_rptr;
+          col_wptr <= ~col_wptr;
+        end
+      end
+      if (out_fire) begin
+        out_cnt <= out_cnt + 1;
+        if (out_done) begin
+          out_full[out_rptr] <= 1'b0;
+          out_rptr <= ~out_rptr;
+        end
+      end
+    end
+  end
+
+  genvar oc;
+  generate
+    for (oc = 0; oc < 8; oc = oc + 1) begin : olanes
+      assign m_tdata[9*oc +: 9] = outbuf[out_rptr][{out_cnt, 3'b000} + oc];
+    end
+  endgenerate
+endmodule

@@ -1,0 +1,50 @@
+// Hardware conformance: runs the IEEE 1180-1990 procedure with the IDCT
+// computed *by a simulated hardware design*, not the software model —
+// block by block through the AXI-Stream interface. Slower than the
+// software check (every block costs tens of simulated cycles), so the
+// default block count is reduced; pass a count to go further.
+//
+//   $ ./conformance [blocks-per-case]     (default 600, standard 10000)
+//
+// Note: the per-position mean-square thresholds are statistical; far
+// below ~500 blocks they can trip on noise alone.
+#include <cstdio>
+#include <cstdlib>
+
+#include "axis/testbench.hpp"
+#include "base/strings.hpp"
+#include "idct/ieee1180.hpp"
+#include "rtl/designs.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hlshc;
+
+int main(int argc, char** argv) {
+  const int blocks = argc > 1 ? std::atoi(argv[1]) : 600;
+  netlist::Design design = rtl::build_verilog_opt2();
+  sim::Simulator sim(design);
+
+  std::printf("IEEE 1180-1990 against simulated hardware '%s' "
+              "(%d blocks per case)\n\n",
+              design.name().c_str(), blocks);
+
+  // The candidate IDCT drives the hardware through the stream testbench.
+  auto hardware_idct = [&](const idct::Block& in) {
+    axis::StreamTestbench tb(sim);
+    return tb.run({in})[0];
+  };
+
+  bool all = true;
+  for (const auto& r : idct::run_compliance_suite(hardware_idct, blocks)) {
+    std::printf("range (-%ld,%ld) sign %+d: peak|e|=%s omse=%s -> %s%s%s\n",
+                r.config.range_high, r.config.range_low, r.config.sign,
+                format_fixed(r.peak_error, 1).c_str(),
+                format_fixed(r.omse, 4).c_str(),
+                r.pass ? "PASS" : "FAIL", r.pass ? "" : ": ",
+                r.failure.c_str());
+    all = all && r.pass;
+  }
+  std::printf("\nhardware is %sIEEE 1180-1990 compliant\n",
+              all ? "" : "NOT ");
+  return all ? 0 : 1;
+}

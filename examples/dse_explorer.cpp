@@ -1,0 +1,99 @@
+// Design-space explorer: the IP-library use case from the paper's
+// motivation — pick a flow and a configuration from the command line, and
+// the tool reports whether the generated IDCT core meets your
+// performance/area constraints.
+//
+//   $ ./dse_explorer                      # list flows and configurations
+//   $ ./dse_explorer xls 8                # XLS, 8 pipeline stages
+//   $ ./dse_explorer bambu PERFORMANCE-MP # a Bambu preset
+//   $ ./dse_explorer bsv reversed         # a BSC urgency order
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/strings.hpp"
+#include "bsv/designs.hpp"
+#include "chisel/designs.hpp"
+#include "core/evaluate.hpp"
+#include "hls/tool.hpp"
+#include "rtl/designs.hpp"
+#include "xls/designs.hpp"
+
+using namespace hlshc;
+
+namespace {
+
+void report(const core::DesignEvaluation& ev) {
+  std::printf("\n%-14s %s\n", "design:", ev.name.c_str());
+  std::printf("%-14s %s\n", "functional:", ev.functional ? "yes" : "NO");
+  std::printf("%-14s %s MHz\n", "fmax:",
+              format_fixed(ev.fmax_mhz, 2).c_str());
+  std::printf("%-14s %s MOPS  (T_L=%d, T_P=%s)\n", "throughput:",
+              format_fixed(ev.throughput_mops, 2).c_str(), ev.latency_cycles,
+              format_fixed(ev.periodicity_cycles, 1).c_str());
+  std::printf("%-14s %s  (N*LUT=%s N*FF=%s; with DSPs: %s LUT, %ld DSP)\n",
+              "area:", format_grouped(ev.area).c_str(),
+              format_grouped(ev.n_lut_star).c_str(),
+              format_grouped(ev.n_ff_star).c_str(),
+              format_grouped(ev.n_lut).c_str(), ev.n_dsp);
+  std::printf("%-14s %s ops/s per LUT+FF\n", "quality:",
+              format_fixed(ev.quality(), 1).c_str());
+}
+
+int usage() {
+  std::puts("usage: dse_explorer <flow> [config]\n"
+            "  verilog  initial | opt1 | opt2\n"
+            "  chisel   initial | opt\n"
+            "  bsv      default | reversed | onehot\n"
+            "  xls      <pipeline stages, 0 = combinational>\n"
+            "  bambu    DEFAULT | AREA | BALANCED | PERFORMANCE-MP\n"
+            "  vhls     pushbutton | pragmas");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string flow = argv[1];
+  const std::string cfg = argc > 2 ? argv[2] : "";
+
+  core::EvaluateOptions eo;
+  netlist::Design design("empty");
+  if (flow == "verilog") {
+    design = cfg == "initial" ? rtl::build_verilog_initial()
+             : cfg == "opt1"  ? rtl::build_verilog_opt1()
+                              : rtl::build_verilog_opt2();
+  } else if (flow == "chisel") {
+    design = cfg == "initial" ? chisel::build_chisel_initial()
+                              : chisel::build_chisel_opt();
+  } else if (flow == "bsv") {
+    bsv::SchedulerOptions o;
+    if (cfg == "reversed") o.urgency = bsv::UrgencyOrder::kReversed;
+    if (cfg == "onehot") o.mux_style = bsv::MuxStyle::kOneHotAndOr;
+    design = bsv::build_bsv_opt(o);
+  } else if (flow == "xls") {
+    int stages = cfg.empty() ? 8 : std::atoi(cfg.c_str());
+    design = xls::build_xls_design({stages}).design;
+  } else if (flow == "bambu") {
+    hls::BambuOptions o;
+    if (cfg == "AREA") o.preset = hls::BambuPreset::kArea;
+    else if (cfg == "BALANCED") o.preset = hls::BambuPreset::kBalanced;
+    else if (cfg == "PERFORMANCE-MP") {
+      o.preset = hls::BambuPreset::kPerformanceMp;
+      o.speculative_sdc = true;
+    }
+    design = hls::compile_bambu(hls::idct_source(), o).design;
+    eo.matrices = 3;
+  } else if (flow == "vhls") {
+    hls::VhlsOptions o;
+    o.pragmas = cfg != "pushbutton";
+    design = hls::compile_vhls(hls::idct_source(), o).design;
+    if (!o.pragmas) eo.matrices = 3;
+  } else {
+    return usage();
+  }
+
+  report(core::evaluate_axis_design(design, eo));
+  return 0;
+}

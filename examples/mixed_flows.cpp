@@ -1,0 +1,67 @@
+// The paper's future-work vision, running: "individual units can be
+// designed using various lower-level tools" with generated interfaces.
+// Here the ROW pass is compiled from C by the mini HLS compiler, the
+// COLUMN pass is written in the Chisel-style eDSL, an XLS-style pipeliner
+// adds a register stage to the HLS kernel, and framework::compose_row_col
+// generates the streaming engine and AXI-Stream interface around both.
+//
+//   $ ./mixed_flows
+#include <cstdio>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "chisel/designs.hpp"
+#include "core/evaluate.hpp"
+#include "framework/compose.hpp"
+#include "hls/ast.hpp"
+#include "hls/tool.hpp"
+#include "idct/chenwang.hpp"
+#include "idct/reference.hpp"
+#include "sim/simulator.hpp"
+#include "xls/pipeline.hpp"
+
+using namespace hlshc;
+
+int main() {
+  std::puts("=== Mixed-flow composition (the paper's future-work sketch) ===\n");
+
+  // Unit 1: the row pass, compiled from data/c/idct.c by the HLS frontend
+  // and pipelined one stage by the XLS-style scheduler.
+  hls::Program prog = hls::parse(hls::idct_source());
+  hls::LeafDfg row_dfg = hls::lower_leaf(prog, "idctrow", 0);
+  netlist::Design row_comb =
+      hls::leaf_to_netlist(row_dfg, "hls_row_pass", axis::kInElemWidth);
+  xls::PipelineResult row = xls::pipeline_function(row_comb, 1);
+  std::printf("row pass:    compiled from C (%zu DFG ops), pipelined to "
+              "%d stage(s)\n",
+              row_dfg.dfg.nodes.size(), row.latency);
+
+  // Unit 2: the column pass, written in the Chisel eDSL (combinational,
+  // widths inferred).
+  netlist::Design col = chisel::build_col_pass_kernel(16);
+  std::printf("column pass: built in the Chisel eDSL (%zu netlist nodes)\n",
+              col.node_count());
+
+  // The framework generates the internal buffering and the external
+  // AXI-Stream interface around both units.
+  netlist::Design mixed = framework::compose_row_col(
+      framework::PassKernel{row.design, row.latency},
+      framework::PassKernel{col, 0}, 16, "mixed_hls_chisel");
+  std::printf("composed:    '%s' (%zu nodes)\n\n", mixed.name().c_str(),
+              mixed.node_count());
+
+  // Verify bit-exactness and measure, exactly like any single-flow design.
+  core::DesignEvaluation ev = core::evaluate_axis_design(mixed);
+  std::printf("functional (vs ISO 13818-4 software model): %s\n",
+              ev.functional ? "yes" : "NO");
+  std::printf("latency %d cycles, periodicity %s, fmax %s MHz, "
+              "P %s MOPS, A %s, Q %s\n",
+              ev.latency_cycles,
+              format_fixed(ev.periodicity_cycles, 1).c_str(),
+              format_fixed(ev.fmax_mhz, 2).c_str(),
+              format_fixed(ev.throughput_mops, 2).c_str(),
+              format_grouped(ev.area).c_str(),
+              format_fixed(ev.quality(), 0).c_str());
+  return ev.functional ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "axis/monitor.hpp"
+
+#include <sstream>
+
+namespace hlshc::axis {
+
+StreamWatch::StreamWatch(sim::Simulator& sim, std::string prefix,
+                         int lane_width)
+    : sim_(sim), prefix_(std::move(prefix)), lane_width_(lane_width) {
+  prev_lanes_.assign(kLanes, BitVec::zero(lane_width_ > 0 ? lane_width_ : 1));
+}
+
+void StreamWatch::sample() {
+  auto port_value = [&](const std::string& name) -> BitVec {
+    // The port may be an input (testbench-driven) or an output (DUT-driven);
+    // look it up on either side.
+    const netlist::Design& d = sim_.design();
+    netlist::NodeId id = d.find_output(name);
+    if (id == netlist::kInvalidNode) id = d.find_input(name);
+    HLSHC_CHECK(id != netlist::kInvalidNode,
+                "stream port '" << name << "' not found");
+    return sim_.value(id);
+  };
+
+  bool valid = port_value(prefix_ + "_tvalid").to_bool();
+  bool ready = port_value(prefix_ + "_tready").to_bool();
+  bool last = port_value(prefix_ + "_tlast").to_bool();
+  std::vector<BitVec> lanes(kLanes);
+  for (int c = 0; c < kLanes; ++c)
+    lanes[static_cast<size_t>(c)] = port_value(lane_port(prefix_, c));
+
+  auto report = [&](const std::string& what) {
+    std::ostringstream os;
+    os << prefix_ << " @cycle " << sim_.cycle() << ": " << what;
+    violations_.push_back(os.str());
+  };
+
+  if (prev_valid_ && !prev_ready_) {
+    // An offer was stalled last cycle: it must persist unchanged.
+    if (!valid) report("TVALID retracted before handshake (V1)");
+    if (valid && last != prev_last_) report("TLAST changed while stalled (V2)");
+    if (valid) {
+      for (int c = 0; c < kLanes; ++c)
+        if (lanes[static_cast<size_t>(c)] !=
+            prev_lanes_[static_cast<size_t>(c)]) {
+          report("TDATA lane " + std::to_string(c) +
+                 " changed while stalled (V2)");
+          break;
+        }
+    }
+  }
+
+  if (valid && ready) {
+    ++beats_in_frame_;
+    if (last) {
+      if (beats_in_frame_ != idct::kBlockDim)
+        report("frame of " + std::to_string(beats_in_frame_) +
+               " beats, expected 8 (V3)");
+      beats_in_frame_ = 0;
+    } else if (beats_in_frame_ >= idct::kBlockDim) {
+      report("missing TLAST on 8th beat (V3)");
+      beats_in_frame_ = 0;
+    }
+  }
+
+  prev_valid_ = valid;
+  prev_ready_ = ready;
+  prev_last_ = last;
+  prev_lanes_ = lanes;
+}
+
+Monitor::Monitor(sim::Simulator& sim)
+    : slave_(sim, "s", kInElemWidth), master_(sim, "m", kOutElemWidth) {}
+
+void Monitor::sample() {
+  slave_.sample();
+  master_.sample();
+}
+
+std::vector<std::string> Monitor::violations() const {
+  std::vector<std::string> all = slave_.violations();
+  const auto& m = master_.violations();
+  all.insert(all.end(), m.begin(), m.end());
+  return all;
+}
+
+}  // namespace hlshc::axis

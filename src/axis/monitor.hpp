@@ -1,0 +1,62 @@
+// AXI-Stream protocol monitor.
+//
+// Observes one stream (a TVALID/TREADY/TLAST triple plus data lanes) on the
+// simulated DUT every cycle and records violations of the AXI4-Stream
+// handshake rules that matter for this repository's designs:
+//
+//   V1  TVALID, once asserted, must stay asserted until TREADY (no
+//       mid-offer retraction);
+//   V2  TDATA and TLAST must be stable while TVALID is high and TREADY low;
+//   V3  a matrix must consist of exactly 8 beats with TLAST on the 8th.
+//
+// Integration tests arm the monitor on both the slave and master side of
+// every design family under random back-pressure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlshc::axis {
+
+class StreamWatch {
+ public:
+  /// `data_lanes` may be 0 for streams observed on the input side where the
+  /// testbench itself guarantees data stability.
+  StreamWatch(sim::Simulator& sim, std::string prefix, int lane_width);
+
+  /// Call after eval(), before step().
+  void sample();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string prefix_;
+  int lane_width_;
+  bool prev_valid_ = false;
+  bool prev_ready_ = true;
+  bool prev_last_ = false;
+  std::vector<BitVec> prev_lanes_;
+  int beats_in_frame_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// Watches both the slave-side and master-side streams of a DUT.
+class Monitor {
+ public:
+  explicit Monitor(sim::Simulator& sim);
+
+  void sample();
+
+  std::vector<std::string> violations() const;
+  bool clean() const { return violations().empty(); }
+
+ private:
+  StreamWatch slave_;
+  StreamWatch master_;
+};
+
+}  // namespace hlshc::axis

@@ -1,0 +1,139 @@
+#include "axis/testbench.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace hlshc::axis {
+
+// ---- SourceDriver ----------------------------------------------------------
+
+SourceDriver::SourceDriver(sim::Simulator& sim, std::string prefix)
+    : sim_(sim), prefix_(std::move(prefix)) {}
+
+void SourceDriver::queue(const idct::Block& block) {
+  for (const Beat& b : matrix_to_beats(block)) beats_.push_back(b);
+}
+
+void SourceDriver::pre_cycle() {
+  bool present = !beats_.empty() && gap_left_ == 0;
+  sim_.set_input(prefix_ + "_tvalid", present ? 1 : 0);
+  if (present) {
+    const Beat& b = beats_.front();
+    for (int c = 0; c < kLanes; ++c)
+      sim_.set_input(lane_port(prefix_, c),
+                     b.lanes[static_cast<size_t>(c)]);
+    sim_.set_input(prefix_ + "_tlast", b.last ? 1 : 0);
+  } else {
+    sim_.set_input(prefix_ + "_tlast", 0);
+  }
+}
+
+bool SourceDriver::post_eval() {
+  if (gap_left_ > 0) {
+    --gap_left_;
+    return false;
+  }
+  if (beats_.empty()) return false;
+  bool valid = true;  // we presented
+  bool ready = sim_.output(prefix_ + "_tready").to_bool();
+  if (!(valid && ready)) return false;
+  if (beat_in_matrix_ == 0) matrix_starts_.push_back(sim_.cycle());
+  beat_in_matrix_ = (beat_in_matrix_ + 1) % idct::kBlockDim;
+  beats_.pop_front();
+  gap_left_ = gap_cycles_;
+  return true;
+}
+
+// ---- SinkDriver ------------------------------------------------------------
+
+SinkDriver::SinkDriver(sim::Simulator& sim, std::string prefix)
+    : sim_(sim), prefix_(std::move(prefix)) {}
+
+void SinkDriver::set_backpressure(int stall_cycles, int period) {
+  HLSHC_CHECK(stall_cycles >= 0 && period >= 0 &&
+                  (period == 0 || stall_cycles < period),
+              "bad backpressure config " << stall_cycles << '/' << period);
+  stall_cycles_ = stall_cycles;
+  period_ = period;
+}
+
+void SinkDriver::pre_cycle() {
+  bool ready = true;
+  if (period_ > 0) {
+    ready = phase_ >= stall_cycles_;
+    phase_ = (phase_ + 1) % period_;
+  }
+  sim_.set_input(prefix_ + "_tready", ready ? 1 : 0);
+}
+
+bool SinkDriver::post_eval() {
+  bool valid = sim_.output(prefix_ + "_tvalid").to_bool();
+  bool ready = sim_.value(sim_.design().find_input(prefix_ + "_tready"))
+                   .to_bool();
+  if (!(valid && ready)) return false;
+  Beat beat;
+  for (int c = 0; c < kLanes; ++c)
+    beat.lanes[static_cast<size_t>(c)] = sim_.output(lane_port(prefix_, c));
+  beat.last = sim_.output(prefix_ + "_tlast").to_bool();
+  pending_.push_back(beat);
+  if (beat.last) {
+    matrices_.push_back(beats_to_matrix(pending_));
+    ends_.push_back(sim_.cycle());
+    pending_.clear();
+  }
+  return true;
+}
+
+// ---- StreamTestbench -------------------------------------------------------
+
+StreamTestbench::StreamTestbench(sim::Simulator& sim)
+    : sim_(sim), source_(sim), sink_(sim), monitor_(sim) {}
+
+std::vector<idct::Block> StreamTestbench::run(
+    const std::vector<idct::Block>& inputs, int max_cycles) {
+  sim_.reset();
+  for (const idct::Block& b : inputs) source_.queue(b);
+
+  const size_t want = inputs.size();
+  int cycles = 0;
+  while (sink_.matrices().size() < want) {
+    HLSHC_CHECK(cycles < max_cycles,
+                "stream testbench timeout after " << cycles << " cycles ("
+                    << sink_.matrices().size() << '/' << want
+                    << " matrices)");
+    source_.pre_cycle();
+    sink_.pre_cycle();
+    sim_.eval();
+    source_.post_eval();
+    sink_.post_eval();
+    monitor_.sample();
+    sim_.step();
+    ++cycles;
+  }
+
+  timing_.matrices = static_cast<int>(want);
+  timing_.total_cycles = sim_.cycle();
+  const auto& starts = source_.matrix_start_cycles();
+  const auto& ends = sink_.matrix_end_cycles();
+  if (!starts.empty() && !ends.empty())
+    timing_.latency_cycles =
+        static_cast<int>(ends.front() - starts.front() + 1);
+  if (ends.size() >= 3) {
+    // Steady-state completion interval: median of successive differences,
+    // skipping the pipeline fill.
+    std::vector<uint64_t> deltas;
+    for (size_t i = 1; i < ends.size(); ++i)
+      deltas.push_back(ends[i] - ends[i - 1]);
+    std::sort(deltas.begin(), deltas.end());
+    timing_.periodicity_cycles =
+        static_cast<double>(deltas[deltas.size() / 2]);
+  } else if (ends.size() == 2) {
+    timing_.periodicity_cycles = static_cast<double>(ends[1] - ends[0]);
+  } else {
+    timing_.periodicity_cycles = static_cast<double>(timing_.latency_cycles);
+  }
+  return sink_.matrices();
+}
+
+}  // namespace hlshc::axis

@@ -1,0 +1,51 @@
+// Error-handling helpers used across the hlshc libraries.
+//
+// The libraries are deterministic model-building and analysis code, so every
+// violated precondition is a programming error in the caller; we throw
+// hlshc::Error (a std::runtime_error) with a formatted location-carrying
+// message rather than aborting, so tests can assert on failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hlshc {
+
+/// Exception type thrown by all HLSHC_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* file, int line,
+                                             const char* expr,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace hlshc
+
+/// Precondition / invariant check. `msg` is a streamable expression list,
+/// e.g. HLSHC_CHECK(w > 0, "width " << w << " must be positive").
+#define HLSHC_CHECK(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream hlshc_check_os_;                                  \
+      hlshc_check_os_ << msg;                                              \
+      ::hlshc::detail::raise_check_failure(__FILE__, __LINE__, #cond,      \
+                                           hlshc_check_os_.str());         \
+    }                                                                      \
+  } while (false)
+
+/// Unreachable-code marker.
+#define HLSHC_UNREACHABLE(msg)                                             \
+  ::hlshc::detail::raise_check_failure(__FILE__, __LINE__, "unreachable",  \
+                                       (msg))

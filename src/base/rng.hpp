@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generators.
+//
+// Ieee1180Rng reproduces the generator mandated by IEEE Std 1180-1990 Annex A
+// for producing IDCT conformance input blocks: a 32-bit linear congruential
+// generator (x <- x*1103515245 + 12345) whose output is folded into the
+// inclusive range [-H, L]. SplitMix64 is a general-purpose engine for
+// workload generation where the standard does not dictate one.
+#pragma once
+
+#include <cstdint>
+
+namespace hlshc {
+
+/// The exact random-number generator from IEEE Std 1180-1990.
+class Ieee1180Rng {
+ public:
+  explicit Ieee1180Rng(long seed = 1) : randx_(seed) {}
+
+  /// Returns a pseudo-random value in [-H, L] (note the asymmetric bounds,
+  /// matching the standard's `rand(L, H)` routine).
+  long next(long L, long H) {
+    randx_ = (randx_ * 1103515245L + 12345L) & 0xffffffffL;
+    long i = randx_ & 0x7ffffffeL;
+    double x = static_cast<double>(i) / 2147483647.0;
+    x *= static_cast<double>(L + H + 1);
+    long j = static_cast<long>(x);
+    return j - H;
+  }
+
+  void reseed(long seed) { randx_ = seed; }
+
+ private:
+  long randx_;
+};
+
+/// SplitMix64 — tiny, fast, well-distributed 64-bit engine.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [lo, hi] (inclusive).
+  int64_t next_in(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % span);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hlshc

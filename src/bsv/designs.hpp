@@ -1,0 +1,33 @@
+// The Bluespec SystemVerilog design family of the paper.
+//
+//   * initial : a direct translation of the ISO 13818-4 C program into
+//     rules — collect a matrix (phase IN), one rule applies all eight row
+//     passes in a cycle (phase ROWS), one rule applies all eight column
+//     passes (phase COLS), then a serializer rule emits. The phase-token
+//     handoffs cost extra cycles, so throughput trails the Verilog initial
+//     design's periodicity even though the logic is nearly the same size.
+//
+//   * opt : the pipelined one-row-unit/one-col-unit architecture. The
+//     column engine is split into a step rule and a finish rule; the finish
+//     rule and the output serializer both write the out-bank occupancy
+//     vector, so BSC-style conservative scheduling serializes them whenever
+//     they would fire together — once per matrix. That is the paper's
+//     "bubble": measured periodicity 9 instead of 8, which "in theory could
+//     be eliminated".
+//
+// Both designs funnel through RuleModule::compile, whose SchedulerOptions
+// form the 26-configuration sweep of the paper (see tools/).
+#pragma once
+
+#include "bsv/rules.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::bsv {
+
+netlist::Design build_bsv_initial(const SchedulerOptions& options = {});
+netlist::Design build_bsv_opt(const SchedulerOptions& options = {});
+
+/// Schedule facts for tests (same construction, exposing compile() output).
+ScheduleInfo schedule_of_bsv_opt(const SchedulerOptions& options = {});
+
+}  // namespace hlshc::bsv

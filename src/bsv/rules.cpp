@@ -1,0 +1,173 @@
+#include "bsv/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/check.hpp"
+
+namespace hlshc::bsv {
+
+using netlist::Design;
+using netlist::kInvalidNode;
+using netlist::NodeId;
+
+NodeId RuleModule::mk_reg(int width, int64_t init, const std::string& name) {
+  NodeId r = design_.reg(width, init, name);
+  regs_.push_back(r);
+  return r;
+}
+
+void RuleModule::add_rule(const std::string& name, NodeId guard,
+                          std::vector<RuleAction> actions) {
+  HLSHC_CHECK(!compiled_, "add_rule after compile");
+  HLSHC_CHECK(design_.node(guard).width == 1,
+              "rule '" << name << "' guard must be 1 bit");
+  for (const RuleAction& a : actions) {
+    HLSHC_CHECK(design_.node(a.reg).op == netlist::Op::Reg,
+                "rule '" << name << "' action target is not a register");
+    HLSHC_CHECK(design_.node(a.reg).width == design_.node(a.value).width,
+                "rule '" << name << "' action width mismatch on '"
+                         << design_.node(a.reg).name << '\'');
+    if (a.enable != kInvalidNode)
+      HLSHC_CHECK(design_.node(a.enable).width == 1,
+                  "rule '" << name << "' action enable must be 1 bit");
+  }
+  rules_.push_back(Rule{name, guard, std::move(actions)});
+}
+
+void RuleModule::mark_conflict_free(const std::string& rule_a,
+                                    const std::string& rule_b) {
+  conflict_free_.emplace_back(rule_a, rule_b);
+}
+
+ScheduleInfo RuleModule::compile(const SchedulerOptions& options) {
+  HLSHC_CHECK(!compiled_, "compile called twice");
+  compiled_ = true;
+  Design& d = design_;
+
+  // Write sets for conflict analysis.
+  std::vector<std::set<NodeId>> writes(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i)
+    for (const RuleAction& a : rules_[i].actions) writes[i].insert(a.reg);
+
+  auto is_conflict_free = [&](size_t a, size_t b) {
+    for (const auto& [x, y] : conflict_free_) {
+      if ((rules_[a].name == x && rules_[b].name == y) ||
+          (rules_[a].name == y && rules_[b].name == x))
+        return true;
+    }
+    return false;
+  };
+  auto conflicts = [&](size_t a, size_t b) {
+    if (is_conflict_free(a, b)) return false;
+    for (NodeId r : writes[a])
+      if (writes[b].count(r)) return true;
+    return false;
+  };
+
+  // Urgency order (indices into rules_, most urgent first).
+  std::vector<size_t> order(rules_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  switch (options.urgency) {
+    case UrgencyOrder::kDeclaration:
+      break;
+    case UrgencyOrder::kReversed:
+      std::reverse(order.begin(), order.end());
+      break;
+    case UrgencyOrder::kConflictSorted: {
+      std::vector<int> degree(rules_.size(), 0);
+      for (size_t a = 0; a < rules_.size(); ++a)
+        for (size_t b = 0; b < rules_.size(); ++b)
+          if (a != b && conflicts(a, b)) ++degree[a];
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         return degree[a] < degree[b];
+                       });
+      break;
+    }
+  }
+
+  ScheduleInfo info;
+  info.rules.resize(rules_.size());
+
+  // WILL_FIRE in urgency order.
+  std::vector<NodeId> will_fire(rules_.size(), kInvalidNode);
+  int conflict_pairs = 0;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    size_t i = order[pos];
+    NodeId wf = rules_[i].guard;
+    std::vector<NodeId> blockers;
+    for (size_t q = 0; q < pos; ++q) {
+      size_t j = order[q];
+      if (conflicts(i, j)) {
+        blockers.push_back(will_fire[j]);
+        info.rules[i].conflicts_with.push_back(rules_[j].name);
+        ++conflict_pairs;
+      }
+    }
+    if (!blockers.empty()) {
+      if (options.aggressive_conditions) {
+        // Flat two-level network: one OR of all blockers, one AND.
+        NodeId any = blockers[0];
+        for (size_t k = 1; k < blockers.size(); ++k)
+          any = d.bor(any, blockers[k], 1);
+        wf = d.band(wf, d.bnot(any, 1), 1);
+      } else {
+        for (NodeId blk : blockers) wf = d.band(wf, d.bnot(blk, 1), 1);
+      }
+    }
+    will_fire[i] = wf;
+    info.rules[i].name = rules_[i].name;
+    info.rules[i].will_fire = wf;
+  }
+  info.conflict_pairs = conflict_pairs;
+
+  // Per-register update logic from the firing writers.
+  struct Writer {
+    size_t rule;
+    NodeId value;
+    NodeId strobe;  ///< WILL_FIRE [&& enable]
+  };
+  std::map<NodeId, std::vector<Writer>> writers;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    size_t i = order[pos];
+    for (const RuleAction& a : rules_[i].actions) {
+      NodeId strobe = will_fire[i];
+      if (a.enable != kInvalidNode) strobe = d.band(strobe, a.enable, 1);
+      writers[a.reg].push_back(Writer{i, a.value, strobe});
+    }
+  }
+
+  for (NodeId r : regs_) {
+    auto it = writers.find(r);
+    if (it == writers.end()) {
+      d.set_reg_next(r, r);  // nobody writes: hold
+      continue;
+    }
+    const int w = d.node(r).width;
+    const std::vector<Writer>& ws = it->second;  // already urgency-ordered
+
+    NodeId any = ws[0].strobe;
+    for (size_t k = 1; k < ws.size(); ++k) any = d.bor(any, ws[k].strobe, 1);
+
+    NodeId next;
+    if (options.mux_style == MuxStyle::kPriorityChain) {
+      next = ws.back().value;
+      for (size_t k = ws.size() - 1; k-- > 0;)
+        next = d.mux(ws[k].strobe, ws[k].value, next, w);
+    } else {
+      // One-hot AND/OR: strobes of writers to one register are mutually
+      // exclusive (conflicting rules are serialized; conflict-free pairs
+      // have designer-guaranteed disjoint enables).
+      next = d.band(ws[0].value, d.sext(ws[0].strobe, w), w);
+      for (size_t k = 1; k < ws.size(); ++k)
+        next = d.bor(next, d.band(ws[k].value, d.sext(ws[k].strobe, w), w),
+                     w);
+    }
+    d.set_reg_next(r, next, any);
+  }
+  return info;
+}
+
+}  // namespace hlshc::bsv

@@ -1,0 +1,390 @@
+#include "chisel/designs.hpp"
+
+#include <string>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "idct/chenwang.hpp"
+
+namespace hlshc::chisel {
+
+namespace {
+
+using idct::kW1;
+using idct::kW2;
+using idct::kW3;
+using idct::kW5;
+using idct::kW6;
+using idct::kW7;
+
+SInt clip9(Builder& b, const SInt& v) {
+  SInt lo = b.lit(idct::kSampleMin);
+  SInt hi = b.lit(idct::kSampleMax);
+  return b.mux(v < lo, lo, b.mux(v > hi, hi, v)).truncate(9);
+}
+
+/// Vec(idx) lookup as a balanced mux tree over the index bits.
+SInt vec_read(Builder& b, const SInt& idx, std::vector<SInt> items) {
+  int bitpos = 0;
+  while (items.size() > 1) {
+    Bool sel = idx.bit(bitpos++);
+    std::vector<SInt> next;
+    next.reserve(items.size() / 2);
+    for (size_t i = 0; i + 1 < items.size(); i += 2)
+      next.push_back(b.mux(sel, items[i + 1], items[i]));
+    items = std::move(next);
+  }
+  return items[0];
+}
+
+}  // namespace
+
+std::array<SInt, 8> idct_row(Builder& b, const std::array<SInt, 8>& blk) {
+  SInt x1 = blk[4] << 11;
+  SInt x2 = blk[6], x3 = blk[2], x4 = blk[1], x5 = blk[7], x6 = blk[5],
+       x7 = blk[3];
+  SInt x0 = (blk[0] << 11) + b.lit(128);
+
+  // first stage
+  SInt x8 = b.lit(kW7) * (x4 + x5);
+  x4 = x8 + b.lit(kW1 - kW7) * x4;
+  x5 = x8 - b.lit(kW1 + kW7) * x5;
+  x8 = b.lit(kW3) * (x6 + x7);
+  x6 = x8 - b.lit(kW3 - kW5) * x6;
+  x7 = x8 - b.lit(kW3 + kW5) * x7;
+
+  // second stage
+  x8 = x0 + x1;
+  x0 = x0 - x1;
+  x1 = b.lit(kW6) * (x3 + x2);
+  x2 = x1 - b.lit(kW2 + kW6) * x2;
+  x3 = x1 + b.lit(kW2 - kW6) * x3;
+  x1 = x4 + x6;
+  x4 = x4 - x6;
+  x6 = x5 + x7;
+  x5 = x5 - x7;
+
+  // third stage
+  x7 = x8 + x3;
+  x8 = x8 - x3;
+  x3 = x0 + x2;
+  x0 = x0 - x2;
+  x2 = (b.lit(181) * (x4 + x5) + b.lit(128)) >> 8;
+  x4 = (b.lit(181) * (x4 - x5) + b.lit(128)) >> 8;
+
+  // fourth stage
+  return {(x7 + x1) >> 8, (x3 + x2) >> 8, (x0 + x4) >> 8, (x8 + x6) >> 8,
+          (x8 - x6) >> 8, (x0 - x4) >> 8, (x3 - x2) >> 8, (x7 - x1) >> 8};
+}
+
+std::array<SInt, 8> idct_col(Builder& b, const std::array<SInt, 8>& blk) {
+  SInt x1 = blk[4] << 8;
+  SInt x2 = blk[6], x3 = blk[2], x4 = blk[1], x5 = blk[7], x6 = blk[5],
+       x7 = blk[3];
+  SInt x0 = (blk[0] << 8) + b.lit(8192);
+
+  // first stage
+  SInt x8 = b.lit(kW7) * (x4 + x5) + b.lit(4);
+  x4 = (x8 + b.lit(kW1 - kW7) * x4) >> 3;
+  x5 = (x8 - b.lit(kW1 + kW7) * x5) >> 3;
+  x8 = b.lit(kW3) * (x6 + x7) + b.lit(4);
+  x6 = (x8 - b.lit(kW3 - kW5) * x6) >> 3;
+  x7 = (x8 - b.lit(kW3 + kW5) * x7) >> 3;
+
+  // second stage
+  x8 = x0 + x1;
+  x0 = x0 - x1;
+  x1 = b.lit(kW6) * (x3 + x2) + b.lit(4);
+  x2 = (x1 - b.lit(kW2 + kW6) * x2) >> 3;
+  x3 = (x1 + b.lit(kW2 - kW6) * x3) >> 3;
+  x1 = x4 + x6;
+  x4 = x4 - x6;
+  x6 = x5 + x7;
+  x5 = x5 - x7;
+
+  // third stage
+  x7 = x8 + x3;
+  x8 = x8 - x3;
+  x3 = x0 + x2;
+  x0 = x0 - x2;
+  x2 = (b.lit(181) * (x4 + x5) + b.lit(128)) >> 8;
+  x4 = (b.lit(181) * (x4 - x5) + b.lit(128)) >> 8;
+
+  // fourth stage
+  return {clip9(b, (x7 + x1) >> 14), clip9(b, (x3 + x2) >> 14),
+          clip9(b, (x0 + x4) >> 14), clip9(b, (x8 + x6) >> 14),
+          clip9(b, (x8 - x6) >> 14), clip9(b, (x0 - x4) >> 14),
+          clip9(b, (x3 - x2) >> 14), clip9(b, (x7 - x1) >> 14)};
+}
+
+namespace {
+
+struct Io {
+  std::array<SInt, 8> s_lane;
+  Bool s_valid, s_last, m_ready;
+};
+
+Io make_io(Builder& b) {
+  Io io;
+  for (int c = 0; c < 8; ++c)
+    io.s_lane[static_cast<size_t>(c)] =
+        b.input(axis::lane_port("s", c), axis::kInElemWidth);
+  io.s_valid = b.input_bool("s_tvalid");
+  io.s_last = b.input_bool("s_tlast");
+  io.m_ready = b.input_bool("m_tready");
+  return io;
+}
+
+/// 0..7 counter at 4 bits (SInt counters stay non-negative) with an
+/// explicit wrap mux, counting when `tick` holds.
+struct Counter {
+  SInt value;
+  Bool at_last;
+};
+
+Counter make_counter(Builder& b, const Bool& tick, const std::string& name) {
+  SInt cnt = b.reg_init(4, 0, name);
+  Bool last = cnt == b.lit(7);
+  SInt next = b.mux(last, b.lit_w(0, 4), (cnt + b.lit(1)).truncate(4));
+  b.connect_when(cnt, tick, next);
+  return Counter{cnt, last};
+}
+
+Bool is_row(Builder& b, const SInt& cnt, int r) { return cnt == b.lit(r); }
+
+/// result[r][c] from the column pass over stored rows, eight col units.
+std::array<std::array<SInt, 8>, 8> column_pass(
+    Builder& b, const std::array<std::array<SInt, 8>, 8>& rows) {
+  std::array<std::array<SInt, 8>, 8> result;
+  for (int col = 0; col < 8; ++col) {
+    std::array<SInt, 8> column;
+    for (int r = 0; r < 8; ++r)
+      column[static_cast<size_t>(r)] =
+          rows[static_cast<size_t>(r)][static_cast<size_t>(col)];
+    auto out = idct_col(b, column);
+    for (int r = 0; r < 8; ++r)
+      result[static_cast<size_t>(r)][static_cast<size_t>(col)] =
+          out[static_cast<size_t>(r)];
+  }
+  return result;
+}
+
+}  // namespace
+
+netlist::Design build_chisel_initial() {
+  Builder b("chisel_initial");
+  Io io = make_io(b);
+
+  // --- handshake state (same scheme as the Verilog baseline) ---
+  Bool pend = b.reg_bool(false, "pend");
+  Bool out_active = b.reg_bool(false, "out_active");
+
+  SInt out_cnt = b.reg_init(4, 0, "out_cnt");
+  Bool out_last = out_cnt == b.lit(7);
+  Bool m_valid = out_active;
+  Bool out_fire = m_valid && io.m_ready;
+  Bool out_last_fire = out_fire && out_last;
+  Bool capture = pend && (!out_active || out_last_fire);
+  Bool s_ready = !pend || capture;
+  Bool in_fire = io.s_valid && s_ready;
+
+  SInt in_cnt = b.reg_init(4, 0, "in_cnt");
+  Bool in_last = in_cnt == b.lit(7);
+  Bool in_last_fire = in_fire && in_last;
+  b.connect_when(in_cnt, in_fire,
+                 b.mux(in_last, b.lit_w(0, 4), (in_cnt + b.lit(1)).truncate(4)));
+  b.connect(pend, in_last_fire || (pend && !capture));
+  b.connect(out_active,
+            b.mux(capture, b.lit_bool(true),
+                  b.mux(out_last_fire, b.lit_bool(false), out_active)));
+  b.connect_when(out_cnt, capture || out_fire,
+                 b.mux(capture, b.lit_w(0, 4),
+                       b.mux(out_last, b.lit_w(0, 4),
+                             (out_cnt + b.lit(1)).truncate(4))));
+  b.output_bool("s_tready", s_ready);
+  b.output_bool("m_tvalid", m_valid);
+  b.output_bool("m_tlast", out_last);
+
+  // --- input collector: 64 x 12-bit registers ---
+  std::array<std::array<SInt, 8>, 8> in_regs;
+  for (int r = 0; r < 8; ++r) {
+    Bool row_en = in_fire && is_row(b, in_cnt, r);
+    for (int c = 0; c < 8; ++c) {
+      SInt reg = b.reg_init(axis::kInElemWidth, 0,
+                            "in_r" + std::to_string(r) + "c" +
+                                std::to_string(c));
+      b.connect_when(reg, row_en, io.s_lane[static_cast<size_t>(c)]);
+      in_regs[static_cast<size_t>(r)][static_cast<size_t>(c)] = reg;
+    }
+  }
+
+  // --- naive combinational 2-D IDCT: 8 row units into 8 col units ---
+  std::array<std::array<SInt, 8>, 8> row_out;
+  for (int r = 0; r < 8; ++r)
+    row_out[static_cast<size_t>(r)] =
+        idct_row(b, in_regs[static_cast<size_t>(r)]);
+  auto result = column_pass(b, row_out);
+
+  // --- output buffer and serializer ---
+  std::array<std::array<SInt, 8>, 8> out_regs;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      SInt reg = b.reg_init(axis::kOutElemWidth, 0,
+                            "out_r" + std::to_string(r) + "c" +
+                                std::to_string(c));
+      b.connect_when(reg, capture,
+                     result[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      out_regs[static_cast<size_t>(r)][static_cast<size_t>(c)] = reg;
+    }
+  for (int c = 0; c < 8; ++c) {
+    std::vector<SInt> rows;
+    for (int r = 0; r < 8; ++r)
+      rows.push_back(out_regs[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    b.output(axis::lane_port("m", c), vec_read(b, out_cnt, rows));
+  }
+  return b.take();
+}
+
+netlist::Design build_chisel_opt() {
+  Builder b("chisel_opt");
+  Io io = make_io(b);
+
+  // --- input: one row unit, ping-pong row buffers (widths inferred) ---
+  Bool in_buf = b.reg_bool(false, "in_buf");
+  Bool row_full0 = b.reg_bool(false, "row_full0");
+  Bool row_full1 = b.reg_bool(false, "row_full1");
+  Bool out_full0 = b.reg_bool(false, "out_full0");
+  Bool out_full1 = b.reg_bool(false, "out_full1");
+  Bool col_rptr = b.reg_bool(false, "col_rptr");
+  Bool col_wptr = b.reg_bool(false, "col_wptr");
+  Bool out_rptr = b.reg_bool(false, "out_rptr");
+
+  Bool s_ready = !b.mux(in_buf, row_full1, row_full0);
+  Bool in_fire = io.s_valid && s_ready;
+  b.output_bool("s_tready", s_ready);
+
+  Counter in_cnt = make_counter(b, in_fire, "in_cnt");
+  Bool in_last_fire = in_fire && in_cnt.at_last;
+  b.connect(in_buf, b.mux(in_last_fire, !in_buf, in_buf));
+
+  auto row_now = idct_row(b, io.s_lane);
+
+  std::array<std::array<std::array<SInt, 8>, 8>, 2> rowbuf;
+  for (int bank = 0; bank < 2; ++bank) {
+    Bool bank_sel = bank == 0 ? !in_buf : in_buf;
+    for (int r = 0; r < 8; ++r) {
+      Bool en = in_fire && is_row(b, in_cnt.value, r) && bank_sel;
+      for (int c = 0; c < 8; ++c) {
+        SInt reg = b.reg_like(row_now[static_cast<size_t>(c)], 0,
+                              "rowbuf" + std::to_string(bank) + "_r" +
+                                  std::to_string(r) + "c" + std::to_string(c));
+        b.connect_when(reg, en, row_now[static_cast<size_t>(c)]);
+        rowbuf[static_cast<size_t>(bank)][static_cast<size_t>(r)]
+              [static_cast<size_t>(c)] = reg;
+      }
+    }
+  }
+
+  // --- column engine: one col unit, one column per cycle ---
+  Bool row_avail = b.mux(col_rptr, row_full1, row_full0);
+  Bool out_free = !b.mux(col_wptr, out_full1, out_full0);
+  Bool col_proc = row_avail && out_free;
+  Counter col_cnt = make_counter(b, col_proc, "col_cnt");
+  Bool col_done = col_proc && col_cnt.at_last;
+  b.connect(col_rptr, b.mux(col_done, !col_rptr, col_rptr));
+  b.connect(col_wptr, b.mux(col_done, !col_wptr, col_wptr));
+
+  std::array<SInt, 8> col_in;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<SInt> e0, e1;
+    for (int c = 0; c < 8; ++c) {
+      e0.push_back(rowbuf[0][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      e1.push_back(rowbuf[1][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    col_in[static_cast<size_t>(r)] =
+        b.mux(col_rptr, vec_read(b, col_cnt.value, e1),
+              vec_read(b, col_cnt.value, e0));
+  }
+  auto col_out = idct_col(b, col_in);
+
+  std::array<std::array<std::array<SInt, 8>, 8>, 2> outbuf;
+  for (int bank = 0; bank < 2; ++bank) {
+    Bool bank_sel = bank == 0 ? !col_wptr : col_wptr;
+    for (int c = 0; c < 8; ++c) {
+      Bool en = col_proc && is_row(b, col_cnt.value, c) && bank_sel;
+      for (int r = 0; r < 8; ++r) {
+        SInt reg = b.reg_init(axis::kOutElemWidth, 0,
+                              "outbuf" + std::to_string(bank) + "_r" +
+                                  std::to_string(r) + "c" + std::to_string(c));
+        b.connect_when(reg, en, col_out[static_cast<size_t>(r)]);
+        outbuf[static_cast<size_t>(bank)][static_cast<size_t>(r)]
+              [static_cast<size_t>(c)] = reg;
+      }
+    }
+  }
+
+  // --- output serializer ---
+  Bool m_valid = b.mux(out_rptr, out_full1, out_full0);
+  Bool out_fire = m_valid && io.m_ready;
+  Counter out_cnt = make_counter(b, out_fire, "out_cnt");
+  Bool out_done = out_fire && out_cnt.at_last;
+  b.connect(out_rptr, b.mux(out_done, !out_rptr, out_rptr));
+  b.output_bool("m_tvalid", m_valid);
+  b.output_bool("m_tlast", out_cnt.at_last);
+  for (int c = 0; c < 8; ++c) {
+    std::vector<SInt> r0, r1;
+    for (int r = 0; r < 8; ++r) {
+      r0.push_back(outbuf[0][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      r1.push_back(outbuf[1][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    b.output(axis::lane_port("m", c),
+             b.mux(out_rptr, vec_read(b, out_cnt.value, r1),
+                   vec_read(b, out_cnt.value, r0)));
+  }
+
+  // --- bank bookkeeping ---
+  auto full_next = [&](Bool cur, bool bank_is_1, Bool set_cond, Bool set_ptr,
+                       Bool clr_cond, Bool clr_ptr) {
+    Bool set_here = set_cond && (bank_is_1 ? set_ptr : !set_ptr);
+    Bool clr_here = clr_cond && (bank_is_1 ? clr_ptr : !clr_ptr);
+    return set_here || (cur && !clr_here);
+  };
+  b.connect(row_full0,
+            full_next(row_full0, false, in_last_fire, in_buf, col_done,
+                      col_rptr));
+  b.connect(row_full1,
+            full_next(row_full1, true, in_last_fire, in_buf, col_done,
+                      col_rptr));
+  b.connect(out_full0,
+            full_next(out_full0, false, col_done, col_wptr, out_done,
+                      out_rptr));
+  b.connect(out_full1,
+            full_next(out_full1, true, col_done, col_wptr, out_done,
+                      out_rptr));
+  return b.take();
+}
+
+netlist::Design build_row_pass_kernel() {
+  Builder b("chisel_row_pass");
+  std::array<SInt, 8> in;
+  for (int c = 0; c < 8; ++c)
+    in[static_cast<size_t>(c)] =
+        b.input("i" + std::to_string(c), axis::kInElemWidth);
+  auto out = idct_row(b, in);
+  for (int c = 0; c < 8; ++c)
+    b.output("o" + std::to_string(c), out[static_cast<size_t>(c)]);
+  return b.take();
+}
+
+netlist::Design build_col_pass_kernel(int input_width) {
+  Builder b("chisel_col_pass");
+  std::array<SInt, 8> in;
+  for (int r = 0; r < 8; ++r)
+    in[static_cast<size_t>(r)] = b.input("i" + std::to_string(r), input_width);
+  auto out = idct_col(b, in);
+  for (int r = 0; r < 8; ++r)
+    b.output("o" + std::to_string(r), out[static_cast<size_t>(r)]);
+  return b.take();
+}
+
+}  // namespace hlshc::chisel

@@ -1,0 +1,34 @@
+// The Chisel design family of the paper.
+//
+// Same microarchitectures as the Verilog baseline (a naive combinational
+// initial design and the pipelined one-row-unit/one-col-unit optimized
+// design), but expressed in the width-inferring eDSL: every intermediate
+// net carries only the bits the operator tree requires, which is the
+// mechanism behind the paper's Chisel results (initial design: 105.7%
+// performance, 94.6% area of Verilog; optimized: 98.7% / 109.5%).
+#pragma once
+
+#include <array>
+
+#include "chisel/dsl.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::chisel {
+
+/// Chen-Wang row pass with inferred widths; exposed for unit tests.
+std::array<SInt, 8> idct_row(Builder& b, const std::array<SInt, 8>& blk);
+
+/// Chen-Wang column pass with rounding and 9-bit clipping.
+std::array<SInt, 8> idct_col(Builder& b, const std::array<SInt, 8>& blk);
+
+netlist::Design build_chisel_initial();
+netlist::Design build_chisel_opt();
+
+/// Standalone 1-D pass kernels in the framework's PassKernel port shape
+/// (i0..i7 -> o0..o7, combinational): Chisel-built units other flows can
+/// compose with through framework::compose_row_col — the paper's
+/// future-work "mix lower-level tools" scenario.
+netlist::Design build_row_pass_kernel();
+netlist::Design build_col_pass_kernel(int input_width = 16);
+
+}  // namespace hlshc::chisel

@@ -1,0 +1,83 @@
+#include "core/evaluate.hpp"
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "idct/chenwang.hpp"
+#include "idct/reference.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlshc::core {
+
+DesignEvaluation evaluate_axis_design(const netlist::Design& design,
+                                      const EvaluateOptions& options) {
+  DesignEvaluation ev;
+  ev.name = design.name();
+
+  // 1+2: simulate, verify, measure.
+  sim::Simulator sim(design);
+  axis::StreamTestbench tb(sim);
+  SplitMix64 rng(options.seed);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < options.matrices; ++i) {
+    idct::Block b{};
+    if (options.realistic_inputs) {
+      idct::Block spatial{};
+      for (auto& v : spatial)
+        v = static_cast<int32_t>(rng.next_in(-256, 255));
+      b = idct::forward_dct_reference(spatial);
+    } else {
+      for (auto& v : b)
+        v = static_cast<int32_t>(
+            rng.next_in(idct::kCoeffMin, idct::kCoeffMax));
+    }
+    ins.push_back(b);
+  }
+  auto outs = tb.run(ins, options.max_cycles);
+  ev.functional = outs.size() == ins.size() && tb.monitor().clean();
+  for (size_t i = 0; ev.functional && i < ins.size(); ++i) {
+    idct::Block want = ins[i];
+    idct::idct_2d(want);
+    if (outs[i] != want) ev.functional = false;
+  }
+  ev.latency_cycles = tb.timing().latency_cycles;
+  ev.periodicity_cycles = tb.timing().periodicity_cycles;
+
+  // 3: synthesize with and without DSP mapping.
+  synth::NormalizedSynth ns =
+      synth::synthesize_normalized(design, options.synth);
+  ev.fmax_mhz = ns.normal.fmax_mhz;
+  ev.n_lut = ns.normal.n_lut;
+  ev.n_ff = ns.normal.n_ff;
+  ev.n_dsp = ns.normal.n_dsp;
+  ev.n_io = ns.normal.n_io;
+  ev.n_lut_star = ns.nodsp.n_lut;
+  ev.n_ff_star = ns.nodsp.n_ff;
+  ev.area = ns.area();
+
+  // 4: P = ν_max / T_P.
+  ev.throughput_mops =
+      ev.periodicity_cycles > 0 ? ev.fmax_mhz / ev.periodicity_cycles : 0.0;
+  return ev;
+}
+
+DesignEvaluation from_maxj(const std::string& name,
+                           const maxj::Kernel& kernel,
+                           const maxj::SystemEvaluation& ev) {
+  DesignEvaluation out;
+  out.name = name;
+  out.functional = true;  // kernels are verified separately in tests
+  out.latency_cycles = ev.latency_ticks;
+  out.periodicity_cycles = kernel.ticks_per_op;
+  out.fmax_mhz = ev.synth.normal.fmax_mhz;
+  out.throughput_mops = ev.throughput_ops / 1e6;
+  out.area = ev.synth.area();
+  out.n_lut_star = ev.synth.nodsp.n_lut;
+  out.n_ff_star = ev.synth.nodsp.n_ff;
+  out.n_lut = ev.synth.normal.n_lut;
+  out.n_ff = ev.synth.normal.n_ff;
+  out.n_dsp = ev.synth.normal.n_dsp;
+  out.n_io = ev.synth.normal.n_io;
+  return out;
+}
+
+}  // namespace hlshc::core

@@ -1,0 +1,110 @@
+#include "core/loc.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace hlshc::core {
+
+namespace {
+
+struct CommentSyntax {
+  const char* line = "//";
+  const char* block_open = "/*";
+  const char* block_close = "*/";
+};
+
+CommentSyntax syntax_of(Language lang) {
+  switch (lang) {
+    case Language::kConfig:
+      return CommentSyntax{"#", nullptr, nullptr};
+    default:
+      return CommentSyntax{};
+  }
+}
+
+}  // namespace
+
+LocCount count_loc(const std::string& text, Language language) {
+  const CommentSyntax syn = syntax_of(language);
+  LocCount count;
+  bool in_block = false;
+
+  for (const std::string& raw : split_lines(text)) {
+    std::string_view line = trim(raw);
+    bool has_code = false;
+    bool has_comment = in_block;
+
+    size_t i = 0;
+    while (i < line.size()) {
+      if (in_block) {
+        size_t close = syn.block_close
+                           ? line.find(syn.block_close, i)
+                           : std::string_view::npos;
+        if (close == std::string_view::npos) {
+          i = line.size();
+        } else {
+          in_block = false;
+          i = close + 2;
+        }
+        continue;
+      }
+      if (syn.block_open &&
+          line.substr(i).starts_with(syn.block_open)) {
+        in_block = true;
+        has_comment = true;
+        i += 2;
+        continue;
+      }
+      if (line.substr(i).starts_with(syn.line)) {
+        has_comment = true;
+        break;  // rest of the line is a comment
+      }
+      if (!std::isspace(static_cast<unsigned char>(line[i]))) has_code = true;
+      ++i;
+    }
+
+    if (line.empty()) {
+      ++count.blank;
+    } else if (has_code) {
+      ++count.code;
+    } else if (has_comment) {
+      ++count.comment;
+    } else {
+      ++count.blank;
+    }
+  }
+  return count;
+}
+
+std::string data_path(const std::string& relative_path) {
+  return std::string(HLSHC_DATA_DIR) + "/" + relative_path;
+}
+
+LocCount count_data_file(const std::string& relative_path,
+                         Language language) {
+  std::ifstream in(data_path(relative_path));
+  HLSHC_CHECK(in.good(), "cannot open data file " << relative_path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return count_loc(os.str(), language);
+}
+
+Language language_of(const std::string& filename) {
+  auto ends_with = [&](const char* suffix) {
+    std::string_view sv(filename);
+    std::string_view s(suffix);
+    return sv.size() >= s.size() && sv.substr(sv.size() - s.size()) == s;
+  };
+  if (ends_with(".v") || ends_with(".sv")) return Language::kVerilog;
+  if (ends_with(".scala")) return Language::kScala;
+  if (ends_with(".bsv")) return Language::kBsv;
+  if (ends_with(".x")) return Language::kDslx;
+  if (ends_with(".maxj") || ends_with(".java")) return Language::kMaxj;
+  if (ends_with(".c") || ends_with(".h")) return Language::kC;
+  return Language::kConfig;
+}
+
+}  // namespace hlshc::core

@@ -1,0 +1,43 @@
+// The paper's L metric: lines of code, "excluding comments and blank
+// lines", including tool settings. Counted on the real per-language source
+// files shipped under data/ (as the paper counts its GitHub sources).
+#pragma once
+
+#include <string>
+
+namespace hlshc::core {
+
+enum class Language {
+  kVerilog,  ///< //, /* */
+  kScala,    ///< Chisel
+  kBsv,      ///< Bluespec SystemVerilog
+  kDslx,     ///< //
+  kMaxj,     ///< Java-flavoured
+  kC,
+  kConfig,   ///< tool option files: # comments
+};
+
+struct LocCount {
+  int code = 0;
+  int comment = 0;  ///< comment-only lines
+  int blank = 0;
+  int total() const { return code + comment + blank; }
+};
+
+/// Counts `text` with the language's comment syntax. A line containing any
+/// code counts as code even if it carries a trailing comment.
+LocCount count_loc(const std::string& text, Language language);
+
+/// Reads and counts a file under the data/ root (path relative to it).
+/// Throws hlshc::Error if the file is missing.
+LocCount count_data_file(const std::string& relative_path,
+                         Language language);
+
+/// Absolute path of a file under data/.
+std::string data_path(const std::string& relative_path);
+
+/// Guess the language from a filename extension (.v/.sv, .scala, .bsv,
+/// .x, .maxj, .c/.h, anything else = config).
+Language language_of(const std::string& filename);
+
+}  // namespace hlshc::core

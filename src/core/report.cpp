@@ -1,0 +1,95 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace hlshc::core {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      os << rows_[r][c];
+      if (c + 1 < rows_[r].size())
+        os << std::string(width[c] - rows_[r][c].size() + 2, ' ');
+    }
+    os << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string scatter_csv(const std::vector<ScatterPoint>& points) {
+  std::ostringstream os;
+  os << "family,config,throughput_mops,area,quality\n";
+  for (const ScatterPoint& p : points)
+    os << p.family << ',' << p.config << ','
+       << format_fixed(p.throughput_mops, 3) << ',' << p.area << ','
+       << format_fixed(p.quality(), 1) << '\n';
+  return os.str();
+}
+
+std::vector<ScatterPoint> pareto_front(std::vector<ScatterPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ScatterPoint& a, const ScatterPoint& b) {
+              if (a.area != b.area) return a.area < b.area;
+              return a.throughput_mops > b.throughput_mops;
+            });
+  std::vector<ScatterPoint> front;
+  double best_p = -1.0;
+  for (const ScatterPoint& p : points) {
+    if (p.throughput_mops > best_p) {
+      front.push_back(p);
+      best_p = p.throughput_mops;
+    }
+  }
+  return front;
+}
+
+std::string scatter_summary(const std::vector<ScatterPoint>& points) {
+  std::map<std::string, std::vector<const ScatterPoint*>> by_family;
+  for (const ScatterPoint& p : points) by_family[p.family].push_back(&p);
+  std::ostringstream os;
+  for (auto& [family, pts] : by_family) {
+    double best_q = 0, min_a = 1e18, max_p = 0;
+    const ScatterPoint* best = nullptr;
+    for (const ScatterPoint* p : pts) {
+      if (p->quality() > best_q) {
+        best_q = p->quality();
+        best = p;
+      }
+      min_a = std::min(min_a, static_cast<double>(p->area));
+      max_p = std::max(max_p, p->throughput_mops);
+    }
+    os << family << ": " << pts.size() << " circuits, best Q="
+       << format_fixed(best_q, 1);
+    if (best) os << " (" << best->config << ')';
+    os << ", max P=" << format_fixed(max_p, 2) << " MOPS, min A="
+       << format_grouped(static_cast<long long>(min_a)) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hlshc::core

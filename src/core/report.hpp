@@ -1,0 +1,46 @@
+// Report rendering: fixed-width ASCII tables (the bench binaries print
+// Table I / Table II in the paper's layout) and CSV/TSV series emitters
+// for Fig. 1's Performance x Area scatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlshc::core {
+
+/// Simple column-aligned table. Rows are added as string cells; render()
+/// pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One Fig. 1 scatter point.
+struct ScatterPoint {
+  std::string family;   ///< "verilog", "chisel", "bsv", "xls", "maxj", ...
+  std::string config;   ///< option label
+  double throughput_mops = 0.0;
+  long area = 0;
+  double quality() const {
+    return area > 0 ? throughput_mops * 1e6 / static_cast<double>(area) : 0;
+  }
+};
+
+/// CSV with header: family,config,throughput_mops,area,quality.
+std::string scatter_csv(const std::vector<ScatterPoint>& points);
+
+/// A text rendering of the scatter grouped by family (for bench output).
+std::string scatter_summary(const std::vector<ScatterPoint>& points);
+
+/// Pareto frontier of the Performance x Area plane: the circuits no other
+/// circuit beats on both throughput (higher better) and area (lower
+/// better). Returned sorted by ascending area. This is the "which tool
+/// wins where" reading of Fig. 1.
+std::vector<ScatterPoint> pareto_front(std::vector<ScatterPoint> points);
+
+}  // namespace hlshc::core

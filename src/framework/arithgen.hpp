@@ -1,0 +1,45 @@
+// Specialized arithmetic generators (the FloPoCo role in the paper's
+// future-work sketch: "lower-level tools, both universal ... and
+// specialized (e.g., FloPoCo)").
+//
+// Each generator emits a small pure-dataflow netlist function with the
+// framework's pass-kernel port discipline, so generated units compose with
+// everything else:
+//
+//   * generate_const_multiplier — x * C as an explicit CSD shift-add tree
+//     ("i0" -> "o0"). Unlike the cost model (which only *prices* the CSD
+//     form), this builds the actual adders, so the unit can be simulated,
+//     pipelined by the XLS scheduler, emitted as Verilog, and dropped into
+//     a datapath in place of a DSP multiply.
+//
+//   * generate_dot_product — sum(x_k * C_k) over fixed constants, the
+//     building block of filter/transform generators (one IDCT butterfly
+//     stage is exactly such a unit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::framework {
+
+struct ArithGenOptions {
+  int input_width = 16;
+  int output_width = 32;
+  bool csd = true;  ///< CSD recoding (false: plain binary shift-add)
+};
+
+/// x * constant as a shift-add tree. Ports: i0 -> o0.
+netlist::Design generate_const_multiplier(int64_t constant,
+                                          const ArithGenOptions& options,
+                                          const std::string& name);
+
+/// sum_k (x_k * constants[k]) as shift-add trees + a balanced adder tree.
+/// Ports: i0..iN-1 -> o0.
+netlist::Design generate_dot_product(const std::vector<int64_t>& constants,
+                                     const ArithGenOptions& options,
+                                     const std::string& name);
+
+}  // namespace hlshc::framework

@@ -1,0 +1,343 @@
+#include "framework/compose.hpp"
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "base/check.hpp"
+#include "netlist/instantiate.hpp"
+#include "rtl/units.hpp"
+
+namespace hlshc::framework {
+
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+
+struct StreamIo {
+  std::array<NodeId, 8> lane;
+  NodeId s_valid, m_ready;
+};
+
+StreamIo make_stream_inputs(Design& d) {
+  StreamIo io{};
+  for (int c = 0; c < 8; ++c)
+    io.lane[static_cast<size_t>(c)] =
+        d.input(axis::lane_port("s", c), axis::kInElemWidth);
+  io.s_valid = d.input("s_tvalid", 1);
+  d.input("s_tlast", 1);
+  io.m_ready = d.input("m_tready", 1);
+  return io;
+}
+
+}  // namespace
+
+netlist::Design wrap_matrix_kernel(const MatrixKernel& kernel,
+                                   const std::string& name) {
+  const int L = kernel.latency;
+  HLSHC_CHECK(L >= 0, "negative kernel latency");
+
+  Design d(name);
+  StreamIo io = make_stream_inputs(d);
+
+  // ---- state ---------------------------------------------------------------
+  NodeId in_cnt = d.reg(3, 0, "in_cnt");
+  NodeId pend = d.reg(1, 0, "pend");
+  NodeId in_flight = d.reg(3, 0, "in_flight");  // 0..2 credits, kept positive
+  NodeId cap_ptr = d.reg(1, 0, "cap_ptr");
+  NodeId out_full0 = d.reg(1, 0, "out_full0");
+  NodeId out_full1 = d.reg(1, 0, "out_full1");
+  NodeId out_cnt = d.reg(3, 0, "out_cnt");
+  NodeId out_rptr = d.reg(1, 0, "out_rptr");
+
+  std::array<std::array<NodeId, 8>, 8> in_regs;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      in_regs[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          d.reg(axis::kInElemWidth, 0,
+                "in_r" + std::to_string(r) + "c" + std::to_string(c));
+
+  auto sel2 = [&](NodeId ptr, NodeId v0, NodeId v1) {
+    return d.mux(ptr, v1, v0, d.node(v0).width);
+  };
+  auto is7 = [&](NodeId cnt) { return d.eq(cnt, d.constant(3, 7)); };
+  auto inc = [&](NodeId cnt) { return d.add(cnt, d.constant(3, 1), 3); };
+  auto hold = [&](NodeId c, NodeId a, NodeId keep) {
+    return d.mux(c, a, keep, d.node(keep).width);
+  };
+
+  // ---- output serializer -----------------------------------------------------
+  NodeId m_valid = sel2(out_rptr, out_full0, out_full1);
+  NodeId out_fire = d.band(m_valid, io.m_ready, 1);
+  NodeId out_last = is7(out_cnt);
+  NodeId out_done = d.band(out_fire, out_last, 1);
+  d.set_reg_next(out_cnt, hold(out_fire, inc(out_cnt), out_cnt));
+  d.set_reg_next(out_rptr, hold(out_done, d.bnot(out_rptr, 1), out_rptr));
+  d.output("m_tvalid", m_valid);
+  d.output("m_tlast", out_last);
+
+  // ---- launch control ---------------------------------------------------------
+  // Two capture banks = two credits; a launch is allowed when a slot is
+  // free or frees this very cycle, which sustains one matrix per 8 beats
+  // and stays safe under back-pressure.
+  NodeId slots_free = d.slt(in_flight, d.constant(3, 2));
+  NodeId launch = d.band(pend, d.bor(slots_free, out_done, 1), 1);
+  NodeId s_ready = d.bor(d.bnot(pend, 1), launch, 1);
+  NodeId in_fire = d.band(io.s_valid, s_ready, 1);
+  NodeId in_last_fire = d.band(in_fire, is7(in_cnt), 1);
+  d.output("s_tready", s_ready);
+  d.set_reg_next(in_cnt, hold(in_fire, inc(in_cnt), in_cnt));
+  d.set_reg_next(pend, d.bor(in_last_fire,
+                             d.band(pend, d.bnot(launch, 1), 1), 1));
+  {
+    NodeId up = d.zext(launch, 3);
+    NodeId down = d.zext(out_done, 3);
+    d.set_reg_next(in_flight, d.sub(d.add(in_flight, up, 3), down, 3));
+  }
+
+  // ---- input collector ---------------------------------------------------------
+  for (int r = 0; r < 8; ++r) {
+    NodeId en = d.band(in_fire, d.eq(in_cnt, d.constant(3, r)), 1);
+    for (int c = 0; c < 8; ++c)
+      d.set_reg_next(in_regs[static_cast<size_t>(r)][static_cast<size_t>(c)],
+                     io.lane[static_cast<size_t>(c)], en);
+  }
+
+  // ---- kernel instance -----------------------------------------------------------
+  std::map<std::string, NodeId> kin;
+  for (int i = 0; i < 64; ++i)
+    kin["x" + std::to_string(i)] =
+        in_regs[static_cast<size_t>(i / 8)][static_cast<size_t>(i % 8)];
+  auto kout = netlist::instantiate(d, kernel.design, kin);
+
+  // ---- valid-token shift register tracking pipeline wavefronts -------------------
+  NodeId arrive = launch;
+  for (int i = 0; i < L; ++i) {
+    NodeId t = d.reg(1, 0, "token" + std::to_string(i));
+    d.set_reg_next(t, arrive);
+    arrive = t;
+  }
+
+  // ---- ping-pong capture banks ------------------------------------------------------
+  std::array<std::array<std::array<NodeId, 8>, 8>, 2> outbuf;
+  for (int b = 0; b < 2; ++b) {
+    NodeId bank_en = d.band(arrive, d.eq(cap_ptr, d.constant(1, b)), 1);
+    for (int r = 0; r < 8; ++r)
+      for (int c = 0; c < 8; ++c) {
+        NodeId y = kout.at("y" + std::to_string(r * 8 + c));
+        NodeId reg = d.reg(axis::kOutElemWidth, 0,
+                           "outbuf" + std::to_string(b) + "_r" +
+                               std::to_string(r) + "c" + std::to_string(c));
+        d.set_reg_next(reg, d.slice(y, axis::kOutElemWidth - 1, 0), bank_en);
+        outbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
+              [static_cast<size_t>(c)] = reg;
+      }
+  }
+  d.set_reg_next(cap_ptr, hold(arrive, d.bnot(cap_ptr, 1), cap_ptr));
+
+  auto full_next = [&](NodeId cur, int b) {
+    NodeId set_here = d.band(arrive, d.eq(cap_ptr, d.constant(1, b)), 1);
+    NodeId clr_here = d.band(out_done, d.eq(out_rptr, d.constant(1, b)), 1);
+    // Same-cycle refill wins over the drain's clear.
+    return d.mux(set_here, d.constant(1, 1),
+                 d.mux(clr_here, d.constant(1, 0), cur, 1), 1);
+  };
+  d.set_reg_next(out_full0, full_next(out_full0, 0));
+  d.set_reg_next(out_full1, full_next(out_full1, 1));
+
+  for (int c = 0; c < 8; ++c) {
+    std::vector<NodeId> r0, r1;
+    for (int r = 0; r < 8; ++r) {
+      r0.push_back(outbuf[0][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      r1.push_back(outbuf[1][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    d.output(axis::lane_port("m", c),
+             sel2(out_rptr, rtl::mux_by_index(d, out_cnt, r0),
+                  rtl::mux_by_index(d, out_cnt, r1)));
+  }
+  return d;
+}
+
+netlist::Design compose_row_col(const PassKernel& row, const PassKernel& col,
+                                int row_store_width,
+                                const std::string& name) {
+  const int Lr = row.latency, Lc = col.latency;
+  HLSHC_CHECK(row_store_width >= 9 && row_store_width <= 32,
+              "bad row store width " << row_store_width);
+
+  Design d(name);
+  StreamIo io = make_stream_inputs(d);
+
+  // ---- state -------------------------------------------------------------------
+  NodeId in_cnt = d.reg(3, 0, "in_cnt");
+  NodeId in_buf = d.reg(1, 0, "in_buf");
+  NodeId row_full0 = d.reg(1, 0, "row_full0");
+  NodeId row_full1 = d.reg(1, 0, "row_full1");
+  NodeId col_cnt = d.reg(3, 0, "col_cnt");
+  NodeId col_rptr = d.reg(1, 0, "col_rptr");
+  NodeId col_wptr = d.reg(1, 0, "col_wptr");
+  NodeId resv0 = d.reg(1, 0, "resv0");
+  NodeId resv1 = d.reg(1, 0, "resv1");
+  NodeId out_full0 = d.reg(1, 0, "out_full0");
+  NodeId out_full1 = d.reg(1, 0, "out_full1");
+  NodeId out_cnt = d.reg(3, 0, "out_cnt");
+  NodeId out_rptr = d.reg(1, 0, "out_rptr");
+
+  auto sel2 = [&](NodeId p, NodeId a, NodeId b) {
+    return d.mux(p, b, a, d.node(a).width);
+  };
+  auto is7 = [&](NodeId c) { return d.eq(c, d.constant(3, 7)); };
+  auto inc = [&](NodeId c) { return d.add(c, d.constant(3, 1), 3); };
+  auto hold = [&](NodeId cnd, NodeId a, NodeId keep) {
+    return d.mux(cnd, a, keep, d.node(keep).width);
+  };
+
+  // ---- input + row pipeline -------------------------------------------------------
+  NodeId s_ready = d.bnot(sel2(in_buf, row_full0, row_full1), 1);
+  NodeId in_fire = d.band(io.s_valid, s_ready, 1);
+  NodeId in_last_fire = d.band(in_fire, is7(in_cnt), 1);
+  d.output("s_tready", s_ready);
+  d.set_reg_next(in_cnt, hold(in_fire, inc(in_cnt), in_cnt));
+  d.set_reg_next(in_buf, hold(in_last_fire, d.bnot(in_buf, 1), in_buf));
+
+  std::map<std::string, NodeId> rk_in;
+  for (int c = 0; c < 8; ++c)
+    rk_in["i" + std::to_string(c)] = io.lane[static_cast<size_t>(c)];
+  auto rk_out = netlist::instantiate(d, row.design, rk_in);
+
+  // Write-token pipeline: (valid, row, bank) delayed Lr cycles with the
+  // data travelling through the row pipeline.
+  NodeId tok_v = in_fire, tok_row = in_cnt, tok_bank = in_buf;
+  for (int i = 0; i < Lr; ++i) {
+    NodeId v = d.reg(1, 0, "rtv" + std::to_string(i));
+    NodeId r = d.reg(3, 0, "rtr" + std::to_string(i));
+    NodeId b = d.reg(1, 0, "rtb" + std::to_string(i));
+    d.set_reg_next(v, tok_v);
+    d.set_reg_next(r, tok_row);
+    d.set_reg_next(b, tok_bank);
+    tok_v = v;
+    tok_row = r;
+    tok_bank = b;
+  }
+
+  std::array<std::array<std::array<NodeId, 8>, 8>, 2> rowbuf;
+  for (int b = 0; b < 2; ++b) {
+    NodeId bank = d.band(tok_v, d.eq(tok_bank, d.constant(1, b)), 1);
+    for (int r = 0; r < 8; ++r) {
+      NodeId en = d.band(bank, d.eq(tok_row, d.constant(3, r)), 1);
+      for (int c = 0; c < 8; ++c) {
+        NodeId reg = d.reg(row_store_width, 0,
+                           "rowbuf" + std::to_string(b) + "_r" +
+                               std::to_string(r) + "c" + std::to_string(c));
+        d.set_reg_next(reg,
+                       d.slice(rk_out.at("o" + std::to_string(c)),
+                               row_store_width - 1, 0),
+                       en);
+        rowbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
+              [static_cast<size_t>(c)] = reg;
+      }
+    }
+  }
+  NodeId row_done_tok = d.band(tok_v, d.eq(tok_row, d.constant(3, 7)), 1);
+
+  // ---- column engine + col pipeline -------------------------------------------------
+  NodeId row_avail = sel2(col_rptr, row_full0, row_full1);
+  NodeId out_free = d.bnot(sel2(col_wptr, resv0, resv1), 1);
+  NodeId col_proc = d.band(row_avail, out_free, 1);
+  NodeId col_done = d.band(col_proc, is7(col_cnt), 1);
+  d.set_reg_next(col_cnt, hold(col_proc, inc(col_cnt), col_cnt));
+  d.set_reg_next(col_rptr, hold(col_done, d.bnot(col_rptr, 1), col_rptr));
+  d.set_reg_next(col_wptr, hold(col_done, d.bnot(col_wptr, 1), col_wptr));
+
+  std::map<std::string, NodeId> ck_in;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<NodeId> e0, e1;
+    for (int c = 0; c < 8; ++c) {
+      e0.push_back(rowbuf[0][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      e1.push_back(rowbuf[1][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    ck_in["i" + std::to_string(r)] =
+        sel2(col_rptr, rtl::mux_by_index(d, col_cnt, e0),
+             rtl::mux_by_index(d, col_cnt, e1));
+  }
+  auto ck_out = netlist::instantiate(d, col.design, ck_in);
+
+  NodeId ctok_v = col_proc, ctok_col = col_cnt, ctok_bank = col_wptr;
+  for (int i = 0; i < Lc; ++i) {
+    NodeId v = d.reg(1, 0, "ctv" + std::to_string(i));
+    NodeId cc = d.reg(3, 0, "ctc" + std::to_string(i));
+    NodeId b = d.reg(1, 0, "ctb" + std::to_string(i));
+    d.set_reg_next(v, ctok_v);
+    d.set_reg_next(cc, ctok_col);
+    d.set_reg_next(b, ctok_bank);
+    ctok_v = v;
+    ctok_col = cc;
+    ctok_bank = b;
+  }
+
+  std::array<std::array<std::array<NodeId, 8>, 8>, 2> outbuf;
+  for (int b = 0; b < 2; ++b) {
+    NodeId bank = d.band(ctok_v, d.eq(ctok_bank, d.constant(1, b)), 1);
+    for (int c = 0; c < 8; ++c) {
+      NodeId en = d.band(bank, d.eq(ctok_col, d.constant(3, c)), 1);
+      for (int r = 0; r < 8; ++r) {
+        NodeId reg = d.reg(axis::kOutElemWidth, 0,
+                           "outbuf" + std::to_string(b) + "_r" +
+                               std::to_string(r) + "c" + std::to_string(c));
+        d.set_reg_next(reg,
+                       d.slice(ck_out.at("o" + std::to_string(r)),
+                               axis::kOutElemWidth - 1, 0),
+                       en);
+        outbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
+              [static_cast<size_t>(c)] = reg;
+      }
+    }
+  }
+  NodeId col_done_tok = d.band(ctok_v, d.eq(ctok_col, d.constant(3, 7)), 1);
+
+  // ---- output serializer ---------------------------------------------------------------
+  NodeId m_valid = sel2(out_rptr, out_full0, out_full1);
+  NodeId out_fire = d.band(m_valid, io.m_ready, 1);
+  NodeId out_last = is7(out_cnt);
+  NodeId out_done = d.band(out_fire, out_last, 1);
+  d.set_reg_next(out_cnt, hold(out_fire, inc(out_cnt), out_cnt));
+  d.set_reg_next(out_rptr, hold(out_done, d.bnot(out_rptr, 1), out_rptr));
+  d.output("m_tvalid", m_valid);
+  d.output("m_tlast", out_last);
+  for (int c = 0; c < 8; ++c) {
+    std::vector<NodeId> r0, r1;
+    for (int r = 0; r < 8; ++r) {
+      r0.push_back(outbuf[0][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+      r1.push_back(outbuf[1][static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    d.output(axis::lane_port("m", c),
+             sel2(out_rptr, rtl::mux_by_index(d, out_cnt, r0),
+                  rtl::mux_by_index(d, out_cnt, r1)));
+  }
+
+  // ---- occupancy bookkeeping -------------------------------------------------------------
+  auto flag_next = [&](NodeId cur, int b, NodeId set_cond, NodeId set_ptr,
+                       NodeId clr_cond, NodeId clr_ptr) {
+    NodeId set_here = d.band(set_cond, d.eq(set_ptr, d.constant(1, b)), 1);
+    NodeId clr_here = d.band(clr_cond, d.eq(clr_ptr, d.constant(1, b)), 1);
+    return d.mux(set_here, d.constant(1, 1),
+                 d.mux(clr_here, d.constant(1, 0), cur, 1), 1);
+  };
+  d.set_reg_next(row_full0, flag_next(row_full0, 0, row_done_tok, tok_bank,
+                                      col_done, col_rptr));
+  d.set_reg_next(row_full1, flag_next(row_full1, 1, row_done_tok, tok_bank,
+                                      col_done, col_rptr));
+  d.set_reg_next(resv0, flag_next(resv0, 0, col_done, col_wptr, out_done,
+                                  out_rptr));
+  d.set_reg_next(resv1, flag_next(resv1, 1, col_done, col_wptr, out_done,
+                                  out_rptr));
+  d.set_reg_next(out_full0, flag_next(out_full0, 0, col_done_tok, ctok_bank,
+                                      out_done, out_rptr));
+  d.set_reg_next(out_full1, flag_next(out_full1, 1, col_done_tok, ctok_bank,
+                                      out_done, out_rptr));
+  return d;
+}
+
+}  // namespace hlshc::framework

@@ -1,0 +1,59 @@
+// The paper's future-work sketch, realized: an open composition framework.
+//
+// The conclusion of the paper proposes a tool where "individual units
+// (nodes) can be designed using various lower-level tools, both universal
+// (XLS, Chisel, BSV, Verilog, etc.) and specialized", with "the ability to
+// generate external and internal interfaces". This module is that
+// interface generator for our substrate:
+//
+//   * wrap_matrix_kernel() takes ANY pure dataflow matrix kernel — ports
+//     x0..x63 (12 bit) in, y0..y63 out, a fixed register latency — and
+//     generates the row-by-row AXI-Stream adapter around it (input
+//     collector, credit-managed launches, valid-token tracking, ping-pong
+//     capture banks, serializer). The XLS flow is one client.
+//
+//   * compose_row_col() takes a 1-D row-pass kernel and a 1-D column-pass
+//     kernel — each from ANY flow: the HLS compiler, the Chisel eDSL, a
+//     pipelined XLS function, hand-built netlists — and generates the
+//     row-rate streaming engine between them (ping-pong row buffers, the
+//     column walker, occupancy bookkeeping). The pragma-optimized Vivado
+//     HLS flow is one client; examples/mixed_flows.cpp composes an
+//     HLS-compiled row pass with a Chisel-built column pass.
+//
+// Kernels must be feed-forward (registers only as pipeline stages) with
+// uniform per-port widths; latency is the number of register layers from
+// input to output (0 = combinational).
+#pragma once
+
+#include <string>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::framework {
+
+/// Contract for a matrix kernel: inputs "x0".."x63" of 12 bits, outputs
+/// "y0".."y63" of >= 9 bits (low 9 bits are the samples).
+struct MatrixKernel {
+  const netlist::Design& design;
+  int latency = 0;
+};
+
+/// Contract for a 1-D pass kernel: inputs "i0".."i7", outputs "o0".."o7"
+/// (low bits hold the results; the wrapper slices).
+struct PassKernel {
+  const netlist::Design& design;
+  int latency = 0;
+};
+
+/// Generates the full AXI-Stream design around a matrix kernel.
+netlist::Design wrap_matrix_kernel(const MatrixKernel& kernel,
+                                   const std::string& name);
+
+/// Generates the row-rate streaming engine from a row pass and a column
+/// pass. `row_store_width` is the width of the buffered row results (and
+/// therefore of the column kernel's inputs).
+netlist::Design compose_row_col(const PassKernel& row, const PassKernel& col,
+                                int row_store_width,
+                                const std::string& name);
+
+}  // namespace hlshc::framework

@@ -1,0 +1,95 @@
+// AST for the HLS C subset.
+//
+// Types are `int` (32-bit), `short` (16-bit storage, promoted to int in
+// expressions, truncated on store — standard C semantics) and
+// fixed-size `short[N]` arrays passed by reference. Statements cover what
+// fixed-bound DSP kernels use: declarations, assignments (scalar and
+// array element), constant-bound for loops, if/else, expression calls and
+// return.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hlshc::hls {
+
+enum class BinOp {
+  kAdd, kSub, kMul, kShl, kShr, kAnd, kOr, kXor,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,    ///< value
+    kVar,       ///< name
+    kIndex,     ///< name[a]
+    kBinary,    ///< a op b
+    kTernary,   ///< a ? b : c
+    kCall,      ///< name(args)  (value-returning call in an expression)
+    kCastShort, ///< (short)a
+    kNeg,       ///< -a
+    kNot,       ///< !a
+  };
+  Kind kind;
+  int64_t value = 0;
+  std::string name;
+  BinOp op = BinOp::kAdd;
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kDecl,        ///< int name;  / int name = expr;
+    kAssign,      ///< name = expr;
+    kStore,       ///< name[idx] = expr;
+    kFor,         ///< for (init; cond; step) body   (constant trip count)
+    kIf,          ///< if (cond) then [else els]
+    kExpr,        ///< expr;  (call statement)
+    kReturn,      ///< return [expr];
+    kBlock,       ///< { ... }
+  };
+  Kind kind;
+  std::string name;         // decl/assign target
+  ExprPtr index;            // store index
+  ExprPtr expr;             // rhs / condition / return value / call
+  StmtPtr init, step;       // for
+  StmtPtr body, els;        // for body / if branches
+  std::vector<StmtPtr> stmts;  // block
+};
+
+struct Param {
+  std::string name;
+  bool is_array = false;
+  int array_size = 0;  ///< elements, for array params
+  bool is_short = false;
+};
+
+struct Function {
+  std::string name;
+  bool returns_value = false;  ///< int f(...) vs void f(...)
+  std::vector<Param> params;
+  StmtPtr body;  ///< a kBlock
+};
+
+struct Program {
+  std::vector<Function> functions;
+  const Function* find(const std::string& name) const {
+    for (const auto& f : functions)
+      if (f.name == name) return &f;
+    return nullptr;
+  }
+};
+
+/// Parses the token stream. Throws hlshc::Error with line info on errors.
+Program parse(const std::string& source);
+
+}  // namespace hlshc::hls

@@ -1,0 +1,435 @@
+#include "hls/codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace hlshc::hls {
+
+namespace {
+
+using netlist::Design;
+using netlist::kInvalidNode;
+using netlist::NodeId;
+
+constexpr int kWord = 32;   ///< C int datapath width
+constexpr int kShort = 16;  ///< array element width
+
+int clog2(int v) {
+  int w = 1;
+  while ((1 << w) < v) ++w;
+  return w;
+}
+
+/// Builds the FSM skeleton and shared-unit mux helpers.
+struct Fsm {
+  Design* d = nullptr;
+  NodeId state = kInvalidNode;
+  NodeId running = kInvalidNode;
+  int length = 0;
+  std::map<int, NodeId> state_eq;  ///< memoized (state == t)
+
+  NodeId at(int t) {
+    auto it = state_eq.find(t);
+    if (it != state_eq.end()) return it->second;
+    NodeId eq = d->eq(state, d->constant(d->node(state).width, t));
+    state_eq[t] = eq;
+    return eq;
+  }
+  NodeId firing_at(int t) { return d->band(running, at(t), 1); }
+
+  /// Balanced OR reduction (enable aggregation off the critical path).
+  NodeId or_reduce(std::vector<NodeId> terms) {
+    HLSHC_CHECK(!terms.empty(), "empty or_reduce");
+    while (terms.size() > 1) {
+      std::vector<NodeId> next;
+      next.reserve((terms.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < terms.size(); i += 2)
+        next.push_back(d->bor(terms[i], terms[i + 1], 1));
+      if (terms.size() % 2) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    return terms[0];
+  }
+
+  /// One-hot balanced selection: OR over (value AND sign-extended
+  /// state-match). States are mutually exclusive, so the OR is exact, and
+  /// the balanced tree keeps the select logic off the critical path — the
+  /// structure real FSMD datapaths (and our cost model) map to packed
+  /// mux LUTs.
+  NodeId select_by_state(const std::vector<std::pair<int, NodeId>>& entries,
+                         int width) {
+    HLSHC_CHECK(!entries.empty(), "empty state mux");
+    if (entries.size() == 1) {
+      NodeId v = entries[0].second;
+      return d->node(v).width == width ? v : d->sext(v, width);
+    }
+    std::vector<NodeId> terms;
+    terms.reserve(entries.size());
+    for (const auto& [t, value] : entries) {
+      NodeId v = value;
+      if (d->node(v).width != width) v = d->sext(v, width);
+      terms.push_back(d->band(v, d->sext(at(t), width), width));
+    }
+    while (terms.size() > 1) {
+      std::vector<NodeId> next;
+      next.reserve((terms.size() + 1) / 2);
+      for (size_t i = 0; i + 1 < terms.size(); i += 2)
+        next.push_back(d->bor(terms[i], terms[i + 1], width));
+      if (terms.size() % 2) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    return terms[0];
+  }
+};
+
+}  // namespace
+
+KernelResult codegen_sequential(const Dfg& dfg, const Schedule& sched,
+                                const ScheduleOptions& options,
+                                const std::string& name) {
+  const int n = static_cast<int>(dfg.nodes.size());
+  Design design(name);
+  Design* d = &design;
+
+  // ---- FSM -------------------------------------------------------------------
+  Fsm fsm;
+  fsm.d = d;
+  fsm.length = std::max(1, sched.length);
+  const int sw = clog2(fsm.length + 1);
+  fsm.state = d->reg(sw, 0, "state");
+  fsm.running = d->reg(1, 0, "running");
+  NodeId start = d->input("start", 1);
+  NodeId at_last = d->eq(fsm.state, d->constant(sw, fsm.length - 1));
+  NodeId launch = d->band(start, d->bnot(fsm.running, 1), 1);
+  d->set_reg_next(fsm.running,
+                  d->mux(launch, d->constant(1, 1),
+                         d->mux(d->band(fsm.running, at_last, 1),
+                                d->constant(1, 0), fsm.running, 1),
+                         1));
+  d->set_reg_next(
+      fsm.state,
+      d->mux(fsm.running,
+             d->mux(at_last, d->constant(sw, 0),
+                    d->add(fsm.state, d->constant(sw, 1), sw), sw),
+             d->constant(sw, 0), sw));
+  d->output("done", d->band(fsm.running, at_last, 1));
+
+  // ---- memory + external port --------------------------------------------------
+  const int aw = clog2(dfg.mem_size);
+  int mem = d->add_memory("block", kShort, dfg.mem_size);
+  NodeId ext_we = d->input("ext_we", 1);
+  NodeId ext_waddr = d->input("ext_waddr", aw);
+  NodeId ext_wdata = d->input("ext_wdata", kShort);
+  NodeId ext_raddr = d->input("ext_raddr", aw);
+  d->output("ext_rdata", d->mem_read(mem, ext_raddr));
+  d->mem_write(mem, ext_waddr, ext_wdata,
+               d->band(ext_we, d->bnot(fsm.running, 1), 1));
+
+  // ---- liveness + register allocation -------------------------------------------
+  std::vector<int> last_use(static_cast<size_t>(n), -1);
+  auto use = [&](int opnd, int at_cycle) {
+    if (opnd >= 0 && !dfg.is_const(opnd))
+      last_use[static_cast<size_t>(opnd)] =
+          std::max(last_use[static_cast<size_t>(opnd)], at_cycle);
+  };
+  for (int i = 0; i < n; ++i) {
+    const DNode& nd = dfg.node(i);
+    int c = sched.cycle[static_cast<size_t>(i)];
+    use(nd.a, c);
+    use(nd.b, c);
+    use(nd.c, c);
+  }
+  // A value needs a register iff a consumer reads it after its cycle (this
+  // is always the case for shared-unit outputs by construction).
+  std::vector<bool> needs_reg(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    if (dfg.is_const(i) || dfg.node(i).op == DOp::kStore) continue;
+    int def = sched.cycle[static_cast<size_t>(i)];
+    if (last_use[static_cast<size_t>(i)] > def) needs_reg[static_cast<size_t>(i)] = true;
+  }
+  // Linear scan: reuse a register whose previous value expired.
+  struct PhysReg {
+    int free_at = 0;  ///< first cycle a new def may claim it
+    std::vector<std::pair<int, int>> writers;  ///< (cycle, dfg node)
+  };
+  std::vector<PhysReg> regs;
+  std::vector<int> reg_of(static_cast<size_t>(n), -1);
+  {
+    std::vector<int> order;
+    for (int i = 0; i < n; ++i)
+      if (needs_reg[static_cast<size_t>(i)]) order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return sched.cycle[static_cast<size_t>(a)] <
+             sched.cycle[static_cast<size_t>(b)];
+    });
+    for (int i : order) {
+      int def = sched.cycle[static_cast<size_t>(i)];
+      int chosen = -1;
+      for (size_t r = 0; r < regs.size(); ++r) {
+        if (regs[r].free_at <= def) {
+          chosen = static_cast<int>(r);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        regs.push_back(PhysReg{});
+        chosen = static_cast<int>(regs.size() - 1);
+      }
+      regs[static_cast<size_t>(chosen)].free_at =
+          last_use[static_cast<size_t>(i)];
+      regs[static_cast<size_t>(chosen)].writers.emplace_back(def, i);
+      reg_of[static_cast<size_t>(i)] = chosen;
+    }
+  }
+
+  // ---- datapath -------------------------------------------------------------------
+  // comb_out[i]: the combinational wire computing node i in its cycle.
+  std::vector<NodeId> comb_out(static_cast<size_t>(n), kInvalidNode);
+  std::vector<NodeId> reg_node(regs.size(), kInvalidNode);
+  for (size_t r = 0; r < regs.size(); ++r)
+    reg_node[r] = d->reg(kWord, 0, "v" + std::to_string(r));
+
+  // Operand value as seen by a consumer scheduled at cycle t.
+  auto val = [&](int i, int t) -> NodeId {
+    HLSHC_CHECK(i >= 0, "missing operand");
+    if (dfg.is_const(i)) return d->constant(kWord, dfg.const_value(i));
+    int def = sched.cycle[static_cast<size_t>(i)];
+    if (def == t && !is_shared_output(dfg, i, options)) {
+      HLSHC_CHECK(comb_out[static_cast<size_t>(i)] != kInvalidNode,
+                  "comb value not yet built (chain order)");
+      return comb_out[static_cast<size_t>(i)];
+    }
+    int r = reg_of[static_cast<size_t>(i)];
+    HLSHC_CHECK(r >= 0, "value consumed later but not registered");
+    return reg_node[static_cast<size_t>(r)];
+  };
+
+  // Group shared ops per kind.
+  struct UnitOp {
+    int node;
+    int cycle;
+  };
+  std::vector<std::vector<UnitOp>> mul_insts, add_insts;
+  std::vector<std::vector<UnitOp>> read_ports(
+      static_cast<size_t>(options.mem_read_ports)),
+      write_ports(static_cast<size_t>(options.mem_write_ports));
+  {
+    std::map<int, int> muls_in_cycle, adds_in_cycle, reads_in_cycle,
+        writes_in_cycle;
+    for (int i = 0; i < n; ++i) {
+      if (dfg.is_const(i)) continue;
+      const DNode& nd = dfg.node(i);
+      int c = sched.cycle[static_cast<size_t>(i)];
+      switch (nd.op) {
+        case DOp::kMul: {
+          int k = muls_in_cycle[c]++;
+          if (static_cast<size_t>(k) >= mul_insts.size())
+            mul_insts.resize(static_cast<size_t>(k) + 1);
+          mul_insts[static_cast<size_t>(k)].push_back({i, c});
+          break;
+        }
+        case DOp::kAdd:
+        case DOp::kSub:
+        case DOp::kNeg:
+          if (options.add_units > 0) {
+            int k = adds_in_cycle[c]++;
+            if (static_cast<size_t>(k) >= add_insts.size())
+              add_insts.resize(static_cast<size_t>(k) + 1);
+            add_insts[static_cast<size_t>(k)].push_back({i, c});
+          }
+          break;
+        case DOp::kLoad:
+          read_ports[static_cast<size_t>(reads_in_cycle[c]++)].push_back(
+              {i, c});
+          break;
+        case DOp::kStore:
+          write_ports[static_cast<size_t>(writes_in_cycle[c]++)].push_back(
+              {i, c});
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Read ports first: their addresses are constants, so loads' comb values
+  // exist before any arithmetic that chains from them.
+  for (auto& port : read_ports) {
+    if (port.empty()) continue;
+    std::vector<std::pair<int, NodeId>> addrs;
+    for (const UnitOp& op : port)
+      addrs.emplace_back(op.cycle,
+                         d->constant(aw, dfg.node(op.node).imm));
+    NodeId addr = fsm.select_by_state(addrs, aw);
+    NodeId value = d->sext(d->mem_read(mem, addr), kWord);
+    for (const UnitOp& op : port) comb_out[static_cast<size_t>(op.node)] = value;
+  }
+
+  // Per-op combinational logic in index order (operands precede users, so
+  // same-cycle chains resolve). Shared mul/add units are built afterwards;
+  // their consumers read registers, never comb wires.
+  for (int i = 0; i < n; ++i) {
+    if (dfg.is_const(i)) continue;
+    const DNode& nd = dfg.node(i);
+    const int t = sched.cycle[static_cast<size_t>(i)];
+    switch (nd.op) {
+      case DOp::kMul:
+        break;  // shared unit
+      case DOp::kAdd:
+      case DOp::kSub:
+      case DOp::kNeg:
+        if (options.add_units > 0) break;  // shared unit
+        if (nd.op == DOp::kAdd)
+          comb_out[static_cast<size_t>(i)] =
+              d->add(val(nd.a, t), val(nd.b, t), kWord);
+        else if (nd.op == DOp::kSub)
+          comb_out[static_cast<size_t>(i)] =
+              d->sub(val(nd.a, t), val(nd.b, t), kWord);
+        else
+          comb_out[static_cast<size_t>(i)] = d->neg(val(nd.a, t), kWord);
+        break;
+      case DOp::kShl:
+      case DOp::kShr: {
+        HLSHC_CHECK(dfg.is_const(nd.b), "shift amount must be constant");
+        int amt = static_cast<int>(dfg.const_value(nd.b)) & 31;
+        comb_out[static_cast<size_t>(i)] =
+            nd.op == DOp::kShl ? d->shl(val(nd.a, t), amt, kWord)
+                               : d->ashr(val(nd.a, t), amt, kWord);
+        break;
+      }
+      case DOp::kAnd:
+        comb_out[static_cast<size_t>(i)] =
+            d->band(val(nd.a, t), val(nd.b, t), kWord);
+        break;
+      case DOp::kOr:
+        comb_out[static_cast<size_t>(i)] =
+            d->bor(val(nd.a, t), val(nd.b, t), kWord);
+        break;
+      case DOp::kXor:
+        comb_out[static_cast<size_t>(i)] =
+            d->bxor(val(nd.a, t), val(nd.b, t), kWord);
+        break;
+      case DOp::kLt:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->slt(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kGt:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->sgt(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kLe:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->sle(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kGe:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->sge(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kEq:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->eq(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kNe:
+        comb_out[static_cast<size_t>(i)] =
+            d->zext(d->ne(val(nd.a, t), val(nd.b, t)), kWord);
+        break;
+      case DOp::kSelect: {
+        NodeId cond = d->ne(val(nd.a, t), d->constant(kWord, 0));
+        comb_out[static_cast<size_t>(i)] =
+            d->mux(cond, val(nd.b, t), val(nd.c, t), kWord);
+        break;
+      }
+      case DOp::kNot:
+        comb_out[static_cast<size_t>(i)] = d->zext(
+            d->eq(val(nd.a, t), d->constant(kWord, 0)), kWord);
+        break;
+      case DOp::kCastShort:
+        comb_out[static_cast<size_t>(i)] =
+            d->sext(d->slice(val(nd.a, t), kShort - 1, 0), kWord);
+        break;
+      case DOp::kLoad:
+      case DOp::kStore:
+        break;  // ports handled separately
+      case DOp::kConst:
+        break;
+      case DOp::kInput:
+        HLSHC_CHECK(false, "leaf-mode DFGs use the streaming backend");
+        break;
+    }
+  }
+
+  // Shared multiplier units.
+  for (const auto& inst : mul_insts) {
+    if (inst.empty()) continue;
+    std::vector<std::pair<int, NodeId>> ea, eb;
+    for (const UnitOp& op : inst) {
+      const DNode& nd = dfg.node(op.node);
+      ea.emplace_back(op.cycle, val(nd.a, op.cycle));
+      eb.emplace_back(op.cycle, val(nd.b, op.cycle));
+    }
+    NodeId out = d->mul(fsm.select_by_state(ea, kWord),
+                        fsm.select_by_state(eb, kWord), kWord);
+    for (const UnitOp& op : inst) comb_out[static_cast<size_t>(op.node)] = out;
+  }
+  // Shared add/sub units (one adder + one subtractor path, muxed).
+  for (const auto& inst : add_insts) {
+    if (inst.empty()) continue;
+    std::vector<std::pair<int, NodeId>> ea, eb, esub;
+    for (const UnitOp& op : inst) {
+      const DNode& nd = dfg.node(op.node);
+      bool is_sub = nd.op != DOp::kAdd;
+      NodeId a = nd.op == DOp::kNeg ? d->constant(kWord, 0)
+                                    : val(nd.a, op.cycle);
+      NodeId b = nd.op == DOp::kNeg ? val(nd.a, op.cycle)
+                                    : val(nd.b, op.cycle);
+      ea.emplace_back(op.cycle, a);
+      eb.emplace_back(op.cycle, b);
+      esub.emplace_back(op.cycle, d->constant(1, is_sub ? 1 : 0));
+    }
+    NodeId a = fsm.select_by_state(ea, kWord);
+    NodeId b = fsm.select_by_state(eb, kWord);
+    NodeId is_sub = fsm.select_by_state(esub, 1);
+    NodeId out =
+        d->mux(is_sub, d->sub(a, b, kWord), d->add(a, b, kWord), kWord);
+    for (const UnitOp& op : inst) comb_out[static_cast<size_t>(op.node)] = out;
+  }
+
+  // Write ports.
+  for (auto& port : write_ports) {
+    if (port.empty()) continue;
+    std::vector<std::pair<int, NodeId>> addrs, datas;
+    std::vector<NodeId> fires;
+    for (const UnitOp& op : port) {
+      const DNode& nd = dfg.node(op.node);
+      addrs.emplace_back(op.cycle, d->constant(aw, nd.imm));
+      datas.emplace_back(op.cycle,
+                         d->slice(val(nd.a, op.cycle), kShort - 1, 0));
+      fires.push_back(fsm.firing_at(op.cycle));
+    }
+    d->mem_write(mem, fsm.select_by_state(addrs, aw),
+                 fsm.select_by_state(datas, kShort), fsm.or_reduce(fires));
+  }
+
+  // Value registers.
+  for (size_t r = 0; r < regs.size(); ++r) {
+    std::vector<std::pair<int, NodeId>> writes;
+    std::vector<NodeId> fires;
+    for (auto [cyc, node] : regs[r].writers) {
+      writes.emplace_back(cyc, comb_out[static_cast<size_t>(node)]);
+      fires.push_back(fsm.firing_at(cyc));
+    }
+    d->set_reg_next(reg_node[r], fsm.select_by_state(writes, kWord),
+                    fsm.or_reduce(fires));
+  }
+
+  KernelResult res{std::move(design), fsm.length,
+                   static_cast<int>(regs.size()),
+                   static_cast<int>(mul_insts.size()),
+                   static_cast<int>(add_insts.size())};
+  return res;
+}
+
+}  // namespace hlshc::hls

@@ -1,0 +1,41 @@
+// HLS backend: FSM + datapath code generation.
+//
+// codegen_sequential() turns a scheduled DFG into a netlist kernel:
+//
+//   * a state counter steps through the schedule while `running`;
+//   * shared functional units — multipliers (bound to DSPs, which is why
+//     the paper's Bambu designs use only a handful of DSP blocks), shared
+//     adders when configured, and the memory read/write ports — receive
+//     their per-state operands through state-selected input muxes;
+//   * cheap operators (logic, selects, unshared adds, wiring) are
+//     instantiated per operation;
+//   * values that live across cycles are kept in a register file allocated
+//     by linear-scan over live ranges (a fresh register per value would
+//     triple the flip-flop bill);
+//   * the kernel owns the block RAM; an external port (ext_*) lets the
+//     AXI-Stream adapter fill and drain it while the kernel is idle.
+//
+// Kernel interface: start -> done, ext_we/ext_waddr/ext_wdata,
+// ext_raddr -> ext_rdata.
+#pragma once
+
+#include <string>
+
+#include "hls/schedule.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::hls {
+
+struct KernelResult {
+  netlist::Design design;
+  int latency = 0;        ///< FSM states from start to done
+  int value_regs = 0;     ///< registers allocated by linear scan
+  int mul_units = 0;
+  int add_units = 0;      ///< 0 when adders are unshared
+};
+
+KernelResult codegen_sequential(const Dfg& dfg, const Schedule& sched,
+                                const ScheduleOptions& options,
+                                const std::string& name);
+
+}  // namespace hlshc::hls

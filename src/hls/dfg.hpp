@@ -1,0 +1,99 @@
+// Dataflow graph: the HLS compiler's mid-level IR.
+//
+// Lowering executes the AST symbolically — constant-bound loops fully
+// unrolled, calls inlined (always for semantics; "non-inlined" calls keep
+// a region tag so the backend can reproduce module-per-function costs),
+// scalar variables renamed SSA-style — leaving one straight-line DFG of
+// 32-bit operations plus Load/Store ops against the top function's array.
+//
+// Because every index expression folds to a constant after unrolling, all
+// memory addresses are exact; dependence edges (RAW with 1-cycle latency,
+// WAW, WAR with 0-cycle latency) are computed per address, which is what
+// lets the list scheduler overlap independent loads aggressively — the
+// same precision real HLS gets from array dependence analysis here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hlshc::hls {
+
+struct Program;  // ast.hpp
+
+enum class DOp : uint8_t {
+  kConst,
+  kAdd, kSub, kMul, kShl, kShr, kAnd, kOr, kXor,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kSelect,     ///< a ? b : c
+  kNeg, kNot,
+  kCastShort,  ///< truncate to 16 bits, sign-extend back (C (short) cast)
+  kLoad,       ///< memory[imm]; value is sign-extended short
+  kStore,      ///< memory[imm] = a (stored as short)
+  kInput,      ///< leaf-mode scalar input for array element `imm`
+};
+
+struct DNode {
+  DOp op = DOp::kConst;
+  int64_t imm = 0;   ///< constant value, or memory address for Load/Store
+  int a = -1, b = -1, c = -1;  ///< operand node ids
+  int region = 0;    ///< call-instance tag (0 = top-level code)
+};
+
+struct Dfg {
+  std::vector<DNode> nodes;
+  int mem_size = 64;     ///< words in the external array
+  int regions = 1;       ///< number of region tags in use
+
+  int add_node(DNode n) {
+    nodes.push_back(n);
+    return static_cast<int>(nodes.size() - 1);
+  }
+  const DNode& node(int i) const { return nodes[static_cast<size_t>(i)]; }
+  bool is_const(int i) const { return node(i).op == DOp::kConst; }
+  int64_t const_value(int i) const { return node(i).imm; }
+};
+
+/// Dependence edge for scheduling: `to` may start `latency` cycles after
+/// `from` (latency 0 allows the same cycle).
+struct DepEdge {
+  int from = 0, to = 0, latency = 1;
+};
+
+/// Data edges (operand -> user, latency 0 chaining-permitted) plus memory
+/// ordering edges derived from the exact addresses.
+std::vector<DepEdge> dependence_edges(const Dfg& dfg);
+
+struct LowerOptions {
+  /// false reproduces Vivado HLS's default of *not* inlining sub-functions:
+  /// every call instance gets its own region; the scheduler serializes
+  /// regions and charges per-call interface-transfer overhead.
+  bool inline_functions = true;
+  int max_loop_iterations = 4096;  ///< unroll guard
+};
+
+/// Lowers `top`'s body. The top function must take exactly one short[]
+/// array parameter (the paper's `void idct(short block[64])`).
+Dfg lower(const Program& program, const std::string& top,
+          const LowerOptions& options = {});
+
+/// Leaf-mode lowering: compiles one 1-D pass function (idctrow / idctcol)
+/// into a *pure dataflow* function over scalars — array loads become
+/// kInput nodes, the final store per address becomes an output. This is
+/// the form Vivado HLS effectively reaches after INTERFACE axis + PIPELINE
+/// + array scalarization, and it feeds the streaming backend.
+struct LeafDfg {
+  Dfg dfg;
+  std::vector<int64_t> input_addrs;          ///< sorted
+  std::vector<std::pair<int64_t, int>> outputs;  ///< (addr, node), sorted
+};
+
+LeafDfg lower_leaf(const Program& program, const std::string& function,
+                   int64_t off_value = 0);
+
+/// Reference interpreter for the DFG: applies it to a 64-word memory image.
+/// Used by tests to validate lowering before any hardware is generated.
+void interpret(const Dfg& dfg, std::vector<int32_t>& memory);
+
+}  // namespace hlshc::hls

@@ -1,0 +1,236 @@
+#include "hls/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace hlshc::hls {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const char* token_name(Tok t) {
+  switch (t) {
+    case Tok::kEnd: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwShort: return "short";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwStatic: return "static";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwReturn: return "return";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kEqEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kNot: return "!";
+    case Tok::kQuestion: return "?";
+    case Tok::kColon: return ":";
+    case Tok::kPlusPlus: return "++";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  std::map<std::string, int64_t> defines;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? source[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      HLSHC_CHECK(i + 1 < n, "unterminated comment at line " << line);
+      i += 2;
+      continue;
+    }
+    // Preprocessor: only "#define NAME VALUE" (value may be an integer or
+    // a previously defined macro).
+    if (c == '#') {
+      size_t eol = source.find('\n', i);
+      std::string directive =
+          source.substr(i, eol == std::string::npos ? n - i : eol - i);
+      auto parts = split(std::string(trim(directive)), ' ');
+      std::vector<std::string> words;
+      for (auto& p : parts)
+        if (!is_blank(p)) words.push_back(std::string(trim(p)));
+      HLSHC_CHECK(words.size() >= 3 && words[0] == "#define",
+                  "unsupported preprocessor directive at line "
+                      << line << ": " << directive);
+      int64_t value = 0;
+      const std::string& v = words[2];
+      if (defines.count(v)) {
+        value = defines[v];
+      } else {
+        try {
+          value = std::stoll(v, nullptr, 0);
+        } catch (...) {
+          HLSHC_CHECK(false, "#define value '" << v
+                                               << "' is not an integer (line "
+                                               << line << ')');
+        }
+      }
+      defines[words[1]] = value;
+      i = eol == std::string::npos ? n : eol;
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isalnum(static_cast<unsigned char>(source[i])))
+        ++i;
+      std::string text = source.substr(start, i - start);
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = text;
+      t.line = line;
+      t.value = std::stoll(text, nullptr, 0);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords / macro uses.
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      std::string text = source.substr(start, i - start);
+      Token t;
+      t.line = line;
+      if (auto it = defines.find(text); it != defines.end()) {
+        t.kind = Tok::kNumber;
+        t.value = it->second;
+        t.text = text;
+      } else if (text == "int") {
+        t.kind = Tok::kKwInt;
+      } else if (text == "short") {
+        t.kind = Tok::kKwShort;
+      } else if (text == "void") {
+        t.kind = Tok::kKwVoid;
+      } else if (text == "static") {
+        t.kind = Tok::kKwStatic;
+      } else if (text == "for") {
+        t.kind = Tok::kKwFor;
+      } else if (text == "if") {
+        t.kind = Tok::kKwIf;
+      } else if (text == "else") {
+        t.kind = Tok::kKwElse;
+      } else if (text == "return") {
+        t.kind = Tok::kKwReturn;
+      } else {
+        t.kind = Tok::kIdent;
+        t.text = text;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    auto push = [&](Tok k, int len) {
+      Token t;
+      t.kind = k;
+      t.line = line;
+      out.push_back(std::move(t));
+      i += static_cast<size_t>(len);
+    };
+    switch (c) {
+      case '(': push(Tok::kLParen, 1); break;
+      case ')': push(Tok::kRParen, 1); break;
+      case '{': push(Tok::kLBrace, 1); break;
+      case '}': push(Tok::kRBrace, 1); break;
+      case '[': push(Tok::kLBracket, 1); break;
+      case ']': push(Tok::kRBracket, 1); break;
+      case ',': push(Tok::kComma, 1); break;
+      case ';': push(Tok::kSemi, 1); break;
+      case '?': push(Tok::kQuestion, 1); break;
+      case ':': push(Tok::kColon, 1); break;
+      case '+':
+        peek(1) == '+' ? push(Tok::kPlusPlus, 2) : push(Tok::kPlus, 1);
+        break;
+      case '-': push(Tok::kMinus, 1); break;
+      case '*': push(Tok::kStar, 1); break;
+      case '&': push(Tok::kAmp, 1); break;
+      case '|': push(Tok::kPipe, 1); break;
+      case '^': push(Tok::kCaret, 1); break;
+      case '=':
+        peek(1) == '=' ? push(Tok::kEqEq, 2) : push(Tok::kAssign, 1);
+        break;
+      case '!':
+        peek(1) == '=' ? push(Tok::kNe, 2) : push(Tok::kNot, 1);
+        break;
+      case '<':
+        if (peek(1) == '<') push(Tok::kShl, 2);
+        else if (peek(1) == '=') push(Tok::kLe, 2);
+        else push(Tok::kLt, 1);
+        break;
+      case '>':
+        if (peek(1) == '>') push(Tok::kShr, 2);
+        else if (peek(1) == '=') push(Tok::kGe, 2);
+        else push(Tok::kGt, 1);
+        break;
+      default:
+        HLSHC_CHECK(false, "unexpected character '" << c << "' at line "
+                                                    << line);
+    }
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace hlshc::hls

@@ -1,0 +1,38 @@
+// Lexer for the C subset consumed by the mini HLS compiler.
+//
+// Handles exactly what HLS-able fixed-point kernels like the ISO IDCT use:
+// identifiers, integer literals, the full C operator set we schedule
+// (+ - * << >> & | ^ ?: comparisons, assignment), punctuation, both
+// comment styles, and #define object macros (expanded textually, like a
+// one-level preprocessor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlshc::hls {
+
+enum class Tok : uint8_t {
+  kEnd, kIdent, kNumber,
+  kKwInt, kKwShort, kKwVoid, kKwStatic, kKwFor, kKwIf, kKwElse, kKwReturn,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  kAssign, kPlus, kMinus, kStar, kShl, kShr, kAmp, kPipe, kCaret,
+  kLt, kGt, kLe, kGe, kEqEq, kNe, kNot, kQuestion, kColon, kPlusPlus,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t value = 0;  ///< for kNumber
+  int line = 0;
+};
+
+/// Tokenizes `source`; expands #define NAME VALUE macros; strips comments.
+/// Throws hlshc::Error with a line number on unknown input.
+std::vector<Token> lex(const std::string& source);
+
+const char* token_name(Tok t);
+
+}  // namespace hlshc::hls

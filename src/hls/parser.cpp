@@ -1,0 +1,368 @@
+#include <map>
+
+#include "base/check.hpp"
+#include "hls/ast.hpp"
+#include "hls/lexer.hpp"
+
+namespace hlshc::hls {
+
+namespace {
+
+/// Recursive-descent parser with C precedence for the supported operators.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program prog;
+    while (!at(Tok::kEnd)) prog.functions.push_back(parse_function());
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token eat() { return toks_[pos_++]; }
+  Token expect(Tok k) {
+    HLSHC_CHECK(at(k), "line " << cur().line << ": expected '"
+                               << token_name(k) << "', found '"
+                               << token_name(cur().kind) << '\'');
+    return eat();
+  }
+  bool accept(Tok k) {
+    if (at(k)) {
+      eat();
+      return true;
+    }
+    return false;
+  }
+
+  Function parse_function() {
+    accept(Tok::kKwStatic);
+    bool returns_value;
+    if (accept(Tok::kKwVoid)) {
+      returns_value = false;
+    } else if (accept(Tok::kKwInt) || accept(Tok::kKwShort)) {
+      returns_value = true;
+    } else {
+      HLSHC_CHECK(false, "line " << cur().line
+                                 << ": expected a function return type");
+      returns_value = false;
+    }
+    Function fn;
+    fn.returns_value = returns_value;
+    fn.name = expect(Tok::kIdent).text;
+    expect(Tok::kLParen);
+    if (!at(Tok::kRParen)) {
+      do {
+        Param p;
+        if (accept(Tok::kKwShort)) p.is_short = true;
+        else expect(Tok::kKwInt);
+        p.name = expect(Tok::kIdent).text;
+        if (accept(Tok::kLBracket)) {
+          p.is_array = true;
+          p.array_size = static_cast<int>(expect(Tok::kNumber).value);
+          expect(Tok::kRBracket);
+        }
+        fn.params.push_back(std::move(p));
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen);
+    fn.body = parse_block();
+    return fn;
+  }
+
+  StmtPtr parse_block() {
+    expect(Tok::kLBrace);
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    while (!at(Tok::kRBrace)) block->stmts.push_back(parse_statement());
+    expect(Tok::kRBrace);
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    if (at(Tok::kLBrace)) return parse_block();
+    if (at(Tok::kKwInt) || at(Tok::kKwShort)) return parse_decl();
+    if (accept(Tok::kKwReturn)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kReturn;
+      if (!at(Tok::kSemi)) s->expr = parse_expr();
+      expect(Tok::kSemi);
+      return s;
+    }
+    if (accept(Tok::kKwFor)) return parse_for();
+    if (accept(Tok::kKwIf)) return parse_if();
+    // assignment / store / expression statement
+    StmtPtr s = parse_simple_statement();
+    expect(Tok::kSemi);
+    return s;
+  }
+
+  StmtPtr parse_decl() {
+    eat();  // int | short (locals are promoted to int anyway)
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kDecl;
+    s->name = expect(Tok::kIdent).text;
+    if (accept(Tok::kAssign)) s->expr = parse_expr();
+    expect(Tok::kSemi);
+    return s;
+  }
+
+  /// assignment, array store, increment, or call — without the ';'.
+  StmtPtr parse_simple_statement() {
+    HLSHC_CHECK(at(Tok::kIdent), "line " << cur().line
+                                         << ": expected a statement");
+    std::string name = eat().text;
+    auto s = std::make_unique<Stmt>();
+    if (accept(Tok::kLBracket)) {
+      s->kind = Stmt::Kind::kStore;
+      s->name = std::move(name);
+      s->index = parse_expr();
+      expect(Tok::kRBracket);
+      expect(Tok::kAssign);
+      s->expr = parse_expr();
+      return s;
+    }
+    if (accept(Tok::kAssign)) {
+      s->kind = Stmt::Kind::kAssign;
+      s->name = std::move(name);
+      s->expr = parse_expr();
+      return s;
+    }
+    if (accept(Tok::kPlusPlus)) {
+      // i++ desugars to i = i + 1.
+      s->kind = Stmt::Kind::kAssign;
+      s->name = name;
+      auto var = std::make_unique<Expr>();
+      var->kind = Expr::Kind::kVar;
+      var->name = name;
+      auto one = std::make_unique<Expr>();
+      one->kind = Expr::Kind::kNumber;
+      one->value = 1;
+      auto add = std::make_unique<Expr>();
+      add->kind = Expr::Kind::kBinary;
+      add->op = BinOp::kAdd;
+      add->a = std::move(var);
+      add->b = std::move(one);
+      s->expr = std::move(add);
+      return s;
+    }
+    if (at(Tok::kLParen)) {
+      s->kind = Stmt::Kind::kExpr;
+      s->expr = parse_call(std::move(name));
+      return s;
+    }
+    HLSHC_CHECK(false, "line " << cur().line << ": malformed statement");
+    return nullptr;
+  }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kFor;
+    expect(Tok::kLParen);
+    s->init = at(Tok::kKwInt) || at(Tok::kKwShort)
+                  ? parse_decl()
+                  : [&] {
+                      StmtPtr st = parse_simple_statement();
+                      expect(Tok::kSemi);
+                      return st;
+                    }();
+    s->expr = parse_expr();
+    expect(Tok::kSemi);
+    s->step = parse_simple_statement();
+    expect(Tok::kRParen);
+    s->body = parse_statement();
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kIf;
+    expect(Tok::kLParen);
+    s->expr = parse_expr();
+    expect(Tok::kRParen);
+    s->body = parse_statement();
+    if (accept(Tok::kKwElse)) s->els = parse_statement();
+    return s;
+  }
+
+  ExprPtr parse_call(std::string name) {
+    expect(Tok::kLParen);
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kCall;
+    e->name = std::move(name);
+    if (!at(Tok::kRParen)) {
+      do {
+        e->args.push_back(parse_expr());
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen);
+    return e;
+  }
+
+  // Precedence climbing: ternary < or < xor < and < equality < relational
+  // < shift < additive < multiplicative < unary < primary.
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_or();
+    if (!accept(Tok::kQuestion)) return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kTernary;
+    e->a = std::move(cond);
+    e->b = parse_expr();
+    expect(Tok::kColon);
+    e->c = parse_ternary();
+    return e;
+  }
+
+  ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_xor();
+    while (accept(Tok::kPipe)) e = binary(BinOp::kOr, std::move(e), parse_xor());
+    return e;
+  }
+  ExprPtr parse_xor() {
+    ExprPtr e = parse_and();
+    while (accept(Tok::kCaret))
+      e = binary(BinOp::kXor, std::move(e), parse_and());
+    return e;
+  }
+  ExprPtr parse_and() {
+    ExprPtr e = parse_equality();
+    while (accept(Tok::kAmp))
+      e = binary(BinOp::kAnd, std::move(e), parse_equality());
+    return e;
+  }
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    while (true) {
+      if (accept(Tok::kEqEq))
+        e = binary(BinOp::kEq, std::move(e), parse_relational());
+      else if (accept(Tok::kNe))
+        e = binary(BinOp::kNe, std::move(e), parse_relational());
+      else
+        return e;
+    }
+  }
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_shift();
+    while (true) {
+      if (accept(Tok::kLt)) e = binary(BinOp::kLt, std::move(e), parse_shift());
+      else if (accept(Tok::kGt))
+        e = binary(BinOp::kGt, std::move(e), parse_shift());
+      else if (accept(Tok::kLe))
+        e = binary(BinOp::kLe, std::move(e), parse_shift());
+      else if (accept(Tok::kGe))
+        e = binary(BinOp::kGe, std::move(e), parse_shift());
+      else
+        return e;
+    }
+  }
+  ExprPtr parse_shift() {
+    ExprPtr e = parse_additive();
+    while (true) {
+      if (accept(Tok::kShl))
+        e = binary(BinOp::kShl, std::move(e), parse_additive());
+      else if (accept(Tok::kShr))
+        e = binary(BinOp::kShr, std::move(e), parse_additive());
+      else
+        return e;
+    }
+  }
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    while (true) {
+      if (accept(Tok::kPlus))
+        e = binary(BinOp::kAdd, std::move(e), parse_multiplicative());
+      else if (accept(Tok::kMinus))
+        e = binary(BinOp::kSub, std::move(e), parse_multiplicative());
+      else
+        return e;
+    }
+  }
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    while (accept(Tok::kStar))
+      e = binary(BinOp::kMul, std::move(e), parse_unary());
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (accept(Tok::kMinus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNeg;
+      e->a = parse_unary();
+      return e;
+    }
+    if (accept(Tok::kNot)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNot;
+      e->a = parse_unary();
+      return e;
+    }
+    // "(short)" cast or parenthesized expression.
+    if (accept(Tok::kLParen)) {
+      if (accept(Tok::kKwShort)) {
+        expect(Tok::kRParen);
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCastShort;
+        e->a = parse_unary();
+        return e;
+      }
+      if (accept(Tok::kKwInt)) {  // (int) cast is a no-op in this subset
+        expect(Tok::kRParen);
+        return parse_unary();
+      }
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen);
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::kNumber)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNumber;
+      e->value = eat().value;
+      return e;
+    }
+    HLSHC_CHECK(at(Tok::kIdent), "line " << cur().line
+                                         << ": expected an expression");
+    std::string name = eat().text;
+    if (at(Tok::kLParen)) return parse_call(std::move(name));
+    if (accept(Tok::kLBracket)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIndex;
+      e->name = std::move(name);
+      e->a = parse_expr();
+      expect(Tok::kRBracket);
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kVar;
+    e->name = std::move(name);
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(lex(source)).parse_program();
+}
+
+}  // namespace hlshc::hls

@@ -1,0 +1,186 @@
+#include "hls/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.hpp"
+
+namespace hlshc::hls {
+
+double dfg_op_delay(DOp op) {
+  switch (op) {
+    case DOp::kMul: return 2.4;   // DSP multiply
+    case DOp::kAdd: case DOp::kSub: case DOp::kNeg: return 0.7;
+    case DOp::kLt: case DOp::kGt: case DOp::kLe: case DOp::kGe:
+    case DOp::kEq: case DOp::kNe: return 0.6;
+    case DOp::kSelect: return 0.2;
+    case DOp::kAnd: case DOp::kOr: case DOp::kXor: case DOp::kNot:
+      return 0.35;
+    case DOp::kLoad: return 1.1;
+    case DOp::kStore: return 0.35;
+    case DOp::kShl: case DOp::kShr: case DOp::kCastShort: return 0.0;
+    case DOp::kConst: case DOp::kInput: return 0.0;
+  }
+  return 0.0;
+}
+
+bool is_shared_output(const Dfg& dfg, int node,
+                      const ScheduleOptions& options) {
+  DOp op = dfg.node(node).op;
+  if (op == DOp::kMul) return true;
+  if (options.add_units > 0 &&
+      (op == DOp::kAdd || op == DOp::kSub || op == DOp::kNeg))
+    return true;
+  return false;
+}
+
+Schedule schedule(const Dfg& dfg, const ScheduleOptions& options) {
+  const int n = static_cast<int>(dfg.nodes.size());
+  Schedule sched;
+  sched.cycle.assign(static_cast<size_t>(n), -2);  // -2 = unscheduled
+
+  // Dependence structure. Results of *shared* functional units (multipliers
+  // always; adders when adder sharing is on) are registered at the unit
+  // output, so their consumers start one cycle later — this both models the
+  // FU output register and guarantees the bound datapath has no structural
+  // combinational cycles through shared-unit input muxes.
+  std::vector<std::vector<DepEdge>> preds(static_cast<size_t>(n));
+  std::vector<std::vector<int>> succs(static_cast<size_t>(n));
+  for (DepEdge e : dependence_edges(dfg)) {
+    if (e.latency == 0 && is_shared_output(dfg, e.from, options))
+      e.latency = 1;
+    preds[static_cast<size_t>(e.to)].push_back(e);
+    succs[static_cast<size_t>(e.from)].push_back(e.to);
+  }
+
+  // Priority: height (longest path to a sink) — classic list scheduling.
+  std::vector<int> height(static_cast<size_t>(n), 0);
+  for (int i = n - 1; i >= 0; --i)
+    for (int s : succs[static_cast<size_t>(i)])
+      height[static_cast<size_t>(i)] = std::max(
+          height[static_cast<size_t>(i)], height[static_cast<size_t>(s)] + 1);
+
+  // Constants are free.
+  for (int i = 0; i < n; ++i)
+    if (dfg.is_const(i)) sched.cycle[static_cast<size_t>(i)] = -1;
+
+  // Chain delay accumulated inside a node's cycle.
+  std::vector<double> chain(static_cast<size_t>(n), 0.0);
+  const double budget =
+      options.speculative ? options.cycle_budget_ns * 1.3
+                          : options.cycle_budget_ns;
+  auto op_chain_delay = [&](DOp op) {
+    double d = dfg_op_delay(op);
+    if (options.speculative &&
+        (op == DOp::kSelect || op == DOp::kLt || op == DOp::kGt ||
+         op == DOp::kLe || op == DOp::kGe))
+      d *= 0.5;  // speculation hides compare/select latency
+    return d;
+  };
+
+  // Region processing order: regions are scheduled strictly one after
+  // another (region 0 may be empty when everything was outlined).
+  std::vector<std::vector<int>> by_region(
+      static_cast<size_t>(std::max(1, dfg.regions)));
+  for (int i = 0; i < n; ++i) {
+    if (dfg.is_const(i)) continue;
+    by_region[static_cast<size_t>(dfg.node(i).region)].push_back(i);
+  }
+
+  int t = 0;
+  int max_mul = 0, max_add = 0;
+  for (size_t region = 0; region < by_region.size(); ++region) {
+    std::vector<int>& todo = by_region[region];
+    if (todo.empty()) continue;
+    if (region > 0) t += options.region_overhead;
+
+    size_t remaining = todo.size();
+    int guard = 0;
+    while (remaining > 0) {
+      HLSHC_CHECK(++guard < 1000000, "scheduler did not converge");
+      int muls = 0, adds = 0, reads = 0, writes = 0;
+      // Chained ops become ready mid-cycle when their producer lands in
+      // this cycle, so iterate the ready computation to a fixpoint.
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        std::vector<int> ready;
+        for (int i : todo) {
+          if (sched.cycle[static_cast<size_t>(i)] != -2) continue;
+          bool ok = true;
+          for (const DepEdge& e : preds[static_cast<size_t>(i)]) {
+            int pc = sched.cycle[static_cast<size_t>(e.from)];
+            if (pc == -2 || pc + e.latency > t) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) ready.push_back(i);
+        }
+        std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+          return height[static_cast<size_t>(a)] >
+                 height[static_cast<size_t>(b)];
+        });
+
+        for (int i : ready) {
+        const DNode& nd = dfg.node(i);
+        // Chaining feasibility: accumulate the chain through same-cycle
+        // producers.
+        double in_chain = 0.0;
+        bool same_cycle_producer = false;
+        for (const DepEdge& e : preds[static_cast<size_t>(i)]) {
+          if (e.latency != 0) continue;
+          if (sched.cycle[static_cast<size_t>(e.from)] == t) {
+            same_cycle_producer = true;
+            in_chain = std::max(in_chain, chain[static_cast<size_t>(e.from)]);
+          }
+        }
+        if (same_cycle_producer && !options.chaining) continue;
+        double my_chain = in_chain + op_chain_delay(nd.op);
+        if (my_chain > budget) continue;
+
+        // Resources.
+        switch (nd.op) {
+          case DOp::kMul:
+            if (muls >= options.mul_units) continue;
+            break;
+          case DOp::kAdd:
+          case DOp::kSub:
+          case DOp::kNeg:
+            if (options.add_units > 0 && adds >= options.add_units) continue;
+            break;
+          case DOp::kLoad:
+            if (reads >= options.mem_read_ports) continue;
+            break;
+          case DOp::kStore:
+            if (writes >= options.mem_write_ports) continue;
+            break;
+          default:
+            break;
+        }
+
+        sched.cycle[static_cast<size_t>(i)] = t;
+        chain[static_cast<size_t>(i)] = my_chain;
+        switch (nd.op) {
+          case DOp::kMul: ++muls; break;
+          case DOp::kAdd: case DOp::kSub: case DOp::kNeg: ++adds; break;
+          case DOp::kLoad: ++reads; break;
+          case DOp::kStore: ++writes; break;
+          default: break;
+        }
+        --remaining;
+        progressed = true;
+        }
+      }
+      max_mul = std::max(max_mul, muls);
+      max_add = std::max(max_add, adds);
+      ++t;
+    }
+  }
+  sched.length = t;
+  sched.mul_units_used = std::max(1, max_mul);
+  sched.add_units_used = max_add;
+  return sched;
+}
+
+}  // namespace hlshc::hls

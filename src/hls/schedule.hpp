@@ -1,0 +1,54 @@
+// Resource-constrained list scheduler.
+//
+// Assigns every DFG operation a start cycle subject to:
+//   * data dependences (with operator chaining inside a cycle, bounded by
+//     a delay budget, like Bambu's chaining / Vivado HLS's clock margin);
+//   * memory ports (Bambu's channels-type: MEM_ACC_11 = 1R+1W,
+//     MEM_ACC_NN = 2R+2W) — the dominant constraint for this kernel;
+//   * multiplier and (optionally) adder unit counts, which the binder
+//     later turns into shared functional units;
+//   * region barriers: with inlining disabled, every call instance's
+//     operations are scheduled after the previous region completes plus an
+//     interface overhead — reproducing Vivado HLS's module-per-function
+//     default and its "superfluous AXI-Stream interfaces" cost.
+//
+// `speculative` mimics Bambu's speculative SDC scheduling: compare/select
+// operations chain for free and the budget stretches, compressing the
+// schedule a little.
+#pragma once
+
+#include <vector>
+
+#include "hls/dfg.hpp"
+
+namespace hlshc::hls {
+
+struct ScheduleOptions {
+  int mul_units = 2;
+  int add_units = 0;        ///< 0 = unlimited (no adder sharing)
+  int mem_read_ports = 1;
+  int mem_write_ports = 1;
+  bool chaining = true;
+  double cycle_budget_ns = 6.0;  ///< max combinational chain per cycle
+  bool speculative = false;
+  int region_overhead = 18;  ///< cycles per non-inlined call (stream in/out)
+};
+
+struct Schedule {
+  std::vector<int> cycle;  ///< per node; constants get -1 (always available)
+  int length = 0;          ///< total FSM states
+  int mul_units_used = 0;
+  int add_units_used = 0;
+};
+
+/// Operator delays used for chaining decisions (ns); mirrors the synth
+/// delay model at 32 bits.
+double dfg_op_delay(DOp op);
+
+/// True when `node`'s result comes out of a shared, output-registered
+/// functional unit under `options` (consumers start a cycle later).
+bool is_shared_output(const Dfg& dfg, int node, const ScheduleOptions& options);
+
+Schedule schedule(const Dfg& dfg, const ScheduleOptions& options);
+
+}  // namespace hlshc::hls

@@ -1,0 +1,167 @@
+#include "hls/tool.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "hls/ast.hpp"
+
+namespace hlshc::hls {
+
+namespace {
+
+const char* preset_name(BambuPreset p) {
+  switch (p) {
+    case BambuPreset::kDefault: return "BAMBU";
+    case BambuPreset::kArea: return "BAMBU-AREA";
+    case BambuPreset::kAreaMp: return "BAMBU-AREA-MP";
+    case BambuPreset::kBalanced: return "BAMBU-BALANCED";
+    case BambuPreset::kBalancedMp: return "BAMBU-BALANCED-MP";
+    case BambuPreset::kPerformance: return "BAMBU-PERFORMANCE";
+    case BambuPreset::kPerformanceMp: return "BAMBU-PERFORMANCE-MP";
+  }
+  return "?";
+}
+
+bool preset_is_mp(BambuPreset p) {
+  return p == BambuPreset::kAreaMp || p == BambuPreset::kBalancedMp ||
+         p == BambuPreset::kPerformanceMp;
+}
+
+}  // namespace
+
+std::string BambuOptions::label() const {
+  std::ostringstream os;
+  os << preset_name(preset);
+  if (speculative_sdc) os << "+sdc";
+  switch (memory_policy) {
+    case MemoryAllocationPolicy::kLss: os << "+LSS"; break;
+    case MemoryAllocationPolicy::kGss: os << "+GSS"; break;
+    case MemoryAllocationPolicy::kAllBram: os << "+ALL_BRAM"; break;
+  }
+  return os.str();
+}
+
+std::string VhlsOptions::label() const {
+  return pragmas ? "vhls+pragmas(stages=" + std::to_string(pipeline_stages) +
+                       ")"
+                 : "vhls-pushbutton";
+}
+
+std::string idct_source() {
+  const std::string path = std::string(HLSHC_DATA_DIR) + "/c/idct.c";
+  std::ifstream in(path);
+  HLSHC_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+ScheduleOptions bambu_schedule_options(const BambuOptions& options) {
+  ScheduleOptions s;
+  switch (options.preset) {
+    case BambuPreset::kDefault:
+      s.mul_units = 2;
+      s.add_units = 6;
+      s.cycle_budget_ns = 6.0;
+      break;
+    case BambuPreset::kArea:
+    case BambuPreset::kAreaMp:
+      s.mul_units = 1;
+      s.add_units = 2;
+      s.cycle_budget_ns = 8.0;
+      break;
+    case BambuPreset::kBalanced:
+    case BambuPreset::kBalancedMp:
+      s.mul_units = 2;
+      s.add_units = 4;
+      s.cycle_budget_ns = 7.0;
+      break;
+    case BambuPreset::kPerformance:
+    case BambuPreset::kPerformanceMp:
+      s.mul_units = 4;
+      s.add_units = 8;
+      s.cycle_budget_ns = 6.0;
+      break;
+  }
+  BambuChannels ch = options.override_channels
+                         ? options.channels
+                         : (preset_is_mp(options.preset)
+                                ? BambuChannels::kMemAccNN
+                                : BambuChannels::kMemAcc11);
+  s.mem_read_ports = ch == BambuChannels::kMemAccNN ? 2 : 1;
+  s.mem_write_ports = s.mem_read_ports;
+  s.speculative = options.speculative_sdc;
+  return s;
+}
+
+HlsCompileResult compile_bambu(const std::string& source,
+                               const BambuOptions& options) {
+  Program prog = parse(source);
+  LowerOptions lo;
+  lo.inline_functions = true;  // Bambu inlines these leaves by default
+  Dfg dfg = lower(prog, "idct", lo);
+  ScheduleOptions so = bambu_schedule_options(options);
+  Schedule sched = schedule(dfg, so);
+  KernelResult kernel =
+      codegen_sequential(dfg, sched, so, "bambu_kernel");
+  HlsCompileResult res{wrap_axis_sequential(kernel,
+                                            "bambu_" + options.label()),
+                       sched.length, kernel.mul_units, kernel.value_regs,
+                       false};
+  return res;
+}
+
+HlsCompileResult compile_vhls(const std::string& source,
+                              const VhlsOptions& options) {
+  Program prog = parse(source);
+  if (!options.pragmas) {
+    // Push-button: functions stay separate modules; every call pays the
+    // generated inter-module stream interface.
+    LowerOptions lo;
+    lo.inline_functions = false;
+    Dfg dfg = lower(prog, "idct", lo);
+    ScheduleOptions so;
+    so.mul_units = 2;
+    so.add_units = 0;
+    so.mem_read_ports = 1;
+    so.mem_write_ports = 1;
+    so.region_overhead = 18;  // per-call stream-in/stream-out + handshake
+    Schedule sched = schedule(dfg, so);
+    KernelResult kernel = codegen_sequential(dfg, sched, so, "vhls_kernel");
+    return HlsCompileResult{wrap_axis_sequential(kernel, "vhls_initial"),
+                            sched.length, kernel.mul_units,
+                            kernel.value_regs, false};
+  }
+  // Pragma set: INTERFACE axis + PIPELINE + scalarized buffers -> the
+  // row-rate streaming engine built from the compiled 1-D passes.
+  LeafDfg row = lower_leaf(prog, "idctrow", 0);
+  LeafDfg col = lower_leaf(prog, "idctcol", 0);
+  StreamingDesign sd =
+      build_streaming_design(row, col, options.pipeline_stages,
+                             options.pipeline_stages, "vhls_opt");
+  return HlsCompileResult{std::move(sd.design), 0, 0, 0, true};
+}
+
+std::vector<BambuOptions> bambu_sweep() {
+  std::vector<BambuOptions> out;
+  for (BambuPreset p :
+       {BambuPreset::kDefault, BambuPreset::kArea, BambuPreset::kAreaMp,
+        BambuPreset::kBalanced, BambuPreset::kBalancedMp,
+        BambuPreset::kPerformance, BambuPreset::kPerformanceMp}) {
+    for (bool sdc : {false, true}) {
+      for (MemoryAllocationPolicy m :
+           {MemoryAllocationPolicy::kLss, MemoryAllocationPolicy::kGss,
+            MemoryAllocationPolicy::kAllBram}) {
+        BambuOptions o;
+        o.preset = p;
+        o.speculative_sdc = sdc;
+        o.memory_policy = m;
+        out.push_back(o);
+      }
+    }
+  }
+  return out;  // 7 x 2 x 3 = 42, the paper's configuration count
+}
+
+}  // namespace hlshc::hls

@@ -1,0 +1,81 @@
+// Tool personalities: Bambu and Vivado HLS.
+//
+// Both consume the same C source (data/c/idct.c) through the same frontend;
+// they differ exactly where the real tools do:
+//
+//   * Bambu — option-driven. `--channels-type` picks the memory port count
+//     (MEM_ACC_11 = 1R+1W, MEM_ACC_NN = 2R+2W), the experimental-setup
+//     presets trade functional-unit sharing against schedule length,
+//     `--speculative-sdc-scheduling` compresses chains, and the
+//     memory-allocation-policy nudges the RAM timing. The 7 presets x 2
+//     speculation x 3 policies grid is the paper's 42-configuration sweep.
+//     Bambu cannot make an AXI adapter, so the hand-written sequential
+//     wrapper surrounds the kernel.
+//
+//   * Vivado HLS — pragma-driven. Push-button (no pragmas) leaves
+//     idctrow/idctcol un-inlined: each call becomes its own region with
+//     stream-transfer overhead ("superfluous AXI-Stream interfaces"),
+//     roughly 18x slower than the Verilog baseline. With the paper's
+//     source modification (buf scalars) plus INTERFACE axis + PIPELINE,
+//     codegen switches to the row-rate streaming engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/codegen.hpp"
+#include "hls/wrapper.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::hls {
+
+enum class BambuChannels { kMemAcc11, kMemAccNN };
+enum class BambuPreset {
+  kDefault, kArea, kAreaMp, kBalanced, kBalancedMp, kPerformance,
+  kPerformanceMp,
+};
+enum class MemoryAllocationPolicy { kLss, kGss, kAllBram };
+
+struct BambuOptions {
+  BambuPreset preset = BambuPreset::kDefault;
+  bool speculative_sdc = false;
+  MemoryAllocationPolicy memory_policy = MemoryAllocationPolicy::kLss;
+  /// Optional explicit channel override (presets imply one).
+  bool override_channels = false;
+  BambuChannels channels = BambuChannels::kMemAcc11;
+
+  std::string label() const;
+};
+
+struct VhlsOptions {
+  /// false = push-button (paper's initial design); true = the pragma set
+  /// (INTERFACE axis + PIPELINE + buf scalarization).
+  bool pragmas = false;
+  int pipeline_stages = 1;  ///< per 1-D pass when pragmas are on
+
+  std::string label() const;
+};
+
+struct HlsCompileResult {
+  netlist::Design design;
+  int kernel_states = 0;   ///< sequential schedule length (0 for streaming)
+  int mul_units = 0;
+  int value_regs = 0;
+  bool streaming = false;
+};
+
+/// Loads data/c/idct.c (the shipped source, also the LOC-metric input).
+std::string idct_source();
+
+HlsCompileResult compile_bambu(const std::string& source,
+                               const BambuOptions& options);
+HlsCompileResult compile_vhls(const std::string& source,
+                              const VhlsOptions& options);
+
+/// The paper's 42 Bambu configurations.
+std::vector<BambuOptions> bambu_sweep();
+
+/// ScheduleOptions a Bambu configuration resolves to (exposed for tests).
+ScheduleOptions bambu_schedule_options(const BambuOptions& options);
+
+}  // namespace hlshc::hls

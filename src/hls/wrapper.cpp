@@ -1,0 +1,219 @@
+#include "hls/wrapper.hpp"
+
+#include <map>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "framework/compose.hpp"
+#include "netlist/instantiate.hpp"
+#include "rtl/units.hpp"
+
+namespace hlshc::hls {
+
+namespace {
+
+using netlist::Design;
+using netlist::kInvalidNode;
+using netlist::NodeId;
+
+constexpr int kShort = 16;
+
+}  // namespace
+
+netlist::Design wrap_axis_sequential(const KernelResult& kernel,
+                                     const std::string& name) {
+  Design d(name);
+  std::array<NodeId, 8> lane;
+  for (int c = 0; c < 8; ++c)
+    lane[static_cast<size_t>(c)] =
+        d.input(axis::lane_port("s", c), axis::kInElemWidth);
+  NodeId s_valid = d.input("s_tvalid", 1);
+  d.input("s_tlast", 1);
+  NodeId m_ready = d.input("m_tready", 1);
+
+  // Adapter state. Phases: 0 LOAD, 1 RUN, 2 READ, 3 EMIT.
+  NodeId phase = d.reg(2, 0, "phase");
+  NodeId have = d.reg(1, 0, "have");
+  NodeId widx = d.reg(6, 0, "widx");
+  NodeId start_pending = d.reg(1, 0, "start_pending");
+  NodeId relem = d.reg(3, 0, "relem");
+  NodeId orow = d.reg(3, 0, "orow");
+  std::array<NodeId, 8> staging, ostg;
+  for (int c = 0; c < 8; ++c) {
+    staging[static_cast<size_t>(c)] =
+        d.reg(axis::kInElemWidth, 0, "stg" + std::to_string(c));
+    ostg[static_cast<size_t>(c)] =
+        d.reg(axis::kOutElemWidth, 0, "ostg" + std::to_string(c));
+  }
+
+  auto phase_is = [&](int p) { return d.eq(phase, d.constant(2, p)); };
+  NodeId in_load = phase_is(0);
+  NodeId in_run = phase_is(1);
+  NodeId in_read = phase_is(2);
+  NodeId in_emit = phase_is(3);
+
+  // ---- LOAD ------------------------------------------------------------------
+  NodeId s_ready = d.band(in_load, d.bnot(have, 1), 1);
+  NodeId in_fire = d.band(s_valid, s_ready, 1);
+  d.output("s_tready", s_ready);
+  for (int c = 0; c < 8; ++c)
+    d.set_reg_next(staging[static_cast<size_t>(c)],
+                   lane[static_cast<size_t>(c)], in_fire);
+
+  NodeId wlane = d.slice(widx, 2, 0);
+  NodeId wlane7 = d.eq(wlane, d.constant(3, 7));
+  NodeId drain = d.band(in_load, have, 1);
+  NodeId widx63 = d.eq(widx, d.constant(6, 63));
+  NodeId load_done = d.band(drain, widx63, 1);
+
+  std::vector<NodeId> stage_elems(staging.begin(), staging.end());
+  NodeId ext_wdata =
+      d.sext(rtl::mux_by_index(d, wlane, stage_elems), kShort);
+  // Kernel external memory port bindings (comb, from adapter registers).
+  NodeId ext_we = drain;
+  NodeId ext_waddr = widx;
+  NodeId ext_raddr = d.concat(orow, relem);
+
+  d.set_reg_next(have,
+                 d.mux(in_fire, d.constant(1, 1),
+                       d.mux(d.band(drain, wlane7, 1), d.constant(1, 0),
+                             d.band(have, in_load, 1), 1),
+                       1));
+  d.set_reg_next(widx, d.mux(in_load,
+                             d.mux(drain, d.add(widx, d.constant(6, 1), 6),
+                                   widx, 6),
+                             d.constant(6, 0), 6));
+  d.set_reg_next(start_pending, load_done);
+
+  // ---- kernel instance ----------------------------------------------------------
+  std::map<std::string, NodeId> bindings = {
+      {"start", start_pending},
+      {"ext_we", ext_we},
+      {"ext_waddr", ext_waddr},
+      {"ext_wdata", ext_wdata},
+      {"ext_raddr", ext_raddr},
+  };
+  auto kout = netlist::instantiate(d, kernel.design, bindings);
+  NodeId done = kout.at("done");
+  NodeId ext_rdata = kout.at("ext_rdata");
+
+  // ---- READ / EMIT -----------------------------------------------------------------
+  NodeId relem7 = d.eq(relem, d.constant(3, 7));
+  for (int c = 0; c < 8; ++c) {
+    NodeId en = d.band(in_read, d.eq(relem, d.constant(3, c)), 1);
+    d.set_reg_next(ostg[static_cast<size_t>(c)],
+                   d.slice(ext_rdata, axis::kOutElemWidth - 1, 0), en);
+  }
+  d.set_reg_next(relem, d.mux(in_read, d.add(relem, d.constant(3, 1), 3),
+                              d.constant(3, 0), 3));
+
+  NodeId m_valid = in_emit;
+  NodeId out_fire = d.band(m_valid, m_ready, 1);
+  NodeId orow7 = d.eq(orow, d.constant(3, 7));
+  d.output("m_tvalid", m_valid);
+  d.output("m_tlast", orow7);
+  for (int c = 0; c < 8; ++c)
+    d.output(axis::lane_port("m", c), ostg[static_cast<size_t>(c)]);
+  d.set_reg_next(orow, d.mux(d.band(out_fire, d.bnot(orow7, 1), 1),
+                             d.add(orow, d.constant(3, 1), 3),
+                             d.mux(in_load, d.constant(3, 0), orow, 3), 3));
+
+  // ---- phase transitions ---------------------------------------------------------
+  NodeId next_from_load = d.mux(load_done, d.constant(2, 1), d.constant(2, 0), 2);
+  NodeId next_from_run = d.mux(done, d.constant(2, 2), d.constant(2, 1), 2);
+  NodeId next_from_read =
+      d.mux(relem7, d.constant(2, 3), d.constant(2, 2), 2);
+  NodeId next_from_emit =
+      d.mux(out_fire,
+            d.mux(orow7, d.constant(2, 0), d.constant(2, 2), 2),
+            d.constant(2, 3), 2);
+  NodeId phase_next =
+      d.mux(in_load, next_from_load,
+            d.mux(in_run, next_from_run,
+                  d.mux(in_read, next_from_read, next_from_emit, 2), 2),
+            2);
+  d.set_reg_next(phase, phase_next);
+  return d;
+}
+
+netlist::Design leaf_to_netlist(const LeafDfg& leaf, const std::string& name,
+                                int input_width) {
+  Design d(name);
+  constexpr int kWord = 32;
+  const Dfg& g = leaf.dfg;
+  std::vector<NodeId> out(g.nodes.size(), kInvalidNode);
+  std::map<int64_t, int> input_index;
+  for (size_t k = 0; k < leaf.input_addrs.size(); ++k)
+    input_index[leaf.input_addrs[k]] = static_cast<int>(k);
+
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    const DNode& nd = g.nodes[i];
+    auto v = [&](int k) { return out[static_cast<size_t>(k)]; };
+    switch (nd.op) {
+      case DOp::kConst:
+        out[i] = d.constant(kWord, nd.imm);
+        break;
+      case DOp::kInput: {
+        int k = input_index.at(nd.imm);
+        out[i] = d.sext(d.input("i" + std::to_string(k), input_width), kWord);
+        break;
+      }
+      case DOp::kAdd: out[i] = d.add(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kSub: out[i] = d.sub(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kMul: out[i] = d.mul(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kNeg: out[i] = d.neg(v(nd.a), kWord); break;
+      case DOp::kShl:
+      case DOp::kShr: {
+        HLSHC_CHECK(g.is_const(nd.b), "shift amount must be constant");
+        int amt = static_cast<int>(g.const_value(nd.b)) & 31;
+        out[i] = nd.op == DOp::kShl ? d.shl(v(nd.a), amt, kWord)
+                                    : d.ashr(v(nd.a), amt, kWord);
+        break;
+      }
+      case DOp::kAnd: out[i] = d.band(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kOr: out[i] = d.bor(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kXor: out[i] = d.bxor(v(nd.a), v(nd.b), kWord); break;
+      case DOp::kLt: out[i] = d.zext(d.slt(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kGt: out[i] = d.zext(d.sgt(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kLe: out[i] = d.zext(d.sle(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kGe: out[i] = d.zext(d.sge(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kEq: out[i] = d.zext(d.eq(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kNe: out[i] = d.zext(d.ne(v(nd.a), v(nd.b)), kWord); break;
+      case DOp::kSelect: {
+        NodeId cond = d.ne(v(nd.a), d.constant(kWord, 0));
+        out[i] = d.mux(cond, v(nd.b), v(nd.c), kWord);
+        break;
+      }
+      case DOp::kNot:
+        out[i] = d.zext(d.eq(v(nd.a), d.constant(kWord, 0)), kWord);
+        break;
+      case DOp::kCastShort:
+        out[i] = d.sext(d.slice(v(nd.a), kShort - 1, 0), kWord);
+        break;
+      case DOp::kLoad:
+      case DOp::kStore:
+        HLSHC_CHECK(false, "leaf function must not touch memory");
+        break;
+    }
+  }
+  for (size_t k = 0; k < leaf.outputs.size(); ++k)
+    d.output("o" + std::to_string(k),
+             out[static_cast<size_t>(leaf.outputs[k].second)]);
+  d.validate();
+  return d;
+}
+
+StreamingDesign build_streaming_design(const LeafDfg& row, const LeafDfg& col,
+                                       int row_stages, int col_stages,
+                                       const std::string& name) {
+  xls::PipelineResult rk = xls::pipeline_function(
+      leaf_to_netlist(row, name + "_row", axis::kInElemWidth), row_stages);
+  xls::PipelineResult ck = xls::pipeline_function(
+      leaf_to_netlist(col, name + "_col", kShort), col_stages);
+  netlist::Design wrapped = framework::compose_row_col(
+      framework::PassKernel{rk.design, rk.latency},
+      framework::PassKernel{ck.design, ck.latency}, kShort, name);
+  return StreamingDesign{std::move(wrapped), rk.latency, ck.latency};
+}
+
+}  // namespace hlshc::hls

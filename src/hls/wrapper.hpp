@@ -1,0 +1,50 @@
+// AXI-Stream wrappers around compiled HLS kernels.
+//
+// wrap_axis_sequential(): the Bambu flow. Bambu cannot generate a stream
+// adapter, so (as in the paper) a hand-written one surrounds the kernel:
+// it fills the kernel's block RAM one element per cycle (the stream stalls
+// while a beat drains), pulses start, waits for done, then reads the RAM
+// back out row by row. Everything is strictly sequential — the mechanism
+// behind the paper's Bambu periodicity of ~323/185 cycles and throughput
+// around a tenth of the Verilog baseline.
+//
+// build_streaming_design(): the pragma-optimized Vivado HLS flow. With
+// `#pragma HLS INTERFACE axis`, buf scalarization and PIPELINE, VHLS
+// produces a row-rate streaming engine: the compiled idctrow dataflow
+// processes each arriving beat, ping-pong row buffers feed the compiled
+// idctcol dataflow one column per cycle, and results stream out — latency
+// 8+Lr+8+Lc+8 (26 cycles at one pipeline stage per pass, the paper's
+// number) at periodicity ~8.
+#pragma once
+
+#include <string>
+
+#include "hls/codegen.hpp"
+#include "hls/dfg.hpp"
+#include "xls/pipeline.hpp"
+
+namespace hlshc::hls {
+
+/// Sequential wrapper around a codegen_sequential() kernel.
+netlist::Design wrap_axis_sequential(const KernelResult& kernel,
+                                     const std::string& name);
+
+/// Converts a leaf DFG (from lower_leaf) to a pure combinational netlist
+/// function with ports i0..iN-1 (of `input_width` bits) and o0..oN-1
+/// (32-bit); input/output order follows the sorted element addresses.
+netlist::Design leaf_to_netlist(const LeafDfg& leaf, const std::string& name,
+                                int input_width);
+
+struct StreamingDesign {
+  netlist::Design design;
+  int row_latency = 0;  ///< pipeline stages in the row pass
+  int col_latency = 0;
+};
+
+/// Streaming design from compiled row/col passes, each pipelined with the
+/// given number of stages (>= 1).
+StreamingDesign build_streaming_design(const LeafDfg& row, const LeafDfg& col,
+                                       int row_stages, int col_stages,
+                                       const std::string& name);
+
+}  // namespace hlshc::hls

@@ -1,0 +1,46 @@
+// Fixed-point 8x8 IDCT after Chen/Wang, as distributed with the MPEG-2
+// conformance decoder (ISO/IEC 13818-4:2004, mpeg2decode, idct.c).
+//
+// This is the exact integer algorithm every hardware design in this
+// repository implements: an 11-bit-scaled row pass followed by a col pass
+// with final rounding and 9-bit clipping. The W constants are
+// 2048 * sqrt(2) * cos(k*pi/16) rounded:
+//   W1 = 2841, W2 = 2676, W3 = 2408, W5 = 1609, W6 = 1108, W7 = 565.
+//
+// Two entry points are provided per pass: the original form with the
+// all-zero AC shortcut (a software speedup) and a straight-line form that
+// always evaluates the butterflies — the one hardware realizes. They are
+// bit-identical on all inputs (a property test asserts this), which is why
+// the paper's combinational circuits can drop the shortcut.
+#pragma once
+
+#include "idct/block.hpp"
+
+namespace hlshc::idct {
+
+inline constexpr int kW1 = 2841;  ///< 2048*sqrt(2)*cos(1*pi/16)
+inline constexpr int kW2 = 2676;  ///< 2048*sqrt(2)*cos(2*pi/16)
+inline constexpr int kW3 = 2408;  ///< 2048*sqrt(2)*cos(3*pi/16)
+inline constexpr int kW5 = 1609;  ///< 2048*sqrt(2)*cos(5*pi/16)
+inline constexpr int kW6 = 1108;  ///< 2048*sqrt(2)*cos(6*pi/16)
+inline constexpr int kW7 = 565;   ///< 2048*sqrt(2)*cos(7*pi/16)
+
+/// Row (horizontal) pass over blk[0..7] (stride 1), in place.
+/// Original form with the zero-AC shortcut.
+void idct_row(int32_t* blk);
+
+/// Column (vertical) pass over blk[0], blk[8], ..., blk[56] (stride 8),
+/// in place, with rounding and iclip. Original form with the shortcut.
+void idct_col(int32_t* blk);
+
+/// Straight-line variants (no data-dependent shortcut); bit-identical.
+void idct_row_straight(int32_t* blk);
+void idct_col_straight(int32_t* blk);
+
+/// Full 2-D IDCT: 8 row passes then 8 column passes, in place.
+void idct_2d(Block& block);
+
+/// Full 2-D IDCT using the straight-line passes (the hardware dataflow).
+void idct_2d_straight(Block& block);
+
+}  // namespace hlshc::idct

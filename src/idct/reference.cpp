@@ -1,0 +1,79 @@
+#include "idct/reference.hpp"
+
+#include <cmath>
+
+namespace hlshc::idct {
+
+namespace {
+
+// cos((2*x + 1) * u * pi / 16) basis, with the C(u) normalization folded in.
+struct Basis {
+  double c[8][8];  // c[x][u] = C(u)/2 * cos((2x+1) u pi / 16)
+  Basis() {
+    const double pi = std::acos(-1.0);
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        double cu = (u == 0) ? 1.0 / std::sqrt(2.0) : 1.0;
+        c[x][u] = 0.5 * cu * std::cos((2 * x + 1) * u * pi / 16.0);
+      }
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+int32_t round_clamp(double v, int lo, int hi) {
+  double r = std::floor(v + 0.5);  // round half up, as the reference code does
+  if (r < lo) return lo;
+  if (r > hi) return hi;
+  return static_cast<int32_t>(r);
+}
+
+}  // namespace
+
+Block forward_dct_reference(const Block& spatial) {
+  const Basis& b = basis();
+  double tmp[8][8];
+  // Rows: tmp[r][u] = sum_x spatial[r][x] * c[x][u]
+  for (int r = 0; r < 8; ++r)
+    for (int u = 0; u < 8; ++u) {
+      double s = 0.0;
+      for (int x = 0; x < 8; ++x) s += at(spatial, r, x) * b.c[x][u];
+      tmp[r][u] = s;
+    }
+  Block out{};
+  // Cols: out[v][u] = sum_r tmp[r][u] * c[r][v]
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      double s = 0.0;
+      for (int r = 0; r < 8; ++r) s += tmp[r][u] * b.c[r][v];
+      at(out, v, u) = round_clamp(s, kCoeffMin, kCoeffMax);
+    }
+  return out;
+}
+
+Block idct_reference(const Block& coeffs) {
+  const Basis& b = basis();
+  double tmp[8][8];
+  // Rows: tmp[v][x] = sum_u coeffs[v][u] * c[x][u]
+  for (int v = 0; v < 8; ++v)
+    for (int x = 0; x < 8; ++x) {
+      double s = 0.0;
+      for (int u = 0; u < 8; ++u) s += at(coeffs, v, u) * b.c[x][u];
+      tmp[v][x] = s;
+    }
+  Block out{};
+  // Cols: out[y][x] = sum_v tmp[v][x] * c[y][v]
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      double s = 0.0;
+      for (int v = 0; v < 8; ++v) s += tmp[v][x] * b.c[y][v];
+      at(out, y, x) = round_clamp(s, kSampleMin, kSampleMax);
+    }
+  return out;
+}
+
+}  // namespace hlshc::idct

@@ -1,0 +1,22 @@
+// Double-precision reference transforms per IEEE Std 1180-1990.
+//
+// The standard's compliance procedure needs two floating-point routines:
+// a forward DCT used to turn random spatial blocks into 12-bit coefficient
+// blocks, and the reference IDCT whose rounded output is the yardstick the
+// integer implementations are compared against.
+#pragma once
+
+#include "idct/block.hpp"
+
+namespace hlshc::idct {
+
+/// Reference separable 8x8 forward DCT (64-bit floating point), with the
+/// result rounded to nearest integer and clamped to the 12-bit coefficient
+/// range [-2048, 2047], as prescribed by IEEE 1180 section 3.
+Block forward_dct_reference(const Block& spatial);
+
+/// Reference 8x8 IDCT (64-bit floating point), rounded to nearest integer
+/// and clamped to [-256, 255].
+Block idct_reference(const Block& coeffs);
+
+}  // namespace hlshc::idct

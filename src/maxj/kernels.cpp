@@ -1,0 +1,230 @@
+#include "maxj/kernels.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "idct/chenwang.hpp"
+#include "maxj/dsl.hpp"
+#include "rtl/units.hpp"
+
+namespace hlshc::maxj {
+
+namespace {
+
+using idct::kW1;
+using idct::kW2;
+using idct::kW3;
+using idct::kW5;
+using idct::kW6;
+using idct::kW7;
+
+/// 20-bit scratch words, as in the other optimized designs.
+constexpr int kScratchWidth = 20;
+
+/// Chen-Wang row pass in the auto-pipelined dataflow DSL.
+std::array<DFEVar, 8> row_butterfly(KernelBuilder& k,
+                                    const std::array<DFEVar, 8>& blk) {
+  DFEVar x1 = k.shl(blk[4], 11);
+  DFEVar x2 = blk[6], x3 = blk[2], x4 = blk[1], x5 = blk[7], x6 = blk[5],
+         x7 = blk[3];
+  DFEVar x0 = k.add(k.shl(blk[0], 11), k.constant(128));
+
+  DFEVar x8 = k.mulc(k.add(x4, x5), kW7);
+  x4 = k.add(x8, k.mulc(x4, kW1 - kW7));
+  x5 = k.sub(x8, k.mulc(x5, kW1 + kW7));
+  x8 = k.mulc(k.add(x6, x7), kW3);
+  x6 = k.sub(x8, k.mulc(x6, kW3 - kW5));
+  x7 = k.sub(x8, k.mulc(x7, kW3 + kW5));
+
+  x8 = k.add(x0, x1);
+  x0 = k.sub(x0, x1);
+  x1 = k.mulc(k.add(x3, x2), kW6);
+  x2 = k.sub(x1, k.mulc(x2, kW2 + kW6));
+  x3 = k.add(x1, k.mulc(x3, kW2 - kW6));
+  x1 = k.add(x4, x6);
+  x4 = k.sub(x4, x6);
+  x6 = k.add(x5, x7);
+  x5 = k.sub(x5, x7);
+
+  x7 = k.add(x8, x3);
+  x8 = k.sub(x8, x3);
+  x3 = k.add(x0, x2);
+  x0 = k.sub(x0, x2);
+  x2 = k.ashr(k.add(k.mulc(k.add(x4, x5), 181), k.constant(128)), 8);
+  x4 = k.ashr(k.add(k.mulc(k.sub(x4, x5), 181), k.constant(128)), 8);
+
+  return {k.ashr(k.add(x7, x1), 8), k.ashr(k.add(x3, x2), 8),
+          k.ashr(k.add(x0, x4), 8), k.ashr(k.add(x8, x6), 8),
+          k.ashr(k.sub(x8, x6), 8), k.ashr(k.sub(x0, x4), 8),
+          k.ashr(k.sub(x3, x2), 8), k.ashr(k.sub(x7, x1), 8)};
+}
+
+/// Chen-Wang column pass with rounding and clipping.
+std::array<DFEVar, 8> col_butterfly(KernelBuilder& k,
+                                    const std::array<DFEVar, 8>& blk) {
+  DFEVar x1 = k.shl(blk[4], 8);
+  DFEVar x2 = blk[6], x3 = blk[2], x4 = blk[1], x5 = blk[7], x6 = blk[5],
+         x7 = blk[3];
+  DFEVar x0 = k.add(k.shl(blk[0], 8), k.constant(8192));
+
+  DFEVar x8 = k.add(k.mulc(k.add(x4, x5), kW7), k.constant(4));
+  x4 = k.ashr(k.add(x8, k.mulc(x4, kW1 - kW7)), 3);
+  x5 = k.ashr(k.sub(x8, k.mulc(x5, kW1 + kW7)), 3);
+  x8 = k.add(k.mulc(k.add(x6, x7), kW3), k.constant(4));
+  x6 = k.ashr(k.sub(x8, k.mulc(x6, kW3 - kW5)), 3);
+  x7 = k.ashr(k.sub(x8, k.mulc(x7, kW3 + kW5)), 3);
+
+  x8 = k.add(x0, x1);
+  x0 = k.sub(x0, x1);
+  x1 = k.add(k.mulc(k.add(x3, x2), kW6), k.constant(4));
+  x2 = k.ashr(k.sub(x1, k.mulc(x2, kW2 + kW6)), 3);
+  x3 = k.ashr(k.add(x1, k.mulc(x3, kW2 - kW6)), 3);
+  x1 = k.add(x4, x6);
+  x4 = k.sub(x4, x6);
+  x6 = k.add(x5, x7);
+  x5 = k.sub(x5, x7);
+
+  x7 = k.add(x8, x3);
+  x8 = k.sub(x8, x3);
+  x3 = k.add(x0, x2);
+  x0 = k.sub(x0, x2);
+  x2 = k.ashr(k.add(k.mulc(k.add(x4, x5), 181), k.constant(128)), 8);
+  x4 = k.ashr(k.add(k.mulc(k.sub(x4, x5), 181), k.constant(128)), 8);
+
+  return {k.clip9(k.ashr(k.add(x7, x1), 14)),
+          k.clip9(k.ashr(k.add(x3, x2), 14)),
+          k.clip9(k.ashr(k.add(x0, x4), 14)),
+          k.clip9(k.ashr(k.add(x8, x6), 14)),
+          k.clip9(k.ashr(k.sub(x8, x6), 14)),
+          k.clip9(k.ashr(k.sub(x0, x4), 14)),
+          k.clip9(k.ashr(k.sub(x3, x2), 14)),
+          k.clip9(k.ashr(k.sub(x7, x1), 14))};
+}
+
+}  // namespace
+
+Kernel build_matrix_kernel() {
+  KernelBuilder k("maxj_matrix_kernel");
+  std::array<std::array<DFEVar, 8>, 8> in;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      in[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          k.input("x" + std::to_string(r * 8 + c), axis::kInElemWidth);
+  DFEVar ivalid = k.input("ivalid", 1);
+
+  std::array<std::array<DFEVar, 8>, 8> rows;
+  for (int r = 0; r < 8; ++r)
+    rows[static_cast<size_t>(r)] =
+        row_butterfly(k, in[static_cast<size_t>(r)]);
+
+  for (int col = 0; col < 8; ++col) {
+    std::array<DFEVar, 8> column;
+    for (int r = 0; r < 8; ++r)
+      column[static_cast<size_t>(r)] =
+          rows[static_cast<size_t>(r)][static_cast<size_t>(col)];
+    auto out = col_butterfly(k, column);
+    for (int r = 0; r < 8; ++r)
+      k.output("y" + std::to_string(r * 8 + col),
+               out[static_cast<size_t>(r)]);
+  }
+  k.output("ovalid", ivalid);
+
+  int depth = k.max_depth();
+  // 64 x 16-bit padded words per matrix over the PCIe DMA stream.
+  return Kernel{k.finish(), depth, 1, 1024};
+}
+
+Kernel build_row_kernel() {
+  KernelBuilder k("maxj_row_kernel");
+  netlist::Design& d = k.design();
+
+  std::array<DFEVar, 8> lane;
+  for (int c = 0; c < 8; ++c)
+    lane[static_cast<size_t>(c)] =
+        k.input("in" + std::to_string(c), axis::kInElemWidth);
+  DFEVar ivalid = k.input("ivalid", 1);
+
+  // Schedule: a modulo-9 tick counter; the manager feeds one row on each of
+  // the first 8 ticks of a frame (paced by "iready"), leaving 1 idle tick —
+  // the paper's periodicity of 9.
+  DFEVar p = k.counter(9, "phase");
+  k.output_raw("iready", k.le(p, 7));
+
+  // Row pass on the arriving row; balance the 8 results to one depth.
+  auto row_res = row_butterfly(k, lane);
+  int dr = 0;
+  for (const DFEVar& v : row_res) dr = std::max(dr, v.depth);
+  for (auto& v : row_res) v = k.balance(v, dr);
+
+  // Scratch: ping-pong 2 x 8 x 8 registers of 20-bit row results, written
+  // at the row pass's exit tick (address/enable travel with the data).
+  DFEVar wrow = k.offset(p, dr);
+  DFEVar wvalid = k.offset(ivalid, dr);
+  DFEVar wbuf = k.state_reg(1, "wbuf");
+  {
+    DFEVar row7 = k.eq(wrow, 7);
+    DFEVar toggle = k.logic_and(wvalid, row7);
+    DFEVar inv{d.bnot(wbuf.id, 1), 1, 0};
+    k.state_update(wbuf, toggle, inv);
+  }
+
+  std::array<std::array<std::array<DFEVar, 8>, 8>, 2> scratch;
+  for (int b = 0; b < 2; ++b) {
+    netlist::NodeId bank = d.eq(wbuf.id, d.constant(1, b));
+    for (int r = 0; r < 8; ++r) {
+      netlist::NodeId here =
+          d.band(d.band(wvalid.id, d.eq(wrow.id, d.constant(wrow.width, r)), 1),
+                 bank, 1);
+      DFEVar en{here, 1, 0};
+      for (int c = 0; c < 8; ++c) {
+        DFEVar reg = k.state_reg(kScratchWidth, "scratch");
+        DFEVar val{d.slice(row_res[static_cast<size_t>(c)].id,
+                           kScratchWidth - 1, 0),
+                   kScratchWidth, 0};
+        k.state_update(reg, en, val);
+        scratch[static_cast<size_t>(b)][static_cast<size_t>(r)]
+               [static_cast<size_t>(c)] = reg;
+      }
+    }
+  }
+
+  // Column engine: the column index is the phase counter delayed past the
+  // last scratch write; the delayed ivalid doubles as the column-valid
+  // strobe and gives a clean warm-up for free.
+  DFEVar c9 = k.offset(p, 8 + dr);
+  DFEVar cvalid = k.offset(ivalid, 8 + dr);
+  DFEVar rbuf = k.state_reg(1, "rbuf");
+  {
+    DFEVar done = k.logic_and(cvalid, k.eq(c9, 7));
+    DFEVar inv{d.bnot(rbuf.id, 1), 1, 0};
+    k.state_update(rbuf, done, inv);
+  }
+
+  std::array<DFEVar, 8> col_in;
+  netlist::NodeId c3 = d.slice(c9.id, 2, 0);
+  for (int r = 0; r < 8; ++r) {
+    std::vector<netlist::NodeId> e0, e1;
+    for (int c = 0; c < 8; ++c) {
+      e0.push_back(scratch[0][static_cast<size_t>(r)]
+                          [static_cast<size_t>(c)].id);
+      e1.push_back(scratch[1][static_cast<size_t>(r)]
+                          [static_cast<size_t>(c)].id);
+    }
+    netlist::NodeId sel = d.mux(rbuf.id, rtl::mux_by_index(d, c3, e1),
+                                rtl::mux_by_index(d, c3, e0), kScratchWidth);
+    col_in[static_cast<size_t>(r)] =
+        DFEVar{d.sext(sel, 32), 32, c9.depth};
+  }
+
+  auto col_out = col_butterfly(k, col_in);
+  for (int r = 0; r < 8; ++r)
+    k.output("o" + std::to_string(r), col_out[static_cast<size_t>(r)]);
+  k.output("ovalid", cvalid);
+
+  int depth = k.max_depth();
+  return Kernel{k.finish(), depth, 9, 1024};
+}
+
+}  // namespace hlshc::maxj

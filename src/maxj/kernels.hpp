@@ -1,0 +1,36 @@
+// The two MaxJ kernels of the paper.
+//
+//   * matrix kernel — inputs a full 8x8 matrix every tick and outputs the
+//     IDCT result `depth` ticks later: the paper's initial design, a
+//     ~40-stage auto-pipelined dataflow graph with the highest clock rate
+//     and the largest flip-flop bill of the whole study. Its system-level
+//     throughput is PCIe-bound (see system.hpp).
+//
+//   * row kernel — inputs one matrix row per tick, eight rows then one
+//     idle tick per matrix (periodicity 9): the paper's optimized design.
+//     Row results accumulate in on-chip scratch buffers (ping-pong); a
+//     single column unit walks the stored matrix one column per tick.
+//     Roughly a third of the area at a ninth of the per-tick work.
+//
+// Kernel ports:
+//   matrix: x0..x63 (12b) -> y0..y63 (9b), ivalid -> ovalid
+//   row:    in0..in7 (12b), ivalid -> o0..o7 (9b, one COLUMN per tick),
+//           ovalid; plus the unregistered "iready" schedule output the
+//           manager uses to pace the input stream (high 8 of 9 ticks).
+#pragma once
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::maxj {
+
+struct Kernel {
+  netlist::Design design;
+  int depth = 0;          ///< pipeline depth in ticks (input to output)
+  int ticks_per_op = 1;   ///< kernel ticks consumed per matrix
+  int input_bits = 0;     ///< stream payload bits per matrix (PCIe side)
+};
+
+Kernel build_matrix_kernel();
+Kernel build_row_kernel();
+
+}  // namespace hlshc::maxj

@@ -1,0 +1,24 @@
+#include "maxj/system.hpp"
+
+#include <algorithm>
+
+namespace hlshc::maxj {
+
+SystemEvaluation evaluate_system(const Kernel& kernel,
+                                 const PcieModel& pcie) {
+  SystemEvaluation ev;
+  ev.synth = synth::synthesize_normalized(kernel.design);
+  ev.kernel_tick_rate_hz = ev.synth.normal.fmax_mhz * 1e6;
+  ev.pcie_bound_ops =
+      pcie.bytes_per_s() * 8.0 / static_cast<double>(kernel.input_bits);
+  ev.kernel_bound_ops =
+      ev.kernel_tick_rate_hz / static_cast<double>(kernel.ticks_per_op);
+  ev.throughput_ops = std::min(ev.pcie_bound_ops, ev.kernel_bound_ops);
+  ev.pcie_limited = ev.pcie_bound_ops <= ev.kernel_bound_ops;
+  // Latency: pipeline depth plus the ticks needed to stream one matrix in.
+  ev.latency_ticks = kernel.depth + kernel.ticks_per_op +
+                     (kernel.ticks_per_op > 1 ? 7 : 0);
+  return ev;
+}
+
+}  // namespace hlshc::maxj

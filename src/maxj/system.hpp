@@ -1,0 +1,39 @@
+// MaxCompiler system (manager) model.
+//
+// Unlike the other flows, MaxCompiler builds a whole host-attached system:
+// kernels talk to the CPU through PCIe DMA streams set up by the manager.
+// The paper therefore evaluates the MaxJ designs against the PCIe 3.0 x16
+// link — it *estimates* throughput analytically as
+//
+//     P = min( f_kernel / ticks_per_op ,  BW_pcie / bits_per_op )
+//
+// (its initial kernel is PCIe-bound: 16 GB/s / 1024 bit = ~125 Mops/s; the
+// row kernel is frequency-bound at f/9). This module reproduces exactly
+// that computation on top of the synthesized kernel frequency.
+#pragma once
+
+#include "maxj/kernels.hpp"
+#include "synth/synthesize.hpp"
+
+namespace hlshc::maxj {
+
+struct PcieModel {
+  double gbytes_per_s = 16.0;   ///< PCIe 3.0 x16 effective DMA bandwidth
+  double bytes_per_s() const { return gbytes_per_s * 1e9; }
+};
+
+struct SystemEvaluation {
+  synth::NormalizedSynth synth;       ///< kernel synthesis (both DSP modes)
+  double kernel_tick_rate_hz = 0.0;   ///< synthesized f_max
+  double pcie_bound_ops = 0.0;        ///< BW / bits_per_op
+  double kernel_bound_ops = 0.0;      ///< f / ticks_per_op
+  double throughput_ops = 0.0;        ///< min of the two
+  bool pcie_limited = false;
+  int latency_ticks = 0;              ///< pipeline depth + I/O framing
+};
+
+/// Synthesize the kernel and evaluate the full system against the link.
+SystemEvaluation evaluate_system(const Kernel& kernel,
+                                 const PcieModel& pcie = {});
+
+}  // namespace hlshc::maxj

@@ -1,0 +1,21 @@
+// Human-readable netlist dumps: a flat text listing (one node per line,
+// stable across runs, used in golden tests) and a Graphviz dot rendering
+// for debugging elaborated designs.
+#pragma once
+
+#include <string>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::netlist {
+
+/// One line per node: "%id = op<width> (%a, %b) [attrs]".
+std::string dump_text(const Design& d);
+
+/// Graphviz digraph.
+std::string dump_dot(const Design& d);
+
+/// One-line summary: "name: N nodes, R regs (B bits), A adders, ...".
+std::string summarize(const Design& d);
+
+}  // namespace hlshc::netlist

@@ -1,0 +1,90 @@
+#include "netlist/instantiate.hpp"
+
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace hlshc::netlist {
+
+std::map<std::string, NodeId> instantiate(
+    Design& host, const Design& sub,
+    const std::map<std::string, NodeId>& inputs) {
+  // Memories first.
+  std::vector<int> mem_remap;
+  for (const Memory& m : sub.memories())
+    mem_remap.push_back(
+        host.add_memory(sub.name() + "." + m.name, m.width, m.depth));
+
+  std::vector<NodeId> remap(sub.node_count(), kInvalidNode);
+
+  // Pass 1: create nodes (registers with deferred next-values).
+  for (size_t i = 0; i < sub.node_count(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    const Node& n = sub.node(id);
+    switch (n.op) {
+      case Op::Input: {
+        auto it = inputs.find(n.name);
+        HLSHC_CHECK(it != inputs.end(),
+                    "instantiate: no driver for input '" << n.name << "' of "
+                                                         << sub.name());
+        HLSHC_CHECK(host.node(it->second).width == n.width,
+                    "instantiate: width mismatch on '" << n.name << '\'');
+        remap[i] = it->second;
+        break;
+      }
+      case Op::Output:
+        remap[i] = remap[static_cast<size_t>(n.operands[0])];
+        break;
+      case Op::Reg:
+        remap[i] = host.reg(n.width, n.imm, sub.name() + "." + n.name);
+        break;
+      case Op::MemWrite: {
+        NodeId a = remap[static_cast<size_t>(n.operands[0])];
+        NodeId v = remap[static_cast<size_t>(n.operands[1])];
+        NodeId e = remap[static_cast<size_t>(n.operands[2])];
+        remap[i] = host.mem_write(mem_remap[static_cast<size_t>(n.mem)], a,
+                                  v, e);
+        break;
+      }
+      case Op::MemRead: {
+        NodeId a = remap[static_cast<size_t>(n.operands[0])];
+        remap[i] = host.mem_read(mem_remap[static_cast<size_t>(n.mem)], a);
+        break;
+      }
+      default: {
+        Node copy = n;
+        copy.operands.clear();
+        for (NodeId o : n.operands) {
+          NodeId m = remap[static_cast<size_t>(o)];
+          HLSHC_CHECK(m != kInvalidNode,
+                      "instantiate: forward reference through non-reg node");
+          copy.operands.push_back(m);
+        }
+        NodeId nid = host.constant(copy.width, 0);
+        host.mutable_node(nid) = copy;
+        remap[i] = nid;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: wire register next-values (may reference later nodes).
+  for (size_t i = 0; i < sub.node_count(); ++i) {
+    const Node& n = sub.node(static_cast<NodeId>(i));
+    if (n.op != Op::Reg) continue;
+    HLSHC_CHECK(!n.operands.empty(),
+                "instantiate: register without next-value in " << sub.name());
+    NodeId next = remap[static_cast<size_t>(n.operands[0])];
+    NodeId en = n.operands.size() > 1
+                    ? remap[static_cast<size_t>(n.operands[1])]
+                    : kInvalidNode;
+    host.set_reg_next(remap[i], next, en);
+  }
+
+  std::map<std::string, NodeId> outs;
+  for (NodeId o : sub.outputs())
+    outs[sub.node(o).name] = remap[static_cast<size_t>(o)];
+  return outs;
+}
+
+}  // namespace hlshc::netlist

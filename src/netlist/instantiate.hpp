@@ -1,0 +1,25 @@
+// Module instantiation: splice one design into another.
+//
+// Copies every node of `sub` into `host`, substituting `sub`'s input ports
+// with caller-provided driver nodes and returning the nodes that drove
+// `sub`'s output ports. Registers, memories and feedback loops are
+// preserved. This is how wrappers (AXI adapters, testbenches) embed
+// generated kernels — the netlist equivalent of a Verilog module instance
+// flattened at elaboration.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::netlist {
+
+/// `inputs` maps each of sub's input port names to a host node of the same
+/// width (missing bindings throw). Returns sub's output port name -> host
+/// node carrying that output's value.
+std::map<std::string, NodeId> instantiate(
+    Design& host, const Design& sub,
+    const std::map<std::string, NodeId>& inputs);
+
+}  // namespace hlshc::netlist

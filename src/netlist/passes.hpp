@@ -1,0 +1,32 @@
+// Netlist optimization and analysis passes.
+//
+// These model the front half of what a logic-synthesis tool does before
+// technology mapping: folding constant subexpressions, propagating through
+// wiring ops, and sweeping dead logic. The HLS backend and the eDSL layers
+// emit netlists naively and rely on these passes — the same division of
+// labour the evaluated tools have with Vivado.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::netlist {
+
+struct PassStats {
+  int folded = 0;    ///< nodes replaced by constants
+  int removed = 0;   ///< dead nodes eliminated
+};
+
+/// Evaluates every node whose operands are all constants and replaces it
+/// with a Const node (in place). Iterates to a fixed point.
+PassStats fold_constants(Design& d);
+
+/// Rebuilds `d` without nodes unreachable from outputs, register
+/// next-values, and memory writes. Returns the new design; `d` is untouched.
+Design eliminate_dead(const Design& d, PassStats* stats = nullptr);
+
+/// fold_constants + eliminate_dead, returning the cleaned design.
+Design optimize(const Design& d, PassStats* stats = nullptr);
+
+}  // namespace hlshc::netlist

@@ -1,0 +1,28 @@
+// Verilog-2001 emitter for netlist designs.
+//
+// Every design this library elaborates — from any of the seven flows — can
+// be exported as synthesizable RTL: one flat module with a synchronous
+// process for the registers and memories and continuous assignments for
+// the combinational fabric. This is the bridge back to a real toolchain:
+// the emitted file can be handed to an actual synthesizer to check the
+// cost model's predictions against real LUT/FF counts.
+//
+// Conventions:
+//   * node %i becomes wire n_i (registers become reg n_i);
+//   * all values are signed vectors of the node's width;
+//   * a single clk input drives every register; reset is by initial value
+//     (FPGA-style initialization);
+//   * memories become reg arrays with one write block per port.
+#pragma once
+
+#include <string>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::netlist {
+
+/// Emits the whole design as one Verilog module named after the design
+/// (sanitized to an identifier).
+std::string emit_verilog(const Design& design);
+
+}  // namespace hlshc::netlist

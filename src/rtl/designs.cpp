@@ -1,0 +1,344 @@
+#include "rtl/designs.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "rtl/units.hpp"
+
+namespace hlshc::rtl {
+
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+
+constexpr int kRowStoreWidth = 20;  ///< holds worst-case row-pass results
+
+/// Canonical stream ports shared by the family.
+struct StreamPorts {
+  std::array<NodeId, 8> s_lane;
+  NodeId s_valid, s_last, m_ready;
+};
+
+StreamPorts make_input_ports(Design& d) {
+  StreamPorts p{};
+  for (int c = 0; c < 8; ++c)
+    p.s_lane[static_cast<size_t>(c)] =
+        d.input(axis::lane_port("s", c), axis::kInElemWidth);
+  p.s_valid = d.input("s_tvalid", 1);
+  p.s_last = d.input("s_tlast", 1);
+  p.m_ready = d.input("m_tready", 1);
+  return p;
+}
+
+NodeId is7(Design& d, NodeId cnt3) { return d.eq(cnt3, d.constant(3, 7)); }
+
+NodeId inc3(Design& d, NodeId cnt3) {
+  return d.add(cnt3, d.constant(3, 1), 3);  // wraps mod 8
+}
+
+/// out = cond ? a : keep (1-bit or wider).
+NodeId hold(Design& d, NodeId cond, NodeId a, NodeId keep) {
+  return d.mux(cond, a, keep, d.node(keep).width);
+}
+
+/// Shared single-buffer adapter control for the `initial` and `opt1`
+/// designs: collect 8 rows, capture the combinational result into the
+/// output registers one cycle later, then shift 8 rows out while the next
+/// matrix streams in.
+struct SingleBufferControl {
+  NodeId in_cnt, pend, out_active, out_cnt;     // registers
+  NodeId in_fire, capture_now, out_fire, out_last;
+};
+
+SingleBufferControl build_single_buffer_control(Design& d,
+                                                const StreamPorts& p) {
+  SingleBufferControl c{};
+  c.in_cnt = d.reg(3, 0, "in_cnt");
+  c.pend = d.reg(1, 0, "pend");
+  c.out_active = d.reg(1, 0, "out_active");
+  c.out_cnt = d.reg(3, 0, "out_cnt");
+
+  c.out_last = is7(d, c.out_cnt);
+  NodeId m_valid = c.out_active;
+  c.out_fire = d.band(m_valid, p.m_ready, 1);
+  NodeId out_last_fire = d.band(c.out_fire, c.out_last, 1);
+  c.capture_now =
+      d.band(c.pend, d.bor(d.bnot(c.out_active, 1), out_last_fire, 1), 1);
+  NodeId s_ready = d.bor(d.bnot(c.pend, 1), c.capture_now, 1);
+  c.in_fire = d.band(p.s_valid, s_ready, 1);
+  NodeId in_last_fire = d.band(c.in_fire, is7(d, c.in_cnt), 1);
+
+  d.set_reg_next(c.in_cnt, hold(d, c.in_fire, inc3(d, c.in_cnt), c.in_cnt));
+  d.set_reg_next(
+      c.pend,
+      d.bor(in_last_fire,
+            d.band(c.pend, d.bnot(c.capture_now, 1), 1), 1));
+  d.set_reg_next(c.out_active,
+                 hold(d, c.capture_now, d.constant(1, 1),
+                      hold(d, out_last_fire, d.constant(1, 0),
+                           c.out_active)));
+  d.set_reg_next(c.out_cnt, hold(d, c.capture_now, d.constant(3, 0),
+                                 hold(d, c.out_fire, inc3(d, c.out_cnt),
+                                      c.out_cnt)));
+
+  d.output("s_tready", s_ready);
+  d.output("m_tvalid", m_valid);
+  d.output("m_tlast", c.out_last);
+  return c;
+}
+
+/// Output registers + serializer shared by `initial` and `opt1`:
+/// 64 x 9-bit results captured on capture_now, streamed row by row.
+void build_output_stage(Design& d, const SingleBufferControl& c,
+                        const std::array<std::array<NodeId, 8>, 8>& result) {
+  std::array<std::array<NodeId, 8>, 8> out_regs;
+  for (int r = 0; r < 8; ++r)
+    for (int col = 0; col < 8; ++col) {
+      NodeId reg = d.reg(axis::kOutElemWidth, 0,
+                         "out_r" + std::to_string(r) + "c" +
+                             std::to_string(col));
+      d.set_reg_next(reg, result[static_cast<size_t>(r)]
+                              [static_cast<size_t>(col)],
+                     c.capture_now);
+      out_regs[static_cast<size_t>(r)][static_cast<size_t>(col)] = reg;
+    }
+  for (int col = 0; col < 8; ++col) {
+    std::vector<NodeId> rows;
+    for (int r = 0; r < 8; ++r)
+      rows.push_back(out_regs[static_cast<size_t>(r)]
+                             [static_cast<size_t>(col)]);
+    d.output(axis::lane_port("m", col), mux_by_index(d, c.out_cnt, rows));
+  }
+}
+
+/// Input collector for `initial`: 64 x 12-bit registers filled row by row.
+std::array<std::array<NodeId, 8>, 8> build_input_collector(
+    Design& d, const StreamPorts& p, const SingleBufferControl& c) {
+  std::array<std::array<NodeId, 8>, 8> in_regs;
+  for (int r = 0; r < 8; ++r) {
+    NodeId row_en =
+        d.band(c.in_fire, d.eq(c.in_cnt, d.constant(3, r)), 1);
+    for (int col = 0; col < 8; ++col) {
+      NodeId reg = d.reg(axis::kInElemWidth, 0,
+                         "in_r" + std::to_string(r) + "c" +
+                             std::to_string(col));
+      d.set_reg_next(reg, p.s_lane[static_cast<size_t>(col)], row_en);
+      in_regs[static_cast<size_t>(r)][static_cast<size_t>(col)] = reg;
+    }
+  }
+  return in_regs;
+}
+
+/// Column pass over stored rows: col unit j consumes column j and yields
+/// output elements (0..7, j); returns result[r][c].
+std::array<std::array<NodeId, 8>, 8> build_column_pass(
+    Design& d, const std::array<std::array<NodeId, 8>, 8>& rows) {
+  std::array<std::array<NodeId, 8>, 8> result;
+  for (int col = 0; col < 8; ++col) {
+    std::array<NodeId, 8> column;
+    for (int r = 0; r < 8; ++r)
+      column[static_cast<size_t>(r)] =
+          rows[static_cast<size_t>(r)][static_cast<size_t>(col)];
+    std::array<NodeId, 8> out = build_col_unit(d, column);
+    for (int r = 0; r < 8; ++r)
+      result[static_cast<size_t>(r)][static_cast<size_t>(col)] =
+          out[static_cast<size_t>(r)];
+  }
+  return result;
+}
+
+}  // namespace
+
+netlist::Design build_verilog_initial() {
+  Design d("verilog_initial");
+  StreamPorts p = make_input_ports(d);
+  SingleBufferControl c = build_single_buffer_control(d, p);
+  auto in_regs = build_input_collector(d, p, c);
+
+  // Eight row units over the stored coefficient rows...
+  std::array<std::array<NodeId, 8>, 8> row_out;
+  for (int r = 0; r < 8; ++r)
+    row_out[static_cast<size_t>(r)] =
+        build_row_unit(d, in_regs[static_cast<size_t>(r)]);
+  // ...chained combinationally into eight column units.
+  auto result = build_column_pass(d, row_out);
+  build_output_stage(d, c, result);
+  return d;
+}
+
+netlist::Design build_verilog_opt1() {
+  Design d("verilog_opt1");
+  StreamPorts p = make_input_ports(d);
+  SingleBufferControl c = build_single_buffer_control(d, p);
+
+  // One row unit transforms the arriving row combinationally; the 20-bit
+  // row results are what gets stored, not the raw coefficients.
+  std::array<NodeId, 8> lane_sig;
+  for (int i = 0; i < 8; ++i) lane_sig[static_cast<size_t>(i)] = p.s_lane[static_cast<size_t>(i)];
+  std::array<NodeId, 8> row_now = build_row_unit(d, lane_sig);
+
+  std::array<std::array<NodeId, 8>, 8> row_regs;
+  for (int r = 0; r < 8; ++r) {
+    NodeId row_en =
+        d.band(c.in_fire, d.eq(c.in_cnt, d.constant(3, r)), 1);
+    for (int col = 0; col < 8; ++col) {
+      NodeId reg = d.reg(kRowStoreWidth, 0,
+                         "row_r" + std::to_string(r) + "c" +
+                             std::to_string(col));
+      d.set_reg_next(
+          reg, d.slice(row_now[static_cast<size_t>(col)], kRowStoreWidth - 1, 0),
+          row_en);
+      row_regs[static_cast<size_t>(r)][static_cast<size_t>(col)] = reg;
+    }
+  }
+  auto result = build_column_pass(d, row_regs);
+  build_output_stage(d, c, result);
+  return d;
+}
+
+netlist::Design build_verilog_opt2() {
+  Design d("verilog_opt2");
+  StreamPorts p = make_input_ports(d);
+
+  // ---- state --------------------------------------------------------------
+  NodeId in_cnt = d.reg(3, 0, "in_cnt");
+  NodeId in_buf = d.reg(1, 0, "in_buf");
+  NodeId row_full0 = d.reg(1, 0, "row_full0");
+  NodeId row_full1 = d.reg(1, 0, "row_full1");
+  NodeId col_cnt = d.reg(3, 0, "col_cnt");
+  NodeId col_rptr = d.reg(1, 0, "col_rptr");
+  NodeId col_wptr = d.reg(1, 0, "col_wptr");
+  NodeId out_full0 = d.reg(1, 0, "out_full0");
+  NodeId out_full1 = d.reg(1, 0, "out_full1");
+  NodeId out_cnt = d.reg(3, 0, "out_cnt");
+  NodeId out_rptr = d.reg(1, 0, "out_rptr");
+
+  auto sel2 = [&](NodeId ptr, NodeId v0, NodeId v1) {
+    return d.mux(ptr, v1, v0, d.node(v0).width);
+  };
+
+  // ---- input stage: one row unit, ping-pong row buffers --------------------
+  NodeId s_ready = d.bnot(sel2(in_buf, row_full0, row_full1), 1);
+  NodeId in_fire = d.band(p.s_valid, s_ready, 1);
+  NodeId in_last_fire = d.band(in_fire, is7(d, in_cnt), 1);
+  d.output("s_tready", s_ready);
+  d.set_reg_next(in_cnt, hold(d, in_fire, inc3(d, in_cnt), in_cnt));
+  d.set_reg_next(in_buf, hold(d, in_last_fire, d.bnot(in_buf, 1), in_buf));
+
+  std::array<NodeId, 8> lane_sig;
+  for (int i = 0; i < 8; ++i) lane_sig[static_cast<size_t>(i)] = p.s_lane[static_cast<size_t>(i)];
+  std::array<NodeId, 8> row_now = build_row_unit(d, lane_sig);
+
+  // rowbuf[b][r][c]
+  std::array<std::array<std::array<NodeId, 8>, 8>, 2> rowbuf;
+  for (int b = 0; b < 2; ++b) {
+    NodeId buf_sel = d.eq(in_buf, d.constant(1, b));
+    for (int r = 0; r < 8; ++r) {
+      NodeId en = d.band(
+          d.band(in_fire, d.eq(in_cnt, d.constant(3, r)), 1), buf_sel, 1);
+      for (int col = 0; col < 8; ++col) {
+        NodeId reg =
+            d.reg(kRowStoreWidth, 0,
+                  "rowbuf" + std::to_string(b) + "_r" + std::to_string(r) +
+                      "c" + std::to_string(col));
+        d.set_reg_next(
+            reg,
+            d.slice(row_now[static_cast<size_t>(col)], kRowStoreWidth - 1, 0),
+            en);
+        rowbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
+              [static_cast<size_t>(col)] = reg;
+      }
+    }
+  }
+
+  // ---- column stage: one col unit, one column per cycle --------------------
+  NodeId row_avail = sel2(col_rptr, row_full0, row_full1);
+  NodeId out_free = d.bnot(sel2(col_wptr, out_full0, out_full1), 1);
+  NodeId col_proc = d.band(row_avail, out_free, 1);
+  NodeId col_done = d.band(col_proc, is7(d, col_cnt), 1);
+  d.set_reg_next(col_cnt, hold(d, col_proc, inc3(d, col_cnt), col_cnt));
+  d.set_reg_next(col_rptr, hold(d, col_done, d.bnot(col_rptr, 1), col_rptr));
+  d.set_reg_next(col_wptr, hold(d, col_done, d.bnot(col_wptr, 1), col_wptr));
+
+  // column input: element r of column col_cnt from the selected buffer
+  std::array<NodeId, 8> col_in;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<NodeId> elems0, elems1;
+    for (int col = 0; col < 8; ++col) {
+      elems0.push_back(rowbuf[0][static_cast<size_t>(r)]
+                             [static_cast<size_t>(col)]);
+      elems1.push_back(rowbuf[1][static_cast<size_t>(r)]
+                             [static_cast<size_t>(col)]);
+    }
+    col_in[static_cast<size_t>(r)] =
+        sel2(col_rptr, mux_by_index(d, col_cnt, elems0),
+             mux_by_index(d, col_cnt, elems1));
+  }
+  std::array<NodeId, 8> col_out = build_col_unit(d, col_in);
+
+  // outbuf[b][r][c] written column-wise
+  std::array<std::array<std::array<NodeId, 8>, 8>, 2> outbuf;
+  for (int b = 0; b < 2; ++b) {
+    NodeId buf_sel = d.eq(col_wptr, d.constant(1, b));
+    for (int col = 0; col < 8; ++col) {
+      NodeId en = d.band(
+          d.band(col_proc, d.eq(col_cnt, d.constant(3, col)), 1), buf_sel,
+          1);
+      for (int r = 0; r < 8; ++r) {
+        NodeId reg =
+            d.reg(axis::kOutElemWidth, 0,
+                  "outbuf" + std::to_string(b) + "_r" + std::to_string(r) +
+                      "c" + std::to_string(col));
+        d.set_reg_next(reg, col_out[static_cast<size_t>(r)], en);
+        outbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
+              [static_cast<size_t>(col)] = reg;
+      }
+    }
+  }
+
+  // ---- output stage ---------------------------------------------------------
+  NodeId m_valid = sel2(out_rptr, out_full0, out_full1);
+  NodeId out_fire = d.band(m_valid, p.m_ready, 1);
+  NodeId out_last = is7(d, out_cnt);
+  NodeId out_done = d.band(out_fire, out_last, 1);
+  d.set_reg_next(out_cnt, hold(d, out_fire, inc3(d, out_cnt), out_cnt));
+  d.set_reg_next(out_rptr, hold(d, out_done, d.bnot(out_rptr, 1), out_rptr));
+  d.output("m_tvalid", m_valid);
+  d.output("m_tlast", out_last);
+  for (int col = 0; col < 8; ++col) {
+    std::vector<NodeId> rows0, rows1;
+    for (int r = 0; r < 8; ++r) {
+      rows0.push_back(outbuf[0][static_cast<size_t>(r)]
+                            [static_cast<size_t>(col)]);
+      rows1.push_back(outbuf[1][static_cast<size_t>(r)]
+                            [static_cast<size_t>(col)]);
+    }
+    d.output(axis::lane_port("m", col),
+             sel2(out_rptr, mux_by_index(d, out_cnt, rows0),
+                  mux_by_index(d, out_cnt, rows1)));
+  }
+
+  // ---- buffer-full bookkeeping ---------------------------------------------
+  auto full_next = [&](NodeId cur, int b, NodeId set_cond, NodeId set_ptr,
+                       NodeId clr_cond, NodeId clr_ptr) {
+    NodeId set_here =
+        d.band(set_cond, d.eq(set_ptr, d.constant(1, b)), 1);
+    NodeId clr_here =
+        d.band(clr_cond, d.eq(clr_ptr, d.constant(1, b)), 1);
+    return d.bor(set_here, d.band(cur, d.bnot(clr_here, 1), 1), 1);
+  };
+  d.set_reg_next(row_full0, full_next(row_full0, 0, in_last_fire, in_buf,
+                                      col_done, col_rptr));
+  d.set_reg_next(row_full1, full_next(row_full1, 1, in_last_fire, in_buf,
+                                      col_done, col_rptr));
+  d.set_reg_next(out_full0, full_next(out_full0, 0, col_done, col_wptr,
+                                      out_done, out_rptr));
+  d.set_reg_next(out_full1, full_next(out_full1, 1, col_done, col_wptr,
+                                      out_done, out_rptr));
+  return d;
+}
+
+}  // namespace hlshc::rtl

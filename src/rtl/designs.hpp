@@ -1,0 +1,31 @@
+// The hand-written Verilog design family of the paper (our baseline).
+//
+// Three microarchitectures around the same row-by-row AXI-Stream adapter:
+//
+//   * initial : a naive combinational 2-D IDCT — eight IDCT^row units
+//     feeding eight IDCT^col units — sampled once after a full matrix is
+//     collected. Latency 17 cycles, periodicity 8, huge and slow (the comb
+//     path chains two butterfly stages).
+//   * opt1    : one IDCT^row processes each arriving row on the fly (there
+//     is no point in eight row units when only one row arrives per cycle);
+//     eight IDCT^col units remain. Same latency/periodicity, ~half the
+//     logic, roughly half the critical path.
+//   * opt2    : one IDCT^row and one IDCT^col, fully pipelined at the
+//     matrix level with ping-pong row and output buffers: rows stream in
+//     (8 cycles), columns are processed one per cycle (8 cycles), rows
+//     stream out (8 cycles) — latency 24, periodicity still 8. This is the
+//     paper's optimized Verilog design.
+//
+// All three share the canonical stream ports (see axis/stream.hpp) and are
+// bit-exact against the ISO 13818-4 software model.
+#pragma once
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::rtl {
+
+netlist::Design build_verilog_initial();
+netlist::Design build_verilog_opt1();
+netlist::Design build_verilog_opt2();
+
+}  // namespace hlshc::rtl

@@ -1,0 +1,167 @@
+#include "rtl/units.hpp"
+
+#include "base/check.hpp"
+#include "idct/chenwang.hpp"
+
+namespace hlshc::rtl {
+
+namespace {
+
+constexpr int W = kWordWidth;
+
+/// x * C at 32 bits, C a literal.
+NodeId mulc(Design& d, NodeId x, int c) {
+  return d.mul(x, d.constant(W, c), W);
+}
+
+NodeId widen(Design& d, NodeId x) {
+  return d.node(x).width == W ? x : d.sext(x, W);
+}
+
+}  // namespace
+
+std::array<NodeId, 8> build_row_unit(Design& d,
+                                     const std::array<NodeId, 8>& in) {
+  using namespace hlshc::idct;
+  NodeId b0 = widen(d, in[0]);
+
+  NodeId x1 = d.shl(widen(d, in[4]), 11, W);
+  NodeId x2 = widen(d, in[6]);
+  NodeId x3 = widen(d, in[2]);
+  NodeId x4 = widen(d, in[1]);
+  NodeId x5 = widen(d, in[7]);
+  NodeId x6 = widen(d, in[5]);
+  NodeId x7 = widen(d, in[3]);
+  NodeId x0 = d.add(d.shl(b0, 11, W), d.constant(W, 128), W);
+
+  // first stage
+  NodeId x8 = mulc(d, d.add(x4, x5, W), kW7);
+  x4 = d.add(x8, mulc(d, x4, kW1 - kW7), W);
+  x5 = d.sub(x8, mulc(d, x5, kW1 + kW7), W);
+  x8 = mulc(d, d.add(x6, x7, W), kW3);
+  x6 = d.sub(x8, mulc(d, x6, kW3 - kW5), W);
+  x7 = d.sub(x8, mulc(d, x7, kW3 + kW5), W);
+
+  // second stage
+  x8 = d.add(x0, x1, W);
+  x0 = d.sub(x0, x1, W);
+  x1 = mulc(d, d.add(x3, x2, W), kW6);
+  x2 = d.sub(x1, mulc(d, x2, kW2 + kW6), W);
+  x3 = d.add(x1, mulc(d, x3, kW2 - kW6), W);
+  x1 = d.add(x4, x6, W);
+  x4 = d.sub(x4, x6, W);
+  x6 = d.add(x5, x7, W);
+  x5 = d.sub(x5, x7, W);
+
+  // third stage
+  x7 = d.add(x8, x3, W);
+  x8 = d.sub(x8, x3, W);
+  x3 = d.add(x0, x2, W);
+  x0 = d.sub(x0, x2, W);
+  x2 = d.ashr(d.add(mulc(d, d.add(x4, x5, W), 181), d.constant(W, 128), W),
+              8, W);
+  x4 = d.ashr(d.add(mulc(d, d.sub(x4, x5, W), 181), d.constant(W, 128), W),
+              8, W);
+
+  // fourth stage
+  std::array<NodeId, 8> out;
+  out[0] = d.ashr(d.add(x7, x1, W), 8, W);
+  out[1] = d.ashr(d.add(x3, x2, W), 8, W);
+  out[2] = d.ashr(d.add(x0, x4, W), 8, W);
+  out[3] = d.ashr(d.add(x8, x6, W), 8, W);
+  out[4] = d.ashr(d.sub(x8, x6, W), 8, W);
+  out[5] = d.ashr(d.sub(x0, x4, W), 8, W);
+  out[6] = d.ashr(d.sub(x3, x2, W), 8, W);
+  out[7] = d.ashr(d.sub(x7, x1, W), 8, W);
+  return out;
+}
+
+std::array<NodeId, 8> build_col_unit(Design& d,
+                                     const std::array<NodeId, 8>& in) {
+  using namespace hlshc::idct;
+  NodeId b0 = widen(d, in[0]);
+
+  NodeId x1 = d.shl(widen(d, in[4]), 8, W);
+  NodeId x2 = widen(d, in[6]);
+  NodeId x3 = widen(d, in[2]);
+  NodeId x4 = widen(d, in[1]);
+  NodeId x5 = widen(d, in[7]);
+  NodeId x6 = widen(d, in[5]);
+  NodeId x7 = widen(d, in[3]);
+  NodeId x0 = d.add(d.shl(b0, 8, W), d.constant(W, 8192), W);
+
+  // first stage
+  NodeId x8 = d.add(mulc(d, d.add(x4, x5, W), kW7), d.constant(W, 4), W);
+  x4 = d.ashr(d.add(x8, mulc(d, x4, kW1 - kW7), W), 3, W);
+  x5 = d.ashr(d.sub(x8, mulc(d, x5, kW1 + kW7), W), 3, W);
+  x8 = d.add(mulc(d, d.add(x6, x7, W), kW3), d.constant(W, 4), W);
+  x6 = d.ashr(d.sub(x8, mulc(d, x6, kW3 - kW5), W), 3, W);
+  x7 = d.ashr(d.sub(x8, mulc(d, x7, kW3 + kW5), W), 3, W);
+
+  // second stage
+  x8 = d.add(x0, x1, W);
+  x0 = d.sub(x0, x1, W);
+  x1 = d.add(mulc(d, d.add(x3, x2, W), kW6), d.constant(W, 4), W);
+  x2 = d.ashr(d.sub(x1, mulc(d, x2, kW2 + kW6), W), 3, W);
+  x3 = d.ashr(d.add(x1, mulc(d, x3, kW2 - kW6), W), 3, W);
+  x1 = d.add(x4, x6, W);
+  x4 = d.sub(x4, x6, W);
+  x6 = d.add(x5, x7, W);
+  x5 = d.sub(x5, x7, W);
+
+  // third stage
+  x7 = d.add(x8, x3, W);
+  x8 = d.sub(x8, x3, W);
+  x3 = d.add(x0, x2, W);
+  x0 = d.sub(x0, x2, W);
+  x2 = d.ashr(d.add(mulc(d, d.add(x4, x5, W), 181), d.constant(W, 128), W),
+              8, W);
+  x4 = d.ashr(d.add(mulc(d, d.sub(x4, x5, W), 181), d.constant(W, 128), W),
+              8, W);
+
+  // fourth stage
+  std::array<NodeId, 8> out;
+  out[0] = build_clip9(d, d.ashr(d.add(x7, x1, W), 14, W));
+  out[1] = build_clip9(d, d.ashr(d.add(x3, x2, W), 14, W));
+  out[2] = build_clip9(d, d.ashr(d.add(x0, x4, W), 14, W));
+  out[3] = build_clip9(d, d.ashr(d.add(x8, x6, W), 14, W));
+  out[4] = build_clip9(d, d.ashr(d.sub(x8, x6, W), 14, W));
+  out[5] = build_clip9(d, d.ashr(d.sub(x0, x4, W), 14, W));
+  out[6] = build_clip9(d, d.ashr(d.sub(x3, x2, W), 14, W));
+  out[7] = build_clip9(d, d.ashr(d.sub(x7, x1, W), 14, W));
+  return out;
+}
+
+NodeId build_clip9(Design& d, NodeId v) {
+  const int w = d.node(v).width;
+  NodeId lo = d.constant(w, idct::kSampleMin);
+  NodeId hi = d.constant(w, idct::kSampleMax);
+  NodeId below = d.slt(v, lo);
+  NodeId above = d.sgt(v, hi);
+  NodeId clamped = d.mux(below, lo, d.mux(above, hi, v, w), w);
+  return d.slice(clamped, 8, 0);  // the clamped value fits in 9 bits
+}
+
+NodeId mux_by_index(Design& d, NodeId sel, const std::vector<NodeId>& items) {
+  HLSHC_CHECK(!items.empty(), "mux_by_index with no items");
+  size_t n = items.size();
+  HLSHC_CHECK((n & (n - 1)) == 0, "mux_by_index needs a power-of-two count");
+  const int width = d.node(items[0]).width;
+  for (NodeId it : items)
+    HLSHC_CHECK(d.node(it).width == width, "mux_by_index width mismatch");
+
+  std::vector<NodeId> level = items;
+  int bit = 0;
+  while (level.size() > 1) {
+    NodeId s = d.slice(sel, bit, bit);
+    std::vector<NodeId> next;
+    next.reserve(level.size() / 2);
+    for (size_t i = 0; i < level.size(); i += 2)
+      next.push_back(d.mux(s, level[i + 1], level[i], width));
+    level = std::move(next);
+    ++bit;
+  }
+  return level[0];
+}
+
+}  // namespace hlshc::rtl

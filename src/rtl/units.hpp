@@ -1,0 +1,45 @@
+// Structural building blocks for the Verilog-style IDCT designs.
+//
+// This is the "hand-written Verilog" family of the paper: the Chen–Wang
+// butterfly expressed directly as adders, subtractors and constant
+// multipliers, with every intermediate net at a fixed 32-bit width — the
+// paper notes "the Verilog description uses 32-bit arithmetic (as in the
+// ISO reference C code)", which is precisely why the Chisel variant with
+// inferred widths comes out slightly smaller.
+//
+// build_row_unit / build_col_unit emit one 8-point 1-D IDCT stage
+// (IDCT^row / IDCT^col of the paper) into a Design and return the output
+// nets. A row unit takes 8 coefficients and yields the 11-bit-scaled row
+// transform; a col unit takes 8 row results and yields the rounded,
+// 9-bit-clipped samples.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::rtl {
+
+using netlist::Design;
+using netlist::NodeId;
+
+inline constexpr int kWordWidth = 32;  ///< the Verilog family's net width
+
+/// 1-D row IDCT (no clipping); inputs may be any width <= 32, outputs are
+/// 32-bit nets holding the exact ISO 13818-4 row-pass values.
+std::array<NodeId, 8> build_row_unit(Design& d,
+                                     const std::array<NodeId, 8>& in);
+
+/// 1-D column IDCT with rounding and iclip; outputs are 9-bit nets.
+std::array<NodeId, 8> build_col_unit(Design& d,
+                                     const std::array<NodeId, 8>& in);
+
+/// iclip(v) = clamp to [-256, 255], as a 9-bit net.
+NodeId build_clip9(Design& d, NodeId v);
+
+/// items[sel] for a power-of-two item count, built as a mux tree.
+/// All items must share a width; `sel` must have log2(items) bits.
+NodeId mux_by_index(Design& d, NodeId sel, const std::vector<NodeId>& items);
+
+}  // namespace hlshc::rtl

@@ -1,0 +1,74 @@
+// Cycle-accurate two-phase simulator for netlist::Design.
+//
+// Phase 1 (`eval`) propagates values through the combinational fabric in a
+// precomputed topological order; Reg and MemRead nodes read current state.
+// Phase 2 (`step`) models the clock edge: registers latch their next-value
+// operand (subject to enable) and memory writes commit, in node order.
+//
+// The simulator is the measurement instrument of the reproduction: the
+// evaluation procedure (src/core) drives a design's AXI-Stream interface
+// through it to verify functional correctness against the ISO 13818-4 C
+// model and to *measure* latency and periodicity, never trusting a design's
+// claimed cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::sim {
+
+class Simulator {
+ public:
+  /// The design must outlive the simulator. Validates the design.
+  explicit Simulator(const netlist::Design& design);
+
+  /// Resets registers to their init values, memories to zero, inputs to
+  /// zero, and the cycle counter.
+  void reset();
+
+  void set_input(std::string_view port, const BitVec& value);
+  void set_input(std::string_view port, int64_t value);
+
+  /// Combinational propagation. Idempotent for fixed inputs/state.
+  void eval();
+
+  /// eval() then clock edge; advances the cycle counter.
+  void step();
+
+  /// Runs `n` clock cycles with inputs held.
+  void run(int n);
+
+  /// Value of any node after the most recent eval()/step().
+  const BitVec& value(netlist::NodeId id) const {
+    return values_[static_cast<size_t>(id)];
+  }
+
+  const BitVec& output(std::string_view port) const;
+  int64_t output_i64(std::string_view port) const;
+
+  uint64_t cycle() const { return cycle_; }
+
+  /// Test hooks for memory state.
+  BitVec mem_peek(int mem_id, int addr) const;
+  void mem_poke(int mem_id, int addr, const BitVec& value);
+
+  const netlist::Design& design() const { return design_; }
+
+ private:
+  void compute(netlist::NodeId id);
+
+  const netlist::Design& design_;
+  std::vector<netlist::NodeId> order_;
+  std::vector<BitVec> values_;      ///< per-node value after eval
+  std::vector<BitVec> reg_state_;   ///< per-node register state (Reg only)
+  std::vector<std::vector<BitVec>> mem_state_;
+  std::vector<netlist::NodeId> regs_;
+  uint64_t cycle_ = 0;
+  bool evaluated_ = false;
+};
+
+}  // namespace hlshc::sim

@@ -1,0 +1,78 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace hlshc::sim {
+
+namespace {
+
+/// Short printable VCD identifier for signal k ("!", "\"", ..., "!!", ...).
+std::string vcd_id(size_t k) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + k % 94));
+    k /= 94;
+  } while (k > 0);
+  return id;
+}
+
+}  // namespace
+
+VcdTrace::VcdTrace(
+    const Simulator& sim,
+    std::vector<std::pair<std::string, netlist::NodeId>> signals)
+    : sim_(sim), signals_(std::move(signals)) {
+  HLSHC_CHECK(!signals_.empty(), "VCD trace with no signals");
+  for (size_t k = 0; k < signals_.size(); ++k) {
+    ids_.push_back(vcd_id(k));
+    last_.emplace_back();
+    has_last_.push_back(false);
+  }
+}
+
+VcdTrace VcdTrace::ports(const Simulator& sim) {
+  std::vector<std::pair<std::string, netlist::NodeId>> sigs;
+  const netlist::Design& d = sim.design();
+  for (netlist::NodeId id : d.inputs()) sigs.emplace_back(d.node(id).name, id);
+  for (netlist::NodeId id : d.outputs())
+    sigs.emplace_back(d.node(id).name, id);
+  return VcdTrace(sim, std::move(sigs));
+}
+
+void VcdTrace::sample() {
+  std::ostringstream os;
+  bool any = false;
+  for (size_t k = 0; k < signals_.size(); ++k) {
+    const BitVec& v = sim_.value(signals_[k].second);
+    if (has_last_[k] && v == last_[k]) continue;
+    last_[k] = v;
+    has_last_[k] = true;
+    any = true;
+    if (v.width() == 1) {
+      os << (v.to_bool() ? '1' : '0') << ids_[k] << '\n';
+    } else {
+      os << 'b' << v.to_binary_string() << ' ' << ids_[k] << '\n';
+    }
+  }
+  if (any) body_ += "#" + std::to_string(time_) + "\n" + os.str();
+  ++time_;
+}
+
+std::string VcdTrace::finish() const {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << sim_.design().name() << " $end\n";
+  for (size_t k = 0; k < signals_.size(); ++k) {
+    const netlist::Node& n = sim_.design().node(signals_[k].second);
+    os << "$var wire " << n.width << ' ' << ids_[k] << ' '
+       << signals_[k].first << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << body_;
+  os << '#' << time_ << '\n';
+  return os.str();
+}
+
+}  // namespace hlshc::sim

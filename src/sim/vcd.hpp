@@ -1,0 +1,43 @@
+// VCD (IEEE 1364 value change dump) tracing for the simulator.
+//
+// Attach a trace to a simulator, pick the signals to record (ports by
+// name, or any node), call sample() once per cycle, and finish() returns a
+// standard VCD document that GTKWave and friends open directly — the
+// debugging loop hardware engineers expect from a simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hlshc::sim {
+
+class VcdTrace {
+ public:
+  /// Traces the given (label, node) pairs. Labels must be unique.
+  VcdTrace(const Simulator& sim,
+           std::vector<std::pair<std::string, netlist::NodeId>> signals);
+
+  /// Convenience: trace every input and output port of the design.
+  static VcdTrace ports(const Simulator& sim);
+
+  /// Record the current values (call after eval(), once per cycle).
+  void sample();
+
+  /// The complete VCD document (header + change dump).
+  std::string finish() const;
+
+  int samples() const { return time_; }
+
+ private:
+  const Simulator& sim_;
+  std::vector<std::pair<std::string, netlist::NodeId>> signals_;
+  std::vector<std::string> ids_;
+  std::vector<BitVec> last_;
+  std::vector<bool> has_last_;
+  std::string body_;
+  int time_ = 0;
+};
+
+}  // namespace hlshc::sim

@@ -1,0 +1,228 @@
+#include "synth/cost_model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+
+#include "synth/csd.hpp"
+#include "synth/range.hpp"
+
+namespace hlshc::synth {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::Op;
+
+CostModel::CostModel(const netlist::Design& design,
+                     const SynthOptions& options, const RangeAnalysis* ranges)
+    : design_(design), options_(options), ranges_(ranges) {}
+
+int CostModel::eff_width(NodeId id) const {
+  const int declared = design_.node(id).width;
+  if (!ranges_) return declared;
+  int narrowed = std::min(declared, ranges_->effective_width(id));
+  int slack = static_cast<int>(
+      std::ceil(options_.trim_slack * (declared - narrowed)));
+  return std::min(declared, narrowed + slack);
+}
+
+int CostModel::dsp_tiles(int w1, int w2) {
+  // DSP48E2: 27x18 signed multiply natively. Wider operands tile in chunks
+  // of 26x17 (one bit is lost to sign handling when cascading).
+  int a = w1 <= 27 ? 1 : (w1 - 2) / 26 + 1;
+  int b = w2 <= 18 ? 1 : (w2 - 2) / 17 + 1;
+  return a * b;
+}
+
+NodeCost CostModel::node_cost(NodeId id, bool allow_dsp) const {
+  const Node& n = design_.node(id);
+  const DelayModel& dm = options_.delay;
+  const AreaModel& am = options_.area;
+  NodeCost c;
+  const int w = eff_width(id);
+
+  switch (n.op) {
+    case Op::Input:
+    case Op::Output:
+    case Op::Const:
+      break;  // free; pad delay is added by the timing engine
+
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg:
+      c.delay_ns = dm.adder_base + dm.carry_per_bit * w;
+      c.luts = am.lut_per_add_bit * w;
+      break;
+
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: {
+      // Technology mapping recognizes one-hot mux structures (value AND
+      // sign-extended 1-bit strobe, OR-reduced in a tree — what rule
+      // compilers, BSC's AND/OR schedules and FSMD operand-select networks
+      // emit) and packs them like wide mux LUT trees.
+      std::function<bool(NodeId)> is_onehot_term = [&](NodeId id2) {
+        const Node& nd = design_.node(id2);
+        if (nd.op == Op::And) {
+          for (NodeId o : nd.operands) {
+            const Node& opn = design_.node(o);
+            if (opn.op == Op::SExt &&
+                design_.node(opn.operands[0]).width == 1)
+              return true;
+          }
+          return false;
+        }
+        if (nd.op == Op::Or)
+          return is_onehot_term(nd.operands[0]) &&
+                 is_onehot_term(nd.operands[1]);
+        return false;
+      };
+      if (n.op == Op::And && is_onehot_term(id))
+        break;  // absorbed into the downstream OR's LUTs
+      if (n.op == Op::Or && is_onehot_term(id)) {
+        c.delay_ns = dm.mux_level;
+        c.luts = am.lut_per_mux_bit * w;
+        break;
+      }
+      c.delay_ns = dm.logic_level;
+      c.luts = am.lut_per_logic_bit * w;
+      break;
+    }
+    case Op::Not:
+      // Inverters are absorbed into downstream LUT masks.
+      break;
+
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Slt:
+    case Op::Sle:
+    case Op::Sgt:
+    case Op::Sge:
+    case Op::Ult: {
+      int ow = std::max(eff_width(n.operands[0]), eff_width(n.operands[1]));
+      c.delay_ns = dm.adder_base + dm.carry_per_bit * ow;
+      c.luts = am.lut_per_cmp_bit * ow;
+      break;
+    }
+
+    case Op::Mux:
+      // 2:1 mux bits pack into LUT6s; trees combine through F7/F8 muxes,
+      // so the per-level delay is well below a full logic level.
+      c.delay_ns = dm.mux_level;
+      c.luts = am.lut_per_mux_bit * w;
+      break;
+
+    case Op::Shl:
+    case Op::AShr:
+    case Op::LShr:
+    case Op::Slice:
+    case Op::Concat:
+    case Op::SExt:
+    case Op::ZExt:
+      break;  // pure wiring for constant amounts
+
+    case Op::Mul: {
+      // Synthesis trims sign/zero extension off multiplier operands; size
+      // the implementation by the un-extended effective source widths.
+      auto effective_src = [&](NodeId opnd) -> NodeId {
+        const Node* p = &design_.node(opnd);
+        while ((p->op == Op::SExt || p->op == Op::ZExt) &&
+               design_.node(p->operands[0]).width < p->width) {
+          opnd = p->operands[0];
+          p = &design_.node(opnd);
+        }
+        return opnd;
+      };
+      NodeId a_id = effective_src(n.operands[0]);
+      NodeId b_id = effective_src(n.operands[1]);
+      const Node& a = design_.node(a_id);
+      const Node& b = design_.node(b_id);
+      const Node* konst =
+          a.op == Op::Const ? &a : (b.op == Op::Const ? &b : nullptr);
+      NodeId var_id = a.op == Op::Const ? b_id : a_id;
+      if (konst != nullptr) {
+        int64_t value = konst->imm;
+        int digits = options_.csd_recoding ? csd_nonzero_digits(value)
+                                           : binary_nonzero_digits(value);
+        if (digits <= 1) break;  // power of two / zero: wiring
+        if (allow_dsp) {
+          c.dsps = dsp_tiles(eff_width(var_id),
+                             BitVec::min_signed_width(value));
+          c.delay_ns = dm.dsp_mul;
+        } else {
+          int adders = digits - 1;
+          int depth = 0;
+          while ((1 << depth) < digits) ++depth;
+          double add_delay = dm.adder_base + dm.carry_per_bit * w;
+          c.delay_ns = depth * add_delay;
+          c.luts = am.lut_per_add_bit * w * adders;
+        }
+      } else {
+        int wa = eff_width(a_id), wb = eff_width(b_id);
+        if (allow_dsp) {
+          c.dsps = dsp_tiles(wa, wb);
+          c.delay_ns = dm.dsp_mul;
+        } else {
+          int levels = 1;
+          while ((1 << levels) < std::min(wa, wb)) ++levels;
+          c.delay_ns = dm.lutmul_level * levels;
+          c.luts = am.lutmul_density * wa * wb;
+        }
+      }
+      break;
+    }
+
+    case Op::Reg:
+      c.ffs = am.ff_per_reg_bit * w;
+      break;
+
+    case Op::MemRead:
+      c.delay_ns = dm.mem_read;
+      break;
+    case Op::MemWrite:
+      c.delay_ns = dm.logic_level;  // write-enable decode
+      break;
+  }
+  return c;
+}
+
+Mapper::Mapper(const netlist::Design& design, const SynthOptions& options) {
+  std::unique_ptr<RangeAnalysis> ranges;
+  if (options.range_narrowing)
+    ranges = std::make_unique<RangeAnalysis>(design);
+  CostModel model(design, options, ranges.get());
+  costs_.resize(design.node_count());
+  long dsp_budget = options.maxdsp < 0 ? (1L << 30) : options.maxdsp;
+  for (size_t i = 0; i < design.node_count(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    const Node& n = design.node(id);
+    bool wants_dsp = n.op == Op::Mul;
+    NodeCost c;
+    if (wants_dsp) {
+      NodeCost with_dsp = model.node_cost(id, true);
+      if (with_dsp.dsps > 0 && with_dsp.dsps <= dsp_budget) {
+        c = with_dsp;
+        dsp_budget -= with_dsp.dsps;
+      } else {
+        c = model.node_cost(id, false);
+      }
+    } else {
+      c = model.node_cost(id, false);
+    }
+    costs_[i] = c;
+    total_luts_ += c.luts;
+    total_ffs_ += c.ffs;
+    total_dsps_ += c.dsps;
+    total_brams_ += c.brams;
+  }
+  // Memories map to BRAM tiles (36 Kb each, with a minimum of one tile per
+  // logical memory). The paper excludes BRAM from its area metric; we track
+  // the count for completeness.
+  for (const netlist::Memory& m : design.memories()) {
+    long bits = static_cast<long>(m.width) * m.depth;
+    total_brams_ += static_cast<int>(std::max<long>(1, (bits + 36863) / 36864));
+  }
+  total_luts_ *= options.area.pack_factor;
+}
+
+}  // namespace hlshc::synth

@@ -1,0 +1,132 @@
+// Technology-mapping cost model: per-node delay and area.
+//
+// This module plays Vivado's role in the reproduction. It maps each netlist
+// node to UltraScale+-flavoured resources:
+//
+//   * adders/subtractors/comparators — carry chains: ~w LUTs, delay with a
+//     per-bit carry component;
+//   * bitwise ops and 2:1 muxes — one logic level;
+//   * constant multipliers — either a DSP48E2 (when the `maxdsp` budget
+//     allows) or a CSD shift-add tree in LUTs (the paper's A metric is
+//     defined with DSP mapping disabled, "maxdsp=0");
+//   * variable multipliers — DSP48E2 tiles (ceil over 26x17 signed chunks)
+//     or a LUT partial-product array;
+//   * registers — w flip-flops; memories — BRAM (reported separately, not
+//     part of A, matching the paper, which ignores BRAM).
+//
+// The constants are deliberately simple and fully documented; they are
+// calibrated so that the *ratios* of the paper's Table II hold (see
+// EXPERIMENTS.md), not its absolute MHz/LUT values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::synth {
+
+/// Delay model, all values in nanoseconds.
+struct DelayModel {
+  double logic_level = 0.35;     ///< one LUT + local routing
+  double mux_level = 0.12;       ///< one 2:1 mux level (LUT6 + F7/F8 combining)
+  double adder_base = 0.35;      ///< carry-chain entry
+  double carry_per_bit = 0.008;  ///< per carry-chain bit
+  double dsp_mul = 2.40;         ///< DSP48E2 multiply (unpipelined use)
+  double lutmul_level = 0.90;    ///< one partial-product reduction level
+  double mem_read = 1.10;        ///< distributed/block RAM access
+  double clk_overhead = 0.50;    ///< clk->Q + setup + skew
+  double io_pad = 1.00;          ///< IBUF/OBUF on paths touching pads
+};
+
+/// Area model.
+struct AreaModel {
+  double lut_per_add_bit = 1.0;
+  double lut_per_logic_bit = 1.0;
+  double lut_per_mux_bit = 0.33;  ///< LUT6 + F7/F8 packing of mux trees
+  double lut_per_cmp_bit = 0.5;
+  double lutmul_density = 0.55;   ///< LUTs per partial-product bit (w1*w2)
+  double ff_per_reg_bit = 1.0;
+  double pack_factor = 0.88;      ///< global post-packing scale on LUTs
+};
+
+/// Synthesis options (the "tool settings" of our virtual Vivado).
+struct SynthOptions {
+  /// Maximum number of DSP blocks the mapper may use. 0 reproduces the
+  /// paper's `maxdsp=0` normalization; a negative value means unlimited.
+  long maxdsp = -1;
+  /// Use CSD recoding for constant multipliers (true, default) or naive
+  /// binary shift-add (ablation).
+  bool csd_recoding = true;
+  /// Narrow operator widths by value-range analysis (src/synth/range.hpp),
+  /// like Vivado's optimization sweep. Off = pay declared widths (ablation).
+  bool range_narrowing = true;
+  /// Imperfection of that sweep: the effective width keeps this fraction of
+  /// the declared-minus-range fat. Real tools trim most but not all of the
+  /// over-declared bits — the mechanism behind the paper's observation that
+  /// width-inferred Chisel comes out a few percent smaller than 32-bit
+  /// Verilog pushed through the same synthesizer.
+  double trim_slack = 0.15;
+  DelayModel delay;
+  AreaModel area;
+};
+
+/// Per-node mapping result.
+struct NodeCost {
+  double delay_ns = 0.0;  ///< combinational delay through the node
+  double luts = 0.0;
+  double ffs = 0.0;
+  int dsps = 0;
+  int brams = 0;
+};
+
+class RangeAnalysis;  // range.hpp
+
+class CostModel {
+ public:
+  /// `ranges` may be null (no narrowing: nodes cost their declared width).
+  CostModel(const netlist::Design& design, const SynthOptions& options,
+            const RangeAnalysis* ranges);
+
+  /// Cost of one node. For Mul nodes `allow_dsp` selects the DSP mapping
+  /// (when the Mapper still has budget) or the LUT fabric fallback.
+  NodeCost node_cost(netlist::NodeId id, bool allow_dsp) const;
+
+  /// Number of DSP48E2 tiles a `w1 x w2` signed multiply needs (0 if either
+  /// operand is degenerate). A DSP48E2 natively handles 27x18 signed.
+  static int dsp_tiles(int w1, int w2);
+
+ private:
+  friend class Mapper;
+  int eff_width(netlist::NodeId id) const;
+
+  const netlist::Design& design_;
+  const SynthOptions& options_;
+  const RangeAnalysis* ranges_;
+};
+
+/// Whole-design mapping: walks every node, spends the DSP budget greedily
+/// in node order (like Vivado's default max-DSP-first mapping), and
+/// accumulates totals plus per-node costs for the timing engine.
+class Mapper {
+ public:
+  Mapper(const netlist::Design& design, const SynthOptions& options);
+
+  const NodeCost& cost(netlist::NodeId id) const {
+    return costs_[static_cast<size_t>(id)];
+  }
+
+  double total_luts() const { return total_luts_; }
+  double total_ffs() const { return total_ffs_; }
+  int total_dsps() const { return total_dsps_; }
+  int total_brams() const { return total_brams_; }
+
+ private:
+  std::vector<NodeCost> costs_;
+  double total_luts_ = 0.0;
+  double total_ffs_ = 0.0;
+  int total_dsps_ = 0;
+  int total_brams_ = 0;
+};
+
+}  // namespace hlshc::synth

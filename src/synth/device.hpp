@@ -1,0 +1,26 @@
+// FPGA device database.
+//
+// The paper synthesizes for a Xilinx Virtex UltraScale+ XCVU9P
+// (XCVU9P-FLGB2104-2-E) and reports utilization against its capacity:
+// N_LUT = 1,182,240, N_FF = 2,364,480, N_DSP = 6,840, N_IO = 702.
+#pragma once
+
+#include <string>
+
+namespace hlshc::synth {
+
+struct Device {
+  std::string name;
+  long luts = 0;
+  long ffs = 0;
+  long dsps = 0;
+  long ios = 0;
+  long brams = 0;  ///< 36 Kb block RAM tiles
+};
+
+/// The paper's target device.
+inline Device xcvu9p() {
+  return Device{"XCVU9P-FLGB2104-2-E", 1182240, 2364480, 6840, 702, 2160};
+}
+
+}  // namespace hlshc::synth

@@ -1,0 +1,187 @@
+#include "synth/range.hpp"
+
+#include <algorithm>
+
+#include "base/bitvec.hpp"
+
+namespace hlshc::synth {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::Op;
+
+namespace {
+
+// Saturation bound well inside int64 so interval arithmetic cannot
+// overflow (products of two in-bound values fit in __int128 and are
+// clamped back).
+constexpr int64_t kSat = int64_t{1} << 56;
+
+int64_t clamp_sat(__int128 v) {
+  if (v > kSat) return kSat;
+  if (v < -kSat) return -kSat;
+  return static_cast<int64_t>(v);
+}
+
+Interval make(__int128 lo, __int128 hi) {
+  return Interval{clamp_sat(lo), clamp_sat(hi)};
+}
+
+Interval mul_iv(const Interval& a, const Interval& b) {
+  __int128 c[4] = {static_cast<__int128>(a.lo) * b.lo,
+                   static_cast<__int128>(a.lo) * b.hi,
+                   static_cast<__int128>(a.hi) * b.lo,
+                   static_cast<__int128>(a.hi) * b.hi};
+  __int128 lo = c[0], hi = c[0];
+  for (__int128 v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return make(lo, hi);
+}
+
+int64_t floor_shift(int64_t v, int k) {
+  return k >= 63 ? (v < 0 ? -1 : 0) : (v >> k);
+}
+
+}  // namespace
+
+Interval Interval::full(int width) {
+  if (width >= 58) return Interval{-kSat, kSat};
+  int64_t h = (int64_t{1} << (width - 1)) - 1;
+  return Interval{-h - 1, h};
+}
+
+Interval Interval::join(const Interval& o) const {
+  return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+bool Interval::fits(int width) const {
+  Interval f = full(width);
+  return lo >= f.lo && hi <= f.hi;
+}
+
+int Interval::min_width() const {
+  int w = std::max(BitVec::min_signed_width(lo),
+                   BitVec::min_signed_width(hi));
+  return w;
+}
+
+RangeAnalysis::RangeAnalysis(const netlist::Design& design) {
+  const size_t n = design.node_count();
+  ranges_.assign(n, Interval{0, 0});
+  widths_.assign(n, 1);
+  const auto order = design.topo_order();
+
+  // Registers start at their reset point and are widened to their declared
+  // range if still unstable after the iteration budget.
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = design.node(static_cast<NodeId>(i));
+    if (nd.op == Op::Reg) ranges_[i] = Interval::point(nd.imm);
+  }
+
+  constexpr int kMaxIter = 24;
+  for (int iter = 0; iter <= kMaxIter; ++iter) {
+    bool changed = false;
+    const bool widen = iter == kMaxIter;  // last round: give up on cyclers
+
+    for (NodeId id : order) {
+      const Node& nd = design.node(id);
+      const size_t i = static_cast<size_t>(id);
+      auto in = [&](int k) -> const Interval& {
+        return ranges_[static_cast<size_t>(
+            nd.operands[static_cast<size_t>(k)])];
+      };
+      Interval r;
+      switch (nd.op) {
+        case Op::Input:
+          r = Interval::full(nd.width);
+          break;
+        case Op::Const:
+          r = Interval::point(nd.imm);
+          break;
+        case Op::Output:
+          r = in(0);
+          break;
+        case Op::Add:
+          r = make(static_cast<__int128>(in(0).lo) + in(1).lo,
+                   static_cast<__int128>(in(0).hi) + in(1).hi);
+          break;
+        case Op::Sub:
+          r = make(static_cast<__int128>(in(0).lo) - in(1).hi,
+                   static_cast<__int128>(in(0).hi) - in(1).lo);
+          break;
+        case Op::Mul:
+          r = mul_iv(in(0), in(1));
+          break;
+        case Op::Neg:
+          r = make(-static_cast<__int128>(in(0).hi),
+                   -static_cast<__int128>(in(0).lo));
+          break;
+        case Op::Shl: {
+          int k = static_cast<int>(nd.imm);
+          __int128 f = k >= 100 ? 0 : (static_cast<__int128>(1) << k);
+          r = make(static_cast<__int128>(in(0).lo) * f,
+                   static_cast<__int128>(in(0).hi) * f);
+          break;
+        }
+        case Op::AShr:
+          r = Interval{floor_shift(in(0).lo, static_cast<int>(nd.imm)),
+                       floor_shift(in(0).hi, static_cast<int>(nd.imm))};
+          break;
+        case Op::Mux:
+          r = in(1).join(in(2));
+          break;
+        case Op::SExt:
+          r = in(0);
+          break;
+        case Op::ZExt:
+          // Zero extension reinterprets negatives as large positives; keep
+          // it simple unless the source is already non-negative.
+          r = in(0).lo >= 0 ? in(0) : Interval::full(nd.width);
+          break;
+        case Op::Slice:
+          // A slice from bit 0 wide enough for the source range passes the
+          // value through unchanged.
+          if (nd.imm == 0 && in(0).min_width() <= nd.width) {
+            r = in(0);
+          } else {
+            r = Interval::full(nd.width);
+          }
+          break;
+        case Op::Reg: {
+          Interval next = nd.operands.empty()
+                              ? Interval::full(nd.width)
+                              : ranges_[static_cast<size_t>(nd.operands[0])];
+          r = ranges_[i].join(next);
+          if (widen && (r.lo != ranges_[i].lo || r.hi != ranges_[i].hi))
+            r = Interval::full(nd.width);
+          break;
+        }
+        case Op::Eq: case Op::Ne: case Op::Slt: case Op::Sle:
+        case Op::Sgt: case Op::Sge: case Op::Ult:
+        case Op::LShr: case Op::And: case Op::Or: case Op::Xor:
+        case Op::Not: case Op::Concat: case Op::MemRead:
+        case Op::MemWrite:
+        default:
+          r = Interval::full(nd.width);
+          break;
+      }
+      // Wrap-around safety: if the candidate interval does not fit the
+      // declared width, the hardware wraps — fall back to the full range.
+      if (!r.fits(nd.width)) r = Interval::full(nd.width);
+      if (r.lo != ranges_[i].lo || r.hi != ranges_[i].hi) {
+        ranges_[i] = r;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = design.node(static_cast<NodeId>(i));
+    widths_[i] = std::min(nd.width, ranges_[i].min_width());
+  }
+}
+
+}  // namespace hlshc::synth

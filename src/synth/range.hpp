@@ -1,0 +1,59 @@
+// Value-range (interval) analysis for netlists.
+//
+// Logic synthesis does not implement a 32-bit adder when its inputs can
+// only ever carry 13-bit values: Vivado's optimization sweeps constant and
+// sign-extension fat off wide nets. This pass reproduces that behaviour.
+// For every node it computes a conservative signed interval [lo, hi] of
+// reachable values — propagating through arithmetic, shifts, muxes and
+// register feedback (with widening) — and derives an *effective width*:
+// the bits synthesis actually has to build.
+//
+// The cost model and static timing consume effective widths instead of
+// declared widths. This is what puts the paper's hand-written 32-bit
+// Verilog (trimmed by the tool) and Chisel's inferred widths within a few
+// percent of each other, exactly as Table II shows.
+//
+// The analysis never rewrites the netlist; wrap-around is handled by
+// falling back to the declared width's full range whenever a candidate
+// interval does not fit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/ir.hpp"
+
+namespace hlshc::synth {
+
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static Interval full(int width);
+  static Interval point(int64_t v) { return {v, v}; }
+  Interval join(const Interval& o) const;
+  bool fits(int width) const;
+  /// Smallest signed width holding both bounds.
+  int min_width() const;
+};
+
+class RangeAnalysis {
+ public:
+  /// Runs to fixpoint (bounded iterations with widening on registers).
+  explicit RangeAnalysis(const netlist::Design& design);
+
+  const Interval& range(netlist::NodeId id) const {
+    return ranges_[static_cast<size_t>(id)];
+  }
+
+  /// min(declared width, width of the value range).
+  int effective_width(netlist::NodeId id) const {
+    return widths_[static_cast<size_t>(id)];
+  }
+
+ private:
+  std::vector<Interval> ranges_;
+  std::vector<int> widths_;
+};
+
+}  // namespace hlshc::synth

@@ -1,0 +1,39 @@
+#include "synth/synthesize.hpp"
+
+#include <cmath>
+
+#include "netlist/passes.hpp"
+
+namespace hlshc::synth {
+
+SynthReport synthesize(const netlist::Design& design,
+                       const SynthOptions& options) {
+  netlist::Design optimized = netlist::optimize(design);
+  Mapper mapper(optimized, options);
+  TimingReport timing = analyze_timing(optimized, mapper, options);
+
+  SynthReport report;
+  report.design_name = design.name();
+  report.fmax_mhz = timing.fmax_mhz;
+  report.min_period_ns = timing.min_period_ns;
+  report.critical_path_ns = timing.critical_path_ns;
+  report.n_lut = static_cast<long>(std::llround(mapper.total_luts()));
+  report.n_ff = static_cast<long>(std::llround(mapper.total_ffs()));
+  report.n_dsp = mapper.total_dsps();
+  report.n_bram = mapper.total_brams();
+  report.n_io = optimized.io_bit_count();
+  report.critical_path = describe_path(optimized, timing);
+  return report;
+}
+
+NormalizedSynth synthesize_normalized(const netlist::Design& design,
+                                      SynthOptions options) {
+  NormalizedSynth out;
+  out.normal = synthesize(design, options);
+  SynthOptions nodsp = options;
+  nodsp.maxdsp = 0;
+  out.nodsp = synthesize(design, nodsp);
+  return out;
+}
+
+}  // namespace hlshc::synth

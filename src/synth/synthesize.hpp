@@ -1,0 +1,59 @@
+// Top-level "virtual Vivado" entry point.
+//
+// synthesize() runs the logic-optimization passes (constant folding, dead
+// logic sweep), technology-maps the result with the cost model, and runs
+// static timing. The returned SynthReport carries every per-design indicator
+// of the paper's Table II area/frequency block:
+//
+//   fmax (ν_max), N_LUT, N_FF, N_DSP, N_IO  — with the given maxdsp budget.
+//
+// The paper's normalized area A = N*_LUT + N*_FF is obtained by calling
+// synthesize() again with maxdsp=0 (helper: synthesize_normalized()).
+#pragma once
+
+#include <string>
+
+#include "netlist/ir.hpp"
+#include "synth/cost_model.hpp"
+#include "synth/device.hpp"
+#include "synth/timing.hpp"
+
+namespace hlshc::synth {
+
+struct SynthReport {
+  std::string design_name;
+  double fmax_mhz = 0.0;
+  double min_period_ns = 0.0;
+  double critical_path_ns = 0.0;
+  long n_lut = 0;
+  long n_ff = 0;
+  long n_dsp = 0;
+  long n_bram = 0;
+  long n_io = 0;  ///< data pins; +2 for clk/reset is not counted, as in the paper
+  std::string critical_path;
+
+  /// Utilization against a device (percent).
+  double lut_util(const Device& dev) const {
+    return dev.luts ? 100.0 * static_cast<double>(n_lut) / static_cast<double>(dev.luts) : 0.0;
+  }
+  double ff_util(const Device& dev) const {
+    return dev.ffs ? 100.0 * static_cast<double>(n_ff) / static_cast<double>(dev.ffs) : 0.0;
+  }
+};
+
+/// Optimize + map + time with the given options.
+SynthReport synthesize(const netlist::Design& design,
+                       const SynthOptions& options = {});
+
+/// The paper's two synthesis runs in one call: `normal` uses the default DSP
+/// mapping, `nodsp` re-maps with maxdsp=0; A = nodsp.n_lut + nodsp.n_ff.
+struct NormalizedSynth {
+  SynthReport normal;
+  SynthReport nodsp;
+  long area() const { return nodsp.n_lut + nodsp.n_ff; }
+};
+
+NormalizedSynth synthesize_normalized(const netlist::Design& design,
+                                      SynthOptions options = {});
+
+}  // namespace hlshc::synth

@@ -1,0 +1,100 @@
+#include "synth/timing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hlshc::synth {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::Op;
+
+TimingReport analyze_timing(const netlist::Design& design,
+                            const Mapper& mapper,
+                            const SynthOptions& options) {
+  const auto order = design.topo_order();
+  const size_t n = design.node_count();
+  std::vector<double> arrival(n, 0.0);
+  std::vector<NodeId> pred(n, netlist::kInvalidNode);
+
+  // Pass 1: arrival times in topological order. Registers launch fresh
+  // paths (arrival 0); their D-input logic is timed like any other fan-in.
+  for (NodeId id : order) {
+    const Node& nd = design.node(id);
+    const size_t i = static_cast<size_t>(id);
+
+    if (nd.op == Op::Reg) {
+      arrival[i] = 0.0;
+      continue;
+    }
+    if (nd.op == Op::Input) {
+      arrival[i] = options.delay.io_pad;
+      continue;
+    }
+    if (nd.op == Op::Const) {
+      arrival[i] = 0.0;
+      continue;
+    }
+
+    double in_arrival = 0.0;
+    NodeId in_pred = netlist::kInvalidNode;
+    for (NodeId o : nd.operands) {
+      double t = arrival[static_cast<size_t>(o)];
+      if (t >= in_arrival) {
+        in_arrival = t;
+        in_pred = o;
+      }
+    }
+    arrival[i] = in_arrival + mapper.cost(id).delay_ns;
+    pred[i] = in_pred;
+  }
+
+  // Pass 2: endpoints — register D (and enable) pins, output pads, memory
+  // write ports.
+  double worst = 0.0;
+  NodeId worst_end = netlist::kInvalidNode;
+  auto consider_endpoint = [&](double t, NodeId end) {
+    if (t > worst) {
+      worst = t;
+      worst_end = end;
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = design.node(static_cast<NodeId>(i));
+    if (nd.op == Op::Reg) {
+      for (NodeId o : nd.operands)
+        consider_endpoint(arrival[static_cast<size_t>(o)], o);
+    } else if (nd.op == Op::Output) {
+      consider_endpoint(arrival[i] + options.delay.io_pad,
+                        static_cast<NodeId>(i));
+    } else if (nd.op == Op::MemWrite) {
+      consider_endpoint(arrival[i], static_cast<NodeId>(i));
+    }
+  }
+
+  TimingReport report;
+  report.critical_path_ns = worst;
+  report.min_period_ns = worst + options.delay.clk_overhead;
+  report.fmax_mhz =
+      report.min_period_ns > 0 ? 1000.0 / report.min_period_ns : 0.0;
+
+  for (NodeId at = worst_end; at != netlist::kInvalidNode;
+       at = pred[static_cast<size_t>(at)])
+    report.critical_nodes.push_back(at);
+  std::reverse(report.critical_nodes.begin(), report.critical_nodes.end());
+  return report;
+}
+
+std::string describe_path(const netlist::Design& design,
+                          const TimingReport& report) {
+  std::ostringstream os;
+  for (size_t i = 0; i < report.critical_nodes.size(); ++i) {
+    const Node& n = design.node(report.critical_nodes[i]);
+    if (i) os << " -> ";
+    os << op_name(n.op) << '<' << n.width << '>';
+    if (!n.name.empty()) os << '(' << n.name << ')';
+  }
+  return os.str();
+}
+
+}  // namespace hlshc::synth

@@ -1,0 +1,34 @@
+// Static timing analysis over a mapped netlist.
+//
+// Computes the longest combinational path between timing endpoints
+// (input pads, register outputs, constants → register D-inputs, output
+// pads, memory write ports) using the per-node delays assigned by the
+// Mapper. The minimum clock period is that path plus clocking overhead;
+// ν_max = 1 / T_clk, which is what the paper extracts from Vivado timing
+// reports via T_clk - T_wns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/ir.hpp"
+#include "synth/cost_model.hpp"
+
+namespace hlshc::synth {
+
+struct TimingReport {
+  double critical_path_ns = 0.0;  ///< longest register-to-register-ish path
+  double min_period_ns = 0.0;     ///< critical path + clock overhead
+  double fmax_mhz = 0.0;
+  std::vector<netlist::NodeId> critical_nodes;  ///< path, source first
+};
+
+TimingReport analyze_timing(const netlist::Design& design,
+                            const Mapper& mapper,
+                            const SynthOptions& options);
+
+/// Render the critical path as "in -> add<24> -> ... -> reg" for reports.
+std::string describe_path(const netlist::Design& design,
+                          const TimingReport& report);
+
+}  // namespace hlshc::synth

@@ -1,0 +1,506 @@
+#include "tools/flows.hpp"
+
+#include <sstream>
+
+#include "base/strings.hpp"
+#include "bsv/designs.hpp"
+#include "chisel/designs.hpp"
+#include "core/diff.hpp"
+#include "core/loc.hpp"
+#include "core/metrics.hpp"
+#include "hls/tool.hpp"
+#include "maxj/kernels.hpp"
+#include "maxj/system.hpp"
+#include "rtl/designs.hpp"
+#include "xls/designs.hpp"
+
+namespace hlshc::tools {
+
+namespace {
+
+using core::DesignEvaluation;
+using core::ScatterPoint;
+
+int code_loc(const std::string& rel) {
+  return core::count_data_file(rel, core::language_of(rel)).code;
+}
+
+ScatterPoint point(const std::string& family, const std::string& config,
+                   const DesignEvaluation& ev) {
+  return ScatterPoint{family, config, ev.throughput_mops, ev.area};
+}
+
+// ---- Verilog -----------------------------------------------------------------
+
+class VerilogFlow : public Flow {
+ public:
+  std::string family() const override { return "verilog"; }
+  ToolInfo info() const override {
+    return {"Verilog", "Classical RTL", "Vivado", "LS/PR", "Commercial"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    r.initial = core::evaluate_axis_design(rtl::build_verilog_initial());
+    r.optimized = core::evaluate_axis_design(rtl::build_verilog_opt2());
+    r.loc.initial = code_loc("verilog/idct_initial.v");
+    r.loc.optimized = code_loc("verilog/idct_opt.v");
+    r.loc.delta = core::diff_data_files("verilog/idct_initial.v",
+                                        "verilog/idct_opt.v")
+                      .delta();
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    return {
+        point(family(), "initial",
+              core::evaluate_axis_design(rtl::build_verilog_initial())),
+        point(family(), "opt1-1row8col",
+              core::evaluate_axis_design(rtl::build_verilog_opt1())),
+        point(family(), "opt2-pipelined",
+              core::evaluate_axis_design(rtl::build_verilog_opt2())),
+    };
+  }
+};
+
+// ---- Chisel -------------------------------------------------------------------
+
+class ChiselFlow : public Flow {
+ public:
+  std::string family() const override { return "chisel"; }
+  ToolInfo info() const override {
+    return {"Chisel", "Functional/RTL", "Chisel", "HC", "Open-source"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    r.initial = core::evaluate_axis_design(chisel::build_chisel_initial());
+    r.optimized = core::evaluate_axis_design(chisel::build_chisel_opt());
+    int shared = code_loc("chisel/Butterfly.scala");
+    r.loc.initial = shared + code_loc("chisel/IdctInitial.scala");
+    r.loc.optimized = shared + code_loc("chisel/IdctOpt.scala");
+    r.loc.delta = core::diff_data_files("chisel/IdctInitial.scala",
+                                        "chisel/IdctOpt.scala")
+                      .delta();
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    return {
+        point(family(), "initial",
+              core::evaluate_axis_design(chisel::build_chisel_initial())),
+        point(family(), "opt",
+              core::evaluate_axis_design(chisel::build_chisel_opt())),
+    };
+  }
+};
+
+// ---- BSV ----------------------------------------------------------------------
+
+std::vector<bsv::SchedulerOptions> bsv_configs() {
+  std::vector<bsv::SchedulerOptions> out;
+  // 13 scheduler/attribute combinations x 2 designs = the paper's 26.
+  out.push_back({});  // the default comes first
+  for (bsv::UrgencyOrder u :
+       {bsv::UrgencyOrder::kDeclaration, bsv::UrgencyOrder::kReversed,
+        bsv::UrgencyOrder::kConflictSorted}) {
+    for (bsv::MuxStyle s :
+         {bsv::MuxStyle::kPriorityChain, bsv::MuxStyle::kOneHotAndOr}) {
+      for (bool ac : {false, true}) {
+        bsv::SchedulerOptions o;
+        o.urgency = u;
+        o.mux_style = s;
+        o.aggressive_conditions = ac;
+        out.push_back(o);
+      }
+    }
+  }
+  return out;  // 1 + 12 = 13
+}
+
+std::string bsv_label(const bsv::SchedulerOptions& o) {
+  std::string s;
+  switch (o.urgency) {
+    case bsv::UrgencyOrder::kDeclaration: s = "decl"; break;
+    case bsv::UrgencyOrder::kReversed: s = "rev"; break;
+    case bsv::UrgencyOrder::kConflictSorted: s = "csort"; break;
+  }
+  s += o.mux_style == bsv::MuxStyle::kOneHotAndOr ? "+onehot" : "+prio";
+  if (o.aggressive_conditions) s += "+ac";
+  return s;
+}
+
+class BsvFlow : public Flow {
+ public:
+  std::string family() const override { return "bsv"; }
+  ToolInfo info() const override {
+    return {"BSV", "Rule-based/RTL", "BSC", "HC", "Open-source"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    r.initial = core::evaluate_axis_design(bsv::build_bsv_initial());
+    r.optimized = core::evaluate_axis_design(bsv::build_bsv_opt());
+    int shared = code_loc("bsv/IdctFuncs.bsv");
+    r.loc.initial = shared + code_loc("bsv/IdctInitial.bsv");
+    r.loc.optimized = shared + code_loc("bsv/IdctOpt.bsv");
+    r.loc.delta = core::diff_data_files("bsv/IdctInitial.bsv",
+                                        "bsv/IdctOpt.bsv")
+                      .delta();
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    std::vector<ScatterPoint> out;
+    for (const auto& cfg : bsv_configs()) {
+      out.push_back(point(family(), "initial:" + bsv_label(cfg),
+                          core::evaluate_axis_design(
+                              bsv::build_bsv_initial(cfg))));
+      out.push_back(point(family(), "opt:" + bsv_label(cfg),
+                          core::evaluate_axis_design(
+                              bsv::build_bsv_opt(cfg))));
+    }
+    return out;  // 26 circuits
+  }
+};
+
+// ---- DSLX / XLS -----------------------------------------------------------------
+
+class XlsFlow : public Flow {
+ public:
+  std::string family() const override { return "xls"; }
+  ToolInfo info() const override {
+    return {"DSLX", "Functional", "XLS", "HLS", "Open-source"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    r.initial =
+        core::evaluate_axis_design(xls::build_xls_design({0}).design);
+    r.optimized =
+        core::evaluate_axis_design(xls::build_xls_design({8}).design);
+    // L = kernel source + hand-crafted adapter (+ codegen options for the
+    // optimized configuration).
+    int base = code_loc("dslx/idct.x") + code_loc("dslx/axis_adapter.v");
+    int conf = code_loc("dslx/xls_opt.cfg");
+    r.loc.initial = base;
+    r.loc.optimized = base + conf;
+    r.loc.delta = conf;  // the paper: only the stage count changes (ΔL = 3)
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    std::vector<ScatterPoint> out;
+    out.push_back(point(family(), "comb",
+                        core::evaluate_axis_design(
+                            xls::build_xls_design({0}).design)));
+    for (int stages = 1; stages <= 18; ++stages)
+      out.push_back(point(family(), "stages=" + std::to_string(stages),
+                          core::evaluate_axis_design(
+                              xls::build_xls_design({stages}).design)));
+    return out;  // 19 circuits
+  }
+};
+
+// ---- MaxJ -----------------------------------------------------------------------
+
+class MaxjFlow : public Flow {
+ public:
+  std::string family() const override { return "maxj"; }
+  ToolInfo info() const override {
+    return {"MaxJ", "Dataflow", "MaxCompiler", "HLS", "Commercial"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    maxj::Kernel init = maxj::build_matrix_kernel();
+    maxj::Kernel opt = maxj::build_row_kernel();
+    r.initial = core::from_maxj("maxj_matrix", init,
+                                maxj::evaluate_system(init));
+    r.optimized =
+        core::from_maxj("maxj_row", opt, maxj::evaluate_system(opt));
+    // MaxCompiler generates the PCIe interface: L_AXI = 0; the manager is
+    // part of the description.
+    int shared =
+        code_loc("maxj/IdctMath.maxj") + code_loc("maxj/IdctManager.maxj");
+    r.loc.initial = shared + code_loc("maxj/IdctMatrixKernel.maxj");
+    r.loc.optimized = shared + code_loc("maxj/IdctRowKernel.maxj");
+    r.loc.delta = core::diff_data_files("maxj/IdctMatrixKernel.maxj",
+                                        "maxj/IdctRowKernel.maxj")
+                      .delta();
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    FlowResult r = evaluate();
+    return {point(family(), "matrix-per-tick", r.initial),
+            point(family(), "row-per-tick", r.optimized)};
+  }
+};
+
+// ---- C / Bambu --------------------------------------------------------------------
+
+class BambuFlow : public Flow {
+ public:
+  std::string family() const override { return "bambu"; }
+  ToolInfo info() const override {
+    return {"C", "Imperative", "Bambu", "HLS", "Open-source"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    const std::string src = hls::idct_source();
+    hls::BambuOptions init;  // default preset, MEM_ACC_11, LSS
+    hls::BambuOptions best;
+    best.preset = hls::BambuPreset::kPerformanceMp;
+    best.speculative_sdc = true;
+    r.initial =
+        core::evaluate_axis_design(hls::compile_bambu(src, init).design);
+    r.optimized =
+        core::evaluate_axis_design(hls::compile_bambu(src, best).design);
+    int base = code_loc("c/idct.c") + code_loc("c/axis_adapter.v");
+    int conf = code_loc("c/bambu_opt.cfg");
+    r.loc.initial = base;
+    r.loc.optimized = base + conf;
+    r.loc.delta = conf;  // only options change between the two configs
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    std::vector<ScatterPoint> out;
+    const std::string src = hls::idct_source();
+    core::EvaluateOptions eo;
+    eo.matrices = 3;  // hundreds of cycles per matrix: keep the sweep quick
+    for (const hls::BambuOptions& o : hls::bambu_sweep())
+      out.push_back(point(family(), o.label(),
+                          core::evaluate_axis_design(
+                              hls::compile_bambu(src, o).design, eo)));
+    return out;  // 42 circuits
+  }
+};
+
+// ---- C / Vivado HLS ----------------------------------------------------------------
+
+class VhlsFlow : public Flow {
+ public:
+  std::string family() const override { return "vhls"; }
+  ToolInfo info() const override {
+    return {"C", "Imperative", "Vivado HLS", "HLS", "Commercial"};
+  }
+  FlowResult evaluate() const override {
+    FlowResult r;
+    r.info = info();
+    const std::string src = hls::idct_source();
+    hls::VhlsOptions opt;
+    opt.pragmas = true;
+    r.initial =
+        core::evaluate_axis_design(hls::compile_vhls(src, {}).design,
+                                   slow_options());
+    r.optimized =
+        core::evaluate_axis_design(hls::compile_vhls(src, opt).design);
+    r.loc.initial = code_loc("c/idct_vhls.c");
+    r.loc.optimized = code_loc("c/idct_vhls_opt.c");
+    r.loc.delta =
+        core::diff_data_files("c/idct_vhls.c", "c/idct_vhls_opt.c").delta();
+    return r;
+  }
+  std::vector<ScatterPoint> sweep() const override {
+    const std::string src = hls::idct_source();
+    std::vector<ScatterPoint> out;
+    out.push_back(point(family(), "push-button",
+                        core::evaluate_axis_design(
+                            hls::compile_vhls(src, {}).design,
+                            slow_options())));
+    for (int stages : {1, 2}) {
+      hls::VhlsOptions o;
+      o.pragmas = true;
+      o.pipeline_stages = stages;
+      out.push_back(point(family(), "pragmas-s" + std::to_string(stages),
+                          core::evaluate_axis_design(
+                              hls::compile_vhls(src, o).design)));
+    }
+    return out;  // 3 circuits
+  }
+
+ private:
+  static core::EvaluateOptions slow_options() {
+    core::EvaluateOptions o;
+    o.matrices = 3;  // the push-button design takes ~700 cycles per matrix
+    return o;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Flow>> make_flows() {
+  std::vector<std::unique_ptr<Flow>> out;
+  out.push_back(std::make_unique<VerilogFlow>());
+  out.push_back(std::make_unique<ChiselFlow>());
+  out.push_back(std::make_unique<BsvFlow>());
+  out.push_back(std::make_unique<XlsFlow>());
+  out.push_back(std::make_unique<MaxjFlow>());
+  out.push_back(std::make_unique<BambuFlow>());
+  out.push_back(std::make_unique<VhlsFlow>());
+  return out;
+}
+
+Table2 build_table2() {
+  Table2 table;
+  std::vector<FlowResult> results;
+  for (const auto& flow : make_flows()) results.push_back(flow->evaluate());
+
+  const FlowResult& verilog = results.front();
+  table.verilog_best_quality =
+      std::max(verilog.initial.quality(), verilog.optimized.quality());
+
+  for (FlowResult& r : results) {
+    Table2Column col;
+    col.quality_initial = r.initial.quality();
+    col.quality_opt = r.optimized.quality();
+    col.automation_initial =
+        core::automation_percent(r.loc.initial, verilog.loc.initial);
+    col.automation_opt =
+        core::automation_percent(r.loc.optimized, verilog.loc.optimized);
+    double best = std::max(col.quality_initial, col.quality_opt);
+    col.controllability =
+        core::controllability_percent(best, table.verilog_best_quality);
+    col.flexibility =
+        core::flexibility(best, col.quality_initial, r.loc.delta);
+    col.flow = std::move(r);
+    table.columns.push_back(std::move(col));
+  }
+  return table;
+}
+
+std::vector<core::ScatterPoint> full_dse() {
+  std::vector<core::ScatterPoint> out;
+  for (const auto& flow : make_flows()) {
+    auto pts = flow->sweep();
+    out.insert(out.end(), pts.begin(), pts.end());
+  }
+  return out;
+}
+
+std::string render_table1() {
+  core::Table t({"Language", "Paradigm", "Tool", "Type", "Openness"});
+  for (const auto& flow : make_flows()) {
+    ToolInfo i = flow->info();
+    t.add_row({i.language, i.paradigm, i.tool, i.type, i.openness});
+  }
+  return t.render();
+}
+
+std::string render_table2(const Table2& table) {
+  using hlshc::format_fixed;
+  using hlshc::format_grouped;
+  std::vector<std::string> header = {"Row"};
+  for (const auto& c : table.columns) {
+    header.push_back(c.flow.info.tool + "/init");
+    header.push_back(c.flow.info.tool + "/opt");
+  }
+  core::Table t(header);
+  auto row = [&](const std::string& name, auto get_init, auto get_opt) {
+    std::vector<std::string> cells = {name};
+    for (const auto& c : table.columns) {
+      cells.push_back(get_init(c));
+      cells.push_back(get_opt(c));
+    }
+    t.add_row(std::move(cells));
+  };
+  auto both = [&](const std::string& name, auto get) {
+    row(
+        name, [&](const Table2Column& c) { return get(c.flow.initial); },
+        [&](const Table2Column& c) { return get(c.flow.optimized); });
+  };
+
+  row(
+      "LOC (incl options)",
+      [](const Table2Column& c) { return std::to_string(c.flow.loc.initial); },
+      [](const Table2Column& c) {
+        return std::to_string(c.flow.loc.optimized);
+      });
+  row(
+      "Modification dL",
+      [](const Table2Column& c) { return std::to_string(c.flow.loc.delta); },
+      [](const Table2Column&) { return std::string("-"); });
+  row(
+      "Automation a, %",
+      [](const Table2Column& c) { return format_fixed(c.automation_initial, 1); },
+      [](const Table2Column& c) { return format_fixed(c.automation_opt, 1); });
+  row(
+      "Quality Q=P/A",
+      [](const Table2Column& c) { return format_fixed(c.quality_initial, 0); },
+      [](const Table2Column& c) { return format_fixed(c.quality_opt, 0); });
+  row(
+      "Controllability C_Q, %",
+      [](const Table2Column& c) { return format_fixed(c.controllability, 1); },
+      [](const Table2Column&) { return std::string("-"); });
+  row(
+      "Flexibility F_Q",
+      [](const Table2Column& c) { return format_fixed(c.flexibility, 1); },
+      [](const Table2Column&) { return std::string("-"); });
+  both("Frequency, MHz",
+       [](const DesignEvaluation& e) { return format_fixed(e.fmax_mhz, 2); });
+  both("Throughput, MOPS", [](const DesignEvaluation& e) {
+    return format_fixed(e.throughput_mops, 2);
+  });
+  both("Latency, cycles", [](const DesignEvaluation& e) {
+    return std::to_string(e.latency_cycles);
+  });
+  both("Periodicity, cycles", [](const DesignEvaluation& e) {
+    return format_fixed(e.periodicity_cycles, 1);
+  });
+  both("Area N*LUT+N*FF", [](const DesignEvaluation& e) {
+    return format_grouped(e.area);
+  });
+  both("N*LUT (maxdsp=0)", [](const DesignEvaluation& e) {
+    return format_grouped(e.n_lut_star);
+  });
+  both("N*FF (maxdsp=0)", [](const DesignEvaluation& e) {
+    return format_grouped(e.n_ff_star);
+  });
+  both("N_LUT", [](const DesignEvaluation& e) {
+    return format_grouped(e.n_lut);
+  });
+  both("N_FF",
+       [](const DesignEvaluation& e) { return format_grouped(e.n_ff); });
+  both("N_DSP",
+       [](const DesignEvaluation& e) { return format_grouped(e.n_dsp); });
+  both("N_IO",
+       [](const DesignEvaluation& e) { return format_grouped(e.n_io); });
+  row(
+      "Functional",
+      [](const Table2Column& c) {
+        return c.flow.initial.functional ? std::string("yes")
+                                         : std::string("NO");
+      },
+      [](const Table2Column& c) {
+        return c.flow.optimized.functional ? std::string("yes")
+                                           : std::string("NO");
+      });
+  return t.render();
+}
+
+std::string table2_csv(const Table2& table) {
+  std::ostringstream os;
+  os << "tool,config,loc,delta_loc,automation_pct,quality,controllability_"
+        "pct,flexibility,fmax_mhz,throughput_mops,latency,periodicity,area,"
+        "n_lut_star,n_ff_star,n_lut,n_ff,n_dsp,n_io,functional\n";
+  auto row = [&](const Table2Column& c, bool opt) {
+    const core::DesignEvaluation& e = opt ? c.flow.optimized : c.flow.initial;
+    os << c.flow.info.tool << ',' << (opt ? "optimized" : "initial") << ','
+       << (opt ? c.flow.loc.optimized : c.flow.loc.initial) << ','
+       << c.flow.loc.delta << ','
+       << format_fixed(opt ? c.automation_opt : c.automation_initial, 1)
+       << ',' << format_fixed(opt ? c.quality_opt : c.quality_initial, 1)
+       << ',' << format_fixed(c.controllability, 1) << ','
+       << format_fixed(c.flexibility, 2) << ','
+       << format_fixed(e.fmax_mhz, 2) << ','
+       << format_fixed(e.throughput_mops, 3) << ',' << e.latency_cycles
+       << ',' << format_fixed(e.periodicity_cycles, 1) << ',' << e.area
+       << ',' << e.n_lut_star << ',' << e.n_ff_star << ',' << e.n_lut << ','
+       << e.n_ff << ',' << e.n_dsp << ',' << e.n_io << ','
+       << (e.functional ? "yes" : "no") << '\n';
+  };
+  for (const Table2Column& c : table.columns) {
+    row(c, false);
+    row(c, true);
+  }
+  return os.str();
+}
+
+}  // namespace hlshc::tools

@@ -1,0 +1,60 @@
+#include "xls/designs.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "framework/compose.hpp"
+#include "rtl/units.hpp"
+
+namespace hlshc::xls {
+
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+
+std::string xin(int i) { return "x" + std::to_string(i); }
+std::string yout(int i) { return "y" + std::to_string(i); }
+
+}  // namespace
+
+netlist::Design build_idct_kernel() {
+  Design d("xls_idct_kernel");
+  std::array<std::array<NodeId, 8>, 8> in;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      in[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          d.input(xin(r * 8 + c), axis::kInElemWidth);
+
+  std::array<std::array<NodeId, 8>, 8> rows;
+  for (int r = 0; r < 8; ++r)
+    rows[static_cast<size_t>(r)] =
+        rtl::build_row_unit(d, in[static_cast<size_t>(r)]);
+
+  for (int col = 0; col < 8; ++col) {
+    std::array<NodeId, 8> column;
+    for (int r = 0; r < 8; ++r)
+      column[static_cast<size_t>(r)] =
+          rows[static_cast<size_t>(r)][static_cast<size_t>(col)];
+    auto out = rtl::build_col_unit(d, column);
+    for (int r = 0; r < 8; ++r)
+      d.output(yout(r * 8 + col), out[static_cast<size_t>(r)]);
+  }
+  return d;
+}
+
+XlsDesign build_xls_design(const XlsOptions& options) {
+  PipelineResult pr =
+      pipeline_function(build_idct_kernel(), options.pipeline_stages);
+  const int L = pr.latency;
+  // The hand-crafted AXI adapter is the framework's generated interface
+  // (the XLS flow was its first client).
+  netlist::Design wrapped = framework::wrap_matrix_kernel(
+      framework::MatrixKernel{pr.design, L},
+      "xls_stages" + std::to_string(options.pipeline_stages));
+  return XlsDesign{std::move(wrapped), L, std::move(pr)};
+}
+
+}  // namespace hlshc::xls

@@ -1,0 +1,41 @@
+// XLS-style feed-forward pipeliner.
+//
+// XLS consumes a pure dataflow function (no registers) and a
+// `pipeline_stages` option, then emits a pipelined circuit: nodes are
+// assigned to stages by delay balancing against the function's critical
+// path, and every value crossing a stage boundary gets a pipeline
+// register. This module reproduces that codegen step for our netlist IR:
+//
+//   * stage(node) = floor(arrival_end(node) * N / critical_path), clamped
+//     monotone over operands — the same greedy ASAP balancing XLS's
+//     scheduler defaults to;
+//   * empty stages are merged away (XLS also emits fewer effective stages
+//     than requested when the schedule doesn't need them — the paper notes
+//     its best 8-stage configuration "for unknown reasons" takes only 3
+//     cycles; stage merging is precisely such a mechanism);
+//   * outputs are registered at the final boundary, so the pipeline
+//     latency equals the number of surviving stages.
+//
+// The returned design has the same port names as the input function.
+#pragma once
+
+#include "netlist/ir.hpp"
+#include "synth/cost_model.hpp"
+
+namespace hlshc::xls {
+
+struct PipelineResult {
+  netlist::Design design;
+  int latency = 0;          ///< register layers from input to output
+  int requested_stages = 0;
+  int merged_stages = 0;    ///< empty stages removed
+  int pipeline_regs = 0;    ///< total pipeline register bits inserted
+};
+
+/// Pipelines a pure combinational function. `stages` == 0 returns a copy of
+/// the function unchanged (combinational codegen). Throws if the function
+/// contains registers or memories.
+PipelineResult pipeline_function(const netlist::Design& function, int stages,
+                                 const synth::SynthOptions& options = {});
+
+}  // namespace hlshc::xls

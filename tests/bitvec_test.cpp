@@ -1,0 +1,131 @@
+// Unit tests for the BitVec fixed-width two's-complement value type.
+#include "base/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hlshc {
+namespace {
+
+TEST(BitVec, ConstructionWrapsToWidth) {
+  EXPECT_EQ(BitVec(4, 7).to_int64(), 7);
+  EXPECT_EQ(BitVec(4, 8).to_int64(), -8);    // 1000 -> -8
+  EXPECT_EQ(BitVec(4, -1).to_int64(), -1);
+  EXPECT_EQ(BitVec(4, 16).to_int64(), 0);    // wraps
+  EXPECT_EQ(BitVec(4, -9).to_int64(), 7);    // wraps
+  EXPECT_EQ(BitVec(1, 1).to_int64(), -1);    // 1-bit: 1 == -1 signed
+}
+
+TEST(BitVec, UnsignedView) {
+  EXPECT_EQ(BitVec(4, -1).to_uint64(), 15u);
+  EXPECT_EQ(BitVec(12, -1).to_uint64(), 4095u);
+  EXPECT_EQ(BitVec(64, -1).to_uint64(), ~uint64_t{0});
+}
+
+TEST(BitVec, BitIndexing) {
+  BitVec v(8, 0b10110010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  EXPECT_THROW(v.bit(8), Error);
+}
+
+TEST(BitVec, AddSubWrap) {
+  EXPECT_EQ(BitVec::add(BitVec(8, 100), BitVec(8, 100), 8).to_int64(), -56);
+  EXPECT_EQ(BitVec::add(BitVec(8, 100), BitVec(8, 100), 9).to_int64(), 200);
+  EXPECT_EQ(BitVec::sub(BitVec(8, 0), BitVec(8, 1), 8).to_int64(), -1);
+}
+
+TEST(BitVec, MulAtFullAndTruncatedWidth) {
+  EXPECT_EQ(BitVec::mul(BitVec(12, 2047), BitVec(13, 2841), 32).to_int64(),
+            2047 * 2841);
+  EXPECT_EQ(BitVec::mul(BitVec(12, -2048), BitVec(13, 2841), 32).to_int64(),
+            -2048 * 2841);
+  // Truncation keeps the low bits.
+  EXPECT_EQ(BitVec::mul(BitVec(8, 16), BitVec(8, 16), 8).to_int64(), 0);
+}
+
+TEST(BitVec, Mul64BitDoesNotOverflowUB) {
+  // 2^40 * 2^20 wraps cleanly at 64 bits through the __int128 path.
+  BitVec a(64, int64_t{1} << 40);
+  BitVec b(64, int64_t{1} << 20);
+  EXPECT_EQ(BitVec::mul(a, b, 64).to_int64(), int64_t{1} << 60);
+}
+
+TEST(BitVec, Shifts) {
+  EXPECT_EQ(BitVec::shl(BitVec(12, -3), 11, 24).to_int64(), -3 << 11);
+  EXPECT_EQ(BitVec::ashr(BitVec(16, -256), 8, 16).to_int64(), -1);
+  EXPECT_EQ(BitVec::ashr(BitVec(16, -255), 8, 16).to_int64(), -1);  // floors
+  EXPECT_EQ(BitVec::lshr(BitVec(8, -1), 4, 8).to_int64(), 15);
+  EXPECT_EQ(BitVec::ashr(BitVec(8, -1), 70, 8).to_int64(), -1);
+  EXPECT_EQ(BitVec::lshr(BitVec(8, -1), 70, 8).to_int64(), 0);
+}
+
+TEST(BitVec, Bitwise) {
+  EXPECT_EQ(BitVec::band(BitVec(8, 0xF0), BitVec(8, 0x3C), 8).to_uint64(),
+            0x30u);
+  EXPECT_EQ(BitVec::bor(BitVec(8, 0xF0), BitVec(8, 0x0C), 8).to_uint64(),
+            0xFCu);
+  EXPECT_EQ(BitVec::bxor(BitVec(8, 0xFF), BitVec(8, 0x0F), 8).to_uint64(),
+            0xF0u);
+  EXPECT_EQ(BitVec::bnot(BitVec(4, 0b1010), 4).to_uint64(), 0b0101u);
+}
+
+TEST(BitVec, Comparisons) {
+  EXPECT_TRUE(BitVec::slt(BitVec(8, -5), BitVec(8, 3)).to_bool());
+  EXPECT_FALSE(BitVec::ult(BitVec(8, -5), BitVec(8, 3)).to_bool());
+  EXPECT_TRUE(BitVec::eq(BitVec(8, 42), BitVec(8, 42)).to_bool());
+  EXPECT_TRUE(BitVec::sge(BitVec(8, 3), BitVec(8, 3)).to_bool());
+  EXPECT_TRUE(BitVec::sgt(BitVec(8, 4), BitVec(8, 3)).to_bool());
+  EXPECT_TRUE(BitVec::sle(BitVec(8, -4), BitVec(8, -4)).to_bool());
+  EXPECT_TRUE(BitVec::ne(BitVec(8, 1), BitVec(8, 2)).to_bool());
+}
+
+TEST(BitVec, SliceConcat) {
+  BitVec v(12, 0xABC);
+  EXPECT_EQ(BitVec::slice(v, 11, 8).to_uint64(), 0xAu);
+  EXPECT_EQ(BitVec::slice(v, 7, 4).to_uint64(), 0xBu);
+  EXPECT_EQ(BitVec::slice(v, 3, 0).to_uint64(), 0xCu);
+  BitVec joined = BitVec::concat(BitVec(4, 0xA), BitVec(8, 0xBC));
+  EXPECT_EQ(joined.width(), 12);
+  EXPECT_EQ(joined.to_uint64(), 0xABCu);
+}
+
+TEST(BitVec, Extensions) {
+  EXPECT_EQ(BitVec::sext(BitVec(4, -3), 12).to_int64(), -3);
+  EXPECT_EQ(BitVec::zext(BitVec(4, -3), 12).to_int64(), 13);
+  // Extension to a narrower width truncates.
+  EXPECT_EQ(BitVec::sext(BitVec(12, 0x7FF), 4).to_int64(), -1);
+}
+
+TEST(BitVec, Mux) {
+  BitVec t(8, 11), f(8, 22);
+  EXPECT_EQ(BitVec::mux(BitVec::bool_of(true), t, f, 8).to_int64(), 11);
+  EXPECT_EQ(BitVec::mux(BitVec::bool_of(false), t, f, 8).to_int64(), 22);
+}
+
+TEST(BitVec, MinSignedWidth) {
+  EXPECT_EQ(BitVec::min_signed_width(0), 1);
+  EXPECT_EQ(BitVec::min_signed_width(-1), 1);
+  EXPECT_EQ(BitVec::min_signed_width(1), 2);
+  EXPECT_EQ(BitVec::min_signed_width(7), 4);
+  EXPECT_EQ(BitVec::min_signed_width(-8), 4);
+  EXPECT_EQ(BitVec::min_signed_width(8), 5);
+  EXPECT_EQ(BitVec::min_signed_width(2841), 13);
+  EXPECT_EQ(BitVec::min_signed_width(2047), 12);
+  EXPECT_EQ(BitVec::min_signed_width(-2048), 12);
+}
+
+TEST(BitVec, WidthRangeChecked) {
+  EXPECT_THROW(BitVec(0, 0), Error);
+  EXPECT_THROW(BitVec(65, 0), Error);
+  EXPECT_NO_THROW(BitVec(64, -1));
+}
+
+TEST(BitVec, Strings) {
+  EXPECT_EQ(BitVec(4, 5).to_binary_string(), "0101");
+  EXPECT_EQ(BitVec(4, -1).to_binary_string(), "1111");
+  EXPECT_EQ(BitVec(8, -2).to_string(), "8'd-2");
+}
+
+}  // namespace
+}  // namespace hlshc

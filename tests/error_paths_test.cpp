@@ -1,0 +1,110 @@
+// Error-path coverage: every public API that validates its inputs must
+// reject bad usage with hlshc::Error (not UB, not silent misbehaviour).
+#include <gtest/gtest.h>
+
+#include "framework/compose.hpp"
+#include "netlist/instantiate.hpp"
+#include "netlist/ir.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+#include "synth/csd.hpp"
+
+namespace hlshc {
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+
+TEST(ErrorPaths, InstantiateMissingBindingThrows) {
+  Design sub("sub");
+  NodeId a = sub.input("a", 8);
+  sub.output("o", a);
+  Design host("host");
+  EXPECT_THROW(netlist::instantiate(host, sub, {}), Error);
+}
+
+TEST(ErrorPaths, InstantiateWidthMismatchThrows) {
+  Design sub("sub");
+  NodeId a = sub.input("a", 8);
+  sub.output("o", a);
+  Design host("host");
+  NodeId narrow = host.input("x", 4);
+  EXPECT_THROW(netlist::instantiate(host, sub, {{"a", narrow}}), Error);
+}
+
+TEST(ErrorPaths, RegisterDoubleNextThrows) {
+  Design d("d");
+  NodeId r = d.reg(4, 0, "r");
+  NodeId c = d.constant(4, 1);
+  d.set_reg_next(r, c);
+  EXPECT_THROW(d.set_reg_next(r, c), Error);
+}
+
+TEST(ErrorPaths, RegisterEnableMustBeOneBit) {
+  Design d("d");
+  NodeId r = d.reg(4, 0, "r");
+  NodeId c = d.constant(4, 1);
+  NodeId wide = d.constant(4, 1);
+  EXPECT_THROW(d.set_reg_next(r, c, wide), Error);
+}
+
+TEST(ErrorPaths, MemoryBadShapeThrows) {
+  Design d("d");
+  EXPECT_THROW(d.add_memory("m", 0, 16), Error);
+  EXPECT_THROW(d.add_memory("m", 8, 0), Error);
+}
+
+TEST(ErrorPaths, MemWriteEnableMustBeOneBit) {
+  Design d("d");
+  int mem = d.add_memory("m", 8, 4);
+  NodeId a = d.input("a", 2);
+  NodeId v = d.input("v", 8);
+  EXPECT_THROW(d.mem_write(mem, a, v, v), Error);
+}
+
+TEST(ErrorPaths, SimulatorRejectsInvalidDesign) {
+  Design d("d");
+  d.reg(4, 0, "dangling");  // no next-value
+  EXPECT_THROW(sim::Simulator{d}, Error);
+}
+
+TEST(ErrorPaths, VcdWithNoSignalsThrows) {
+  Design d("d");
+  NodeId a = d.input("a", 4);
+  d.output("o", a);
+  sim::Simulator sim(d);
+  EXPECT_THROW(sim::VcdTrace(sim, {}), Error);
+}
+
+TEST(ErrorPaths, ComposeRejectsBadStoreWidth) {
+  Design row("row");
+  for (int i = 0; i < 8; ++i) {
+    NodeId x = row.input("i" + std::to_string(i), 12);
+    row.output("o" + std::to_string(i), row.sext(x, 32));
+  }
+  Design col = row;  // same shape is fine for the check under test
+  EXPECT_THROW(framework::compose_row_col(framework::PassKernel{row, 0},
+                                          framework::PassKernel{col, 0}, 8,
+                                          "bad"),
+               Error);
+  EXPECT_THROW(framework::compose_row_col(framework::PassKernel{row, 0},
+                                          framework::PassKernel{col, 0}, 40,
+                                          "bad"),
+               Error);
+}
+
+TEST(ErrorPaths, BitVecSliceAndConcatBounds) {
+  BitVec v(8, 0x5A);
+  EXPECT_THROW(BitVec::slice(v, 8, 0), Error);
+  EXPECT_THROW(BitVec::concat(BitVec(40, 1), BitVec(40, 1)), Error);
+}
+
+TEST(ErrorPaths, CsdHandlesBoundaryConstants) {
+  EXPECT_EQ(synth::csd_nonzero_digits(0), 0);
+  // Large magnitudes stay well-defined.
+  EXPECT_GT(synth::csd_nonzero_digits((int64_t{1} << 40) - 1), 0);
+  EXPECT_EQ(synth::csd_nonzero_digits(int64_t{1} << 40), 1);
+}
+
+}  // namespace
+}  // namespace hlshc

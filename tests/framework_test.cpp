@@ -1,0 +1,130 @@
+// Tests for the composition framework: the generated interfaces must make
+// ANY conforming kernel pair a correct AXI-Stream design — including
+// kernels originating from different flows (the paper's future-work
+// scenario), at several pipeline depths.
+#include "framework/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "chisel/designs.hpp"
+#include "hls/ast.hpp"
+#include "hls/tool.hpp"
+#include "idct/chenwang.hpp"
+#include "rtl/units.hpp"
+#include "sim/simulator.hpp"
+#include "testutil.hpp"
+#include "xls/designs.hpp"
+#include "xls/pipeline.hpp"
+
+namespace hlshc::framework {
+namespace {
+
+using testutil::realistic_coeff_block;
+using testutil::software_idct;
+
+void check_design(netlist::Design& d, uint64_t seed, int matrices = 5,
+                  bool backpressure = false) {
+  sim::Simulator sim(d);
+  axis::StreamTestbench tb(sim);
+  if (backpressure) tb.sink().set_backpressure(2, 5);
+  SplitMix64 rng(seed);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < matrices; ++i)
+    ins.push_back(realistic_coeff_block(rng));
+  auto out = tb.run(ins);
+  ASSERT_EQ(out.size(), ins.size());
+  for (size_t i = 0; i < ins.size(); ++i)
+    EXPECT_EQ(out[i], software_idct(ins[i])) << d.name() << " matrix " << i;
+  EXPECT_TRUE(tb.monitor().clean()) << d.name();
+}
+
+class MatrixWrapDepths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixWrapDepths, AnyLatencyKernelStreamsCorrectly) {
+  auto pr = xls::pipeline_function(xls::build_idct_kernel(), GetParam());
+  netlist::Design d = wrap_matrix_kernel(MatrixKernel{pr.design, pr.latency},
+                                         "wrap_l" + std::to_string(pr.latency));
+  check_design(d, 11 + static_cast<uint64_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MatrixWrapDepths,
+                         ::testing::Values(0, 1, 2, 5, 10));
+
+TEST(ComposeRowCol, ChiselRowWithChiselCol) {
+  netlist::Design row = chisel::build_row_pass_kernel();
+  netlist::Design col = chisel::build_col_pass_kernel(16);
+  netlist::Design d = compose_row_col(PassKernel{row, 0}, PassKernel{col, 0},
+                                      16, "chisel_chisel");
+  check_design(d, 21);
+}
+
+TEST(ComposeRowCol, HlsRowWithChiselCol) {
+  // The headline mix: a C-compiled row pass + an eDSL column pass.
+  hls::Program prog = hls::parse(hls::idct_source());
+  auto row_leaf = hls::lower_leaf(prog, "idctrow", 0);
+  auto row = xls::pipeline_function(
+      hls::leaf_to_netlist(row_leaf, "hls_row", axis::kInElemWidth), 1);
+  netlist::Design col = chisel::build_col_pass_kernel(16);
+  netlist::Design d =
+      compose_row_col(PassKernel{row.design, row.latency},
+                      PassKernel{col, 0}, 16, "hls_chisel");
+  check_design(d, 22);
+  check_design(d, 23, 4, /*backpressure=*/true);
+}
+
+TEST(ComposeRowCol, PipelineDepthSweepsStayCorrect) {
+  hls::Program prog = hls::parse(hls::idct_source());
+  auto row_leaf = hls::lower_leaf(prog, "idctrow", 0);
+  auto col_leaf = hls::lower_leaf(prog, "idctcol", 0);
+  for (int stages : {1, 2, 3}) {
+    auto row = xls::pipeline_function(
+        hls::leaf_to_netlist(row_leaf, "r", axis::kInElemWidth), stages);
+    auto col = xls::pipeline_function(
+        hls::leaf_to_netlist(col_leaf, "c", 16), stages);
+    netlist::Design d = compose_row_col(
+        PassKernel{row.design, row.latency},
+        PassKernel{col.design, col.latency}, 16,
+        "sweep_s" + std::to_string(stages));
+    check_design(d, 30 + static_cast<uint64_t>(stages), 4);
+  }
+}
+
+TEST(ComposeRowCol, LatencyFollowsKernelDepths) {
+  // T_L = 8 (rows in) + Lr + 8 (columns) + Lc + 8 (rows out).
+  hls::Program prog = hls::parse(hls::idct_source());
+  auto row_leaf = hls::lower_leaf(prog, "idctrow", 0);
+  auto col_leaf = hls::lower_leaf(prog, "idctcol", 0);
+  for (int stages : {1, 2}) {
+    auto row = xls::pipeline_function(
+        hls::leaf_to_netlist(row_leaf, "r", axis::kInElemWidth), stages);
+    auto col = xls::pipeline_function(
+        hls::leaf_to_netlist(col_leaf, "c", 16), stages);
+    netlist::Design d = compose_row_col(
+        PassKernel{row.design, row.latency},
+        PassKernel{col.design, col.latency}, 16, "lat");
+    sim::Simulator sim(d);
+    axis::StreamTestbench tb(sim);
+    SplitMix64 rng(77);
+    std::vector<idct::Block> ins = {realistic_coeff_block(rng)};
+    tb.run(ins);
+    EXPECT_EQ(tb.timing().latency_cycles, 24 + row.latency + col.latency);
+  }
+}
+
+TEST(WrapMatrixKernel, RejectsNothingButMeasuresLatency) {
+  auto pr = xls::pipeline_function(xls::build_idct_kernel(), 3);
+  netlist::Design d =
+      wrap_matrix_kernel(MatrixKernel{pr.design, pr.latency}, "probe");
+  sim::Simulator sim(d);
+  axis::StreamTestbench tb(sim);
+  SplitMix64 rng(5);
+  std::vector<idct::Block> ins = {realistic_coeff_block(rng)};
+  tb.run(ins);
+  // T_L = 8 in + 1 launch + L + 8 out.
+  EXPECT_EQ(tb.timing().latency_cycles, 17 + pr.latency);
+}
+
+}  // namespace
+}  // namespace hlshc::framework

@@ -1,0 +1,144 @@
+// Robustness tests for the HLS frontend: malformed input must produce
+// diagnostics (never crashes or silent misparses), and the language subset
+// boundaries are enforced with clear errors. Includes a small fuzz loop
+// over mutated variants of the real source.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "hls/ast.hpp"
+#include "hls/dfg.hpp"
+#include "hls/lexer.hpp"
+#include "hls/tool.hpp"
+
+namespace hlshc::hls {
+namespace {
+
+TEST(Frontend, UnterminatedCommentDiagnosed) {
+  EXPECT_THROW(lex("int x; /* never closed"), Error);
+}
+
+TEST(Frontend, UnsupportedPreprocessorDiagnosed) {
+  EXPECT_THROW(lex("#include <stdio.h>\n"), Error);
+  EXPECT_THROW(lex("#define F(x) x\n"), Error);  // function-like macros
+}
+
+TEST(Frontend, DefineChainsResolve) {
+  auto toks = lex("#define A 7\n#define B A\nint x = B;");
+  bool found = false;
+  for (const auto& t : toks)
+    if (t.kind == Tok::kNumber && t.value == 7) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Frontend, MissingSemicolonDiagnosed) {
+  EXPECT_THROW(parse("void f(int a) { a = 1 }"), Error);
+}
+
+TEST(Frontend, UnbalancedBracesDiagnosed) {
+  EXPECT_THROW(parse("void f(int a) { if (a) { a = 1; }"), Error);
+}
+
+TEST(Frontend, UnknownVariableDiagnosedAtLowering) {
+  Program p = parse("void f(short b[64]) { b[0] = (short)zzz; }");
+  EXPECT_THROW(lower(p, "f"), Error);
+}
+
+TEST(Frontend, UnknownFunctionDiagnosed) {
+  Program p = parse("void f(short b[64]) { g(b, 0); }");
+  EXPECT_THROW(lower(p, "f"), Error);
+}
+
+TEST(Frontend, OutOfBoundsIndexDiagnosed) {
+  Program p = parse("void f(short b[64]) { b[64] = 0; }");
+  EXPECT_THROW(lower(p, "f"), Error);
+}
+
+TEST(Frontend, NonConstantBoundDiagnosed) {
+  Program p = parse(
+      "void f(short b[64], int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) { b[0] = 0; }\n"
+      "}");
+  // The top must take exactly one array param; call through a wrapper.
+  Program p2 = parse(
+      "static void g(short b[64], int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) { b[0] = 0; }\n"
+      "}\n"
+      "void f(short b[64]) { g(b, b[0]); }");
+  EXPECT_THROW(lower(p2, "f"), Error);
+  (void)p;
+}
+
+TEST(Frontend, DataDependentIfDiagnosed) {
+  Program p = parse(
+      "void f(short b[64]) { if (b[0] > 0) { b[1] = 1; } }");
+  EXPECT_THROW(lower(p, "f"), Error);
+}
+
+TEST(Frontend, UnrollGuardStopsRunawayLoops) {
+  Program p = parse(
+      "void f(short b[64]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 100000; i++) { b[0] = 0; }\n"
+      "}");
+  LowerOptions lo;
+  lo.max_loop_iterations = 64;
+  EXPECT_THROW(lower(p, "f", lo), Error);
+}
+
+TEST(Frontend, FuzzedSourcesNeverCrash) {
+  // Mutate the real source by deleting/duplicating random spans; every
+  // outcome must be either a successful parse or an hlshc::Error.
+  const std::string src = idct_source();
+  SplitMix64 rng(2026);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string mutated = src;
+    int edits = 1 + static_cast<int>(rng.next() % 3);
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(rng.next() %
+                                       static_cast<uint64_t>(mutated.size()));
+      size_t len = 1 + static_cast<size_t>(rng.next() % 40);
+      len = std::min(len, mutated.size() - pos);
+      if (rng.next() & 1)
+        mutated.erase(pos, len);
+      else
+        mutated.insert(pos, mutated.substr(pos, len));
+    }
+    try {
+      Program p = parse(mutated);
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+    // Any other exception type (or a crash) fails the test by itself.
+  }
+  EXPECT_EQ(parsed + rejected, 200);
+  EXPECT_GT(rejected, 50);  // most mutations should be rejected
+}
+
+TEST(Frontend, IclipSemantics) {
+  // The ternary-based helper function lowers to selects, end to end.
+  Program p = parse(
+      "static int iclip(int x) {\n"
+      "  return x < -256 ? -256 : (x > 255 ? 255 : x);\n"
+      "}\n"
+      "void f(short b[64]) { b[0] = (short)iclip(b[1] * 3); }");
+  Dfg dfg = lower(p, "f");
+  std::vector<int32_t> mem(64, 0);
+  mem[1] = 2000;
+  interpret(dfg, mem);
+  EXPECT_EQ(mem[0], 255);
+  std::fill(mem.begin(), mem.end(), 0);
+  mem[1] = -2000;
+  interpret(dfg, mem);
+  EXPECT_EQ(mem[0], -256);
+  std::fill(mem.begin(), mem.end(), 0);
+  mem[1] = 10;
+  interpret(dfg, mem);
+  EXPECT_EQ(mem[0], 30);
+}
+
+}  // namespace
+}  // namespace hlshc::hls

@@ -1,0 +1,334 @@
+// Tests for the mini HLS compiler: frontend (lexer/parser), lowering and
+// the DFG interpreter, scheduling invariants, sequential codegen
+// correctness through the stream interface, the streaming (pragma) path,
+// and the paper's Bambu/Vivado-HLS shapes.
+#include "hls/tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "hls/ast.hpp"
+#include "hls/lexer.hpp"
+#include "idct/chenwang.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesize.hpp"
+#include "testutil.hpp"
+
+namespace hlshc::hls {
+namespace {
+
+using testutil::realistic_coeff_block;
+using testutil::software_idct;
+using testutil::uniform_coeff_block;
+
+// ---- frontend -----------------------------------------------------------------
+
+TEST(Lexer, TokensAndMacros) {
+  auto toks = lex("#define W 42\nint f(int x) { return x * W; }");
+  // W expands to the number 42.
+  bool found42 = false;
+  for (const auto& t : toks)
+    if (t.kind == Tok::kNumber && t.value == 42) found42 = true;
+  EXPECT_TRUE(found42);
+}
+
+TEST(Lexer, CommentsAndOperators) {
+  auto toks = lex("/* c1 */ a >>= // nope\n");
+  // ">>=" lexes as ">>" "=" in this subset.
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].kind, Tok::kShr);
+  EXPECT_EQ(toks[2].kind, Tok::kAssign);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lex("int a @ b;"), Error);
+}
+
+TEST(Parser, ParsesTheShippedIdctSource) {
+  Program prog = parse(idct_source());
+  ASSERT_NE(prog.find("idct"), nullptr);
+  ASSERT_NE(prog.find("idctrow"), nullptr);
+  ASSERT_NE(prog.find("idctcol"), nullptr);
+  ASSERT_NE(prog.find("iclip"), nullptr);
+  EXPECT_TRUE(prog.find("iclip")->returns_value);
+  EXPECT_FALSE(prog.find("idct")->returns_value);
+  EXPECT_EQ(prog.find("idct")->params[0].array_size, 64);
+}
+
+TEST(Parser, PrecedenceMatchesC) {
+  // a + b * c  and shift/ternary nesting.
+  Program p = parse("int f(int a, int b, int c) { return a + b * c; }");
+  const Expr& e = *p.functions[0].body->stmts[0]->expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.op, BinOp::kAdd);
+  EXPECT_EQ(e.b->op, BinOp::kMul);
+}
+
+TEST(Parser, ReportsSyntaxErrorsWithLine) {
+  try {
+    parse("int f( { }");
+    FAIL() << "expected parse error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 1"), std::string::npos);
+  }
+}
+
+// ---- lowering -------------------------------------------------------------------
+
+TEST(Lowering, InterpreterMatchesSoftwareIdct) {
+  // Realistic (fDCT-derived) inputs: the C source stores row results in a
+  // short[] array, which wraps at 16 bits on inputs no decoder produces;
+  // the int32 software model does not. See tests/testutil.hpp.
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  SplitMix64 rng(55);
+  for (int iter = 0; iter < 50; ++iter) {
+    idct::Block in = realistic_coeff_block(rng);
+    std::vector<int32_t> memory(in.begin(), in.end());
+    interpret(dfg, memory);
+    idct::Block want = software_idct(in);
+    for (int i = 0; i < 64; ++i)
+      EXPECT_EQ(memory[static_cast<size_t>(i)], want[static_cast<size_t>(i)])
+          << iter << ':' << i;
+  }
+}
+
+TEST(Lowering, FullUnrollProducesExactMemoryOps) {
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  int loads = 0, stores = 0;
+  for (const DNode& nd : dfg.nodes) {
+    if (nd.op == DOp::kLoad) ++loads;
+    if (nd.op == DOp::kStore) ++stores;
+  }
+  EXPECT_EQ(loads, 128);   // 16 one-dimensional passes x 8 reads
+  EXPECT_EQ(stores, 128);  // ... x 8 writes
+}
+
+TEST(Lowering, NonInlinedModeCreatesRegions) {
+  Program prog = parse(idct_source());
+  LowerOptions lo;
+  lo.inline_functions = false;
+  Dfg dfg = lower(prog, "idct", lo);
+  EXPECT_EQ(dfg.regions, 17);  // 16 pass calls + top
+}
+
+TEST(Lowering, LeafModeYieldsPureDataflow) {
+  Program prog = parse(idct_source());
+  LeafDfg row = lower_leaf(prog, "idctrow", 0);
+  EXPECT_EQ(row.input_addrs.size(), 8u);
+  EXPECT_EQ(row.outputs.size(), 8u);
+  for (const DNode& nd : row.dfg.nodes) {
+    EXPECT_NE(nd.op, DOp::kLoad);
+    EXPECT_NE(nd.op, DOp::kStore);
+  }
+  LeafDfg col = lower_leaf(prog, "idctcol", 0);
+  ASSERT_EQ(col.input_addrs.size(), 8u);
+  EXPECT_EQ(col.input_addrs[1], 8);  // stride-8 column access
+}
+
+// ---- scheduling ------------------------------------------------------------------
+
+TEST(Scheduling, RespectsDependencesAndPorts) {
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  ScheduleOptions so;  // 1R + 1W
+  Schedule sched = schedule(dfg, so);
+  // Port limit: at least 128 cycles for 128 loads.
+  EXPECT_GE(sched.length, 128);
+  // Every dependence holds.
+  for (const DepEdge& e : dependence_edges(dfg)) {
+    int pc = sched.cycle[static_cast<size_t>(e.from)];
+    int cc = sched.cycle[static_cast<size_t>(e.to)];
+    if (pc < 0) continue;  // constant
+    EXPECT_LE(pc + e.latency, cc) << e.from << "->" << e.to;
+  }
+  // Port usage per cycle within bounds.
+  std::map<int, int> reads, writes;
+  for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+    if (dfg.nodes[i].op == DOp::kLoad) ++reads[sched.cycle[i]];
+    if (dfg.nodes[i].op == DOp::kStore) ++writes[sched.cycle[i]];
+  }
+  for (auto& [t, cnt] : reads) EXPECT_LE(cnt, so.mem_read_ports);
+  for (auto& [t, cnt] : writes) EXPECT_LE(cnt, so.mem_write_ports);
+}
+
+TEST(Scheduling, MorePortsShortenTheSchedule) {
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  ScheduleOptions one;  // MEM_ACC_11
+  ScheduleOptions two;  // MEM_ACC_NN
+  two.mem_read_ports = 2;
+  two.mem_write_ports = 2;
+  EXPECT_LT(schedule(dfg, two).length, schedule(dfg, one).length);
+}
+
+TEST(Scheduling, SpeculationCompressesSchedules) {
+  Program prog = parse(idct_source());
+  Dfg dfg = lower(prog, "idct");
+  ScheduleOptions base;
+  base.mem_read_ports = 2;
+  base.mem_write_ports = 2;
+  base.mul_units = 4;
+  ScheduleOptions spec = base;
+  spec.speculative = true;
+  EXPECT_LE(schedule(dfg, spec).length, schedule(dfg, base).length);
+}
+
+TEST(Scheduling, RegionsSerializeWithOverhead) {
+  Program prog = parse(idct_source());
+  LowerOptions lo;
+  lo.inline_functions = false;
+  Dfg regions = lower(prog, "idct", lo);
+  Dfg inlined = lower(prog, "idct");
+  ScheduleOptions so;
+  so.region_overhead = 18;
+  EXPECT_GT(schedule(regions, so).length,
+            schedule(inlined, so).length + 16 * 10);
+}
+
+// ---- end-to-end compiles ------------------------------------------------------------
+
+idct::Block run_design(netlist::Design& d, const idct::Block& in,
+                       axis::StreamTiming* timing = nullptr) {
+  sim::Simulator sim(d);
+  axis::StreamTestbench tb(sim);
+  auto out = tb.run({in}, 500000);
+  if (timing) *timing = tb.timing();
+  return out[0];
+}
+
+TEST(Bambu, DefaultConfigIsBitExactAndSequential) {
+  HlsCompileResult r = compile_bambu(idct_source(), {});
+  SplitMix64 rng(70);
+  idct::Block in = realistic_coeff_block(rng);
+  axis::StreamTiming timing;
+  EXPECT_EQ(run_design(r.design, in, &timing), software_idct(in));
+  // Paper: Bambu periodicity/latency are in the hundreds of cycles.
+  EXPECT_GT(timing.latency_cycles, 150);
+  EXPECT_LT(timing.latency_cycles, 600);
+}
+
+TEST(Bambu, ThroughputMeasuredOverManyMatrices) {
+  HlsCompileResult r = compile_bambu(idct_source(), {});
+  sim::Simulator sim(r.design);
+  axis::StreamTestbench tb(sim);
+  SplitMix64 rng(71);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 3; ++i) ins.push_back(realistic_coeff_block(rng));
+  auto out = tb.run(ins, 500000);
+  for (size_t i = 0; i < ins.size(); ++i)
+    EXPECT_EQ(out[i], software_idct(ins[i]));
+  EXPECT_GT(tb.timing().periodicity_cycles, 150.0);
+  EXPECT_TRUE(tb.monitor().clean());
+}
+
+TEST(Bambu, PerformancePresetBeatsAreaPreset) {
+  BambuOptions area;
+  area.preset = BambuPreset::kArea;
+  BambuOptions perf;
+  perf.preset = BambuPreset::kPerformanceMp;
+  perf.speculative_sdc = true;
+  HlsCompileResult ra = compile_bambu(idct_source(), area);
+  HlsCompileResult rp = compile_bambu(idct_source(), perf);
+  EXPECT_LT(rp.kernel_states, ra.kernel_states);
+  // Paper: best Bambu config at 185 cycles periodicity vs 323 initial.
+  EXPECT_GT(static_cast<double>(ra.kernel_states) / rp.kernel_states, 1.3);
+}
+
+TEST(Bambu, SweepHasFortyTwoConfigs) {
+  EXPECT_EQ(bambu_sweep().size(), 42u);
+}
+
+TEST(Bambu, AllPresetsAreBitExact) {
+  SplitMix64 rng(72);
+  idct::Block in = realistic_coeff_block(rng);
+  idct::Block want = software_idct(in);
+  for (BambuPreset p : {BambuPreset::kArea, BambuPreset::kBalancedMp,
+                        BambuPreset::kPerformanceMp}) {
+    BambuOptions o;
+    o.preset = p;
+    HlsCompileResult r = compile_bambu(idct_source(), o);
+    EXPECT_EQ(run_design(r.design, in), want) << o.label();
+  }
+}
+
+TEST(Bambu, UsesFewDspsViaSharing) {
+  HlsCompileResult r = compile_bambu(idct_source(), {});
+  auto rep = synth::synthesize(r.design);
+  // Paper: Bambu designs use 5-9 DSP blocks (shared multiplier units).
+  EXPECT_LE(rep.n_dsp, 12);
+  EXPECT_GE(rep.n_dsp, 1);
+}
+
+TEST(Vhls, PushButtonIsMuchSlowerThanBambu) {
+  HlsCompileResult vb = compile_vhls(idct_source(), {});
+  HlsCompileResult bb = compile_bambu(idct_source(), {});
+  EXPECT_GT(vb.kernel_states, bb.kernel_states);
+  SplitMix64 rng(73);
+  idct::Block in = realistic_coeff_block(rng);
+  EXPECT_EQ(run_design(vb.design, in), software_idct(in));
+}
+
+TEST(Vhls, PragmasProduceStreamingEngine) {
+  VhlsOptions o;
+  o.pragmas = true;
+  HlsCompileResult r = compile_vhls(idct_source(), o);
+  EXPECT_TRUE(r.streaming);
+  sim::Simulator sim(r.design);
+  axis::StreamTestbench tb(sim);
+  SplitMix64 rng(74);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(realistic_coeff_block(rng));
+  auto out = tb.run(ins);
+  for (size_t i = 0; i < ins.size(); ++i)
+    EXPECT_EQ(out[i], software_idct(ins[i])) << i;
+  EXPECT_TRUE(tb.monitor().clean());
+  // Paper: optimized VHLS latency 26, periodicity 8.
+  EXPECT_EQ(tb.timing().latency_cycles, 26);
+  EXPECT_LE(tb.timing().periodicity_cycles, 9.0);
+}
+
+TEST(Vhls, PragmasRecoverEighteenFold) {
+  // Paper: push-button throughput is ~18x below initial Verilog; the
+  // pragma set brings quality back to ~90% of optimized Verilog. Compare
+  // the two VHLS variants' periodicity directly.
+  HlsCompileResult push = compile_vhls(idct_source(), {});
+  VhlsOptions o;
+  o.pragmas = true;
+  HlsCompileResult opt = compile_vhls(idct_source(), o);
+
+  sim::Simulator s1(push.design);
+  axis::StreamTestbench t1(s1);
+  sim::Simulator s2(opt.design);
+  axis::StreamTestbench t2(s2);
+  SplitMix64 rng(75);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 3; ++i) ins.push_back(realistic_coeff_block(rng));
+  t1.run(ins, 500000);
+  t2.run(ins);
+  EXPECT_GT(t1.timing().periodicity_cycles /
+                t2.timing().periodicity_cycles,
+            20.0);
+}
+
+TEST(Vhls, BackpressureSafeStreaming) {
+  VhlsOptions o;
+  o.pragmas = true;
+  HlsCompileResult r = compile_vhls(idct_source(), o);
+  sim::Simulator sim(r.design);
+  axis::StreamTestbench tb(sim);
+  tb.sink().set_backpressure(2, 5);
+  SplitMix64 rng(76);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(realistic_coeff_block(rng));
+  auto out = tb.run(ins);
+  for (size_t i = 0; i < ins.size(); ++i)
+    EXPECT_EQ(out[i], software_idct(ins[i]));
+  EXPECT_TRUE(tb.monitor().clean());
+}
+
+}  // namespace
+}  // namespace hlshc::hls

@@ -1,0 +1,42 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include "base/rng.hpp"
+#include "idct/block.hpp"
+#include "idct/chenwang.hpp"
+#include "idct/reference.hpp"
+
+namespace hlshc::testutil {
+
+/// Uniform random 12-bit coefficient block. Exercises the full input port
+/// range, but note: such blocks are NOT valid DCT data and can overflow
+/// 32-bit intermediates inside the Chen-Wang butterfly. Only the 32-bit
+/// design families (Verilog and the C/HLS flows, which wrap exactly like
+/// the int32 reference) are bit-exact on these.
+inline idct::Block uniform_coeff_block(SplitMix64& rng) {
+  idct::Block b{};
+  for (auto& v : b)
+    v = static_cast<int32_t>(rng.next_in(idct::kCoeffMin, idct::kCoeffMax));
+  return b;
+}
+
+/// A *realistic* coefficient block: the forward DCT of random 9-bit spatial
+/// data, i.e. what a JPEG/MPEG decoder actually feeds an IDCT. On this
+/// domain every intermediate stays within 32 bits, so all design families
+/// (including the width-inferred ones, whose arithmetic never wraps) are
+/// bit-identical to the software model. This mirrors IEEE 1180-1990, which
+/// also generates test inputs through the forward transform.
+inline idct::Block realistic_coeff_block(SplitMix64& rng) {
+  idct::Block spatial{};
+  for (auto& v : spatial) v = static_cast<int32_t>(rng.next_in(-256, 255));
+  return idct::forward_dct_reference(spatial);
+}
+
+/// The bit-exact software model all hardware is checked against.
+inline idct::Block software_idct(const idct::Block& in) {
+  idct::Block b = in;
+  idct::idct_2d(b);
+  return b;
+}
+
+}  // namespace hlshc::testutil
