@@ -91,17 +91,19 @@ StreamTestbench::StreamTestbench(sim::Simulator& sim)
     : sim_(sim), source_(sim), sink_(sim), monitor_(sim) {}
 
 std::vector<idct::Block> StreamTestbench::run(
-    const std::vector<idct::Block>& inputs, int max_cycles) {
+    const std::vector<idct::Block>& inputs, uint64_t max_cycles) {
   sim_.reset();
   for (const idct::Block& b : inputs) source_.queue(b);
 
   const size_t want = inputs.size();
-  int cycles = 0;
+  uint64_t cycles = 0;
   while (sink_.matrices().size() < want) {
-    HLSHC_CHECK(cycles < max_cycles,
-                "stream testbench timeout after " << cycles << " cycles ("
-                    << sink_.matrices().size() << '/' << want
-                    << " matrices)");
+    if (cycles >= max_cycles)
+      throw sim::SimTimeout(
+          "stream testbench wedged on '" + sim_.design().name() + "' (" +
+              std::to_string(sink_.matrices().size()) + '/' +
+              std::to_string(want) + " matrices)",
+          cycles);
     source_.pre_cycle();
     sink_.pre_cycle();
     sim_.eval();

@@ -99,9 +99,11 @@ class StreamTestbench {
   explicit StreamTestbench(sim::Simulator& sim);
 
   /// Push `inputs` through the DUT; runs until all outputs are collected or
-  /// `max_cycles` elapse (throws on timeout). Returns the outputs.
+  /// `max_cycles` elapse (throws sim::SimTimeout — the watchdog that keeps a
+  /// wedged TVALID/TREADY handshake from spinning forever). Returns the
+  /// outputs.
   std::vector<idct::Block> run(const std::vector<idct::Block>& inputs,
-                               int max_cycles = 200000);
+                               uint64_t max_cycles = 200000);
 
   const StreamTiming& timing() const { return timing_; }
   SourceDriver& source() { return source_; }

@@ -41,7 +41,7 @@ struct EvaluateOptions {
   int matrices = 8;          ///< workload size for timing measurement
   bool realistic_inputs = true;  ///< fDCT-derived coefficients (see tests)
   uint64_t seed = 2026;
-  int max_cycles = 500000;
+  uint64_t max_cycles = 500000;
   synth::SynthOptions synth;
 };
 

@@ -1,0 +1,211 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "core/diff.hpp"
+#include "core/report.hpp"
+#include "idct/chenwang.hpp"
+#include "idct/reference.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesize.hpp"
+
+namespace hlshc::fault {
+
+using netlist::Design;
+using netlist::NodeId;
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "masked";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kDetected: return "detected";
+    case Outcome::kHang: return "hang";
+  }
+  HLSHC_UNREACHABLE("bad Outcome");
+}
+
+std::vector<idct::Block> ieee1180_input_set(int matrices, long seed) {
+  Ieee1180Rng rng(seed);
+  std::vector<idct::Block> blocks;
+  blocks.reserve(static_cast<size_t>(matrices));
+  for (int i = 0; i < matrices; ++i) {
+    idct::Block spatial{};
+    for (auto& v : spatial)
+      v = static_cast<int32_t>(rng.next(256, 255));
+    blocks.push_back(idct::forward_dct_reference(spatial));
+  }
+  return blocks;
+}
+
+namespace {
+
+/// The concrete injector: arms exactly one FaultSite on a simulator.
+class SiteInjector : public sim::FaultInjector {
+ public:
+  explicit SiteInjector(const FaultSite& site) : site_(site) {}
+
+  std::vector<NodeId> combinational_targets() const override {
+    switch (site_.kind) {
+      case FaultKind::kStuckAt0:
+      case FaultKind::kStuckAt1:
+      case FaultKind::kTransient:
+        return {site_.node};
+      default:
+        return {};
+    }
+  }
+
+  BitVec transform(NodeId id, const BitVec& value, uint64_t cycle) override {
+    (void)id;
+    const int w = value.width();
+    const BitVec mask(w, static_cast<int64_t>(uint64_t{1} << site_.bit));
+    switch (site_.kind) {
+      case FaultKind::kStuckAt0:
+        return BitVec::band(value, BitVec::bnot(mask, w), w);
+      case FaultKind::kStuckAt1:
+        return BitVec::bor(value, mask, w);
+      case FaultKind::kTransient:
+        return cycle == site_.cycle ? BitVec::bxor(value, mask, w) : value;
+      default:
+        return value;
+    }
+  }
+
+  void at_cycle(sim::Simulator& sim) override {
+    if (fired_ || sim.cycle() != site_.cycle) return;
+    if (site_.kind == FaultKind::kSeuReg) {
+      sim.flip_reg_bit(site_.node, site_.bit);
+      fired_ = true;
+    } else if (site_.kind == FaultKind::kSeuMem) {
+      sim.flip_mem_bit(site_.mem, site_.addr, site_.bit);
+      fired_ = true;
+    }
+  }
+
+ private:
+  FaultSite site_;
+  bool fired_ = false;
+};
+
+/// Output ports whose assertion counts as fault detection (the sticky flags
+/// the hardening transforms add).
+std::vector<std::string> detector_ports(const Design& d) {
+  std::vector<std::string> ports;
+  for (NodeId o : d.outputs()) {
+    const std::string& name = d.node(o).name;
+    if (name.ends_with("_err")) ports.push_back(name);
+  }
+  return ports;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const Design& d,
+                            const std::vector<FaultSite>& sites,
+                            const CampaignOptions& options) {
+  for (const FaultSite& site : sites) validate_site(d, site);
+
+  CampaignReport report;
+  report.design_name = d.name();
+
+  const std::vector<idct::Block> inputs =
+      ieee1180_input_set(options.matrices, options.input_seed);
+  std::vector<idct::Block> model;
+  model.reserve(inputs.size());
+  for (const idct::Block& b : inputs) {
+    idct::Block want = b;
+    idct::idct_2d(want);
+    model.push_back(want);
+  }
+
+  sim::Simulator sim(d);
+  std::vector<idct::Block> reference;
+  {
+    axis::StreamTestbench tb(sim);
+    reference = tb.run(inputs, options.max_cycles);
+  }
+  report.reference_functional =
+      core::diff_block_sequences(model, reference) == 0;
+  const std::vector<idct::Block>& golden =
+      report.reference_functional ? model : reference;
+
+  const std::vector<std::string> detectors = detector_ports(d);
+  if (options.keep_runs) report.runs.reserve(sites.size());
+
+  for (const FaultSite& site : sites) {
+    SiteInjector injector(site);
+    sim.set_fault_injector(&injector);
+    Outcome outcome;
+    try {
+      axis::StreamTestbench tb(sim);
+      auto got = tb.run(inputs, options.max_cycles);
+      bool flagged = !tb.monitor().clean();
+      for (const std::string& port : detectors)
+        flagged = flagged || sim.output(port).to_bool();
+      if (flagged)
+        outcome = Outcome::kDetected;
+      else if (core::diff_block_sequences(golden, got) != 0)
+        outcome = Outcome::kSdc;
+      else
+        outcome = Outcome::kMasked;
+    } catch (const sim::SimTimeout&) {
+      outcome = Outcome::kHang;
+    }
+    sim.set_fault_injector(nullptr);
+    switch (outcome) {
+      case Outcome::kMasked: ++report.counts.masked; break;
+      case Outcome::kSdc: ++report.counts.sdc; break;
+      case Outcome::kDetected: ++report.counts.detected; break;
+      case Outcome::kHang: ++report.counts.hang; break;
+    }
+    if (options.keep_runs) report.runs.push_back({site, outcome});
+  }
+  return report;
+}
+
+DesignResilience evaluate_resilience(const Design& d,
+                                     const std::vector<FaultSite>& sites,
+                                     const CampaignOptions& options) {
+  DesignResilience r;
+  r.campaign = run_campaign(d, sites, options);
+
+  // Fault-free timing run with enough matrices for a steady-state T_P.
+  sim::Simulator sim(d);
+  axis::StreamTestbench tb(sim);
+  const int matrices = std::max(options.matrices, 4);
+  tb.run(ieee1180_input_set(matrices, options.input_seed),
+         options.max_cycles * static_cast<uint64_t>(matrices));
+  r.periodicity_cycles = tb.timing().periodicity_cycles;
+
+  synth::NormalizedSynth ns = synth::synthesize_normalized(d);
+  r.fmax_mhz = ns.normal.fmax_mhz;
+  r.area = ns.area();
+  r.throughput_mops =
+      r.periodicity_cycles > 0 ? r.fmax_mhz / r.periodicity_cycles : 0.0;
+  r.quality = r.area > 0
+                  ? r.throughput_mops * 1e6 / static_cast<double>(r.area)
+                  : 0.0;
+  return r;
+}
+
+std::string resilience_table(const std::vector<DesignResilience>& rows) {
+  core::Table table({"design", "runs", "masked", "sdc", "detected", "hang",
+                     "VF", "fmax", "T_P", "P(MOPS)", "A", "Q"});
+  for (const DesignResilience& r : rows) {
+    const CampaignCounts& c = r.campaign.counts;
+    table.add_row({r.campaign.design_name, std::to_string(c.total()),
+                   std::to_string(c.masked), std::to_string(c.sdc),
+                   std::to_string(c.detected), std::to_string(c.hang),
+                   format_fixed(100.0 * c.vulnerability(), 1) + "%",
+                   format_fixed(r.fmax_mhz, 1),
+                   format_fixed(r.periodicity_cycles, 1),
+                   format_fixed(r.throughput_mops, 2),
+                   format_grouped(r.area), format_fixed(r.quality, 1)});
+  }
+  return table.render();
+}
+
+}  // namespace hlshc::fault

@@ -1,0 +1,96 @@
+// Fault-injection campaign runner.
+//
+// A campaign drives one design's AXI-Stream interface through an IEEE 1180
+// input set once per fault site, with exactly one fault armed per run, and
+// classifies every run:
+//
+//   masked   — outputs bit-exact against the golden result;
+//   sdc      — silent data corruption: outputs differ (diff vs. the ISO
+//              13818-4 C model via core/diff) with no error indication;
+//   detected — a sticky "*_err" hardening output asserted, or the AXI
+//              protocol monitor recorded a violation (wrong data, but the
+//              system knows);
+//   hang     — the watchdog fired (sim::SimTimeout): the fault wedged the
+//              TVALID/TREADY handshake.
+//
+// The golden reference is the C model when the fault-free design is
+// bit-exact against it (every shipped flow is), and the design's own
+// fault-free run otherwise — which lets hand-built test netlists reuse the
+// harness. Aggregated counts give the design's vulnerability factor; the
+// resilience table lines that up with the paper's A, P and Q axes so
+// hardened variants can be compared against Table II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "idct/block.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::fault {
+
+enum class Outcome : uint8_t { kMasked, kSdc, kDetected, kHang };
+
+const char* outcome_name(Outcome outcome);
+
+struct CampaignOptions {
+  int matrices = 2;             ///< IEEE 1180 matrices streamed per run
+  long input_seed = 1;          ///< seed for the IEEE 1180 input generator
+  uint64_t max_cycles = 20000;  ///< per-run watchdog budget
+  bool keep_runs = true;        ///< record the per-run (site, outcome) log
+};
+
+struct CampaignCounts {
+  int masked = 0, sdc = 0, detected = 0, hang = 0;
+
+  int total() const { return masked + sdc + detected + hang; }
+  /// Fraction of runs ending in the unacceptable outcomes (SDC or hang).
+  double vulnerability() const {
+    return total() > 0 ? static_cast<double>(sdc + hang) / total() : 0.0;
+  }
+};
+
+struct RunRecord {
+  FaultSite site;
+  Outcome outcome = Outcome::kMasked;
+};
+
+struct CampaignReport {
+  std::string design_name;
+  bool reference_functional = false;  ///< fault-free run matches the C model
+  CampaignCounts counts;
+  std::vector<RunRecord> runs;  ///< empty unless options.keep_runs
+};
+
+/// The campaign stimulus: IEEE 1180 (L,H)=(256,255) spatial blocks pushed
+/// through the reference forward DCT, i.e. realistic coefficient matrices.
+std::vector<idct::Block> ieee1180_input_set(int matrices, long seed = 1);
+
+/// One run per site; every site is validated before any run starts.
+CampaignReport run_campaign(const netlist::Design& d,
+                            const std::vector<FaultSite>& sites,
+                            const CampaignOptions& options = {});
+
+/// A campaign joined with the paper's Table II axes for the same design:
+/// measured periodicity, modelled fmax, normalized area A, P and Q — so a
+/// hardened variant reports what its protection costs.
+struct DesignResilience {
+  CampaignReport campaign;
+  double fmax_mhz = 0.0;
+  double periodicity_cycles = 0.0;
+  double throughput_mops = 0.0;  ///< P
+  long area = 0;                 ///< A = N*_LUT + N*_FF (maxdsp=0)
+  double quality = 0.0;          ///< Q = P/A
+};
+
+DesignResilience evaluate_resilience(const netlist::Design& d,
+                                     const std::vector<FaultSite>& sites,
+                                     const CampaignOptions& options = {});
+
+/// Fixed-width ASCII table over core::Table: one row per design with the
+/// outcome counts, vulnerability factor, and the hardened A/P/Q block.
+std::string resilience_table(const std::vector<DesignResilience>& rows);
+
+}  // namespace hlshc::fault

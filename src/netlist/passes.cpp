@@ -156,6 +156,25 @@ Design eliminate_dead(const Design& d, PassStats* stats) {
   return out;
 }
 
+NodeId xor_reduce(Design& d, NodeId v) {
+  const int w = d.node(v).width;
+  NodeId acc = d.slice(v, 0, 0);
+  for (int b = 1; b < w; ++b) acc = d.bxor(acc, d.slice(v, b, b), 1);
+  return acc;
+}
+
+NodeId majority3(Design& d, NodeId a, NodeId b, NodeId c) {
+  const int w = d.node(a).width;
+  HLSHC_CHECK(d.node(b).width == w && d.node(c).width == w,
+              "majority3: operand widths " << w << '/' << d.node(b).width
+                                           << '/' << d.node(c).width
+                                           << " differ");
+  NodeId ab = d.band(a, b, w);
+  NodeId ac = d.band(a, c, w);
+  NodeId bc = d.band(b, c, w);
+  return d.bor(d.bor(ab, ac, w), bc, w);
+}
+
 Design optimize(const Design& d, PassStats* stats) {
   Design work = d;  // fold mutates in place
   PassStats local = fold_constants(work);

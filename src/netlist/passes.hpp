@@ -29,4 +29,13 @@ Design eliminate_dead(const Design& d, PassStats* stats = nullptr);
 /// fold_constants + eliminate_dead, returning the cleaned design.
 Design optimize(const Design& d, PassStats* stats = nullptr);
 
+// ---- structural building blocks shared by the hardening transforms --------
+
+/// Single-bit XOR reduction (even parity) of `v`.
+NodeId xor_reduce(Design& d, NodeId v);
+
+/// Bitwise 2-of-3 majority vote of three equal-width values — the TMR voter:
+/// any single corrupted operand is outvoted per bit.
+NodeId majority3(Design& d, NodeId a, NodeId b, NodeId c);
+
 }  // namespace hlshc::netlist

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace hlshc::sim {
 
 using netlist::Design;
@@ -21,7 +23,50 @@ Simulator::Simulator(const Design& design) : design_(design) {
   for (const netlist::Memory& m : design_.memories())
     mem_state_.emplace_back(static_cast<size_t>(m.depth),
                             BitVec::zero(m.width));
+  inject_mask_.assign(design_.node_count(), 0);
   reset();
+}
+
+void Simulator::set_fault_injector(FaultInjector* injector) {
+  std::vector<NodeId> targets;
+  if (injector) {
+    targets = injector->combinational_targets();
+    for (NodeId id : targets) design_.node(id);  // validates the id
+  }
+  // Commit only after every target validated, so a rejected injector is
+  // never left armed.
+  std::fill(inject_mask_.begin(), inject_mask_.end(), 0);
+  injector_ = injector;
+  for (NodeId id : targets) inject_mask_[static_cast<size_t>(id)] = 1;
+}
+
+void Simulator::flip_reg_bit(NodeId reg, int bit) {
+  const Node& n = design_.node(reg);
+  HLSHC_CHECK(n.op == Op::Reg,
+              "flip_reg_bit: node " << reg << " (" << netlist::op_name(n.op)
+                                    << ") is not a register");
+  HLSHC_CHECK(bit >= 0 && bit < n.width,
+              "flip_reg_bit: bit " << bit << " out of width " << n.width);
+  BitVec mask(n.width, static_cast<int64_t>(uint64_t{1} << bit));
+  BitVec& state = reg_state_[static_cast<size_t>(reg)];
+  state = BitVec::bxor(state, mask, n.width);
+  evaluated_ = false;
+}
+
+void Simulator::flip_mem_bit(int mem_id, int addr, int bit) {
+  HLSHC_CHECK(mem_id >= 0 &&
+                  static_cast<size_t>(mem_id) < mem_state_.size(),
+              "flip_mem_bit: no memory " << mem_id << " in design '"
+                                         << design_.name() << '\'');
+  const netlist::Memory& m = design_.memories()[static_cast<size_t>(mem_id)];
+  HLSHC_CHECK(addr >= 0 && addr < m.depth,
+              "flip_mem_bit: address " << addr << " out of depth " << m.depth);
+  HLSHC_CHECK(bit >= 0 && bit < m.width,
+              "flip_mem_bit: bit " << bit << " out of width " << m.width);
+  BitVec mask(m.width, static_cast<int64_t>(uint64_t{1} << bit));
+  BitVec& word = mem_state_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)];
+  word = BitVec::bxor(word, mask, m.width);
+  evaluated_ = false;
 }
 
 void Simulator::reset() {
@@ -38,6 +83,7 @@ void Simulator::reset() {
     values_[static_cast<size_t>(in)] = BitVec::zero(design_.node(in).width);
   cycle_ = 0;
   evaluated_ = false;
+  if (injector_) injector_->at_cycle(*this);
 }
 
 void Simulator::set_input(std::string_view port, const BitVec& value) {
@@ -111,6 +157,9 @@ void Simulator::compute(NodeId id) {
       values_[i] = in(1);  // value flows through for probing
       break;
   }
+  if (inject_mask_[i])
+    values_[i] =
+        BitVec(w, injector_->transform(id, values_[i], cycle_).to_int64());
 }
 
 void Simulator::eval() {
@@ -119,6 +168,10 @@ void Simulator::eval() {
 }
 
 void Simulator::step() {
+  if (cycle_budget_ && cycle_ >= cycle_budget_)
+    throw SimTimeout("cycle budget exhausted in design '" + design_.name() +
+                         '\'',
+                     cycle_);
   if (!evaluated_) eval();
   // Latch registers.
   for (NodeId r : regs_) {
@@ -139,12 +192,14 @@ void Simulator::step() {
     mem[addr] = values_[static_cast<size_t>(n.operands[1])];
   }
   ++cycle_;
+  if (injector_) injector_->at_cycle(*this);
   evaluated_ = false;
   eval();
 }
 
-void Simulator::run(int n) {
-  for (int i = 0; i < n; ++i) step();
+void Simulator::run(int64_t n) {
+  HLSHC_CHECK(n >= 0, "negative cycle count " << n);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) step();
 }
 
 const BitVec& Simulator::output(std::string_view port) const {

@@ -2,6 +2,8 @@
 // reject bad usage with hlshc::Error (not UB, not silent misbehaviour).
 #include <gtest/gtest.h>
 
+#include "fault/harden.hpp"
+#include "fault/model.hpp"
 #include "framework/compose.hpp"
 #include "netlist/instantiate.hpp"
 #include "netlist/ir.hpp"
@@ -14,6 +16,20 @@ namespace {
 
 using netlist::Design;
 using netlist::NodeId;
+
+/// Toy DUT shared by the watchdog and fault-site error tests: an 8-bit
+/// free-running counter with a 4-word scratch memory.
+Design counter_with_mem() {
+  Design d("counter");
+  NodeId r = d.reg(8, 0, "cnt");
+  d.set_reg_next(r, d.add(r, d.constant(8, 1), 8));
+  d.output("q", r);
+  int mem = d.add_memory("scratch", 8, 4);
+  NodeId addr = d.slice(r, 1, 0);
+  d.mem_write(mem, addr, r, d.constant(1, 1));
+  d.output("m", d.mem_read(mem, addr));
+  return d;
+}
 
 TEST(ErrorPaths, InstantiateMissingBindingThrows) {
   Design sub("sub");
@@ -97,6 +113,125 @@ TEST(ErrorPaths, BitVecSliceAndConcatBounds) {
   BitVec v(8, 0x5A);
   EXPECT_THROW(BitVec::slice(v, 8, 0), Error);
   EXPECT_THROW(BitVec::concat(BitVec(40, 1), BitVec(40, 1)), Error);
+}
+
+TEST(ErrorPaths, RunRejectsNegativeCycleCount) {
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  EXPECT_THROW(sim.run(-1), Error);
+  sim.run(0);  // a no-op, not an error
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(ErrorPaths, WatchdogBudgetThrowsSimTimeout) {
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  sim.set_cycle_budget(5);
+  EXPECT_THROW(sim.run(10), sim::SimTimeout);
+  EXPECT_EQ(sim.cycle(), 5u);  // stopped at the budget, not past it
+  try {
+    sim.step();
+    FAIL() << "expected SimTimeout";
+  } catch (const sim::SimTimeout& e) {
+    EXPECT_EQ(e.cycles(), 5u);  // the exception carries the spent budget
+  }
+  sim.set_cycle_budget(0);  // disarm
+  sim.run(10);
+  EXPECT_EQ(sim.cycle(), 15u);
+}
+
+TEST(ErrorPaths, SimTimeoutIsAnError) {
+  // Callers that only catch hlshc::Error must still see the watchdog.
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  sim.set_cycle_budget(1);
+  EXPECT_THROW(sim.run(2), Error);
+}
+
+TEST(ErrorPaths, FlipRegBitValidatesTarget) {
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  EXPECT_THROW(sim.flip_reg_bit(d.find_output("q"), 0), Error);  // not a Reg
+  NodeId r = netlist::kInvalidNode;
+  for (size_t i = 0; i < d.node_count(); ++i)
+    if (d.node(static_cast<NodeId>(i)).op == netlist::Op::Reg)
+      r = static_cast<NodeId>(i);
+  ASSERT_NE(r, netlist::kInvalidNode);
+  EXPECT_THROW(sim.flip_reg_bit(r, 8), Error);   // bit past width
+  EXPECT_THROW(sim.flip_reg_bit(r, -1), Error);  // negative bit
+}
+
+TEST(ErrorPaths, FlipMemBitValidatesTarget) {
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  EXPECT_THROW(sim.flip_mem_bit(1, 0, 0), Error);   // no such memory
+  EXPECT_THROW(sim.flip_mem_bit(0, 4, 0), Error);   // address past depth
+  EXPECT_THROW(sim.flip_mem_bit(0, 0, 8), Error);   // bit past word width
+  EXPECT_THROW(sim.flip_mem_bit(0, 0, -1), Error);  // negative bit
+}
+
+TEST(ErrorPaths, ValidateSiteRejectsBadFaultSites) {
+  Design d = counter_with_mem();
+  using fault::FaultKind;
+  using fault::FaultSite;
+  // SEU target must be a register.
+  EXPECT_THROW(
+      fault::validate_site(d, {FaultKind::kSeuReg, d.find_output("q")}),
+      Error);
+  NodeId r = netlist::kInvalidNode;
+  NodeId mem_write = netlist::kInvalidNode;
+  for (size_t i = 0; i < d.node_count(); ++i) {
+    if (d.node(static_cast<NodeId>(i)).op == netlist::Op::Reg)
+      r = static_cast<NodeId>(i);
+    if (d.node(static_cast<NodeId>(i)).op == netlist::Op::MemWrite)
+      mem_write = static_cast<NodeId>(i);
+  }
+  ASSERT_NE(r, netlist::kInvalidNode);
+  ASSERT_NE(mem_write, netlist::kInvalidNode);
+  // Bit index must fit the target's width.
+  EXPECT_THROW(fault::validate_site(d, {FaultKind::kSeuReg, r, -1, 0, 8}),
+               Error);
+  // Memory id and address must exist; the bit must fit the word.
+  EXPECT_THROW(fault::validate_site(
+                   d, {FaultKind::kSeuMem, netlist::kInvalidNode, 1, 0, 0}),
+               Error);
+  EXPECT_THROW(fault::validate_site(
+                   d, {FaultKind::kSeuMem, netlist::kInvalidNode, 0, 4, 0}),
+               Error);
+  EXPECT_THROW(fault::validate_site(
+                   d, {FaultKind::kSeuMem, netlist::kInvalidNode, 0, 0, 8}),
+               Error);
+  // Stuck-at / transient probes on MemWrite sinks drive nothing.
+  EXPECT_THROW(fault::validate_site(d, {FaultKind::kStuckAt1, mem_write}),
+               Error);
+  EXPECT_THROW(fault::validate_site(d, {FaultKind::kTransient, mem_write}),
+               Error);
+  // A well-formed site passes.
+  fault::validate_site(d, {FaultKind::kSeuReg, r, -1, 0, 7, 3});
+}
+
+TEST(ErrorPaths, ArmingInvalidInjectorTargetThrows) {
+  Design d = counter_with_mem();
+  sim::Simulator sim(d);
+  class BadTargets : public sim::FaultInjector {
+    std::vector<NodeId> combinational_targets() const override {
+      return {static_cast<NodeId>(1 << 20)};
+    }
+  } bad;
+  EXPECT_THROW(sim.set_fault_injector(&bad), Error);
+  EXPECT_EQ(sim.cycle(), 0u);  // simulator still usable
+  sim.run(3);
+  EXPECT_EQ(sim.cycle(), 3u);
+}
+
+TEST(ErrorPaths, HardeningRejectsUnusableDesigns) {
+  Design no_out("no_out");
+  no_out.input("a", 4);
+  EXPECT_THROW(fault::tmr(no_out), Error);  // nothing to vote on
+
+  Design no_mem("no_mem");
+  no_mem.output("o", no_mem.input("a", 4));
+  EXPECT_THROW(fault::parity_protect(no_mem), Error);  // nothing to protect
 }
 
 TEST(ErrorPaths, CsdHandlesBoundaryConstants) {
