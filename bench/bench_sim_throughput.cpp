@@ -1,0 +1,182 @@
+// Simulation-engine throughput bench: interpreter vs. compiled engine.
+//
+// For every AXI-Stream design family, runs the same workload on both
+// engines and reports cycles/sec and node-ops/sec (simulated cycles x
+// combinational nodes evaluated per cycle), plus the compiled/interpreter
+// speedup. Two workloads per design:
+//
+//   raw     — a tight step() loop with held inputs: pure engine throughput,
+//             no testbench overhead;
+//   stream  — the full AXI-Stream testbench pushing matrices: what the
+//             evaluation procedure and fault campaigns actually pay.
+//
+// Writes the machine-readable results to BENCH_sim.json (cwd) and prints a
+// table. Usage: bench_sim_throughput [raw_cycles] [stream_matrices]
+// (defaults 200000 and 64).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "bsv/designs.hpp"
+#include "chisel/designs.hpp"
+#include "idct/reference.hpp"
+#include "netlist/exec_plan.hpp"
+#include "rtl/designs.hpp"
+#include "sim/engine.hpp"
+#include "xls/designs.hpp"
+
+using hlshc::format_fixed;
+using hlshc::format_grouped;
+namespace sim = hlshc::sim;
+namespace netlist = hlshc::netlist;
+
+namespace {
+
+struct Case {
+  const char* name;
+  std::function<netlist::Design()> build;
+};
+
+std::vector<Case> cases() {
+  return {
+      {"verilog_initial", [] { return hlshc::rtl::build_verilog_initial(); }},
+      {"verilog_opt1", [] { return hlshc::rtl::build_verilog_opt1(); }},
+      {"verilog_opt2", [] { return hlshc::rtl::build_verilog_opt2(); }},
+      {"chisel_initial",
+       [] { return hlshc::chisel::build_chisel_initial(); }},
+      {"chisel_opt", [] { return hlshc::chisel::build_chisel_opt(); }},
+      {"bsv_opt", [] { return hlshc::bsv::build_bsv_opt(); }},
+      {"xls_p8", [] { return hlshc::xls::build_xls_design({8}).design; }},
+  };
+}
+
+hlshc::idct::Block random_block(hlshc::SplitMix64& rng) {
+  hlshc::idct::Block spatial{};
+  for (auto& v : spatial) v = static_cast<int32_t>(rng.next_in(-256, 255));
+  return hlshc::idct::forward_dct_reference(spatial);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Raw engine throughput: step() with held inputs. Returns cycles/sec.
+double raw_cps(sim::Engine& e, int64_t cycles) {
+  e.reset();
+  e.set_input("s_tvalid", 1);
+  e.set_input("m_tready", 1);
+  for (int l = 0; l < hlshc::axis::kLanes; ++l)
+    e.set_input(hlshc::axis::lane_port("s", l), 17 * (l + 1));
+  auto t0 = std::chrono::steady_clock::now();
+  e.run(cycles);
+  double secs = seconds_since(t0);
+  return secs > 0 ? static_cast<double>(cycles) / secs : 0.0;
+}
+
+/// Stream-testbench throughput. Returns cycles/sec over the whole run.
+double stream_cps(sim::Engine& e, const std::vector<hlshc::idct::Block>& ins) {
+  hlshc::axis::StreamTestbench tb(e);
+  auto t0 = std::chrono::steady_clock::now();
+  tb.run(ins, 10'000'000);
+  double secs = seconds_since(t0);
+  return secs > 0 ? static_cast<double>(tb.timing().total_cycles) / secs
+                  : 0.0;
+}
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t raw_cycles = 200000;
+  int matrices = 64;
+  if (argc > 1) raw_cycles = std::atoll(argv[1]);
+  if (argc > 2) matrices = std::atoi(argv[2]);
+  if (raw_cycles <= 0 || matrices <= 0) {
+    std::fprintf(stderr, "usage: %s [raw_cycles > 0] [stream_matrices > 0]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  hlshc::SplitMix64 rng(2026);
+  std::vector<hlshc::idct::Block> ins;
+  ins.reserve(static_cast<size_t>(matrices));
+  for (int i = 0; i < matrices; ++i) ins.push_back(random_block(rng));
+
+  std::printf(
+      "=== simulation engine throughput: %lld raw cycles, %d matrices ===\n\n",
+      static_cast<long long>(raw_cycles), matrices);
+  std::printf(
+      "%-16s %6s %6s | %12s %12s %6s | %12s %12s %6s\n", "design", "nodes",
+      "depth", "interp c/s", "compiled c/s", "raw x", "interp c/s",
+      "compiled c/s", "strm x");
+
+  std::string json = "{\n  \"raw_cycles\": " + std::to_string(raw_cycles) +
+                     ",\n  \"stream_matrices\": " + std::to_string(matrices) +
+                     ",\n  \"designs\": [\n";
+  bool first = true;
+
+  for (const Case& c : cases()) {
+    netlist::Design d = c.build();
+    auto plan = netlist::ExecPlan::for_design(d);
+    const size_t nodes = plan->instrs().size();
+
+    auto interp = sim::make_engine(d, sim::EngineKind::kInterpreter);
+    auto compiled = sim::make_engine(d, sim::EngineKind::kCompiled);
+
+    double raw_i = raw_cps(*interp, raw_cycles);
+    double raw_c = raw_cps(*compiled, raw_cycles);
+    double strm_i = stream_cps(*interp, ins);
+    double strm_c = stream_cps(*compiled, ins);
+    double raw_x = raw_i > 0 ? raw_c / raw_i : 0.0;
+    double strm_x = strm_i > 0 ? strm_c / strm_i : 0.0;
+
+    std::printf("%-16s %6zu %6d | %12s %12s %5sx | %12s %12s %5sx\n", c.name,
+                nodes, plan->depth(), format_grouped((long)raw_i).c_str(),
+                format_grouped((long)raw_c).c_str(),
+                format_fixed(raw_x, 1).c_str(),
+                format_grouped((long)strm_i).c_str(),
+                format_grouped((long)strm_c).c_str(),
+                format_fixed(strm_x, 1).c_str());
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"design\": \"" + std::string(c.name) + "\"";
+    json += ", \"nodes\": " + std::to_string(nodes);
+    json += ", \"depth\": " + std::to_string(plan->depth());
+    json += ", \"interp_cycles_per_sec\": " + json_num(raw_i);
+    json += ", \"compiled_cycles_per_sec\": " + json_num(raw_c);
+    json += ", \"raw_speedup\": " + json_num(raw_x);
+    json += ", \"interp_ops_per_sec\": " +
+            json_num(raw_i * static_cast<double>(nodes));
+    json += ", \"compiled_ops_per_sec\": " +
+            json_num(raw_c * static_cast<double>(nodes));
+    json += ", \"stream_interp_cycles_per_sec\": " + json_num(strm_i);
+    json += ", \"stream_compiled_cycles_per_sec\": " + json_num(strm_c);
+    json += ", \"stream_speedup\": " + json_num(strm_x);
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_sim.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_sim.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote BENCH_sim.json\n");
+  return 0;
+}

@@ -4,30 +4,40 @@
 
 namespace hlshc::axis {
 
-StreamWatch::StreamWatch(sim::Simulator& sim, std::string prefix,
-                         int lane_width)
-    : sim_(sim), prefix_(std::move(prefix)), lane_width_(lane_width) {
+namespace {
+
+// The port may be an input (testbench-driven) or an output (DUT-driven);
+// look it up on either side.
+netlist::NodeId resolve_port(const sim::Engine& sim, const std::string& name) {
+  const netlist::Design& d = sim.design();
+  netlist::NodeId id = d.find_output(name);
+  if (id == netlist::kInvalidNode) id = d.find_input(name);
+  HLSHC_CHECK(id != netlist::kInvalidNode,
+              "stream port '" << name << "' not found");
+  return id;
+}
+
+}  // namespace
+
+StreamWatch::StreamWatch(sim::Engine& sim, std::string prefix, int lane_width)
+    : sim_(sim),
+      prefix_(std::move(prefix)),
+      lane_width_(lane_width),
+      tvalid_(resolve_port(sim, prefix_ + "_tvalid")),
+      tready_(resolve_port(sim, prefix_ + "_tready")),
+      tlast_(resolve_port(sim, prefix_ + "_tlast")) {
+  for (int c = 0; c < kLanes; ++c)
+    lanes_[static_cast<size_t>(c)] = resolve_port(sim, lane_port(prefix_, c));
   prev_lanes_.assign(kLanes, BitVec::zero(lane_width_ > 0 ? lane_width_ : 1));
 }
 
 void StreamWatch::sample() {
-  auto port_value = [&](const std::string& name) -> BitVec {
-    // The port may be an input (testbench-driven) or an output (DUT-driven);
-    // look it up on either side.
-    const netlist::Design& d = sim_.design();
-    netlist::NodeId id = d.find_output(name);
-    if (id == netlist::kInvalidNode) id = d.find_input(name);
-    HLSHC_CHECK(id != netlist::kInvalidNode,
-                "stream port '" << name << "' not found");
-    return sim_.value(id);
-  };
-
-  bool valid = port_value(prefix_ + "_tvalid").to_bool();
-  bool ready = port_value(prefix_ + "_tready").to_bool();
-  bool last = port_value(prefix_ + "_tlast").to_bool();
+  bool valid = sim_.value(tvalid_).to_bool();
+  bool ready = sim_.value(tready_).to_bool();
+  bool last = sim_.value(tlast_).to_bool();
   std::vector<BitVec> lanes(kLanes);
   for (int c = 0; c < kLanes; ++c)
-    lanes[static_cast<size_t>(c)] = port_value(lane_port(prefix_, c));
+    lanes[static_cast<size_t>(c)] = sim_.value(lanes_[static_cast<size_t>(c)]);
 
   auto report = [&](const std::string& what) {
     std::ostringstream os;
@@ -69,7 +79,7 @@ void StreamWatch::sample() {
   prev_lanes_ = lanes;
 }
 
-Monitor::Monitor(sim::Simulator& sim)
+Monitor::Monitor(sim::Engine& sim)
     : slave_(sim, "s", kInElemWidth), master_(sim, "m", kOutElemWidth) {}
 
 void Monitor::sample() {

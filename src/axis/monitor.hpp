@@ -9,15 +9,20 @@
 //   V2  TDATA and TLAST must be stable while TVALID is high and TREADY low;
 //   V3  a matrix must consist of exactly 8 beats with TLAST on the 8th.
 //
+// Ports are resolved to node ids once at construction (a stream port may be
+// an input or an output depending on which side of the DUT it sits);
+// sampling reads by id on any sim::Engine.
+//
 // Integration tests arm the monitor on both the slave and master side of
 // every design family under random back-pressure.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "axis/stream.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::axis {
 
@@ -25,7 +30,7 @@ class StreamWatch {
  public:
   /// `data_lanes` may be 0 for streams observed on the input side where the
   /// testbench itself guarantees data stability.
-  StreamWatch(sim::Simulator& sim, std::string prefix, int lane_width);
+  StreamWatch(sim::Engine& sim, std::string prefix, int lane_width);
 
   /// Call after eval(), before step().
   void sample();
@@ -33,9 +38,11 @@ class StreamWatch {
   const std::vector<std::string>& violations() const { return violations_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   std::string prefix_;
   int lane_width_;
+  netlist::NodeId tvalid_, tready_, tlast_;
+  std::array<netlist::NodeId, kLanes> lanes_{};
   bool prev_valid_ = false;
   bool prev_ready_ = true;
   bool prev_last_ = false;
@@ -47,7 +54,7 @@ class StreamWatch {
 /// Watches both the slave-side and master-side streams of a DUT.
 class Monitor {
  public:
-  explicit Monitor(sim::Simulator& sim);
+  explicit Monitor(sim::Engine& sim);
 
   void sample();
 

@@ -6,10 +6,38 @@
 
 namespace hlshc::axis {
 
+namespace {
+
+netlist::NodeId resolve_input(const sim::Engine& sim, const std::string& name) {
+  netlist::NodeId id = sim.design().find_input(name);
+  HLSHC_CHECK(id != netlist::kInvalidNode,
+              "no input port '" << name << "' in design '"
+                                << sim.design().name() << '\'');
+  return id;
+}
+
+netlist::NodeId resolve_output(const sim::Engine& sim,
+                               const std::string& name) {
+  netlist::NodeId id = sim.design().find_output(name);
+  HLSHC_CHECK(id != netlist::kInvalidNode,
+              "no output port '" << name << "' in design '"
+                                 << sim.design().name() << '\'');
+  return id;
+}
+
+}  // namespace
+
 // ---- SourceDriver ----------------------------------------------------------
 
-SourceDriver::SourceDriver(sim::Simulator& sim, std::string prefix)
-    : sim_(sim), prefix_(std::move(prefix)) {}
+SourceDriver::SourceDriver(sim::Engine& sim, std::string prefix)
+    : sim_(sim),
+      prefix_(std::move(prefix)),
+      tvalid_(resolve_input(sim, prefix_ + "_tvalid")),
+      tlast_(resolve_input(sim, prefix_ + "_tlast")),
+      tready_(resolve_output(sim, prefix_ + "_tready")) {
+  for (int c = 0; c < kLanes; ++c)
+    lanes_[static_cast<size_t>(c)] = resolve_input(sim, lane_port(prefix_, c));
+}
 
 void SourceDriver::queue(const idct::Block& block) {
   for (const Beat& b : matrix_to_beats(block)) beats_.push_back(b);
@@ -17,15 +45,15 @@ void SourceDriver::queue(const idct::Block& block) {
 
 void SourceDriver::pre_cycle() {
   bool present = !beats_.empty() && gap_left_ == 0;
-  sim_.set_input(prefix_ + "_tvalid", present ? 1 : 0);
+  sim_.poke(tvalid_, present ? 1 : 0);
   if (present) {
     const Beat& b = beats_.front();
     for (int c = 0; c < kLanes; ++c)
-      sim_.set_input(lane_port(prefix_, c),
-                     b.lanes[static_cast<size_t>(c)]);
-    sim_.set_input(prefix_ + "_tlast", b.last ? 1 : 0);
+      sim_.poke(lanes_[static_cast<size_t>(c)],
+                b.lanes[static_cast<size_t>(c)].to_int64());
+    sim_.poke(tlast_, b.last ? 1 : 0);
   } else {
-    sim_.set_input(prefix_ + "_tlast", 0);
+    sim_.poke(tlast_, 0);
   }
 }
 
@@ -36,7 +64,7 @@ bool SourceDriver::post_eval() {
   }
   if (beats_.empty()) return false;
   bool valid = true;  // we presented
-  bool ready = sim_.output(prefix_ + "_tready").to_bool();
+  bool ready = sim_.value(tready_).to_bool();
   if (!(valid && ready)) return false;
   if (beat_in_matrix_ == 0) matrix_starts_.push_back(sim_.cycle());
   beat_in_matrix_ = (beat_in_matrix_ + 1) % idct::kBlockDim;
@@ -47,8 +75,15 @@ bool SourceDriver::post_eval() {
 
 // ---- SinkDriver ------------------------------------------------------------
 
-SinkDriver::SinkDriver(sim::Simulator& sim, std::string prefix)
-    : sim_(sim), prefix_(std::move(prefix)) {}
+SinkDriver::SinkDriver(sim::Engine& sim, std::string prefix)
+    : sim_(sim),
+      prefix_(std::move(prefix)),
+      tvalid_(resolve_output(sim, prefix_ + "_tvalid")),
+      tlast_(resolve_output(sim, prefix_ + "_tlast")),
+      tready_(resolve_input(sim, prefix_ + "_tready")) {
+  for (int c = 0; c < kLanes; ++c)
+    lanes_[static_cast<size_t>(c)] = resolve_output(sim, lane_port(prefix_, c));
+}
 
 void SinkDriver::set_backpressure(int stall_cycles, int period) {
   HLSHC_CHECK(stall_cycles >= 0 && period >= 0 &&
@@ -64,18 +99,18 @@ void SinkDriver::pre_cycle() {
     ready = phase_ >= stall_cycles_;
     phase_ = (phase_ + 1) % period_;
   }
-  sim_.set_input(prefix_ + "_tready", ready ? 1 : 0);
+  sim_.poke(tready_, ready ? 1 : 0);
 }
 
 bool SinkDriver::post_eval() {
-  bool valid = sim_.output(prefix_ + "_tvalid").to_bool();
-  bool ready = sim_.value(sim_.design().find_input(prefix_ + "_tready"))
-                   .to_bool();
+  bool valid = sim_.value(tvalid_).to_bool();
+  bool ready = sim_.value(tready_).to_bool();
   if (!(valid && ready)) return false;
   Beat beat;
   for (int c = 0; c < kLanes; ++c)
-    beat.lanes[static_cast<size_t>(c)] = sim_.output(lane_port(prefix_, c));
-  beat.last = sim_.output(prefix_ + "_tlast").to_bool();
+    beat.lanes[static_cast<size_t>(c)] =
+        sim_.value(lanes_[static_cast<size_t>(c)]);
+  beat.last = sim_.value(tlast_).to_bool();
   pending_.push_back(beat);
   if (beat.last) {
     matrices_.push_back(beats_to_matrix(pending_));
@@ -87,7 +122,7 @@ bool SinkDriver::post_eval() {
 
 // ---- StreamTestbench -------------------------------------------------------
 
-StreamTestbench::StreamTestbench(sim::Simulator& sim)
+StreamTestbench::StreamTestbench(sim::Engine& sim)
     : sim_(sim), source_(sim), sink_(sim), monitor_(sim) {}
 
 std::vector<idct::Block> StreamTestbench::run(

@@ -1,17 +1,22 @@
 // AXI-Stream testbench drivers and the streaming measurement loop.
 //
-// StreamTestbench owns a Simulator over a DUT exposing the canonical
-// s/m stream ports, drives queued matrices in, collects matrices out, and
-// timestamps every handshake. The evaluation procedure derives latency
-// (first accepted input beat -> last delivered output beat of the same
-// matrix) and periodicity (steady-state interval between completions) from
-// these timestamps — the T_L and T_P of the paper, measured rather than
-// asserted.
+// StreamTestbench drives any sim::Engine (interpreter or compiled) over a
+// DUT exposing the canonical s/m stream ports, drives queued matrices in,
+// collects matrices out, and timestamps every handshake. The evaluation
+// procedure derives latency (first accepted input beat -> last delivered
+// output beat of the same matrix) and periodicity (steady-state interval
+// between completions) from these timestamps — the T_L and T_P of the
+// paper, measured rather than asserted.
+//
+// Port names are resolved to node ids once at construction; the per-cycle
+// loop drives and samples by id so the harness overhead does not mask the
+// engine's throughput.
 //
 // The slave-side driver can inject rate limiting and the master-side driver
 // back-pressure, which the protocol tests use to check TREADY handling.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -19,14 +24,16 @@
 
 #include "axis/monitor.hpp"
 #include "axis/stream.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::axis {
 
 /// Drives the DUT's slave (input) stream port.
 class SourceDriver {
  public:
-  SourceDriver(sim::Simulator& sim, std::string prefix = "s");
+  /// Resolves the port names against the engine's design; throws on a
+  /// design that lacks the canonical stream ports.
+  SourceDriver(sim::Engine& sim, std::string prefix = "s");
 
   void queue(const idct::Block& block);
   bool idle() const { return beats_.empty(); }
@@ -47,8 +54,10 @@ class SourceDriver {
   }
 
  private:
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   std::string prefix_;
+  netlist::NodeId tvalid_, tlast_, tready_;
+  std::array<netlist::NodeId, kLanes> lanes_{};
   std::deque<Beat> beats_;
   int beat_in_matrix_ = 0;
   int gap_cycles_ = 0;
@@ -59,7 +68,7 @@ class SourceDriver {
 /// Consumes the DUT's master (output) stream port.
 class SinkDriver {
  public:
-  SinkDriver(sim::Simulator& sim, std::string prefix = "m");
+  SinkDriver(sim::Engine& sim, std::string prefix = "m");
 
   /// Deassert TREADY for `n` cycles out of every `period` (0 = always ready).
   void set_backpressure(int stall_cycles, int period);
@@ -74,8 +83,10 @@ class SinkDriver {
   const std::vector<uint64_t>& matrix_end_cycles() const { return ends_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   std::string prefix_;
+  netlist::NodeId tvalid_, tlast_, tready_;
+  std::array<netlist::NodeId, kLanes> lanes_{};
   std::vector<Beat> pending_;
   std::vector<idct::Block> matrices_;
   std::vector<uint64_t> ends_;
@@ -96,7 +107,7 @@ class StreamTestbench {
  public:
   /// `sim` must expose the canonical stream ports. The monitor is armed by
   /// default and records protocol violations.
-  explicit StreamTestbench(sim::Simulator& sim);
+  explicit StreamTestbench(sim::Engine& sim);
 
   /// Push `inputs` through the DUT; runs until all outputs are collected or
   /// `max_cycles` elapse (throws sim::SimTimeout — the watchdog that keeps a
@@ -111,7 +122,7 @@ class StreamTestbench {
   const Monitor& monitor() const { return monitor_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   SourceDriver source_;
   SinkDriver sink_;
   Monitor monitor_;

@@ -4,7 +4,7 @@
 #include "base/rng.hpp"
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::core {
 
@@ -14,8 +14,8 @@ DesignEvaluation evaluate_axis_design(const netlist::Design& design,
   ev.name = design.name();
 
   // 1+2: simulate, verify, measure.
-  sim::Simulator sim(design);
-  axis::StreamTestbench tb(sim);
+  std::unique_ptr<sim::Engine> sim = sim::make_engine(design, options.engine);
+  axis::StreamTestbench tb(*sim);
   SplitMix64 rng(options.seed);
   std::vector<idct::Block> ins;
   for (int i = 0; i < options.matrices; ++i) {

@@ -17,6 +17,7 @@
 
 #include "maxj/system.hpp"
 #include "netlist/ir.hpp"
+#include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
 
 namespace hlshc::core {
@@ -42,6 +43,9 @@ struct EvaluateOptions {
   bool realistic_inputs = true;  ///< fDCT-derived coefficients (see tests)
   uint64_t seed = 2026;
   uint64_t max_cycles = 500000;
+  /// Which simulation engine runs the stream testbench. The compiled engine
+  /// is the default; the interpreter is the differential-testing oracle.
+  sim::EngineKind engine = sim::EngineKind::kCompiled;
   synth::SynthOptions synth;
 };
 

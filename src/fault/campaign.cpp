@@ -9,7 +9,7 @@
 #include "core/report.hpp"
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
 
 namespace hlshc::fault {
@@ -74,7 +74,7 @@ class SiteInjector : public sim::FaultInjector {
     }
   }
 
-  void at_cycle(sim::Simulator& sim) override {
+  void at_cycle(sim::Engine& sim) override {
     if (fired_ || sim.cycle() != site_.cycle) return;
     if (site_.kind == FaultKind::kSeuReg) {
       sim.flip_reg_bit(site_.node, site_.bit);
@@ -121,10 +121,10 @@ CampaignReport run_campaign(const Design& d,
     model.push_back(want);
   }
 
-  sim::Simulator sim(d);
+  std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
   std::vector<idct::Block> reference;
   {
-    axis::StreamTestbench tb(sim);
+    axis::StreamTestbench tb(*sim);
     reference = tb.run(inputs, options.max_cycles);
   }
   report.reference_functional =
@@ -137,14 +137,14 @@ CampaignReport run_campaign(const Design& d,
 
   for (const FaultSite& site : sites) {
     SiteInjector injector(site);
-    sim.set_fault_injector(&injector);
+    sim->set_fault_injector(&injector);
     Outcome outcome;
     try {
-      axis::StreamTestbench tb(sim);
+      axis::StreamTestbench tb(*sim);
       auto got = tb.run(inputs, options.max_cycles);
       bool flagged = !tb.monitor().clean();
       for (const std::string& port : detectors)
-        flagged = flagged || sim.output(port).to_bool();
+        flagged = flagged || sim->output(port).to_bool();
       if (flagged)
         outcome = Outcome::kDetected;
       else if (core::diff_block_sequences(golden, got) != 0)
@@ -154,7 +154,7 @@ CampaignReport run_campaign(const Design& d,
     } catch (const sim::SimTimeout&) {
       outcome = Outcome::kHang;
     }
-    sim.set_fault_injector(nullptr);
+    sim->set_fault_injector(nullptr);
     switch (outcome) {
       case Outcome::kMasked: ++report.counts.masked; break;
       case Outcome::kSdc: ++report.counts.sdc; break;
@@ -173,8 +173,8 @@ DesignResilience evaluate_resilience(const Design& d,
   r.campaign = run_campaign(d, sites, options);
 
   // Fault-free timing run with enough matrices for a steady-state T_P.
-  sim::Simulator sim(d);
-  axis::StreamTestbench tb(sim);
+  std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
+  axis::StreamTestbench tb(*sim);
   const int matrices = std::max(options.matrices, 4);
   tb.run(ieee1180_input_set(matrices, options.input_seed),
          options.max_cycles * static_cast<uint64_t>(matrices));

@@ -28,6 +28,7 @@
 #include "fault/model.hpp"
 #include "idct/block.hpp"
 #include "netlist/ir.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::fault {
 
@@ -40,6 +41,10 @@ struct CampaignOptions {
   long input_seed = 1;          ///< seed for the IEEE 1180 input generator
   uint64_t max_cycles = 20000;  ///< per-run watchdog budget
   bool keep_runs = true;        ///< record the per-run (site, outcome) log
+  /// Which simulation engine runs the campaign. The compiled engine is the
+  /// default; the differential suite asserts both engines classify every
+  /// run identically.
+  sim::EngineKind engine = sim::EngineKind::kCompiled;
 };
 
 struct CampaignCounts {

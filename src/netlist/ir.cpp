@@ -64,6 +64,7 @@ NodeId Design::push(Node n) {
   HLSHC_CHECK(n.width >= 1 && n.width <= BitVec::kMaxWidth,
               "node width " << n.width << " out of range in '" << name_
                             << '\'');
+  invalidate_caches();
   nodes_.push_back(std::move(n));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -234,6 +235,7 @@ void Design::set_reg_next(NodeId reg_node, NodeId next, NodeId enable) {
 int Design::add_memory(const std::string& mem_name, int width, int depth) {
   HLSHC_CHECK(width >= 1 && depth >= 1,
               "bad memory shape " << width << 'x' << depth);
+  invalidate_caches();
   memories_.push_back(Memory{mem_name, width, depth});
   return static_cast<int>(memories_.size() - 1);
 }
@@ -286,12 +288,15 @@ int Design::io_bit_count() const {
   return bits;
 }
 
-std::vector<NodeId> Design::topo_order() const {
-  // Kahn's algorithm over combinational edges only: the *output value* of a
-  // Reg does not depend on its operands within a cycle, so those edges are
-  // excluded; the operands still appear in the order (they feed the
-  // sequential update). MemRead is combinational in its address and keeps
-  // its edges.
+namespace {
+
+// Kahn's algorithm over combinational edges only: the *output value* of a
+// Reg does not depend on its operands within a cycle, so those edges are
+// excluded; the operands still appear in the order (they feed the
+// sequential update). MemRead is combinational in its address and keeps
+// its edges.
+std::vector<NodeId> compute_topo_order(const std::vector<Node>& nodes_,
+                                       const std::string& name_) {
   const size_t n = nodes_.size();
   std::vector<int> indeg(n, 0);
   std::vector<std::vector<NodeId>> users(n);
@@ -321,7 +326,22 @@ std::vector<NodeId> Design::topo_order() const {
   return order;
 }
 
+}  // namespace
+
+const std::vector<NodeId>& Design::topo_order() const {
+  if (!topo_cache_)
+    topo_cache_ = std::make_shared<const std::vector<NodeId>>(
+        compute_topo_order(nodes_, name_));
+  return *topo_cache_;
+}
+
+std::shared_ptr<const std::vector<NodeId>> Design::topo_order_shared() const {
+  topo_order();  // populate
+  return topo_cache_;
+}
+
 void Design::validate() const {
+  if (validated_) return;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const Node& nd = nodes_[i];
     for (NodeId o : nd.operands) check_id(o);
@@ -351,6 +371,7 @@ void Design::validate() const {
     }
   }
   (void)topo_order();  // throws on combinational cycles
+  validated_ = true;   // only successful validations are cached
 }
 
 DesignStats compute_stats(const Design& d) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -140,14 +141,39 @@ class Design {
   /// Combinational topological order over all nodes. Reg values are treated
   /// as cycle sources (their operands are still ordered, as next-value
   /// logic). Throws hlshc::Error on a combinational cycle.
-  std::vector<NodeId> topo_order() const;
+  ///
+  /// The order is computed once and cached until the design is mutated, so
+  /// constructing thousands of simulators over one design (a fault campaign)
+  /// re-sorts the graph exactly once. The returned reference is invalidated
+  /// by any mutation; use topo_order_shared() to hold it across mutations.
+  const std::vector<NodeId>& topo_order() const;
+
+  /// The cached order as a shared handle that stays valid (though stale)
+  /// even if the design is later mutated. Engines hold this.
+  std::shared_ptr<const std::vector<NodeId>> topo_order_shared() const;
 
   /// Structural sanity: operand ids valid, widths legal, mux selectors
-  /// 1 bit, every Reg has a next-value, memory ids in range.
+  /// 1 bit, every Reg has a next-value, memory ids in range. A successful
+  /// validation is cached until the design is mutated; failures are not.
   void validate() const;
 
   // Mutation hooks used by optimization passes (src/netlist/passes).
-  Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  // Handing out a mutable node conservatively drops every derived cache.
+  Node& mutable_node(NodeId id) {
+    invalidate_caches();
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Opaque per-design cache slot for the compiled execution plan
+  /// (netlist::ExecPlan). Owned here so the plan's lifetime follows the
+  /// design's and mutation drops it with the other derived caches; only
+  /// exec_plan.cpp reads or writes it.
+  const std::shared_ptr<const void>& cached_exec_plan() const {
+    return exec_plan_cache_;
+  }
+  void set_cached_exec_plan(std::shared_ptr<const void> plan) const {
+    exec_plan_cache_ = std::move(plan);
+  }
 
  private:
   NodeId push(Node n);
@@ -155,6 +181,11 @@ class Design {
   NodeId unary(Op op, NodeId a, int width);
   NodeId compare(Op op, NodeId a, NodeId b);
   void check_id(NodeId id) const;
+  void invalidate_caches() {
+    topo_cache_.reset();
+    validated_ = false;
+    exec_plan_cache_.reset();
+  }
 
   std::string name_;
   std::vector<Node> nodes_;
@@ -162,6 +193,11 @@ class Design {
   std::vector<NodeId> outputs_;
   std::vector<NodeId> mem_writes_;
   std::vector<Memory> memories_;
+
+  // Derived-data caches (single-threaded use, like the rest of the class).
+  mutable std::shared_ptr<const std::vector<NodeId>> topo_cache_;
+  mutable bool validated_ = false;
+  mutable std::shared_ptr<const void> exec_plan_cache_;
 };
 
 /// Aggregate statistics used by reports and tests.

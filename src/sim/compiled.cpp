@@ -1,0 +1,223 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+
+namespace hlshc::sim {
+
+using netlist::ExecInstr;
+using netlist::ExecPlan;
+using netlist::MemCommit;
+using netlist::MemShape;
+using netlist::NodeId;
+using netlist::Op;
+using netlist::RegCommit;
+
+namespace {
+
+/// Truncate to the instruction's width, then sign-extend: the slot encoding
+/// is BitVec's canonical form, so every result is wrapped through this.
+/// The shift pair is branchless — no data-dependent sign test to mispredict.
+inline int64_t wrap(const ExecInstr& in, uint64_t u) {
+  return static_cast<int64_t>(u << in.dsh) >> in.dsh;
+}
+
+}  // namespace
+
+CompiledSimulator::CompiledSimulator(const netlist::Design& design)
+    : Engine(design), plan_(ExecPlan::for_design(design)) {
+  values_.assign(plan_->slot_count(), 0);
+  state_.assign(plan_->slot_count(), 0);
+  for (const MemShape& m : plan_->mem_shapes())
+    mem_.emplace_back(static_cast<size_t>(m.depth), int64_t{0});
+  for (const ExecInstr& in : plan_->const_instrs())
+    values_[static_cast<size_t>(in.dst)] = in.imm;
+  reset();
+}
+
+void CompiledSimulator::reset_state() {
+  for (const RegCommit& rc : plan_->reg_commits())
+    state_[static_cast<size_t>(rc.reg)] = rc.init;
+  for (auto& mem : mem_) std::fill(mem.begin(), mem.end(), int64_t{0});
+  for (NodeId in : design_.inputs()) values_[static_cast<size_t>(in)] = 0;
+}
+
+void CompiledSimulator::poke_input(NodeId id, int64_t value) {
+  values_[static_cast<size_t>(id)] =
+      BitVec(design_.node(id).width, value).to_int64();
+}
+
+/// One lowered instruction. Kept in the header-adjacent hot path: both the
+/// fast and the injection-checked loops inline this switch.
+inline void CompiledSimulator::exec_instr(const ExecInstr& in) {
+  int64_t* const v = values_.data();
+  // Unused operand fields alias slot 0, so both loads are unconditional.
+  const uint64_t ua = static_cast<uint64_t>(v[in.a]);
+  const uint64_t ub = static_cast<uint64_t>(v[in.b]);
+  switch (in.op) {
+    case Op::Output: v[in.dst] = v[in.a]; break;
+    case Op::Add: v[in.dst] = wrap(in, ua + ub); break;
+    case Op::Sub: v[in.dst] = wrap(in, ua - ub); break;
+    case Op::Mul: v[in.dst] = wrap(in, ua * ub); break;
+    case Op::Neg: v[in.dst] = wrap(in, uint64_t{0} - ua); break;
+    case Op::Shl: v[in.dst] = wrap(in, in.imm >= 64 ? 0 : ua << in.imm); break;
+    case Op::AShr: {
+      int64_t x = v[in.a];
+      x = in.imm >= 63 ? (x < 0 ? -1 : 0) : (x >> in.imm);
+      v[in.dst] = wrap(in, static_cast<uint64_t>(x));
+      break;
+    }
+    case Op::LShr:
+      v[in.dst] = wrap(in, in.imm >= 64 ? 0 : (ua & in.amask) >> in.imm);
+      break;
+    case Op::And: v[in.dst] = wrap(in, ua & ub); break;
+    case Op::Or: v[in.dst] = wrap(in, ua | ub); break;
+    case Op::Xor: v[in.dst] = wrap(in, ua ^ ub); break;
+    case Op::Not: v[in.dst] = wrap(in, ~ua); break;
+    // Comparisons are 1-bit: negation yields the canonical form (true = -1)
+    // without a wrap.
+    case Op::Eq: v[in.dst] = -static_cast<int64_t>(v[in.a] == v[in.b]); break;
+    case Op::Ne: v[in.dst] = -static_cast<int64_t>(v[in.a] != v[in.b]); break;
+    case Op::Slt: v[in.dst] = -static_cast<int64_t>(v[in.a] < v[in.b]); break;
+    case Op::Sle: v[in.dst] = -static_cast<int64_t>(v[in.a] <= v[in.b]); break;
+    case Op::Sgt: v[in.dst] = -static_cast<int64_t>(v[in.a] > v[in.b]); break;
+    case Op::Sge: v[in.dst] = -static_cast<int64_t>(v[in.a] >= v[in.b]); break;
+    case Op::Ult:
+      v[in.dst] = -static_cast<int64_t>((ua & in.amask) < (ub & in.bmask));
+      break;
+    case Op::Mux:
+      v[in.dst] =
+          wrap(in, static_cast<uint64_t>(v[in.a] != 0 ? v[in.b] : v[in.c]));
+      break;
+    case Op::Slice: v[in.dst] = wrap(in, (ua & in.amask) >> in.imm); break;
+    case Op::Concat:
+      v[in.dst] = wrap(in, (ua << in.imm) | (ub & in.bmask));
+      break;
+    case Op::SExt: v[in.dst] = wrap(in, ua); break;
+    case Op::ZExt: v[in.dst] = wrap(in, ua & in.amask); break;
+    case Op::Reg: v[in.dst] = state_[static_cast<size_t>(in.dst)]; break;
+    case Op::MemRead: {
+      uint64_t addr = (ua & in.amask) % static_cast<uint64_t>(in.imm);
+      v[in.dst] = mem_[static_cast<size_t>(in.mem)][addr];
+      break;
+    }
+    case Op::MemWrite: v[in.dst] = v[in.b]; break;
+    case Op::Input:
+    case Op::Const:
+      break;  // never lowered into the per-cycle stream
+  }
+}
+
+int64_t CompiledSimulator::apply_transform(const ExecInstr& in,
+                                           int64_t value) const {
+  return wrap(in,
+              static_cast<uint64_t>(
+                  injector_->transform(in.dst, BitVec(in.width, value), cycle_)
+                      .to_int64()));
+}
+
+void CompiledSimulator::eval_comb() {
+  if (injector_) {
+    exec_stream_injected();
+  } else {
+    for (const ExecInstr& in : plan_->instrs()) exec_instr(in);
+  }
+}
+
+void CompiledSimulator::exec_stream_injected() {
+  // Inputs and constants have no per-cycle instruction; replicate the
+  // interpreter's behaviour on flagged ones: inputs transform in place,
+  // constants re-materialize from the immediate and then transform.
+  for (int32_t id : injected_inputs_) {
+    const int w = design_.node(id).width;
+    values_[static_cast<size_t>(id)] =
+        BitVec(w, injector_
+                      ->transform(
+                          id,
+                          BitVec(w, values_[static_cast<size_t>(id)]),
+                          cycle_)
+                      .to_int64())
+            .to_int64();
+  }
+  for (const auto& [id, imm] : injected_consts_) {
+    const int w = design_.node(id).width;
+    values_[static_cast<size_t>(id)] =
+        BitVec(w, injector_->transform(id, BitVec(w, imm), cycle_).to_int64())
+            .to_int64();
+  }
+  const uint8_t* const flag = inject_mask_.data();
+  for (const ExecInstr& in : plan_->instrs()) {
+    exec_instr(in);
+    if (flag[in.dst])
+      values_[static_cast<size_t>(in.dst)] =
+          apply_transform(in, values_[static_cast<size_t>(in.dst)]);
+  }
+}
+
+void CompiledSimulator::commit_state() {
+  // Latch registers: reads go to the pre-edge value slots, writes to the
+  // separate state array, so ordering within the loop cannot matter.
+  for (const RegCommit& rc : plan_->reg_commits()) {
+    if (rc.enable >= 0 && values_[static_cast<size_t>(rc.enable)] == 0)
+      continue;
+    state_[static_cast<size_t>(rc.reg)] = values_[static_cast<size_t>(rc.next)];
+  }
+  // Commit memory writes in node order (later writes win on collisions).
+  for (const MemCommit& mc : plan_->mem_commits()) {
+    if (values_[static_cast<size_t>(mc.enable)] == 0) continue;
+    std::vector<int64_t>& mem = mem_[static_cast<size_t>(mc.mem)];
+    uint64_t addr =
+        (static_cast<uint64_t>(values_[static_cast<size_t>(mc.addr)]) &
+         mc.addr_mask) %
+        mem.size();
+    mem[addr] = values_[static_cast<size_t>(mc.data)];
+  }
+}
+
+void CompiledSimulator::on_injector_changed() {
+  injected_inputs_.clear();
+  injected_consts_.clear();
+  // Constants are hoisted out of the per-cycle stream, so a transform a
+  // previous injector applied to a const slot would otherwise outlive its
+  // arming (the interpreter self-heals by recomputing consts every eval).
+  for (const ExecInstr& in : plan_->const_instrs())
+    values_[static_cast<size_t>(in.dst)] = in.imm;
+  if (!injector_) return;
+  for (size_t i = 0; i < inject_mask_.size(); ++i) {
+    if (!inject_mask_[i]) continue;
+    const netlist::Node& n = design_.node(static_cast<NodeId>(i));
+    if (n.op == Op::Input) {
+      injected_inputs_.push_back(static_cast<int32_t>(i));
+    } else if (n.op == Op::Const) {
+      injected_consts_.emplace_back(static_cast<int32_t>(i), n.imm);
+    }
+  }
+}
+
+BitVec CompiledSimulator::value(NodeId id) const {
+  return BitVec(design_.node(id).width, values_[static_cast<size_t>(id)]);
+}
+
+BitVec CompiledSimulator::mem_peek(int mem_id, int addr) const {
+  return BitVec(plan_->mem_shapes()[static_cast<size_t>(mem_id)].width,
+                mem_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)]);
+}
+
+void CompiledSimulator::mem_poke(int mem_id, int addr, const BitVec& value) {
+  mem_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)] =
+      BitVec(plan_->mem_shapes()[static_cast<size_t>(mem_id)].width,
+             value.to_int64())
+          .to_int64();
+}
+
+void CompiledSimulator::do_flip_reg_bit(NodeId reg, int bit, int width) {
+  int64_t& s = state_[static_cast<size_t>(reg)];
+  s = BitVec(width, s ^ static_cast<int64_t>(uint64_t{1} << bit)).to_int64();
+}
+
+void CompiledSimulator::do_flip_mem_bit(int mem_id, int addr, int bit,
+                                        int width) {
+  int64_t& w = mem_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)];
+  w = BitVec(width, w ^ static_cast<int64_t>(uint64_t{1} << bit)).to_int64();
+}
+
+}  // namespace hlshc::sim

@@ -1,0 +1,67 @@
+// The compiled simulation engine.
+//
+// Executes a netlist::ExecPlan — the levelized flat instruction stream
+// compiled once per design — over dense preallocated int64 value slots
+// (one machine word per node, sign-extended exactly like BitVec's canonical
+// form). The per-cycle loop is a switch over a contiguous instruction
+// array: no graph walk, no operand-vector chasing, no BitVec temporaries,
+// and zero allocation after construction.
+//
+// Semantics are byte-identical to the interpreter (sim::Simulator): the
+// same two-phase cycle protocol, the same commit order, and the same
+// fault-injection hooks. Injection targets are handled in a slower checked
+// loop only while an injector is armed; fault-free simulation always takes
+// the unchecked fast path.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netlist/exec_plan.hpp"
+#include "sim/engine.hpp"
+
+namespace hlshc::sim {
+
+class CompiledSimulator : public Engine {
+ public:
+  /// The design must outlive the engine. Compiles the design's ExecPlan on
+  /// first use and reuses the per-design cached plan thereafter.
+  explicit CompiledSimulator(const netlist::Design& design);
+
+  const char* kind_name() const override { return "compiled"; }
+
+  BitVec value(netlist::NodeId id) const override;
+
+  BitVec mem_peek(int mem_id, int addr) const override;
+  void mem_poke(int mem_id, int addr, const BitVec& value) override;
+
+  const netlist::ExecPlan& plan() const { return *plan_; }
+
+ protected:
+  void eval_comb() override;
+  void commit_state() override;
+  void reset_state() override;
+  void poke_input(netlist::NodeId id, int64_t value) override;
+  void do_flip_reg_bit(netlist::NodeId reg, int bit, int width) override;
+  void do_flip_mem_bit(int mem_id, int addr, int bit, int width) override;
+  void on_injector_changed() override;
+
+ private:
+  void exec_instr(const netlist::ExecInstr& in);
+  void exec_stream_injected();
+  int64_t apply_transform(const netlist::ExecInstr& in, int64_t value) const;
+
+  std::shared_ptr<const netlist::ExecPlan> plan_;
+  std::vector<int64_t> values_;  ///< per-node value slot (canonical int64)
+  std::vector<int64_t> state_;   ///< register state, indexed by node id
+  std::vector<std::vector<int64_t>> mem_;
+
+  // Injection targets without a per-cycle instruction, rebuilt on arming:
+  // inputs transform in place; constants re-materialize from the immediate
+  // first (matching the interpreter's recompute-then-transform order).
+  std::vector<int32_t> injected_inputs_;
+  std::vector<std::pair<int32_t, int64_t>> injected_consts_;
+};
+
+}  // namespace hlshc::sim

@@ -1,0 +1,144 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "sim/compiled.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlshc::sim {
+
+using netlist::kInvalidNode;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::Op;
+
+Engine::Engine(const netlist::Design& design) : design_(design) {
+  design_.validate();
+  inject_mask_.assign(design_.node_count(), 0);
+}
+
+void Engine::reset() {
+  reset_state();
+  cycle_ = 0;
+  evaluated_ = false;
+  if (injector_) injector_->at_cycle(*this);
+}
+
+void Engine::eval() {
+  eval_comb();
+  evaluated_ = true;
+}
+
+void Engine::step() {
+  if (cycle_budget_ && cycle_ >= cycle_budget_)
+    throw SimTimeout("cycle budget exhausted in design '" + design_.name() +
+                         '\'',
+                     cycle_);
+  if (!evaluated_) eval();
+  commit_state();
+  ++cycle_;
+  if (injector_) injector_->at_cycle(*this);
+  evaluated_ = false;
+  eval();
+}
+
+void Engine::run(int64_t n) {
+  HLSHC_CHECK(n >= 0, "negative cycle count " << n);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) step();
+}
+
+void Engine::set_input(std::string_view port, const BitVec& value) {
+  NodeId id = design_.find_input(port);
+  HLSHC_CHECK(id != kInvalidNode, "no input port '" << port << "' in design '"
+                                                    << design_.name() << '\'');
+  poke_input(id, value.to_int64());
+  evaluated_ = false;
+}
+
+void Engine::set_input(std::string_view port, int64_t value) {
+  NodeId id = design_.find_input(port);
+  HLSHC_CHECK(id != kInvalidNode, "no input port '" << port << "' in design '"
+                                                    << design_.name() << '\'');
+  poke_input(id, value);
+  evaluated_ = false;
+}
+
+void Engine::poke(NodeId input, int64_t value) {
+  const Node& n = design_.node(input);
+  HLSHC_CHECK(n.op == Op::Input,
+              "poke: node " << input << " (" << netlist::op_name(n.op)
+                            << ") is not an input");
+  poke_input(input, value);
+  evaluated_ = false;
+}
+
+BitVec Engine::output(std::string_view port) const {
+  NodeId id = design_.find_output(port);
+  HLSHC_CHECK(id != kInvalidNode, "no output port '" << port
+                                                     << "' in design '"
+                                                     << design_.name() << '\'');
+  return value(id);
+}
+
+int64_t Engine::output_i64(std::string_view port) const {
+  return output(port).to_int64();
+}
+
+void Engine::set_fault_injector(FaultInjector* injector) {
+  std::vector<NodeId> targets;
+  if (injector) {
+    targets = injector->combinational_targets();
+    for (NodeId id : targets) design_.node(id);  // validates the id
+  }
+  // Commit only after every target validated, so a rejected injector is
+  // never left armed.
+  std::fill(inject_mask_.begin(), inject_mask_.end(), 0);
+  injector_ = injector;
+  for (NodeId id : targets) inject_mask_[static_cast<size_t>(id)] = 1;
+  on_injector_changed();
+}
+
+void Engine::flip_reg_bit(NodeId reg, int bit) {
+  const Node& n = design_.node(reg);
+  HLSHC_CHECK(n.op == Op::Reg,
+              "flip_reg_bit: node " << reg << " (" << netlist::op_name(n.op)
+                                    << ") is not a register");
+  HLSHC_CHECK(bit >= 0 && bit < n.width,
+              "flip_reg_bit: bit " << bit << " out of width " << n.width);
+  do_flip_reg_bit(reg, bit, n.width);
+  evaluated_ = false;
+}
+
+void Engine::flip_mem_bit(int mem_id, int addr, int bit) {
+  HLSHC_CHECK(mem_id >= 0 && static_cast<size_t>(mem_id) <
+                                 design_.memories().size(),
+              "flip_mem_bit: no memory " << mem_id << " in design '"
+                                         << design_.name() << '\'');
+  const netlist::Memory& m = design_.memories()[static_cast<size_t>(mem_id)];
+  HLSHC_CHECK(addr >= 0 && addr < m.depth,
+              "flip_mem_bit: address " << addr << " out of depth " << m.depth);
+  HLSHC_CHECK(bit >= 0 && bit < m.width,
+              "flip_mem_bit: bit " << bit << " out of width " << m.width);
+  do_flip_mem_bit(mem_id, addr, bit, m.width);
+  evaluated_ = false;
+}
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kInterpreter: return "interpreter";
+    case EngineKind::kCompiled: return "compiled";
+  }
+  return "?";
+}
+
+std::unique_ptr<Engine> make_engine(const netlist::Design& design,
+                                    EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kInterpreter: return std::make_unique<Simulator>(design);
+    case EngineKind::kCompiled:
+      return std::make_unique<CompiledSimulator>(design);
+  }
+  HLSHC_UNREACHABLE("bad EngineKind");
+}
+
+}  // namespace hlshc::sim

@@ -1,0 +1,175 @@
+// The unified simulation-engine interface.
+//
+// Every consumer of cycle-accurate simulation — the AXI-Stream testbench and
+// protocol monitors (src/axis), the evaluation procedure (src/core), the
+// fault campaigns (src/fault), VCD tracing and the bench drivers — programs
+// against `sim::Engine`. Two implementations exist:
+//
+//   * sim::Simulator (simulator.hpp) — the legacy interpreter: a per-node
+//     walk over the netlist graph in topological order. Simple, obviously
+//     correct, and kept as the differential-testing oracle.
+//   * sim::CompiledSimulator (compiled.hpp) — the compiled engine: executes
+//     a levelized flat instruction stream (netlist::ExecPlan) over dense
+//     word-packed value slots with zero per-cycle allocation. Several times
+//     faster; the default for campaigns and benchmarks.
+//
+// The base class owns the two-phase cycle protocol (eval / commit / edge),
+// the cycle counter and watchdog budget, port name resolution, and
+// fault-injector arming, so both engines expose byte-identical semantics:
+// the differential suite (tests/engine_diff_test.cpp) asserts identical
+// outputs, cycle counts and fault classifications.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "netlist/ir.hpp"
+
+namespace hlshc::sim {
+
+/// Structured watchdog outcome: a bounded simulation exceeded its cycle
+/// budget. Thrown by Engine::step() when a cycle budget is armed and by
+/// the AXI-Stream testbench when a run fails to complete — e.g. a fault
+/// wedges a handshake and TVALID never asserts. Campaign drivers catch this
+/// to classify the run as a hang instead of hanging themselves.
+class SimTimeout : public Error {
+ public:
+  SimTimeout(const std::string& context, uint64_t cycles)
+      : Error(context + " [SimTimeout after " + std::to_string(cycles) +
+              " cycles]"),
+        cycles_(cycles) {}
+
+  uint64_t cycles() const { return cycles_; }
+
+ private:
+  uint64_t cycles_;
+};
+
+class Engine;
+
+/// Non-invasive fault-injection hook consulted by the engine, so faults
+/// can be armed on a built design without rebuilding it (src/fault provides
+/// the concrete SEU / stuck-at / transient injectors).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Nodes whose combinational value transform() may rewrite (stuck-at and
+  /// transient faults). Queried once when the injector is armed.
+  virtual std::vector<netlist::NodeId> combinational_targets() const {
+    return {};
+  }
+
+  /// Applied to each target's value as eval() computes it. Must be a pure
+  /// function of (id, value, cycle) so eval() stays idempotent.
+  virtual BitVec transform(netlist::NodeId id, const BitVec& value,
+                           uint64_t cycle) {
+    (void)id;
+    (void)cycle;
+    return value;
+  }
+
+  /// State hook: called once per simulated cycle (at reset for cycle 0 and
+  /// after every clock edge, before combinational settle). May corrupt
+  /// register or memory state via flip_reg_bit()/flip_mem_bit().
+  virtual void at_cycle(Engine& engine) { (void)engine; }
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  const netlist::Design& design() const { return design_; }
+
+  /// "interpreter" or "compiled"; shows up in bench output and reports.
+  virtual const char* kind_name() const = 0;
+
+  /// Resets registers to their init values, memories to zero, inputs to
+  /// zero, and the cycle counter.
+  void reset();
+
+  /// Combinational propagation. Idempotent for fixed inputs/state.
+  void eval();
+
+  /// eval() then clock edge; advances the cycle counter. Throws SimTimeout
+  /// when an armed cycle budget is exhausted.
+  void step();
+
+  /// Runs `n` clock cycles with inputs held. `n` must be non-negative; the
+  /// count is handled as uint64_t internally so multi-billion-cycle
+  /// campaigns cannot overflow.
+  void run(int64_t n);
+
+  void set_input(std::string_view port, const BitVec& value);
+  void set_input(std::string_view port, int64_t value);
+
+  /// Fast-path input drive by node id (resolve the port once, poke every
+  /// cycle). The id must name an Input node of the design.
+  void poke(netlist::NodeId input, int64_t value);
+
+  /// Value of any node after the most recent eval()/step().
+  virtual BitVec value(netlist::NodeId id) const = 0;
+
+  BitVec output(std::string_view port) const;
+  int64_t output_i64(std::string_view port) const;
+
+  uint64_t cycle() const { return cycle_; }
+
+  // ---- robustness hooks ----------------------------------------------------
+
+  /// Watchdog: step() throws SimTimeout once `cycle() >= max_cycles`.
+  /// 0 (the default) disarms the budget.
+  void set_cycle_budget(uint64_t max_cycles) { cycle_budget_ = max_cycles; }
+  uint64_t cycle_budget() const { return cycle_budget_; }
+
+  /// Arms (or, with nullptr, disarms) a fault injector. The injector must
+  /// outlive its armed period; its combinational targets are validated here.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// SEU pokes: flip one bit of a register's current state / one bit of one
+  /// memory word. Validates the target and throws hlshc::Error on a bad one.
+  void flip_reg_bit(netlist::NodeId reg, int bit);
+  void flip_mem_bit(int mem_id, int addr, int bit);
+
+  /// Test hooks for memory state.
+  virtual BitVec mem_peek(int mem_id, int addr) const = 0;
+  virtual void mem_poke(int mem_id, int addr, const BitVec& value) = 0;
+
+ protected:
+  explicit Engine(const netlist::Design& design);
+
+  // Engine-specific phases behind the shared two-phase cycle protocol.
+  virtual void eval_comb() = 0;
+  virtual void commit_state() = 0;   ///< latch registers, commit mem writes
+  virtual void reset_state() = 0;    ///< regs to init, mems/inputs to zero
+  virtual void poke_input(netlist::NodeId id, int64_t value) = 0;
+  virtual void do_flip_reg_bit(netlist::NodeId reg, int bit, int width) = 0;
+  virtual void do_flip_mem_bit(int mem_id, int addr, int bit, int width) = 0;
+  /// Called after inject_mask_ changed, so engines can rebuild any derived
+  /// injection structures.
+  virtual void on_injector_changed() {}
+
+  const netlist::Design& design_;
+  uint64_t cycle_ = 0;
+  uint64_t cycle_budget_ = 0;  ///< 0 = unbounded
+  bool evaluated_ = false;
+  FaultInjector* injector_ = nullptr;
+  std::vector<uint8_t> inject_mask_;  ///< per-node: transform() applies
+};
+
+enum class EngineKind : uint8_t {
+  kInterpreter,  ///< sim::Simulator — the per-node graph walker (oracle)
+  kCompiled,     ///< sim::CompiledSimulator — the ExecPlan instruction stream
+};
+
+const char* engine_kind_name(EngineKind kind);
+
+/// Factory over both engines. The design must outlive the engine.
+std::unique_ptr<Engine> make_engine(const netlist::Design& design,
+                                    EngineKind kind = EngineKind::kCompiled);
+
+}  // namespace hlshc::sim

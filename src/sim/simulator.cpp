@@ -1,18 +1,14 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace hlshc::sim {
 
 using netlist::Design;
-using netlist::kInvalidNode;
 using netlist::Node;
 using netlist::NodeId;
 using netlist::Op;
 
-Simulator::Simulator(const Design& design) : design_(design) {
-  design_.validate();
-  order_ = design_.topo_order();
+Simulator::Simulator(const Design& design)
+    : Engine(design), order_(design.topo_order_shared()) {
   values_.assign(design_.node_count(), BitVec());
   reg_state_.assign(design_.node_count(), BitVec());
   for (size_t i = 0; i < design_.node_count(); ++i) {
@@ -23,53 +19,10 @@ Simulator::Simulator(const Design& design) : design_(design) {
   for (const netlist::Memory& m : design_.memories())
     mem_state_.emplace_back(static_cast<size_t>(m.depth),
                             BitVec::zero(m.width));
-  inject_mask_.assign(design_.node_count(), 0);
   reset();
 }
 
-void Simulator::set_fault_injector(FaultInjector* injector) {
-  std::vector<NodeId> targets;
-  if (injector) {
-    targets = injector->combinational_targets();
-    for (NodeId id : targets) design_.node(id);  // validates the id
-  }
-  // Commit only after every target validated, so a rejected injector is
-  // never left armed.
-  std::fill(inject_mask_.begin(), inject_mask_.end(), 0);
-  injector_ = injector;
-  for (NodeId id : targets) inject_mask_[static_cast<size_t>(id)] = 1;
-}
-
-void Simulator::flip_reg_bit(NodeId reg, int bit) {
-  const Node& n = design_.node(reg);
-  HLSHC_CHECK(n.op == Op::Reg,
-              "flip_reg_bit: node " << reg << " (" << netlist::op_name(n.op)
-                                    << ") is not a register");
-  HLSHC_CHECK(bit >= 0 && bit < n.width,
-              "flip_reg_bit: bit " << bit << " out of width " << n.width);
-  BitVec mask(n.width, static_cast<int64_t>(uint64_t{1} << bit));
-  BitVec& state = reg_state_[static_cast<size_t>(reg)];
-  state = BitVec::bxor(state, mask, n.width);
-  evaluated_ = false;
-}
-
-void Simulator::flip_mem_bit(int mem_id, int addr, int bit) {
-  HLSHC_CHECK(mem_id >= 0 &&
-                  static_cast<size_t>(mem_id) < mem_state_.size(),
-              "flip_mem_bit: no memory " << mem_id << " in design '"
-                                         << design_.name() << '\'');
-  const netlist::Memory& m = design_.memories()[static_cast<size_t>(mem_id)];
-  HLSHC_CHECK(addr >= 0 && addr < m.depth,
-              "flip_mem_bit: address " << addr << " out of depth " << m.depth);
-  HLSHC_CHECK(bit >= 0 && bit < m.width,
-              "flip_mem_bit: bit " << bit << " out of width " << m.width);
-  BitVec mask(m.width, static_cast<int64_t>(uint64_t{1} << bit));
-  BitVec& word = mem_state_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)];
-  word = BitVec::bxor(word, mask, m.width);
-  evaluated_ = false;
-}
-
-void Simulator::reset() {
+void Simulator::reset_state() {
   for (NodeId r : regs_) {
     const Node& n = design_.node(r);
     reg_state_[static_cast<size_t>(r)] = BitVec(n.width, n.imm);
@@ -81,25 +34,23 @@ void Simulator::reset() {
   }
   for (NodeId in : design_.inputs())
     values_[static_cast<size_t>(in)] = BitVec::zero(design_.node(in).width);
-  cycle_ = 0;
-  evaluated_ = false;
-  if (injector_) injector_->at_cycle(*this);
 }
 
-void Simulator::set_input(std::string_view port, const BitVec& value) {
-  NodeId id = design_.find_input(port);
-  HLSHC_CHECK(id != kInvalidNode, "no input port '" << port << "' in design '"
-                                                    << design_.name() << '\'');
-  values_[static_cast<size_t>(id)] =
-      BitVec(design_.node(id).width, value.to_int64());
-  evaluated_ = false;
+void Simulator::poke_input(NodeId id, int64_t value) {
+  values_[static_cast<size_t>(id)] = BitVec(design_.node(id).width, value);
 }
 
-void Simulator::set_input(std::string_view port, int64_t value) {
-  NodeId id = design_.find_input(port);
-  HLSHC_CHECK(id != kInvalidNode, "no input port '" << port << "' in design '"
-                                                    << design_.name() << '\'');
-  set_input(port, BitVec(design_.node(id).width, value));
+void Simulator::do_flip_reg_bit(NodeId reg, int bit, int width) {
+  BitVec mask(width, static_cast<int64_t>(uint64_t{1} << bit));
+  BitVec& state = reg_state_[static_cast<size_t>(reg)];
+  state = BitVec::bxor(state, mask, width);
+}
+
+void Simulator::do_flip_mem_bit(int mem_id, int addr, int bit, int width) {
+  BitVec mask(width, static_cast<int64_t>(uint64_t{1} << bit));
+  BitVec& word =
+      mem_state_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)];
+  word = BitVec::bxor(word, mask, width);
 }
 
 void Simulator::compute(NodeId id) {
@@ -162,17 +113,11 @@ void Simulator::compute(NodeId id) {
         BitVec(w, injector_->transform(id, values_[i], cycle_).to_int64());
 }
 
-void Simulator::eval() {
-  for (NodeId id : order_) compute(id);
-  evaluated_ = true;
+void Simulator::eval_comb() {
+  for (NodeId id : *order_) compute(id);
 }
 
-void Simulator::step() {
-  if (cycle_budget_ && cycle_ >= cycle_budget_)
-    throw SimTimeout("cycle budget exhausted in design '" + design_.name() +
-                         '\'',
-                     cycle_);
-  if (!evaluated_) eval();
+void Simulator::commit_state() {
   // Latch registers.
   for (NodeId r : regs_) {
     const Node& n = design_.node(r);
@@ -191,27 +136,6 @@ void Simulator::step() {
         values_[static_cast<size_t>(n.operands[0])].to_uint64() % mem.size();
     mem[addr] = values_[static_cast<size_t>(n.operands[1])];
   }
-  ++cycle_;
-  if (injector_) injector_->at_cycle(*this);
-  evaluated_ = false;
-  eval();
-}
-
-void Simulator::run(int64_t n) {
-  HLSHC_CHECK(n >= 0, "negative cycle count " << n);
-  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) step();
-}
-
-const BitVec& Simulator::output(std::string_view port) const {
-  NodeId id = design_.find_output(port);
-  HLSHC_CHECK(id != kInvalidNode, "no output port '" << port
-                                                     << "' in design '"
-                                                     << design_.name() << '\'');
-  return values_[static_cast<size_t>(id)];
-}
-
-int64_t Simulator::output_i64(std::string_view port) const {
-  return output(port).to_int64();
 }
 
 BitVec Simulator::mem_peek(int mem_id, int addr) const {

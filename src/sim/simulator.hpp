@@ -1,9 +1,11 @@
-// Cycle-accurate two-phase simulator for netlist::Design.
+// The interpreting simulation engine for netlist::Design.
 //
-// Phase 1 (`eval`) propagates values through the combinational fabric in a
-// precomputed topological order; Reg and MemRead nodes read current state.
-// Phase 2 (`step`) models the clock edge: registers latch their next-value
-// operand (subject to enable) and memory writes commit, in node order.
+// Walks the node graph in a precomputed topological order every cycle,
+// computing each node through BitVec. Simple and obviously correct — it is
+// the differential-testing oracle the compiled engine (compiled.hpp) is
+// checked against. The shared two-phase cycle protocol (eval / clock-edge
+// commit), watchdog, port resolution and fault-injection arming live in the
+// sim::Engine base (engine.hpp).
 //
 // The simulator is the measurement instrument of the reproduction: the
 // evaluation procedure (src/core) drives a design's AXI-Stream interface
@@ -13,133 +15,46 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <string_view>
+#include <memory>
 #include <vector>
 
 #include "base/bitvec.hpp"
 #include "netlist/ir.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::sim {
 
-/// Structured watchdog outcome: a bounded simulation exceeded its cycle
-/// budget. Thrown by Simulator::step() when a cycle budget is armed and by
-/// the AXI-Stream testbench when a run fails to complete — e.g. a fault
-/// wedges a handshake and TVALID never asserts. Campaign drivers catch this
-/// to classify the run as a hang instead of hanging themselves.
-class SimTimeout : public Error {
- public:
-  SimTimeout(const std::string& context, uint64_t cycles)
-      : Error(context + " [SimTimeout after " + std::to_string(cycles) +
-              " cycles]"),
-        cycles_(cycles) {}
-
-  uint64_t cycles() const { return cycles_; }
-
- private:
-  uint64_t cycles_;
-};
-
-class Simulator;
-
-/// Non-invasive fault-injection hook consulted by the simulator, so faults
-/// can be armed on a built design without rebuilding it (src/fault provides
-/// the concrete SEU / stuck-at / transient injectors).
-class FaultInjector {
- public:
-  virtual ~FaultInjector() = default;
-
-  /// Nodes whose combinational value transform() may rewrite (stuck-at and
-  /// transient faults). Queried once when the injector is armed.
-  virtual std::vector<netlist::NodeId> combinational_targets() const {
-    return {};
-  }
-
-  /// Applied to each target's value as eval() computes it. Must be a pure
-  /// function of (id, value, cycle) so eval() stays idempotent.
-  virtual BitVec transform(netlist::NodeId id, const BitVec& value,
-                           uint64_t cycle) {
-    (void)id;
-    (void)cycle;
-    return value;
-  }
-
-  /// State hook: called once per simulated cycle (at reset for cycle 0 and
-  /// after every clock edge, before combinational settle). May corrupt
-  /// register or memory state via flip_reg_bit()/flip_mem_bit().
-  virtual void at_cycle(Simulator& sim) { (void)sim; }
-};
-
-class Simulator {
+class Simulator : public Engine {
  public:
   /// The design must outlive the simulator. Validates the design.
   explicit Simulator(const netlist::Design& design);
 
-  /// Resets registers to their init values, memories to zero, inputs to
-  /// zero, and the cycle counter.
-  void reset();
+  const char* kind_name() const override { return "interpreter"; }
 
-  void set_input(std::string_view port, const BitVec& value);
-  void set_input(std::string_view port, int64_t value);
-
-  /// Combinational propagation. Idempotent for fixed inputs/state.
-  void eval();
-
-  /// eval() then clock edge; advances the cycle counter. Throws SimTimeout
-  /// when an armed cycle budget is exhausted.
-  void step();
-
-  /// Runs `n` clock cycles with inputs held. `n` must be non-negative; the
-  /// count is handled as uint64_t internally so multi-billion-cycle
-  /// campaigns cannot overflow.
-  void run(int64_t n);
-
-  // ---- robustness hooks ----------------------------------------------------
-
-  /// Watchdog: step() throws SimTimeout once `cycle() >= max_cycles`.
-  /// 0 (the default) disarms the budget.
-  void set_cycle_budget(uint64_t max_cycles) { cycle_budget_ = max_cycles; }
-  uint64_t cycle_budget() const { return cycle_budget_; }
-
-  /// Arms (or, with nullptr, disarms) a fault injector. The injector must
-  /// outlive its armed period; its combinational targets are validated here.
-  void set_fault_injector(FaultInjector* injector);
-
-  /// SEU pokes: flip one bit of a register's current state / one bit of one
-  /// memory word. Validates the target and throws hlshc::Error on a bad one.
-  void flip_reg_bit(netlist::NodeId reg, int bit);
-  void flip_mem_bit(int mem_id, int addr, int bit);
-
-  /// Value of any node after the most recent eval()/step().
-  const BitVec& value(netlist::NodeId id) const {
+  BitVec value(netlist::NodeId id) const override {
     return values_[static_cast<size_t>(id)];
   }
 
-  const BitVec& output(std::string_view port) const;
-  int64_t output_i64(std::string_view port) const;
-
-  uint64_t cycle() const { return cycle_; }
-
   /// Test hooks for memory state.
-  BitVec mem_peek(int mem_id, int addr) const;
-  void mem_poke(int mem_id, int addr, const BitVec& value);
+  BitVec mem_peek(int mem_id, int addr) const override;
+  void mem_poke(int mem_id, int addr, const BitVec& value) override;
 
-  const netlist::Design& design() const { return design_; }
+ protected:
+  void eval_comb() override;
+  void commit_state() override;
+  void reset_state() override;
+  void poke_input(netlist::NodeId id, int64_t value) override;
+  void do_flip_reg_bit(netlist::NodeId reg, int bit, int width) override;
+  void do_flip_mem_bit(int mem_id, int addr, int bit, int width) override;
 
  private:
   void compute(netlist::NodeId id);
 
-  const netlist::Design& design_;
-  std::vector<netlist::NodeId> order_;
-  std::vector<BitVec> values_;      ///< per-node value after eval
-  std::vector<BitVec> reg_state_;   ///< per-node register state (Reg only)
+  std::shared_ptr<const std::vector<netlist::NodeId>> order_;
+  std::vector<BitVec> values_;     ///< per-node value after eval
+  std::vector<BitVec> reg_state_;  ///< per-node register state (Reg only)
   std::vector<std::vector<BitVec>> mem_state_;
   std::vector<netlist::NodeId> regs_;
-  uint64_t cycle_ = 0;
-  uint64_t cycle_budget_ = 0;       ///< 0 = unbounded
-  bool evaluated_ = false;
-  FaultInjector* injector_ = nullptr;
-  std::vector<uint8_t> inject_mask_;  ///< per-node: transform() applies
 };
 
 }  // namespace hlshc::sim

@@ -21,7 +21,7 @@ std::string vcd_id(size_t k) {
 }  // namespace
 
 VcdTrace::VcdTrace(
-    const Simulator& sim,
+    const Engine& sim,
     std::vector<std::pair<std::string, netlist::NodeId>> signals)
     : sim_(sim), signals_(std::move(signals)) {
   HLSHC_CHECK(!signals_.empty(), "VCD trace with no signals");
@@ -32,7 +32,7 @@ VcdTrace::VcdTrace(
   }
 }
 
-VcdTrace VcdTrace::ports(const Simulator& sim) {
+VcdTrace VcdTrace::ports(const Engine& sim) {
   std::vector<std::pair<std::string, netlist::NodeId>> sigs;
   const netlist::Design& d = sim.design();
   for (netlist::NodeId id : d.inputs()) sigs.emplace_back(d.node(id).name, id);

@@ -1,6 +1,6 @@
 // VCD (IEEE 1364 value change dump) tracing for the simulator.
 //
-// Attach a trace to a simulator, pick the signals to record (ports by
+// Attach a trace to a simulation engine (interpreter or compiled), pick the signals to record (ports by
 // name, or any node), call sample() once per cycle, and finish() returns a
 // standard VCD document that GTKWave and friends open directly — the
 // debugging loop hardware engineers expect from a simulator.
@@ -9,18 +9,18 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::sim {
 
 class VcdTrace {
  public:
   /// Traces the given (label, node) pairs. Labels must be unique.
-  VcdTrace(const Simulator& sim,
+  VcdTrace(const Engine& sim,
            std::vector<std::pair<std::string, netlist::NodeId>> signals);
 
   /// Convenience: trace every input and output port of the design.
-  static VcdTrace ports(const Simulator& sim);
+  static VcdTrace ports(const Engine& sim);
 
   /// Record the current values (call after eval(), once per cycle).
   void sample();
@@ -31,7 +31,7 @@ class VcdTrace {
   int samples() const { return time_; }
 
  private:
-  const Simulator& sim_;
+  const Engine& sim_;
   std::vector<std::pair<std::string, netlist::NodeId>> signals_;
   std::vector<std::string> ids_;
   std::vector<BitVec> last_;

@@ -3,6 +3,7 @@
 // (the Verilog-family designs double as the DUT here).
 #include "axis/stream.hpp"
 #include "axis/testbench.hpp"
+#include "sim/simulator.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,515 @@
+// Differential tests: the compiled engine against the interpreter oracle.
+//
+// The compiled engine (sim::CompiledSimulator over netlist::ExecPlan) must
+// be observationally indistinguishable from the interpreter
+// (sim::Simulator) — same node values every cycle, same cycle counts, same
+// stream timing, same watchdog behaviour and same fault-campaign
+// classifications. Three layers of evidence:
+//
+//   1. randomized netlists covering every op, fuzzed cycle by cycle with
+//      every node value compared after every eval;
+//   2. every registered AXI-Stream IDCT design run through the stream
+//      testbench on both engines with seeded stimulus and randomized
+//      source/sink timing;
+//   3. fault campaigns (SEU + stuck-at) classified by both engines.
+//
+// Plus unit tests for the ExecPlan compilation itself (levelization,
+// constant hoisting, per-design caching).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "bsv/designs.hpp"
+#include "chisel/designs.hpp"
+#include "fault/campaign.hpp"
+#include "fault/model.hpp"
+#include "hls/tool.hpp"
+#include "netlist/exec_plan.hpp"
+#include "rtl/designs.hpp"
+#include "sim/compiled.hpp"
+#include "sim/simulator.hpp"
+#include "testutil.hpp"
+#include "xls/designs.hpp"
+
+namespace hlshc {
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+using netlist::Op;
+
+// ---- randomized netlist fuzzing --------------------------------------------
+
+/// A random but valid design: every op kind, mixed widths, registers with
+/// and without enables, and a memory with read and write ports.
+Design random_design(uint64_t seed) {
+  SplitMix64 rng(seed);
+  Design d("fuzz_" + std::to_string(seed));
+
+  const int widths[] = {1, 2, 5, 8, 12, 16, 31, 32, 33, 63, 64};
+  auto pick_width = [&] { return widths[rng.next_in(0, 10)]; };
+
+  std::vector<NodeId> pool;
+  const int n_inputs = static_cast<int>(rng.next_in(2, 4));
+  for (int i = 0; i < n_inputs; ++i)
+    pool.push_back(d.input("in" + std::to_string(i), pick_width()));
+  const int n_consts = static_cast<int>(rng.next_in(1, 3));
+  for (int i = 0; i < n_consts; ++i) {
+    int w = pick_width();
+    pool.push_back(d.constant(w, static_cast<int64_t>(rng.next())));
+  }
+
+  std::vector<NodeId> regs;
+  const int n_regs = static_cast<int>(rng.next_in(1, 3));
+  for (int i = 0; i < n_regs; ++i) {
+    int w = pick_width();
+    NodeId r = d.reg(w, static_cast<int64_t>(rng.next()),
+                     "r" + std::to_string(i));
+    regs.push_back(r);
+    pool.push_back(r);
+  }
+
+  const int mem_width = pick_width();
+  const int mem_id = d.add_memory("m", mem_width, 8);
+
+  auto any = [&] { return pool[rng.next_in(0, static_cast<long>(pool.size()) - 1)]; };
+  /// Adapt `n` to exactly `w` bits (slice down or extend up).
+  auto fit = [&](NodeId n, int w) {
+    int have = d.node(n).width;
+    if (have == w) return n;
+    if (have > w) return d.slice(n, w - 1, 0);
+    return rng.next_in(0, 1) ? d.sext(n, w) : d.zext(n, w);
+  };
+
+  const int n_ops = static_cast<int>(rng.next_in(30, 60));
+  for (int i = 0; i < n_ops; ++i) {
+    int w = pick_width();
+    NodeId a = any(), b = any();
+    NodeId made = netlist::kInvalidNode;
+    switch (rng.next_in(0, 22)) {
+      case 0: made = d.add(a, b, w); break;
+      case 1: made = d.sub(a, b, w); break;
+      case 2: made = d.mul(a, b, w); break;
+      case 3: made = d.neg(a, w); break;
+      case 4:
+        made = d.shl(a, static_cast<int>(rng.next_in(0, 70)), w);
+        break;
+      case 5:
+        made = d.ashr(a, static_cast<int>(rng.next_in(0, 70)), w);
+        break;
+      case 6:
+        made = d.lshr(a, static_cast<int>(rng.next_in(0, 70)), w);
+        break;
+      case 7: made = d.band(a, b, w); break;
+      case 8: made = d.bor(a, b, w); break;
+      case 9: made = d.bxor(a, b, w); break;
+      case 10: made = d.bnot(a, w); break;
+      case 11: made = d.eq(a, b); break;
+      case 12: made = d.ne(a, b); break;
+      case 13: made = d.slt(a, b); break;
+      case 14: made = d.sle(a, b); break;
+      case 15: made = d.sgt(a, b); break;
+      case 16: made = d.sge(a, b); break;
+      case 17: made = d.ult(a, b); break;
+      case 18: made = d.mux(fit(a, 1), a, b, w); break;
+      case 19: {
+        int have = d.node(a).width;
+        int lo = static_cast<int>(rng.next_in(0, have - 1));
+        int hi = static_cast<int>(rng.next_in(lo, have - 1));
+        made = d.slice(a, hi, lo);
+        break;
+      }
+      case 20:
+        if (d.node(a).width + d.node(b).width <= 64) {
+          made = d.concat(a, b);
+        } else {
+          made = d.bxor(a, b, w);
+        }
+        break;
+      case 21: made = d.sext(a, w >= d.node(a).width ? w : 64); break;
+      case 22: made = d.zext(a, w >= d.node(a).width ? w : 64); break;
+    }
+    pool.push_back(made);
+  }
+
+  // Memory ports: read at a random address, write gated by a 1-bit enable.
+  NodeId addr = fit(any(), 5);  // 5-bit address over depth 8 exercises wrap
+  pool.push_back(d.mem_read(mem_id, addr));
+  d.mem_write(mem_id, fit(any(), 3), fit(any(), mem_width), fit(any(), 1));
+
+  // Close the register loops (half with enables).
+  for (size_t i = 0; i < regs.size(); ++i) {
+    NodeId next = fit(any(), d.node(regs[i]).width);
+    if (i % 2 == 0) {
+      d.set_reg_next(regs[i], next, fit(any(), 1));
+    } else {
+      d.set_reg_next(regs[i], next);
+    }
+  }
+
+  // A few observable outputs (every node is compared anyway).
+  for (int i = 0; i < 3; ++i)
+    d.output("out" + std::to_string(i), any());
+  return d;
+}
+
+void expect_all_nodes_equal(const sim::Simulator& oracle,
+                            const sim::CompiledSimulator& compiled,
+                            const Design& d, uint64_t seed, int cycle) {
+  for (size_t i = 0; i < d.node_count(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    ASSERT_EQ(oracle.value(id), compiled.value(id))
+        << "seed " << seed << " cycle " << cycle << " node " << id << " ("
+        << netlist::op_name(d.node(id).op) << " w=" << d.node(id).width
+        << ')';
+  }
+}
+
+class RandomNetlistDiff : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetlistDiff, EveryNodeEveryCycleBitExact) {
+  const uint64_t seed = GetParam();
+  Design d = random_design(seed);
+  sim::Simulator oracle(d);
+  sim::CompiledSimulator compiled(d);
+  SplitMix64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+
+  std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    for (NodeId in : ins) {
+      int64_t v = static_cast<int64_t>(rng.next());
+      oracle.poke(in, v);
+      compiled.poke(in, v);
+    }
+    oracle.eval();
+    compiled.eval();
+    expect_all_nodes_equal(oracle, compiled, d, seed, cycle);
+    oracle.step();
+    compiled.step();
+    ASSERT_EQ(oracle.cycle(), compiled.cycle());
+  }
+
+  // Mid-run reset must restore both engines to the same state.
+  oracle.reset();
+  compiled.reset();
+  oracle.eval();
+  compiled.eval();
+  expect_all_nodes_equal(oracle, compiled, d, seed, -1);
+}
+
+TEST_P(RandomNetlistDiff, SeuPokesAgree) {
+  const uint64_t seed = GetParam();
+  Design d = random_design(seed);
+  sim::Simulator oracle(d);
+  sim::CompiledSimulator compiled(d);
+  SplitMix64 rng(seed + 7);
+
+  std::vector<NodeId> regs;
+  for (size_t i = 0; i < d.node_count(); ++i)
+    if (d.node(static_cast<NodeId>(i)).op == Op::Reg)
+      regs.push_back(static_cast<NodeId>(i));
+  ASSERT_FALSE(regs.empty());
+
+  for (int round = 0; round < 8; ++round) {
+    NodeId r = regs[rng.next_in(0, static_cast<long>(regs.size()) - 1)];
+    int bit = static_cast<int>(rng.next_in(0, d.node(r).width - 1));
+    oracle.flip_reg_bit(r, bit);
+    compiled.flip_reg_bit(r, bit);
+    int addr = static_cast<int>(rng.next_in(0, 7));
+    int mbit =
+        static_cast<int>(rng.next_in(0, d.memories()[0].width - 1));
+    oracle.flip_mem_bit(0, addr, mbit);
+    compiled.flip_mem_bit(0, addr, mbit);
+    oracle.step();
+    compiled.step();
+    expect_all_nodes_equal(oracle, compiled, d, seed, round);
+    for (int a = 0; a < 8; ++a)
+      ASSERT_EQ(oracle.mem_peek(0, a), compiled.mem_peek(0, a))
+          << "seed " << seed << " addr " << a;
+  }
+}
+
+/// Stuck-at on an arbitrary node (including inputs and hoisted constants).
+class StuckBit : public sim::FaultInjector {
+ public:
+  StuckBit(NodeId node, int bit, bool one) : node_(node), bit_(bit), one_(one) {}
+
+  std::vector<NodeId> combinational_targets() const override {
+    return {node_};
+  }
+
+  BitVec transform(NodeId, const BitVec& v, uint64_t) override {
+    const int w = v.width();
+    const BitVec mask(w, static_cast<int64_t>(uint64_t{1} << bit_));
+    return one_ ? BitVec::bor(v, mask, w)
+                : BitVec::band(v, BitVec::bnot(mask, w), w);
+  }
+
+ private:
+  NodeId node_;
+  int bit_;
+  bool one_;
+};
+
+TEST_P(RandomNetlistDiff, CombinationalInjectionAndDisarmAgree) {
+  const uint64_t seed = GetParam();
+  Design d = random_design(seed);
+  sim::Simulator oracle(d);
+  sim::CompiledSimulator compiled(d);
+  SplitMix64 rng(seed * 31 + 5);
+  std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+
+  auto drive_and_compare = [&](int cycles, int tag) {
+    for (int c = 0; c < cycles; ++c) {
+      for (NodeId in : ins) {
+        int64_t v = static_cast<int64_t>(rng.next());
+        oracle.poke(in, v);
+        compiled.poke(in, v);
+      }
+      oracle.step();
+      compiled.step();
+      expect_all_nodes_equal(oracle, compiled, d, seed, tag * 100 + c);
+    }
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    // Any node but MemWrite is a fair target — inputs and consts included.
+    NodeId target;
+    do {
+      target = static_cast<NodeId>(
+          rng.next_in(0, static_cast<long>(d.node_count()) - 1));
+    } while (d.node(target).op == Op::MemWrite);
+    StuckBit inj(target, static_cast<int>(rng.next_in(0, d.node(target).width - 1)),
+                 rng.next_in(0, 1) != 0);
+    oracle.set_fault_injector(&inj);
+    compiled.set_fault_injector(&inj);
+    drive_and_compare(6, round * 2);
+    // Disarm: both engines must heal identically (hoisted constants!).
+    oracle.set_fault_injector(nullptr);
+    compiled.set_fault_injector(nullptr);
+    drive_and_compare(4, round * 2 + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistDiff,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// ---- watchdog parity -------------------------------------------------------
+
+TEST(EngineDiff, WatchdogFiresIdenticallyOnBothEngines) {
+  Design d = random_design(3);
+  for (sim::EngineKind kind :
+       {sim::EngineKind::kInterpreter, sim::EngineKind::kCompiled}) {
+    std::unique_ptr<sim::Engine> e = sim::make_engine(d, kind);
+    e->set_cycle_budget(5);
+    try {
+      e->run(100);
+      FAIL() << "watchdog did not fire on " << e->kind_name();
+    } catch (const sim::SimTimeout& t) {
+      EXPECT_EQ(t.cycles(), 5u) << e->kind_name();
+    }
+    EXPECT_EQ(e->cycle(), 5u) << e->kind_name();
+  }
+}
+
+// ---- every registered IDCT design ------------------------------------------
+
+struct FamilyCase {
+  const char* label;
+  std::function<Design()> build;
+};
+
+std::vector<FamilyCase> axis_families() {
+  return {
+      {"verilog_initial", [] { return rtl::build_verilog_initial(); }},
+      {"verilog_opt1", [] { return rtl::build_verilog_opt1(); }},
+      {"verilog_opt2", [] { return rtl::build_verilog_opt2(); }},
+      {"chisel_initial", [] { return chisel::build_chisel_initial(); }},
+      {"chisel_opt", [] { return chisel::build_chisel_opt(); }},
+      {"bsv_initial", [] { return bsv::build_bsv_initial(); }},
+      {"bsv_opt", [] { return bsv::build_bsv_opt(); }},
+      {"xls_comb", [] { return xls::build_xls_design({0}).design; }},
+      {"xls_p8", [] { return xls::build_xls_design({8}).design; }},
+      {"bambu",
+       [] { return hls::compile_bambu(hls::idct_source(), {}).design; }},
+      {"vhls_opt",
+       [] {
+         hls::VhlsOptions o;
+         o.pragmas = true;
+         return hls::compile_vhls(hls::idct_source(), o).design;
+       }},
+  };
+}
+
+struct StreamRun {
+  std::vector<idct::Block> outs;
+  uint64_t total_cycles = 0;
+  int latency = 0;
+  double periodicity = 0.0;
+};
+
+StreamRun stream_run(const Design& d, sim::EngineKind kind,
+                     const std::vector<idct::Block>& ins, int gap, int stall,
+                     int period) {
+  std::unique_ptr<sim::Engine> e = sim::make_engine(d, kind);
+  axis::StreamTestbench tb(*e);
+  tb.source().set_gap_cycles(gap);
+  if (period) tb.sink().set_backpressure(stall, period);
+  StreamRun r;
+  r.outs = tb.run(ins, 500000);
+  r.total_cycles = tb.timing().total_cycles;
+  r.latency = tb.timing().latency_cycles;
+  r.periodicity = tb.timing().periodicity_cycles;
+  return r;
+}
+
+class EveryFamilyDiff : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EveryFamilyDiff, EnginesAgreeOnOutputsAndTiming) {
+  FamilyCase fc = axis_families()[GetParam()];
+  Design d = fc.build();
+  SplitMix64 rng(20260806);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 4; ++i)
+    ins.push_back(testutil::realistic_coeff_block(rng));
+
+  struct Timing {
+    int gap, stall, period;
+  };
+  for (Timing t : {Timing{0, 0, 0}, Timing{1, 1, 3}}) {
+    StreamRun oracle =
+        stream_run(d, sim::EngineKind::kInterpreter, ins, t.gap, t.stall,
+                   t.period);
+    StreamRun compiled =
+        stream_run(d, sim::EngineKind::kCompiled, ins, t.gap, t.stall,
+                   t.period);
+    ASSERT_EQ(oracle.outs, compiled.outs)
+        << fc.label << " gap=" << t.gap << " stall=" << t.stall;
+    EXPECT_EQ(oracle.total_cycles, compiled.total_cycles) << fc.label;
+    EXPECT_EQ(oracle.latency, compiled.latency) << fc.label;
+    EXPECT_EQ(oracle.periodicity, compiled.periodicity) << fc.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, EveryFamilyDiff, ::testing::Range<size_t>(0, 11),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return axis_families()[info.param].label;
+    });
+
+// ---- fault-campaign classification parity ----------------------------------
+
+TEST(EngineDiff, FaultCampaignClassificationsIdentical) {
+  Design d = rtl::build_verilog_initial();
+  std::vector<fault::FaultSite> sites = fault::sample_seu_sites(d, 6, 200, 11);
+  std::vector<fault::FaultSite> stuck = fault::sample_stuck_sites(d, 6, 12);
+  sites.insert(sites.end(), stuck.begin(), stuck.end());
+
+  fault::CampaignOptions opt;
+  opt.matrices = 2;
+  opt.engine = sim::EngineKind::kInterpreter;
+  fault::CampaignReport oracle = fault::run_campaign(d, sites, opt);
+  opt.engine = sim::EngineKind::kCompiled;
+  fault::CampaignReport compiled = fault::run_campaign(d, sites, opt);
+
+  EXPECT_EQ(oracle.reference_functional, compiled.reference_functional);
+  EXPECT_EQ(oracle.counts.masked, compiled.counts.masked);
+  EXPECT_EQ(oracle.counts.sdc, compiled.counts.sdc);
+  EXPECT_EQ(oracle.counts.detected, compiled.counts.detected);
+  EXPECT_EQ(oracle.counts.hang, compiled.counts.hang);
+  ASSERT_EQ(oracle.runs.size(), compiled.runs.size());
+  for (size_t i = 0; i < oracle.runs.size(); ++i)
+    EXPECT_EQ(oracle.runs[i].outcome, compiled.runs[i].outcome)
+        << "site " << i;
+}
+
+// ---- ExecPlan compilation --------------------------------------------------
+
+TEST(ExecPlan, StreamIsLevelizedAndRespectsDependencies) {
+  Design d = rtl::build_verilog_opt2();
+  auto plan = netlist::ExecPlan::for_design(d);
+
+  std::vector<int> pos(d.node_count(), -1);
+  int k = 0;
+  for (const netlist::ExecInstr& in : plan->instrs())
+    pos[static_cast<size_t>(in.dst)] = k++;
+
+  for (const netlist::ExecInstr& in : plan->instrs()) {
+    if (in.op == Op::Reg) continue;  // reads state, not the stream
+    for (NodeId o : d.node(in.dst).operands) {
+      Op oop = d.node(o).op;
+      if (oop == Op::Input || oop == Op::Const) continue;  // sources
+      if (oop == Op::Reg) continue;  // level 0, ordered first anyway
+      ASSERT_LT(pos[static_cast<size_t>(o)],
+                pos[static_cast<size_t>(in.dst)])
+          << "operand " << o << " of node " << in.dst
+          << " executes after its user";
+    }
+  }
+}
+
+TEST(ExecPlan, ConstantsAndInputsHoistedOutOfStream) {
+  Design d = rtl::build_verilog_initial();
+  auto plan = netlist::ExecPlan::for_design(d);
+  for (const netlist::ExecInstr& in : plan->instrs()) {
+    EXPECT_NE(in.op, Op::Const);
+    EXPECT_NE(in.op, Op::Input);
+  }
+  size_t n_const = 0;
+  for (size_t i = 0; i < d.node_count(); ++i)
+    if (d.node(static_cast<NodeId>(i)).op == Op::Const) ++n_const;
+  EXPECT_EQ(plan->const_instrs().size(), n_const);
+}
+
+TEST(ExecPlan, LevelStartsPartitionTheStream) {
+  Design d = rtl::build_verilog_opt1();
+  auto plan = netlist::ExecPlan::for_design(d);
+  const auto& starts = plan->level_starts();
+  ASSERT_GE(starts.size(), 2u);
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_EQ(starts.back(), plan->instrs().size());
+  for (size_t l = 1; l < starts.size(); ++l)
+    EXPECT_LE(starts[l - 1], starts[l]);
+  EXPECT_GE(plan->depth(), 1);
+}
+
+TEST(ExecPlan, CachedPerDesignAndInvalidatedOnMutation) {
+  Design d = rtl::build_verilog_initial();
+  auto p1 = netlist::ExecPlan::for_design(d);
+  auto p2 = netlist::ExecPlan::for_design(d);
+  EXPECT_EQ(p1.get(), p2.get()) << "plan not reused";
+
+  // A design copy shares the already-compiled plan.
+  Design copy = d;
+  auto p3 = netlist::ExecPlan::for_design(copy);
+  EXPECT_EQ(p1.get(), p3.get()) << "copy recompiled the plan";
+
+  // Mutation drops the cache; the old handle stays valid.
+  d.output("extra", d.constant(1, 0));
+  auto p4 = netlist::ExecPlan::for_design(d);
+  EXPECT_NE(p1.get(), p4.get()) << "stale plan served after mutation";
+  EXPECT_EQ(p4->slot_count(), d.node_count());
+}
+
+TEST(ExecPlan, TopoOrderCachedUntilMutation) {
+  Design d = rtl::build_verilog_initial();
+  const std::vector<NodeId>* o1 = &d.topo_order();
+  const std::vector<NodeId>* o2 = &d.topo_order();
+  EXPECT_EQ(o1, o2) << "topo order recomputed";
+  auto shared = d.topo_order_shared();
+  EXPECT_EQ(shared.get(), o1);
+
+  // Mutation recomputes; `shared` keeps the old vector alive, so the new
+  // allocation is necessarily a different object.
+  d.output("extra2", d.constant(1, 0));
+  const std::vector<NodeId>* o3 = &d.topo_order();
+  EXPECT_NE(o3, shared.get()) << "stale topo order served after mutation";
+  EXPECT_EQ(o3->size(), d.node_count());
+}
+
+}  // namespace
+}  // namespace hlshc

@@ -9,6 +9,7 @@
 #include "maxj/system.hpp"
 #include "netlist/dump.hpp"
 #include "rtl/designs.hpp"
+#include "sim/simulator.hpp"
 #include "sim/vcd.hpp"
 #include "synth/synthesize.hpp"
 
