@@ -5,6 +5,8 @@
 // paper's A / P / Q axes for each variant — what the hardening costs in
 // Table II terms.
 //
+// Writes BENCH_fault.json (cwd) through the obs::RunReport schema.
+//
 // Usage: bench_fault_campaign [sites_per_design]   (default 1000)
 #include <chrono>
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include "fault/harden.hpp"
 #include "fault/model.hpp"
 #include "netlist/ir.hpp"
+#include "obs/report.hpp"
 #include "rtl/designs.hpp"
 
 using hlshc::format_fixed;
@@ -66,16 +69,47 @@ int main(int argc, char** argv) {
   rows.push_back(
       {"verilog opt2 + TMR", hlshc::fault::tmr(hlshc::rtl::build_verilog_opt2())});
 
+  hlshc::obs::RunReport report("bench_fault_campaign");
+  report.params()
+      .set("sites_per_design", hlshc::obs::Json::number(sites))
+      .set("sample_seed",
+           hlshc::obs::Json::number(static_cast<int64_t>(kSampleSeed)))
+      .set("max_inject_cycle",
+           hlshc::obs::Json::number(static_cast<int64_t>(kMaxInjectCycle)));
+  hlshc::obs::Json designs = hlshc::obs::Json::array();
+
   std::vector<hlshc::fault::DesignResilience> results;
   for (const Row& row : rows) {
     double rate = 0.0;
     results.push_back(measure(row.design, sites, &rate));
-    const hlshc::fault::CampaignCounts& c = results.back().campaign.counts;
+    const hlshc::fault::DesignResilience& r = results.back();
+    const hlshc::fault::CampaignCounts& c = r.campaign.counts;
     std::printf(
         "%-20s %8s faults/sec  masked=%d sdc=%d detected=%d hang=%d  VF=%s\n",
         row.tag, format_fixed(rate, 1).c_str(), c.masked, c.sdc, c.detected,
         c.hang, format_fixed(c.vulnerability(), 4).c_str());
+
+    hlshc::obs::Json entry = hlshc::obs::Json::object();
+    entry.set("design", hlshc::obs::Json::string(row.tag))
+        .set("runs", hlshc::obs::Json::number(c.total()))
+        .set("masked", hlshc::obs::Json::number(c.masked))
+        .set("sdc", hlshc::obs::Json::number(c.sdc))
+        .set("detected", hlshc::obs::Json::number(c.detected))
+        .set("hang", hlshc::obs::Json::number(c.hang))
+        .set("vulnerability_factor",
+             hlshc::obs::Json::number(c.vulnerability()))
+        .set("faults_per_sec", hlshc::obs::Json::number(rate))
+        .set("fmax_mhz", hlshc::obs::Json::number(r.fmax_mhz))
+        .set("periodicity_cycles",
+             hlshc::obs::Json::number(r.periodicity_cycles))
+        .set("throughput_mops", hlshc::obs::Json::number(r.throughput_mops))
+        .set("area", hlshc::obs::Json::number(static_cast<int64_t>(r.area)))
+        .set("quality", hlshc::obs::Json::number(r.quality));
+    designs.push(std::move(entry));
   }
+  report.results().set("designs", std::move(designs));
+  report.write_file("BENCH_fault.json");
+  std::printf("\nwrote BENCH_fault.json\n");
 
   std::printf("\n%s\n", hlshc::fault::resilience_table(results).c_str());
 

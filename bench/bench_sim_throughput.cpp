@@ -10,12 +10,21 @@
 //   stream  — the full AXI-Stream testbench pushing matrices: what the
 //             evaluation procedure and fault campaigns actually pay.
 //
-// Writes the machine-readable results to BENCH_sim.json (cwd) and prints a
-// table. Usage: bench_sim_throughput [raw_cycles] [stream_matrices]
-// (defaults 200000 and 64).
+// After the timing sweep, an activity-profiled stream run over the
+// optimized Verilog IDCT prints the top-10 toggle hotspot table (identical
+// on both engines — asserted here, not assumed).
+//
+// Writes the machine-readable results to BENCH_sim.json (cwd) through the
+// obs::RunReport schema and prints a table.
+//
+// Usage: bench_sim_throughput [raw_cycles] [stream_matrices] [--trace FILE]
+// (defaults 200000 and 64). --trace additionally records Chrome trace_event
+// JSON for the whole bench, viewable in chrome://tracing / Perfetto.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -26,8 +35,11 @@
 #include "base/strings.hpp"
 #include "bsv/designs.hpp"
 #include "chisel/designs.hpp"
+#include "core/report.hpp"
 #include "idct/reference.hpp"
 #include "netlist/exec_plan.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "rtl/designs.hpp"
 #include "sim/engine.hpp"
 #include "xls/designs.hpp"
@@ -36,6 +48,7 @@ using hlshc::format_fixed;
 using hlshc::format_grouped;
 namespace sim = hlshc::sim;
 namespace netlist = hlshc::netlist;
+namespace obs = hlshc::obs;
 
 namespace {
 
@@ -91,10 +104,65 @@ double stream_cps(sim::Engine& e, const std::vector<hlshc::idct::Block>& ins) {
                   : 0.0;
 }
 
-std::string json_num(double v) {
+obs::Json rate(double v) {
+  // One decimal, matching the previous hand-rolled serialization.
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.1f", v);
-  return buf;
+  double parsed = 0;
+  std::sscanf(buf, "%lf", &parsed);
+  return obs::Json::number(parsed);
+}
+
+/// Activity-profiled stream run over the optimized Verilog IDCT on both
+/// engines; asserts toggle parity and prints the interpreter-vs-compiled-
+/// verified top-10 hotspot table.
+bool hotspot_section(const std::vector<hlshc::idct::Block>& ins,
+                     obs::Json* out) {
+  netlist::Design d = hlshc::rtl::build_verilog_opt2();
+  auto interp = sim::make_engine(d, sim::EngineKind::kInterpreter);
+  auto compiled = sim::make_engine(d, sim::EngineKind::kCompiled);
+  for (sim::Engine* e : {interp.get(), compiled.get()}) {
+    e->set_activity_enabled(true);
+    hlshc::axis::StreamTestbench tb(*e);
+    tb.run(ins, 10'000'000);
+  }
+  const sim::ActivityProfile& pi = interp->activity();
+  const sim::ActivityProfile& pc = compiled->activity();
+  uint64_t total = 0;
+  for (size_t i = 0; i < pi.toggles.size(); ++i) {
+    if (pi.toggles[i] != pc.toggles[i]) {
+      std::fprintf(stderr,
+                   "toggle mismatch at node %zu: interp %llu compiled %llu\n",
+                   i, static_cast<unsigned long long>(pi.toggles[i]),
+                   static_cast<unsigned long long>(pc.toggles[i]));
+      return false;
+    }
+    total += pc.toggles[i];
+  }
+  std::printf("\n%s", hlshc::core::hotspot_table(d, pc, 10).c_str());
+
+  obs::Json section = obs::Json::object();
+  section.set("design", obs::Json::string(d.name()));
+  section.set("cycles", obs::Json::number(pc.cycles));
+  section.set("total_toggles", obs::Json::number(total));
+  section.set("engines_agree", obs::Json::boolean(true));
+  obs::Json top = obs::Json::array();
+  std::vector<size_t> ranked(pc.toggles.size());
+  for (size_t i = 0; i < ranked.size(); ++i) ranked[i] = i;
+  std::stable_sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    return pc.toggles[a] > pc.toggles[b];
+  });
+  for (size_t r = 0; r < ranked.size() && r < 10; ++r) {
+    const netlist::Node& n = d.node(static_cast<netlist::NodeId>(ranked[r]));
+    obs::Json row = obs::Json::object();
+    row.set("node", obs::Json::number(static_cast<int64_t>(ranked[r])));
+    row.set("op", obs::Json::string(netlist::op_name(n.op)));
+    row.set("toggles", obs::Json::number(pc.toggles[ranked[r]]));
+    top.push(std::move(row));
+  }
+  section.set("top_nodes", std::move(top));
+  *out = std::move(section);
+  return true;
 }
 
 }  // namespace
@@ -102,13 +170,26 @@ std::string json_num(double v) {
 int main(int argc, char** argv) {
   int64_t raw_cycles = 200000;
   int matrices = 64;
-  if (argc > 1) raw_cycles = std::atoll(argv[1]);
-  if (argc > 2) matrices = std::atoi(argv[2]);
+  std::string trace_path;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) raw_cycles = std::atoll(positional[0]);
+  if (positional.size() > 1) matrices = std::atoi(positional[1]);
   if (raw_cycles <= 0 || matrices <= 0) {
-    std::fprintf(stderr, "usage: %s [raw_cycles > 0] [stream_matrices > 0]\n",
+    std::fprintf(stderr,
+                 "usage: %s [raw_cycles > 0] [stream_matrices > 0] "
+                 "[--trace FILE]\n",
                  argv[0]);
     return 1;
   }
+
+  if (!trace_path.empty()) obs::tracer().start();
 
   hlshc::SplitMix64 rng(2026);
   std::vector<hlshc::idct::Block> ins;
@@ -123,10 +204,11 @@ int main(int argc, char** argv) {
       "depth", "interp c/s", "compiled c/s", "raw x", "interp c/s",
       "compiled c/s", "strm x");
 
-  std::string json = "{\n  \"raw_cycles\": " + std::to_string(raw_cycles) +
-                     ",\n  \"stream_matrices\": " + std::to_string(matrices) +
-                     ",\n  \"designs\": [\n";
-  bool first = true;
+  obs::RunReport report("bench_sim_throughput");
+  report.params()
+      .set("raw_cycles", obs::Json::number(raw_cycles))
+      .set("stream_matrices", obs::Json::number(matrices));
+  obs::Json designs = obs::Json::array();
 
   for (const Case& c : cases()) {
     netlist::Design d = c.build();
@@ -151,32 +233,37 @@ int main(int argc, char** argv) {
                 format_grouped((long)strm_c).c_str(),
                 format_fixed(strm_x, 1).c_str());
 
-    if (!first) json += ",\n";
-    first = false;
-    json += "    {\"design\": \"" + std::string(c.name) + "\"";
-    json += ", \"nodes\": " + std::to_string(nodes);
-    json += ", \"depth\": " + std::to_string(plan->depth());
-    json += ", \"interp_cycles_per_sec\": " + json_num(raw_i);
-    json += ", \"compiled_cycles_per_sec\": " + json_num(raw_c);
-    json += ", \"raw_speedup\": " + json_num(raw_x);
-    json += ", \"interp_ops_per_sec\": " +
-            json_num(raw_i * static_cast<double>(nodes));
-    json += ", \"compiled_ops_per_sec\": " +
-            json_num(raw_c * static_cast<double>(nodes));
-    json += ", \"stream_interp_cycles_per_sec\": " + json_num(strm_i);
-    json += ", \"stream_compiled_cycles_per_sec\": " + json_num(strm_c);
-    json += ", \"stream_speedup\": " + json_num(strm_x);
-    json += "}";
+    obs::Json row = obs::Json::object();
+    row.set("design", obs::Json::string(c.name))
+        .set("nodes", obs::Json::number(static_cast<int64_t>(nodes)))
+        .set("depth", obs::Json::number(static_cast<int64_t>(plan->depth())))
+        .set("interp_cycles_per_sec", rate(raw_i))
+        .set("compiled_cycles_per_sec", rate(raw_c))
+        .set("raw_speedup", rate(raw_x))
+        .set("interp_ops_per_sec", rate(raw_i * static_cast<double>(nodes)))
+        .set("compiled_ops_per_sec", rate(raw_c * static_cast<double>(nodes)))
+        .set("stream_interp_cycles_per_sec", rate(strm_i))
+        .set("stream_compiled_cycles_per_sec", rate(strm_c))
+        .set("stream_speedup", rate(strm_x));
+    designs.push(std::move(row));
   }
-  json += "\n  ]\n}\n";
+  report.results().set("designs", std::move(designs));
 
-  std::FILE* f = std::fopen("BENCH_sim.json", "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write BENCH_sim.json\n");
+  obs::Json hotspots;
+  if (!hotspot_section(ins, &hotspots)) {
+    std::fprintf(stderr, "activity-counter parity FAILED between engines\n");
     return 1;
   }
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  report.results().set("hotspots", std::move(hotspots));
+
+  report.write_file("BENCH_sim.json");
   std::printf("\nwrote BENCH_sim.json\n");
+
+  if (!trace_path.empty()) {
+    obs::tracer().stop();
+    obs::tracer().write_file(trace_path);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                obs::tracer().event_count());
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace hlshc::axis {
 
 namespace {
@@ -60,7 +62,9 @@ void StreamWatch::sample() {
     }
   }
 
+  if (valid && !ready) ++stalls_;
   if (valid && ready) {
+    ++beats_;
     ++beats_in_frame_;
     if (last) {
       if (beats_in_frame_ != idct::kBlockDim)
@@ -79,8 +83,23 @@ void StreamWatch::sample() {
   prev_lanes_ = lanes;
 }
 
+void StreamWatch::publish_metrics() const {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  reg.counter("axis." + prefix_ + ".beats")->add(static_cast<int64_t>(beats_));
+  reg.counter("axis." + prefix_ + ".stalls")
+      ->add(static_cast<int64_t>(stalls_));
+  reg.counter("axis." + prefix_ + ".violations")
+      ->add(static_cast<int64_t>(violations_.size()));
+}
+
 Monitor::Monitor(sim::Engine& sim)
     : slave_(sim, "s", kInElemWidth), master_(sim, "m", kOutElemWidth) {}
+
+void Monitor::publish_metrics() const {
+  slave_.publish_metrics();
+  master_.publish_metrics();
+}
 
 void Monitor::sample() {
   slave_.sample();

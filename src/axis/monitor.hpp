@@ -37,6 +37,17 @@ class StreamWatch {
 
   const std::vector<std::string>& violations() const { return violations_; }
 
+  /// Handshake statistics over all samples: accepted beats and stalled
+  /// offers (TVALID without TREADY) — the stream-utilization numbers the
+  /// throughput analysis reads.
+  uint64_t beats() const { return beats_; }
+  uint64_t stalls() const { return stalls_; }
+
+  /// Add this stream's beat/stall/violation counts to the process metrics
+  /// registry as "axis.<prefix>.{beats,stalls,violations}". No-op unless
+  /// obs::enabled().
+  void publish_metrics() const;
+
  private:
   sim::Engine& sim_;
   std::string prefix_;
@@ -48,6 +59,8 @@ class StreamWatch {
   bool prev_last_ = false;
   std::vector<BitVec> prev_lanes_;
   int beats_in_frame_ = 0;
+  uint64_t beats_ = 0;
+  uint64_t stalls_ = 0;
   std::vector<std::string> violations_;
 };
 
@@ -60,6 +73,12 @@ class Monitor {
 
   std::vector<std::string> violations() const;
   bool clean() const { return violations().empty(); }
+
+  const StreamWatch& slave() const { return slave_; }
+  const StreamWatch& master() const { return master_; }
+
+  /// Publish both streams' counters to the metrics registry.
+  void publish_metrics() const;
 
  private:
   StreamWatch slave_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "obs/trace.hpp"
 
 namespace hlshc::axis {
 
@@ -127,6 +128,10 @@ StreamTestbench::StreamTestbench(sim::Engine& sim)
 
 std::vector<idct::Block> StreamTestbench::run(
     const std::vector<idct::Block>& inputs, uint64_t max_cycles) {
+  obs::Span span("testbench.run", "axis");
+  span.arg("design", sim_.design().name())
+      .arg("engine", sim_.kind_name())
+      .arg("matrices", static_cast<int64_t>(inputs.size()));
   sim_.reset();
   for (const idct::Block& b : inputs) source_.queue(b);
 
@@ -170,6 +175,8 @@ std::vector<idct::Block> StreamTestbench::run(
   } else {
     timing_.periodicity_cycles = static_cast<double>(timing_.latency_cycles);
   }
+  monitor_.publish_metrics();
+  span.arg("cycles", static_cast<int64_t>(timing_.total_cycles));
   return sink_.matrices();
 }
 

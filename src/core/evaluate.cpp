@@ -4,12 +4,15 @@
 #include "base/rng.hpp"
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace hlshc::core {
 
 DesignEvaluation evaluate_axis_design(const netlist::Design& design,
                                       const EvaluateOptions& options) {
+  obs::Span span("evaluate.design", "core");
+  span.arg("design", design.name());
   DesignEvaluation ev;
   ev.name = design.name();
 

@@ -92,4 +92,44 @@ std::string scatter_summary(const std::vector<ScatterPoint>& points) {
   return os.str();
 }
 
+std::string hotspot_table(const netlist::Design& design,
+                          const sim::ActivityProfile& profile, int top_n) {
+  HLSHC_CHECK(profile.toggles.size() == design.node_count(),
+              "activity profile for " << profile.toggles.size()
+                                      << " nodes does not match design '"
+                                      << design.name() << "' ("
+                                      << design.node_count() << " nodes)");
+  std::vector<netlist::NodeId> ranked(design.node_count());
+  for (size_t i = 0; i < ranked.size(); ++i)
+    ranked[i] = static_cast<netlist::NodeId>(i);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](netlist::NodeId a, netlist::NodeId b) {
+                     return profile.toggles[static_cast<size_t>(a)] >
+                            profile.toggles[static_cast<size_t>(b)];
+                   });
+  if (top_n > 0 && static_cast<size_t>(top_n) < ranked.size())
+    ranked.resize(static_cast<size_t>(top_n));
+
+  Table table({"rank", "node", "op", "width", "label", "toggles", "tgl/cyc"});
+  int rank = 1;
+  for (netlist::NodeId id : ranked) {
+    const netlist::Node& n = design.node(id);
+    uint64_t toggles = profile.toggles[static_cast<size_t>(id)];
+    double per_cycle = profile.cycles > 0
+                           ? static_cast<double>(toggles) /
+                                 static_cast<double>(profile.cycles)
+                           : 0.0;
+    table.add_row({std::to_string(rank++), std::to_string(id),
+                   netlist::op_name(n.op), std::to_string(n.width),
+                   n.name.empty() ? "-" : n.name,
+                   format_grouped(static_cast<long long>(toggles)),
+                   format_fixed(per_cycle, 2)});
+  }
+  std::ostringstream os;
+  os << "activity hotspots: " << design.name() << " over "
+     << format_grouped(static_cast<long long>(profile.cycles)) << " cycles\n"
+     << table.render();
+  return os.str();
+}
+
 }  // namespace hlshc::core

@@ -1,10 +1,14 @@
 // Report rendering: fixed-width ASCII tables (the bench binaries print
-// Table I / Table II in the paper's layout) and CSV/TSV series emitters
-// for Fig. 1's Performance x Area scatter.
+// Table I / Table II in the paper's layout), CSV/TSV series emitters
+// for Fig. 1's Performance x Area scatter, and the ranked activity
+// hotspot table over a simulated ActivityProfile.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "netlist/ir.hpp"
+#include "sim/engine.hpp"
 
 namespace hlshc::core {
 
@@ -42,5 +46,15 @@ std::string scatter_summary(const std::vector<ScatterPoint>& points);
 /// better). Returned sorted by ascending area. This is the "which tool
 /// wins where" reading of Fig. 1.
 std::vector<ScatterPoint> pareto_front(std::vector<ScatterPoint> points);
+
+/// Ranked activity hotspot table: the `top_n` nodes with the highest toggle
+/// counts from a simulated ActivityProfile, with op, width, label (port
+/// name / debug label when present), total toggles and toggles/cycle.
+/// Toggled bits are the dynamic-power proxy (see DESIGN.md §8), so the top
+/// of this table is where switching energy — and usually optimization
+/// opportunity — concentrates. The profile must have been accumulated over
+/// `design` (counter vectors sized to its node count).
+std::string hotspot_table(const netlist::Design& design,
+                          const sim::ActivityProfile& profile, int top_n = 10);
 
 }  // namespace hlshc::core

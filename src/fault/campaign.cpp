@@ -1,6 +1,7 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
@@ -9,6 +10,8 @@
 #include "core/report.hpp"
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
 
@@ -103,9 +106,32 @@ std::vector<std::string> detector_ports(const Design& d) {
 
 }  // namespace
 
+namespace {
+
+void report_progress(const CampaignOptions& options,
+                     const CampaignProgress& progress) {
+  obs::tracer().instant("campaign.progress", "fault");
+  if (options.on_progress) {
+    options.on_progress(progress);
+    return;
+  }
+  std::fprintf(stderr,
+               "[campaign %s] %d/%d sites (masked=%d sdc=%d detected=%d "
+               "hang=%d)\n",
+               progress.design_name.c_str(), progress.completed,
+               progress.total, progress.counts.masked, progress.counts.sdc,
+               progress.counts.detected, progress.counts.hang);
+}
+
+}  // namespace
+
 CampaignReport run_campaign(const Design& d,
                             const std::vector<FaultSite>& sites,
                             const CampaignOptions& options) {
+  obs::Span span("fault.campaign", "fault");
+  span.arg("design", d.name())
+      .arg("sites", static_cast<int64_t>(sites.size()))
+      .arg("engine", sim::engine_kind_name(options.engine));
   for (const FaultSite& site : sites) validate_site(d, site);
 
   CampaignReport report;
@@ -135,9 +161,11 @@ CampaignReport run_campaign(const Design& d,
   const std::vector<std::string> detectors = detector_ports(d);
   if (options.keep_runs) report.runs.reserve(sites.size());
 
+  int completed = 0;
   for (const FaultSite& site : sites) {
     SiteInjector injector(site);
     sim->set_fault_injector(&injector);
+    const int64_t run_start_ns = obs::enabled() ? obs::now_ns() : 0;
     Outcome outcome;
     try {
       axis::StreamTestbench tb(*sim);
@@ -155,6 +183,13 @@ CampaignReport run_campaign(const Design& d,
       outcome = Outcome::kHang;
     }
     sim->set_fault_injector(nullptr);
+    // Per-classification run timing: the timer name carries the outcome, so
+    // the metrics export shows e.g. how much wall time hangs cost (each one
+    // burns a full watchdog budget).
+    if (obs::enabled())
+      obs::registry()
+          .timer(std::string("fault.outcome.") + outcome_name(outcome))
+          ->record_ns(obs::now_ns() - run_start_ns);
     switch (outcome) {
       case Outcome::kMasked: ++report.counts.masked; break;
       case Outcome::kSdc: ++report.counts.sdc; break;
@@ -162,6 +197,11 @@ CampaignReport run_campaign(const Design& d,
       case Outcome::kHang: ++report.counts.hang; break;
     }
     if (options.keep_runs) report.runs.push_back({site, outcome});
+    ++completed;
+    if (options.progress_every > 0 && completed % options.progress_every == 0)
+      report_progress(options, {d.name(), completed,
+                                static_cast<int>(sites.size()),
+                                report.counts});
   }
   return report;
 }

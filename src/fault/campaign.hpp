@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,24 @@ enum class Outcome : uint8_t { kMasked, kSdc, kDetected, kHang };
 
 const char* outcome_name(Outcome outcome);
 
+struct CampaignCounts {
+  int masked = 0, sdc = 0, detected = 0, hang = 0;
+
+  int total() const { return masked + sdc + detected + hang; }
+  /// Fraction of runs ending in the unacceptable outcomes (SDC or hang).
+  double vulnerability() const {
+    return total() > 0 ? static_cast<double>(sdc + hang) / total() : 0.0;
+  }
+};
+
+/// Snapshot handed to the progress callback every `progress_every` sites.
+struct CampaignProgress {
+  std::string design_name;
+  int completed = 0;  ///< sites finished so far
+  int total = 0;      ///< sites in the campaign
+  CampaignCounts counts;  ///< running outcome mix
+};
+
 struct CampaignOptions {
   int matrices = 2;             ///< IEEE 1180 matrices streamed per run
   long input_seed = 1;          ///< seed for the IEEE 1180 input generator
@@ -45,16 +64,14 @@ struct CampaignOptions {
   /// default; the differential suite asserts both engines classify every
   /// run identically.
   sim::EngineKind engine = sim::EngineKind::kCompiled;
-};
-
-struct CampaignCounts {
-  int masked = 0, sdc = 0, detected = 0, hang = 0;
-
-  int total() const { return masked + sdc + detected + hang; }
-  /// Fraction of runs ending in the unacceptable outcomes (SDC or hang).
-  double vulnerability() const {
-    return total() > 0 ? static_cast<double>(sdc + hang) / total() : 0.0;
-  }
+  /// Progress reporting cadence in completed sites; 0 disables it. The
+  /// default keeps small test campaigns (a handful of sites) silent while a
+  /// 1000-site bench campaign reports every 250 sites.
+  int progress_every = 250;
+  /// Invoked at each cadence tick. When unset, a one-line running summary
+  /// goes to stderr — long campaigns are no longer silent by default. The
+  /// tracer additionally records an instant event per tick when active.
+  std::function<void(const CampaignProgress&)> on_progress;
 };
 
 struct RunRecord {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "base/check.hpp"
+#include "obs/trace.hpp"
 
 namespace hlshc::hls {
 
@@ -35,6 +36,9 @@ bool is_shared_output(const Dfg& dfg, int node,
 }
 
 Schedule schedule(const Dfg& dfg, const ScheduleOptions& options) {
+  obs::Span span("hls.schedule", "hls");
+  span.arg("ops", static_cast<int64_t>(dfg.nodes.size()))
+      .arg("mul_units", static_cast<int64_t>(options.mul_units));
   const int n = static_cast<int>(dfg.nodes.size());
   Schedule sched;
   sched.cycle.assign(static_cast<size_t>(n), -2);  // -2 = unscheduled

@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "hls/ast.hpp"
+#include "obs/trace.hpp"
 
 namespace hlshc::hls {
 
@@ -97,6 +98,8 @@ ScheduleOptions bambu_schedule_options(const BambuOptions& options) {
 
 HlsCompileResult compile_bambu(const std::string& source,
                                const BambuOptions& options) {
+  obs::Span span("hls.compile_bambu", "hls");
+  span.arg("config", options.label());
   Program prog = parse(source);
   LowerOptions lo;
   lo.inline_functions = true;  // Bambu inlines these leaves by default
@@ -114,6 +117,8 @@ HlsCompileResult compile_bambu(const std::string& source,
 
 HlsCompileResult compile_vhls(const std::string& source,
                               const VhlsOptions& options) {
+  obs::Span span("hls.compile_vhls", "hls");
+  span.arg("config", options.label());
   Program prog = parse(source);
   if (!options.pragmas) {
     // Push-button: functions stay separate modules; every call pays the

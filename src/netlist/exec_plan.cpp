@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace hlshc::netlist {
 
 namespace {
@@ -13,6 +15,9 @@ uint64_t width_mask(int width) {
 }  // namespace
 
 ExecPlan::ExecPlan(const Design& d) {
+  obs::Span span("plan.compile", "netlist");
+  span.arg("design", d.name())
+      .arg("nodes", static_cast<int64_t>(d.node_count()));
   d.validate();
   const std::vector<NodeId>& order = d.topo_order();
   const size_t n = d.node_count();

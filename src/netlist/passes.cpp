@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hlshc::netlist {
 
 namespace {
@@ -177,8 +179,17 @@ NodeId majority3(Design& d, NodeId a, NodeId b, NodeId c) {
 
 Design optimize(const Design& d, PassStats* stats) {
   Design work = d;  // fold mutates in place
-  PassStats local = fold_constants(work);
+  PassStats local;
+  {
+    obs::Span span("pass.fold_constants", "netlist");
+    span.arg("design", d.name());
+    local = fold_constants(work);
+    span.arg("folded", static_cast<int64_t>(local.folded));
+  }
+  obs::Span span("pass.eliminate_dead", "netlist");
+  span.arg("design", d.name());
   Design out = eliminate_dead(work, &local);
+  span.arg("removed", static_cast<int64_t>(local.removed));
   if (stats) {
     stats->folded += local.folded;
     stats->removed += local.removed;

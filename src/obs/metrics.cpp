@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+
+namespace hlshc::obs {
+
+namespace {
+bool g_enabled = false;
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+Json Registry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_)
+    counters.set(name, Json::number(c.value()));
+
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, Json::number(g.value()));
+
+  Json timers = Json::object();
+  for (const auto& [name, t] : timers_) {
+    Json entry = Json::object();
+    entry.set("total_ns", Json::number(t.total_ns()));
+    entry.set("count", Json::number(t.count()));
+    timers.set(name, std::move(entry));
+  }
+
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("timers", std::move(timers));
+  return out;
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace hlshc::obs

@@ -1,0 +1,128 @@
+// Process-wide metrics registry: named counters, gauges, and timers.
+//
+// The registry is the "always cheap" half of the observability layer. Hot
+// paths guard every update behind `obs::enabled()` — a single inline bool
+// load — so a release run with instrumentation off pays one predicted
+// branch per call site and touches no shared state. When enabled, updates
+// are plain int64/double stores into slots owned by the registry; there is
+// no locking because the simulators and benches are single-threaded by
+// design (ROADMAP: determinism first).
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// "sim.eval_ns", "axis.s.beats", "fault.campaign.sites". The JSON export
+// sorts keys so BENCH_*.json metric blocks diff cleanly across PRs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace hlshc::obs {
+
+/// Master switch for metrics + activity accounting. Off by default; benches
+/// and tests that want telemetry flip it explicitly. Tracing has its own
+/// switch (the Tracer is active only between start()/stop()).
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic wall-clock in nanoseconds (steady_clock based).
+int64_t now_ns();
+
+class Registry;
+
+/// Monotonically increasing count (events, beats, toggles).
+class Counter {
+ public:
+  void add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  int64_t value_ = 0;
+};
+
+/// Last-write-wins sample (queue depth, slot count, ratio).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  friend class Registry;
+  double value_ = 0.0;
+};
+
+/// Accumulated duration + invocation count. Use ScopedTimer to feed it.
+class Timer {
+ public:
+  void record_ns(int64_t ns) {
+    total_ns_ += ns;
+    ++count_;
+  }
+  int64_t total_ns() const { return total_ns_; }
+  int64_t count() const { return count_; }
+
+ private:
+  friend class Registry;
+  int64_t total_ns_ = 0;
+  int64_t count_ = 0;
+};
+
+/// RAII timer: measures from construction to destruction and records into
+/// the named Timer — but only when obs::enabled() was true at construction,
+/// so a disabled run never reads the clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer), start_ns_(timer ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (timer_) timer_->record_ns(now_ns() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  int64_t start_ns_;
+};
+
+/// Owns every named metric. Lookups return stable pointers (std::map nodes
+/// don't move), so call sites resolve a metric once and cache the pointer.
+class Registry {
+ public:
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
+  Timer* timer(const std::string& name) { return &timers_[name]; }
+
+  /// Drop every metric (tests; bench sections).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "timers": {name: {total_ns,
+  /// count}}} with keys sorted (std::map iteration order). Zero-valued
+  /// metrics are included — absence means "never registered".
+  Json to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Timer> timers_;
+};
+
+/// The process-wide registry used by all instrumented subsystems.
+Registry& registry();
+
+/// Convenience: bump a named counter iff metrics are enabled. For hot loops
+/// prefer resolving the Counter* once and guarding manually.
+inline void count(const std::string& name, int64_t n = 1) {
+  if (enabled()) registry().counter(name)->add(n);
+}
+
+/// Convenience: time a scope iff metrics are enabled. Usage:
+///   auto t = obs::timed("synth.map_ns");
+inline ScopedTimer timed(const std::string& name) {
+  return ScopedTimer(enabled() ? registry().timer(name) : nullptr);
+}
+
+}  // namespace hlshc::obs

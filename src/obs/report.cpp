@@ -1,0 +1,34 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hlshc::obs {
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+void RunReport::capture_metrics() { metrics_ = registry().to_json(); }
+
+Json RunReport::to_json() const {
+  Json out = Json::object();
+  out.set("schema", Json::string("hlshc.run_report"));
+  out.set("schema_version", Json::number(int64_t{kSchemaVersion}));
+  out.set("tool", Json::string(tool_));
+  out.set("params", params_);
+  out.set("results", results_);
+  if (!metrics_.is_null()) out.set("metrics", metrics_);
+  return out;
+}
+
+void RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  HLSHC_CHECK(out.good(), "cannot open report output file '" << path << '\'');
+  out << to_json().dump(2);
+  out.close();
+  HLSHC_CHECK(out.good(),
+              "failed writing report output file '" << path << '\'');
+}
+
+}  // namespace hlshc::obs

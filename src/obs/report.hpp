@@ -1,0 +1,56 @@
+// Unified machine-readable run telemetry: the RunReport schema.
+//
+// Every bench driver (and the fault campaign runner) used to hand-roll its
+// JSON with string concatenation, which meant unstable key order, no schema
+// marker, and no shared place to attach metrics. RunReport fixes the
+// envelope once:
+//
+//   {
+//     "schema": "hlshc.run_report",
+//     "schema_version": 1,
+//     "tool": "bench_sim_throughput",
+//     "params":  { ... run configuration, insertion order ... },
+//     "results": { ... tool-specific payload, insertion order ... },
+//     "metrics": { ... registry snapshot, sorted ... }   // when captured
+//   }
+//
+// Tools own params/results layout; the envelope and key order are fixed
+// here so `diff BENCH_sim.json` across PRs shows value changes, not
+// serialization noise. Bump schema_version on breaking envelope changes.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace hlshc::obs {
+
+class RunReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit RunReport(std::string tool);
+
+  /// Run configuration (cycle counts, seeds, site counts). Insertion order
+  /// is preserved in the output.
+  Json& params() { return params_; }
+  /// Tool-specific results payload.
+  Json& results() { return results_; }
+
+  /// Snapshot the process-wide metrics registry into the report. Call after
+  /// the measured work; repeat calls overwrite.
+  void capture_metrics();
+
+  Json to_json() const;
+  /// Pretty-printed (2-space) dump to `path`; throws hlshc::Error on I/O
+  /// failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  Json params_ = Json::object();
+  Json results_ = Json::object();
+  Json metrics_;  // null until capture_metrics()
+};
+
+}  // namespace hlshc::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+namespace hlshc::obs {
+
+void Tracer::start() {
+  if (!kTraceCompiled) return;
+  events_.clear();
+  epoch_ns_ = now_ns();
+  active_ = true;
+}
+
+void Tracer::stop() { active_ = false; }
+
+int64_t Tracer::now_us() const { return (now_ns() - epoch_ns_) / 1000; }
+
+void Tracer::record(TraceEvent event) {
+  if (!active()) return;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.start_us = now_us();
+  e.instant = true;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::clear() { events_.clear(); }
+
+Json Tracer::to_json() const {
+  Json list = Json::array();
+  for (const TraceEvent& e : events_) {
+    Json entry = Json::object();
+    entry.set("name", Json::string(e.name));
+    entry.set("cat", Json::string(e.category.empty() ? "hlshc" : e.category));
+    entry.set("ph", Json::string(e.instant ? "i" : "X"));
+    entry.set("ts", Json::number(e.start_us));
+    if (!e.instant) entry.set("dur", Json::number(e.duration_us));
+    if (e.instant) entry.set("s", Json::string("p"));  // process-scoped mark
+    entry.set("pid", Json::number(int64_t{1}));
+    entry.set("tid", Json::number(int64_t{1}));
+    if (!e.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [k, v] : e.args) args.set(k, Json::string(v));
+      entry.set("args", std::move(args));
+    }
+    list.push(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("traceEvents", std::move(list));
+  out.set("displayTimeUnit", Json::string("ms"));
+  return out;
+}
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  HLSHC_CHECK(out.good(), "cannot open trace output file '" << path << '\'');
+  out << to_json().dump(2);
+  out.close();
+  HLSHC_CHECK(out.good(), "failed writing trace output file '" << path << '\'');
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace hlshc::obs

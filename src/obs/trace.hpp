@@ -1,0 +1,123 @@
+// Structured event tracer emitting Chrome trace_event JSON.
+//
+// The tracer records *phases* — engine compile, testbench runs, synth
+// passes, HLS scheduling, fault-campaign sweeps — as complete ("X") events
+// with microsecond timestamps. The output file loads directly into
+// chrome://tracing or ui.perfetto.dev, which is how the hotspot work in the
+// perf PRs is meant to be read: open the trace, find the widest span, go
+// optimize that.
+//
+// Overhead contract: spans are recorded only while the tracer is *active*
+// (between start() and stop()); an inactive Span constructor is a bool test
+// against a constant-false and nothing else. Builds configured with
+// -DHLSHC_TRACE=OFF compile the tracer to stubs (kTraceCompiled == false),
+// so release binaries carry no tracing branches at all — the `trace` CMake
+// option from the build README.
+//
+// Per-*cycle* events are deliberately not traced: at millions of cycles per
+// second even a disabled branch adds up, and a flame chart of 2^20
+// identical 200ns slices is useless. Cycle-grain data goes through the
+// metrics registry and ActivityProfile instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef HLSHC_TRACE
+#define HLSHC_TRACE 1
+#endif
+
+namespace hlshc::obs {
+
+/// True when the build carries tracer code (CMake option HLSHC_TRACE).
+inline constexpr bool kTraceCompiled = HLSHC_TRACE != 0;
+
+/// One completed span or instant marker, in trace_event terms.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;        ///< 0 + instant==true → "i" event
+  bool instant = false;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects events in memory; to_json()/write_file() emit the standard
+/// {"traceEvents": [...]} envelope. One process-wide instance (tracer()).
+class Tracer {
+ public:
+  /// Begin collecting. Clears any previously recorded events and anchors
+  /// t=0 at the call, so span timestamps are small and stable-ish.
+  void start();
+  /// Stop collecting; already-recorded events are kept for export.
+  void stop();
+  bool active() const { return kTraceCompiled && active_; }
+
+  /// Timestamp for record(); microseconds since start().
+  int64_t now_us() const;
+
+  void record(TraceEvent event);
+  /// Zero-duration marker ("i" event) — campaign progress ticks etc.
+  void instant(std::string name, std::string category);
+
+  size_t event_count() const { return events_.size(); }
+  void clear();
+
+  /// Chrome trace_event JSON object format: {"traceEvents": [...],
+  /// "displayTimeUnit": "ms"}. Every event carries name/cat/ph/ts/pid/tid.
+  Json to_json() const;
+  /// Dump to_json() to a file; throws hlshc::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  bool active_ = false;
+  int64_t epoch_ns_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+Tracer& tracer();
+
+/// RAII span: stamps the start on construction, records a complete event on
+/// end() or destruction. When the tracer is inactive (or tracing compiled
+/// out) every method is a no-op. arg() attaches string key/values shown in
+/// the trace viewer's detail pane.
+class Span {
+ public:
+  Span(std::string name, std::string category) {
+    if (!tracer().active()) return;
+    live_ = true;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.start_us = tracer().now_us();
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span& arg(std::string key, std::string value) {
+    if (live_) event_.args.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Span& arg(std::string key, int64_t value) {
+    return arg(std::move(key), std::to_string(value));
+  }
+
+  /// Close the span early (for sequential phases sharing one scope).
+  void end() {
+    if (!live_) return;
+    live_ = false;
+    event_.duration_us = tracer().now_us() - event_.start_us;
+    tracer().record(std::move(event_));
+  }
+
+ private:
+  bool live_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace hlshc::obs

@@ -193,6 +193,11 @@ void CompiledSimulator::on_injector_changed() {
   }
 }
 
+void CompiledSimulator::snapshot_values(int64_t* out) const {
+  // Slot i is node i, already in canonical form — a straight copy.
+  std::copy(values_.begin(), values_.end(), out);
+}
+
 BitVec CompiledSimulator::value(NodeId id) const {
   return BitVec(design_.node(id).width, values_[static_cast<size_t>(id)]);
 }

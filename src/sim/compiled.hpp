@@ -46,6 +46,7 @@ class CompiledSimulator : public Engine {
   void do_flip_reg_bit(netlist::NodeId reg, int bit, int width) override;
   void do_flip_mem_bit(int mem_id, int addr, int bit, int width) override;
   void on_injector_changed() override;
+  void snapshot_values(int64_t* out) const override;
 
  private:
   void exec_instr(const netlist::ExecInstr& in);

@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,11 +24,17 @@ void Engine::reset() {
   reset_state();
   cycle_ = 0;
   evaluated_ = false;
+  act_prev_valid_ = false;  // no toggle accounting across a reset
   if (injector_) injector_->at_cycle(*this);
 }
 
 void Engine::eval() {
-  eval_comb();
+  if (obs::enabled()) {
+    obs::ScopedTimer t(obs::registry().timer("sim.eval"));
+    eval_comb();
+  } else {
+    eval_comb();
+  }
   evaluated_ = true;
 }
 
@@ -35,7 +44,15 @@ void Engine::step() {
                          '\'',
                      cycle_);
   if (!evaluated_) eval();
-  commit_state();
+  // Sample the settled pre-edge state — these are the values being latched,
+  // so toggle/write accounting sees exactly what the clock edge sees.
+  if (activity_) accumulate_activity();
+  if (obs::enabled()) {
+    obs::ScopedTimer t(obs::registry().timer("sim.commit"));
+    commit_state();
+  } else {
+    commit_state();
+  }
   ++cycle_;
   if (injector_) injector_->at_cycle(*this);
   evaluated_ = false;
@@ -44,7 +61,73 @@ void Engine::step() {
 
 void Engine::run(int64_t n) {
   HLSHC_CHECK(n >= 0, "negative cycle count " << n);
+  obs::Span span("engine.run", "sim");
+  span.arg("design", design_.name())
+      .arg("engine", kind_name())
+      .arg("cycles", n);
   for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) step();
+}
+
+void Engine::set_activity_enabled(bool on) {
+  activity_ = on;
+  if (!on) return;
+  const size_t n = design_.node_count();
+  profile_ = ActivityProfile{};
+  profile_.toggles.assign(n, 0);
+  profile_.reg_writes.assign(n, 0);
+  profile_.mem_reads.assign(design_.memories().size(), 0);
+  profile_.mem_writes.assign(design_.memories().size(), 0);
+  act_prev_.assign(n, 0);
+  act_cur_.assign(n, 0);
+  act_prev_valid_ = false;
+  act_mask_.assign(n, 0);
+  act_regs_.clear();
+  act_mem_reads_.clear();
+  act_mem_writes_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = design_.node(static_cast<NodeId>(i));
+    act_mask_[i] = nd.width >= 64 ? ~uint64_t{0}
+                                  : (uint64_t{1} << nd.width) - 1;
+    switch (nd.op) {
+      case Op::Reg:
+        act_regs_.push_back({static_cast<int32_t>(i),
+                             nd.operands.size() < 2 ? -1 : nd.operands[1]});
+        break;
+      case Op::MemRead:
+        act_mem_reads_.push_back({nd.operands[0], nd.mem});
+        break;
+      case Op::MemWrite:
+        act_mem_writes_.push_back({nd.operands[2], nd.mem});
+        break;
+      default: break;
+    }
+  }
+}
+
+void Engine::accumulate_activity() {
+  snapshot_values(act_cur_.data());
+  const size_t n = design_.node_count();
+  if (act_prev_valid_) {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t diff = (static_cast<uint64_t>(act_cur_[i]) ^
+                       static_cast<uint64_t>(act_prev_[i])) &
+                      act_mask_[i];
+      profile_.toggles[i] += static_cast<uint64_t>(std::popcount(diff));
+    }
+    // A read port is "active" when it presents a new address.
+    for (const MemWatch& r : act_mem_reads_)
+      if (act_cur_[r.node] != act_prev_[r.node])
+        ++profile_.mem_reads[static_cast<size_t>(r.mem)];
+  }
+  for (const RegWatch& rw : act_regs_)
+    if (rw.enable < 0 || act_cur_[rw.enable] != 0)
+      ++profile_.reg_writes[static_cast<size_t>(rw.reg)];
+  for (const MemWatch& w : act_mem_writes_)
+    if (act_cur_[w.node] != 0)
+      ++profile_.mem_writes[static_cast<size_t>(w.mem)];
+  ++profile_.cycles;
+  std::swap(act_prev_, act_cur_);
+  act_prev_valid_ = true;
 }
 
 void Engine::set_input(std::string_view port, const BitVec& value) {

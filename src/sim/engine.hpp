@@ -51,6 +51,33 @@ class SimTimeout : public Error {
 
 class Engine;
 
+/// Per-node dynamic-activity counts, the repo's power/hotspot proxy.
+/// Accumulated by the Engine base while activity profiling is enabled, from
+/// value snapshots taken at every clock edge (the settled combinational
+/// state about to be latched):
+///
+///   * toggles[n]     — bits of node n that changed between consecutive
+///                      edges (popcount of the XOR, masked to the node
+///                      width). CMOS dynamic power is proportional to
+///                      exactly this switched capacitance, which is why the
+///                      ranked toggle table doubles as a hotspot report.
+///   * reg_writes[n]  — clock edges at which register n's enable held
+///                      (an accepted latch, whether or not the value moved).
+///   * mem_reads[m]   — edges at which some read port of memory m presented
+///                      a different address than the previous edge.
+///   * mem_writes[m]  — committed write transactions into memory m.
+///
+/// Both engines snapshot through the same canonical sign-extended int64
+/// encoding, so every count is identical between interpreter and compiled
+/// engine by construction — asserted by the differential suite.
+struct ActivityProfile {
+  uint64_t cycles = 0;               ///< edges accumulated
+  std::vector<uint64_t> toggles;     ///< indexed by NodeId
+  std::vector<uint64_t> reg_writes;  ///< indexed by NodeId; Reg nodes only
+  std::vector<uint64_t> mem_reads;   ///< indexed by memory id
+  std::vector<uint64_t> mem_writes;  ///< indexed by memory id
+};
+
 /// Non-invasive fault-injection hook consulted by the engine, so faults
 /// can be armed on a built design without rebuilding it (src/fault provides
 /// the concrete SEU / stuck-at / transient injectors).
@@ -139,6 +166,16 @@ class Engine {
   virtual BitVec mem_peek(int mem_id, int addr) const = 0;
   virtual void mem_poke(int mem_id, int addr, const BitVec& value) = 0;
 
+  // ---- activity profiling --------------------------------------------------
+
+  /// Enables per-node activity accounting (see ActivityProfile). Enabling
+  /// zeroes all counts; disabling freezes them for inspection. Off by
+  /// default — a disabled engine pays one predicted branch per step().
+  void set_activity_enabled(bool on);
+  bool activity_enabled() const { return activity_; }
+  /// The accumulated counts. Valid whenever profiling is or was enabled.
+  const ActivityProfile& activity() const { return profile_; }
+
  protected:
   explicit Engine(const netlist::Design& design);
 
@@ -153,12 +190,39 @@ class Engine {
   /// injection structures.
   virtual void on_injector_changed() {}
 
+  /// Dump every node's current value, one canonical sign-extended int64 per
+  /// node id, into `out` (node_count() entries). Both engines store values
+  /// in BitVec's canonical form, so the activity accounting built on these
+  /// snapshots is engine-independent.
+  virtual void snapshot_values(int64_t* out) const = 0;
+
   const netlist::Design& design_;
   uint64_t cycle_ = 0;
   uint64_t cycle_budget_ = 0;  ///< 0 = unbounded
   bool evaluated_ = false;
   FaultInjector* injector_ = nullptr;
   std::vector<uint8_t> inject_mask_;  ///< per-node: transform() applies
+
+ private:
+  void accumulate_activity();
+
+  // Activity-profiling state (set_activity_enabled builds the watch lists).
+  bool activity_ = false;
+  ActivityProfile profile_;
+  std::vector<int64_t> act_prev_, act_cur_;  ///< edge snapshots
+  bool act_prev_valid_ = false;
+  std::vector<uint64_t> act_mask_;  ///< per-node width mask
+  struct RegWatch {
+    int32_t reg;
+    int32_t enable;  ///< node id, or -1 for always-enabled
+  };
+  struct MemWatch {
+    int32_t node;  ///< enable node (writes) / address node (reads)
+    int32_t mem;
+  };
+  std::vector<RegWatch> act_regs_;
+  std::vector<MemWatch> act_mem_reads_;
+  std::vector<MemWatch> act_mem_writes_;
 };
 
 enum class EngineKind : uint8_t {

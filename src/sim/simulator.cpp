@@ -138,6 +138,10 @@ void Simulator::commit_state() {
   }
 }
 
+void Simulator::snapshot_values(int64_t* out) const {
+  for (size_t i = 0; i < values_.size(); ++i) out[i] = values_[i].to_int64();
+}
+
 BitVec Simulator::mem_peek(int mem_id, int addr) const {
   return mem_state_[static_cast<size_t>(mem_id)][static_cast<size_t>(addr)];
 }

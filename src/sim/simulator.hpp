@@ -46,6 +46,7 @@ class Simulator : public Engine {
   void poke_input(netlist::NodeId id, int64_t value) override;
   void do_flip_reg_bit(netlist::NodeId reg, int bit, int width) override;
   void do_flip_mem_bit(int mem_id, int addr, int bit, int width) override;
+  void snapshot_values(int64_t* out) const override;
 
  private:
   void compute(netlist::NodeId id);

@@ -3,14 +3,23 @@
 #include <cmath>
 
 #include "netlist/passes.hpp"
+#include "obs/trace.hpp"
 
 namespace hlshc::synth {
 
 SynthReport synthesize(const netlist::Design& design,
                        const SynthOptions& options) {
+  obs::Span span("synth.synthesize", "synth");
+  span.arg("design", design.name());
+  obs::Span opt_span("synth.optimize", "synth");
   netlist::Design optimized = netlist::optimize(design);
+  opt_span.end();
+  obs::Span map_span("synth.map", "synth");
   Mapper mapper(optimized, options);
+  map_span.end();
+  obs::Span timing_span("synth.timing", "synth");
   TimingReport timing = analyze_timing(optimized, mapper, options);
+  timing_span.end();
 
   SynthReport report;
   report.design_name = design.name();

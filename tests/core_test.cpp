@@ -161,6 +161,50 @@ TEST(Report, ScatterCsvShape) {
   EXPECT_NE(csv.find("verilog,initial,6.990,30396,"), std::string::npos);
 }
 
+TEST(Report, HotspotTableRanksTogglesAndNamesNodes) {
+  netlist::Design d("toy");
+  netlist::NodeId a = d.input("busy_in", 8);
+  netlist::NodeId b = d.input("quiet_in", 8);
+  netlist::NodeId sum = d.add(a, b, 8);
+  d.output("o", sum);
+
+  sim::ActivityProfile p;
+  p.cycles = 10;
+  p.toggles.assign(d.node_count(), 0);
+  p.reg_writes.assign(d.node_count(), 0);
+  p.toggles[static_cast<size_t>(sum)] = 40;  // 4.00 toggles/cycle
+  p.toggles[static_cast<size_t>(a)] = 7;
+
+  std::string table = hotspot_table(d, p, 2);
+  EXPECT_NE(table.find("activity hotspots: toy over 10 cycles"),
+            std::string::npos);
+  // Rank 1 is the adder (4.00 tgl/cyc), rank 2 the busier of the inputs;
+  // top_n=2 keeps quiet_in out of the table entirely.
+  EXPECT_NE(table.find("add"), std::string::npos);
+  EXPECT_NE(table.find("busy_in"), std::string::npos);
+  EXPECT_NE(table.find("4.00"), std::string::npos);
+  EXPECT_EQ(table.find("quiet_in"), std::string::npos);
+}
+
+TEST(Report, HotspotTableFromLiveEngineRun) {
+  netlist::Design d = rtl::build_verilog_opt2();
+  std::unique_ptr<sim::Engine> e = sim::make_engine(d);
+  e->set_activity_enabled(true);
+  e->set_input("s_tvalid", 1);
+  e->set_input("m_tready", 1);
+  e->run(64);
+  std::string table = hotspot_table(d, e->activity(), 10);
+  EXPECT_NE(table.find("activity hotspots: verilog_opt2 over 64 cycles"),
+            std::string::npos);
+  EXPECT_NE(table.find("toggles"), std::string::npos);
+}
+
+TEST(Report, HotspotTableRejectsMismatchedProfile) {
+  netlist::Design d = rtl::build_verilog_opt2();
+  sim::ActivityProfile p;  // empty: built for no design at all
+  EXPECT_THROW(hotspot_table(d, p, 10), hlshc::Error);
+}
+
 TEST(Report, ScatterSummaryGroupsByFamily) {
   std::vector<ScatterPoint> pts = {{"a", "1", 10, 100}, {"a", "2", 20, 100},
                                    {"b", "1", 1, 10}};

@@ -17,8 +17,10 @@
 // constant hoisting, per-design caching).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <numeric>
 #include <vector>
 
 #include "axis/testbench.hpp"
@@ -29,6 +31,7 @@
 #include "fault/model.hpp"
 #include "hls/tool.hpp"
 #include "netlist/exec_plan.hpp"
+#include "obs/metrics.hpp"
 #include "rtl/designs.hpp"
 #include "sim/compiled.hpp"
 #include "sim/simulator.hpp"
@@ -425,6 +428,147 @@ TEST(EngineDiff, FaultCampaignClassificationsIdentical) {
   for (size_t i = 0; i < oracle.runs.size(); ++i)
     EXPECT_EQ(oracle.runs[i].outcome, compiled.runs[i].outcome)
         << "site " << i;
+}
+
+// ---- activity-counter parity -----------------------------------------------
+
+void expect_profiles_equal(const sim::ActivityProfile& a,
+                           const sim::ActivityProfile& b,
+                           const char* label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  ASSERT_EQ(a.toggles.size(), b.toggles.size()) << label;
+  for (size_t i = 0; i < a.toggles.size(); ++i) {
+    EXPECT_EQ(a.toggles[i], b.toggles[i]) << label << " toggles node " << i;
+    EXPECT_EQ(a.reg_writes[i], b.reg_writes[i])
+        << label << " reg_writes node " << i;
+  }
+  ASSERT_EQ(a.mem_reads.size(), b.mem_reads.size()) << label;
+  for (size_t m = 0; m < a.mem_reads.size(); ++m) {
+    EXPECT_EQ(a.mem_reads[m], b.mem_reads[m]) << label << " mem_reads " << m;
+    EXPECT_EQ(a.mem_writes[m], b.mem_writes[m])
+        << label << " mem_writes " << m;
+  }
+}
+
+TEST_P(RandomNetlistDiff, ActivityCountersAgree) {
+  const uint64_t seed = GetParam();
+  Design d = random_design(seed);
+  sim::Simulator oracle(d);
+  sim::CompiledSimulator compiled(d);
+  oracle.set_activity_enabled(true);
+  compiled.set_activity_enabled(true);
+  SplitMix64 rng(seed ^ 0xa5a5a5a5ull);
+
+  std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    for (NodeId in : ins) {
+      int64_t v = static_cast<int64_t>(rng.next());
+      oracle.poke(in, v);
+      compiled.poke(in, v);
+    }
+    oracle.step();
+    compiled.step();
+  }
+  EXPECT_EQ(oracle.activity().cycles, 24u);
+  expect_profiles_equal(oracle.activity(), compiled.activity(),
+                        d.name().c_str());
+}
+
+TEST(EngineDiff, ActivityParityOnStreamedIdctDesigns) {
+  SplitMix64 rng(20260806);
+  std::vector<idct::Block> ins;
+  for (int i = 0; i < 2; ++i)
+    ins.push_back(testutil::realistic_coeff_block(rng));
+
+  for (const char* label :
+       {"verilog_opt2", "chisel_opt", "bsv_opt", "xls_p8"}) {
+    Design d = [&] {
+      for (const FamilyCase& fc : axis_families())
+        if (std::string(fc.label) == label) return fc.build();
+      ADD_FAILURE() << "unknown family " << label;
+      return rtl::build_verilog_opt2();
+    }();
+    std::unique_ptr<sim::Engine> oracle =
+        sim::make_engine(d, sim::EngineKind::kInterpreter);
+    std::unique_ptr<sim::Engine> compiled =
+        sim::make_engine(d, sim::EngineKind::kCompiled);
+    for (sim::Engine* e : {oracle.get(), compiled.get()}) {
+      e->set_activity_enabled(true);
+      axis::StreamTestbench tb(*e);
+      tb.run(ins, 500000);
+    }
+    expect_profiles_equal(oracle->activity(), compiled->activity(), label);
+
+    // The profile must show real work: toggles somewhere, and every design
+    // in the sweep latches registers.
+    const sim::ActivityProfile& p = compiled->activity();
+    uint64_t toggles = std::accumulate(p.toggles.begin(), p.toggles.end(),
+                                       uint64_t{0});
+    uint64_t latches = std::accumulate(p.reg_writes.begin(),
+                                       p.reg_writes.end(), uint64_t{0});
+    EXPECT_GT(toggles, 0u) << label;
+    EXPECT_GT(latches, 0u) << label;
+  }
+}
+
+TEST(EngineDiff, ActivityDisableFreezesAndReenableZeroes) {
+  Design d = rtl::build_verilog_opt2();
+  std::unique_ptr<sim::Engine> e = sim::make_engine(d);
+  e->set_activity_enabled(true);
+  e->set_input("s_tvalid", 1);
+  e->set_input("m_tready", 1);
+  e->set_input(axis::lane_port("s", 0), 123);
+  e->run(32);
+  const sim::ActivityProfile& p = e->activity();
+  EXPECT_EQ(p.cycles, 32u);
+  uint64_t toggles =
+      std::accumulate(p.toggles.begin(), p.toggles.end(), uint64_t{0});
+  EXPECT_GT(toggles, 0u);
+
+  // Disabling freezes the counts for inspection...
+  e->set_activity_enabled(false);
+  e->run(16);
+  EXPECT_EQ(e->activity().cycles, 32u);
+
+  // ...and re-enabling starts a fresh accumulation.
+  e->set_activity_enabled(true);
+  EXPECT_EQ(e->activity().cycles, 0u);
+  e->run(4);
+  EXPECT_EQ(e->activity().cycles, 4u);
+}
+
+/// The zero-overhead-when-disabled contract, behaviourally: with obs
+/// disabled and no profiling armed, a run must leave no trace in the global
+/// registry; and the instrumented-but-disabled engine must not be slower
+/// than the same engine with activity profiling actually on. The timing
+/// bound is deliberately loose (1.5x) — it catches "someone made the
+/// disabled path do per-node work", not micro-regressions.
+TEST(EngineDiff, DisabledInstrumentationHasNoSideEffectsAndBoundedCost) {
+  Design d = rtl::build_verilog_opt2();
+  const int64_t cycles = 20000;
+
+  auto timed_run = [&](bool profile) {
+    std::unique_ptr<sim::Engine> e = sim::make_engine(d);
+    e->set_activity_enabled(profile);
+    e->set_input("s_tvalid", 1);
+    e->set_input("m_tready", 1);
+    auto t0 = std::chrono::steady_clock::now();
+    e->run(cycles);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  obs::set_enabled(false);
+  obs::registry().reset();
+  double off = timed_run(false);
+  EXPECT_EQ(obs::registry().to_json().dump(),
+            "{\"counters\":{},\"gauges\":{},\"timers\":{}}");
+
+  double on = timed_run(true);
+  EXPECT_LT(off, on * 1.5)
+      << "disabled engine took " << off << "s vs " << on
+      << "s with activity profiling on";
 }
 
 // ---- ExecPlan compilation --------------------------------------------------

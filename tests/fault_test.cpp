@@ -202,6 +202,45 @@ TEST(Campaign, ClassifiesMaskedSdcAndHang) {
   EXPECT_NEAR(rep.counts.vulnerability(), 2.0 / 3.0, 1e-9);
 }
 
+TEST(Campaign, ProgressCallbackSeesRunningOutcomeMix) {
+  Design d = mini_echo();
+  std::vector<FaultSite> sites;
+  for (int i = 0; i < 5; ++i)
+    sites.push_back(
+        FaultSite{FaultKind::kSeuReg, find_reg(d, "spin"), -1, 0, 2, 1});
+  CampaignOptions opts;
+  opts.matrices = 1;
+  opts.max_cycles = 500;
+  opts.progress_every = 2;
+  std::vector<CampaignProgress> seen;
+  opts.on_progress = [&](const CampaignProgress& p) { seen.push_back(p); };
+  CampaignReport rep = run_campaign(d, sites, opts);
+
+  // 5 sites at every-2 reporting: callbacks after sites 2 and 4.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].design_name, "mini_echo");
+  EXPECT_EQ(seen[0].completed, 2);
+  EXPECT_EQ(seen[0].total, 5);
+  EXPECT_EQ(seen[0].counts.total(), 2);
+  EXPECT_EQ(seen[1].completed, 4);
+  EXPECT_EQ(seen[1].counts.masked, 4);  // spin upsets are always masked
+  EXPECT_EQ(rep.counts.masked, 5);
+}
+
+TEST(Campaign, ProgressDisabledWithNonPositivePeriod) {
+  Design d = mini_echo();
+  std::vector<FaultSite> sites(
+      3, FaultSite{FaultKind::kSeuReg, find_reg(d, "spin"), -1, 0, 2, 1});
+  CampaignOptions opts;
+  opts.matrices = 1;
+  opts.max_cycles = 500;
+  opts.progress_every = 0;
+  int calls = 0;
+  opts.on_progress = [&](const CampaignProgress&) { ++calls; };
+  run_campaign(d, sites, opts);
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(Campaign, TransientGlitchOnDataPathIsSdcOrMasked) {
   Design d = mini_echo();
   // A glitch on an output lane during the transfer corrupts a captured beat.

@@ -1,0 +1,320 @@
+// Tests for the observability layer: the JSON model and parser, the metrics
+// registry, the Chrome-trace tracer (including an end-to-end testbench run
+// parsed back for well-formedness), and the RunReport envelope.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+#include "axis/testbench.hpp"
+#include "base/rng.hpp"
+#include "idct/reference.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "rtl/designs.hpp"
+#include "sim/engine.hpp"
+
+namespace obs = hlshc::obs;
+
+namespace {
+
+std::vector<hlshc::idct::Block> input_blocks(int n) {
+  hlshc::SplitMix64 rng(7);
+  std::vector<hlshc::idct::Block> blocks;
+  for (int i = 0; i < n; ++i) {
+    hlshc::idct::Block spatial{};
+    for (auto& v : spatial) v = static_cast<int32_t>(rng.next_in(-256, 255));
+    blocks.push_back(hlshc::idct::forward_dct_reference(spatial));
+  }
+  return blocks;
+}
+
+/// Every obs test leaves the process-wide switches the way it found them.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::registry().reset();
+    obs::tracer().stop();
+    obs::tracer().clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+// ---- Json ------------------------------------------------------------------
+
+TEST_F(ObsTest, JsonScalarRoundTrip) {
+  EXPECT_EQ(obs::Json::number(int64_t{42}).dump(), "42");
+  EXPECT_EQ(obs::Json::number(-7).dump(), "-7");
+  EXPECT_EQ(obs::Json::boolean(true).dump(), "true");
+  EXPECT_EQ(obs::Json().dump(), "null");
+  EXPECT_EQ(obs::Json::string("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(obs::Json::number(1.5).dump(), "1.5");
+}
+
+TEST_F(ObsTest, JsonObjectKeepsInsertionOrder) {
+  obs::Json o = obs::Json::object();
+  o.set("zebra", obs::Json::number(1))
+      .set("alpha", obs::Json::number(2))
+      .set("mid", obs::Json::number(3));
+  EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwriting keeps the original position.
+  o.set("zebra", obs::Json::number(9));
+  EXPECT_EQ(o.dump(), "{\"zebra\":9,\"alpha\":2,\"mid\":3}");
+}
+
+TEST_F(ObsTest, JsonParseRoundTrips) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3],\"b\":{\"x\":true,\"y\":null},\"s\":\"hi\\n\"}";
+  obs::Json parsed = obs::Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);
+  EXPECT_EQ(parsed.at("a")[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(parsed.at("a")[1].as_number(), 2.5);
+  EXPECT_TRUE(parsed.at("b").at("x").as_bool());
+  EXPECT_TRUE(parsed.at("b").at("y").is_null());
+  EXPECT_EQ(parsed.at("s").as_string(), "hi\n");
+}
+
+TEST_F(ObsTest, JsonParseAcceptsWhitespaceAndUnicodeEscapes) {
+  obs::Json v = obs::Json::parse("  { \"k\" : [ \"\\u0041\\u00e9\" ] }  ");
+  EXPECT_EQ(v.at("k")[0].as_string(), "A\xc3\xa9");
+}
+
+TEST_F(ObsTest, JsonParseRejectsMalformed) {
+  EXPECT_THROW(obs::Json::parse(""), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("{"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("{\"a\":}"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("[1,2"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("[1] trailing"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("tru"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), hlshc::Error);
+  EXPECT_THROW(obs::Json::parse("{\"a\" 1}"), hlshc::Error);
+}
+
+TEST_F(ObsTest, JsonCheckedAccessorsThrowOnKindMismatch) {
+  obs::Json num = obs::Json::number(1);
+  EXPECT_THROW(num.as_string(), hlshc::Error);
+  EXPECT_THROW(num.at("k"), hlshc::Error);
+  obs::Json arr = obs::Json::array();
+  EXPECT_THROW(arr[0], hlshc::Error);
+  EXPECT_EQ(num.find("k"), nullptr);
+}
+
+TEST_F(ObsTest, JsonPrettyPrintParsesBack) {
+  obs::Json o = obs::Json::object();
+  o.set("list", obs::Json::array().push(obs::Json::number(1)));
+  o.set("empty", obs::Json::object());
+  std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(obs::Json::parse(pretty).dump(), o.dump());
+}
+
+// ---- metrics registry ------------------------------------------------------
+
+TEST_F(ObsTest, CounterGaugeTimerSemantics) {
+  obs::Registry& reg = obs::registry();
+  obs::Counter* c = reg.counter("t.count");
+  c->add();
+  c->add(41);
+  EXPECT_EQ(c->value(), 42);
+  // Same name -> same metric.
+  EXPECT_EQ(reg.counter("t.count"), c);
+  EXPECT_EQ(reg.counter("t.count")->value(), 42);
+
+  reg.gauge("t.gauge")->set(2.5);
+  reg.gauge("t.gauge")->set(3.5);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.gauge("t.gauge")->value(), 3.5);
+
+  obs::Timer* t = reg.timer("t.timer");
+  t->record_ns(100);
+  t->record_ns(250);
+  EXPECT_EQ(t->total_ns(), 350);
+  EXPECT_EQ(t->count(), 2);
+}
+
+TEST_F(ObsTest, ConvenienceHelpersAreGatedOnEnabled) {
+  obs::count("gated", 5);
+  EXPECT_EQ(obs::registry().counter("gated")->value(), 0);
+  obs::set_enabled(true);
+  obs::count("gated", 5);
+  EXPECT_EQ(obs::registry().counter("gated")->value(), 5);
+  { auto t = obs::timed("gated.timer"); }
+  EXPECT_EQ(obs::registry().timer("gated.timer")->count(), 1);
+  obs::set_enabled(false);
+  { auto t = obs::timed("gated.timer"); }
+  EXPECT_EQ(obs::registry().timer("gated.timer")->count(), 1);
+}
+
+TEST_F(ObsTest, RegistryJsonExportSortsKeysAndRoundTrips) {
+  obs::Registry& reg = obs::registry();
+  reg.counter("z.last")->add(1);
+  reg.counter("a.first")->add(2);
+  reg.timer("mid")->record_ns(5);
+  obs::Json out = reg.to_json();
+  const auto& counters = out.at("counters").items();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");  // std::map order, not insertion
+  EXPECT_EQ(counters[1].first, "z.last");
+  EXPECT_EQ(out.at("timers").at("mid").at("count").as_int(), 1);
+  EXPECT_EQ(obs::Json::parse(out.dump()).dump(), out.dump());
+
+  reg.reset();
+  EXPECT_EQ(reg.to_json().at("counters").size(), 0u);
+}
+
+// ---- tracer ----------------------------------------------------------------
+//
+// The four tracer tests skip under -DHLSHC_TRACE=OFF, where the tracer is
+// compiled down to inert stubs — exactly the behaviour the build option
+// promises, but nothing to round-trip.
+
+#define SKIP_IF_TRACER_COMPILED_OUT()                              \
+  do {                                                             \
+    if (!obs::kTraceCompiled)                                      \
+      GTEST_SKIP() << "tracer compiled out (HLSHC_TRACE=OFF)";     \
+  } while (0)
+
+TEST_F(ObsTest, SpansRecordOnlyWhileActive) {
+  SKIP_IF_TRACER_COMPILED_OUT();
+  { obs::Span s("ignored", "test"); }
+  EXPECT_EQ(obs::tracer().event_count(), 0u);
+
+  obs::tracer().start();
+  {
+    obs::Span s("phase", "test");
+    s.arg("key", "value").arg("n", int64_t{7});
+  }
+  obs::tracer().instant("tick", "test");
+  obs::tracer().stop();
+  { obs::Span s("after-stop", "test"); }
+  ASSERT_EQ(obs::tracer().event_count(), 2u);
+
+  obs::Json doc = obs::tracer().to_json();
+  const obs::Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "phase");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("args").at("key").as_string(), "value");
+  EXPECT_EQ(events[0].at("args").at("n").as_string(), "7");
+  EXPECT_GE(events[0].at("dur").as_int(), 0);
+  EXPECT_EQ(events[1].at("ph").as_string(), "i");
+}
+
+TEST_F(ObsTest, SpanEndClosesEarlyAndIsIdempotent) {
+  SKIP_IF_TRACER_COMPILED_OUT();
+  obs::tracer().start();
+  obs::Span s("early", "test");
+  s.end();
+  s.end();  // second end is a no-op
+  s.arg("late", "ignored after end");
+  EXPECT_EQ(obs::tracer().event_count(), 1u);
+  obs::Json doc = obs::tracer().to_json();
+  EXPECT_EQ(doc.at("traceEvents")[0].find("args"), nullptr);
+}
+
+TEST_F(ObsTest, EndToEndTestbenchTraceIsWellFormedChromeJson) {
+  SKIP_IF_TRACER_COMPILED_OUT();
+  obs::tracer().start();
+  hlshc::netlist::Design d = hlshc::rtl::build_verilog_opt2();
+  auto engine = hlshc::sim::make_engine(d);
+  hlshc::axis::StreamTestbench tb(*engine);
+  tb.run(input_blocks(2), 100000);
+  obs::tracer().stop();
+
+  // Round-trip through the parser: the acceptance-criteria check that the
+  // emitted trace is real JSON, not JSON-shaped text.
+  obs::Json doc = obs::Json::parse(obs::tracer().to_json().dump(2));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const obs::Json& events = doc.at("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+  bool saw_testbench = false, saw_plan = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::Json& e = events[i];
+    // Chrome requires these fields on every event.
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_FALSE(e.at("ph").as_string().empty());
+    EXPECT_GE(e.at("ts").as_int(), 0);
+    e.at("pid").as_int();
+    e.at("tid").as_int();
+    if (e.at("name").as_string() == "testbench.run") saw_testbench = true;
+    if (e.at("name").as_string() == "plan.compile") saw_plan = true;
+  }
+  EXPECT_TRUE(saw_testbench);
+  EXPECT_TRUE(saw_plan);
+}
+
+TEST_F(ObsTest, TracerWriteFileParsesBack) {
+  SKIP_IF_TRACER_COMPILED_OUT();
+  obs::tracer().start();
+  { obs::Span s("io", "test"); }
+  obs::tracer().stop();
+  std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  obs::tracer().write_file(path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  obs::Json doc = obs::Json::parse(text);
+  EXPECT_EQ(doc.at("traceEvents").size(), 1u);
+}
+
+// ---- metrics from instrumented subsystems ---------------------------------
+
+TEST_F(ObsTest, TestbenchRunPublishesAxisAndSimMetrics) {
+  obs::set_enabled(true);
+  hlshc::netlist::Design d = hlshc::rtl::build_verilog_opt2();
+  auto engine = hlshc::sim::make_engine(d);
+  hlshc::axis::StreamTestbench tb(*engine);
+  tb.run(input_blocks(2), 100000);
+  obs::Registry& reg = obs::registry();
+  // 2 matrices x 8 beats on each side; a clean run has no violations.
+  EXPECT_EQ(reg.counter("axis.s.beats")->value(), 16);
+  EXPECT_EQ(reg.counter("axis.m.beats")->value(), 16);
+  EXPECT_EQ(reg.counter("axis.s.violations")->value(), 0);
+  EXPECT_GT(reg.timer("sim.eval")->count(), 0);
+  EXPECT_GT(reg.timer("sim.commit")->count(), 0);
+}
+
+// ---- RunReport -------------------------------------------------------------
+
+TEST_F(ObsTest, RunReportEnvelopeHasStableKeyOrder) {
+  obs::RunReport report("unit_test_tool");
+  report.params().set("cycles", obs::Json::number(100));
+  report.results().set("speedup", obs::Json::number(3.5));
+  obs::Json j = report.to_json();
+  const auto& items = j.items();
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].first, "schema");
+  EXPECT_EQ(items[1].first, "schema_version");
+  EXPECT_EQ(items[2].first, "tool");
+  EXPECT_EQ(items[3].first, "params");
+  EXPECT_EQ(items[4].first, "results");
+  EXPECT_EQ(j.at("schema").as_string(), "hlshc.run_report");
+  EXPECT_EQ(j.at("schema_version").as_int(), obs::RunReport::kSchemaVersion);
+  EXPECT_EQ(j.at("tool").as_string(), "unit_test_tool");
+  // Two reports built the same way serialize identically.
+  obs::RunReport again("unit_test_tool");
+  again.params().set("cycles", obs::Json::number(100));
+  again.results().set("speedup", obs::Json::number(3.5));
+  EXPECT_EQ(again.to_json().dump(2), j.dump(2));
+}
+
+TEST_F(ObsTest, RunReportCapturesMetricsAndWritesFile) {
+  obs::set_enabled(true);
+  obs::count("report.test", 3);
+  obs::RunReport report("unit_test_tool");
+  report.capture_metrics();
+  obs::Json j = report.to_json();
+  EXPECT_EQ(
+      j.at("metrics").at("counters").at("report.test").as_int(), 3);
+
+  std::string path = ::testing::TempDir() + "obs_report_test.json";
+  report.write_file(path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(obs::Json::parse(text).at("tool").as_string(), "unit_test_tool");
+}
+
+}  // namespace
