@@ -5,12 +5,19 @@
 // paper's A / P / Q axes for each variant — what the hardening costs in
 // Table II terms.
 //
+// Each campaign runs twice — serial (jobs=1) and parallel (jobs=N) — to
+// report the parallel speedup alongside the classification results; the
+// outcome counts are asserted identical between the two runs.
+//
 // Writes BENCH_fault.json (cwd) through the obs::RunReport schema.
 //
-// Usage: bench_fault_campaign [sites_per_design]   (default 1000)
+// Usage: bench_fault_campaign [sites_per_design] [--jobs N]
+//   sites_per_design defaults to 1000; --jobs defaults to all cores
+//   (HLSHC_JOBS / hardware_concurrency).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +27,7 @@
 #include "fault/model.hpp"
 #include "netlist/ir.hpp"
 #include "obs/report.hpp"
+#include "par/pool.hpp"
 #include "rtl/designs.hpp"
 
 using hlshc::format_fixed;
@@ -30,34 +38,79 @@ namespace {
 constexpr uint64_t kSampleSeed = 2026;
 constexpr uint64_t kMaxInjectCycle = 60;  // within the 2-matrix stream window
 
+struct CampaignTiming {
+  double serial_sec = 0.0;
+  double parallel_sec = 0.0;
+  double speedup() const {
+    return parallel_sec > 0 ? serial_sec / parallel_sec : 1.0;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs the campaign serially, then again over `jobs` workers (skipped when
+/// jobs == 1), verifies the outcome counts match bit-for-bit, and joins the
+/// parallel campaign with the A/P/Q axes.
 hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
-                                       int sites, double* faults_per_sec) {
+                                       int sites, int jobs,
+                                       CampaignTiming* timing) {
   auto sampled =
       hlshc::fault::sample_seu_sites(d, sites, kMaxInjectCycle, kSampleSeed);
   hlshc::fault::CampaignOptions opts;
   opts.matrices = 2;
   opts.max_cycles = 20000;
   opts.keep_runs = false;  // counts only; the run log is O(sites)
+
+  opts.jobs = 1;
   auto t0 = std::chrono::steady_clock::now();
-  auto r = hlshc::fault::evaluate_resilience(d, sampled, opts);
-  auto t1 = std::chrono::steady_clock::now();
-  double secs = std::chrono::duration<double>(t1 - t0).count();
-  *faults_per_sec = secs > 0 ? sites / secs : 0.0;
-  return r;
+  hlshc::fault::CampaignReport serial = hlshc::fault::run_campaign(d, sampled, opts);
+  timing->serial_sec = seconds_since(t0);
+
+  hlshc::fault::CampaignReport campaign = serial;
+  timing->parallel_sec = timing->serial_sec;
+  if (jobs != 1) {
+    opts.jobs = jobs;
+    t0 = std::chrono::steady_clock::now();
+    campaign = hlshc::fault::run_campaign(d, sampled, opts);
+    timing->parallel_sec = seconds_since(t0);
+    const auto& a = serial.counts;
+    const auto& b = campaign.counts;
+    if (a.masked != b.masked || a.sdc != b.sdc || a.detected != b.detected ||
+        a.hang != b.hang) {
+      std::fprintf(stderr,
+                   "FATAL: parallel campaign (jobs=%d) diverged from serial\n",
+                   jobs);
+      std::exit(1);
+    }
+  }
+  return hlshc::fault::resilience_from_campaign(d, std::move(campaign), opts);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int sites = 1000;
-  if (argc > 1) sites = std::atoi(argv[1]);
-  if (sites <= 0) {
-    std::fprintf(stderr, "usage: %s [sites_per_design > 0]\n", argv[0]);
+  int jobs = 0;  // 0 = all cores
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      sites = std::atoi(argv[i]);
+    }
+  }
+  if (sites <= 0 || jobs < 0) {
+    std::fprintf(stderr, "usage: %s [sites_per_design > 0] [--jobs N]\n",
+                 argv[0]);
     return 1;
   }
+  if (jobs == 0) jobs = hlshc::par::default_jobs();
 
-  std::printf("=== SEU campaign: %d sampled sites/design, seed %llu ===\n\n",
-              sites, static_cast<unsigned long long>(kSampleSeed));
+  std::printf(
+      "=== SEU campaign: %d sampled sites/design, seed %llu, %d jobs ===\n\n",
+      sites, static_cast<unsigned long long>(kSampleSeed), jobs);
 
   struct Row {
     const char* tag;
@@ -75,19 +128,27 @@ int main(int argc, char** argv) {
       .set("sample_seed",
            hlshc::obs::Json::number(static_cast<int64_t>(kSampleSeed)))
       .set("max_inject_cycle",
-           hlshc::obs::Json::number(static_cast<int64_t>(kMaxInjectCycle)));
+           hlshc::obs::Json::number(static_cast<int64_t>(kMaxInjectCycle)))
+      .set("jobs", hlshc::obs::Json::number(jobs));
   hlshc::obs::Json designs = hlshc::obs::Json::array();
 
   std::vector<hlshc::fault::DesignResilience> results;
   for (const Row& row : rows) {
-    double rate = 0.0;
-    results.push_back(measure(row.design, sites, &rate));
+    CampaignTiming timing;
+    results.push_back(measure(row.design, sites, jobs, &timing));
     const hlshc::fault::DesignResilience& r = results.back();
     const hlshc::fault::CampaignCounts& c = r.campaign.counts;
+    double rate =
+        timing.parallel_sec > 0 ? sites / timing.parallel_sec : 0.0;
     std::printf(
         "%-20s %8s faults/sec  masked=%d sdc=%d detected=%d hang=%d  VF=%s\n",
         row.tag, format_fixed(rate, 1).c_str(), c.masked, c.sdc, c.detected,
         c.hang, format_fixed(c.vulnerability(), 4).c_str());
+    std::printf(
+        "%-20s serial %ss  parallel(jobs=%d) %ss  speedup %sx\n", "",
+        format_fixed(timing.serial_sec, 2).c_str(), jobs,
+        format_fixed(timing.parallel_sec, 2).c_str(),
+        format_fixed(timing.speedup(), 2).c_str());
 
     hlshc::obs::Json entry = hlshc::obs::Json::object();
     entry.set("design", hlshc::obs::Json::string(row.tag))
@@ -99,6 +160,9 @@ int main(int argc, char** argv) {
         .set("vulnerability_factor",
              hlshc::obs::Json::number(c.vulnerability()))
         .set("faults_per_sec", hlshc::obs::Json::number(rate))
+        .set("serial_sec", hlshc::obs::Json::number(timing.serial_sec))
+        .set("parallel_sec", hlshc::obs::Json::number(timing.parallel_sec))
+        .set("speedup", hlshc::obs::Json::number(timing.speedup()))
         .set("fmax_mhz", hlshc::obs::Json::number(r.fmax_mhz))
         .set("periodicity_cycles",
              hlshc::obs::Json::number(r.periodicity_cycles))

@@ -8,6 +8,7 @@
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
 #include "hls/tool.hpp"
+#include "par/sweep.hpp"
 #include "rtl/designs.hpp"
 
 using hlshc::format_fixed;
@@ -17,17 +18,37 @@ int main() {
   std::puts("=== Vivado HLS: push-button vs pragmas ===\n");
   const std::string src = idct_source();
 
-  hlshc::core::EvaluateOptions slow;
-  slow.matrices = 3;
-  auto push = hlshc::core::evaluate_axis_design(
-      compile_vhls(src, {}).design, slow);
-  VhlsOptions o;
-  o.pragmas = true;
-  auto opt = hlshc::core::evaluate_axis_design(compile_vhls(src, o).design);
-  auto vi = hlshc::core::evaluate_axis_design(
-      hlshc::rtl::build_verilog_initial());
-  auto vo =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
+  // Four independent evaluations (two VHLS configurations plus the two
+  // Verilog baselines) — run them concurrently, collected in input order.
+  hlshc::par::SweepRunner runner(0);  // all cores / HLSHC_JOBS
+  std::vector<hlshc::core::DesignEvaluation> evs =
+      runner.map<hlshc::core::DesignEvaluation>(
+          "vhls_pragmas", 4, [&src](int64_t i) {
+            switch (i) {
+              case 0: {
+                hlshc::core::EvaluateOptions slow;
+                slow.matrices = 3;
+                return hlshc::core::evaluate_axis_design(
+                    compile_vhls(src, {}).design, slow);
+              }
+              case 1: {
+                VhlsOptions o;
+                o.pragmas = true;
+                return hlshc::core::evaluate_axis_design(
+                    compile_vhls(src, o).design);
+              }
+              case 2:
+                return hlshc::core::evaluate_axis_design(
+                    hlshc::rtl::build_verilog_initial());
+              default:
+                return hlshc::core::evaluate_axis_design(
+                    hlshc::rtl::build_verilog_opt2());
+            }
+          });
+  const auto& push = evs[0];
+  const auto& opt = evs[1];
+  const auto& vi = evs[2];
+  const auto& vo = evs[3];
 
   std::printf("push-button: T_P=%s T_L=%d  P=%s MOPS  A=%ld  Q=%s\n",
               format_fixed(push.periodicity_cycles, 0).c_str(),

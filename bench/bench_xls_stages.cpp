@@ -7,6 +7,7 @@
 
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
+#include "par/sweep.hpp"
 #include "rtl/designs.hpp"
 #include "xls/designs.hpp"
 
@@ -16,14 +17,28 @@ int main() {
   std::puts("=== XLS pipeline_stages sweep (19 circuits) ===\n");
   std::puts("stages  eff.lat  fmax(MHz)   P(MOPS)   T_P     A        Q");
 
+  // The 19 configurations are independent design points: evaluate them over
+  // a worker pool, then print in stage order from the in-order result list.
+  struct Point {
+    int kernel_latency = 0;
+    hlshc::core::DesignEvaluation ev;
+  };
+  hlshc::par::SweepRunner runner(0);  // all cores / HLSHC_JOBS
+  std::vector<Point> sweep =
+      runner.map<Point>("xls_stages", 19, [](int64_t stages) {
+        auto xd = hlshc::xls::build_xls_design({static_cast<int>(stages)});
+        return Point{xd.kernel_latency,
+                     hlshc::core::evaluate_axis_design(xd.design)};
+      });
+
   double best_q = 0;
   int best_stages = -1;
   hlshc::core::DesignEvaluation best_ev;
   for (int stages = 0; stages <= 18; ++stages) {
-    auto xd = hlshc::xls::build_xls_design({stages});
-    auto ev = hlshc::core::evaluate_axis_design(xd.design);
+    const Point& p = sweep[static_cast<size_t>(stages)];
+    const hlshc::core::DesignEvaluation& ev = p.ev;
     std::printf("%5d %8d %10s %9s %6s %8ld %8s\n", stages,
-                xd.kernel_latency, format_fixed(ev.fmax_mhz, 2).c_str(),
+                p.kernel_latency, format_fixed(ev.fmax_mhz, 2).c_str(),
                 format_fixed(ev.throughput_mops, 2).c_str(),
                 format_fixed(ev.periodicity_cycles, 1).c_str(), ev.area,
                 format_fixed(ev.quality(), 1).c_str());

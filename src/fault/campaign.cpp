@@ -1,7 +1,9 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
@@ -10,8 +12,10 @@
 #include "core/report.hpp"
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
+#include "netlist/exec_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/pool.hpp"
 #include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
 
@@ -115,6 +119,9 @@ void report_progress(const CampaignOptions& options,
     options.on_progress(progress);
     return;
   }
+  // The leading figure is the completed-site count, never a site index —
+  // under parallel execution indices complete out of order, but "N of M
+  // done" stays monotone and meaningful at any worker count.
   std::fprintf(stderr,
                "[campaign %s] %d/%d sites (masked=%d sdc=%d detected=%d "
                "hang=%d)\n",
@@ -123,15 +130,68 @@ void report_progress(const CampaignOptions& options,
                progress.counts.detected, progress.counts.hang);
 }
 
+/// Classify one site on `sim`: arm the injector, stream the input set,
+/// compare against golden. Pure in (design, site, inputs) — the engine is
+/// reset by the testbench each run, so engine reuse and sharding order
+/// cannot influence the outcome.
+Outcome classify_site(sim::Engine& sim, const FaultSite& site,
+                      const std::vector<idct::Block>& inputs,
+                      const std::vector<idct::Block>& golden,
+                      const std::vector<std::string>& detectors,
+                      const CampaignOptions& options) {
+  SiteInjector injector(site);
+  sim.set_fault_injector(&injector);
+  const int64_t run_start_ns = obs::enabled() ? obs::now_ns() : 0;
+  Outcome outcome;
+  try {
+    axis::StreamTestbench tb(sim);
+    auto got = tb.run(inputs, options.max_cycles);
+    bool flagged = !tb.monitor().clean();
+    for (const std::string& port : detectors)
+      flagged = flagged || sim.output(port).to_bool();
+    if (flagged)
+      outcome = Outcome::kDetected;
+    else if (core::diff_block_sequences(golden, got) != 0)
+      outcome = Outcome::kSdc;
+    else
+      outcome = Outcome::kMasked;
+  } catch (const sim::SimTimeout&) {
+    outcome = Outcome::kHang;
+  }
+  sim.set_fault_injector(nullptr);
+  // Per-classification run timing: the timer name carries the outcome, so
+  // the metrics export shows e.g. how much wall time hangs cost (each one
+  // burns a full watchdog budget).
+  if (obs::enabled())
+    obs::registry()
+        .timer(std::string("fault.outcome.") + outcome_name(outcome))
+        ->record_ns(obs::now_ns() - run_start_ns);
+  return outcome;
+}
+
+void count_outcome(Outcome outcome, CampaignCounts* counts) {
+  switch (outcome) {
+    case Outcome::kMasked: ++counts->masked; break;
+    case Outcome::kSdc: ++counts->sdc; break;
+    case Outcome::kDetected: ++counts->detected; break;
+    case Outcome::kHang: ++counts->hang; break;
+  }
+}
+
 }  // namespace
 
 CampaignReport run_campaign(const Design& d,
                             const std::vector<FaultSite>& sites,
                             const CampaignOptions& options) {
+  const int jobs = std::max<int64_t>(
+      1, std::min<int64_t>(
+             options.jobs <= 0 ? par::default_jobs() : options.jobs,
+             static_cast<int64_t>(sites.size())));
   obs::Span span("fault.campaign", "fault");
   span.arg("design", d.name())
       .arg("sites", static_cast<int64_t>(sites.size()))
-      .arg("engine", sim::engine_kind_name(options.engine));
+      .arg("engine", sim::engine_kind_name(options.engine))
+      .arg("jobs", static_cast<int64_t>(jobs));
   for (const FaultSite& site : sites) validate_site(d, site);
 
   CampaignReport report;
@@ -147,7 +207,13 @@ CampaignReport run_campaign(const Design& d,
     model.push_back(want);
   }
 
+  // The fault-free reference run also pre-warms every derived cache on the
+  // design — validation, topo order, and (for the compiled engine) the
+  // shared ExecPlan — so worker-side engine construction below is a pure
+  // read of the design. Capture the plan identity to assert the "compiled
+  // exactly once" contract across the whole campaign.
   std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
+  const std::shared_ptr<const void> plan_before = d.cached_exec_plan();
   std::vector<idct::Block> reference;
   {
     axis::StreamTestbench tb(*sim);
@@ -159,58 +225,80 @@ CampaignReport run_campaign(const Design& d,
       report.reference_functional ? model : reference;
 
   const std::vector<std::string> detectors = detector_ports(d);
-  if (options.keep_runs) report.runs.reserve(sites.size());
+  const int total = static_cast<int>(sites.size());
 
-  int completed = 0;
-  for (const FaultSite& site : sites) {
-    SiteInjector injector(site);
-    sim->set_fault_injector(&injector);
-    const int64_t run_start_ns = obs::enabled() ? obs::now_ns() : 0;
-    Outcome outcome;
-    try {
-      axis::StreamTestbench tb(*sim);
-      auto got = tb.run(inputs, options.max_cycles);
-      bool flagged = !tb.monitor().clean();
-      for (const std::string& port : detectors)
-        flagged = flagged || sim->output(port).to_bool();
-      if (flagged)
-        outcome = Outcome::kDetected;
-      else if (core::diff_block_sequences(golden, got) != 0)
-        outcome = Outcome::kSdc;
-      else
-        outcome = Outcome::kMasked;
-    } catch (const sim::SimTimeout&) {
-      outcome = Outcome::kHang;
+  if (jobs == 1) {
+    // Serial loop: the tier-1 path, byte-identical to the pre-parallel
+    // implementation (every run on the one reference engine, in order).
+    if (options.keep_runs) report.runs.reserve(sites.size());
+    int completed = 0;
+    for (const FaultSite& site : sites) {
+      const Outcome outcome =
+          classify_site(*sim, site, inputs, golden, detectors, options);
+      count_outcome(outcome, &report.counts);
+      if (options.keep_runs) report.runs.push_back({site, outcome});
+      ++completed;
+      if (options.progress_every > 0 &&
+          completed % options.progress_every == 0)
+        report_progress(options, {d.name(), completed, total, report.counts});
     }
-    sim->set_fault_injector(nullptr);
-    // Per-classification run timing: the timer name carries the outcome, so
-    // the metrics export shows e.g. how much wall time hangs cost (each one
-    // burns a full watchdog budget).
-    if (obs::enabled())
-      obs::registry()
-          .timer(std::string("fault.outcome.") + outcome_name(outcome))
-          ->record_ns(obs::now_ns() - run_start_ns);
-    switch (outcome) {
-      case Outcome::kMasked: ++report.counts.masked; break;
-      case Outcome::kSdc: ++report.counts.sdc; break;
-      case Outcome::kDetected: ++report.counts.detected; break;
-      case Outcome::kHang: ++report.counts.hang; break;
+  } else {
+    // Parallel loop: sites shard over the pool in chunks; each worker lazily
+    // builds one Engine over the shared (already-compiled) ExecPlan and
+    // reuses it for all of its sites. Outcomes land in per-site slots and
+    // are merged in site order afterwards, so counts and the run log are
+    // bitwise identical to the serial loop at any worker count.
+    par::Pool pool(jobs);
+    std::vector<std::unique_ptr<sim::Engine>> engines(
+        static_cast<size_t>(pool.jobs()));
+    std::vector<Outcome> outcomes(sites.size());
+    std::atomic<int> completed{0};
+    std::atomic<int> masked{0}, sdc{0}, detected{0}, hang{0};
+    std::mutex progress_mutex;
+    pool.parallel_for_worker(
+        static_cast<int64_t>(sites.size()), [&](int worker, int64_t i) {
+          std::unique_ptr<sim::Engine>& engine =
+              engines[static_cast<size_t>(worker)];
+          if (!engine) engine = sim::make_engine(d, options.engine);
+          const Outcome outcome =
+              classify_site(*engine, sites[static_cast<size_t>(i)], inputs,
+                            golden, detectors, options);
+          outcomes[static_cast<size_t>(i)] = outcome;
+          switch (outcome) {
+            case Outcome::kMasked: ++masked; break;
+            case Outcome::kSdc: ++sdc; break;
+            case Outcome::kDetected: ++detected; break;
+            case Outcome::kHang: ++hang; break;
+          }
+          const int done = 1 + completed.fetch_add(1);
+          if (options.progress_every > 0 &&
+              done % options.progress_every == 0) {
+            CampaignCounts running{masked.load(), sdc.load(), detected.load(),
+                                   hang.load()};
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            report_progress(options, {d.name(), done, total, running});
+          }
+        });
+    if (options.keep_runs) report.runs.reserve(sites.size());
+    for (size_t i = 0; i < sites.size(); ++i) {
+      count_outcome(outcomes[i], &report.counts);
+      if (options.keep_runs) report.runs.push_back({sites[i], outcomes[i]});
     }
-    if (options.keep_runs) report.runs.push_back({site, outcome});
-    ++completed;
-    if (options.progress_every > 0 && completed % options.progress_every == 0)
-      report_progress(options, {d.name(), completed,
-                                static_cast<int>(sites.size()),
-                                report.counts});
   }
+
+  if (options.engine == sim::EngineKind::kCompiled)
+    HLSHC_CHECK(d.cached_exec_plan().get() == plan_before.get(),
+                "ExecPlan for '" << d.name()
+                                 << "' was recompiled mid-campaign — the "
+                                    "design mutated under the workers");
   return report;
 }
 
-DesignResilience evaluate_resilience(const Design& d,
-                                     const std::vector<FaultSite>& sites,
-                                     const CampaignOptions& options) {
+DesignResilience resilience_from_campaign(const Design& d,
+                                          CampaignReport campaign,
+                                          const CampaignOptions& options) {
   DesignResilience r;
-  r.campaign = run_campaign(d, sites, options);
+  r.campaign = std::move(campaign);
 
   // Fault-free timing run with enough matrices for a steady-state T_P.
   std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
@@ -229,6 +317,12 @@ DesignResilience evaluate_resilience(const Design& d,
                   ? r.throughput_mops * 1e6 / static_cast<double>(r.area)
                   : 0.0;
   return r;
+}
+
+DesignResilience evaluate_resilience(const Design& d,
+                                     const std::vector<FaultSite>& sites,
+                                     const CampaignOptions& options) {
+  return resilience_from_campaign(d, run_campaign(d, sites, options), options);
 }
 
 std::string resilience_table(const std::vector<DesignResilience>& rows) {

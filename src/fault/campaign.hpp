@@ -47,7 +47,12 @@ struct CampaignCounts {
   }
 };
 
-/// Snapshot handed to the progress callback every `progress_every` sites.
+/// Snapshot handed to the progress callback every `progress_every`
+/// *completed* sites. Completion count — not the current site index — is
+/// the reported quantity, so the line stays meaningful under parallel
+/// execution where sites finish out of index order. Under jobs > 1 the
+/// `counts` mix is a racy-but-consistent running snapshot (other workers
+/// may finish between the count tick and the snapshot).
 struct CampaignProgress {
   std::string design_name;
   int completed = 0;  ///< sites finished so far
@@ -71,7 +76,16 @@ struct CampaignOptions {
   /// Invoked at each cadence tick. When unset, a one-line running summary
   /// goes to stderr — long campaigns are no longer silent by default. The
   /// tracer additionally records an instant event per tick when active.
+  /// Thread-safe under jobs > 1: invocations are serialized on a mutex and
+  /// rate-limited by the atomic completion counter.
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Worker count for the site loop. 1 (the default) runs the classic
+  /// serial loop; 0 means "all cores" (HLSHC_JOBS / hardware_concurrency);
+  /// N > 1 shards sites over a par::Pool, each worker owning one Engine
+  /// built from the shared ExecPlan. Results — counts AND the per-run log —
+  /// are bitwise identical at every jobs value: each site's classification
+  /// is a pure function of (design, site, input set).
+  int jobs = 1;
 };
 
 struct RunRecord {
@@ -110,6 +124,13 @@ struct DesignResilience {
 DesignResilience evaluate_resilience(const netlist::Design& d,
                                      const std::vector<FaultSite>& sites,
                                      const CampaignOptions& options = {});
+
+/// The A/P/Q half of evaluate_resilience joined with an already-run
+/// campaign — lets the bench time serial and parallel campaigns separately
+/// without paying for a third one.
+DesignResilience resilience_from_campaign(const netlist::Design& d,
+                                          CampaignReport campaign,
+                                          const CampaignOptions& options = {});
 
 /// Fixed-width ASCII table over core::Table: one row per design with the
 /// outcome counts, vulnerability factor, and the hardened A/P/Q block.

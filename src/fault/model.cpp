@@ -103,6 +103,31 @@ std::vector<FaultSite> enumerate_mem_seu_sites(const Design& d,
   return sites;
 }
 
+namespace {
+
+// Per-site RNG derivation. Each sampled site draws from its own SplitMix64
+// seeded as a pure function of (campaign seed, site index):
+//
+//     state_i = seed + i * GOLDEN;  rng_i = SplitMix64(scramble(state_i))
+//
+// (seeding SplitMix64 with `seed + i*GOLDEN` and taking one output is
+// exactly the SplitMix64 stream evaluated at offset i, so per-index seeds
+// inherit the generator's full avalanche). Deriving functionally instead of
+// advancing one shared stream site-by-site means:
+//
+//   * site i's draws do not depend on how many values earlier sites
+//     consumed — inserting, dropping or reordering sites leaves every other
+//     site's sample unchanged (the old shared stream shifted all of them);
+//   * a parallel campaign can hand any site to any worker in any order and
+//     still reproduce the serial sample bit-for-bit, which is what makes
+//     campaign results thread-count invariant.
+SplitMix64 site_rng(uint64_t seed, uint64_t index) {
+  SplitMix64 derive(seed + index * 0x9e3779b97f4a7c15ull);
+  return SplitMix64(derive.next());
+}
+
+}  // namespace
+
 std::vector<FaultSite> sample_seu_sites(const Design& d, int count,
                                         uint64_t max_cycle, uint64_t seed) {
   // The state-bit universe: one entry per register, one per memory.
@@ -125,10 +150,10 @@ std::vector<FaultSite> sample_seu_sites(const Design& d, int count,
   }
   HLSHC_CHECK(reg_bits + mem_bits > 0, "design '" << d.name()
                                                   << "' has no state to upset");
-  SplitMix64 rng(seed);
   std::vector<FaultSite> sites;
   sites.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
+    SplitMix64 rng = site_rng(seed, static_cast<uint64_t>(i));
     uint64_t pick = rng.next() % (reg_bits + mem_bits);
     FaultSite site;
     site.cycle = max_cycle == 0 ? 0 : rng.next() % (max_cycle + 1);
@@ -170,10 +195,11 @@ std::vector<FaultSite> sample_stuck_sites(const Design& d, int count,
       candidates.push_back(static_cast<NodeId>(i));
   HLSHC_CHECK(!candidates.empty(),
               "design '" << d.name() << "' has no stuck-at candidates");
-  SplitMix64 rng(seed);
   std::vector<FaultSite> sites;
   sites.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
+    // Same functional (seed, index) derivation as sample_seu_sites.
+    SplitMix64 rng = site_rng(seed, static_cast<uint64_t>(i));
     NodeId node = candidates[rng.next() % candidates.size()];
     FaultSite site;
     site.kind = (rng.next() & 1) ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;

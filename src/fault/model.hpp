@@ -12,7 +12,9 @@
 //     inverted during exactly one cycle's combinational settle.
 //
 // Sites are enumerated deterministically (every register/memory bit) or
-// sampled with a seeded SplitMix64 so campaigns are reproducible run-to-run.
+// sampled with a per-site SplitMix64 derived functionally from
+// (seed, site_index) — see model.cpp — so campaigns are reproducible
+// run-to-run and invariant to sharding order under parallel execution.
 #pragma once
 
 #include <cstdint>

@@ -18,12 +18,14 @@ int64_t now_ns() {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();
 }
 
 Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Json counters = Json::object();
   for (const auto& [name, c] : counters_)
     counters.set(name, Json::number(c.value()));

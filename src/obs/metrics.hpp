@@ -4,17 +4,21 @@
 // paths guard every update behind `obs::enabled()` — a single inline bool
 // load — so a release run with instrumentation off pays one predicted
 // branch per call site and touches no shared state. When enabled, updates
-// are plain int64/double stores into slots owned by the registry; there is
-// no locking because the simulators and benches are single-threaded by
-// design (ROADMAP: determinism first).
+// are relaxed atomic stores into slots owned by the registry; name lookup
+// takes a mutex (call sites resolve a metric once and cache the pointer),
+// while updates through a resolved pointer are lock-free. This is what lets
+// the parallel execution layer (src/par) record per-worker metrics and the
+// fault campaigns time runs from worker threads.
 //
 // Naming convention: dotted lowercase paths, subsystem first —
 // "sim.eval_ns", "axis.s.beats", "fault.campaign.sites". The JSON export
 // sorts keys so BENCH_*.json metric blocks diff cleanly across PRs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "obs/json.hpp"
@@ -32,42 +36,46 @@ int64_t now_ns();
 
 class Registry;
 
-/// Monotonically increasing count (events, beats, toggles).
+/// Monotonically increasing count (events, beats, toggles). Updates are
+/// relaxed atomics: safe from any thread, with no ordering implied between
+/// metrics (reports snapshot after the workers join).
 class Counter {
  public:
-  void add(int64_t n = 1) { value_ += n; }
-  int64_t value() const { return value_; }
+  void add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   friend class Registry;
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Last-write-wins sample (queue depth, slot count, ratio).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   friend class Registry;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Accumulated duration + invocation count. Use ScopedTimer to feed it.
 class Timer {
  public:
   void record_ns(int64_t ns) {
-    total_ns_ += ns;
-    ++count_;
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
-  int64_t total_ns() const { return total_ns_; }
-  int64_t count() const { return count_; }
+  int64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   friend class Registry;
-  int64_t total_ns_ = 0;
-  int64_t count_ = 0;
+  std::atomic<int64_t> total_ns_{0};
+  std::atomic<int64_t> count_{0};
 };
 
 /// RAII timer: measures from construction to destruction and records into
@@ -90,13 +98,26 @@ class ScopedTimer {
 
 /// Owns every named metric. Lookups return stable pointers (std::map nodes
 /// don't move), so call sites resolve a metric once and cache the pointer.
+/// Lookup/reset/export serialize on a mutex; updates through a resolved
+/// pointer stay lock-free, so concurrent workers may record while another
+/// thread registers new names.
 class Registry {
  public:
-  Counter* counter(const std::string& name) { return &counters_[name]; }
-  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
-  Timer* timer(const std::string& name) { return &timers_[name]; }
+  Counter* counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return &counters_[name];
+  }
+  Gauge* gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return &gauges_[name];
+  }
+  Timer* timer(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return &timers_[name];
+  }
 
-  /// Drop every metric (tests; bench sections).
+  /// Drop every metric (tests; bench sections). Must not race live updates:
+  /// callers quiesce workers first (map nodes die here).
   void reset();
 
   /// {"counters": {...}, "gauges": {...}, "timers": {name: {total_ns,
@@ -105,6 +126,7 @@ class Registry {
   Json to_json() const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Timer> timers_;

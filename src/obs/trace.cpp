@@ -4,19 +4,28 @@
 
 namespace hlshc::obs {
 
-void Tracer::start() {
-  if (!kTraceCompiled) return;
-  events_.clear();
-  epoch_ns_ = now_ns();
-  active_ = true;
+int64_t current_tid() {
+  static std::atomic<int64_t> next{1};
+  thread_local int64_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
 }
 
-void Tracer::stop() { active_ = false; }
+void Tracer::start() {
+  if (!kTraceCompiled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ns_ = now_ns();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
 
 int64_t Tracer::now_us() const { return (now_ns() - epoch_ns_) / 1000; }
 
 void Tracer::record(TraceEvent event) {
   if (!active()) return;
+  event.tid = current_tid();
+  std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -26,13 +35,24 @@ void Tracer::instant(std::string name, std::string category) {
   e.name = std::move(name);
   e.category = std::move(category);
   e.start_us = now_us();
+  e.tid = current_tid();
   e.instant = true;
+  std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(e));
 }
 
-void Tracer::clear() { events_.clear(); }
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
 
 Json Tracer::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Json list = Json::array();
   for (const TraceEvent& e : events_) {
     Json entry = Json::object();
@@ -43,7 +63,7 @@ Json Tracer::to_json() const {
     if (!e.instant) entry.set("dur", Json::number(e.duration_us));
     if (e.instant) entry.set("s", Json::string("p"));  // process-scoped mark
     entry.set("pid", Json::number(int64_t{1}));
-    entry.set("tid", Json::number(int64_t{1}));
+    entry.set("tid", Json::number(e.tid));
     if (!e.args.empty()) {
       Json args = Json::object();
       for (const auto& [k, v] : e.args) args.set(k, Json::string(v));

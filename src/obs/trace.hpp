@@ -20,7 +20,9 @@
 // metrics registry and ActivityProfile instead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,18 +39,29 @@ namespace hlshc::obs {
 /// True when the build carries tracer code (CMake option HLSHC_TRACE).
 inline constexpr bool kTraceCompiled = HLSHC_TRACE != 0;
 
+/// Stable small integer id for the calling thread, used as the Chrome trace
+/// "tid": the main thread is lane 1, every further thread (pool workers) the
+/// next integer in first-use order — so a parallel campaign renders as one
+/// swimlane per worker and the schedule is visible at a glance.
+int64_t current_tid();
+
 /// One completed span or instant marker, in trace_event terms.
 struct TraceEvent {
   std::string name;
   std::string category;
   int64_t start_us = 0;
   int64_t duration_us = 0;        ///< 0 + instant==true → "i" event
+  int64_t tid = 1;                ///< trace lane (current_tid() of recorder)
   bool instant = false;
   std::vector<std::pair<std::string, std::string>> args;
 };
 
 /// Collects events in memory; to_json()/write_file() emit the standard
 /// {"traceEvents": [...]} envelope. One process-wide instance (tracer()).
+///
+/// Thread-safety: record()/instant() serialize on an internal mutex so pool
+/// workers can emit spans concurrently; start()/stop() must not race active
+/// recording (benches start the tracer before spawning workers).
 class Tracer {
  public:
   /// Begin collecting. Clears any previously recorded events and anchors
@@ -56,7 +69,9 @@ class Tracer {
   void start();
   /// Stop collecting; already-recorded events are kept for export.
   void stop();
-  bool active() const { return kTraceCompiled && active_; }
+  bool active() const {
+    return kTraceCompiled && active_.load(std::memory_order_relaxed);
+  }
 
   /// Timestamp for record(); microseconds since start().
   int64_t now_us() const;
@@ -65,7 +80,7 @@ class Tracer {
   /// Zero-duration marker ("i" event) — campaign progress ticks etc.
   void instant(std::string name, std::string category);
 
-  size_t event_count() const { return events_.size(); }
+  size_t event_count() const;
   void clear();
 
   /// Chrome trace_event JSON object format: {"traceEvents": [...],
@@ -75,8 +90,9 @@ class Tracer {
   void write_file(const std::string& path) const;
 
  private:
-  bool active_ = false;
+  std::atomic<bool> active_{false};
   int64_t epoch_ns_ = 0;
+  mutable std::mutex mutex_;  ///< guards events_
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,153 @@
+#include "par/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hlshc::par {
+
+int default_jobs() {
+  if (const char* env = std::getenv("HLSHC_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      return static_cast<int>(std::min(v, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Pool::Pool(int jobs) : jobs_(jobs <= 0 ? default_jobs() : jobs) {
+  stats_.resize(static_cast<size_t>(jobs_));
+  threads_.reserve(static_cast<size_t>(jobs_ - 1));
+  for (int w = 1; w < jobs_; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::parallel_for(int64_t n,
+                        const std::function<void(int64_t)>& body) {
+  parallel_for_worker(n, [&body](int, int64_t i) { body(i); });
+}
+
+void Pool::parallel_for_worker(
+    int64_t n, const std::function<void(int worker, int64_t i)>& body) {
+  if (n <= 0) return;
+
+  body_ = &body;
+  n_ = n;
+  cursor_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+
+  if (jobs_ == 1 || n == 1) {
+    // Single-threaded fallback: one chunk, run inline on the caller in
+    // index order. No threads wake, no locks are taken.
+    chunk_ = n;
+    run_chunks(0);
+  } else {
+    // Chunks trade dispatch overhead against load balance; heterogeneous
+    // iterations (design points, fault sites with hangs) favour small
+    // chunks, so aim for ~8 chunks per worker.
+    chunk_ = std::max<int64_t>(1, n / (static_cast<int64_t>(jobs_) * 8));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      workers_in_loop_ = jobs_ - 1;
+      loop_start_ns_ = obs::now_ns();
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    run_chunks(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return workers_in_loop_ == 0; });
+  }
+
+  body_ = nullptr;
+  flush_stats(n);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void Pool::worker_main(int worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+    if (shutdown_) return;
+    seen = epoch_;
+    const int64_t loop_start = loop_start_ns_;
+    lock.unlock();
+    // Queue wait: how long this loop's work sat before the worker reached
+    // it (wakeup latency — there is no other queueing in a steal-free pool).
+    stats_[static_cast<size_t>(worker)].wait_ns +=
+        obs::now_ns() - loop_start;
+    run_chunks(worker);
+    lock.lock();
+    if (--workers_in_loop_ == 0) cv_done_.notify_one();
+  }
+}
+
+void Pool::run_chunks(int worker) {
+  WorkerStats& stats = stats_[static_cast<size_t>(worker)];
+  const int64_t busy_start = obs::now_ns();
+  int64_t executed = 0;
+  while (!failed_.load(std::memory_order_relaxed)) {
+    const int64_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) break;
+    const int64_t end = std::min(begin + chunk_, n_);
+    obs::Span span("par.chunk", "par");
+    span.arg("worker", static_cast<int64_t>(worker))
+        .arg("begin", begin)
+        .arg("end", end);
+    try {
+      for (int64_t i = begin;
+           i < end && !failed_.load(std::memory_order_relaxed); ++i) {
+        (*body_)(worker, i);
+        ++executed;
+      }
+    } catch (...) {
+      // First failure wins; the cursor keeps advancing past n_ so every
+      // worker drains out without running further iterations.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+  stats.tasks += executed;
+  stats.busy_ns += obs::now_ns() - busy_start;
+}
+
+void Pool::flush_stats(int64_t n) {
+  if (!obs::enabled()) {
+    for (WorkerStats& s : stats_) s = WorkerStats{};
+    return;
+  }
+  obs::Registry& reg = obs::registry();
+  reg.counter("par.pool.loops")->add(1);
+  reg.counter("par.pool.items")->add(n);
+  reg.gauge("par.pool.jobs")->set(jobs_);
+  for (int w = 0; w < jobs_; ++w) {
+    WorkerStats& s = stats_[static_cast<size_t>(w)];
+    const std::string prefix = "par.worker." + std::to_string(w);
+    reg.counter(prefix + ".tasks")->add(s.tasks);
+    reg.counter(prefix + ".busy_ns")->add(s.busy_ns);
+    reg.counter(prefix + ".wait_ns")->add(s.wait_ns);
+    s = WorkerStats{};
+  }
+}
+
+}  // namespace hlshc::par

@@ -1,0 +1,66 @@
+// par::SweepRunner — parallel evaluation of independent design points.
+//
+// The Fig. 1 scatter, Table II and the single-knob narrative benches
+// (Vivado-HLS pragmas, XLS pipeline stages) all evaluate N configurations
+// where each evaluation builds its own netlist, simulates and synthesizes
+// it, and shares nothing with its neighbours. SweepRunner runs those
+// evaluations over a par::Pool and collects the results **in input order**,
+// so a parallel sweep emits byte-identical tables/CSV to the serial one —
+// only the wall clock changes.
+//
+// The runner also keeps sweep-level accounting (sweeps run, points
+// evaluated, wall time) and can stamp it into an obs::RunReport's results
+// under a "parallel" block, which is how the benches record serial-vs-
+// parallel speedups in BENCH_*.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "par/pool.hpp"
+
+namespace hlshc::par {
+
+class SweepRunner {
+ public:
+  /// `jobs` <= 0 selects default_jobs() (HLSHC_JOBS / hardware_concurrency).
+  explicit SweepRunner(int jobs = 0) : pool_(jobs) {}
+
+  int jobs() const { return pool_.jobs(); }
+
+  /// Evaluates fn(i) for every i in [0, n) across the pool; results land in
+  /// input order. `name` labels the sweep's trace span and metrics.
+  template <typename R>
+  std::vector<R> map(const std::string& name, int64_t n,
+                     const std::function<R(int64_t)>& fn) {
+    obs::Span span("sweep." + name, "par");
+    span.arg("points", n).arg("jobs", static_cast<int64_t>(jobs()));
+    const int64_t start_ns = obs::now_ns();
+    std::vector<R> out = pool_.parallel_map<R>(n, fn);
+    record(name, n, obs::now_ns() - start_ns);
+    return out;
+  }
+
+  int64_t sweeps() const { return sweeps_; }
+  int64_t points() const { return points_; }
+  int64_t wall_ns() const { return wall_ns_; }
+
+  /// Stamp {"jobs", "sweeps", "points", "wall_ms"} into the report's
+  /// results under the key "parallel".
+  void annotate(obs::RunReport& report) const;
+
+ private:
+  void record(const std::string& name, int64_t n, int64_t ns);
+
+  Pool pool_;
+  int64_t sweeps_ = 0;
+  int64_t points_ = 0;
+  int64_t wall_ns_ = 0;
+};
+
+}  // namespace hlshc::par

@@ -11,6 +11,7 @@
 #include "hls/tool.hpp"
 #include "maxj/kernels.hpp"
 #include "maxj/system.hpp"
+#include "par/sweep.hpp"
 #include "rtl/designs.hpp"
 #include "xls/designs.hpp"
 
@@ -28,6 +29,19 @@ int code_loc(const std::string& rel) {
 ScatterPoint point(const std::string& family, const std::string& config,
                    const DesignEvaluation& ev) {
   return ScatterPoint{family, config, ev.throughput_mops, ev.area};
+}
+
+/// Wraps a deferred evaluation into a SweepTask. `eval` must be
+/// self-contained (capture everything it needs by value) so tasks stay
+/// independent under parallel execution.
+SweepTask task(std::string family, std::string config,
+               std::function<DesignEvaluation()> eval) {
+  SweepTask t;
+  t.family = family;
+  t.config = config;
+  t.run = [family = std::move(family), config = std::move(config),
+           eval = std::move(eval)]() { return point(family, config, eval()); };
+  return t;
 }
 
 // ---- Verilog -----------------------------------------------------------------
@@ -50,15 +64,18 @@ class VerilogFlow : public Flow {
                       .delta();
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    return {
-        point(family(), "initial",
-              core::evaluate_axis_design(rtl::build_verilog_initial())),
-        point(family(), "opt1-1row8col",
-              core::evaluate_axis_design(rtl::build_verilog_opt1())),
-        point(family(), "opt2-pipelined",
-              core::evaluate_axis_design(rtl::build_verilog_opt2())),
-    };
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
+    out.push_back(task(family(), "initial", [] {
+      return core::evaluate_axis_design(rtl::build_verilog_initial());
+    }));
+    out.push_back(task(family(), "opt1-1row8col", [] {
+      return core::evaluate_axis_design(rtl::build_verilog_opt1());
+    }));
+    out.push_back(task(family(), "opt2-pipelined", [] {
+      return core::evaluate_axis_design(rtl::build_verilog_opt2());
+    }));
+    return out;
   }
 };
 
@@ -83,13 +100,15 @@ class ChiselFlow : public Flow {
                       .delta();
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    return {
-        point(family(), "initial",
-              core::evaluate_axis_design(chisel::build_chisel_initial())),
-        point(family(), "opt",
-              core::evaluate_axis_design(chisel::build_chisel_opt())),
-    };
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
+    out.push_back(task(family(), "initial", [] {
+      return core::evaluate_axis_design(chisel::build_chisel_initial());
+    }));
+    out.push_back(task(family(), "opt", [] {
+      return core::evaluate_axis_design(chisel::build_chisel_opt());
+    }));
+    return out;
   }
 };
 
@@ -147,15 +166,15 @@ class BsvFlow : public Flow {
                       .delta();
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    std::vector<ScatterPoint> out;
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
     for (const auto& cfg : bsv_configs()) {
-      out.push_back(point(family(), "initial:" + bsv_label(cfg),
-                          core::evaluate_axis_design(
-                              bsv::build_bsv_initial(cfg))));
-      out.push_back(point(family(), "opt:" + bsv_label(cfg),
-                          core::evaluate_axis_design(
-                              bsv::build_bsv_opt(cfg))));
+      out.push_back(task(family(), "initial:" + bsv_label(cfg), [cfg] {
+        return core::evaluate_axis_design(bsv::build_bsv_initial(cfg));
+      }));
+      out.push_back(task(family(), "opt:" + bsv_label(cfg), [cfg] {
+        return core::evaluate_axis_design(bsv::build_bsv_opt(cfg));
+      }));
     }
     return out;  // 26 circuits
   }
@@ -185,15 +204,17 @@ class XlsFlow : public Flow {
     r.loc.delta = conf;  // the paper: only the stage count changes (ΔL = 3)
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    std::vector<ScatterPoint> out;
-    out.push_back(point(family(), "comb",
-                        core::evaluate_axis_design(
-                            xls::build_xls_design({0}).design)));
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
+    out.push_back(task(family(), "comb", [] {
+      return core::evaluate_axis_design(xls::build_xls_design({0}).design);
+    }));
     for (int stages = 1; stages <= 18; ++stages)
-      out.push_back(point(family(), "stages=" + std::to_string(stages),
-                          core::evaluate_axis_design(
-                              xls::build_xls_design({stages}).design)));
+      out.push_back(
+          task(family(), "stages=" + std::to_string(stages), [stages] {
+            return core::evaluate_axis_design(
+                xls::build_xls_design({stages}).design);
+          }));
     return out;  // 19 circuits
   }
 };
@@ -226,10 +247,17 @@ class MaxjFlow : public Flow {
                       .delta();
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    FlowResult r = evaluate();
-    return {point(family(), "matrix-per-tick", r.initial),
-            point(family(), "row-per-tick", r.optimized)};
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
+    out.push_back(task(family(), "matrix-per-tick", [] {
+      maxj::Kernel k = maxj::build_matrix_kernel();
+      return core::from_maxj("maxj_matrix", k, maxj::evaluate_system(k));
+    }));
+    out.push_back(task(family(), "row-per-tick", [] {
+      maxj::Kernel k = maxj::build_row_kernel();
+      return core::from_maxj("maxj_row", k, maxj::evaluate_system(k));
+    }));
+    return out;
   }
 };
 
@@ -260,15 +288,16 @@ class BambuFlow : public Flow {
     r.loc.delta = conf;  // only options change between the two configs
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
-    std::vector<ScatterPoint> out;
+  std::vector<SweepTask> sweep_tasks() const override {
+    std::vector<SweepTask> out;
     const std::string src = hls::idct_source();
     core::EvaluateOptions eo;
     eo.matrices = 3;  // hundreds of cycles per matrix: keep the sweep quick
     for (const hls::BambuOptions& o : hls::bambu_sweep())
-      out.push_back(point(family(), o.label(),
-                          core::evaluate_axis_design(
-                              hls::compile_bambu(src, o).design, eo)));
+      out.push_back(task(family(), o.label(), [src, o, eo] {
+        return core::evaluate_axis_design(hls::compile_bambu(src, o).design,
+                                          eo);
+      }));
     return out;  // 42 circuits
   }
 };
@@ -298,20 +327,22 @@ class VhlsFlow : public Flow {
         core::diff_data_files("c/idct_vhls.c", "c/idct_vhls_opt.c").delta();
     return r;
   }
-  std::vector<ScatterPoint> sweep() const override {
+  std::vector<SweepTask> sweep_tasks() const override {
     const std::string src = hls::idct_source();
-    std::vector<ScatterPoint> out;
-    out.push_back(point(family(), "push-button",
-                        core::evaluate_axis_design(
-                            hls::compile_vhls(src, {}).design,
-                            slow_options())));
+    std::vector<SweepTask> out;
+    out.push_back(task(family(), "push-button", [src] {
+      return core::evaluate_axis_design(hls::compile_vhls(src, {}).design,
+                                        slow_options());
+    }));
     for (int stages : {1, 2}) {
       hls::VhlsOptions o;
       o.pragmas = true;
       o.pipeline_stages = stages;
-      out.push_back(point(family(), "pragmas-s" + std::to_string(stages),
-                          core::evaluate_axis_design(
-                              hls::compile_vhls(src, o).design)));
+      out.push_back(task(family(), "pragmas-s" + std::to_string(stages),
+                         [src, o] {
+                           return core::evaluate_axis_design(
+                               hls::compile_vhls(src, o).design);
+                         }));
     }
     return out;  // 3 circuits
   }
@@ -326,6 +357,12 @@ class VhlsFlow : public Flow {
 
 }  // namespace
 
+std::vector<core::ScatterPoint> Flow::sweep() const {
+  std::vector<core::ScatterPoint> out;
+  for (const SweepTask& t : sweep_tasks()) out.push_back(t.run());
+  return out;
+}
+
 std::vector<std::unique_ptr<Flow>> make_flows() {
   std::vector<std::unique_ptr<Flow>> out;
   out.push_back(std::make_unique<VerilogFlow>());
@@ -338,10 +375,17 @@ std::vector<std::unique_ptr<Flow>> make_flows() {
   return out;
 }
 
-Table2 build_table2() {
+Table2 build_table2(int jobs) {
   Table2 table;
-  std::vector<FlowResult> results;
-  for (const auto& flow : make_flows()) results.push_back(flow->evaluate());
+  // Each flow builds and measures its own designs from scratch — no shared
+  // mutable state — so the seven evaluations parallelize trivially. Results
+  // land in flow order regardless of completion order.
+  auto flows = make_flows();
+  par::SweepRunner runner(jobs);
+  std::vector<FlowResult> results = runner.map<FlowResult>(
+      "table2", static_cast<int64_t>(flows.size()), [&](int64_t i) {
+        return flows[static_cast<size_t>(i)]->evaluate();
+      });
 
   const FlowResult& verilog = results.front();
   table.verilog_best_quality =
@@ -366,13 +410,19 @@ Table2 build_table2() {
   return table;
 }
 
-std::vector<core::ScatterPoint> full_dse() {
-  std::vector<core::ScatterPoint> out;
-  for (const auto& flow : make_flows()) {
-    auto pts = flow->sweep();
-    out.insert(out.end(), pts.begin(), pts.end());
-  }
-  return out;
+std::vector<core::ScatterPoint> full_dse(int jobs) {
+  // Flatten every flow's sweep into one task list so a single pool keeps all
+  // workers busy across flow boundaries (the Bambu sweep alone is 42 of the
+  // ~97 points). parallel_map writes each point into its input-order slot,
+  // so the scatter list is identical at any worker count.
+  std::vector<SweepTask> tasks;
+  for (const auto& flow : make_flows())
+    for (SweepTask& t : flow->sweep_tasks()) tasks.push_back(std::move(t));
+  par::SweepRunner runner(jobs);
+  return runner.map<core::ScatterPoint>(
+      "full_dse", static_cast<int64_t>(tasks.size()), [&](int64_t i) {
+        return tasks[static_cast<size_t>(i)].run();
+      });
 }
 
 std::string render_table1() {

@@ -9,6 +9,7 @@
 // 42 Bambu, 3 Vivado HLS).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,13 +41,27 @@ struct FlowResult {
   LocBreakdown loc;
 };
 
+/// One independently evaluable design point of a flow's Fig. 1 sweep: a
+/// (family, config) label plus a closure that builds the circuit and runs
+/// the full measurement procedure. Tasks share nothing — each builds its
+/// own netlist — so the DSE can run them in any order or concurrently
+/// (par::SweepRunner) and still produce the exact serial point list.
+struct SweepTask {
+  std::string family;
+  std::string config;
+  std::function<core::ScatterPoint()> run;
+};
+
 class Flow {
  public:
   virtual ~Flow() = default;
   virtual std::string family() const = 0;  ///< scatter series name
   virtual ToolInfo info() const = 0;
   virtual FlowResult evaluate() const = 0;
-  virtual std::vector<core::ScatterPoint> sweep() const = 0;
+  /// The flow's sweep as independent tasks, in the canonical point order.
+  virtual std::vector<SweepTask> sweep_tasks() const = 0;
+  /// Serial convenience: run every sweep task in declaration order.
+  std::vector<core::ScatterPoint> sweep() const;
 };
 
 /// All seven flows, in the paper's column order.
@@ -67,11 +82,15 @@ struct Table2 {
 };
 
 /// Evaluates every flow and derives the metrics (slow: full simulation and
-/// synthesis of 14 designs).
-Table2 build_table2();
+/// synthesis of 14 designs). `jobs` != 1 evaluates the seven flows
+/// concurrently over a par::SweepRunner (0 = all cores); the derived
+/// metrics and column order are identical at any worker count.
+Table2 build_table2(int jobs = 1);
 
-/// All Fig. 1 scatter points from every flow's sweep.
-std::vector<core::ScatterPoint> full_dse();
+/// All Fig. 1 scatter points from every flow's sweep. `jobs` != 1 evaluates
+/// the ~97 design points concurrently (0 = all cores); the point list is
+/// identical at any worker count.
+std::vector<core::ScatterPoint> full_dse(int jobs = 1);
 
 /// Renderers used by the benches.
 std::string render_table1();
