@@ -7,6 +7,7 @@
 #include "base/strings.hpp"
 #include "rtl/designs.hpp"
 #include "synth/synthesize.hpp"
+#include "tools/compile.hpp"
 
 using hlshc::format_fixed;
 using hlshc::format_grouped;
@@ -15,8 +16,8 @@ using namespace hlshc;
 namespace {
 
 void run(const char* tag, const synth::SynthOptions& opts) {
-  auto init = synth::synthesize(rtl::build_verilog_initial(), opts);
-  auto opt = synth::synthesize(rtl::build_verilog_opt2(), opts);
+  auto init = tools::compile_synth(rtl::build_verilog_initial(), {}, opts);
+  auto opt = tools::compile_synth(rtl::build_verilog_opt2(), {}, opts);
   std::printf("%-34s init: fmax=%7s LUT=%7s DSP=%4ld | opt: fmax=%7s "
               "LUT=%6s DSP=%3ld\n",
               tag, format_fixed(init.fmax_mhz, 2).c_str(),

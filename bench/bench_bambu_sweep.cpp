@@ -8,6 +8,7 @@
 
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 #include "hls/tool.hpp"
 #include "rtl/designs.hpp"
 
@@ -26,7 +27,7 @@ int main() {
   int n = 0;
   for (const BambuOptions& o : bambu_sweep()) {
     HlsCompileResult r = compile_bambu(src, o);
-    auto ev = hlshc::core::evaluate_axis_design(r.design, eo);
+    auto ev = hlshc::tools::evaluate_design(r.design, {}, eo);
     ++n;
     if (n <= 3 || n % 10 == 0)
       std::printf("  [%2d] %-38s states=%3d  fmax=%7s  T_P=%5s  Q=%s\n", n,
@@ -42,7 +43,7 @@ int main() {
   }
 
   auto vbest =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
+      hlshc::tools::evaluate_design(hlshc::rtl::build_verilog_opt2());
   std::printf("\nbest of %d configs: %s (T_P=%s)\n", n, best_label.c_str(),
               format_fixed(best_tp, 0).c_str());
   std::printf("paper best: BAMBU-PERFORMANCE-MP + speculative-sdc + LSS "

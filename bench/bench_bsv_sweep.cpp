@@ -9,6 +9,7 @@
 #include "base/strings.hpp"
 #include "bsv/designs.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 
 using hlshc::format_fixed;
 using namespace hlshc::bsv;
@@ -29,7 +30,7 @@ int main() {
     double min_q = 1e18, max_q = 0;
     for (const auto& cfg : configs) {
       auto design = opt_design ? build_bsv_opt(cfg) : build_bsv_initial(cfg);
-      auto ev = hlshc::core::evaluate_axis_design(design);
+      auto ev = hlshc::tools::evaluate_design(design);
       double q = ev.quality();
       min_q = std::min(min_q, q);
       max_q = std::max(max_q, q);
@@ -48,7 +49,7 @@ int main() {
   }
   std::printf("\ncircuits: %d\n", n);
 
-  auto opt = hlshc::core::evaluate_axis_design(build_bsv_opt());
+  auto opt = hlshc::tools::evaluate_design(build_bsv_opt());
   std::printf("optimized-design periodicity: paper 9 (the bubble), "
               "measured %s\n",
               format_fixed(opt.periodicity_cycles, 0).c_str());

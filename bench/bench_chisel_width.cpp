@@ -7,20 +7,21 @@
 #include "base/strings.hpp"
 #include "chisel/designs.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 #include "rtl/designs.hpp"
 
 using hlshc::format_fixed;
 
 int main() {
   std::puts("=== Chisel width inference vs 32-bit Verilog ===\n");
-  auto vi = hlshc::core::evaluate_axis_design(
+  auto vi = hlshc::tools::evaluate_design(
       hlshc::rtl::build_verilog_initial());
   auto vo =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
-  auto ci = hlshc::core::evaluate_axis_design(
+      hlshc::tools::evaluate_design(hlshc::rtl::build_verilog_opt2());
+  auto ci = hlshc::tools::evaluate_design(
       hlshc::chisel::build_chisel_initial());
   auto co =
-      hlshc::core::evaluate_axis_design(hlshc::chisel::build_chisel_opt());
+      hlshc::tools::evaluate_design(hlshc::chisel::build_chisel_opt());
 
   std::printf("initial:  perf %s%% of Verilog (paper 105.7%%),  "
               "area %s%% (paper 94.6%%)\n",

@@ -17,6 +17,7 @@
 #include "core/evaluate.hpp"
 #include "core/report.hpp"
 #include "framework/compose.hpp"
+#include "tools/compile.hpp"
 #include "hls/ast.hpp"
 #include "hls/tool.hpp"
 #include "rtl/units.hpp"
@@ -76,7 +77,7 @@ int main() {
             framework::PassKernel{row.design, row.latency},
             framework::PassKernel{col.design, col.latency}, 16,
             rs.name + "+" + cs.name + "_s" + std::to_string(stages));
-        core::DesignEvaluation ev = core::evaluate_axis_design(d);
+        core::DesignEvaluation ev = tools::evaluate_design(d);
         if (!ev.functional) {
           std::printf("%-9s %-9s %5d   NOT FUNCTIONAL\n", rs.name.c_str(),
                       cs.name.c_str(), stages);

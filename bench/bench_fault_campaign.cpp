@@ -29,6 +29,7 @@
 #include "obs/report.hpp"
 #include "par/pool.hpp"
 #include "rtl/designs.hpp"
+#include "tools/compile.hpp"
 
 using hlshc::format_fixed;
 using hlshc::format_grouped;
@@ -55,6 +56,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// jobs == 1), verifies the outcome counts match bit-for-bit, and joins the
 /// parallel campaign with the A/P/Q axes.
 hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
+                                       const hlshc::synth::NormalizedSynth& ns,
                                        int sites, int jobs,
                                        CampaignTiming* timing) {
   auto sampled =
@@ -86,7 +88,8 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
       std::exit(1);
     }
   }
-  return hlshc::fault::resilience_from_campaign(d, std::move(campaign), opts);
+  return hlshc::fault::resilience_from_campaign(d, std::move(campaign), ns,
+                                            opts);
 }
 
 }  // namespace
@@ -116,11 +119,17 @@ int main(int argc, char** argv) {
     const char* tag;
     hlshc::netlist::Design design;
   };
+  // The compile pipeline runs exactly once, *before* hardening: CSE would
+  // otherwise merge the TMR triplicates right back into one copy. Synthesis
+  // below therefore goes through the canonical entry with the pipeline off.
+  hlshc::netlist::Design base_initial =
+      hlshc::tools::compile(hlshc::rtl::build_verilog_initial()).design;
+  hlshc::netlist::Design base_opt2 =
+      hlshc::tools::compile(hlshc::rtl::build_verilog_opt2()).design;
   std::vector<Row> rows;
-  rows.push_back({"verilog initial", hlshc::rtl::build_verilog_initial()});
-  rows.push_back({"verilog opt2", hlshc::rtl::build_verilog_opt2()});
-  rows.push_back(
-      {"verilog opt2 + TMR", hlshc::fault::tmr(hlshc::rtl::build_verilog_opt2())});
+  rows.push_back({"verilog initial", base_initial});
+  rows.push_back({"verilog opt2", base_opt2});
+  rows.push_back({"verilog opt2 + TMR", hlshc::fault::tmr(base_opt2)});
 
   hlshc::obs::RunReport report("bench_fault_campaign");
   report.params()
@@ -135,7 +144,11 @@ int main(int argc, char** argv) {
   std::vector<hlshc::fault::DesignResilience> results;
   for (const Row& row : rows) {
     CampaignTiming timing;
-    results.push_back(measure(row.design, sites, jobs, &timing));
+    hlshc::tools::CompileOptions no_pipeline;
+    no_pipeline.optimize = false;  // already compiled above, pre-hardening
+    hlshc::synth::NormalizedSynth ns =
+        hlshc::tools::compile_synth_normalized(row.design, no_pipeline);
+    results.push_back(measure(row.design, ns, sites, jobs, &timing));
     const hlshc::fault::DesignResilience& r = results.back();
     const hlshc::fault::CampaignCounts& c = r.campaign.counts;
     double rate =

@@ -7,6 +7,7 @@
 #include "base/strings.hpp"
 #include "maxj/kernels.hpp"
 #include "maxj/system.hpp"
+#include "tools/compile.hpp"
 
 using hlshc::format_fixed;
 using hlshc::format_grouped;
@@ -16,8 +17,10 @@ int main() {
   std::puts("=== MaxJ kernels and the PCIe system model ===\n");
   Kernel matrix = build_matrix_kernel();
   Kernel row = build_row_kernel();
-  SystemEvaluation em = evaluate_system(matrix);
-  SystemEvaluation er = evaluate_system(row);
+  SystemEvaluation em = evaluate_system(
+      matrix, hlshc::tools::compile_synth_normalized(matrix.design));
+  SystemEvaluation er = evaluate_system(
+      row, hlshc::tools::compile_synth_normalized(row.design));
 
   auto show = [](const char* tag, const Kernel& k,
                  const SystemEvaluation& e) {

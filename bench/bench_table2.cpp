@@ -3,8 +3,10 @@
 // latency, periodicity and the area/DSP/IO block, plus a paper-vs-measured
 // digest of the headline ratios.
 //
-// Usage: bench_table2 [--jobs N]   (default: all cores; the seven flows
-// evaluate concurrently, results in column order at any worker count)
+// Usage: bench_table2 [--jobs N] [--verbose]   (default: all cores; the
+// seven flows evaluate concurrently, results in column order at any worker
+// count; --verbose prints the per-pass compile-pipeline breakdown per
+// design)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,17 +14,22 @@
 
 #include "base/strings.hpp"
 #include "par/pool.hpp"
+#include "tools/compile.hpp"
 #include "tools/flows.hpp"
 
 using hlshc::format_fixed;
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
-  for (int i = 1; i < argc; ++i)
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--verbose") == 0)
+      verbose = true;
+  }
   if (jobs < 0) {
-    std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--jobs N] [--verbose]\n", argv[0]);
     return 1;
   }
   std::puts("=== Table II: HLS/HC tools evaluation results ===");
@@ -32,6 +39,18 @@ int main(int argc, char** argv) {
   std::puts(hlshc::tools::render_table2(table).c_str());
   std::ofstream("table2.csv") << hlshc::tools::table2_csv(table);
   std::puts("(machine-readable copy written to ./table2.csv)\n");
+
+  if (verbose) {
+    std::puts("--- compile pipeline, per-pass breakdown (--verbose) ---");
+    for (const auto& col : table.columns) {
+      for (const auto* ev : {&col.flow.initial, &col.flow.optimized}) {
+        if (ev->pipeline.runs.empty()) continue;
+        std::puts(
+            hlshc::tools::render_pass_breakdown(ev->name, ev->pipeline)
+                .c_str());
+      }
+    }
+  }
 
   // Headline shape checks against the paper's Table II.
   const auto& v = table.columns[0];

@@ -7,6 +7,7 @@
 
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 #include "rtl/designs.hpp"
 
 using hlshc::format_fixed;
@@ -14,12 +15,12 @@ using hlshc::format_grouped;
 
 int main() {
   std::puts("=== Verilog design progression (paper Section IV) ===\n");
-  auto init = hlshc::core::evaluate_axis_design(
+  auto init = hlshc::tools::evaluate_design(
       hlshc::rtl::build_verilog_initial());
   auto opt1 =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt1());
+      hlshc::tools::evaluate_design(hlshc::rtl::build_verilog_opt1());
   auto opt2 =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
+      hlshc::tools::evaluate_design(hlshc::rtl::build_verilog_opt2());
 
   auto show = [](const char* tag, const hlshc::core::DesignEvaluation& e) {
     std::printf("%-22s fmax=%8s MHz  P=%7s MOPS  T_L=%2d  T_P=%s  A=%8s  "

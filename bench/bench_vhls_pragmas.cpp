@@ -7,6 +7,7 @@
 
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 #include "hls/tool.hpp"
 #include "par/sweep.hpp"
 #include "rtl/designs.hpp"
@@ -28,20 +29,20 @@ int main() {
               case 0: {
                 hlshc::core::EvaluateOptions slow;
                 slow.matrices = 3;
-                return hlshc::core::evaluate_axis_design(
-                    compile_vhls(src, {}).design, slow);
+                return hlshc::tools::evaluate_design(
+                    compile_vhls(src, {}).design, {}, slow);
               }
               case 1: {
                 VhlsOptions o;
                 o.pragmas = true;
-                return hlshc::core::evaluate_axis_design(
+                return hlshc::tools::evaluate_design(
                     compile_vhls(src, o).design);
               }
               case 2:
-                return hlshc::core::evaluate_axis_design(
+                return hlshc::tools::evaluate_design(
                     hlshc::rtl::build_verilog_initial());
               default:
-                return hlshc::core::evaluate_axis_design(
+                return hlshc::tools::evaluate_design(
                     hlshc::rtl::build_verilog_opt2());
             }
           });

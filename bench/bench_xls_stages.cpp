@@ -7,6 +7,7 @@
 
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
+#include "tools/compile.hpp"
 #include "par/sweep.hpp"
 #include "rtl/designs.hpp"
 #include "xls/designs.hpp"
@@ -28,7 +29,7 @@ int main() {
       runner.map<Point>("xls_stages", 19, [](int64_t stages) {
         auto xd = hlshc::xls::build_xls_design({static_cast<int>(stages)});
         return Point{xd.kernel_latency,
-                     hlshc::core::evaluate_axis_design(xd.design)};
+                     hlshc::tools::evaluate_design(xd.design)};
       });
 
   double best_q = 0;
@@ -50,7 +51,7 @@ int main() {
   }
 
   auto vopt =
-      hlshc::core::evaluate_axis_design(hlshc::rtl::build_verilog_opt2());
+      hlshc::tools::evaluate_design(hlshc::rtl::build_verilog_opt2());
   std::printf("\nbest quality at %d requested stages (paper: 8)\n",
               best_stages);
   std::printf("best-XLS vs optimized Verilog: perf %s%% (paper 221.2%%), "

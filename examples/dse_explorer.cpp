@@ -17,6 +17,7 @@
 #include "core/evaluate.hpp"
 #include "hls/tool.hpp"
 #include "rtl/designs.hpp"
+#include "tools/compile.hpp"
 #include "xls/designs.hpp"
 
 using namespace hlshc;
@@ -94,6 +95,6 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  report(core::evaluate_axis_design(design, eo));
+  report(tools::evaluate_design(design, {}, eo));
   return 0;
 }

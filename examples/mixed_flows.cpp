@@ -19,6 +19,7 @@
 #include "idct/chenwang.hpp"
 #include "idct/reference.hpp"
 #include "sim/simulator.hpp"
+#include "tools/compile.hpp"
 #include "xls/pipeline.hpp"
 
 using namespace hlshc;
@@ -52,7 +53,7 @@ int main() {
               mixed.node_count());
 
   // Verify bit-exactness and measure, exactly like any single-flow design.
-  core::DesignEvaluation ev = core::evaluate_axis_design(mixed);
+  core::DesignEvaluation ev = tools::evaluate_design(mixed);
   std::printf("functional (vs ISO 13818-4 software model): %s\n",
               ev.functional ? "yes" : "NO");
   std::printf("latency %d cycles, periodicity %s, fmax %s MHz, "

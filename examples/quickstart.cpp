@@ -11,6 +11,7 @@
 #include "idct/chenwang.hpp"
 #include "rtl/designs.hpp"
 #include "sim/simulator.hpp"
+#include "tools/compile.hpp"
 
 using namespace hlshc;
 
@@ -44,7 +45,7 @@ int main() {
 
   // 5. The paper's measurement procedure: verify, measure T_L/T_P,
   //    synthesize with and without DSPs, compute P and Q.
-  core::DesignEvaluation ev = core::evaluate_axis_design(design);
+  core::DesignEvaluation ev = tools::evaluate_design(design);
   std::printf("\nevaluation: fmax=%s MHz, P=%s MOPS, A=%s, Q=%s\n",
               format_fixed(ev.fmax_mhz, 2).c_str(),
               format_fixed(ev.throughput_mops, 2).c_str(),

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Guard: every flow, bench and campaign must go through the canonical
+# tools::compile entry (src/tools/compile.hpp). Direct calls to
+# synth::synthesize()/synthesize_normalized() or netlist::optimize() outside
+# the layers that implement them bypass the pass pipeline (and its verify
+# mode), so CI fails on any new call site.
+#
+# Allowed layers:
+#   src/synth     - implements synthesis
+#   src/tools     - the canonical entry itself
+#   src/netlist   - implements the passes (optimize lives here)
+#   src/core/evaluate.cpp - the Section III.C measurement procedure invokes
+#                   synthesis directly by design (documented exemption); it
+#                   is only reachable through tools::evaluate_design.
+# Tests may call anything: they pin the low-level APIs on purpose.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check() {
+  local pattern="$1" label="$2"
+  shift 2
+  local hits
+  hits=$(grep -rnE "$pattern" src bench examples \
+      --include='*.cpp' --include='*.hpp' \
+    | grep -vE '^src/(synth|tools|netlist)/' \
+    | grep -v '^src/core/evaluate\.cpp:' \
+    || true)
+  if [ -n "$hits" ]; then
+    echo "ERROR: direct $label call outside the compile pipeline:" >&2
+    echo "$hits" >&2
+    echo "Route through tools::compile / tools::compile_synth instead" \
+         "(src/tools/compile.hpp)." >&2
+    fail=1
+  fi
+}
+
+# synth::synthesize / synthesize_normalized — but not the tools::compile_synth*
+# wrappers, whose names do not contain "synthesize".
+check '\bsynthesize(_normalized)?\(' 'synth::synthesize'
+
+# netlist::optimize (bare optimize( would also match member fields named
+# optimize, so require the qualified or free-function form).
+check '(netlist::|[^_[:alnum:].>])optimize\(' 'netlist::optimize'
+
+if [ "$fail" -eq 0 ]; then
+  echo "pipeline guard: OK (all flows route through tools::compile)"
+fi
+exit "$fail"

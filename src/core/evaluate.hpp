@@ -17,6 +17,7 @@
 
 #include "maxj/system.hpp"
 #include "netlist/ir.hpp"
+#include "netlist/passes.hpp"
 #include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
 
@@ -32,6 +33,9 @@ struct DesignEvaluation {
   long area = 0;                 ///< A = N*_LUT + N*_FF
   long n_lut_star = 0, n_ff_star = 0;  ///< maxdsp=0 mapping
   long n_lut = 0, n_ff = 0, n_dsp = 0, n_io = 0;  ///< default mapping
+  /// Per-pass breakdown of the tools::compile pipeline that produced the
+  /// measured design (empty when the design was evaluated unoptimized).
+  netlist::PassStats pipeline;
 
   double quality() const {
     return area > 0 ? throughput_mops * 1e6 / static_cast<double>(area) : 0;

@@ -30,12 +30,15 @@ struct ScatterPoint {
   std::string config;   ///< option label
   double throughput_mops = 0.0;
   long area = 0;
+  /// Nodes eliminated by the compile pipeline before synthesis (0 when the
+  /// point was measured without the pipeline).
+  long nodes_saved = 0;
   double quality() const {
     return area > 0 ? throughput_mops * 1e6 / static_cast<double>(area) : 0;
   }
 };
 
-/// CSV with header: family,config,throughput_mops,area,quality.
+/// CSV with header: family,config,throughput_mops,area,quality,nodes_saved.
 std::string scatter_csv(const std::vector<ScatterPoint>& points);
 
 /// A text rendering of the scatter grouped by family (for bench output).

@@ -296,6 +296,7 @@ CampaignReport run_campaign(const Design& d,
 
 DesignResilience resilience_from_campaign(const Design& d,
                                           CampaignReport campaign,
+                                          const synth::NormalizedSynth& ds,
                                           const CampaignOptions& options) {
   DesignResilience r;
   r.campaign = std::move(campaign);
@@ -308,9 +309,8 @@ DesignResilience resilience_from_campaign(const Design& d,
          options.max_cycles * static_cast<uint64_t>(matrices));
   r.periodicity_cycles = tb.timing().periodicity_cycles;
 
-  synth::NormalizedSynth ns = synth::synthesize_normalized(d);
-  r.fmax_mhz = ns.normal.fmax_mhz;
-  r.area = ns.area();
+  r.fmax_mhz = ds.normal.fmax_mhz;
+  r.area = ds.area();
   r.throughput_mops =
       r.periodicity_cycles > 0 ? r.fmax_mhz / r.periodicity_cycles : 0.0;
   r.quality = r.area > 0
@@ -321,8 +321,10 @@ DesignResilience resilience_from_campaign(const Design& d,
 
 DesignResilience evaluate_resilience(const Design& d,
                                      const std::vector<FaultSite>& sites,
+                                     const synth::NormalizedSynth& ds,
                                      const CampaignOptions& options) {
-  return resilience_from_campaign(d, run_campaign(d, sites, options), options);
+  return resilience_from_campaign(d, run_campaign(d, sites, options), ds,
+                                  options);
 }
 
 std::string resilience_table(const std::vector<DesignResilience>& rows) {

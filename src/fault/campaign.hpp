@@ -30,6 +30,7 @@
 #include "idct/block.hpp"
 #include "netlist/ir.hpp"
 #include "sim/engine.hpp"
+#include "synth/synthesize.hpp"
 
 namespace hlshc::fault {
 
@@ -121,8 +122,12 @@ struct DesignResilience {
   double quality = 0.0;          ///< Q = P/A
 };
 
+/// `ds` is the design's synthesis result (both DSP modes); it is injected so
+/// the caller controls the netlist pipeline — benches pass the result of
+/// tools::compile_synth_normalized, tests may synthesize directly.
 DesignResilience evaluate_resilience(const netlist::Design& d,
                                      const std::vector<FaultSite>& sites,
+                                     const synth::NormalizedSynth& ds,
                                      const CampaignOptions& options = {});
 
 /// The A/P/Q half of evaluate_resilience joined with an already-run
@@ -130,6 +135,7 @@ DesignResilience evaluate_resilience(const netlist::Design& d,
 /// without paying for a third one.
 DesignResilience resilience_from_campaign(const netlist::Design& d,
                                           CampaignReport campaign,
+                                          const synth::NormalizedSynth& ds,
                                           const CampaignOptions& options = {});
 
 /// Fixed-width ASCII table over core::Table: one row per design with the

@@ -1,7 +1,7 @@
 #include "framework/arithgen.hpp"
 
 #include "base/check.hpp"
-#include "synth/csd.hpp"
+#include "netlist/passes.hpp"
 
 namespace hlshc::framework {
 
@@ -10,65 +10,6 @@ namespace {
 using netlist::Design;
 using netlist::NodeId;
 
-/// Builds x * constant at `width` as an explicit shift-add tree over the
-/// (CSD or binary) digits of the constant.
-NodeId build_shift_add(Design& d, NodeId x, int64_t constant, int width,
-                       bool csd) {
-  if (constant == 0) return d.constant(width, 0);
-
-  struct Digit {
-    int shift;
-    int sign;
-  };
-  std::vector<Digit> digits;
-  if (csd) {
-    for (const synth::CsdDigit& g : synth::csd_decompose(constant))
-      digits.push_back({g.shift, g.sign});
-  } else {
-    bool neg = constant < 0;
-    uint64_t v = neg ? static_cast<uint64_t>(-constant)
-                     : static_cast<uint64_t>(constant);
-    for (int s = 0; v != 0; ++s, v >>= 1)
-      if (v & 1) digits.push_back({s, neg ? -1 : +1});
-  }
-
-  // Partial products are just wires (shifts); combine with a balanced
-  // adder tree, folding signs into adds/subs.
-  struct Term {
-    NodeId value;
-    int sign;
-  };
-  std::vector<Term> terms;
-  for (const Digit& g : digits)
-    terms.push_back({d.shl(d.sext(x, width), g.shift, width), g.sign});
-
-  while (terms.size() > 1) {
-    std::vector<Term> next;
-    for (size_t i = 0; i + 1 < terms.size(); i += 2) {
-      Term a = terms[i], b = terms[i + 1];
-      // Normalize so the combined term carries sign +1 where possible.
-      NodeId v;
-      int sign;
-      if (a.sign == b.sign) {
-        v = d.add(a.value, b.value, width);
-        sign = a.sign;
-      } else if (a.sign > 0) {
-        v = d.sub(a.value, b.value, width);
-        sign = +1;
-      } else {
-        v = d.sub(b.value, a.value, width);
-        sign = +1;
-      }
-      next.push_back({v, sign});
-    }
-    if (terms.size() % 2) next.push_back(terms.back());
-    terms = std::move(next);
-  }
-  NodeId out = terms[0].value;
-  if (terms[0].sign < 0) out = d.neg(out, width);
-  return out;
-}
-
 }  // namespace
 
 netlist::Design generate_const_multiplier(int64_t constant,
@@ -76,8 +17,8 @@ netlist::Design generate_const_multiplier(int64_t constant,
                                           const std::string& name) {
   Design d(name);
   NodeId x = d.input("i0", options.input_width);
-  d.output("o0",
-           build_shift_add(d, x, constant, options.output_width, options.csd));
+  d.output("o0", netlist::build_shift_add(d, x, constant,
+                                          options.output_width, options.csd));
   d.validate();
   return d;
 }
@@ -91,8 +32,8 @@ netlist::Design generate_dot_product(const std::vector<int64_t>& constants,
   for (size_t k = 0; k < constants.size(); ++k) {
     NodeId x = d.input("i" + std::to_string(k), options.input_width);
     products.push_back(
-        build_shift_add(d, x, constants[k], options.output_width,
-                        options.csd));
+        netlist::build_shift_add(d, x, constants[k], options.output_width,
+                                 options.csd));
   }
   while (products.size() > 1) {
     std::vector<NodeId> next;

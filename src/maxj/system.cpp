@@ -1,13 +1,15 @@
 #include "maxj/system.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hlshc::maxj {
 
 SystemEvaluation evaluate_system(const Kernel& kernel,
+                                 synth::NormalizedSynth kernel_synth,
                                  const PcieModel& pcie) {
   SystemEvaluation ev;
-  ev.synth = synth::synthesize_normalized(kernel.design);
+  ev.synth = std::move(kernel_synth);
   ev.kernel_tick_rate_hz = ev.synth.normal.fmax_mhz * 1e6;
   ev.pcie_bound_ops =
       pcie.bytes_per_s() * 8.0 / static_cast<double>(kernel.input_bits);

@@ -32,8 +32,12 @@ struct SystemEvaluation {
   int latency_ticks = 0;              ///< pipeline depth + I/O framing
 };
 
-/// Synthesize the kernel and evaluate the full system against the link.
+/// Evaluate the full system against the link from an already-synthesized
+/// kernel. Synthesis is injected (rather than run here) so the caller
+/// controls the netlist pipeline — flows and benches pass the result of
+/// tools::compile_synth_normalized; tests may synthesize directly.
 SystemEvaluation evaluate_system(const Kernel& kernel,
+                                 synth::NormalizedSynth kernel_synth,
                                  const PcieModel& pcie = {});
 
 }  // namespace hlshc::maxj

@@ -1,0 +1,79 @@
+// Pass registry and pipeline driver for the netlist optimization passes.
+//
+// Passes are named objects composed into a PassManager pipeline that runs
+// them in order, iterating the whole sequence to a fixed point. Every pass
+// execution is wrapped in an obs span plus change/latency metrics, and an
+// optional verifier hook differentially checks the design after each pass
+// that reported changes — the concrete simulator-backed verifier lives in
+// sim/verify.hpp to keep this layer free of a sim dependency. This mirrors
+// the pass-manager shape of production HLS middle-ends: the frontends emit
+// naive netlists and rely on one shared, instrumented cleanup pipeline.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/passes.hpp"
+
+namespace hlshc::netlist {
+
+/// A named netlist transformation. run() mutates the design in place and
+/// returns the number of rewrites it performed (0 = fixed point reached for
+/// this pass). Passes that rebuild the design (DCE) assign the result back.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual int run(Design& d) = 0;
+};
+
+/// Checks a transformed design against its pre-pass original, returning a
+/// divergence description or std::nullopt when behaviour is preserved.
+using PassVerifier = std::function<std::optional<std::string>(
+    const Design& before, const Design& after)>;
+
+struct PipelineOptions {
+  bool fixed_point = true;  ///< iterate the sequence until no pass changes
+  int max_iterations = 10;  ///< safety bound on fixed-point rounds
+  /// When set, runs after every pass that reported changes; a non-empty
+  /// result aborts the pipeline with an Error naming the offending pass.
+  PassVerifier verifier;
+};
+
+/// An ordered pipeline of passes. Immutable once built; run() never mutates
+/// the input design.
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+  /// Adds a registered pass by name (throws Error on unknown names).
+  PassManager& add(const std::string& pass_name);
+
+  size_t size() const { return passes_.size(); }
+  std::vector<std::string> pass_names() const;
+
+  /// Runs the pipeline over a copy of `d`. Per-pass breakdowns accumulate
+  /// into `stats` (merged, not overwritten). Throws Error with the pass name
+  /// when options.verifier reports a divergence.
+  Design run(const Design& d, PassStats* stats = nullptr,
+             const PipelineOptions& options = {}) const;
+
+ private:
+  std::vector<std::shared_ptr<Pass>> passes_;
+};
+
+/// Names accepted by make_pass()/PassManager::add, in default-pipeline order.
+std::vector<std::string> registered_pass_names();
+
+/// Instantiates a registered pass by name (throws Error on unknown names).
+std::unique_ptr<Pass> make_pass(const std::string& pass_name);
+
+/// The canonical cleanup pipeline every frontend goes through:
+/// fold_constants [, strength_reduce], mux_simplify, copy_prop, cse,
+/// eliminate_dead. Strength reduction is opt-in because expanding multipliers
+/// changes the DSP/LUT split that Table II normalizes over.
+PassManager default_pipeline(bool strength_reduce = false);
+
+}  // namespace hlshc::netlist

@@ -8,14 +8,40 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "netlist/ir.hpp"
 
 namespace hlshc::netlist {
 
+/// One pass execution inside a pipeline: which pass ran, on which pipeline
+/// iteration, how many rewrites it made, and the node-count/wall-time cost.
+struct PassRun {
+  std::string pass;
+  int iteration = 0;       ///< fixed-point round the run belonged to
+  int changes = 0;         ///< rewritten operand slots / replaced nodes
+  size_t nodes_before = 0;
+  size_t nodes_after = 0;
+  int64_t wall_ns = 0;
+};
+
 struct PassStats {
   int folded = 0;    ///< nodes replaced by constants
   int removed = 0;   ///< dead nodes eliminated
+  int iterations = 0;          ///< fixed-point rounds executed
+  std::vector<PassRun> runs;   ///< per-pass breakdown, in execution order
+
+  int total_changes() const;
+  /// Node counts at the pipeline boundaries (0 when no pass ran).
+  size_t nodes_before() const;
+  size_t nodes_after() const;
+  /// Nodes eliminated end-to-end (negative if a pass expanded the design).
+  int64_t nodes_delta() const {
+    return static_cast<int64_t>(nodes_before()) -
+           static_cast<int64_t>(nodes_after());
+  }
+  void merge(const PassStats& other);
 };
 
 /// Evaluates every node whose operands are all constants and replaces it
@@ -26,7 +52,37 @@ PassStats fold_constants(Design& d);
 /// next-values, and memory writes. Returns the new design; `d` is untouched.
 Design eliminate_dead(const Design& d, PassStats* stats = nullptr);
 
-/// fold_constants + eliminate_dead, returning the cleaned design.
+/// Hash-based common-subexpression elimination: combinational nodes with
+/// identical (op, width, imm, resolved operands) are merged onto the earliest
+/// occurrence (commutative ops match either operand order). Duplicates are
+/// left dead for eliminate_dead. Returns the number of rewritten references.
+int eliminate_common_subexpr(Design& d);
+
+/// Copy/wire propagation: forwards users of width-preserving wiring nodes
+/// (same-width SExt/ZExt, full-range Slice, shift-by-zero) to the underlying
+/// source. Returns the number of rewritten operand references.
+int propagate_copies(Design& d);
+
+/// Mux and boolean/arithmetic identity simplification: mux(c,a,a), constant
+/// selects, x&0, x|~0, x^x, x+0, x-0, x*{0,1,-1}, double Not/Neg, and
+/// comparisons of a node with itself. Rewrites nodes in place (using SExt as
+/// the width-adapted copy). Returns the number of rewrites.
+int simplify_mux_bool(Design& d);
+
+/// Multiply-by-constant strength reduction: expands Mul nodes with exactly
+/// one Const operand into the CSD shift-add form used by `synth/csd` (the
+/// paper's hand-optimization recipe, applied mechanically). Returns the
+/// number of multiplies expanded.
+int strength_reduce_mults(Design& d);
+
+/// Builds `x * constant` as a shift-add/sub tree at `width` bits, using CSD
+/// recoding (csd=true) or plain binary digits. Shared by strength reduction
+/// and the framework's arithmetic-unit generator.
+NodeId build_shift_add(Design& d, NodeId x, int64_t constant, int width,
+                       bool csd);
+
+/// fold_constants + eliminate_dead iterated to a joint fixed point via
+/// PassManager, returning the cleaned design.
 Design optimize(const Design& d, PassStats* stats = nullptr);
 
 // ---- structural building blocks shared by the hardening transforms --------

@@ -1,0 +1,35 @@
+// Differential design verification for the compile pipeline.
+//
+// diff_designs() drives two designs with identical random stimulus and
+// compares every output every cycle, on both the interpreter and the
+// compiled engine — the oracle the PassManager's verify-after-each-pass mode
+// uses to catch a miscompiling pass the moment it runs. It lives in sim (not
+// netlist) so the pass layer stays simulator-free; make_pass_verifier()
+// adapts it to the netlist::PassVerifier hook.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netlist/pass_manager.hpp"
+
+namespace hlshc::sim {
+
+struct VerifyOptions {
+  int cycles = 24;            ///< clocked steps per engine
+  uint64_t seed = 2026;       ///< stimulus generator seed
+};
+
+/// Simulates `before` and `after` in lockstep on random stimulus (full-width
+/// values, both engines) and returns a description of the first divergence —
+/// mismatched ports, or an output differing on some cycle — or std::nullopt
+/// when the designs are indistinguishable on this stimulus.
+std::optional<std::string> diff_designs(const netlist::Design& before,
+                                        const netlist::Design& after,
+                                        const VerifyOptions& options = {});
+
+/// Wraps diff_designs() as the PassManager verification hook.
+netlist::PassVerifier make_pass_verifier(const VerifyOptions& options = {});
+
+}  // namespace hlshc::sim

@@ -1,0 +1,67 @@
+// The single canonical frontend -> synthesis path.
+//
+// Every flow, bench, fault campaign, and DSE sweep funnels its emitted
+// netlist through tools::compile before anything is measured: the default
+// PassManager pipeline (fold, mux/bool simplify, copy-prop, CSE, DCE —
+// optionally CSD strength reduction) runs to a fixed point, per-pass stats
+// are captured for RunReports and Table II, and an optional verify mode
+// differentially simulates every pass against its input. A CI guard script
+// (scripts/check_pipeline_guard.sh) keeps direct synthesize()/optimize()
+// calls from creeping back into flows and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluate.hpp"
+#include "netlist/pass_manager.hpp"
+#include "synth/synthesize.hpp"
+
+namespace hlshc::tools {
+
+struct CompileOptions {
+  bool optimize = true;          ///< run the pass pipeline at all
+  bool strength_reduce = false;  ///< expand const multiplies to CSD trees
+  /// Differentially simulate after every pass (both engines); a divergence
+  /// aborts compilation with an Error naming the pass.
+  bool verify = false;
+  int verify_cycles = 24;
+  uint64_t verify_seed = 2026;
+  int max_iterations = 10;       ///< fixed-point bound for the pipeline
+};
+
+struct CompiledDesign {
+  netlist::Design design;
+  netlist::PassStats stats;
+};
+
+/// Runs the canonical pipeline over `design` (a no-op copy when
+/// options.optimize is false).
+CompiledDesign compile(const netlist::Design& design,
+                       const CompileOptions& options = {});
+
+/// compile() followed by a single synthesis run.
+synth::SynthReport compile_synth(const netlist::Design& design,
+                                 const CompileOptions& options = {},
+                                 const synth::SynthOptions& synth_options = {});
+
+/// compile() followed by the paper's two normalized runs (default DSP
+/// mapping + maxdsp=0). Pass stats are merged into `stats` when given.
+synth::NormalizedSynth compile_synth_normalized(
+    const netlist::Design& design, const CompileOptions& options = {},
+    const synth::SynthOptions& synth_options = {},
+    netlist::PassStats* stats = nullptr);
+
+/// compile() followed by the full Section III.C measurement procedure; the
+/// pipeline's per-pass breakdown lands in DesignEvaluation::pipeline.
+core::DesignEvaluation evaluate_design(
+    const netlist::Design& design, const CompileOptions& options = {},
+    const core::EvaluateOptions& eval_options = {});
+
+/// Human-readable per-pass breakdown table (bench_table2 --verbose,
+/// bench_passes): one row per pass run with iteration, changes, node counts
+/// and wall time.
+std::string render_pass_breakdown(const std::string& design_name,
+                                  const netlist::PassStats& stats);
+
+}  // namespace hlshc::tools

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "base/strings.hpp"
+#include "tools/compile.hpp"
 #include "bsv/designs.hpp"
 #include "chisel/designs.hpp"
 #include "core/diff.hpp"
@@ -28,7 +29,8 @@ int code_loc(const std::string& rel) {
 
 ScatterPoint point(const std::string& family, const std::string& config,
                    const DesignEvaluation& ev) {
-  return ScatterPoint{family, config, ev.throughput_mops, ev.area};
+  return ScatterPoint{family, config, ev.throughput_mops, ev.area,
+                      static_cast<long>(ev.pipeline.nodes_delta())};
 }
 
 /// Wraps a deferred evaluation into a SweepTask. `eval` must be
@@ -55,8 +57,8 @@ class VerilogFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = core::evaluate_axis_design(rtl::build_verilog_initial());
-    r.optimized = core::evaluate_axis_design(rtl::build_verilog_opt2());
+    r.initial = evaluate_design(rtl::build_verilog_initial());
+    r.optimized = evaluate_design(rtl::build_verilog_opt2());
     r.loc.initial = code_loc("verilog/idct_initial.v");
     r.loc.optimized = code_loc("verilog/idct_opt.v");
     r.loc.delta = core::diff_data_files("verilog/idct_initial.v",
@@ -67,13 +69,13 @@ class VerilogFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "initial", [] {
-      return core::evaluate_axis_design(rtl::build_verilog_initial());
+      return evaluate_design(rtl::build_verilog_initial());
     }));
     out.push_back(task(family(), "opt1-1row8col", [] {
-      return core::evaluate_axis_design(rtl::build_verilog_opt1());
+      return evaluate_design(rtl::build_verilog_opt1());
     }));
     out.push_back(task(family(), "opt2-pipelined", [] {
-      return core::evaluate_axis_design(rtl::build_verilog_opt2());
+      return evaluate_design(rtl::build_verilog_opt2());
     }));
     return out;
   }
@@ -90,8 +92,8 @@ class ChiselFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = core::evaluate_axis_design(chisel::build_chisel_initial());
-    r.optimized = core::evaluate_axis_design(chisel::build_chisel_opt());
+    r.initial = evaluate_design(chisel::build_chisel_initial());
+    r.optimized = evaluate_design(chisel::build_chisel_opt());
     int shared = code_loc("chisel/Butterfly.scala");
     r.loc.initial = shared + code_loc("chisel/IdctInitial.scala");
     r.loc.optimized = shared + code_loc("chisel/IdctOpt.scala");
@@ -103,10 +105,10 @@ class ChiselFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "initial", [] {
-      return core::evaluate_axis_design(chisel::build_chisel_initial());
+      return evaluate_design(chisel::build_chisel_initial());
     }));
     out.push_back(task(family(), "opt", [] {
-      return core::evaluate_axis_design(chisel::build_chisel_opt());
+      return evaluate_design(chisel::build_chisel_opt());
     }));
     return out;
   }
@@ -156,8 +158,8 @@ class BsvFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = core::evaluate_axis_design(bsv::build_bsv_initial());
-    r.optimized = core::evaluate_axis_design(bsv::build_bsv_opt());
+    r.initial = evaluate_design(bsv::build_bsv_initial());
+    r.optimized = evaluate_design(bsv::build_bsv_opt());
     int shared = code_loc("bsv/IdctFuncs.bsv");
     r.loc.initial = shared + code_loc("bsv/IdctInitial.bsv");
     r.loc.optimized = shared + code_loc("bsv/IdctOpt.bsv");
@@ -170,10 +172,10 @@ class BsvFlow : public Flow {
     std::vector<SweepTask> out;
     for (const auto& cfg : bsv_configs()) {
       out.push_back(task(family(), "initial:" + bsv_label(cfg), [cfg] {
-        return core::evaluate_axis_design(bsv::build_bsv_initial(cfg));
+        return evaluate_design(bsv::build_bsv_initial(cfg));
       }));
       out.push_back(task(family(), "opt:" + bsv_label(cfg), [cfg] {
-        return core::evaluate_axis_design(bsv::build_bsv_opt(cfg));
+        return evaluate_design(bsv::build_bsv_opt(cfg));
       }));
     }
     return out;  // 26 circuits
@@ -192,9 +194,9 @@ class XlsFlow : public Flow {
     FlowResult r;
     r.info = info();
     r.initial =
-        core::evaluate_axis_design(xls::build_xls_design({0}).design);
+        evaluate_design(xls::build_xls_design({0}).design);
     r.optimized =
-        core::evaluate_axis_design(xls::build_xls_design({8}).design);
+        evaluate_design(xls::build_xls_design({8}).design);
     // L = kernel source + hand-crafted adapter (+ codegen options for the
     // optimized configuration).
     int base = code_loc("dslx/idct.x") + code_loc("dslx/axis_adapter.v");
@@ -207,12 +209,12 @@ class XlsFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "comb", [] {
-      return core::evaluate_axis_design(xls::build_xls_design({0}).design);
+      return evaluate_design(xls::build_xls_design({0}).design);
     }));
     for (int stages = 1; stages <= 18; ++stages)
       out.push_back(
           task(family(), "stages=" + std::to_string(stages), [stages] {
-            return core::evaluate_axis_design(
+            return evaluate_design(
                 xls::build_xls_design({stages}).design);
           }));
     return out;  // 19 circuits
@@ -232,10 +234,17 @@ class MaxjFlow : public Flow {
     r.info = info();
     maxj::Kernel init = maxj::build_matrix_kernel();
     maxj::Kernel opt = maxj::build_row_kernel();
-    r.initial = core::from_maxj("maxj_matrix", init,
-                                maxj::evaluate_system(init));
-    r.optimized =
-        core::from_maxj("maxj_row", opt, maxj::evaluate_system(opt));
+    netlist::PassStats init_stats, opt_stats;
+    r.initial = core::from_maxj(
+        "maxj_matrix", init,
+        maxj::evaluate_system(init, compile_synth_normalized(
+                                        init.design, {}, {}, &init_stats)));
+    r.initial.pipeline = init_stats;
+    r.optimized = core::from_maxj(
+        "maxj_row", opt,
+        maxj::evaluate_system(
+            opt, compile_synth_normalized(opt.design, {}, {}, &opt_stats)));
+    r.optimized.pipeline = opt_stats;
     // MaxCompiler generates the PCIe interface: L_AXI = 0; the manager is
     // part of the description.
     int shared =
@@ -251,11 +260,23 @@ class MaxjFlow : public Flow {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "matrix-per-tick", [] {
       maxj::Kernel k = maxj::build_matrix_kernel();
-      return core::from_maxj("maxj_matrix", k, maxj::evaluate_system(k));
+      netlist::PassStats ps;
+      DesignEvaluation ev = core::from_maxj(
+          "maxj_matrix", k,
+          maxj::evaluate_system(
+              k, compile_synth_normalized(k.design, {}, {}, &ps)));
+      ev.pipeline = ps;
+      return ev;
     }));
     out.push_back(task(family(), "row-per-tick", [] {
       maxj::Kernel k = maxj::build_row_kernel();
-      return core::from_maxj("maxj_row", k, maxj::evaluate_system(k));
+      netlist::PassStats ps;
+      DesignEvaluation ev = core::from_maxj(
+          "maxj_row", k,
+          maxj::evaluate_system(
+              k, compile_synth_normalized(k.design, {}, {}, &ps)));
+      ev.pipeline = ps;
+      return ev;
     }));
     return out;
   }
@@ -278,9 +299,9 @@ class BambuFlow : public Flow {
     best.preset = hls::BambuPreset::kPerformanceMp;
     best.speculative_sdc = true;
     r.initial =
-        core::evaluate_axis_design(hls::compile_bambu(src, init).design);
+        evaluate_design(hls::compile_bambu(src, init).design);
     r.optimized =
-        core::evaluate_axis_design(hls::compile_bambu(src, best).design);
+        evaluate_design(hls::compile_bambu(src, best).design);
     int base = code_loc("c/idct.c") + code_loc("c/axis_adapter.v");
     int conf = code_loc("c/bambu_opt.cfg");
     r.loc.initial = base;
@@ -295,8 +316,7 @@ class BambuFlow : public Flow {
     eo.matrices = 3;  // hundreds of cycles per matrix: keep the sweep quick
     for (const hls::BambuOptions& o : hls::bambu_sweep())
       out.push_back(task(family(), o.label(), [src, o, eo] {
-        return core::evaluate_axis_design(hls::compile_bambu(src, o).design,
-                                          eo);
+        return evaluate_design(hls::compile_bambu(src, o).design, {}, eo);
       }));
     return out;  // 42 circuits
   }
@@ -317,10 +337,10 @@ class VhlsFlow : public Flow {
     hls::VhlsOptions opt;
     opt.pragmas = true;
     r.initial =
-        core::evaluate_axis_design(hls::compile_vhls(src, {}).design,
-                                   slow_options());
+        evaluate_design(hls::compile_vhls(src, {}).design, {},
+                        slow_options());
     r.optimized =
-        core::evaluate_axis_design(hls::compile_vhls(src, opt).design);
+        evaluate_design(hls::compile_vhls(src, opt).design);
     r.loc.initial = code_loc("c/idct_vhls.c");
     r.loc.optimized = code_loc("c/idct_vhls_opt.c");
     r.loc.delta =
@@ -331,8 +351,8 @@ class VhlsFlow : public Flow {
     const std::string src = hls::idct_source();
     std::vector<SweepTask> out;
     out.push_back(task(family(), "push-button", [src] {
-      return core::evaluate_axis_design(hls::compile_vhls(src, {}).design,
-                                        slow_options());
+      return evaluate_design(hls::compile_vhls(src, {}).design, {},
+                             slow_options());
     }));
     for (int stages : {1, 2}) {
       hls::VhlsOptions o;
@@ -340,7 +360,7 @@ class VhlsFlow : public Flow {
       o.pipeline_stages = stages;
       out.push_back(task(family(), "pragmas-s" + std::to_string(stages),
                          [src, o] {
-                           return core::evaluate_axis_design(
+                           return evaluate_design(
                                hls::compile_vhls(src, o).design);
                          }));
     }
@@ -510,8 +530,12 @@ std::string render_table2(const Table2& table) {
        [](const DesignEvaluation& e) { return format_grouped(e.n_ff); });
   both("N_DSP",
        [](const DesignEvaluation& e) { return format_grouped(e.n_dsp); });
-  both("N_IO",
-       [](const DesignEvaluation& e) { return format_grouped(e.n_io); });
+  both("Pipeline dN nodes", [](const DesignEvaluation& e) {
+    return std::to_string(e.pipeline.nodes_delta());
+  });
+  both("Pipeline iterations", [](const DesignEvaluation& e) {
+    return std::to_string(e.pipeline.iterations);
+  });
   row(
       "Functional",
       [](const Table2Column& c) {
@@ -529,7 +553,8 @@ std::string table2_csv(const Table2& table) {
   std::ostringstream os;
   os << "tool,config,loc,delta_loc,automation_pct,quality,controllability_"
         "pct,flexibility,fmax_mhz,throughput_mops,latency,periodicity,area,"
-        "n_lut_star,n_ff_star,n_lut,n_ff,n_dsp,n_io,functional\n";
+        "n_lut_star,n_ff_star,n_lut,n_ff,n_dsp,n_io,pipeline_nodes_before,"
+        "pipeline_nodes_after,functional\n";
   auto row = [&](const Table2Column& c, bool opt) {
     const core::DesignEvaluation& e = opt ? c.flow.optimized : c.flow.initial;
     os << c.flow.info.tool << ',' << (opt ? "optimized" : "initial") << ','
@@ -544,6 +569,7 @@ std::string table2_csv(const Table2& table) {
        << ',' << format_fixed(e.periodicity_cycles, 1) << ',' << e.area
        << ',' << e.n_lut_star << ',' << e.n_ff_star << ',' << e.n_lut << ','
        << e.n_ff << ',' << e.n_dsp << ',' << e.n_io << ','
+       << e.pipeline.nodes_before() << ',' << e.pipeline.nodes_after() << ','
        << (e.functional ? "yes" : "no") << '\n';
   };
   for (const Table2Column& c : table.columns) {

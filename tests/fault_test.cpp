@@ -373,7 +373,8 @@ TEST(Resilience, EvaluateJoinsCampaignWithCostModel) {
   CampaignOptions opts;
   opts.matrices = 2;
   opts.max_cycles = 5000;
-  DesignResilience r = evaluate_resilience(d, sites, opts);
+  DesignResilience r =
+      evaluate_resilience(d, sites, synth::synthesize_normalized(d), opts);
   EXPECT_TRUE(r.campaign.reference_functional);
   EXPECT_EQ(r.campaign.counts.total(), 12);
   EXPECT_GT(r.fmax_mhz, 0.0);

@@ -184,8 +184,14 @@ TEST(RowKernel, EightRowsPerNineTicks) {
 
 // ---- system model -----------------------------------------------------------------
 
+/// Tests synthesize the kernel directly (the production path goes through
+/// tools::compile_synth_normalized; see scripts/check_pipeline_guard.sh).
+SystemEvaluation eval_kernel(const Kernel& k) {
+  return evaluate_system(k, synth::synthesize_normalized(k.design));
+}
+
 TEST(System, MatrixKernelIsPcieBound) {
-  SystemEvaluation ev = evaluate_system(build_matrix_kernel());
+  SystemEvaluation ev = eval_kernel(build_matrix_kernel());
   // Paper: throughput equals PCIe 3.0 x16 bandwidth / 1024-bit matrices,
   // about 125 Mops/s, with the kernel clock well above that.
   EXPECT_TRUE(ev.pcie_limited);
@@ -195,7 +201,7 @@ TEST(System, MatrixKernelIsPcieBound) {
 }
 
 TEST(System, RowKernelIsFrequencyBound) {
-  SystemEvaluation ev = evaluate_system(build_row_kernel());
+  SystemEvaluation ev = eval_kernel(build_row_kernel());
   EXPECT_FALSE(ev.pcie_limited);
   EXPECT_DOUBLE_EQ(ev.throughput_ops, ev.kernel_bound_ops);
   // Periodicity 9: kernel bound = f / 9.
@@ -205,8 +211,8 @@ TEST(System, RowKernelIsFrequencyBound) {
 TEST(System, RowKernelTradesThroughputForArea) {
   // Paper: the row kernel occupies ~2.8x less area at ~2.7x less
   // throughput, leaving quality slightly better.
-  SystemEvaluation init = evaluate_system(build_matrix_kernel());
-  SystemEvaluation opt = evaluate_system(build_row_kernel());
+  SystemEvaluation init = eval_kernel(build_matrix_kernel());
+  SystemEvaluation opt = eval_kernel(build_row_kernel());
   double area_ratio = static_cast<double>(init.synth.area()) /
                       static_cast<double>(opt.synth.area());
   double perf_ratio = init.throughput_ops / opt.throughput_ops;
@@ -218,7 +224,7 @@ TEST(System, RowKernelTradesThroughputForArea) {
 
 TEST(System, KernelsHaveHighestClockOfTheStudy) {
   // The paper's MaxJ kernels run at 403 MHz — far above every AXI design.
-  SystemEvaluation ev = evaluate_system(build_matrix_kernel());
+  SystemEvaluation ev = eval_kernel(build_matrix_kernel());
   EXPECT_GT(ev.synth.normal.fmax_mhz, 200.0);
 }
 

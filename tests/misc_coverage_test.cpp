@@ -36,7 +36,8 @@ TEST(TimingPath, UtilizationAgainstDevice) {
 
 TEST(MaxjConversion, FromMaxjFillsEveryField) {
   maxj::Kernel k = maxj::build_row_kernel();
-  maxj::SystemEvaluation ev = maxj::evaluate_system(k);
+  maxj::SystemEvaluation ev =
+      maxj::evaluate_system(k, synth::synthesize_normalized(k.design));
   core::DesignEvaluation d = core::from_maxj("probe", k, ev);
   EXPECT_EQ(d.name, "probe");
   EXPECT_TRUE(d.functional);

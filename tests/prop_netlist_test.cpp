@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.hpp"
+#include "framework/arithgen.hpp"
 #include "netlist/instantiate.hpp"
 #include "netlist/ir.hpp"
+#include "netlist/pass_manager.hpp"
 #include "netlist/passes.hpp"
 #include "netlist/verilog.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace hlshc::netlist {
@@ -96,6 +99,28 @@ std::vector<int64_t> run_trace(const Design& d, uint64_t input_seed,
   return trace;
 }
 
+/// Engine-kind-generic trace (interpreter or compiled): `cycles` with
+/// pseudorandom full-width inputs; returns all output values seen.
+std::vector<int64_t> run_engine_trace(const Design& d, sim::EngineKind kind,
+                                      uint64_t input_seed, int cycles = 20) {
+  std::unique_ptr<sim::Engine> eng = sim::make_engine(d, kind);
+  eng->reset();
+  SplitMix64 rng(input_seed);
+  std::vector<int64_t> trace;
+  for (int t = 0; t < cycles; ++t) {
+    for (NodeId in : d.inputs()) {
+      const Node& n = d.node(in);
+      eng->set_input(n.name,
+                     BitVec(n.width, static_cast<int64_t>(rng.next())));
+    }
+    eng->eval();
+    for (NodeId out : d.outputs())
+      trace.push_back(eng->output(d.node(out).name).to_int64());
+    eng->step();
+  }
+  return trace;
+}
+
 class RandomNetlist : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomNetlist, ConstantFoldingPreservesBehaviour) {
@@ -112,6 +137,57 @@ TEST_P(RandomNetlist, OptimizePreservesBehaviour) {
   EXPECT_LE(optimized.node_count(), original.node_count());
   EXPECT_EQ(run_trace(original, GetParam() * 7 + 5),
             run_trace(optimized, GetParam() * 7 + 5));
+}
+
+TEST_P(RandomNetlist, EveryRegisteredPassPreservesBehaviour) {
+  Design original = random_design(GetParam());
+  for (const std::string& pass : registered_pass_names()) {
+    Design transformed = original;
+    make_pass(pass)->run(transformed);
+    transformed.validate();
+    for (sim::EngineKind kind :
+         {sim::EngineKind::kInterpreter, sim::EngineKind::kCompiled}) {
+      EXPECT_EQ(run_engine_trace(original, kind, GetParam() * 13 + 2),
+                run_engine_trace(transformed, kind, GetParam() * 13 + 2))
+          << "pass '" << pass << "' on " << sim::engine_kind_name(kind)
+          << " engine";
+    }
+  }
+}
+
+TEST_P(RandomNetlist, FullPipelinePreservesBehaviour) {
+  Design original = random_design(GetParam());
+  PassStats stats;
+  Design compiled = default_pipeline(/*strength_reduce=*/true)
+                        .run(original, &stats);
+  compiled.validate();
+  EXPECT_GE(stats.iterations, 1);
+  for (sim::EngineKind kind :
+       {sim::EngineKind::kInterpreter, sim::EngineKind::kCompiled}) {
+    EXPECT_EQ(run_engine_trace(original, kind, GetParam() * 17 + 3),
+              run_engine_trace(compiled, kind, GetParam() * 17 + 3))
+        << "full pipeline on " << sim::engine_kind_name(kind) << " engine";
+  }
+}
+
+TEST_P(RandomNetlist, PipelinePreservesArithgenDotProducts) {
+  // Dot products with random constants: the strength-reduction / CSE
+  // stress case (every multiplier is already an explicit shift-add tree).
+  SplitMix64 rng(GetParam() * 19 + 7);
+  std::vector<int64_t> constants;
+  for (int i = 0; i < 4; ++i) constants.push_back(rng.next_in(-2048, 2047));
+  framework::ArithGenOptions opts;
+  opts.csd = (GetParam() % 2) == 0;
+  Design original = framework::generate_dot_product(
+      constants, opts, "dp_" + std::to_string(GetParam()));
+  Design compiled = default_pipeline(/*strength_reduce=*/true).run(original);
+  compiled.validate();
+  EXPECT_LE(compiled.node_count(), original.node_count());
+  for (sim::EngineKind kind :
+       {sim::EngineKind::kInterpreter, sim::EngineKind::kCompiled}) {
+    EXPECT_EQ(run_engine_trace(original, kind, GetParam() + 23),
+              run_engine_trace(compiled, kind, GetParam() + 23));
+  }
 }
 
 TEST_P(RandomNetlist, InstantiationPreservesBehaviour) {
