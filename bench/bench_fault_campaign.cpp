@@ -27,6 +27,7 @@
 #include "fault/model.hpp"
 #include "netlist/ir.hpp"
 #include "obs/report.hpp"
+#include "base/check.hpp"
 #include "par/pool.hpp"
 #include "rtl/designs.hpp"
 #include "tools/compile.hpp"
@@ -99,7 +100,12 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+      try {
+        jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
     } else {
       sites = std::atoi(argv[i]);
     }

@@ -20,6 +20,7 @@
 #include "base/strings.hpp"
 #include "core/report.hpp"
 #include "obs/report.hpp"
+#include "base/check.hpp"
 #include "par/pool.hpp"
 #include "tools/flows.hpp"
 
@@ -48,12 +49,14 @@ bool same_points(const std::vector<hlshc::core::ScatterPoint>& a,
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      jobs = std::atoi(argv[++i]);
-  if (jobs < 0) {
-    std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
-    return 1;
-  }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      try {
+        jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\nusage: %s [--jobs N]\n", e.what(), argv[0]);
+        return 1;
+      }
+    }
   if (jobs == 0) jobs = hlshc::par::default_jobs();
 
   std::puts("=== Fig. 1: design space exploration for IDCT ===");

@@ -28,6 +28,8 @@
 #include "core/evaluate.hpp"
 #include "hls/tool.hpp"
 #include "obs/report.hpp"
+#include "base/check.hpp"
+#include "par/pool.hpp"
 #include "par/sweep.hpp"
 #include "rtl/designs.hpp"
 #include "tools/compile.hpp"
@@ -122,12 +124,14 @@ std::vector<PointResult> run_sweep(const std::vector<DesignPoint>& pts,
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      jobs = std::atoi(argv[++i]);
-  if (jobs < 0) {
-    std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
-    return 1;
-  }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      try {
+        jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\nusage: %s [--jobs N]\n", e.what(), argv[0]);
+        return 1;
+      }
+    }
   if (jobs == 0) jobs = hlshc::par::default_jobs();
 
   std::puts("=== Compile-pipeline ablation: pipeline off vs on ===\n");

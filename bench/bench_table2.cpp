@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "base/strings.hpp"
+#include "base/check.hpp"
 #include "par/pool.hpp"
 #include "tools/compile.hpp"
 #include "tools/flows.hpp"
@@ -23,14 +24,17 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      jobs = std::atoi(argv[++i]);
-    else if (std::strcmp(argv[i], "--verbose") == 0)
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      try {
+        jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\nusage: %s [--jobs N] [--verbose]\n",
+                     e.what(), argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
-  }
-  if (jobs < 0) {
-    std::fprintf(stderr, "usage: %s [--jobs N] [--verbose]\n", argv[0]);
-    return 1;
+    }
   }
   std::puts("=== Table II: HLS/HC tools evaluation results ===");
   std::puts("(all designs verified bit-exact against the ISO 13818-4 "

@@ -44,6 +44,24 @@ check '\bsynthesize(_normalized)?\(' 'synth::synthesize'
 # optimize, so require the qualified or free-function form).
 check '(netlist::|[^_[:alnum:].>])optimize\(' 'netlist::optimize'
 
+# The service layer (src/svc) must route every compile through the
+# tools::compile entry via its DesignCache — running PassManager or
+# individual passes directly from the service would bypass the pipeline's
+# verify wiring while looking like a normal compile to clients.
+svc_hits=$(grep -rnE 'PassManager|make_default_pipeline|run_pass\(' \
+    src/svc --include='*.cpp' --include='*.hpp' || true)
+if [ -n "$svc_hits" ]; then
+  echo "ERROR: src/svc drives the pass pipeline directly:" >&2
+  echo "$svc_hits" >&2
+  echo "The service must compile through tools::compile (svc/cache.hpp)." >&2
+  fail=1
+fi
+if ! grep -q 'tools::compile(' src/svc/cache.cpp; then
+  echo "ERROR: src/svc/cache.cpp no longer routes through tools::compile —" \
+       "the service compile path lost its canonical entry." >&2
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "pipeline guard: OK (all flows route through tools::compile)"
 fi

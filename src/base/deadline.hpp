@@ -1,0 +1,80 @@
+// Deadline tokens: cooperative wall-clock budgets for long-running work.
+//
+// The simulation watchdog (sim::SimTimeout) bounds one run in *cycles*; a
+// Deadline generalizes that to wall time across a whole request — compile,
+// simulate, synthesize, campaign — so the synthesis service can promise "this
+// request either finishes or fails with deadline_exceeded within its budget"
+// no matter which inner loop the time went to. The token is checked
+// cooperatively at natural loop boundaries (between passes, every few hundred
+// simulated cycles, between campaign sites); a check is one steady_clock read,
+// cheap enough for those granularities while keeping every loop interruptible.
+//
+// Tokens are immutable after construction and shared by const pointer, so one
+// request's deadline can be handed to the pass pipeline, several engines, and
+// a campaign at once without synchronization.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/check.hpp"
+
+namespace hlshc {
+
+/// Structured "wall-clock budget exhausted" outcome, the wall-time analogue
+/// of sim::SimTimeout. Service handlers map it to a `deadline_exceeded`
+/// response instead of wedging a worker.
+class DeadlineExceeded : public Error {
+ public:
+  DeadlineExceeded(const std::string& context, int64_t budget_ms)
+      : Error(context + " [DeadlineExceeded after " +
+              std::to_string(budget_ms) + " ms budget]"),
+        budget_ms_(budget_ms) {}
+
+  int64_t budget_ms() const { return budget_ms_; }
+
+ private:
+  int64_t budget_ms_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline `budget_ms` from now. Non-positive budgets are legal and
+  /// already expired — tests use them for deterministic expiry.
+  static Deadline after_ms(int64_t budget_ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(budget_ms),
+                    budget_ms);
+  }
+
+  /// Shared-token convenience: the form every consumer hook stores.
+  static std::shared_ptr<const Deadline> shared_after_ms(int64_t budget_ms) {
+    return std::make_shared<const Deadline>(after_ms(budget_ms));
+  }
+
+  bool expired() const { return Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (negative once past it).
+  int64_t remaining_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(at_ -
+                                                                 Clock::now())
+        .count();
+  }
+
+  /// Throws DeadlineExceeded naming `context` once the deadline passed.
+  void check(const std::string& context) const {
+    if (expired()) throw DeadlineExceeded(context, budget_ms_);
+  }
+
+ private:
+  Deadline(Clock::time_point at, int64_t budget_ms)
+      : at_(at), budget_ms_(budget_ms) {}
+
+  Clock::time_point at_;
+  int64_t budget_ms_ = 0;  ///< original budget, for error messages
+};
+
+}  // namespace hlshc

@@ -18,6 +18,7 @@ DesignEvaluation evaluate_axis_design(const netlist::Design& design,
 
   // 1+2: simulate, verify, measure.
   std::unique_ptr<sim::Engine> sim = sim::make_engine(design, options.engine);
+  if (options.deadline) sim->set_deadline(options.deadline);
   axis::StreamTestbench tb(*sim);
   SplitMix64 rng(options.seed);
   std::vector<idct::Block> ins;

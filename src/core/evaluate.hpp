@@ -13,8 +13,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "base/deadline.hpp"
 #include "maxj/system.hpp"
 #include "netlist/ir.hpp"
 #include "netlist/passes.hpp"
@@ -51,6 +53,9 @@ struct EvaluateOptions {
   /// is the default; the interpreter is the differential-testing oracle.
   sim::EngineKind engine = sim::EngineKind::kCompiled;
   synth::SynthOptions synth;
+  /// Per-request wall budget (synthesis service): armed on the measurement
+  /// engine so a runaway simulation throws DeadlineExceeded mid-run.
+  std::shared_ptr<const Deadline> deadline;
 };
 
 /// Full procedure for a canonical-port AXI-Stream design.

@@ -112,11 +112,33 @@ std::vector<std::string> detector_ports(const Design& d) {
 
 namespace {
 
+/// Shared disarm state for a campaign's progress callbacks. A user callback
+/// that throws must not take the campaign down with it (under jobs > 1 the
+/// exception would abort the pool loop mid-shard): the first throw is
+/// recorded here and every later tick skips the callback entirely.
+struct ProgressGuard {
+  std::atomic<bool> disarmed{false};
+  std::mutex mutex;
+  std::string error;  ///< what() of the first throw (guarded by mutex)
+};
+
 void report_progress(const CampaignOptions& options,
-                     const CampaignProgress& progress) {
+                     const CampaignProgress& progress,
+                     ProgressGuard* guard) {
   obs::tracer().instant("campaign.progress", "fault");
   if (options.on_progress) {
-    options.on_progress(progress);
+    if (guard->disarmed.load(std::memory_order_acquire)) return;
+    try {
+      options.on_progress(progress);
+    } catch (const std::exception& e) {
+      guard->disarmed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(guard->mutex);
+      if (guard->error.empty()) guard->error = e.what();
+    } catch (...) {
+      guard->disarmed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(guard->mutex);
+      if (guard->error.empty()) guard->error = "unknown exception";
+    }
     return;
   }
   // The leading figure is the completed-site count, never a site index —
@@ -213,6 +235,7 @@ CampaignReport run_campaign(const Design& d,
   // read of the design. Capture the plan identity to assert the "compiled
   // exactly once" contract across the whole campaign.
   std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
+  if (options.deadline) sim->set_deadline(options.deadline);
   const std::shared_ptr<const void> plan_before = d.cached_exec_plan();
   std::vector<idct::Block> reference;
   {
@@ -226,6 +249,7 @@ CampaignReport run_campaign(const Design& d,
 
   const std::vector<std::string> detectors = detector_ports(d);
   const int total = static_cast<int>(sites.size());
+  ProgressGuard progress_guard;
 
   if (jobs == 1) {
     // Serial loop: the tier-1 path, byte-identical to the pre-parallel
@@ -240,7 +264,8 @@ CampaignReport run_campaign(const Design& d,
       ++completed;
       if (options.progress_every > 0 &&
           completed % options.progress_every == 0)
-        report_progress(options, {d.name(), completed, total, report.counts});
+        report_progress(options, {d.name(), completed, total, report.counts},
+                        &progress_guard);
     }
   } else {
     // Parallel loop: sites shard over the pool in chunks; each worker lazily
@@ -259,7 +284,10 @@ CampaignReport run_campaign(const Design& d,
         static_cast<int64_t>(sites.size()), [&](int worker, int64_t i) {
           std::unique_ptr<sim::Engine>& engine =
               engines[static_cast<size_t>(worker)];
-          if (!engine) engine = sim::make_engine(d, options.engine);
+          if (!engine) {
+            engine = sim::make_engine(d, options.engine);
+            if (options.deadline) engine->set_deadline(options.deadline);
+          }
           const Outcome outcome =
               classify_site(*engine, sites[static_cast<size_t>(i)], inputs,
                             golden, detectors, options);
@@ -276,7 +304,8 @@ CampaignReport run_campaign(const Design& d,
             CampaignCounts running{masked.load(), sdc.load(), detected.load(),
                                    hang.load()};
             std::lock_guard<std::mutex> lock(progress_mutex);
-            report_progress(options, {d.name(), done, total, running});
+            report_progress(options, {d.name(), done, total, running},
+                            &progress_guard);
           }
         });
     if (options.keep_runs) report.runs.reserve(sites.size());
@@ -286,6 +315,7 @@ CampaignReport run_campaign(const Design& d,
     }
   }
 
+  report.progress_error = progress_guard.error;
   if (options.engine == sim::EngineKind::kCompiled)
     HLSHC_CHECK(d.cached_exec_plan().get() == plan_before.get(),
                 "ExecPlan for '" << d.name()

@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/deadline.hpp"
 #include "fault/model.hpp"
 #include "idct/block.hpp"
 #include "netlist/ir.hpp"
@@ -79,6 +81,11 @@ struct CampaignOptions {
   /// tracer additionally records an instant event per tick when active.
   /// Thread-safe under jobs > 1: invocations are serialized on a mutex and
   /// rate-limited by the atomic completion counter.
+  ///
+  /// Crash isolation: an exception thrown by the callback can neither abort
+  /// nor deadlock the campaign — it is caught, recorded once in
+  /// CampaignReport::progress_error, and further callbacks are disarmed for
+  /// the rest of the campaign. The outcome counts and run log are unaffected.
   std::function<void(const CampaignProgress&)> on_progress;
   /// Worker count for the site loop. 1 (the default) runs the classic
   /// serial loop; 0 means "all cores" (HLSHC_JOBS / hardware_concurrency);
@@ -87,6 +94,10 @@ struct CampaignOptions {
   /// are bitwise identical at every jobs value: each site's classification
   /// is a pure function of (design, site, input set).
   int jobs = 1;
+  /// Per-request wall budget (synthesis service): armed on every campaign
+  /// engine, so a whole campaign aborts with DeadlineExceeded mid-run
+  /// instead of overrunning its budget site by site.
+  std::shared_ptr<const Deadline> deadline;
 };
 
 struct RunRecord {
@@ -99,6 +110,10 @@ struct CampaignReport {
   bool reference_functional = false;  ///< fault-free run matches the C model
   CampaignCounts counts;
   std::vector<RunRecord> runs;  ///< empty unless options.keep_runs
+  /// what() of the first exception a user on_progress callback threw (empty
+  /// when none did). A throwing callback is disarmed after this one record;
+  /// the campaign itself runs to completion either way.
+  std::string progress_error;
 };
 
 /// The campaign stimulus: IEEE 1180 (L,H)=(256,255) spatial blocks pushed

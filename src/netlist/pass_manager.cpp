@@ -86,6 +86,9 @@ Design PassManager::run(const Design& d, PassStats* stats,
     changed = false;
     for (const auto& pass : passes_) {
       const std::string pass_name = pass->name();
+      if (options.deadline)
+        options.deadline->check("compile pipeline for design '" + d.name() +
+                                "' before pass '" + pass_name + '\'');
       // Keep the pre-pass design only when a verifier will want it.
       Design before = options.verifier ? work : Design(std::string());
       PassRun run;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.hpp"
 #include "netlist/passes.hpp"
 
 namespace hlshc::netlist {
@@ -41,6 +42,10 @@ struct PipelineOptions {
   /// When set, runs after every pass that reported changes; a non-empty
   /// result aborts the pipeline with an Error naming the offending pass.
   PassVerifier verifier;
+  /// When set, the pipeline checks the token before every pass and aborts
+  /// with DeadlineExceeded once it expires — the per-request wall budget of
+  /// the synthesis service reaches into the compile inner loop through this.
+  std::shared_ptr<const Deadline> deadline;
 };
 
 /// An ordered pipeline of passes. Immutable once built; run() never mutates

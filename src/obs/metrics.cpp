@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace hlshc::obs {
@@ -17,11 +18,31 @@ int64_t now_ns() {
       .count();
 }
 
+int64_t Histogram::percentile(double p) const {
+  const int64_t n = count();
+  if (n <= 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested sample, 1-based; walk buckets to find it and
+  // report that bucket's inclusive upper bound (2^bucket - 1).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(p * static_cast<double>(n) + 0.5));
+  int64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank)
+      return b >= 63 ? max()
+                     : static_cast<int64_t>((uint64_t{1} << b) - 1);
+  }
+  return max();
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 Json Registry::to_json() const {
@@ -45,6 +66,19 @@ Json Registry::to_json() const {
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
   out.set("timers", std::move(timers));
+  if (!histograms_.empty()) {
+    Json histograms = Json::object();
+    for (const auto& [name, h] : histograms_) {
+      Json entry = Json::object();
+      entry.set("count", Json::number(h.count()));
+      entry.set("sum", Json::number(h.sum()));
+      entry.set("p50", Json::number(h.percentile(0.5)));
+      entry.set("p99", Json::number(h.percentile(0.99)));
+      entry.set("max", Json::number(h.max()));
+      histograms.set(name, std::move(entry));
+    }
+    out.set("histograms", std::move(histograms));
+  }
   return out;
 }
 

@@ -15,7 +15,9 @@
 // sorts keys so BENCH_*.json metric blocks diff cleanly across PRs.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -78,6 +80,49 @@ class Timer {
   std::atomic<int64_t> count_{0};
 };
 
+/// Latency distribution: a lock-free log2-bucketed histogram. A Timer gives
+/// totals and counts; the service layer also needs tail percentiles (p50 /
+/// p99 request latency for RunReports and the overload bench), which a
+/// total can't recover. record(v) increments the bucket indexed by
+/// bit_width(v) — 64 buckets cover the full int64 range at 2x resolution,
+/// plenty for "is p99 5ms or 500ms" questions. percentile() reports the
+/// upper bound of the bucket containing the requested rank, so estimates
+/// are conservative (never under-report a tail). All updates are relaxed
+/// atomics; snapshots taken after workers quiesce are exact.
+class Histogram {
+ public:
+  void record(int64_t v) {
+    if (v < 0) v = 0;
+    const int bucket =
+        64 - std::countl_zero(static_cast<uint64_t>(v));  // bit_width
+    buckets_[static_cast<size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Racy max: two writers may both read a stale max, but a CAS loop keeps
+    // the final value correct.
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket holding the `p`-quantile sample (p in
+  /// [0, 1]); 0 when empty. p=0.5 → p50, p=0.99 → p99.
+  int64_t percentile(double p) const;
+
+ private:
+  friend class Registry;
+  std::array<std::atomic<int64_t>, 65> buckets_{};  ///< index = bit_width(v)
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
 /// RAII timer: measures from construction to destruction and records into
 /// the named Timer — but only when obs::enabled() was true at construction,
 /// so a disabled run never reads the clock.
@@ -115,14 +160,20 @@ class Registry {
     std::lock_guard<std::mutex> lock(mutex_);
     return &timers_[name];
   }
+  Histogram* histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return &histograms_[name];
+  }
 
   /// Drop every metric (tests; bench sections). Must not race live updates:
   /// callers quiesce workers first (map nodes die here).
   void reset();
 
   /// {"counters": {...}, "gauges": {...}, "timers": {name: {total_ns,
-  /// count}}} with keys sorted (std::map iteration order). Zero-valued
-  /// metrics are included — absence means "never registered".
+  /// count}}, "histograms": {name: {count, sum, p50, p99, max}}} with keys
+  /// sorted (std::map iteration order). Zero-valued metrics are included —
+  /// absence means "never registered". The histograms key is omitted while
+  /// no histogram is registered, keeping pre-existing report bytes stable.
   Json to_json() const;
 
  private:
@@ -130,6 +181,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Timer> timers_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// The process-wide registry used by all instrumented subsystems.

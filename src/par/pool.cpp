@@ -1,21 +1,35 @@
 #include "par/pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
+#include "base/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace hlshc::par {
 
+int parse_jobs(std::string_view text, std::string_view what) {
+  const std::string s(text);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  // First-char digit check: strtol quietly skips leading whitespace and
+  // accepts sign characters, neither of which is a worker count.
+  HLSHC_CHECK(!s.empty() && s[0] >= '0' && s[0] <= '9' &&
+                  end == s.c_str() + s.size() && errno == 0,
+              what << " must be a decimal worker count, got '" << s << '\'');
+  HLSHC_CHECK(v > 0, what << " must be a positive worker count, got '" << s
+                          << "' (use 1 for serial; omit the option for all "
+                             "cores)");
+  return static_cast<int>(std::min(v, static_cast<long>(kMaxJobs)));
+}
+
 int default_jobs() {
-  if (const char* env = std::getenv("HLSHC_JOBS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0)
-      return static_cast<int>(std::min(v, 256L));
-  }
+  if (const char* env = std::getenv("HLSHC_JOBS"))
+    return parse_jobs(env, "HLSHC_JOBS");
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -41,13 +41,27 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace hlshc::par {
 
-/// Default worker count: the HLSHC_JOBS environment variable when set to a
-/// positive integer, otherwise std::thread::hardware_concurrency (at least
+/// Hard ceiling on worker counts (absurd values are clamped here, not
+/// rejected — 10000 workers is a typo for "lots", not a semantic request).
+inline constexpr int kMaxJobs = 256;
+
+/// The one validator for user-provided worker counts (the HLSHC_JOBS
+/// environment variable, every bench's --jobs flag, the service daemon's
+/// --jobs flag). Accepts a positive decimal integer, clamps values above
+/// kMaxJobs, and throws hlshc::Error naming `what` on anything else —
+/// "0", "-2", "8cores" and "" are configuration mistakes that should fail
+/// loudly, not silently fall back to some other worker count.
+int parse_jobs(std::string_view text, std::string_view what);
+
+/// Default worker count: the HLSHC_JOBS environment variable when set
+/// (validated through parse_jobs — a malformed value throws rather than
+/// being ignored), otherwise std::thread::hardware_concurrency (at least
 /// 1). Read on every call so tests can vary the environment.
 int default_jobs();
 

@@ -43,6 +43,11 @@ void Engine::step() {
     throw SimTimeout("cycle budget exhausted in design '" + design_.name() +
                          '\'',
                      cycle_);
+  // Deadline poll every 256 cycles: one clock read per poll, one pointer
+  // test per step when disarmed — cheap enough for multi-million-cycle runs
+  // while keeping any simulation interruptible within its wall budget.
+  if (deadline_ && (cycle_ & 0xFF) == 0 && deadline_->expired())
+    deadline_->check("simulation of design '" + design_.name() + '\'');
   if (!evaluated_) eval();
   // Sample the settled pre-edge state — these are the values being latched,
   // so toggle/write accounting sees exactly what the clock edge sees.

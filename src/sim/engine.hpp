@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "base/bitvec.hpp"
+#include "base/deadline.hpp"
 #include "netlist/ir.hpp"
 
 namespace hlshc::sim {
@@ -153,6 +154,17 @@ class Engine {
   void set_cycle_budget(uint64_t max_cycles) { cycle_budget_ = max_cycles; }
   uint64_t cycle_budget() const { return cycle_budget_; }
 
+  /// Wall-clock budget, the service-layer generalization of the cycle
+  /// watchdog: step() polls the shared token every 256 cycles and throws
+  /// DeadlineExceeded once it expires, so a runaway request fails inside
+  /// its budget instead of wedging a worker. nullptr (default) disarms.
+  void set_deadline(std::shared_ptr<const Deadline> deadline) {
+    deadline_ = std::move(deadline);
+  }
+  const std::shared_ptr<const Deadline>& deadline() const {
+    return deadline_;
+  }
+
   /// Arms (or, with nullptr, disarms) a fault injector. The injector must
   /// outlive its armed period; its combinational targets are validated here.
   void set_fault_injector(FaultInjector* injector);
@@ -199,6 +211,7 @@ class Engine {
   const netlist::Design& design_;
   uint64_t cycle_ = 0;
   uint64_t cycle_budget_ = 0;  ///< 0 = unbounded
+  std::shared_ptr<const Deadline> deadline_;  ///< nullptr = unbounded
   bool evaluated_ = false;
   FaultInjector* injector_ = nullptr;
   std::vector<uint8_t> inject_mask_;  ///< per-node: transform() applies

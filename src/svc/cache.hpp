@@ -1,0 +1,105 @@
+// Content-addressed cache of compiled designs for the synthesis service.
+//
+// The service's hot path is "compile this design with these options" — and
+// identical requests are the common case for a daemon fronting many clients
+// (the same design resubmitted, a campaign re-run, a DSE point revisited).
+// The cache keys on *content*, not on the request: the key is a 64-bit
+// FNV-1a hash of the netlist's canonical text dump (netlist::dump_text, one
+// stable line per node) combined with the compile-option fingerprint, so two
+// differently-named requests for structurally identical designs share one
+// entry, and any structural or option difference misses.
+//
+// A hit returns a shared_ptr<const Design> whose derived caches (validation,
+// topo order, the compiled-engine ExecPlan) were warmed once at insertion —
+// after that, any number of worker threads can build engines over the entry
+// concurrently without mutating it (the same pre-warm contract the parallel
+// fault campaign relies on).
+//
+// Bounded by construction: a byte budget (sum of per-entry size estimates)
+// and an entry budget, enforced by LRU eviction at insert time. The newest
+// entry is never evicted by its own insertion — a single oversized design
+// simply occupies the whole cache until something newer lands. Hits, misses,
+// evictions and current occupancy are exported as svc.cache.* metrics.
+//
+// Thread-safe. Lookups and insertions take one mutex; the compile itself
+// runs outside it, so a slow compile never blocks hits on other keys. Two
+// threads racing on the same missing key may both compile; the second
+// insert is dropped in favour of the first (counted as its own miss).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "netlist/ir.hpp"
+#include "netlist/passes.hpp"
+#include "tools/compile.hpp"
+
+namespace hlshc::svc {
+
+/// 64-bit FNV-1a of `text` as a 16-hex-digit string.
+std::string content_hash(std::string_view text);
+
+struct CacheConfig {
+  size_t max_bytes = 8u << 20;  ///< sum of entry size estimates
+  size_t max_entries = 64;
+};
+
+struct CachedCompile {
+  std::shared_ptr<const netlist::Design> design;  ///< the compiled design
+  netlist::PassStats stats;       ///< pass breakdown of the original compile
+  std::string key;                ///< cache key (input hash + options)
+  std::string result_hash;        ///< content hash of the compiled design
+  bool hit = false;
+};
+
+class DesignCache {
+ public:
+  explicit DesignCache(CacheConfig config = {});
+
+  /// The cache key for (design, options): input content hash + option bits.
+  static std::string fingerprint(const netlist::Design& design,
+                                 const tools::CompileOptions& options);
+
+  /// Returns the cached compile for (design, options), running
+  /// tools::compile and warming the entry's derived caches on a miss.
+  /// Propagates whatever the compile throws (nothing is inserted then).
+  CachedCompile get_or_compile(const netlist::Design& design,
+                               const tools::CompileOptions& options);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    size_t bytes = 0;    ///< current occupancy (size estimates)
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const netlist::Design> design;
+    netlist::PassStats stats;
+    std::string result_hash;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru;  ///< position in lru_ (back = MRU)
+  };
+
+  void evict_over_budget_locked();
+  void publish_metrics_locked();
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = least recently used
+  size_t bytes_ = 0;
+  int64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace hlshc::svc

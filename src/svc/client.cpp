@@ -1,0 +1,113 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hlshc::svc {
+
+using obs::Json;
+
+Client::Client(Server& server, RetryPolicy policy)
+    : server_(server), policy_(policy), rng_state_(policy.seed) {
+  HLSHC_CHECK(policy_.max_attempts >= 1,
+              "retry policy needs at least one attempt, got "
+                  << policy_.max_attempts);
+}
+
+uint64_t Client::next_random() {
+  // splitmix64: tiny, deterministic, and good enough to decorrelate two
+  // clients' backoff schedules.
+  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int64_t Client::backoff_ms(int retry, int hint_ms) {
+  double base = policy_.initial_backoff_ms;
+  for (int i = 1; i < retry; ++i) base *= policy_.multiplier;
+  // Jitter scales by a uniform factor in [1-j, 1+j]; the server's
+  // retry_after_ms hint is a floor, not a target — it states the earliest
+  // moment a retry can possibly help.
+  const double unit =
+      static_cast<double>(next_random() >> 11) / 9007199254740992.0;  // [0,1)
+  const double factor = 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+  const int64_t jittered = static_cast<int64_t>(base * factor);
+  return std::max<int64_t>({jittered, hint_ms, 0});
+}
+
+Json Client::call_raw(const std::string& method, const Json& params,
+                      int64_t deadline_ms) {
+  Json req = Json::object();
+  req.set("id", Json::number(next_id_++));
+  req.set("method", Json::string(method));
+  if (params.is_object()) req.set("params", params);
+  if (deadline_ms > 0) req.set("deadline_ms", Json::number(deadline_ms));
+  return Json::parse(server_.handle(req.dump()));
+}
+
+Json Client::call(const std::string& method, Json params,
+                  int64_t deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto spent_ms = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  ErrorCode last_code = ErrorCode::kInternalError;
+  std::string last_message = "no attempt made";
+  int attempts_made = 0;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++attempts_made;
+    const Json response = call_raw(method, params, deadline_ms);
+    const Json* ok = response.find("ok");
+    if (ok && ok->kind() == Json::Kind::kBool && ok->as_bool()) {
+      const Json* result = response.find("result");
+      return result ? *result : Json::object();
+    }
+
+    // Decode the error envelope; a response that fails to carry one is
+    // itself an internal error (the server promises the shape).
+    last_code = ErrorCode::kInternalError;
+    last_message = "response carried no error envelope";
+    int hint_ms = 0;
+    if (const Json* error = response.find("error")) {
+      if (const Json* message = error->find("message"))
+        if (message->kind() == Json::Kind::kString)
+          last_message = message->as_string();
+      if (const Json* hint = error->find("retry_after_ms"))
+        if (hint->kind() == Json::Kind::kNumber)
+          hint_ms = static_cast<int>(hint->as_int());
+      if (const Json* code = error->find("code"))
+        if (code->kind() == Json::Kind::kString) {
+          const std::string& name = code->as_string();
+          for (const ErrorCode c :
+               {ErrorCode::kInvalidRequest, ErrorCode::kUnknownMethod,
+                ErrorCode::kOversizedRequest, ErrorCode::kOverloaded,
+                ErrorCode::kDeadlineExceeded, ErrorCode::kInternalError}) {
+            if (name == error_code_name(c)) {
+              last_code = c;
+              break;
+            }
+          }
+        }
+    }
+
+    if (!is_transient(last_code) || attempt == policy_.max_attempts) break;
+    const int64_t delay = backoff_ms(attempt, hint_ms);
+    if (policy_.budget_ms > 0 && spent_ms() + delay > policy_.budget_ms)
+      break;  // the budget admits no further attempt
+    ++retries_;
+    obs::count("svc.client.retries");
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  throw RpcError(last_code, last_message, attempts_made);
+}
+
+}  // namespace hlshc::svc

@@ -1,0 +1,89 @@
+// svc::Client — the in-process client with the retry policy the service's
+// error contract is designed for.
+//
+// The split of error codes into transient (overloaded) and permanent
+// (everything else) only pays off if callers honour it, so the reference
+// client encodes the policy once: retry *only* transient failures, back off
+// exponentially with deterministic jitter, respect the server's
+// retry_after_ms hint as a floor, and stop when either the attempt budget or
+// the wall budget runs out. Tests and benches drive the server through this
+// client; anything speaking the line protocol from outside gets the same
+// behaviour by copying this loop.
+//
+// Jitter is deterministic (a splitmix64 stream seeded per client) so the
+// overload soak test is reproducible; two clients with different seeds still
+// decorrelate their retry storms, which is the point of jitter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace hlshc::svc {
+
+/// A structured failure surfaced to client callers: the response's error
+/// code plus its message (after retries were exhausted, for transient codes).
+class RpcError : public Error {
+ public:
+  RpcError(ErrorCode code, const std::string& message, int attempts)
+      : Error(std::string(error_code_name(code)) + ": " + message + " (" +
+              std::to_string(attempts) + " attempt" +
+              (attempts == 1 ? "" : "s") + ')'),
+        code_(code),
+        attempts_(attempts) {}
+
+  ErrorCode code() const { return code_; }
+  int attempts() const { return attempts_; }
+
+ private:
+  ErrorCode code_;
+  int attempts_;
+};
+
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total tries, including the first
+  int initial_backoff_ms = 1;    ///< base delay before attempt 2
+  double multiplier = 2.0;       ///< exponential growth per retry
+  double jitter = 0.5;           ///< backoff scaled by [1-jitter, 1+jitter]
+  int64_t budget_ms = 0;         ///< total wall budget; 0 = attempts only
+  uint64_t seed = 2026;          ///< jitter stream seed
+};
+
+class Client {
+ public:
+  /// Binds to an in-process server. The server must outlive the client.
+  explicit Client(Server& server, RetryPolicy policy = {});
+
+  /// Issues one request and returns the response's "result" object.
+  /// Transient failures (overloaded) are retried per the policy; any other
+  /// failure — and a transient one that survives the policy — throws
+  /// RpcError carrying the final code and the attempt count.
+  obs::Json call(const std::string& method,
+                 obs::Json params = obs::Json::object(),
+                 int64_t deadline_ms = 0);
+
+  /// Raw request/response round trip, no retries: returns the parsed
+  /// response line for a caller that wants the envelope itself.
+  obs::Json call_raw(const std::string& method, const obs::Json& params,
+                     int64_t deadline_ms);
+
+  int64_t retries() const { return retries_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  /// Backoff before retry number `retry` (1-based), honouring the server's
+  /// retry_after_ms hint as a floor and jittering deterministically.
+  int64_t backoff_ms(int retry, int hint_ms);
+  uint64_t next_random();  ///< splitmix64
+
+  Server& server_;
+  RetryPolicy policy_;
+  uint64_t rng_state_;
+  int64_t next_id_ = 1;
+  int64_t retries_ = 0;
+};
+
+}  // namespace hlshc::svc

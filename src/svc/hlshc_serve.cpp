@@ -1,0 +1,79 @@
+// hlshc_serve — the synthesis service daemon.
+//
+// Reads one JSON request per line on stdin, writes one JSON response per
+// line on stdout (in request order), and keeps serving through malformed,
+// oversized, expired, and crashing requests. See src/svc/protocol.hpp for
+// the wire contract and README.md for a quickstart.
+//
+//   echo '{"id":1,"method":"compile","params":{"design":"verilog_opt2"}}' |
+//     ./hlshc_serve --jobs 4
+//
+// Flags:
+//   --jobs N          worker threads (default HLSHC_JOBS, else 1)
+//   --queue N         admission-queue capacity (default 16)
+//   --deadline-ms N   default per-request wall budget (default 0 = none)
+//   --cache-mb N      compiled-design cache byte budget (default 8)
+//   --cache-entries N compiled-design cache entry budget (default 64)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "par/pool.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--jobs N] [--queue N] [--deadline-ms N] [--cache-mb N]"
+               " [--cache-entries N]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hlshc;
+
+  svc::ServerOptions options;
+  options.workers = par::default_jobs();
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--jobs") {
+        options.workers = par::parse_jobs(value(), "--jobs");
+      } else if (arg == "--queue") {
+        options.queue_capacity = par::parse_jobs(value(), "--queue");
+      } else if (arg == "--deadline-ms") {
+        options.default_deadline_ms = std::stoll(value());
+      } else if (arg == "--cache-mb") {
+        options.cache.max_bytes = std::stoull(value()) << 20;
+      } else if (arg == "--cache-entries") {
+        options.cache.max_entries = std::stoull(value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else {
+        std::cerr << "unknown flag '" << arg << "'\n";
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad flag value: " << e.what() << '\n';
+    return 2;
+  }
+
+  try {
+    svc::Server server(options);
+    server.serve(std::cin, std::cout);
+  } catch (const std::exception& e) {
+    // Only construction can land here — per-request failures are answered
+    // on the wire, never thrown out of serve().
+    std::cerr << "fatal: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,447 @@
+#include "svc/server.hpp"
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "chisel/designs.hpp"
+#include "core/evaluate.hpp"
+#include "fault/campaign.hpp"
+#include "fault/model.hpp"
+#include "netlist/dump.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rtl/designs.hpp"
+#include "tools/flows.hpp"
+
+namespace hlshc::svc {
+
+using obs::Json;
+
+namespace {
+
+// ---- typed params access (every mismatch is an invalid_request) ----------
+
+const Json* find_param(const Json& params, const char* key) {
+  return params.find(key);
+}
+
+std::string require_string(const Json& params, const char* key) {
+  const Json* v = find_param(params, key);
+  if (!v || v->kind() != Json::Kind::kString)
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        std::string("params.") + key +
+                            " must be a string and is required");
+  return v->as_string();
+}
+
+int64_t get_int(const Json& params, const char* key, int64_t fallback,
+                int64_t min, int64_t max) {
+  const Json* v = find_param(params, key);
+  if (!v) return fallback;
+  if (v->kind() != Json::Kind::kNumber)
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        std::string("params.") + key + " must be a number");
+  const int64_t n = v->as_int();
+  if (n < min || n > max)
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        std::string("params.") + key + " = " +
+                            std::to_string(n) + " outside [" +
+                            std::to_string(min) + ", " + std::to_string(max) +
+                            ']');
+  return n;
+}
+
+bool get_bool(const Json& params, const char* key, bool fallback) {
+  const Json* v = find_param(params, key);
+  if (!v) return fallback;
+  if (v->kind() != Json::Kind::kBool)
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        std::string("params.") + key + " must be a bool");
+  return v->as_bool();
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.cache),
+      queue_(options.workers, options.queue_capacity) {
+  register_design("verilog_initial", rtl::build_verilog_initial);
+  register_design("verilog_opt1", rtl::build_verilog_opt1);
+  register_design("verilog_opt2", rtl::build_verilog_opt2);
+  register_design("chisel_initial", chisel::build_chisel_initial);
+  register_design("chisel_opt", chisel::build_chisel_opt);
+}
+
+Server::~Server() = default;
+
+void Server::register_design(const std::string& name,
+                             std::function<netlist::Design()> builder) {
+  HLSHC_CHECK(builder != nullptr, "null design builder for '" << name << '\'');
+  std::lock_guard<std::mutex> lock(designs_mutex_);
+  designs_[name] = std::move(builder);
+}
+
+std::vector<std::string> Server::design_names() const {
+  std::lock_guard<std::mutex> lock(designs_mutex_);
+  std::vector<std::string> names;
+  names.reserve(designs_.size());
+  for (const auto& [name, builder] : designs_) names.push_back(name);
+  return names;
+}
+
+std::future<std::string> Server::submit(const std::string& line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  const int64_t admitted_ns = obs::now_ns();
+  obs::count("svc.requests");
+
+  Request req;
+  try {
+    req = parse_request(line, options_.max_request_bytes);
+  } catch (const ProtocolError& e) {
+    finish(error_code_name(e.code()), admitted_ns);
+    promise->set_value(
+        error_response(Json(), e.code(), e.what()).dump());
+    return future;
+  }
+
+  const int64_t budget_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+  std::shared_ptr<const Deadline> deadline;
+  if (budget_ms > 0) deadline = Deadline::shared_after_ms(budget_ms);
+
+  const bool accepted = queue_.try_submit(
+      [this, promise, req = std::move(req), deadline, admitted_ns]() mutable {
+        promise->set_value(process(req, deadline, admitted_ns));
+      });
+  if (!accepted) {
+    // Shed at admission: O(1), no handler work consumed, and the hint tells
+    // a well-behaved client how long to back off before retrying.
+    obs::count("svc.shed");
+    finish("overloaded", admitted_ns);
+    promise->set_value(
+        error_response(req.id, ErrorCode::kOverloaded,
+                       "admission queue full (capacity " +
+                           std::to_string(options_.queue_capacity) + ')',
+                       options_.retry_after_ms)
+            .dump());
+  }
+  return future;
+}
+
+std::string Server::handle(const std::string& line) {
+  return submit(line).get();
+}
+
+void Server::serve(std::istream& in, std::ostream& out) {
+  std::deque<std::future<std::string>> pending;
+  const auto flush_ready = [&](bool block) {
+    while (!pending.empty() &&
+           (block || pending.front().wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready)) {
+      out << pending.front().get() << '\n';
+      out.flush();
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool shutdown = false;
+    try {
+      shutdown = parse_request(line, options_.max_request_bytes).method ==
+                 "shutdown";
+    } catch (const ProtocolError&) {
+      // submit() below answers with the structured error.
+    }
+    pending.push_back(submit(line));
+    flush_ready(/*block=*/false);
+    if (shutdown) break;
+  }
+  flush_ready(/*block=*/true);
+}
+
+std::string Server::process(const Request& req,
+                            const std::shared_ptr<const Deadline>& deadline,
+                            int64_t admitted_ns) {
+  obs::Span span("svc.request", "svc");
+  span.arg("method", req.method);
+  Json response;
+  std::string outcome = "ok";
+  // Per-request crash isolation: nothing a handler throws escapes this
+  // frame — the worker thread, the queue, and the other requests live on.
+  try {
+    if (deadline)
+      deadline->check("request '" + req.method + "' dequeued after " +
+                      std::to_string((obs::now_ns() - admitted_ns) / 1000000) +
+                      " ms in queue");
+    response = ok_response(req.id, dispatch(req, deadline));
+  } catch (const ProtocolError& e) {
+    outcome = error_code_name(e.code());
+    response = error_response(req.id, e.code(), e.what(), e.retry_after_ms());
+  } catch (const DeadlineExceeded& e) {
+    outcome = error_code_name(ErrorCode::kDeadlineExceeded);
+    response =
+        error_response(req.id, ErrorCode::kDeadlineExceeded, e.what());
+  } catch (const std::exception& e) {
+    outcome = error_code_name(ErrorCode::kInternalError);
+    response = error_response(req.id, ErrorCode::kInternalError, e.what());
+  } catch (...) {
+    outcome = error_code_name(ErrorCode::kInternalError);
+    response = error_response(req.id, ErrorCode::kInternalError,
+                              "unknown exception in handler");
+  }
+  finish(outcome, admitted_ns);
+  return response.dump();
+}
+
+Json Server::dispatch(const Request& req,
+                      const std::shared_ptr<const Deadline>& deadline) {
+  if (req.method == "ping") {
+    Json result = Json::object();
+    result.set("pong", Json::boolean(true));
+    return result;
+  }
+  if (req.method == "list_designs") {
+    Json names = Json::array();
+    for (const std::string& name : design_names())
+      names.push(Json::string(name));
+    Json result = Json::object();
+    result.set("designs", std::move(names));
+    return result;
+  }
+  if (req.method == "stats") return handle_stats();
+  if (req.method == "shutdown") {
+    Json result = Json::object();
+    result.set("shutting_down", Json::boolean(true));
+    return result;
+  }
+  if (req.method == "compile") return handle_compile(req, deadline);
+  if (req.method == "evaluate") return handle_evaluate(req, deadline);
+  if (req.method == "campaign") return handle_campaign(req, deadline);
+  if (req.method == "dse") return handle_dse(req, deadline);
+  throw ProtocolError(ErrorCode::kUnknownMethod,
+                      "unknown method '" + req.method + '\'');
+}
+
+netlist::Design Server::build_design(const Json& params) const {
+  const std::string name = require_string(params, "design");
+  std::function<netlist::Design()> builder;
+  {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    auto it = designs_.find(name);
+    if (it == designs_.end())
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "unknown design '" + name +
+                              "' (see list_designs)");
+    builder = it->second;
+  }
+  return builder();
+}
+
+tools::CompileOptions Server::compile_options(
+    const Json& params,
+    const std::shared_ptr<const Deadline>& deadline) const {
+  tools::CompileOptions opts = options_.compile;
+  opts.optimize = get_bool(params, "optimize", opts.optimize);
+  opts.strength_reduce =
+      get_bool(params, "strength_reduce", opts.strength_reduce);
+  opts.verify = get_bool(params, "verify", opts.verify);
+  opts.deadline = deadline;
+  return opts;
+}
+
+Json Server::handle_compile(const Request& req,
+                            const std::shared_ptr<const Deadline>& deadline) {
+  const netlist::Design design = build_design(req.params);
+  if (deadline) deadline->check("compile of '" + design.name() + "' (built)");
+  const CachedCompile compiled =
+      cache_.get_or_compile(design, compile_options(req.params, deadline));
+
+  Json result = Json::object();
+  result.set("design", Json::string(design.name()));
+  result.set("cached", Json::boolean(compiled.hit));
+  result.set("key", Json::string(compiled.key));
+  result.set("content_hash", Json::string(compiled.result_hash));
+  result.set("node_count",
+             Json::number(static_cast<int64_t>(compiled.design->node_count())));
+  result.set("iterations",
+             Json::number(static_cast<int64_t>(compiled.stats.iterations)));
+  result.set("nodes_before",
+             Json::number(static_cast<int64_t>(compiled.stats.nodes_before())));
+  result.set("nodes_after",
+             Json::number(static_cast<int64_t>(compiled.stats.nodes_after())));
+  // The full canonical dump on request: the poison test diffs it against a
+  // direct tools::compile to prove the service changes nothing.
+  if (get_bool(req.params, "emit_netlist", false))
+    result.set("netlist", Json::string(netlist::dump_text(*compiled.design)));
+  return result;
+}
+
+Json Server::handle_evaluate(const Request& req,
+                             const std::shared_ptr<const Deadline>& deadline) {
+  const netlist::Design design = build_design(req.params);
+  if (deadline) deadline->check("evaluate of '" + design.name() + "' (built)");
+  // The same decomposition as tools::evaluate_design — compile through the
+  // canonical pipeline (memoized), then the Section III.C measurement — so
+  // the cache applies to the expensive half shared between methods.
+  const CachedCompile compiled =
+      cache_.get_or_compile(design, compile_options(req.params, deadline));
+  core::EvaluateOptions eval;
+  eval.matrices = static_cast<int>(
+      get_int(req.params, "matrices", eval.matrices, 1, 64));
+  eval.max_cycles = static_cast<uint64_t>(get_int(
+      req.params, "max_cycles", static_cast<int64_t>(eval.max_cycles), 1,
+      int64_t{1} << 40));
+  eval.deadline = deadline;
+  const core::DesignEvaluation ev =
+      core::evaluate_axis_design(*compiled.design, eval);
+
+  Json result = Json::object();
+  result.set("design", Json::string(design.name()));
+  result.set("cached", Json::boolean(compiled.hit));
+  result.set("functional", Json::boolean(ev.functional));
+  result.set("latency_cycles", Json::number(ev.latency_cycles));
+  result.set("periodicity_cycles", Json::number(ev.periodicity_cycles));
+  result.set("fmax_mhz", Json::number(ev.fmax_mhz));
+  result.set("throughput_mops", Json::number(ev.throughput_mops));
+  result.set("area", Json::number(static_cast<int64_t>(ev.area)));
+  result.set("quality", Json::number(ev.quality()));
+  return result;
+}
+
+Json Server::handle_campaign(const Request& req,
+                             const std::shared_ptr<const Deadline>& deadline) {
+  const netlist::Design design = build_design(req.params);
+  if (deadline) deadline->check("campaign on '" + design.name() + "' (built)");
+  const CachedCompile compiled =
+      cache_.get_or_compile(design, compile_options(req.params, deadline));
+
+  const int sites =
+      static_cast<int>(get_int(req.params, "sites", 16, 1, 100000));
+  const uint64_t seed = static_cast<uint64_t>(
+      get_int(req.params, "seed", 2026, 0, int64_t{1} << 62));
+  const uint64_t max_cycle =
+      static_cast<uint64_t>(get_int(req.params, "max_cycle", 40, 0, 1 << 20));
+  const std::string kind = [&] {
+    const Json* v = req.params.find("kind");
+    if (!v) return std::string("seu");
+    if (v->kind() != Json::Kind::kString)
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "params.kind must be a string");
+    return v->as_string();
+  }();
+
+  std::vector<fault::FaultSite> fault_sites;
+  if (kind == "seu")
+    fault_sites = fault::sample_seu_sites(*compiled.design, sites, max_cycle,
+                                          seed);
+  else if (kind == "stuck")
+    fault_sites = fault::sample_stuck_sites(*compiled.design, sites, seed);
+  else
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "params.kind must be \"seu\" or \"stuck\", got '" +
+                            kind + '\'');
+
+  fault::CampaignOptions copts;
+  copts.matrices =
+      static_cast<int>(get_int(req.params, "matrices", 2, 1, 64));
+  copts.jobs = static_cast<int>(get_int(req.params, "jobs", 1, 1, 256));
+  copts.progress_every = 0;  // a service response is the progress report
+  copts.keep_runs = false;
+  copts.deadline = deadline;
+  const fault::CampaignReport report =
+      fault::run_campaign(*compiled.design, fault_sites, copts);
+
+  Json counts = Json::object();
+  counts.set("masked", Json::number(report.counts.masked));
+  counts.set("sdc", Json::number(report.counts.sdc));
+  counts.set("detected", Json::number(report.counts.detected));
+  counts.set("hang", Json::number(report.counts.hang));
+  Json result = Json::object();
+  result.set("design", Json::string(design.name()));
+  result.set("cached", Json::boolean(compiled.hit));
+  result.set("reference_functional",
+             Json::boolean(report.reference_functional));
+  result.set("sites", Json::number(report.counts.total()));
+  result.set("counts", std::move(counts));
+  result.set("vulnerability", Json::number(report.counts.vulnerability()));
+  return result;
+}
+
+Json Server::handle_dse(const Request& req,
+                        const std::shared_ptr<const Deadline>& deadline) {
+  const std::string family = require_string(req.params, "flow");
+  const int64_t limit = get_int(req.params, "limit", 1 << 20, 1, 1 << 20);
+
+  std::vector<std::unique_ptr<tools::Flow>> flows = tools::make_flows();
+  const tools::Flow* flow = nullptr;
+  std::string known;
+  for (const auto& f : flows) {
+    if (!known.empty()) known += ", ";
+    known += f->family();
+    if (f->family() == family) flow = f.get();
+  }
+  if (!flow)
+    throw ProtocolError(ErrorCode::kInvalidRequest,
+                        "unknown flow '" + family + "' (known: " + known +
+                            ')');
+
+  Json points = Json::array();
+  int64_t ran = 0;
+  for (const tools::SweepTask& task : flow->sweep_tasks()) {
+    if (ran >= limit) break;
+    if (deadline)
+      deadline->check("DSE sweep '" + family + "' before point " +
+                      task.config);
+    const core::ScatterPoint p = task.run();
+    Json point = Json::object();
+    point.set("family", Json::string(p.family));
+    point.set("config", Json::string(p.config));
+    point.set("throughput_mops", Json::number(p.throughput_mops));
+    point.set("area", Json::number(static_cast<int64_t>(p.area)));
+    point.set("quality", Json::number(p.quality()));
+    points.push(std::move(point));
+    ++ran;
+  }
+  Json result = Json::object();
+  result.set("flow", Json::string(family));
+  result.set("points", std::move(points));
+  return result;
+}
+
+Json Server::handle_stats() const {
+  const DesignCache::Stats cs = cache_.stats();
+  Json cache = Json::object();
+  cache.set("hits", Json::number(cs.hits));
+  cache.set("misses", Json::number(cs.misses));
+  cache.set("evictions", Json::number(cs.evictions));
+  cache.set("bytes", Json::number(static_cast<int64_t>(cs.bytes)));
+  cache.set("entries", Json::number(static_cast<int64_t>(cs.entries)));
+
+  Json queue = Json::object();
+  queue.set("depth", Json::number(queue_.depth()));
+  queue.set("capacity", Json::number(queue_.capacity()));
+  queue.set("workers", Json::number(queue_.workers()));
+  queue.set("accepted", Json::number(queue_.accepted()));
+  queue.set("shed", Json::number(queue_.shed()));
+
+  Json result = Json::object();
+  result.set("cache", std::move(cache));
+  result.set("queue", std::move(queue));
+  if (obs::enabled()) result.set("metrics", obs::registry().to_json());
+  return result;
+}
+
+void Server::finish(const std::string& outcome, int64_t admitted_ns) const {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  reg.counter(outcome == "ok" ? "svc.ok" : "svc.error." + outcome)->add(1);
+  reg.histogram("svc.request_ns")->record(obs::now_ns() - admitted_ns);
+}
+
+}  // namespace hlshc::svc

@@ -1,0 +1,138 @@
+// svc::Server — the in-process synthesis service.
+//
+// A long-running front end over the canonical compile pipeline: requests
+// arrive as line-delimited JSON (protocol.hpp), are admitted through a
+// bounded par::TaskQueue, and are executed by worker threads that route all
+// design work through tools::compile — via the content-hash DesignCache —
+// and the existing evaluation/campaign/DSE machinery. Resilience is the
+// design center, not a bolt-on:
+//
+//   * Admission control: the queue holds at most queue_capacity requests.
+//     A submit against a full queue is *shed immediately* with a structured
+//     `overloaded` response carrying a retry_after_ms hint — backlog can
+//     never grow without bound, and shedding costs O(1).
+//   * Deadlines: each request's wall budget (its "deadline_ms", else the
+//     server default) starts at admission, so time spent queued counts.
+//     The token is re-checked at dequeue and threaded into the pass
+//     pipeline, every simulation engine, and between DSE points; expiry
+//     anywhere surfaces as `deadline_exceeded`, never as a wedged worker.
+//   * Crash isolation: any exception a handler throws — malformed params,
+//     an unknown design, a throwing design builder, an internal bug —
+//     becomes an `internal_error` (or more specific) response carrying the
+//     request id. The daemon keeps serving; the poison-request test feeds
+//     it a hundred hostile requests and then checks a clean compile still
+//     answers bitwise-identically to a direct tools::compile call.
+//   * Caching: compiles are memoized content-addressed (cache.hpp) with
+//     byte/entry budgets and LRU eviction, so a hot design costs one
+//     compile no matter how many clients ask.
+//
+// Metrics (when obs::enabled()): svc.requests / svc.ok / svc.error.<code> /
+// svc.shed counters, the svc.request_ns latency histogram, par.queue.depth
+// and svc.cache.* via their owning layers.
+//
+// The server is in-process by design — tests and benches drive it through
+// svc::Client; the hlshc_serve binary wires serve() to stdin/stdout for the
+// actual daemon. Network transport stays out of scope (and out of the
+// dependency set); the protocol is transport-agnostic lines either way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/deadline.hpp"
+#include "netlist/ir.hpp"
+#include "par/queue.hpp"
+#include "svc/cache.hpp"
+#include "svc/protocol.hpp"
+#include "tools/compile.hpp"
+
+namespace hlshc::svc {
+
+struct ServerOptions {
+  int workers = 1;                  ///< request-executing threads
+  int queue_capacity = 16;          ///< admission bound; beyond it: shed
+  size_t max_request_bytes = 1u << 16;  ///< request-line byte limit
+  int64_t default_deadline_ms = 0;  ///< applied when a request names none
+  int retry_after_ms = 5;           ///< hint attached to overloaded responses
+  CacheConfig cache;
+  /// Base compile options for compile/evaluate/campaign requests; per-request
+  /// params may override optimize/strength_reduce, and the per-request
+  /// deadline token is always attached on top.
+  tools::CompileOptions compile;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  /// Cancels queued requests and joins the workers. Futures of cancelled
+  /// requests report broken_promise; drain via serve()/handle() first for a
+  /// graceful stop.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adds (or replaces) a buildable design. The built-in registry covers the
+  /// paper's Verilog and Chisel families; tests register hostile builders
+  /// (throwing, slow) through the same hook.
+  void register_design(const std::string& name,
+                       std::function<netlist::Design()> builder);
+  std::vector<std::string> design_names() const;
+
+  /// Admits one request line. Never blocks: the returned future resolves to
+  /// the response line — immediately for admission failures (malformed,
+  /// oversized, overloaded), after execution otherwise.
+  std::future<std::string> submit(const std::string& line);
+
+  /// Synchronous convenience: submit(line).get().
+  std::string handle(const std::string& line);
+
+  /// The daemon loop: one request per input line, one response per output
+  /// line, in request order (execution itself overlaps across workers). A
+  /// "shutdown" request drains in-flight work and returns.
+  void serve(std::istream& in, std::ostream& out);
+
+  DesignCache::Stats cache_stats() const { return cache_.stats(); }
+  int queue_depth() const { return queue_.depth(); }
+  int64_t shed_count() const { return queue_.shed(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  std::string process(const Request& req,
+                      const std::shared_ptr<const Deadline>& deadline,
+                      int64_t admitted_ns);
+  obs::Json dispatch(const Request& req,
+                     const std::shared_ptr<const Deadline>& deadline);
+  obs::Json handle_compile(const Request& req,
+                           const std::shared_ptr<const Deadline>& deadline);
+  obs::Json handle_evaluate(const Request& req,
+                            const std::shared_ptr<const Deadline>& deadline);
+  obs::Json handle_campaign(const Request& req,
+                            const std::shared_ptr<const Deadline>& deadline);
+  obs::Json handle_dse(const Request& req,
+                       const std::shared_ptr<const Deadline>& deadline);
+  obs::Json handle_stats() const;
+
+  /// Builds the design named in params.design (kInvalidRequest when absent
+  /// or unregistered). The builder runs on the worker, under the deadline.
+  netlist::Design build_design(const obs::Json& params) const;
+  tools::CompileOptions compile_options(
+      const obs::Json& params,
+      const std::shared_ptr<const Deadline>& deadline) const;
+  void finish(const std::string& outcome, int64_t admitted_ns) const;
+
+  ServerOptions options_;
+  DesignCache cache_;
+  mutable std::mutex designs_mutex_;
+  std::map<std::string, std::function<netlist::Design()>> designs_;
+  par::TaskQueue queue_;  ///< declared last: workers die before the rest
+};
+
+}  // namespace hlshc::svc

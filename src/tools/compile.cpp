@@ -18,6 +18,7 @@ CompiledDesign compile(const netlist::Design& design,
   span.arg("design", design.name());
   netlist::PipelineOptions po;
   po.max_iterations = options.max_iterations;
+  po.deadline = options.deadline;
   if (options.verify) {
     sim::VerifyOptions vo;
     vo.cycles = options.verify_cycles;

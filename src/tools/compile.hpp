@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "base/deadline.hpp"
 #include "core/evaluate.hpp"
 #include "netlist/pass_manager.hpp"
 #include "synth/synthesize.hpp"
@@ -28,6 +30,9 @@ struct CompileOptions {
   int verify_cycles = 24;
   uint64_t verify_seed = 2026;
   int max_iterations = 10;       ///< fixed-point bound for the pipeline
+  /// Per-request wall budget (synthesis service): checked between passes,
+  /// so a compile aborts with DeadlineExceeded instead of overrunning.
+  std::shared_ptr<const Deadline> deadline;
 };
 
 struct CompiledDesign {

@@ -4,6 +4,8 @@
 // parity detects single memory bit-flips).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -239,6 +241,59 @@ TEST(Campaign, ProgressDisabledWithNonPositivePeriod) {
   opts.on_progress = [&](const CampaignProgress&) { ++calls; };
   run_campaign(d, sites, opts);
   EXPECT_EQ(calls, 0);
+}
+
+// A hostile on_progress callback must not be able to abort (or, under
+// jobs > 1, deadlock) the campaign: the exception is caught, recorded once
+// in progress_error, and the callback disarmed. Classification must be
+// untouched — the counts match a clean run exactly.
+TEST(Campaign, ThrowingProgressCallbackIsIsolated) {
+  Design d = mini_echo();
+  std::vector<FaultSite> sites(
+      8, FaultSite{FaultKind::kSeuReg, find_reg(d, "spin"), -1, 0, 2, 1});
+  CampaignOptions opts;
+  opts.matrices = 1;
+  opts.max_cycles = 500;
+  opts.progress_every = 1;  // every completed site would report
+
+  CampaignReport clean = run_campaign(d, sites, opts);
+
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    opts.jobs = jobs;
+    std::atomic<int> calls{0};
+    opts.on_progress = [&](const CampaignProgress&) {
+      ++calls;
+      throw std::runtime_error("progress observer exploded");
+    };
+    CampaignReport rep = run_campaign(d, sites, opts);
+
+    // Disarmed after the first throw: invoked exactly once despite the
+    // every-site cadence over 8 sites.
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_NE(rep.progress_error.find("progress observer exploded"),
+              std::string::npos)
+        << "progress_error: '" << rep.progress_error << '\'';
+    EXPECT_EQ(rep.counts.masked, clean.counts.masked);
+    EXPECT_EQ(rep.counts.sdc, clean.counts.sdc);
+    EXPECT_EQ(rep.counts.detected, clean.counts.detected);
+    EXPECT_EQ(rep.counts.hang, clean.counts.hang);
+    ASSERT_EQ(rep.runs.size(), clean.runs.size());
+    for (size_t i = 0; i < rep.runs.size(); ++i)
+      EXPECT_EQ(rep.runs[i].outcome, clean.runs[i].outcome) << "site " << i;
+  }
+}
+
+TEST(Campaign, WellBehavedCallbackReportsNoProgressError) {
+  Design d = mini_echo();
+  std::vector<FaultSite> sites(
+      3, FaultSite{FaultKind::kSeuReg, find_reg(d, "spin"), -1, 0, 2, 1});
+  CampaignOptions opts;
+  opts.matrices = 1;
+  opts.max_cycles = 500;
+  opts.progress_every = 1;
+  opts.on_progress = [](const CampaignProgress&) {};
+  EXPECT_TRUE(run_campaign(d, sites, opts).progress_error.empty());
 }
 
 TEST(Campaign, TransientGlitchOnDataPathIsSdcOrMasked) {

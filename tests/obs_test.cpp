@@ -134,6 +134,40 @@ TEST_F(ObsTest, CounterGaugeTimerSemantics) {
   EXPECT_EQ(t->count(), 2);
 }
 
+TEST_F(ObsTest, HistogramBucketsCountsAndPercentiles) {
+  obs::Registry& reg = obs::registry();
+  obs::Histogram* h = reg.histogram("t.hist");
+  EXPECT_EQ(reg.histogram("t.hist"), h);  // same name -> same metric
+  EXPECT_EQ(h->percentile(0.5), 0);       // empty: all quantiles 0
+
+  // 90 fast samples and 10 slow ones: p50 lands in the fast band, p99 in
+  // the slow band. Percentiles are conservative bucket upper bounds
+  // (2^bit_width(v) - 1), so assert band membership, not exact values.
+  for (int i = 0; i < 90; ++i) h->record(100);
+  for (int i = 0; i < 10; ++i) h->record(100000);
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_EQ(h->sum(), 90 * 100 + 10 * 100000);
+  EXPECT_EQ(h->max(), 100000);
+  EXPECT_GE(h->percentile(0.5), 100);
+  EXPECT_LT(h->percentile(0.5), 100000);
+  EXPECT_GE(h->percentile(0.99), 100000);
+
+  h->record(0);          // zero lands in the first bucket, not UB
+  h->record(-5);         // negatives clamp to zero
+  EXPECT_EQ(h->count(), 102);
+
+  // Histograms appear in the JSON export once non-empty, and reset clears.
+  const obs::Json snapshot = reg.to_json();
+  const obs::Json* hists = snapshot.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::Json* entry = hists->find("t.hist");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("count")->as_int(), 102);
+  EXPECT_GE(entry->find("p99")->as_int(), entry->find("p50")->as_int());
+  reg.reset();
+  EXPECT_EQ(reg.histogram("t.hist")->count(), 0);
+}
+
 TEST_F(ObsTest, ConvenienceHelpersAreGatedOnEnabled) {
   obs::count("gated", 5);
   EXPECT_EQ(obs::registry().counter("gated")->value(), 0);

@@ -58,16 +58,43 @@ TEST(DefaultJobs, ReadsEnvironment) {
     EXPECT_EQ(default_jobs(), 256);
   }
   {
-    ScopedJobsEnv env("0");  // non-positive: ignored
-    EXPECT_GE(default_jobs(), 1);
+    ScopedJobsEnv env("0");  // non-positive: rejected loudly
+    EXPECT_THROW(default_jobs(), Error);
   }
   {
-    ScopedJobsEnv env("8cores");  // trailing junk: ignored
-    EXPECT_GE(default_jobs(), 1);
+    ScopedJobsEnv env("8cores");  // trailing junk: rejected loudly
+    EXPECT_THROW(default_jobs(), Error);
   }
   {
     ScopedJobsEnv env(nullptr);
     EXPECT_GE(default_jobs(), 1);
+  }
+}
+
+// One shared validator for every jobs knob (HLSHC_JOBS, --jobs flags, the
+// service's --queue): positive decimal integers only, clamped at kMaxJobs,
+// everything else a structured error naming the offending knob.
+TEST(ParseJobs, AcceptsPositiveDecimal) {
+  EXPECT_EQ(parse_jobs("1", "--jobs"), 1);
+  EXPECT_EQ(parse_jobs("8", "--jobs"), 8);
+  EXPECT_EQ(parse_jobs("256", "--jobs"), 256);
+}
+
+TEST(ParseJobs, ClampsAboveCeiling) {
+  EXPECT_EQ(parse_jobs("999", "--jobs"), kMaxJobs);
+  EXPECT_EQ(parse_jobs("100000", "HLSHC_JOBS"), kMaxJobs);
+}
+
+TEST(ParseJobs, RejectsGarbageWithTheKnobName) {
+  for (const char* bad : {"", "0", "-1", "-8", "8cores", "cores8", " 8",
+                          "8 ", "3.5", "0x8", "+", "nan"}) {
+    try {
+      parse_jobs(bad, "--jobs");
+      FAIL() << "parse_jobs accepted '" << bad << '\'';
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos)
+          << "error for '" << bad << "' does not name the knob: " << e.what();
+    }
   }
 }
 

@@ -1,0 +1,639 @@
+// Service-layer tests: the admission queue, deadline tokens, the compiled-
+// design cache, the wire protocol, client retry/backoff — and the headline
+// resilience property: a hundred hostile requests cannot degrade the daemon,
+// and the compile it serves afterwards is bitwise identical to a direct
+// tools::compile call.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/deadline.hpp"
+#include "netlist/dump.hpp"
+#include "par/queue.hpp"
+#include "rtl/designs.hpp"
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "tools/compile.hpp"
+
+namespace hlshc::svc {
+namespace {
+
+using obs::Json;
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(Deadline, ExpiresAndThrowsWithContext) {
+  auto generous = Deadline::shared_after_ms(60000);
+  EXPECT_FALSE(generous->expired());
+  EXPECT_NO_THROW(generous->check("plenty of budget"));
+  EXPECT_GT(generous->remaining_ms(), 0);
+
+  auto expired = Deadline::shared_after_ms(-1);  // legal: already past
+  EXPECT_TRUE(expired->expired());
+  EXPECT_LE(expired->remaining_ms(), 0);
+  try {
+    expired->check("compiling the test design");
+    FAIL() << "expired deadline did not throw";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("compiling the test design"),
+              std::string::npos);
+    EXPECT_EQ(e.budget_ms(), -1);
+  }
+}
+
+TEST(Deadline, ExpiredTokenAbortsTheCompilePipeline) {
+  tools::CompileOptions options;
+  options.deadline = Deadline::shared_after_ms(-1);
+  EXPECT_THROW(tools::compile(rtl::build_verilog_initial(), options),
+               DeadlineExceeded);
+}
+
+// --------------------------------------------------------------- TaskQueue
+
+TEST(TaskQueue, BoundsBacklogAndCountsShedding) {
+  par::TaskQueue queue(1, 2);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> ran{0};
+  const auto blocked_task = [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    ++ran;
+  };
+
+  // One task occupies the worker; the next two fill the backlog; the
+  // fourth must be shed without blocking.
+  ASSERT_TRUE(queue.try_submit(blocked_task));
+  while (queue.depth() > 0)  // wait for the worker to start it
+    std::this_thread::yield();
+  ASSERT_TRUE(queue.try_submit(blocked_task));
+  ASSERT_TRUE(queue.try_submit(blocked_task));
+  EXPECT_EQ(queue.depth(), 2);
+  EXPECT_FALSE(queue.try_submit(blocked_task));
+  EXPECT_EQ(queue.accepted(), 3);
+  EXPECT_EQ(queue.shed(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  queue.drain();
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(queue.depth(), 0);
+
+  // Capacity frees up once drained.
+  EXPECT_TRUE(queue.try_submit([] {}));
+  queue.drain();
+}
+
+TEST(TaskQueue, CancelPendingDropsOnlyUnstartedTasks) {
+  par::TaskQueue queue(1, 8);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> ran{0};
+
+  ASSERT_TRUE(queue.try_submit([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    ++ran;
+  }));
+  while (queue.depth() > 0) std::this_thread::yield();
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(queue.try_submit([&] { ++ran; }));
+  EXPECT_EQ(queue.cancel_pending(), 3);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  queue.drain();
+  EXPECT_EQ(ran.load(), 1);  // the in-flight task finished; the rest never ran
+}
+
+TEST(TaskQueue, ParallelWorkersAllExecute) {
+  par::TaskQueue queue(4, 64);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i)
+    ASSERT_TRUE(queue.try_submit([&] { ++ran; }));
+  queue.drain();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(queue.accepted(), 64);
+  EXPECT_EQ(queue.shed(), 0);
+}
+
+// ---------------------------------------------------------------- Protocol
+
+TEST(Protocol, ParsesFullRequest) {
+  const Request req = parse_request(
+      R"({"id": 7, "method": "compile", "params": {"design": "x"}, )"
+      R"("deadline_ms": 250})",
+      1 << 16);
+  EXPECT_EQ(req.id.as_int(), 7);
+  EXPECT_EQ(req.method, "compile");
+  EXPECT_EQ(req.params.find("design")->as_string(), "x");
+  EXPECT_EQ(req.deadline_ms, 250);
+}
+
+TEST(Protocol, RejectsEachMalformationWithTheRightCode) {
+  const auto code_of = [](const std::string& line, size_t max_bytes) {
+    try {
+      parse_request(line, max_bytes);
+      return std::string("no error");
+    } catch (const ProtocolError& e) {
+      return std::string(error_code_name(e.code()));
+    }
+  };
+  EXPECT_EQ(code_of("not json at all", 1 << 16), "invalid_request");
+  EXPECT_EQ(code_of("[1,2,3]", 1 << 16), "invalid_request");
+  EXPECT_EQ(code_of(R"({"params": {}})", 1 << 16), "invalid_request");
+  EXPECT_EQ(code_of(R"({"method": 42})", 1 << 16), "invalid_request");
+  EXPECT_EQ(code_of(R"({"method": "m", "params": []})", 1 << 16),
+            "invalid_request");
+  EXPECT_EQ(code_of(R"({"method": "m", "deadline_ms": -5})", 1 << 16),
+            "invalid_request");
+  EXPECT_EQ(code_of(R"({"method": "m", "deadline_ms": 0})", 1 << 16),
+            "invalid_request");
+  EXPECT_EQ(code_of(std::string(100, ' '), 64), "oversized_request");
+}
+
+TEST(Protocol, OnlyOverloadedIsTransient) {
+  EXPECT_TRUE(is_transient(ErrorCode::kOverloaded));
+  EXPECT_FALSE(is_transient(ErrorCode::kInvalidRequest));
+  EXPECT_FALSE(is_transient(ErrorCode::kUnknownMethod));
+  EXPECT_FALSE(is_transient(ErrorCode::kOversizedRequest));
+  EXPECT_FALSE(is_transient(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_transient(ErrorCode::kInternalError));
+}
+
+// ------------------------------------------------------------ DesignCache
+
+TEST(DesignCache, HitsOnContentNotOnName) {
+  DesignCache cache;
+  tools::CompileOptions options;
+  const CachedCompile first =
+      cache.get_or_compile(rtl::build_verilog_initial(), options);
+  EXPECT_FALSE(first.hit);
+  // A fresh, identical build of the same source: same content, so a hit.
+  const CachedCompile second =
+      cache.get_or_compile(rtl::build_verilog_initial(), options);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_EQ(first.result_hash, second.result_hash);
+  EXPECT_EQ(first.design.get(), second.design.get());  // shared entry
+
+  // Different options: different key, a miss.
+  tools::CompileOptions raw;
+  raw.optimize = false;
+  EXPECT_FALSE(
+      cache.get_or_compile(rtl::build_verilog_initial(), raw).hit);
+
+  const DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(DesignCache, EvictsLeastRecentlyUsedUnderEntryBudget) {
+  CacheConfig config;
+  config.max_entries = 2;
+  DesignCache cache(config);
+  tools::CompileOptions options;
+  cache.get_or_compile(rtl::build_verilog_initial(), options);
+  cache.get_or_compile(rtl::build_verilog_opt1(), options);
+  cache.get_or_compile(rtl::build_verilog_initial(), options);  // touch LRU
+  cache.get_or_compile(rtl::build_verilog_opt2(), options);     // evicts opt1
+
+  DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_TRUE(
+      cache.get_or_compile(rtl::build_verilog_initial(), options).hit);
+  EXPECT_FALSE(  // opt1 was the LRU victim
+      cache.get_or_compile(rtl::build_verilog_opt1(), options).hit);
+}
+
+TEST(DesignCache, ByteBudgetEvictsButKeepsTheNewestEntry) {
+  CacheConfig config;
+  config.max_bytes = 1;  // everything is over budget
+  DesignCache cache(config);
+  tools::CompileOptions options;
+  cache.get_or_compile(rtl::build_verilog_initial(), options);
+  EXPECT_EQ(cache.stats().entries, 1u);  // sole entry never self-evicts
+  cache.get_or_compile(rtl::build_verilog_opt1(), options);
+  const DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
+// ------------------------------------------------------------------ Server
+
+ServerOptions small_server(int workers = 1, int queue = 8) {
+  ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = queue;
+  return options;
+}
+
+Json call_ok(Server& server, const std::string& line) {
+  const Json response = Json::parse(server.handle(line));
+  EXPECT_TRUE(response.find("ok")->as_bool())
+      << "request failed: " << response.dump();
+  return *response.find("result");
+}
+
+std::string error_code_of(Server& server, const std::string& line) {
+  const Json response = Json::parse(server.handle(line));
+  EXPECT_FALSE(response.find("ok")->as_bool())
+      << "request unexpectedly succeeded: " << response.dump();
+  return response.find("error")->find("code")->as_string();
+}
+
+TEST(Server, AnswersPingAndListsBuiltinDesigns) {
+  Server server(small_server());
+  EXPECT_TRUE(call_ok(server, R"({"method":"ping"})").find("pong")->as_bool());
+  const Json result = call_ok(server, R"({"method":"list_designs"})");
+  bool found = false;
+  const Json& designs = *result.find("designs");
+  for (size_t i = 0; i < designs.size(); ++i)
+    if (designs[i].as_string() == "verilog_opt2") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Server, MapsEachFailureClassToItsCode) {
+  Server server(small_server());
+  EXPECT_EQ(error_code_of(server, "{{{nope"), "invalid_request");
+  EXPECT_EQ(error_code_of(server, R"({"method":"frobnicate"})"),
+            "unknown_method");
+  EXPECT_EQ(error_code_of(
+                server,
+                R"({"method":"compile","params":{"design":"no_such"}})"),
+            "invalid_request");
+  EXPECT_EQ(error_code_of(
+                server, R"({"method":"compile","params":{"design":42}})"),
+            "invalid_request");
+  const std::string oversized = R"({"method":"ping","params":{"pad":")" +
+                                std::string(1 << 17, 'x') + "\"}}";
+  EXPECT_EQ(error_code_of(server, oversized), "oversized_request");
+}
+
+TEST(Server, ThrowingDesignBuilderBecomesInternalErrorAndServerSurvives) {
+  Server server(small_server());
+  server.register_design("bomb", []() -> netlist::Design {
+    throw std::runtime_error("builder exploded");
+  });
+  const Json response = Json::parse(
+      server.handle(R"({"id":9,"method":"compile","params":{"design":"bomb"}})"));
+  EXPECT_FALSE(response.find("ok")->as_bool());
+  EXPECT_EQ(response.find("error")->find("code")->as_string(),
+            "internal_error");
+  EXPECT_NE(response.find("error")->find("message")->as_string().find(
+                "builder exploded"),
+            std::string::npos);
+  EXPECT_EQ(response.find("id")->as_int(), 9);
+  // The daemon is unharmed.
+  EXPECT_TRUE(call_ok(server, R"({"method":"ping"})").find("pong")->as_bool());
+}
+
+TEST(Server, DeadlineExpiresMidRequest) {
+  Server server(small_server());
+  server.register_design("slow", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    return rtl::build_verilog_initial();
+  });
+  EXPECT_EQ(
+      error_code_of(
+          server,
+          R"({"method":"compile","params":{"design":"slow"},"deadline_ms":20})"),
+      "deadline_exceeded");
+  // Without the deadline the same request succeeds.
+  const Json ok = call_ok(
+      server, R"({"method":"compile","params":{"design":"slow"}})");
+  EXPECT_GT(ok.find("node_count")->as_int(), 0);
+}
+
+TEST(Server, CompileIsCachedAcrossRequests) {
+  Server server(small_server());
+  const std::string line =
+      R"({"method":"compile","params":{"design":"verilog_opt2"}})";
+  const Json first = call_ok(server, line);
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  const Json second = call_ok(server, line);
+  EXPECT_TRUE(second.find("cached")->as_bool());
+  EXPECT_EQ(first.find("content_hash")->as_string(),
+            second.find("content_hash")->as_string());
+  EXPECT_EQ(server.cache_stats().hits, 1);
+}
+
+TEST(Server, CacheEvictionUnderTinyBudget) {
+  ServerOptions options = small_server();
+  options.cache.max_entries = 1;
+  Server server(options);
+  call_ok(server, R"({"method":"compile","params":{"design":"verilog_initial"}})");
+  call_ok(server, R"({"method":"compile","params":{"design":"verilog_opt1"}})");
+  const DesignCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.evictions, 1);
+  const Json result = call_ok(server, R"({"method":"stats"})");
+  EXPECT_EQ(result.find("cache")->find("entries")->as_int(), 1);
+}
+
+TEST(Server, ShedsWhenTheQueueIsFullAndRecovers) {
+  ServerOptions options = small_server(/*workers=*/1, /*queue=*/1);
+  Server server(options);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  server.register_design("gated", [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    return rtl::build_verilog_initial();
+  });
+
+  // Burst: one executing, one queued, the rest shed immediately.
+  const std::string line =
+      R"({"method":"compile","params":{"design":"gated"}})";
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(server.submit(line));
+  while (server.queue_depth() > 0 && server.shed_count() == 0)
+    std::this_thread::yield();
+
+  int shed = 0;
+  std::vector<Json> responses;
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (auto& f : futures) responses.push_back(Json::parse(f.get()));
+  for (const Json& r : responses) {
+    if (r.find("ok")->as_bool()) continue;
+    EXPECT_EQ(r.find("error")->find("code")->as_string(), "overloaded");
+    EXPECT_GT(r.find("error")->find("retry_after_ms")->as_int(), 0);
+    ++shed;
+  }
+  EXPECT_GE(shed, 7);  // 10 submitted, at most ~3 in flight at once
+  EXPECT_EQ(server.shed_count(), shed);
+
+  // Recovery: the daemon serves normally once the burst is over.
+  EXPECT_TRUE(call_ok(server, R"({"method":"ping"})").find("pong")->as_bool());
+}
+
+// The headline property: 100 hostile requests in a row cannot degrade the
+// daemon, and the compile served afterwards is bitwise identical to calling
+// tools::compile directly.
+TEST(Server, SurvivesPoisonRequestsAndStaysBitwiseCorrect) {
+  Server server(small_server());
+  server.register_design("bomb", []() -> netlist::Design {
+    throw std::runtime_error("builder exploded");
+  });
+
+  const std::vector<std::string> poison = {
+      "",                                     // empty: invalid JSON
+      "{",                                    // truncated
+      "null",                                 // non-object root
+      R"({"method": 3})",                     // ill-typed method
+      R"({"method":"no_such_method"})",       // unknown method
+      R"({"method":"compile"})",              // missing params.design
+      R"({"method":"compile","params":{"design":"no_such"}})",
+      R"({"method":"compile","params":{"design":"bomb"}})",  // throws
+      R"({"method":"compile","params":{"design":"verilog_opt2",)"
+      R"("optimize":"yes"}})",                // ill-typed option
+      R"({"method":"evaluate","params":{"design":"verilog_opt2",)"
+      R"("matrices":-3}})",                   // out-of-range option
+      R"({"method":"campaign","params":{"design":"verilog_opt2",)"
+      R"("kind":"gamma_ray"}})",              // unknown fault kind
+      R"({"method":"dse","params":{"flow":"no_such_flow"}})",
+      R"({"method":"ping","deadline_ms":-1})",  // invalid deadline
+      R"({"method":"ping","params":[1,2]})",    // ill-typed params
+      std::string(1 << 17, 'x'),                // oversized
+  };
+  int failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Json response =
+        Json::parse(server.handle(poison[static_cast<size_t>(i) %
+                                         poison.size()]));
+    EXPECT_FALSE(response.find("ok")->as_bool()) << response.dump();
+    ++failures;
+  }
+  EXPECT_EQ(failures, 100);
+
+  // The daemon still compiles, and the result is the direct pipeline's,
+  // byte for byte.
+  const Json result = call_ok(
+      server,
+      R"({"method":"compile","params":{"design":"verilog_opt2",)"
+      R"("emit_netlist":true}})");
+  const tools::CompiledDesign direct =
+      tools::compile(rtl::build_verilog_opt2());
+  const std::string direct_dump = netlist::dump_text(direct.design);
+  EXPECT_EQ(result.find("netlist")->as_string(), direct_dump);
+  EXPECT_EQ(result.find("content_hash")->as_string(),
+            content_hash(direct_dump));
+
+  // Health metrics survived the storm and are visible.
+  const Json stats = call_ok(server, R"({"method":"stats"})");
+  EXPECT_GE(stats.find("queue")->find("accepted")->as_int(), 1);
+  EXPECT_EQ(stats.find("cache")->find("misses")->as_int(), 1);
+}
+
+TEST(Server, EvaluateAndCampaignShareTheCompileCache) {
+  Server server(small_server());
+  const Json eval = call_ok(
+      server,
+      R"({"method":"evaluate","params":{"design":"verilog_opt2",)"
+      R"("matrices":2}})");
+  EXPECT_TRUE(eval.find("functional")->as_bool());
+  EXPECT_GT(eval.find("throughput_mops")->as_int(), 0);
+  const Json campaign = call_ok(
+      server,
+      R"({"method":"campaign","params":{"design":"verilog_opt2",)"
+      R"("sites":4,"seed":7}})");
+  EXPECT_TRUE(campaign.find("cached")->as_bool());  // evaluate warmed it
+  EXPECT_EQ(campaign.find("sites")->as_int(), 4);
+  EXPECT_TRUE(campaign.find("reference_functional")->as_bool());
+}
+
+// ------------------------------------------------------------------ Client
+
+TEST(Client, ReturnsResultAndRaisesStructuredErrors) {
+  Server server(small_server());
+  Client client(server);
+  const Json pong = client.call("ping");
+  EXPECT_TRUE(pong.find("pong")->as_bool());
+
+  try {
+    client.call("frobnicate");
+    FAIL() << "unknown method did not throw";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownMethod);
+    EXPECT_EQ(e.attempts(), 1);  // permanent: never retried
+  }
+  EXPECT_EQ(client.retries(), 0);
+}
+
+TEST(Client, RetriesOverloadUntilTheQueueDrains) {
+  ServerOptions options = small_server(/*workers=*/1, /*queue=*/1);
+  Server server(options);
+  server.register_design("slow", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return rtl::build_verilog_initial();
+  });
+
+  // Fill the worker and the queue, then call through the retrying client:
+  // the first attempt is shed, backoff retries land after the drain.
+  const std::string line =
+      R"({"method":"compile","params":{"design":"slow"}})";
+  auto busy1 = server.submit(line);
+  while (server.queue_depth() > 0) std::this_thread::yield();
+  auto busy2 = server.submit(line);  // fills the queue deterministically
+
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.initial_backoff_ms = 2;
+  Client client(server, policy);
+  const Json pong = client.call("ping");
+  EXPECT_TRUE(pong.find("pong")->as_bool());
+  EXPECT_GE(client.retries(), 1);
+  busy1.get();
+  busy2.get();
+}
+
+TEST(Client, RetryBudgetExhaustionSurfacesOverloaded) {
+  ServerOptions options = small_server(/*workers=*/1, /*queue=*/1);
+  Server server(options);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  server.register_design("gated", [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    return rtl::build_verilog_initial();
+  });
+  // Deterministic full-queue state: wait for the worker to dequeue the
+  // first gated task before submitting the second — otherwise the second
+  // could be shed and the client's ping would be *queued* behind the gate
+  // instead of shed, deadlocking the test thread inside call().
+  const std::string line =
+      R"({"method":"compile","params":{"design":"gated"}})";
+  auto busy1 = server.submit(line);
+  while (server.queue_depth() > 0) std::this_thread::yield();
+  auto busy2 = server.submit(line);
+  ASSERT_EQ(server.queue_depth(), 1);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  Client client(server, policy);
+  try {
+    client.call("ping");
+    FAIL() << "overloaded server did not exhaust the retry budget";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    EXPECT_EQ(e.attempts(), 3);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  busy1.get();
+  busy2.get();
+}
+
+TEST(Client, JitterIsDeterministicPerSeed) {
+  Server server(small_server());
+  RetryPolicy a;
+  a.seed = 1;
+  RetryPolicy b;
+  b.seed = 1;
+  RetryPolicy c;
+  c.seed = 2;
+  // Same seed, same stream; different seed, (almost surely) different.
+  Client ca(server, a), cb(server, b), cc(server, c);
+  // The jitter stream is private; exercise it through call() on a healthy
+  // server (no retries, so this is a determinism smoke check of the path).
+  EXPECT_TRUE(ca.call("ping").find("pong")->as_bool());
+  EXPECT_TRUE(cb.call("ping").find("pong")->as_bool());
+  EXPECT_TRUE(cc.call("ping").find("pong")->as_bool());
+}
+
+// Two clients hammering a tiny server concurrently: every call either
+// succeeds or fails with a structured transient error, the server never
+// wedges, and it answers cleanly afterwards.
+TEST(Server, TwoClientOverloadSoakEndsHealthy) {
+  ServerOptions options = small_server(/*workers=*/2, /*queue=*/2);
+  Server server(options);
+  server.register_design("slowish", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return rtl::build_verilog_initial();
+  });
+
+  std::atomic<int> succeeded{0}, overloaded{0};
+  const auto soak = [&](uint64_t seed) {
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff_ms = 1;
+    policy.seed = seed;
+    Client client(server, policy);
+    for (int i = 0; i < 12; ++i) {
+      try {
+        client.call("compile", Json::parse(R"({"design":"slowish"})"));
+        ++succeeded;
+      } catch (const RpcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kOverloaded) << e.what();
+        ++overloaded;
+      }
+    }
+  };
+  std::thread t1(soak, 11), t2(soak, 22);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(succeeded + overloaded, 24);
+  EXPECT_GT(succeeded.load(), 0);
+  // After the storm: empty queue, healthy daemon, warm cache.
+  EXPECT_EQ(server.queue_depth(), 0);
+  EXPECT_TRUE(call_ok(server, R"({"method":"ping"})").find("pong")->as_bool());
+  EXPECT_GE(server.cache_stats().hits, 1);
+}
+
+TEST(Server, ServeRunsLineProtocolInOrder) {
+  Server server(small_server());
+  std::istringstream in(
+      "{\"id\":1,\"method\":\"ping\"}\n"
+      "not json\n"
+      "{\"id\":2,\"method\":\"compile\","
+      "\"params\":{\"design\":\"verilog_opt1\"}}\n"
+      "{\"id\":3,\"method\":\"shutdown\"}\n");
+  std::ostringstream out;
+  server.serve(in, out);
+
+  std::vector<Json> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) responses.push_back(Json::parse(line));
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0].find("id")->as_int(), 1);
+  EXPECT_TRUE(responses[0].find("ok")->as_bool());
+  EXPECT_FALSE(responses[1].find("ok")->as_bool());
+  EXPECT_EQ(responses[2].find("id")->as_int(), 2);
+  EXPECT_TRUE(responses[2].find("ok")->as_bool());
+  EXPECT_EQ(responses[3].find("id")->as_int(), 3);
+}
+
+}  // namespace
+}  // namespace hlshc::svc
