@@ -12,8 +12,11 @@
 // Writes BENCH_fault.json (cwd) through the obs::RunReport schema.
 //
 // Usage: bench_fault_campaign [sites_per_design] [--jobs N]
+//                              [--workload NAME|all]
 //   sites_per_design defaults to 1000; --jobs defaults to all cores
-//   (HLSHC_JOBS / hardware_concurrency).
+//   (HLSHC_JOBS / hardware_concurrency); --workload campaigns a workload
+//   registry entry's rtl_comb builder (and its TMR variant) instead of the
+//   default IDCT progression; "all" covers every registry entry.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,8 +32,8 @@
 #include "obs/report.hpp"
 #include "base/check.hpp"
 #include "par/pool.hpp"
-#include "rtl/designs.hpp"
 #include "tools/compile.hpp"
+#include "workload/workload.hpp"
 
 using hlshc::format_fixed;
 using hlshc::format_grouped;
@@ -57,6 +60,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// jobs == 1), verifies the outcome counts match bit-for-bit, and joins the
 /// parallel campaign with the A/P/Q axes.
 hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
+                                       const hlshc::workload::WorkloadSpec& spec,
                                        const hlshc::synth::NormalizedSynth& ns,
                                        int sites, int jobs,
                                        CampaignTiming* timing) {
@@ -69,7 +73,8 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
 
   opts.jobs = 1;
   auto t0 = std::chrono::steady_clock::now();
-  hlshc::fault::CampaignReport serial = hlshc::fault::run_campaign(d, sampled, opts);
+  hlshc::fault::CampaignReport serial =
+      hlshc::fault::run_campaign(d, spec, sampled, opts);
   timing->serial_sec = seconds_since(t0);
 
   hlshc::fault::CampaignReport campaign = serial;
@@ -77,7 +82,7 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
   if (jobs != 1) {
     opts.jobs = jobs;
     t0 = std::chrono::steady_clock::now();
-    campaign = hlshc::fault::run_campaign(d, sampled, opts);
+    campaign = hlshc::fault::run_campaign(d, spec, sampled, opts);
     timing->parallel_sec = seconds_since(t0);
     const auto& a = serial.counts;
     const auto& b = campaign.counts;
@@ -89,8 +94,8 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
       std::exit(1);
     }
   }
-  return hlshc::fault::resilience_from_campaign(d, std::move(campaign), ns,
-                                            opts);
+  return hlshc::fault::resilience_from_campaign(d, spec, std::move(campaign),
+                                                ns, opts);
 }
 
 }  // namespace
@@ -98,6 +103,7 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
 int main(int argc, char** argv) {
   int sites = 1000;
   int jobs = 0;  // 0 = all cores
+  std::string workload = "idct";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       try {
@@ -106,12 +112,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
     } else {
       sites = std::atoi(argv[i]);
     }
   }
   if (sites <= 0 || jobs < 0) {
-    std::fprintf(stderr, "usage: %s [sites_per_design > 0] [--jobs N]\n",
+    std::fprintf(stderr,
+                 "usage: %s [sites_per_design > 0] [--jobs N] "
+                 "[--workload NAME|all]\n",
                  argv[0]);
     return 1;
   }
@@ -122,20 +132,44 @@ int main(int argc, char** argv) {
       sites, static_cast<unsigned long long>(kSampleSeed), jobs);
 
   struct Row {
-    const char* tag;
+    std::string tag;
+    const hlshc::workload::WorkloadSpec* spec;
     hlshc::netlist::Design design;
   };
+  const hlshc::workload::Registry& registry =
+      hlshc::workload::Registry::instance();
+  std::vector<std::string> workload_names;
+  try {
+    if (workload == "all")
+      workload_names = registry.names();
+    else
+      workload_names = {registry.get(workload).name};
+  } catch (const hlshc::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   // The compile pipeline runs exactly once, *before* hardening: CSE would
   // otherwise merge the TMR triplicates right back into one copy. Synthesis
   // below therefore goes through the canonical entry with the pipeline off.
-  hlshc::netlist::Design base_initial =
-      hlshc::tools::compile(hlshc::rtl::build_verilog_initial()).design;
-  hlshc::netlist::Design base_opt2 =
-      hlshc::tools::compile(hlshc::rtl::build_verilog_opt2()).design;
   std::vector<Row> rows;
-  rows.push_back({"verilog initial", base_initial});
-  rows.push_back({"verilog opt2", base_opt2});
-  rows.push_back({"verilog opt2 + TMR", hlshc::fault::tmr(base_opt2)});
+  for (const std::string& name : workload_names) {
+    const hlshc::workload::WorkloadSpec& spec = registry.get(name);
+    if (name == "idct") {
+      hlshc::netlist::Design base_initial =
+          hlshc::tools::compile(spec.builder("verilog_initial").build()).design;
+      hlshc::netlist::Design base_opt2 =
+          hlshc::tools::compile(spec.builder("verilog_opt2").build()).design;
+      rows.push_back({"verilog initial", &spec, base_initial});
+      rows.push_back({"verilog opt2", &spec, base_opt2});
+      rows.push_back({"verilog opt2 + TMR", &spec, hlshc::fault::tmr(base_opt2)});
+    } else {
+      hlshc::netlist::Design base =
+          hlshc::tools::compile(spec.builder("rtl_comb").build()).design;
+      rows.push_back({name + " rtl_comb", &spec, base});
+      rows.push_back({name + " rtl_comb + TMR", &spec,
+                      hlshc::fault::tmr(base)});
+    }
+  }
 
   hlshc::obs::RunReport report("bench_fault_campaign");
   report.params()
@@ -144,7 +178,8 @@ int main(int argc, char** argv) {
            hlshc::obs::Json::number(static_cast<int64_t>(kSampleSeed)))
       .set("max_inject_cycle",
            hlshc::obs::Json::number(static_cast<int64_t>(kMaxInjectCycle)))
-      .set("jobs", hlshc::obs::Json::number(jobs));
+      .set("jobs", hlshc::obs::Json::number(jobs))
+      .set("workload", hlshc::obs::Json::string(workload));
   hlshc::obs::Json designs = hlshc::obs::Json::array();
 
   std::vector<hlshc::fault::DesignResilience> results;
@@ -154,14 +189,16 @@ int main(int argc, char** argv) {
     no_pipeline.optimize = false;  // already compiled above, pre-hardening
     hlshc::synth::NormalizedSynth ns =
         hlshc::tools::compile_synth_normalized(row.design, no_pipeline);
-    results.push_back(measure(row.design, ns, sites, jobs, &timing));
+    results.push_back(
+        measure(row.design, *row.spec, ns, sites, jobs, &timing));
     const hlshc::fault::DesignResilience& r = results.back();
     const hlshc::fault::CampaignCounts& c = r.campaign.counts;
     double rate =
         timing.parallel_sec > 0 ? sites / timing.parallel_sec : 0.0;
     std::printf(
         "%-20s %8s faults/sec  masked=%d sdc=%d detected=%d hang=%d  VF=%s\n",
-        row.tag, format_fixed(rate, 1).c_str(), c.masked, c.sdc, c.detected,
+        row.tag.c_str(), format_fixed(rate, 1).c_str(), c.masked, c.sdc,
+        c.detected,
         c.hang, format_fixed(c.vulnerability(), 4).c_str());
     std::printf(
         "%-20s serial %ss  parallel(jobs=%d) %ss  speedup %sx\n", "",
@@ -171,6 +208,7 @@ int main(int argc, char** argv) {
 
     hlshc::obs::Json entry = hlshc::obs::Json::object();
     entry.set("design", hlshc::obs::Json::string(row.tag))
+        .set("workload", hlshc::obs::Json::string(row.spec->name))
         .set("runs", hlshc::obs::Json::number(c.total()))
         .set("masked", hlshc::obs::Json::number(c.masked))
         .set("sdc", hlshc::obs::Json::number(c.sdc))
@@ -196,17 +234,21 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s\n", hlshc::fault::resilience_table(results).c_str());
 
-  const hlshc::fault::CampaignCounts& tmr_counts = results[2].campaign.counts;
+  // The hardened row is always last, its unhardened baseline right before.
+  const size_t tmr_idx = results.size() - 1;
+  const size_t base_idx = results.size() - 2;
+  const hlshc::fault::CampaignCounts& tmr_counts =
+      results[tmr_idx].campaign.counts;
   std::printf("TMR check: %d runs, %d SDC, %d hangs (expect 0 / 0)\n",
               tmr_counts.total(), tmr_counts.sdc, tmr_counts.hang);
   std::printf("TMR area cost: A %s -> %s (%sx), Q %s -> %s\n",
-              format_grouped(results[1].area).c_str(),
-              format_grouped(results[2].area).c_str(),
-              format_fixed(static_cast<double>(results[2].area) /
-                               static_cast<double>(results[1].area),
+              format_grouped(results[base_idx].area).c_str(),
+              format_grouped(results[tmr_idx].area).c_str(),
+              format_fixed(static_cast<double>(results[tmr_idx].area) /
+                               static_cast<double>(results[base_idx].area),
                            2)
                   .c_str(),
-              format_fixed(results[1].quality, 2).c_str(),
-              format_fixed(results[2].quality, 2).c_str());
+              format_fixed(results[base_idx].quality, 2).c_str(),
+              format_fixed(results[tmr_idx].quality, 2).c_str());
   return tmr_counts.sdc == 0 && tmr_counts.hang == 0 ? 0 : 1;
 }

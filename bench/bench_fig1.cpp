@@ -10,12 +10,16 @@
 //
 // Writes BENCH_fig1.json (cwd) through the obs::RunReport schema.
 //
-// Usage: bench_fig1 [--jobs N]   (default: all cores)
+// Usage: bench_fig1 [--jobs N] [--workload NAME|all]
+// (default: all cores, the IDCT DSE). With --workload the scatter instead
+// covers the named workload-registry entry (or every entry) with one point
+// per builder, through the same compile/evaluate path.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "base/strings.hpp"
 #include "core/report.hpp"
@@ -23,6 +27,7 @@
 #include "base/check.hpp"
 #include "par/pool.hpp"
 #include "tools/flows.hpp"
+#include "tools/workloads.hpp"
 
 using hlshc::format_fixed;
 
@@ -44,20 +49,55 @@ bool same_points(const std::vector<hlshc::core::ScatterPoint>& a,
   return true;
 }
 
+int run_workload_mode(const std::string& workload, int jobs) {
+  hlshc::tools::WorkloadBenchOptions options;
+  options.jobs = jobs;
+  if (workload != "all") options.workloads = {workload};
+  std::printf("=== Fig. 1 (workload mode): scatter for %s ===\n",
+              workload.c_str());
+  std::vector<hlshc::core::ScatterPoint> points;
+  for (const auto& r : hlshc::tools::run_workload_matrix(options))
+    points.push_back({r.flow, r.workload + "." + r.builder,
+                      r.eval.throughput_mops, r.eval.area,
+                      static_cast<long>(r.eval.pipeline.nodes_before()) -
+                          static_cast<long>(r.eval.pipeline.nodes_after())});
+  std::puts(hlshc::core::scatter_summary(points).c_str());
+  std::puts("--- Pareto frontier (throughput up, area down) ---");
+  for (const auto& p : hlshc::core::pareto_front(points))
+    std::printf("  %-8s %-28s P=%8.2f MOPS  A=%7ld\n", p.family.c_str(),
+                p.config.c_str(), p.throughput_mops, p.area);
+  std::puts("\n--- scatter series ---");
+  std::fputs(hlshc::core::scatter_csv(points).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
-  for (int i = 1; i < argc; ++i)
+  std::string workload;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       try {
         jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
       } catch (const hlshc::Error& e) {
-        std::fprintf(stderr, "%s\nusage: %s [--jobs N]\n", e.what(), argv[0]);
+        std::fprintf(stderr, "%s\nusage: %s [--jobs N] [--workload NAME|all]\n",
+                     e.what(), argv[0]);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
     }
+  }
   if (jobs == 0) jobs = hlshc::par::default_jobs();
+  if (!workload.empty()) {
+    try {
+      return run_workload_mode(workload, jobs);
+    } catch (const hlshc::Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   std::puts("=== Fig. 1: design space exploration for IDCT ===");
   std::printf("(synthesizing every configuration; this sweeps ~97 circuits "

@@ -18,8 +18,12 @@
 // obs::RunReport schema and prints a table.
 //
 // Usage: bench_sim_throughput [raw_cycles] [stream_matrices] [--trace FILE]
+//                              [--workload NAME|all]
 // (defaults 200000 and 64). --trace additionally records Chrome trace_event
 // JSON for the whole bench, viewable in chrome://tracing / Perfetto.
+// --workload times a workload-registry entry's builders (or every entry)
+// instead of the default IDCT family set; stimulus always comes from the
+// workload's own registered generator.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,18 +35,13 @@
 #include <vector>
 
 #include "axis/testbench.hpp"
-#include "base/rng.hpp"
 #include "base/strings.hpp"
-#include "bsv/designs.hpp"
-#include "chisel/designs.hpp"
 #include "core/report.hpp"
-#include "idct/reference.hpp"
 #include "netlist/exec_plan.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
-#include "rtl/designs.hpp"
 #include "sim/engine.hpp"
-#include "xls/designs.hpp"
+#include "workload/workload.hpp"
 
 using hlshc::format_fixed;
 using hlshc::format_grouped;
@@ -53,27 +52,24 @@ namespace obs = hlshc::obs;
 namespace {
 
 struct Case {
-  const char* name;
+  std::string name;
   std::function<netlist::Design()> build;
 };
 
-std::vector<Case> cases() {
-  return {
-      {"verilog_initial", [] { return hlshc::rtl::build_verilog_initial(); }},
-      {"verilog_opt1", [] { return hlshc::rtl::build_verilog_opt1(); }},
-      {"verilog_opt2", [] { return hlshc::rtl::build_verilog_opt2(); }},
-      {"chisel_initial",
-       [] { return hlshc::chisel::build_chisel_initial(); }},
-      {"chisel_opt", [] { return hlshc::chisel::build_chisel_opt(); }},
-      {"bsv_opt", [] { return hlshc::bsv::build_bsv_opt(); }},
-      {"xls_p8", [] { return hlshc::xls::build_xls_design({8}).design; }},
-  };
-}
-
-hlshc::idct::Block random_block(hlshc::SplitMix64& rng) {
-  hlshc::idct::Block spatial{};
-  for (auto& v : spatial) v = static_cast<int32_t>(rng.next_in(-256, 255));
-  return hlshc::idct::forward_dct_reference(spatial);
+std::vector<Case> cases_for(const hlshc::workload::WorkloadSpec& spec) {
+  // The IDCT keeps its historical seven-family set (bare names, fixed
+  // order); every other workload times all of its fast builders.
+  std::vector<Case> out;
+  if (spec.name == "idct") {
+    for (const char* name :
+         {"verilog_initial", "verilog_opt1", "verilog_opt2", "chisel_initial",
+          "chisel_opt", "bsv_opt", "xls_p8"})
+      out.push_back({name, spec.builder(name).build});
+  } else {
+    for (const hlshc::workload::BuilderInfo& b : spec.builders)
+      if (!b.slow) out.push_back({spec.name + "." + b.name, b.build});
+  }
+  return out;
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -118,7 +114,10 @@ obs::Json rate(double v) {
 /// verified top-10 hotspot table.
 bool hotspot_section(const std::vector<hlshc::idct::Block>& ins,
                      obs::Json* out) {
-  netlist::Design d = hlshc::rtl::build_verilog_opt2();
+  netlist::Design d = hlshc::workload::Registry::instance()
+                          .get("idct")
+                          .builder("verilog_opt2")
+                          .build();
   auto interp = sim::make_engine(d, sim::EngineKind::kInterpreter);
   auto compiled = sim::make_engine(d, sim::EngineKind::kCompiled);
   for (sim::Engine* e : {interp.get(), compiled.get()}) {
@@ -171,10 +170,13 @@ int main(int argc, char** argv) {
   int64_t raw_cycles = 200000;
   int matrices = 64;
   std::string trace_path;
+  std::string workload = "idct";
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -184,17 +186,27 @@ int main(int argc, char** argv) {
   if (raw_cycles <= 0 || matrices <= 0) {
     std::fprintf(stderr,
                  "usage: %s [raw_cycles > 0] [stream_matrices > 0] "
-                 "[--trace FILE]\n",
+                 "[--trace FILE] [--workload NAME|all]\n",
                  argv[0]);
     return 1;
   }
+  const hlshc::workload::Registry& registry =
+      hlshc::workload::Registry::instance();
+  std::vector<std::string> workload_names;
+  try {
+    if (workload == "all")
+      workload_names = registry.names();
+    else
+      workload_names = {registry.get(workload).name};
+  } catch (const hlshc::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const bool covers_idct =
+      std::find(workload_names.begin(), workload_names.end(), "idct") !=
+      workload_names.end();
 
   if (!trace_path.empty()) obs::tracer().start();
-
-  hlshc::SplitMix64 rng(2026);
-  std::vector<hlshc::idct::Block> ins;
-  ins.reserve(static_cast<size_t>(matrices));
-  for (int i = 0; i < matrices; ++i) ins.push_back(random_block(rng));
 
   std::printf(
       "=== simulation engine throughput: %lld raw cycles, %d matrices ===\n\n",
@@ -207,10 +219,21 @@ int main(int argc, char** argv) {
   obs::RunReport report("bench_sim_throughput");
   report.params()
       .set("raw_cycles", obs::Json::number(raw_cycles))
-      .set("stream_matrices", obs::Json::number(matrices));
+      .set("stream_matrices", obs::Json::number(matrices))
+      .set("workload", obs::Json::string(workload));
   obs::Json designs = obs::Json::array();
 
-  for (const Case& c : cases()) {
+  std::vector<hlshc::idct::Block> idct_ins;  // reused by the hotspot section
+  for (const std::string& wname : workload_names) {
+    const hlshc::workload::WorkloadSpec& spec = registry.get(wname);
+    const std::vector<hlshc::workload::Frame> ins =
+        hlshc::workload::eval_input_set(spec, matrices, 2026,
+                                        /*realistic=*/true);
+    if (wname == "idct") idct_ins = ins;
+    if (workload_names.size() > 1)
+      std::printf("\n--- workload: %s ---\n", wname.c_str());
+
+  for (const Case& c : cases_for(spec)) {
     netlist::Design d = c.build();
     auto plan = netlist::ExecPlan::for_design(d);
     const size_t nodes = plan->instrs().size();
@@ -225,8 +248,9 @@ int main(int argc, char** argv) {
     double raw_x = raw_i > 0 ? raw_c / raw_i : 0.0;
     double strm_x = strm_i > 0 ? strm_c / strm_i : 0.0;
 
-    std::printf("%-16s %6zu %6d | %12s %12s %5sx | %12s %12s %5sx\n", c.name,
-                nodes, plan->depth(), format_grouped((long)raw_i).c_str(),
+    std::printf("%-16s %6zu %6d | %12s %12s %5sx | %12s %12s %5sx\n",
+                c.name.c_str(), nodes, plan->depth(),
+                format_grouped((long)raw_i).c_str(),
                 format_grouped((long)raw_c).c_str(),
                 format_fixed(raw_x, 1).c_str(),
                 format_grouped((long)strm_i).c_str(),
@@ -247,14 +271,19 @@ int main(int argc, char** argv) {
         .set("stream_speedup", rate(strm_x));
     designs.push(std::move(row));
   }
+  }
   report.results().set("designs", std::move(designs));
 
-  obs::Json hotspots;
-  if (!hotspot_section(ins, &hotspots)) {
-    std::fprintf(stderr, "activity-counter parity FAILED between engines\n");
-    return 1;
+  // The hotspot parity section is pinned to the optimized Verilog IDCT; it
+  // only runs when the IDCT is part of this invocation's sweep.
+  if (covers_idct) {
+    obs::Json hotspots;
+    if (!hotspot_section(idct_ins, &hotspots)) {
+      std::fprintf(stderr, "activity-counter parity FAILED between engines\n");
+      return 1;
+    }
+    report.results().set("hotspots", std::move(hotspots));
   }
-  report.results().set("hotspots", std::move(hotspots));
 
   report.write_file("BENCH_sim.json");
   std::printf("\nwrote BENCH_sim.json\n");

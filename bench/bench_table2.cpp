@@ -3,37 +3,75 @@
 // latency, periodicity and the area/DSP/IO block, plus a paper-vs-measured
 // digest of the headline ratios.
 //
-// Usage: bench_table2 [--jobs N] [--verbose]   (default: all cores; the
-// seven flows evaluate concurrently, results in column order at any worker
-// count; --verbose prints the per-pass compile-pipeline breakdown per
-// design)
+// Usage: bench_table2 [--jobs N] [--verbose] [--workload NAME|all]
+// (default: all cores; the seven flows evaluate concurrently, results in
+// column order at any worker count; --verbose prints the per-pass
+// compile-pipeline breakdown per design). With --workload the bench sweeps
+// the named workload-registry entry (or every entry) across all of its
+// builders instead of the IDCT-only Table II; "all" additionally writes
+// BENCH_workloads.json.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "base/strings.hpp"
 #include "base/check.hpp"
 #include "par/pool.hpp"
 #include "tools/compile.hpp"
 #include "tools/flows.hpp"
+#include "tools/workloads.hpp"
 
 using hlshc::format_fixed;
+
+namespace {
+
+int run_workload_mode(const std::string& workload, int jobs) {
+  hlshc::tools::WorkloadBenchOptions options;
+  options.jobs = jobs;
+  if (workload != "all") options.workloads = {workload};
+  std::printf("=== workload x flow matrix (%s) ===\n", workload.c_str());
+  const std::vector<hlshc::tools::WorkloadFlowResult> rows =
+      hlshc::tools::run_workload_matrix(options);
+  std::puts(hlshc::tools::render_workload_matrix(rows).c_str());
+  if (workload == "all") {
+    hlshc::tools::make_workload_report(rows, options)
+        .write_file("BENCH_workloads.json");
+    std::puts("(machine-readable copy written to ./BENCH_workloads.json)");
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   bool verbose = false;
+  std::string workload;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       try {
         jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
       } catch (const hlshc::Error& e) {
-        std::fprintf(stderr, "%s\nusage: %s [--jobs N] [--verbose]\n",
+        std::fprintf(stderr,
+                     "%s\nusage: %s [--jobs N] [--verbose] "
+                     "[--workload NAME|all]\n",
                      e.what(), argv[0]);
         return 1;
       }
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
+    }
+  }
+  if (!workload.empty()) {
+    try {
+      return run_workload_mode(workload, jobs);
+    } catch (const hlshc::Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
     }
   }
   std::puts("=== Table II: HLS/HC tools evaluation results ===");

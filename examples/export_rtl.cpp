@@ -13,18 +13,18 @@
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
-#include "idct/chenwang.hpp"
-#include "idct/reference.hpp"
 #include "netlist/verilog.hpp"
-#include "rtl/designs.hpp"
 #include "sim/simulator.hpp"
 #include "sim/vcd.hpp"
+#include "workload/workload.hpp"
 
 using namespace hlshc;
 
 int main(int argc, char** argv) {
   const std::string outdir = argc > 1 ? argv[1] : ".";
-  netlist::Design design = rtl::build_verilog_opt2();
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
+  netlist::Design design = spec.builder("verilog_opt2").build();
 
   // 1. RTL.
   const std::string vpath = outdir + "/idct.v";
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   SplitMix64 rng(7);
   idct::Block spatial{};
   for (auto& v : spatial) v = static_cast<int32_t>(rng.next_in(-256, 255));
-  idct::Block coeffs = idct::forward_dct_reference(spatial);
+  idct::Block coeffs = spec.encode(spatial);
 
   axis::SourceDriver source(sim);
   axis::SinkDriver sink(sim);
@@ -66,9 +66,8 @@ int main(int argc, char** argv) {
   for (int m = 0; m < 8; ++m) {
     idct::Block spat{};
     for (auto& v : spat) v = static_cast<int32_t>(vrng.next_in(-256, 255));
-    idct::Block in = idct::forward_dct_reference(spat);
-    idct::Block out = in;
-    idct::idct_2d(out);
+    idct::Block in = spec.encode(spat);
+    idct::Block out = spec.reference(in);
     for (int r = 0; r < 8; ++r) {
       unsigned long long inw_hi = 0, inw_lo = 0;
       unsigned long long outw_hi = 0, outw_lo = 0;

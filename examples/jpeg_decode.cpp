@@ -13,25 +13,19 @@
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
 #include "base/strings.hpp"
-#include "chisel/designs.hpp"
-#include "hls/tool.hpp"
-#include "idct/chenwang.hpp"
-#include "idct/reference.hpp"
-#include "rtl/designs.hpp"
 #include "sim/simulator.hpp"
+#include "workload/workload.hpp"
 
 using namespace hlshc;
 
 int main(int argc, char** argv) {
   const std::string flow = argc > 1 ? argv[1] : "verilog";
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
   netlist::Design design = [&] {
-    if (flow == "chisel") return chisel::build_chisel_opt();
-    if (flow == "vhls") {
-      hls::VhlsOptions o;
-      o.pragmas = true;
-      return hls::compile_vhls(hls::idct_source(), o).design;
-    }
-    return rtl::build_verilog_opt2();
+    if (flow == "chisel") return spec.builder("chisel_opt").build();
+    if (flow == "vhls") return spec.builder("vhls_pragmas").build();
+    return spec.builder("verilog_opt2").build();
   }();
   std::printf("decoding through '%s'\n", design.name().c_str());
 
@@ -53,7 +47,7 @@ int main(int argc, char** argv) {
         for (int c = 0; c < 8; ++c)
           idct::at(spatial, r, c) =
               image[static_cast<size_t>((8 * by + r) * kDim + 8 * bx + c)];
-      coeff_blocks.push_back(idct::forward_dct_reference(spatial));
+      coeff_blocks.push_back(spec.encode ? spec.encode(spatial) : spatial);
     }
 
   // Decode all blocks through the hardware design in one streaming run.
@@ -65,8 +59,7 @@ int main(int argc, char** argv) {
   // from the original image (the transform itself is lossy by rounding).
   int mismatches = 0, worst = 0;
   for (int b = 0; b < kBlocks; ++b) {
-    idct::Block sw = coeff_blocks[static_cast<size_t>(b)];
-    idct::idct_2d(sw);
+    idct::Block sw = spec.reference(coeff_blocks[static_cast<size_t>(b)]);
     if (sw != decoded[static_cast<size_t>(b)]) ++mismatches;
     int by = b / (kDim / 8), bx = b % (kDim / 8);
     for (int r = 0; r < 8; ++r)

@@ -16,8 +16,6 @@
 #include "framework/compose.hpp"
 #include "hls/ast.hpp"
 #include "hls/tool.hpp"
-#include "idct/chenwang.hpp"
-#include "idct/reference.hpp"
 #include "sim/simulator.hpp"
 #include "tools/compile.hpp"
 #include "xls/pipeline.hpp"

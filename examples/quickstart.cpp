@@ -8,17 +8,19 @@
 #include "axis/testbench.hpp"
 #include "base/strings.hpp"
 #include "core/evaluate.hpp"
-#include "idct/chenwang.hpp"
-#include "rtl/designs.hpp"
 #include "sim/simulator.hpp"
 #include "tools/compile.hpp"
+#include "workload/workload.hpp"
 
 using namespace hlshc;
 
 int main() {
   // 1. Elaborate a design. Every flow in this library produces the same
-  //    netlist IR; here we take the paper's optimized Verilog baseline.
-  netlist::Design design = rtl::build_verilog_opt2();
+  //    netlist IR; here we take the paper's optimized Verilog baseline from
+  //    the workload registry.
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
+  netlist::Design design = spec.builder("verilog_opt2").build();
   std::printf("design '%s': %zu netlist nodes\n", design.name().c_str(),
               design.node_count());
 
@@ -37,15 +39,14 @@ int main() {
   std::printf("\nIDCT result (hardware, %d-cycle latency):\n%s",
               tb.timing().latency_cycles, idct::to_string(out[0]).c_str());
 
-  // 4. Cross-check against the ISO 13818-4 software model.
-  idct::Block sw = coeffs;
-  idct::idct_2d(sw);
+  // 4. Cross-check against the workload's golden reference model.
+  idct::Block sw = spec.reference(coeffs);
   std::printf("matches software model: %s\n",
               out[0] == sw ? "yes" : "NO");
 
   // 5. The paper's measurement procedure: verify, measure T_L/T_P,
   //    synthesize with and without DSPs, compute P and Q.
-  core::DesignEvaluation ev = tools::evaluate_design(design);
+  core::DesignEvaluation ev = tools::evaluate_design(design, spec);
   std::printf("\nevaluation: fmax=%s MHz, P=%s MOPS, A=%s, Q=%s\n",
               format_fixed(ev.fmax_mhz, 2).c_str(),
               format_fixed(ev.throughput_mops, 2).c_str(),

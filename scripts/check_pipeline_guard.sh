@@ -62,7 +62,33 @@ if ! grep -q 'tools::compile(' src/svc/cache.cpp; then
   fail=1
 fi
 
+# The workload registry (src/workload) is the only production gateway to the
+# IDCT golden model and stimulus: code elsewhere must consume a WorkloadSpec
+# (reference/encode/eval_stimulus/campaign_inputs) so every workload flows
+# through the same compare path. Exemptions:
+#   src/idct             - implements the model
+#   src/workload         - wraps it into the registry
+#   bench/bench_idct_kernel.cpp, bench/bench_ieee1180.cpp - microbench the C
+#                          kernel itself, not a hardware design
+# Tests may call anything: they pin the model on purpose.
+# (The chenwang constants kW1..kW7 stay fair game: the rtl/chisel/maxj
+# frontends use them to *build* the IDCT's hardware, which is exactly their
+# job; only the software model and reference transforms are gated.)
+idct_hits=$(grep -rnE '\bidct::(idct_2d|idct_2d_straight|idct_1d|idct_reference|forward_dct_reference)\b|"idct/reference\.hpp"' \
+    src bench examples --include='*.cpp' --include='*.hpp' \
+  | grep -vE '^src/(idct|workload)/' \
+  | grep -vE '^bench/bench_(idct_kernel|ieee1180)\.cpp:' \
+  || true)
+if [ -n "$idct_hits" ]; then
+  echo "ERROR: direct IDCT model reference outside the workload registry:" >&2
+  echo "$idct_hits" >&2
+  echo "Consume a workload::WorkloadSpec (reference/encode/stimulus hooks)" \
+       "instead (src/workload/workload.hpp)." >&2
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "pipeline guard: OK (all flows route through tools::compile)"
+  echo "pipeline guard: OK (all flows route through tools::compile," \
+       "IDCT model access through the workload registry)"
 fi
 exit "$fail"

@@ -2,47 +2,32 @@
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
-#include "idct/chenwang.hpp"
-#include "idct/reference.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace hlshc::core {
 
 DesignEvaluation evaluate_axis_design(const netlist::Design& design,
+                                      const workload::WorkloadSpec& spec,
                                       const EvaluateOptions& options) {
   obs::Span span("evaluate.design", "core");
   span.arg("design", design.name());
+  span.arg("workload", spec.name);
   DesignEvaluation ev;
   ev.name = design.name();
 
-  // 1+2: simulate, verify, measure.
+  // 1+2: simulate, verify, measure. Stimulus, reference model and the
+  // accept/reject judgement are the workload's (the same hooks the fault
+  // campaigns classify against, so the two paths cannot drift).
   std::unique_ptr<sim::Engine> sim = sim::make_engine(design, options.engine);
   if (options.deadline) sim->set_deadline(options.deadline);
   axis::StreamTestbench tb(*sim);
-  SplitMix64 rng(options.seed);
-  std::vector<idct::Block> ins;
-  for (int i = 0; i < options.matrices; ++i) {
-    idct::Block b{};
-    if (options.realistic_inputs) {
-      idct::Block spatial{};
-      for (auto& v : spatial)
-        v = static_cast<int32_t>(rng.next_in(-256, 255));
-      b = idct::forward_dct_reference(spatial);
-    } else {
-      for (auto& v : b)
-        v = static_cast<int32_t>(
-            rng.next_in(idct::kCoeffMin, idct::kCoeffMax));
-    }
-    ins.push_back(b);
-  }
+  std::vector<workload::Frame> ins = workload::eval_input_set(
+      spec, options.matrices, options.seed, options.realistic_inputs);
   auto outs = tb.run(ins, options.max_cycles);
-  ev.functional = outs.size() == ins.size() && tb.monitor().clean();
-  for (size_t i = 0; ev.functional && i < ins.size(); ++i) {
-    idct::Block want = ins[i];
-    idct::idct_2d(want);
-    if (outs[i] != want) ev.functional = false;
-  }
+  ev.functional = tb.monitor().clean() &&
+                  workload::diff_outputs(
+                      spec, workload::reference_outputs(spec, ins), outs) == 0;
   ev.latency_cycles = tb.timing().latency_cycles;
   ev.periodicity_cycles = tb.timing().periodicity_cycles;
 
@@ -62,6 +47,12 @@ DesignEvaluation evaluate_axis_design(const netlist::Design& design,
   ev.throughput_mops =
       ev.periodicity_cycles > 0 ? ev.fmax_mhz / ev.periodicity_cycles : 0.0;
   return ev;
+}
+
+DesignEvaluation evaluate_axis_design(const netlist::Design& design,
+                                      const EvaluateOptions& options) {
+  return evaluate_axis_design(
+      design, workload::Registry::instance().get("idct"), options);
 }
 
 DesignEvaluation from_maxj(const std::string& name,

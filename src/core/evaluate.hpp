@@ -22,6 +22,7 @@
 #include "netlist/passes.hpp"
 #include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
+#include "workload/workload.hpp"
 
 namespace hlshc::core {
 
@@ -58,7 +59,15 @@ struct EvaluateOptions {
   std::shared_ptr<const Deadline> deadline;
 };
 
-/// Full procedure for a canonical-port AXI-Stream design.
+/// Full procedure for a canonical-port AXI-Stream design implementing
+/// `spec`: stimulus, reference model and quality judge all come from the
+/// workload registry entry.
+DesignEvaluation evaluate_axis_design(const netlist::Design& design,
+                                      const workload::WorkloadSpec& spec,
+                                      const EvaluateOptions& options = {});
+
+/// Convenience overload against the registered "idct" workload (the
+/// paper's benchmark); bit-identical to the historical hardwired path.
 DesignEvaluation evaluate_axis_design(const netlist::Design& design,
                                       const EvaluateOptions& options = {});
 

@@ -8,10 +8,7 @@
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
 #include "base/strings.hpp"
-#include "core/diff.hpp"
 #include "core/report.hpp"
-#include "idct/chenwang.hpp"
-#include "idct/reference.hpp"
 #include "netlist/exec_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -35,16 +32,8 @@ const char* outcome_name(Outcome outcome) {
 }
 
 std::vector<idct::Block> ieee1180_input_set(int matrices, long seed) {
-  Ieee1180Rng rng(seed);
-  std::vector<idct::Block> blocks;
-  blocks.reserve(static_cast<size_t>(matrices));
-  for (int i = 0; i < matrices; ++i) {
-    idct::Block spatial{};
-    for (auto& v : spatial)
-      v = static_cast<int32_t>(rng.next(256, 255));
-    blocks.push_back(idct::forward_dct_reference(spatial));
-  }
-  return blocks;
+  return workload::campaign_input_set(
+      workload::Registry::instance().get("idct"), matrices, seed);
 }
 
 namespace {
@@ -156,7 +145,8 @@ void report_progress(const CampaignOptions& options,
 /// compare against golden. Pure in (design, site, inputs) — the engine is
 /// reset by the testbench each run, so engine reuse and sharding order
 /// cannot influence the outcome.
-Outcome classify_site(sim::Engine& sim, const FaultSite& site,
+Outcome classify_site(sim::Engine& sim, const workload::WorkloadSpec& spec,
+                      const FaultSite& site,
                       const std::vector<idct::Block>& inputs,
                       const std::vector<idct::Block>& golden,
                       const std::vector<std::string>& detectors,
@@ -173,7 +163,7 @@ Outcome classify_site(sim::Engine& sim, const FaultSite& site,
       flagged = flagged || sim.output(port).to_bool();
     if (flagged)
       outcome = Outcome::kDetected;
-    else if (core::diff_block_sequences(golden, got) != 0)
+    else if (workload::diff_outputs(spec, golden, got) != 0)
       outcome = Outcome::kSdc;
     else
       outcome = Outcome::kMasked;
@@ -203,6 +193,7 @@ void count_outcome(Outcome outcome, CampaignCounts* counts) {
 }  // namespace
 
 CampaignReport run_campaign(const Design& d,
+                            const workload::WorkloadSpec& spec,
                             const std::vector<FaultSite>& sites,
                             const CampaignOptions& options) {
   const int jobs = std::max<int64_t>(
@@ -211,6 +202,7 @@ CampaignReport run_campaign(const Design& d,
              static_cast<int64_t>(sites.size())));
   obs::Span span("fault.campaign", "fault");
   span.arg("design", d.name())
+      .arg("workload", spec.name)
       .arg("sites", static_cast<int64_t>(sites.size()))
       .arg("engine", sim::engine_kind_name(options.engine))
       .arg("jobs", static_cast<int64_t>(jobs));
@@ -219,15 +211,10 @@ CampaignReport run_campaign(const Design& d,
   CampaignReport report;
   report.design_name = d.name();
 
-  const std::vector<idct::Block> inputs =
-      ieee1180_input_set(options.matrices, options.input_seed);
-  std::vector<idct::Block> model;
-  model.reserve(inputs.size());
-  for (const idct::Block& b : inputs) {
-    idct::Block want = b;
-    idct::idct_2d(want);
-    model.push_back(want);
-  }
+  const std::vector<idct::Block> inputs = workload::campaign_input_set(
+      spec, options.matrices, options.input_seed);
+  const std::vector<idct::Block> model =
+      workload::reference_outputs(spec, inputs);
 
   // The fault-free reference run also pre-warms every derived cache on the
   // design — validation, topo order, and (for the compiled engine) the
@@ -243,7 +230,7 @@ CampaignReport run_campaign(const Design& d,
     reference = tb.run(inputs, options.max_cycles);
   }
   report.reference_functional =
-      core::diff_block_sequences(model, reference) == 0;
+      workload::diff_outputs(spec, model, reference) == 0;
   const std::vector<idct::Block>& golden =
       report.reference_functional ? model : reference;
 
@@ -258,7 +245,7 @@ CampaignReport run_campaign(const Design& d,
     int completed = 0;
     for (const FaultSite& site : sites) {
       const Outcome outcome =
-          classify_site(*sim, site, inputs, golden, detectors, options);
+          classify_site(*sim, spec, site, inputs, golden, detectors, options);
       count_outcome(outcome, &report.counts);
       if (options.keep_runs) report.runs.push_back({site, outcome});
       ++completed;
@@ -289,8 +276,8 @@ CampaignReport run_campaign(const Design& d,
             if (options.deadline) engine->set_deadline(options.deadline);
           }
           const Outcome outcome =
-              classify_site(*engine, sites[static_cast<size_t>(i)], inputs,
-                            golden, detectors, options);
+              classify_site(*engine, spec, sites[static_cast<size_t>(i)],
+                            inputs, golden, detectors, options);
           outcomes[static_cast<size_t>(i)] = outcome;
           switch (outcome) {
             case Outcome::kMasked: ++masked; break;
@@ -324,7 +311,15 @@ CampaignReport run_campaign(const Design& d,
   return report;
 }
 
+CampaignReport run_campaign(const Design& d,
+                            const std::vector<FaultSite>& sites,
+                            const CampaignOptions& options) {
+  return run_campaign(d, workload::Registry::instance().get("idct"), sites,
+                      options);
+}
+
 DesignResilience resilience_from_campaign(const Design& d,
+                                          const workload::WorkloadSpec& spec,
                                           CampaignReport campaign,
                                           const synth::NormalizedSynth& ds,
                                           const CampaignOptions& options) {
@@ -335,7 +330,7 @@ DesignResilience resilience_from_campaign(const Design& d,
   std::unique_ptr<sim::Engine> sim = sim::make_engine(d, options.engine);
   axis::StreamTestbench tb(*sim);
   const int matrices = std::max(options.matrices, 4);
-  tb.run(ieee1180_input_set(matrices, options.input_seed),
+  tb.run(workload::campaign_input_set(spec, matrices, options.input_seed),
          options.max_cycles * static_cast<uint64_t>(matrices));
   r.periodicity_cycles = tb.timing().periodicity_cycles;
 
@@ -349,12 +344,29 @@ DesignResilience resilience_from_campaign(const Design& d,
   return r;
 }
 
+DesignResilience resilience_from_campaign(const Design& d,
+                                          CampaignReport campaign,
+                                          const synth::NormalizedSynth& ds,
+                                          const CampaignOptions& options) {
+  return resilience_from_campaign(d, workload::Registry::instance().get("idct"),
+                                  std::move(campaign), ds, options);
+}
+
+DesignResilience evaluate_resilience(const Design& d,
+                                     const workload::WorkloadSpec& spec,
+                                     const std::vector<FaultSite>& sites,
+                                     const synth::NormalizedSynth& ds,
+                                     const CampaignOptions& options) {
+  return resilience_from_campaign(d, spec, run_campaign(d, spec, sites, options),
+                                  ds, options);
+}
+
 DesignResilience evaluate_resilience(const Design& d,
                                      const std::vector<FaultSite>& sites,
                                      const synth::NormalizedSynth& ds,
                                      const CampaignOptions& options) {
-  return resilience_from_campaign(d, run_campaign(d, sites, options), ds,
-                                  options);
+  return evaluate_resilience(d, workload::Registry::instance().get("idct"),
+                             sites, ds, options);
 }
 
 std::string resilience_table(const std::vector<DesignResilience>& rows) {

@@ -33,6 +33,7 @@
 #include "netlist/ir.hpp"
 #include "sim/engine.hpp"
 #include "synth/synthesize.hpp"
+#include "workload/workload.hpp"
 
 namespace hlshc::fault {
 
@@ -116,11 +117,20 @@ struct CampaignReport {
   std::string progress_error;
 };
 
-/// The campaign stimulus: IEEE 1180 (L,H)=(256,255) spatial blocks pushed
-/// through the reference forward DCT, i.e. realistic coefficient matrices.
+/// The IDCT campaign stimulus: IEEE 1180 (L,H)=(256,255) spatial blocks
+/// pushed through the reference forward DCT, i.e. realistic coefficient
+/// matrices. Equivalent to the registered "idct" workload's campaign set.
 std::vector<idct::Block> ieee1180_input_set(int matrices, long seed = 1);
 
-/// One run per site; every site is validated before any run starts.
+/// One run per site; every site is validated before any run starts. The
+/// campaign stimulus, reference model and SDC judgement come from `spec`.
+CampaignReport run_campaign(const netlist::Design& d,
+                            const workload::WorkloadSpec& spec,
+                            const std::vector<FaultSite>& sites,
+                            const CampaignOptions& options = {});
+
+/// Convenience overload against the registered "idct" workload;
+/// bit-identical to the historical hardwired path.
 CampaignReport run_campaign(const netlist::Design& d,
                             const std::vector<FaultSite>& sites,
                             const CampaignOptions& options = {});
@@ -141,6 +151,11 @@ struct DesignResilience {
 /// the caller controls the netlist pipeline — benches pass the result of
 /// tools::compile_synth_normalized, tests may synthesize directly.
 DesignResilience evaluate_resilience(const netlist::Design& d,
+                                     const workload::WorkloadSpec& spec,
+                                     const std::vector<FaultSite>& sites,
+                                     const synth::NormalizedSynth& ds,
+                                     const CampaignOptions& options = {});
+DesignResilience evaluate_resilience(const netlist::Design& d,
                                      const std::vector<FaultSite>& sites,
                                      const synth::NormalizedSynth& ds,
                                      const CampaignOptions& options = {});
@@ -148,6 +163,11 @@ DesignResilience evaluate_resilience(const netlist::Design& d,
 /// The A/P/Q half of evaluate_resilience joined with an already-run
 /// campaign — lets the bench time serial and parallel campaigns separately
 /// without paying for a third one.
+DesignResilience resilience_from_campaign(const netlist::Design& d,
+                                          const workload::WorkloadSpec& spec,
+                                          CampaignReport campaign,
+                                          const synth::NormalizedSynth& ds,
+                                          const CampaignOptions& options = {});
 DesignResilience resilience_from_campaign(const netlist::Design& d,
                                           CampaignReport campaign,
                                           const synth::NormalizedSynth& ds,

@@ -37,7 +37,9 @@ StreamIo make_stream_inputs(Design& d) {
 netlist::Design wrap_matrix_kernel(const MatrixKernel& kernel,
                                    const std::string& name) {
   const int L = kernel.latency;
+  const int W = kernel.out_width;
   HLSHC_CHECK(L >= 0, "negative kernel latency");
+  HLSHC_CHECK(W >= 1 && W <= 32, "bad kernel out_width " << W);
 
   Design d(name);
   StreamIo io = make_stream_inputs(d);
@@ -127,10 +129,10 @@ netlist::Design wrap_matrix_kernel(const MatrixKernel& kernel,
     for (int r = 0; r < 8; ++r)
       for (int c = 0; c < 8; ++c) {
         NodeId y = kout.at("y" + std::to_string(r * 8 + c));
-        NodeId reg = d.reg(axis::kOutElemWidth, 0,
+        NodeId reg = d.reg(W, 0,
                            "outbuf" + std::to_string(b) + "_r" +
                                std::to_string(r) + "c" + std::to_string(c));
-        d.set_reg_next(reg, d.slice(y, axis::kOutElemWidth - 1, 0), bank_en);
+        d.set_reg_next(reg, d.slice(y, W - 1, 0), bank_en);
         outbuf[static_cast<size_t>(b)][static_cast<size_t>(r)]
               [static_cast<size_t>(c)] = reg;
       }

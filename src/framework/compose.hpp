@@ -32,10 +32,13 @@
 namespace hlshc::framework {
 
 /// Contract for a matrix kernel: inputs "x0".."x63" of 12 bits, outputs
-/// "y0".."y63" of >= 9 bits (low 9 bits are the samples).
+/// "y0".."y63" of >= out_width bits (the low out_width bits are the
+/// samples). out_width defaults to the 9-bit IDCT sample width; wider
+/// kernels (the workload registry's 12-bit fDCT/FIR/matmul) declare it.
 struct MatrixKernel {
   const netlist::Design& design;
   int latency = 0;
+  int out_width = 9;
 };
 
 /// Contract for a 1-D pass kernel: inputs "i0".."i7", outputs "o0".."o7"

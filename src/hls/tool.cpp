@@ -96,23 +96,32 @@ ScheduleOptions bambu_schedule_options(const BambuOptions& options) {
   return s;
 }
 
-HlsCompileResult compile_bambu(const std::string& source,
-                               const BambuOptions& options) {
+HlsCompileResult compile_bambu_top(const std::string& source,
+                                   const std::string& top,
+                                   const BambuOptions& options,
+                                   int out_width,
+                                   const std::string& wrap_name) {
   obs::Span span("hls.compile_bambu", "hls");
   span.arg("config", options.label());
+  span.arg("top", top);
   Program prog = parse(source);
   LowerOptions lo;
   lo.inline_functions = true;  // Bambu inlines these leaves by default
-  Dfg dfg = lower(prog, "idct", lo);
+  Dfg dfg = lower(prog, top, lo);
   ScheduleOptions so = bambu_schedule_options(options);
   Schedule sched = schedule(dfg, so);
   KernelResult kernel =
       codegen_sequential(dfg, sched, so, "bambu_kernel");
-  HlsCompileResult res{wrap_axis_sequential(kernel,
-                                            "bambu_" + options.label()),
+  HlsCompileResult res{wrap_axis_sequential(kernel, wrap_name, out_width),
                        sched.length, kernel.mul_units, kernel.value_regs,
                        false};
   return res;
+}
+
+HlsCompileResult compile_bambu(const std::string& source,
+                               const BambuOptions& options) {
+  return compile_bambu_top(source, "idct", options, 9,
+                           "bambu_" + options.label());
 }
 
 HlsCompileResult compile_vhls(const std::string& source,

@@ -69,6 +69,18 @@ std::string idct_source();
 
 HlsCompileResult compile_bambu(const std::string& source,
                                const BambuOptions& options);
+
+/// compile_bambu generalized beyond the IDCT: `top` names the entry
+/// function (one short[64] parameter), `out_width` the output sample width
+/// the AXI adapter slices from the kernel RAM, and `wrap_name` the wrapped
+/// design's name. The workload registry's fDCT/FIR/matmul HLS builders go
+/// through here; compile_bambu(src, o) is exactly
+/// compile_bambu_top(src, "idct", o, 9, "bambu_" + o.label()).
+HlsCompileResult compile_bambu_top(const std::string& source,
+                                   const std::string& top,
+                                   const BambuOptions& options,
+                                   int out_width,
+                                   const std::string& wrap_name);
 HlsCompileResult compile_vhls(const std::string& source,
                               const VhlsOptions& options);
 

@@ -21,7 +21,10 @@ constexpr int kShort = 16;
 }  // namespace
 
 netlist::Design wrap_axis_sequential(const KernelResult& kernel,
-                                     const std::string& name) {
+                                     const std::string& name,
+                                     int out_width) {
+  HLSHC_CHECK(out_width >= 1 && out_width <= kShort,
+              "bad wrapper out_width " << out_width);
   Design d(name);
   std::array<NodeId, 8> lane;
   for (int c = 0; c < 8; ++c)
@@ -43,7 +46,7 @@ netlist::Design wrap_axis_sequential(const KernelResult& kernel,
     staging[static_cast<size_t>(c)] =
         d.reg(axis::kInElemWidth, 0, "stg" + std::to_string(c));
     ostg[static_cast<size_t>(c)] =
-        d.reg(axis::kOutElemWidth, 0, "ostg" + std::to_string(c));
+        d.reg(out_width, 0, "ostg" + std::to_string(c));
   }
 
   auto phase_is = [&](int p) { return d.eq(phase, d.constant(2, p)); };
@@ -102,7 +105,7 @@ netlist::Design wrap_axis_sequential(const KernelResult& kernel,
   for (int c = 0; c < 8; ++c) {
     NodeId en = d.band(in_read, d.eq(relem, d.constant(3, c)), 1);
     d.set_reg_next(ostg[static_cast<size_t>(c)],
-                   d.slice(ext_rdata, axis::kOutElemWidth - 1, 0), en);
+                   d.slice(ext_rdata, out_width - 1, 0), en);
   }
   d.set_reg_next(relem, d.mux(in_read, d.add(relem, d.constant(3, 1), 3),
                               d.constant(3, 0), 3));

@@ -25,9 +25,12 @@
 
 namespace hlshc::hls {
 
-/// Sequential wrapper around a codegen_sequential() kernel.
+/// Sequential wrapper around a codegen_sequential() kernel. `out_width` is
+/// the output sample width sliced from the kernel RAM read-back (9 bits =
+/// the IDCT sample width; registry workloads with 12-bit outputs widen it).
 netlist::Design wrap_axis_sequential(const KernelResult& kernel,
-                                     const std::string& name);
+                                     const std::string& name,
+                                     int out_width = 9);
 
 /// Converts a leaf DFG (from lower_leaf) to a pure combinational netlist
 /// function with ports i0..iN-1 (of `input_width` bits) and o0..oN-1

@@ -5,15 +5,14 @@
 #include <ostream>
 #include <utility>
 
-#include "chisel/designs.hpp"
 #include "core/evaluate.hpp"
 #include "fault/campaign.hpp"
 #include "fault/model.hpp"
 #include "netlist/dump.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "rtl/designs.hpp"
 #include "tools/flows.hpp"
+#include "workload/workload.hpp"
 
 namespace hlshc::svc {
 
@@ -68,11 +67,18 @@ Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache),
       queue_(options.workers, options.queue_capacity) {
-  register_design("verilog_initial", rtl::build_verilog_initial);
-  register_design("verilog_opt1", rtl::build_verilog_opt1);
-  register_design("verilog_opt2", rtl::build_verilog_opt2);
-  register_design("chisel_initial", chisel::build_chisel_initial);
-  register_design("chisel_opt", chisel::build_chisel_opt);
+  // Every fast workload builder under its qualified "<workload>.<builder>"
+  // name; slow builders (vhls) stay out of the long-running service.
+  const workload::Registry& reg = workload::Registry::instance();
+  for (const auto& [wname, spec] : reg.all())
+    for (const workload::BuilderInfo& b : spec.builders)
+      if (!b.slow) register_design(wname + "." + b.name, b.build);
+  // The historical bare names predate the registry; keep them resolving to
+  // the same IDCT builders so existing clients see no change.
+  const workload::WorkloadSpec& idct = reg.get("idct");
+  for (const char* name : {"verilog_initial", "verilog_opt1", "verilog_opt2",
+                           "chisel_initial", "chisel_opt"})
+    register_design(name, idct.builder(name).build);
 }
 
 Server::~Server() = default;
@@ -210,8 +216,12 @@ Json Server::dispatch(const Request& req,
     Json names = Json::array();
     for (const std::string& name : design_names())
       names.push(Json::string(name));
+    Json workloads = Json::array();
+    for (const std::string& name : workload::Registry::instance().names())
+      workloads.push(Json::string(name));
     Json result = Json::object();
     result.set("designs", std::move(names));
+    result.set("workloads", std::move(workloads));
     return result;
   }
   if (req.method == "stats") return handle_stats();
@@ -243,6 +253,40 @@ netlist::Design Server::build_design(const Json& params) const {
   return builder();
 }
 
+const workload::WorkloadSpec& Server::resolve_workload(
+    const Json& params) const {
+  const workload::Registry& reg = workload::Registry::instance();
+  const Json* v = params.find("workload");
+  if (v) {
+    if (v->kind() != Json::Kind::kString)
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "params.workload must be a string");
+    const workload::WorkloadSpec* spec = reg.find(v->as_string());
+    if (!spec) {
+      std::string known;
+      for (const std::string& name : reg.names()) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "unknown workload '" + v->as_string() +
+                              "' (known: " + known + ')');
+    }
+    return *spec;
+  }
+  // Qualified design names carry their workload; a registered test design
+  // that happens to contain a dot just falls through to the default.
+  const Json* d = params.find("design");
+  if (d && d->kind() == Json::Kind::kString) {
+    const std::string& name = d->as_string();
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos)
+      if (const workload::WorkloadSpec* spec = reg.find(name.substr(0, dot)))
+        return *spec;
+  }
+  return reg.get("idct");
+}
+
 tools::CompileOptions Server::compile_options(
     const Json& params,
     const std::shared_ptr<const Deadline>& deadline) const {
@@ -257,6 +301,9 @@ tools::CompileOptions Server::compile_options(
 
 Json Server::handle_compile(const Request& req,
                             const std::shared_ptr<const Deadline>& deadline) {
+  // Validate params.workload up front so a typo is an invalid_request, not a
+  // half-finished compile.
+  const workload::WorkloadSpec& spec = resolve_workload(req.params);
   const netlist::Design design = build_design(req.params);
   if (deadline) deadline->check("compile of '" + design.name() + "' (built)");
   const CachedCompile compiled =
@@ -264,6 +311,7 @@ Json Server::handle_compile(const Request& req,
 
   Json result = Json::object();
   result.set("design", Json::string(design.name()));
+  result.set("workload", Json::string(spec.name));
   result.set("cached", Json::boolean(compiled.hit));
   result.set("key", Json::string(compiled.key));
   result.set("content_hash", Json::string(compiled.result_hash));
@@ -284,6 +332,7 @@ Json Server::handle_compile(const Request& req,
 
 Json Server::handle_evaluate(const Request& req,
                              const std::shared_ptr<const Deadline>& deadline) {
+  const workload::WorkloadSpec& spec = resolve_workload(req.params);
   const netlist::Design design = build_design(req.params);
   if (deadline) deadline->check("evaluate of '" + design.name() + "' (built)");
   // The same decomposition as tools::evaluate_design — compile through the
@@ -299,10 +348,11 @@ Json Server::handle_evaluate(const Request& req,
       int64_t{1} << 40));
   eval.deadline = deadline;
   const core::DesignEvaluation ev =
-      core::evaluate_axis_design(*compiled.design, eval);
+      core::evaluate_axis_design(*compiled.design, spec, eval);
 
   Json result = Json::object();
   result.set("design", Json::string(design.name()));
+  result.set("workload", Json::string(spec.name));
   result.set("cached", Json::boolean(compiled.hit));
   result.set("functional", Json::boolean(ev.functional));
   result.set("latency_cycles", Json::number(ev.latency_cycles));
@@ -316,6 +366,7 @@ Json Server::handle_evaluate(const Request& req,
 
 Json Server::handle_campaign(const Request& req,
                              const std::shared_ptr<const Deadline>& deadline) {
+  const workload::WorkloadSpec& spec = resolve_workload(req.params);
   const netlist::Design design = build_design(req.params);
   if (deadline) deadline->check("campaign on '" + design.name() + "' (built)");
   const CachedCompile compiled =
@@ -355,7 +406,7 @@ Json Server::handle_campaign(const Request& req,
   copts.keep_runs = false;
   copts.deadline = deadline;
   const fault::CampaignReport report =
-      fault::run_campaign(*compiled.design, fault_sites, copts);
+      fault::run_campaign(*compiled.design, spec, fault_sites, copts);
 
   Json counts = Json::object();
   counts.set("masked", Json::number(report.counts.masked));
@@ -364,6 +415,7 @@ Json Server::handle_campaign(const Request& req,
   counts.set("hang", Json::number(report.counts.hang));
   Json result = Json::object();
   result.set("design", Json::string(design.name()));
+  result.set("workload", Json::string(spec.name));
   result.set("cached", Json::boolean(compiled.hit));
   result.set("reference_functional",
              Json::boolean(report.reference_functional));

@@ -52,6 +52,7 @@
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 #include "tools/compile.hpp"
+#include "workload/workload.hpp"
 
 namespace hlshc::svc {
 
@@ -79,9 +80,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Adds (or replaces) a buildable design. The built-in registry covers the
-  /// paper's Verilog and Chisel families; tests register hostile builders
-  /// (throwing, slow) through the same hook.
+  /// Adds (or replaces) a buildable design. The built-in set mirrors the
+  /// workload registry — every fast builder as "<workload>.<builder>" plus
+  /// the historical bare names for the paper's Verilog and Chisel families;
+  /// tests register hostile builders (throwing, slow) through the same hook.
   void register_design(const std::string& name,
                        std::function<netlist::Design()> builder);
   std::vector<std::string> design_names() const;
@@ -123,6 +125,11 @@ class Server {
   /// Builds the design named in params.design (kInvalidRequest when absent
   /// or unregistered). The builder runs on the worker, under the deadline.
   netlist::Design build_design(const obs::Json& params) const;
+  /// The workload spec a request measures against: an explicit
+  /// params.workload wins (kInvalidRequest when unregistered); otherwise a
+  /// "<workload>." design-name prefix is honoured when it names a registry
+  /// entry; otherwise the paper's default, "idct".
+  const workload::WorkloadSpec& resolve_workload(const obs::Json& params) const;
   tools::CompileOptions compile_options(
       const obs::Json& params,
       const std::shared_ptr<const Deadline>& deadline) const;

@@ -58,6 +58,17 @@ core::DesignEvaluation evaluate_design(const netlist::Design& design,
   return ev;
 }
 
+core::DesignEvaluation evaluate_design(const netlist::Design& design,
+                                       const workload::WorkloadSpec& spec,
+                                       const CompileOptions& options,
+                                       const core::EvaluateOptions& eval_options) {
+  CompiledDesign c = compile(design, options);
+  core::DesignEvaluation ev =
+      core::evaluate_axis_design(c.design, spec, eval_options);
+  ev.pipeline = std::move(c.stats);
+  return ev;
+}
+
 std::string render_pass_breakdown(const std::string& design_name,
                                   const netlist::PassStats& stats) {
   core::Table t({"design", "iter", "pass", "changes", "nodes before",

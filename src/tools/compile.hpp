@@ -63,6 +63,13 @@ core::DesignEvaluation evaluate_design(
     const netlist::Design& design, const CompileOptions& options = {},
     const core::EvaluateOptions& eval_options = {});
 
+/// Same, but measured against an explicit workload registry entry instead
+/// of the default "idct" spec.
+core::DesignEvaluation evaluate_design(
+    const netlist::Design& design, const workload::WorkloadSpec& spec,
+    const CompileOptions& options = {},
+    const core::EvaluateOptions& eval_options = {});
+
 /// Human-readable per-pass breakdown table (bench_table2 --verbose,
 /// bench_passes): one row per pass run with iteration, changes, node counts
 /// and wall time.

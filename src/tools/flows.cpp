@@ -5,7 +5,6 @@
 #include "base/strings.hpp"
 #include "tools/compile.hpp"
 #include "bsv/designs.hpp"
-#include "chisel/designs.hpp"
 #include "core/diff.hpp"
 #include "core/loc.hpp"
 #include "core/metrics.hpp"
@@ -13,7 +12,7 @@
 #include "maxj/kernels.hpp"
 #include "maxj/system.hpp"
 #include "par/sweep.hpp"
-#include "rtl/designs.hpp"
+#include "workload/workload.hpp"
 #include "xls/designs.hpp"
 
 namespace hlshc::tools {
@@ -22,6 +21,14 @@ namespace {
 
 using core::DesignEvaluation;
 using core::ScatterPoint;
+
+/// Canonical named designs come from the workload registry — the flows no
+/// longer hardwire the IDCT frontends. Configuration sweeps (BSV scheduler
+/// grid, XLS stage sweep, the 42 Bambu configs) still call the frontends
+/// directly with their swept options.
+netlist::Design registry_build(const std::string& builder) {
+  return workload::Registry::instance().get("idct").builder(builder).build();
+}
 
 int code_loc(const std::string& rel) {
   return core::count_data_file(rel, core::language_of(rel)).code;
@@ -57,8 +64,8 @@ class VerilogFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(rtl::build_verilog_initial());
-    r.optimized = evaluate_design(rtl::build_verilog_opt2());
+    r.initial = evaluate_design(registry_build("verilog_initial"));
+    r.optimized = evaluate_design(registry_build("verilog_opt2"));
     r.loc.initial = code_loc("verilog/idct_initial.v");
     r.loc.optimized = code_loc("verilog/idct_opt.v");
     r.loc.delta = core::diff_data_files("verilog/idct_initial.v",
@@ -69,13 +76,13 @@ class VerilogFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "initial", [] {
-      return evaluate_design(rtl::build_verilog_initial());
+      return evaluate_design(registry_build("verilog_initial"));
     }));
     out.push_back(task(family(), "opt1-1row8col", [] {
-      return evaluate_design(rtl::build_verilog_opt1());
+      return evaluate_design(registry_build("verilog_opt1"));
     }));
     out.push_back(task(family(), "opt2-pipelined", [] {
-      return evaluate_design(rtl::build_verilog_opt2());
+      return evaluate_design(registry_build("verilog_opt2"));
     }));
     return out;
   }
@@ -92,8 +99,8 @@ class ChiselFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(chisel::build_chisel_initial());
-    r.optimized = evaluate_design(chisel::build_chisel_opt());
+    r.initial = evaluate_design(registry_build("chisel_initial"));
+    r.optimized = evaluate_design(registry_build("chisel_opt"));
     int shared = code_loc("chisel/Butterfly.scala");
     r.loc.initial = shared + code_loc("chisel/IdctInitial.scala");
     r.loc.optimized = shared + code_loc("chisel/IdctOpt.scala");
@@ -105,10 +112,10 @@ class ChiselFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
     out.push_back(task(family(), "initial", [] {
-      return evaluate_design(chisel::build_chisel_initial());
+      return evaluate_design(registry_build("chisel_initial"));
     }));
     out.push_back(task(family(), "opt", [] {
-      return evaluate_design(chisel::build_chisel_opt());
+      return evaluate_design(registry_build("chisel_opt"));
     }));
     return out;
   }
@@ -158,8 +165,8 @@ class BsvFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(bsv::build_bsv_initial());
-    r.optimized = evaluate_design(bsv::build_bsv_opt());
+    r.initial = evaluate_design(registry_build("bsv_initial"));
+    r.optimized = evaluate_design(registry_build("bsv_opt"));
     int shared = code_loc("bsv/IdctFuncs.bsv");
     r.loc.initial = shared + code_loc("bsv/IdctInitial.bsv");
     r.loc.optimized = shared + code_loc("bsv/IdctOpt.bsv");
@@ -193,10 +200,8 @@ class XlsFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial =
-        evaluate_design(xls::build_xls_design({0}).design);
-    r.optimized =
-        evaluate_design(xls::build_xls_design({8}).design);
+    r.initial = evaluate_design(registry_build("xls_comb"));
+    r.optimized = evaluate_design(registry_build("xls_p8"));
     // L = kernel source + hand-crafted adapter (+ codegen options for the
     // optimized configuration).
     int base = code_loc("dslx/idct.x") + code_loc("dslx/axis_adapter.v");
@@ -293,15 +298,8 @@ class BambuFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    const std::string src = hls::idct_source();
-    hls::BambuOptions init;  // default preset, MEM_ACC_11, LSS
-    hls::BambuOptions best;
-    best.preset = hls::BambuPreset::kPerformanceMp;
-    best.speculative_sdc = true;
-    r.initial =
-        evaluate_design(hls::compile_bambu(src, init).design);
-    r.optimized =
-        evaluate_design(hls::compile_bambu(src, best).design);
+    r.initial = evaluate_design(registry_build("bambu"));
+    r.optimized = evaluate_design(registry_build("bambu_perf"));
     int base = code_loc("c/idct.c") + code_loc("c/axis_adapter.v");
     int conf = code_loc("c/bambu_opt.cfg");
     r.loc.initial = base;
@@ -333,14 +331,9 @@ class VhlsFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    const std::string src = hls::idct_source();
-    hls::VhlsOptions opt;
-    opt.pragmas = true;
-    r.initial =
-        evaluate_design(hls::compile_vhls(src, {}).design, {},
-                        slow_options());
-    r.optimized =
-        evaluate_design(hls::compile_vhls(src, opt).design);
+    r.initial = evaluate_design(registry_build("vhls_pushbutton"), {},
+                                slow_options());
+    r.optimized = evaluate_design(registry_build("vhls_pragmas"));
     r.loc.initial = code_loc("c/idct_vhls.c");
     r.loc.optimized = code_loc("c/idct_vhls_opt.c");
     r.loc.delta =

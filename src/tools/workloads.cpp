@@ -1,0 +1,139 @@
+#include "tools/workloads.hpp"
+
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "core/report.hpp"
+#include "fault/model.hpp"
+#include "obs/trace.hpp"
+#include "par/sweep.hpp"
+
+namespace hlshc::tools {
+namespace {
+
+struct Cell {
+  const workload::WorkloadSpec* spec = nullptr;
+  const workload::BuilderInfo* builder = nullptr;
+};
+
+std::string outcome_mix(const fault::CampaignCounts& c) {
+  return std::to_string(c.masked) + "/" + std::to_string(c.sdc) + "/" +
+         std::to_string(c.detected) + "/" + std::to_string(c.hang);
+}
+
+}  // namespace
+
+std::vector<WorkloadFlowResult> run_workload_matrix(
+    const WorkloadBenchOptions& options) {
+  const workload::Registry& reg = workload::Registry::instance();
+  std::vector<std::string> names =
+      options.workloads.empty() ? reg.names() : options.workloads;
+
+  std::vector<Cell> cells;
+  for (const std::string& name : names) {
+    const workload::WorkloadSpec& spec = reg.get(name);  // throws on unknown
+    for (const workload::BuilderInfo& b : spec.builders) {
+      if (b.slow && !options.include_slow) continue;
+      cells.push_back({&spec, &b});
+    }
+  }
+  HLSHC_CHECK(!cells.empty(), "workload matrix selected no builders");
+
+  obs::Span span("tools.workload_matrix", "tools");
+  span.arg("workloads", static_cast<int64_t>(names.size()))
+      .arg("cells", static_cast<int64_t>(cells.size()));
+
+  par::SweepRunner runner(options.jobs);
+  return runner.map<WorkloadFlowResult>(
+      "workload_matrix", static_cast<int64_t>(cells.size()),
+      [&](int64_t i) {
+        const Cell& cell = cells[static_cast<size_t>(i)];
+        WorkloadFlowResult r;
+        r.workload = cell.spec->name;
+        r.builder = cell.builder->name;
+        r.flow = cell.builder->flow;
+        r.variant = cell.builder->variant;
+
+        netlist::Design d = cell.builder->build();
+        CompiledDesign cd = compile(d, options.compile);
+
+        core::EvaluateOptions eo;
+        eo.matrices = options.matrices;
+        r.eval = core::evaluate_axis_design(cd.design, *cell.spec, eo);
+        r.eval.pipeline = std::move(cd.stats);
+
+        std::vector<fault::FaultSite> sites = fault::sample_seu_sites(
+            cd.design, options.campaign_sites, options.max_inject_cycle,
+            options.campaign_seed);
+        fault::CampaignOptions co;
+        co.matrices = options.campaign_matrices;
+        co.progress_every = 0;  // the sweep already owns the terminal
+        r.campaign = fault::run_campaign(cd.design, *cell.spec, sites, co);
+        r.vulnerability = r.campaign.counts.vulnerability();
+        return r;
+      });
+}
+
+std::string render_workload_matrix(
+    const std::vector<WorkloadFlowResult>& rows) {
+  core::Table t({"workload", "builder", "flow", "func", "T_P", "fmax",
+                 "P MOPS", "A", "Q", "VF", "m/s/d/h"});
+  for (const WorkloadFlowResult& r : rows)
+    t.add_row({r.workload, r.builder, r.flow, r.eval.functional ? "ok" : "FAIL",
+               format_fixed(r.eval.periodicity_cycles, 1),
+               format_fixed(r.eval.fmax_mhz, 1),
+               format_fixed(r.eval.throughput_mops, 3),
+               std::to_string(r.eval.area),
+               format_fixed(r.eval.quality() * 1e3, 3),
+               format_fixed(r.vulnerability, 3),
+               outcome_mix(r.campaign.counts)});
+  return t.render();
+}
+
+obs::RunReport make_workload_report(
+    const std::vector<WorkloadFlowResult>& rows,
+    const WorkloadBenchOptions& options) {
+  obs::RunReport report("bench_workloads");
+  report.params()
+      .set("matrices", obs::Json::number(options.matrices))
+      .set("campaign_sites", obs::Json::number(options.campaign_sites))
+      .set("campaign_seed",
+           obs::Json::number(static_cast<int64_t>(options.campaign_seed)))
+      .set("max_inject_cycle",
+           obs::Json::number(static_cast<int64_t>(options.max_inject_cycle)))
+      .set("campaign_matrices", obs::Json::number(options.campaign_matrices))
+      .set("include_slow", obs::Json::boolean(options.include_slow));
+
+  obs::Json workloads = obs::Json::array();
+  for (const std::string& name : workload::Registry::instance().names())
+    workloads.push(obs::Json::string(name));
+  report.params().set("registry", std::move(workloads));
+
+  obs::Json cells = obs::Json::array();
+  for (const WorkloadFlowResult& r : rows) {
+    obs::Json cell = obs::Json::object();
+    cell.set("workload", obs::Json::string(r.workload))
+        .set("builder", obs::Json::string(r.builder))
+        .set("flow", obs::Json::string(r.flow))
+        .set("variant", obs::Json::string(r.variant))
+        .set("functional", obs::Json::boolean(r.eval.functional))
+        .set("latency_cycles", obs::Json::number(r.eval.latency_cycles))
+        .set("periodicity_cycles",
+             obs::Json::number(r.eval.periodicity_cycles))
+        .set("fmax_mhz", obs::Json::number(r.eval.fmax_mhz))
+        .set("throughput_mops", obs::Json::number(r.eval.throughput_mops))
+        .set("area", obs::Json::number(static_cast<int64_t>(r.eval.area)))
+        .set("quality", obs::Json::number(r.eval.quality()))
+        .set("vulnerability", obs::Json::number(r.vulnerability))
+        .set("masked", obs::Json::number(r.campaign.counts.masked))
+        .set("sdc", obs::Json::number(r.campaign.counts.sdc))
+        .set("detected", obs::Json::number(r.campaign.counts.detected))
+        .set("hang", obs::Json::number(r.campaign.counts.hang));
+    cells.push(std::move(cell));
+  }
+  report.results().set("cells", std::move(cells));
+  return report;
+}
+
+}  // namespace hlshc::tools

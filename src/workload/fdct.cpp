@@ -1,0 +1,214 @@
+// Forward 8x8 DCT workload — the encoder-side counterpart of the IDCT.
+//
+// Integer DCT-II with an 11-bit-scaled cosine table, separable row pass
+// then column pass (the same two-pass shape as the Chen/Wang IDCT):
+//
+//   K[u][x] = round(1024 * C(u)/2 * cos((2x+1) u pi / 16)) built from
+//   C1=1004 C2=946 C3=851 C4=724 C5=569 C6=392 C7=200,
+//   pass(u)  = (sum_x K[u][x] * in[x] + 1024) >> 11,
+//
+// with the column pass saturated to the 12-bit coefficient range. Row-pass
+// intermediates stay within short range (|t| <= ~8034), which is what lets
+// the HLS builder store them in the kernel's 16-bit block RAM.
+//
+// Every builder — RTL-style netlist, width-inferred Chisel, the XLS
+// pipeliner, and the generated-C Bambu flow — computes from the same kK
+// table below, so they are bit-identical to fdct_reference by
+// construction; the conformance suite holds them to that.
+#include "workload/kernels.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "chisel/dsl.hpp"
+#include "hls/tool.hpp"
+
+namespace hlshc::workload {
+
+namespace {
+
+using kernels::clip12;
+using kernels::kDataWidth;
+using netlist::Design;
+using netlist::NodeId;
+
+// K[u][x], u = frequency, x = sample position; 1024-scaled cosines.
+constexpr int kK[8][8] = {
+    {724, 724, 724, 724, 724, 724, 724, 724},
+    {1004, 851, 569, 200, -200, -569, -851, -1004},
+    {946, 392, -392, -946, -946, -392, 392, 946},
+    {851, -200, -1004, -569, 569, 1004, 200, -851},
+    {724, -724, -724, 724, 724, -724, -724, 724},
+    {569, -1004, 200, 851, -851, -200, 1004, -569},
+    {392, -946, 946, -392, -392, 946, -946, 392},
+    {200, -569, 851, -1004, 1004, -851, 569, -200},
+};
+
+constexpr int kRound = 1024;
+constexpr int kShift = 11;
+constexpr int kRowW = 26;  // |1024 + 8 * 2048 * 1004| < 2^25
+constexpr int kColW = 28;  // |1024 + 8 * 8034 * 1004| < 2^27
+
+Frame fdct_reference(const Frame& in) {
+  int64_t t[64];
+  for (int r = 0; r < 8; ++r)
+    for (int u = 0; u < 8; ++u) {
+      int64_t acc = kRound;
+      for (int x = 0; x < 8; ++x) acc += int64_t{kK[u][x]} * in[size_t(r * 8 + x)];
+      t[r * 8 + u] = acc >> kShift;
+    }
+  Frame out{};
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      int64_t acc = kRound;
+      for (int r = 0; r < 8; ++r) acc += int64_t{kK[v][r]} * t[r * 8 + u];
+      out[size_t(v * 8 + u)] = clip12(acc >> kShift);
+    }
+  return out;
+}
+
+// ---- RTL-style netlist kernel (explicit widths) ---------------------------
+
+Design build_fdct_rtl_kernel() {
+  Design d("fdct_kernel");
+  NodeId x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = d.sext(d.input("x" + std::to_string(i), kDataWidth), kRowW);
+  NodeId t[64];
+  for (int r = 0; r < 8; ++r)
+    for (int u = 0; u < 8; ++u) {
+      NodeId acc = d.constant(kRowW, kRound);
+      for (int xi = 0; xi < 8; ++xi)
+        acc = d.add(acc,
+                    d.mul(x[r * 8 + xi], d.constant(kRowW, kK[u][xi]), kRowW),
+                    kRowW);
+      t[r * 8 + u] = d.sext(d.ashr(acc, kShift, kRowW), kColW);
+    }
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      NodeId acc = d.constant(kColW, kRound);
+      for (int r = 0; r < 8; ++r)
+        acc = d.add(acc,
+                    d.mul(t[r * 8 + u], d.constant(kColW, kK[v][r]), kColW),
+                    kColW);
+      d.output("y" + std::to_string(v * 8 + u),
+               kernels::clamp12(d, d.ashr(acc, kShift, kColW), kColW));
+    }
+  d.validate();
+  return d;
+}
+
+// ---- Chisel-style kernel (inferred widths) --------------------------------
+
+Design build_fdct_chisel_kernel() {
+  chisel::Builder b("fdct_chisel_kernel");
+  chisel::SInt x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = b.input("x" + std::to_string(i), kDataWidth);
+  chisel::SInt t[64];
+  for (int r = 0; r < 8; ++r)
+    for (int u = 0; u < 8; ++u) {
+      chisel::SInt acc = b.lit(kRound);
+      for (int xi = 0; xi < 8; ++xi)
+        acc = acc + x[r * 8 + xi] * b.lit(kK[u][xi]);
+      t[r * 8 + u] = acc >> kShift;
+    }
+  chisel::SInt lo = b.lit(-2048), hi = b.lit(2047);
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      chisel::SInt acc = b.lit(kRound);
+      for (int r = 0; r < 8; ++r) acc = acc + t[r * 8 + u] * b.lit(kK[v][r]);
+      chisel::SInt s = acc >> kShift;
+      chisel::SInt sat = b.mux(s < lo, lo, b.mux(s > hi, hi, s));
+      b.output("y" + std::to_string(v * 8 + u), sat.truncate(kDataWidth));
+    }
+  return b.take();
+}
+
+// ---- generated C for the HLS flow -----------------------------------------
+
+void append_terms(std::ostringstream& os, const int* coeffs,
+                  const std::string& base) {
+  for (int k = 0; k < 8; ++k) {
+    if (coeffs[k] == 0) continue;
+    os << (coeffs[k] < 0 ? " - " : " + ") << std::abs(coeffs[k]) << " * "
+       << base << k;
+  }
+}
+
+std::string fdct_source() {
+  std::ostringstream os;
+  os << "static int clip12(int x) {\n"
+        "  return x < -2048 ? -2048 : (x > 2047 ? 2047 : x);\n"
+        "}\n\n";
+  os << "static void fdctrow(short blk[64], int off) {\n";
+  for (int k = 0; k < 8; ++k) os << "  int x" << k << ";\n";
+  for (int k = 0; k < 8; ++k) os << "  int t" << k << ";\n";
+  for (int k = 0; k < 8; ++k)
+    os << "  x" << k << " = blk[off + " << k << "];\n";
+  for (int u = 0; u < 8; ++u) {
+    os << "  t" << u << " = (" << kRound;
+    append_terms(os, kK[u], "x");
+    os << ") >> " << kShift << ";\n";
+  }
+  for (int k = 0; k < 8; ++k)
+    os << "  blk[off + " << k << "] = (short) t" << k << ";\n";
+  os << "}\n\n";
+  os << "static void fdctcol(short blk[64], int off) {\n";
+  for (int k = 0; k < 8; ++k) os << "  int x" << k << ";\n";
+  for (int k = 0; k < 8; ++k)
+    os << "  x" << k << " = blk[off + 8 * " << k << "];\n";
+  for (int v = 0; v < 8; ++v) {
+    os << "  blk[off + 8 * " << v << "] = (short) clip12((" << kRound;
+    append_terms(os, kK[v], "x");
+    os << ") >> " << kShift << ");\n";
+  }
+  os << "}\n\n";
+  os << "void fdct(short block[64]) {\n"
+        "  int i;\n"
+        "  for (i = 0; i < 8; i = i + 1) { fdctrow(block, 8 * i); }\n"
+        "  for (i = 0; i < 8; i = i + 1) { fdctcol(block, i); }\n"
+        "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+WorkloadSpec make_fdct_spec() {
+  WorkloadSpec spec;
+  spec.name = "fdct";
+  spec.description =
+      "8x8 forward DCT (integer, 1024-scaled cosines), 12-bit spatial "
+      "samples in, 12-bit coefficients out";
+  spec.out_width = kDataWidth;
+  spec.reference = fdct_reference;
+  spec.eval_stimulus = kernels::spatial_eval_frame;
+  spec.campaign_inputs = kernels::spatial_campaign_set;
+  spec.builders = {
+      {"rtl_comb", "verilog", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_fdct_rtl_kernel(), kDataWidth,
+                                          "fdct_rtl_comb");
+       }},
+      {"chisel_comb", "chisel", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_fdct_chisel_kernel(),
+                                          kDataWidth, "fdct_chisel_comb");
+       }},
+      {"xls_p2", "xls", "2-stage", false,
+       [] {
+         return kernels::wrap_pipelined_kernel(build_fdct_rtl_kernel(), 2,
+                                               kDataWidth, "fdct_xls_p2");
+       }},
+      {"bambu", "bambu", "BAMBU+LSS", false,
+       [] {
+         return hls::compile_bambu_top(fdct_source(), "fdct", {}, kDataWidth,
+                                       "fdct_bambu")
+             .design;
+       }},
+  };
+  return spec;
+}
+
+}  // namespace hlshc::workload

@@ -1,0 +1,155 @@
+// 16-tap FIR low-pass workload.
+//
+// The frame is treated as a 1-D signal x[0..63] (row-major scan order); the
+// filter is a symmetric 16-tap kernel with 6-bit-scaled integer taps:
+//
+//   y[i] = clip12((32 + sum_{k=0..min(i,15)} T[k] * x[i-k]) >> 6),
+//
+// with x[j] = 0 for j < 0 (zero boundary — the guards simply drop those
+// taps). Sum of |T| is 220, so the accumulator never leaves 19 signed bits
+// even on full-range 12-bit input.
+//
+// The HLS builder's generated C walks the frame in DESCENDING order: y[i]
+// only reads x[j <= i], and a descending in-place loop has overwritten only
+// indices above i when it stores there, so the single block RAM suffices.
+// The tap guards `if (i >= k)` are compile-time-resolvable after unrolling,
+// which is exactly the control the mini-HLS frontend accepts.
+#include "workload/kernels.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "chisel/dsl.hpp"
+#include "hls/tool.hpp"
+
+namespace hlshc::workload {
+
+namespace {
+
+using kernels::clip12;
+using kernels::kDataWidth;
+using netlist::Design;
+using netlist::NodeId;
+
+constexpr int kTaps = 16;
+constexpr int kT[kTaps] = {-2, -3, -4, 0,  9,  21, 32, 39,
+                           39, 32, 21, 9,  0,  -4, -3, -2};
+constexpr int kRound = 32;
+constexpr int kShift = 6;
+constexpr int kAccW = 20;  // |32 + 220 * 2048| < 2^19
+
+Frame fir16_reference(const Frame& in) {
+  Frame out{};
+  for (int i = 0; i < 64; ++i) {
+    int64_t acc = kRound;
+    for (int k = 0; k < kTaps && k <= i; ++k)
+      acc += int64_t{kT[k]} * in[size_t(i - k)];
+    out[size_t(i)] = clip12(acc >> kShift);
+  }
+  return out;
+}
+
+Design build_fir16_rtl_kernel() {
+  Design d("fir16_kernel");
+  NodeId x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = d.sext(d.input("x" + std::to_string(i), kDataWidth), kAccW);
+  for (int i = 0; i < 64; ++i) {
+    NodeId acc = d.constant(kAccW, kRound);
+    for (int k = 0; k < kTaps && k <= i; ++k) {
+      if (kT[k] == 0) continue;
+      acc = d.add(acc, d.mul(x[i - k], d.constant(kAccW, kT[k]), kAccW),
+                  kAccW);
+    }
+    d.output("y" + std::to_string(i),
+             kernels::clamp12(d, d.ashr(acc, kShift, kAccW), kAccW));
+  }
+  d.validate();
+  return d;
+}
+
+Design build_fir16_chisel_kernel() {
+  chisel::Builder b("fir16_chisel_kernel");
+  chisel::SInt x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = b.input("x" + std::to_string(i), kDataWidth);
+  chisel::SInt lo = b.lit(-2048), hi = b.lit(2047);
+  for (int i = 0; i < 64; ++i) {
+    chisel::SInt acc = b.lit(kRound);
+    for (int k = 0; k < kTaps && k <= i; ++k) {
+      if (kT[k] == 0) continue;
+      acc = acc + x[i - k] * b.lit(kT[k]);
+    }
+    chisel::SInt s = acc >> kShift;
+    chisel::SInt sat = b.mux(s < lo, lo, b.mux(s > hi, hi, s));
+    b.output("y" + std::to_string(i), sat.truncate(kDataWidth));
+  }
+  return b.take();
+}
+
+std::string fir16_source() {
+  std::ostringstream os;
+  os << "static int clip12(int x) {\n"
+        "  return x < -2048 ? -2048 : (x > 2047 ? 2047 : x);\n"
+        "}\n\n";
+  os << "void fir16(short block[64]) {\n"
+        "  int i;\n"
+        "  int acc;\n"
+        "  for (i = 63; i >= 0; i = i - 1) {\n"
+        "    acc = " << kRound << ";\n";
+  for (int k = 0; k < kTaps; ++k) {
+    if (kT[k] == 0) continue;
+    std::ostringstream term;
+    term << "acc = acc " << (kT[k] < 0 ? "-" : "+") << " " << std::abs(kT[k])
+         << " * block[i" << (k ? " - " + std::to_string(k) : "") << "];";
+    if (k == 0)
+      os << "    " << term.str() << "\n";
+    else
+      os << "    if (i >= " << k << ") { " << term.str() << " }\n";
+  }
+  os << "    block[i] = (short) clip12(acc >> " << kShift << ");\n"
+        "  }\n"
+        "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+WorkloadSpec make_fir16_spec() {
+  WorkloadSpec spec;
+  spec.name = "fir16";
+  spec.description =
+      "16-tap integer FIR low-pass over the frame in scan order, 12-bit "
+      "samples in and out";
+  spec.out_width = kDataWidth;
+  spec.reference = fir16_reference;
+  spec.eval_stimulus = kernels::spatial_eval_frame;
+  spec.campaign_inputs = kernels::spatial_campaign_set;
+  spec.builders = {
+      {"rtl_comb", "verilog", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_fir16_rtl_kernel(),
+                                          kDataWidth, "fir16_rtl_comb");
+       }},
+      {"chisel_comb", "chisel", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_fir16_chisel_kernel(),
+                                          kDataWidth, "fir16_chisel_comb");
+       }},
+      {"xls_p2", "xls", "2-stage", false,
+       [] {
+         return kernels::wrap_pipelined_kernel(build_fir16_rtl_kernel(), 2,
+                                               kDataWidth, "fir16_xls_p2");
+       }},
+      {"bambu", "bambu", "BAMBU+LSS", false,
+       [] {
+         return hls::compile_bambu_top(fir16_source(), "fir16", {},
+                                       kDataWidth, "fir16_bambu")
+             .design;
+       }},
+  };
+  return spec;
+}
+
+}  // namespace hlshc::workload

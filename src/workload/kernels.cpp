@@ -1,0 +1,59 @@
+#include "workload/kernels.hpp"
+
+#include "base/check.hpp"
+#include "framework/compose.hpp"
+#include "idct/block.hpp"
+#include "xls/pipeline.hpp"
+
+namespace hlshc::workload::kernels {
+
+using netlist::Design;
+using netlist::NodeId;
+
+NodeId clamp12(Design& d, NodeId v, int w) {
+  HLSHC_CHECK(w >= kDataWidth + 1 && w <= 64,
+              "clamp12 needs headroom above 12 bits, got width " << w);
+  NodeId lo = d.constant(w, kClipMin);
+  NodeId hi = d.constant(w, kClipMax);
+  NodeId sat = d.mux(d.slt(v, lo), lo, d.mux(d.sgt(v, hi), hi, v, w), w);
+  return d.slice(sat, kDataWidth - 1, 0);
+}
+
+Design wrap_comb_kernel(const Design& kernel, int out_width,
+                        const std::string& name) {
+  return framework::wrap_matrix_kernel(
+      framework::MatrixKernel{kernel, 0, out_width}, name);
+}
+
+Design wrap_pipelined_kernel(const Design& kernel, int stages, int out_width,
+                             const std::string& name) {
+  xls::PipelineResult pr = xls::pipeline_function(kernel, stages);
+  return framework::wrap_matrix_kernel(
+      framework::MatrixKernel{pr.design, pr.latency, out_width}, name);
+}
+
+Frame uniform_frame(SplitMix64& rng, int lo, int hi) {
+  Frame f{};
+  for (auto& v : f) v = static_cast<int32_t>(rng.next_in(lo, hi));
+  return f;
+}
+
+Frame spatial_eval_frame(SplitMix64& rng, bool realistic) {
+  return realistic
+             ? uniform_frame(rng, idct::kSampleMin, idct::kSampleMax)
+             : uniform_frame(rng, idct::kCoeffMin, idct::kCoeffMax);
+}
+
+std::vector<Frame> spatial_campaign_set(int matrices, long seed) {
+  Ieee1180Rng rng(seed);
+  std::vector<Frame> inputs;
+  inputs.reserve(static_cast<size_t>(matrices));
+  for (int m = 0; m < matrices; ++m) {
+    Frame f{};
+    for (auto& v : f) v = static_cast<int32_t>(rng.next(256, 255));
+    inputs.push_back(f);
+  }
+  return inputs;
+}
+
+}  // namespace hlshc::workload::kernels

@@ -1,0 +1,65 @@
+// Internal support for the workload implementations (idct/fdct/fir16/
+// matmul .cpp). Not part of the registry's public surface — consumers
+// include workload/workload.hpp only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/ir.hpp"
+#include "workload/workload.hpp"
+
+namespace hlshc::workload {
+
+// Built-in spec factories, one per translation unit; registry.cpp calls
+// them in its constructor.
+WorkloadSpec make_idct_spec();
+WorkloadSpec make_fdct_spec();
+WorkloadSpec make_fir16_spec();
+WorkloadSpec make_matmul_spec();
+
+namespace kernels {
+
+/// Width of a stream input sample (== axis::kInElemWidth) and of the new
+/// workloads' output samples.
+inline constexpr int kDataWidth = 12;
+
+inline constexpr int64_t kClipMin = -2048;
+inline constexpr int64_t kClipMax = 2047;
+
+/// Saturate to the 12-bit sample range (the reference-model counterpart of
+/// clamp12() below; the generated C sources carry the same ternary).
+inline int32_t clip12(int64_t v) {
+  return v < kClipMin ? static_cast<int32_t>(kClipMin)
+                      : (v > kClipMax ? static_cast<int32_t>(kClipMax)
+                                      : static_cast<int32_t>(v));
+}
+
+/// Netlist saturation of a `w`-bit signed value to [-2048, 2047], returned
+/// as the 12-bit sample.
+netlist::NodeId clamp12(netlist::Design& d, netlist::NodeId v, int w);
+
+/// Wraps a pure dataflow matrix kernel (x0..x63 in, y0..y63 out,
+/// combinational) in the full AXI-Stream adapter.
+netlist::Design wrap_comb_kernel(const netlist::Design& kernel, int out_width,
+                                 const std::string& name);
+
+/// Same, with the kernel first pipelined into `stages` register layers.
+netlist::Design wrap_pipelined_kernel(const netlist::Design& kernel,
+                                      int stages, int out_width,
+                                      const std::string& name);
+
+/// One frame of uniform samples in [lo, hi].
+Frame uniform_frame(SplitMix64& rng, int lo, int hi);
+
+/// Evaluation stimulus for workloads that consume spatial samples directly:
+/// realistic draws pixel-range data (-256..255, the range the IDCT's
+/// spatial stimulus uses), otherwise the full 12-bit input range.
+Frame spatial_eval_frame(SplitMix64& rng, bool realistic);
+
+/// Campaign input set for spatial-domain workloads: the IEEE-1180-style
+/// generator drawing each sample from [-256, 255], no domain transform.
+std::vector<Frame> spatial_campaign_set(int matrices, long seed);
+
+}  // namespace kernels
+}  // namespace hlshc::workload

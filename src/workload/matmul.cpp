@@ -1,0 +1,155 @@
+// 8x8x8 integer matrix-multiply workload: the frame (row-major matrix A)
+// times a fixed 4-bit-scaled coefficient matrix:
+//
+//   Y[r][c] = clip12((8 + sum_k A[r][k] * kM[k][c]) >> 4).
+//
+// Each output row depends only on the same input row, so the HLS builder's
+// generated C loads a full row into scalars before storing any result —
+// the in-place block RAM never reads a value it has already overwritten.
+// The largest column |coefficient| sum is 50, so the accumulator fits 18
+// signed bits on full-range input.
+#include "workload/kernels.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "chisel/dsl.hpp"
+#include "hls/tool.hpp"
+
+namespace hlshc::workload {
+
+namespace {
+
+using kernels::clip12;
+using kernels::kDataWidth;
+using netlist::Design;
+using netlist::NodeId;
+
+// kM[k][c]: the fixed right-hand matrix (4-bit-scaled mixing coefficients).
+constexpr int kM[8][8] = {
+    {12, -7, 3, 9, -4, 6, -2, 5},
+    {-3, 11, 8, -6, 2, -9, 7, 1},
+    {5, -2, 13, 4, -8, 3, 6, -7},
+    {-9, 6, -1, 10, 5, -3, 2, 8},
+    {4, 7, -5, 2, 14, -6, 9, -3},
+    {-6, 3, 9, -8, 1, 12, -4, 7},
+    {8, -5, 2, 6, -7, 4, 11, -2},
+    {-1, 9, -6, 3, 8, -2, 5, 13},
+};
+
+constexpr int kRound = 8;
+constexpr int kShift = 4;
+constexpr int kAccW = 20;  // |8 + 50 * 2048| < 2^17
+
+Frame matmul_reference(const Frame& in) {
+  Frame out{};
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      int64_t acc = kRound;
+      for (int k = 0; k < 8; ++k)
+        acc += int64_t{in[size_t(r * 8 + k)]} * kM[k][c];
+      out[size_t(r * 8 + c)] = clip12(acc >> kShift);
+    }
+  return out;
+}
+
+Design build_matmul_rtl_kernel() {
+  Design d("matmul_kernel");
+  NodeId x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = d.sext(d.input("x" + std::to_string(i), kDataWidth), kAccW);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      NodeId acc = d.constant(kAccW, kRound);
+      for (int k = 0; k < 8; ++k)
+        acc = d.add(acc,
+                    d.mul(x[r * 8 + k], d.constant(kAccW, kM[k][c]), kAccW),
+                    kAccW);
+      d.output("y" + std::to_string(r * 8 + c),
+               kernels::clamp12(d, d.ashr(acc, kShift, kAccW), kAccW));
+    }
+  d.validate();
+  return d;
+}
+
+Design build_matmul_chisel_kernel() {
+  chisel::Builder b("matmul_chisel_kernel");
+  chisel::SInt x[64];
+  for (int i = 0; i < 64; ++i)
+    x[i] = b.input("x" + std::to_string(i), kDataWidth);
+  chisel::SInt lo = b.lit(-2048), hi = b.lit(2047);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      chisel::SInt acc = b.lit(kRound);
+      for (int k = 0; k < 8; ++k) acc = acc + x[r * 8 + k] * b.lit(kM[k][c]);
+      chisel::SInt s = acc >> kShift;
+      chisel::SInt sat = b.mux(s < lo, lo, b.mux(s > hi, hi, s));
+      b.output("y" + std::to_string(r * 8 + c), sat.truncate(kDataWidth));
+    }
+  return b.take();
+}
+
+std::string matmul_source() {
+  std::ostringstream os;
+  os << "static int clip12(int x) {\n"
+        "  return x < -2048 ? -2048 : (x > 2047 ? 2047 : x);\n"
+        "}\n\n";
+  os << "static void matrow(short blk[64], int off) {\n";
+  for (int k = 0; k < 8; ++k) os << "  int a" << k << ";\n";
+  for (int k = 0; k < 8; ++k)
+    os << "  a" << k << " = blk[off + " << k << "];\n";
+  for (int c = 0; c < 8; ++c) {
+    os << "  blk[off + " << c << "] = (short) clip12((" << kRound;
+    for (int k = 0; k < 8; ++k)
+      os << (kM[k][c] < 0 ? " - " : " + ") << std::abs(kM[k][c]) << " * a"
+         << k;
+    os << ") >> " << kShift << ");\n";
+  }
+  os << "}\n\n";
+  os << "void matmul(short block[64]) {\n"
+        "  int i;\n"
+        "  for (i = 0; i < 8; i = i + 1) { matrow(block, 8 * i); }\n"
+        "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+WorkloadSpec make_matmul_spec() {
+  WorkloadSpec spec;
+  spec.name = "matmul";
+  spec.description =
+      "8x8 matrix times a fixed 8x8 integer coefficient matrix, 12-bit "
+      "samples in and out";
+  spec.out_width = kDataWidth;
+  spec.reference = matmul_reference;
+  spec.eval_stimulus = kernels::spatial_eval_frame;
+  spec.campaign_inputs = kernels::spatial_campaign_set;
+  spec.builders = {
+      {"rtl_comb", "verilog", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_matmul_rtl_kernel(),
+                                          kDataWidth, "matmul_rtl_comb");
+       }},
+      {"chisel_comb", "chisel", "combinational", false,
+       [] {
+         return kernels::wrap_comb_kernel(build_matmul_chisel_kernel(),
+                                          kDataWidth, "matmul_chisel_comb");
+       }},
+      {"xls_p2", "xls", "2-stage", false,
+       [] {
+         return kernels::wrap_pipelined_kernel(build_matmul_rtl_kernel(), 2,
+                                               kDataWidth, "matmul_xls_p2");
+       }},
+      {"bambu", "bambu", "BAMBU+LSS", false,
+       [] {
+         return hls::compile_bambu_top(matmul_source(), "matmul", {},
+                                       kDataWidth, "matmul_bambu")
+             .design;
+       }},
+  };
+  return spec;
+}
+
+}  // namespace hlshc::workload

@@ -1,0 +1,118 @@
+#include "workload/workload.hpp"
+
+#include <sstream>
+
+#include "base/check.hpp"
+#include "workload/kernels.hpp"
+
+namespace hlshc::workload {
+
+const BuilderInfo* WorkloadSpec::find_builder(
+    const std::string& builder_name) const {
+  for (const BuilderInfo& b : builders)
+    if (b.name == builder_name) return &b;
+  return nullptr;
+}
+
+const BuilderInfo& WorkloadSpec::builder(const std::string& builder_name) const {
+  const BuilderInfo* b = find_builder(builder_name);
+  if (!b) {
+    std::ostringstream os;
+    os << "workload '" << name << "' has no builder '" << builder_name
+       << "'; known:";
+    for (const BuilderInfo& known : builders) os << ' ' << known.name;
+    throw Error(os.str());
+  }
+  return *b;
+}
+
+Registry::Registry() {
+  add(make_idct_spec());
+  add(make_fdct_spec());
+  add(make_fir16_spec());
+  add(make_matmul_spec());
+}
+
+const Registry& Registry::instance() {
+  static const Registry registry;
+  return registry;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;  // std::map iteration order: already sorted
+}
+
+const WorkloadSpec* Registry::find(const std::string& name) const {
+  auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+const WorkloadSpec& Registry::get(const std::string& name) const {
+  const WorkloadSpec* spec = find(name);
+  if (!spec) {
+    std::ostringstream os;
+    os << "unknown workload '" << name << "'; known:";
+    for (const auto& [known, unused] : specs_) os << ' ' << known;
+    throw Error(os.str());
+  }
+  return *spec;
+}
+
+void Registry::add(WorkloadSpec spec) {
+  HLSHC_CHECK(!spec.name.empty(), "workload name must not be empty");
+  HLSHC_CHECK(spec.reference && spec.eval_stimulus && spec.campaign_inputs,
+              "workload '" << spec.name << "' is missing a model hook");
+  HLSHC_CHECK(!spec.builders.empty(),
+              "workload '" << spec.name << "' has no builders");
+  for (size_t i = 0; i < spec.builders.size(); ++i) {
+    HLSHC_CHECK(spec.builders[i].build,
+                "workload '" << spec.name << "' builder '"
+                             << spec.builders[i].name << "' has no build fn");
+    for (size_t j = i + 1; j < spec.builders.size(); ++j)
+      HLSHC_CHECK(spec.builders[i].name != spec.builders[j].name,
+                  "workload '" << spec.name << "' registers builder '"
+                               << spec.builders[i].name << "' twice");
+  }
+  auto [it, inserted] = specs_.emplace(spec.name, std::move(spec));
+  HLSHC_CHECK(inserted, "workload '" << it->first << "' registered twice");
+}
+
+std::vector<Frame> eval_input_set(const WorkloadSpec& spec, int matrices,
+                                  uint64_t seed, bool realistic) {
+  HLSHC_CHECK(matrices >= 1, "need at least one input frame");
+  SplitMix64 rng(seed);
+  std::vector<Frame> inputs;
+  inputs.reserve(static_cast<size_t>(matrices));
+  for (int m = 0; m < matrices; ++m)
+    inputs.push_back(spec.eval_stimulus(rng, realistic));
+  return inputs;
+}
+
+std::vector<Frame> campaign_input_set(const WorkloadSpec& spec, int matrices,
+                                      long seed) {
+  HLSHC_CHECK(matrices >= 1, "need at least one input frame");
+  return spec.campaign_inputs(matrices, seed);
+}
+
+std::vector<Frame> reference_outputs(const WorkloadSpec& spec,
+                                     const std::vector<Frame>& inputs) {
+  std::vector<Frame> outputs;
+  outputs.reserve(inputs.size());
+  for (const Frame& in : inputs) outputs.push_back(spec.reference(in));
+  return outputs;
+}
+
+int diff_outputs(const WorkloadSpec& spec, const std::vector<Frame>& want,
+                 const std::vector<Frame>& got) {
+  const size_t shared = want.size() < got.size() ? want.size() : got.size();
+  int bad = static_cast<int>(want.size() > got.size() ? want.size() - got.size()
+                                                      : got.size() - want.size());
+  for (size_t i = 0; i < shared; ++i)
+    if (!spec.judge.ok(want[i], got[i])) ++bad;
+  return bad;
+}
+
+}  // namespace hlshc::workload

@@ -5,6 +5,7 @@
 // tools::compile call.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -24,6 +25,7 @@
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "tools/compile.hpp"
+#include "workload/workload.hpp"
 
 namespace hlshc::svc {
 namespace {
@@ -271,6 +273,79 @@ TEST(Server, AnswersPingAndListsBuiltinDesigns) {
   for (size_t i = 0; i < designs.size(); ++i)
     if (designs[i].as_string() == "verilog_opt2") found = true;
   EXPECT_TRUE(found);
+}
+
+TEST(Server, ListDesignsIsSortedStableAndSpansTheRegistry) {
+  Server server(small_server());
+  const Json first = call_ok(server, R"({"method":"list_designs"})");
+  const Json& designs = *first.find("designs");
+  std::vector<std::string> names;
+  for (size_t i = 0; i < designs.size(); ++i)
+    names.push_back(designs[i].as_string());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Qualified registry names and the historical bare names coexist.
+  for (const char* expected :
+       {"idct.verilog_initial", "idct.bambu", "fdct.rtl_comb",
+        "fir16.chisel_comb", "matmul.xls_p2", "verilog_opt2",
+        "chisel_initial"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing design '" << expected << '\'';
+  // Slow builders stay out of the long-running service.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "idct.vhls_pushbutton"),
+            names.end());
+
+  const Json& workloads = *first.find("workloads");
+  std::vector<std::string> wnames;
+  for (size_t i = 0; i < workloads.size(); ++i)
+    wnames.push_back(workloads[i].as_string());
+  EXPECT_EQ(wnames, workload::Registry::instance().names());
+
+  // Stable: a second call returns byte-identical lists.
+  const Json second = call_ok(server, R"({"method":"list_designs"})");
+  EXPECT_EQ(first.dump(), second.dump());
+}
+
+TEST(Server, UnknownWorkloadIsInvalidRequestOnEveryMethod) {
+  Server server(small_server());
+  for (const char* method : {"compile", "evaluate", "campaign"}) {
+    const std::string line = std::string(R"({"method":")") + method +
+                             R"(","params":{"design":"verilog_initial",)"
+                             R"("workload":"warp_core"}})";
+    EXPECT_EQ(error_code_of(server, line), "invalid_request") << method;
+  }
+  EXPECT_EQ(error_code_of(server,
+                          R"({"method":"compile","params":)"
+                          R"({"design":"verilog_initial","workload":42}})"),
+            "invalid_request");
+}
+
+TEST(Server, QualifiedDesignNameSelectsItsWorkload) {
+  Server server(small_server());
+  const Json inferred = call_ok(
+      server,
+      R"({"method":"compile","params":{"design":"fir16.rtl_comb"}})");
+  EXPECT_EQ(inferred.find("workload")->as_string(), "fir16");
+  // An explicit params.workload wins over the name prefix; bare legacy
+  // names default to the paper's benchmark.
+  const Json explicit_wl = call_ok(
+      server, R"({"method":"compile","params":)"
+              R"({"design":"fir16.rtl_comb","workload":"fir16"}})");
+  EXPECT_EQ(explicit_wl.find("workload")->as_string(), "fir16");
+  const Json legacy = call_ok(
+      server,
+      R"({"method":"compile","params":{"design":"verilog_initial"}})");
+  EXPECT_EQ(legacy.find("workload")->as_string(), "idct");
+}
+
+TEST(Server, EvaluatesARegistryWorkloadEndToEnd) {
+  Server server(small_server());
+  const Json result = call_ok(
+      server, R"({"method":"evaluate","params":)"
+              R"({"design":"matmul.rtl_comb","matrices":2}})");
+  EXPECT_EQ(result.find("workload")->as_string(), "matmul");
+  EXPECT_TRUE(result.find("functional")->as_bool());
+  EXPECT_GT(result.find("throughput_mops")->as_number(), 0.0);
+  EXPECT_GT(result.find("area")->as_int(), 0);
 }
 
 TEST(Server, MapsEachFailureClassToItsCode) {

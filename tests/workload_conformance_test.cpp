@@ -1,0 +1,101 @@
+// Registry conformance (tier-1 slice): every registered workload x every
+// fast builder compiles through the canonical tools::compile pipeline,
+// simulates on seeded stimulus, and matches the workload's reference model
+// under its quality judge. The slow-labelled workload_conformance_full_test
+// extends this to the slow builders, more frames, and both optimizer
+// settings.
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "axis/testbench.hpp"
+#include "sim/engine.hpp"
+#include "tools/compile.hpp"
+
+namespace hlshc {
+namespace {
+
+using workload::Frame;
+using workload::Registry;
+using workload::WorkloadSpec;
+
+TEST(WorkloadRegistry, NamesAreSortedAndComplete) {
+  std::vector<std::string> names = Registry::instance().names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names, (std::vector<std::string>{"fdct", "fir16", "idct",
+                                             "matmul"}));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(WorkloadRegistry, FindAndGet) {
+  const Registry& reg = Registry::instance();
+  EXPECT_NE(reg.find("idct"), nullptr);
+  EXPECT_EQ(reg.find("dct9000"), nullptr);
+  EXPECT_THROW(reg.get("dct9000"), Error);
+  EXPECT_EQ(reg.get("fir16").name, "fir16");
+}
+
+TEST(WorkloadRegistry, IdctKeepsItsCanonicalBuilders) {
+  // The Table II rows: moving the IDCT behind the registry must not lose
+  // or rename any of the designs the paper's comparison is built from.
+  const WorkloadSpec& idct = Registry::instance().get("idct");
+  EXPECT_EQ(idct.out_width, 9);
+  for (const char* name :
+       {"verilog_initial", "verilog_opt1", "verilog_opt2", "chisel_initial",
+        "chisel_opt", "bsv_initial", "bsv_opt", "xls_comb", "xls_p8", "bambu",
+        "bambu_perf", "vhls_pushbutton", "vhls_pragmas"})
+    EXPECT_NE(idct.find_builder(name), nullptr) << name;
+  EXPECT_EQ(idct.find_builder("nope"), nullptr);
+  EXPECT_THROW(idct.builder("nope"), Error);
+}
+
+TEST(WorkloadRegistry, EveryWorkloadHasThreeFlows) {
+  for (const auto& [name, spec] : Registry::instance().all()) {
+    std::set<std::string> flows;
+    for (const auto& b : spec.builders) flows.insert(b.flow);
+    EXPECT_GE(flows.size(), 3u) << name;
+  }
+}
+
+TEST(WorkloadRegistry, StimulusIsDeterministic) {
+  for (const auto& [name, spec] : Registry::instance().all()) {
+    SCOPED_TRACE(name);
+    auto a = workload::eval_input_set(spec, 3, 2026, true);
+    auto b = workload::eval_input_set(spec, 3, 2026, true);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, workload::eval_input_set(spec, 3, 2027, true));
+    EXPECT_EQ(workload::campaign_input_set(spec, 2, 1),
+              workload::campaign_input_set(spec, 2, 1));
+  }
+}
+
+TEST(WorkloadRegistry, DiffOutputsCountsRejectedAndMissingFrames) {
+  const WorkloadSpec& spec = Registry::instance().get("idct");
+  std::vector<Frame> want(3, Frame{});
+  std::vector<Frame> got = want;
+  EXPECT_EQ(workload::diff_outputs(spec, want, got), 0);
+  got[1][5] = 1;
+  EXPECT_EQ(workload::diff_outputs(spec, want, got), 1);
+  got.pop_back();
+  EXPECT_EQ(workload::diff_outputs(spec, want, got), 2);
+}
+
+TEST(WorkloadConformance, FastBuildersMatchReferenceThroughCompile) {
+  for (const auto& [name, spec] : Registry::instance().all()) {
+    const auto inputs = workload::eval_input_set(spec, 2, 2026, true);
+    const auto want = workload::reference_outputs(spec, inputs);
+    for (const auto& builder : spec.builders) {
+      if (builder.slow) continue;
+      SCOPED_TRACE(name + "." + builder.name);
+      tools::CompiledDesign cd = tools::compile(builder.build());
+      std::unique_ptr<sim::Engine> sim = sim::make_engine(cd.design);
+      axis::StreamTestbench tb(*sim);
+      auto got = tb.run(inputs);
+      EXPECT_TRUE(tb.monitor().clean());
+      EXPECT_EQ(workload::diff_outputs(spec, want, got), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hlshc
