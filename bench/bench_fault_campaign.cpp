@@ -30,6 +30,7 @@
 #include "fault/model.hpp"
 #include "netlist/ir.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "base/check.hpp"
 #include "par/pool.hpp"
 #include "tools/compile.hpp"
@@ -126,6 +127,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (jobs == 0) jobs = hlshc::par::default_jobs();
+
+  // One trace id for the whole invocation — campaign spans, pool chunks and
+  // events all correlate under it, exactly like a traced service request.
+  const hlshc::obs::TraceScope bench_trace(hlshc::obs::new_trace());
 
   std::printf(
       "=== SEU campaign: %d sampled sites/design, seed %llu, %d jobs ===\n\n",

@@ -14,9 +14,12 @@
 // Writes BENCH_service.json (cwd) through the obs::RunReport schema.
 //
 // Usage: bench_service [--jobs N] [--requests N] [--clients N]
+//                      [--trace FILE] [--event-log FILE]
 //   --jobs      worker threads per server round (default: all cores)
 //   --requests  requests per round (default 400)
 //   --clients   submitter threads (default 4)
+//   --trace     record Chrome trace_event spans for the whole storm
+//   --event-log append the structured event log to FILE as JSON lines
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,8 +31,10 @@
 
 #include "base/check.hpp"
 #include "base/strings.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "svc/server.hpp"
 
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   int requests = 400;
   int clients = 4;
+  std::string trace_path;
+  std::string event_log_path;
   for (int i = 1; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     try {
@@ -151,9 +158,14 @@ int main(int argc, char** argv) {
         requests = std::atoi(argv[++i]);
       else if (std::strcmp(argv[i], "--clients") == 0 && has_value)
         clients = par::parse_jobs(argv[++i], "--clients");
+      else if (std::strcmp(argv[i], "--trace") == 0 && has_value)
+        trace_path = argv[++i];
+      else if (std::strcmp(argv[i], "--event-log") == 0 && has_value)
+        event_log_path = argv[++i];
       else {
         std::fprintf(stderr,
-                     "usage: %s [--jobs N] [--requests N] [--clients N]\n",
+                     "usage: %s [--jobs N] [--requests N] [--clients N]"
+                     " [--trace FILE] [--event-log FILE]\n",
                      argv[0]);
         return 1;
       }
@@ -170,6 +182,8 @@ int main(int argc, char** argv) {
 
   // The request-latency histogram only records when metrics are on.
   obs::set_enabled(true);
+  if (!event_log_path.empty()) obs::event_log().open_sink(event_log_path);
+  if (!trace_path.empty()) obs::tracer().start();
 
   std::printf(
       "=== Service under load: %d requests, %d submitters, %d workers ===\n\n",
@@ -216,5 +230,13 @@ int main(int argc, char** argv) {
   report.results().set("rounds", std::move(rounds));
   report.write_file("BENCH_service.json");
   std::puts("\n(run report in ./BENCH_service.json)");
+
+  if (!trace_path.empty()) {
+    obs::tracer().stop();
+    obs::tracer().write_file(trace_path);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                obs::tracer().event_count());
+  }
+  if (!event_log_path.empty()) obs::event_log().close_sink();
   return 0;
 }

@@ -207,6 +207,9 @@ int main(int argc, char** argv) {
       workload_names.end();
 
   if (!trace_path.empty()) obs::tracer().start();
+  // One trace id for the whole invocation: every span and event this bench
+  // produces correlates under it, same as a service request would.
+  const obs::TraceScope bench_trace(obs::new_trace());
 
   std::printf(
       "=== simulation engine throughput: %lld raw cycles, %d matrices ===\n\n",

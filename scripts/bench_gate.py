@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the hlshc bench reports.
+
+Compares freshly produced BENCH_sim.json / BENCH_fault.json /
+BENCH_service.json (obs::RunReport schema) against the committed reference
+reports in bench/baselines/, with a per-metric check mode:
+
+  * exact  -- values the toolchain computes deterministically (node counts,
+              exec-plan depth, campaign outcome mixes, areas). Any drift is
+              a functional change, not noise, and fails the gate.
+  * ratio  -- wall-clock rates (cycles/sec, faults/sec, req/sec). CI
+              machines are noisy and heterogeneous, so these only fail when
+              the fresh value drops below `tolerance` * baseline — a wide
+              net that still catches order-of-magnitude regressions.
+  * invariant -- cross-field consistency inside the fresh report alone
+              (ok + shed == submitted, a deep queue sheds nothing).
+
+The gate also insists the fresh run used the same parameters as the
+baseline (same site counts, cycle counts, request counts): comparing runs
+of different sizes would make every number meaningless.
+
+Usage:
+  bench_gate.py [--baselines DIR] [--fresh DIR] [--tolerance F]
+  bench_gate.py --validate-trace FILE [FILE...]
+  bench_gate.py --validate-events FILE [FILE...]
+
+--validate-trace checks a Chrome trace_event file is well-formed (parses,
+has a traceEvents list, every event carries name/ph/ts/pid/tid).
+--validate-events checks an event-log JSON-lines file (every line is an
+object with ts_ns/level/name). Exit status 0 iff every check passed.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"  ok: {msg}")
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "hlshc.run_report":
+        fail(f"{path}: not an hlshc.run_report (schema={report.get('schema')})")
+    return report
+
+
+def check_params(name, fresh, base, keys):
+    for key in keys:
+        if fresh["params"].get(key) != base["params"].get(key):
+            fail(
+                f"{name}: param '{key}' differs from baseline "
+                f"({fresh['params'].get(key)} vs {base['params'].get(key)}) "
+                "-- regenerate bench/baselines or fix the CI invocation"
+            )
+
+
+def index_rows(report, list_key, id_key):
+    return {row[id_key]: row for row in report["results"][list_key]}
+
+
+def compare_rows(name, fresh, base, list_key, id_key, exact, ratio, tolerance):
+    fresh_rows = index_rows(fresh, list_key, id_key)
+    base_rows = index_rows(base, list_key, id_key)
+    if set(fresh_rows) != set(base_rows):
+        fail(
+            f"{name}: {list_key} sets differ "
+            f"(fresh-only: {sorted(set(fresh_rows) - set(base_rows))}, "
+            f"baseline-only: {sorted(set(base_rows) - set(fresh_rows))})"
+        )
+        return
+    for row_id in sorted(base_rows, key=str):
+        f_row, b_row = fresh_rows[row_id], base_rows[row_id]
+        for key in exact:
+            if f_row.get(key) != b_row.get(key):
+                fail(
+                    f"{name} [{row_id}].{key}: {f_row.get(key)} != baseline "
+                    f"{b_row.get(key)} (deterministic metric -- this is a "
+                    "functional change, not noise)"
+                )
+        for key in ratio:
+            b_val = b_row.get(key, 0)
+            f_val = f_row.get(key, 0)
+            if b_val <= 0:
+                continue
+            if f_val < tolerance * b_val:
+                fail(
+                    f"{name} [{row_id}].{key}: {f_val:.1f} < "
+                    f"{tolerance:.2f} x baseline {b_val:.1f}"
+                )
+    ok(
+        f"{name}: {len(base_rows)} {list_key} rows, "
+        f"{len(exact)} exact + {len(ratio)} ratio metrics each"
+    )
+
+
+def gate_sim(fresh_path, base_path, tolerance):
+    fresh, base = load_report(fresh_path), load_report(base_path)
+    check_params("BENCH_sim", fresh, base,
+                 ["raw_cycles", "stream_matrices", "workload"])
+    compare_rows(
+        "BENCH_sim", fresh, base, "designs", "design",
+        exact=["nodes", "depth"],
+        ratio=["compiled_cycles_per_sec", "interp_cycles_per_sec",
+               "stream_compiled_cycles_per_sec"],
+        tolerance=tolerance,
+    )
+
+
+def gate_fault(fresh_path, base_path, tolerance):
+    fresh, base = load_report(fresh_path), load_report(base_path)
+    check_params("BENCH_fault", fresh, base,
+                 ["sites_per_design", "sample_seed", "max_inject_cycle",
+                  "workload"])
+    compare_rows(
+        "BENCH_fault", fresh, base, "designs", "design",
+        # The campaign is seeded and single-jobs-deterministic: the outcome
+        # mix, the A/P/Q axes, and the TMR contract are exact.
+        exact=["runs", "masked", "sdc", "detected", "hang",
+               "vulnerability_factor", "area", "periodicity_cycles"],
+        ratio=["faults_per_sec"],
+        tolerance=tolerance,
+    )
+
+
+def gate_service(fresh_path, base_path, tolerance):
+    fresh, base = load_report(fresh_path), load_report(base_path)
+    check_params("BENCH_service", fresh, base, ["requests", "clients"])
+    rounds = index_rows(fresh, "rounds", "queue_capacity")
+    base_rounds = index_rows(base, "rounds", "queue_capacity")
+    if set(rounds) != set(base_rounds):
+        fail(f"BENCH_service: round sets differ "
+             f"({sorted(rounds)} vs {sorted(base_rounds)})")
+        return
+    for capacity, row in sorted(rounds.items()):
+        # ok/shed splits race on queue occupancy, so the per-round splits
+        # are invariants over the fresh run, not baseline comparisons.
+        if row["ok"] + row["shed"] != row["submitted"]:
+            fail(f"BENCH_service [queue={capacity}]: ok {row['ok']} + shed "
+                 f"{row['shed']} != submitted {row['submitted']}")
+        if row["ok"] < 1:
+            fail(f"BENCH_service [queue={capacity}]: no request succeeded")
+    deepest = rounds[max(rounds)]
+    if deepest["shed"] != 0:
+        fail(f"BENCH_service [queue={max(rounds)}]: deep queue shed "
+             f"{deepest['shed']} requests -- admission control regressed")
+    if deepest["cache_hit_rate"] < 0.5:
+        fail(f"BENCH_service [queue={max(rounds)}]: cache hit rate "
+             f"{deepest['cache_hit_rate']:.2f} < 0.5 on a round-robin "
+             "storm -- the compile cache regressed")
+    for capacity, row in sorted(rounds.items()):
+        b_val = base_rounds[capacity]["req_per_sec"]
+        if b_val > 0 and row["req_per_sec"] < tolerance * b_val:
+            fail(f"BENCH_service [queue={capacity}].req_per_sec: "
+                 f"{row['req_per_sec']:.1f} < {tolerance:.2f} x baseline "
+                 f"{b_val:.1f}")
+    ok(f"BENCH_service: {len(rounds)} rounds, invariants + throughput floor")
+
+
+def validate_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+        return
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: traceEvents[{i}] missing '{key}': {event}")
+                return
+    # Correlated spans carry trace_id in args; a traced service/bench run
+    # must produce at least one.
+    correlated = sum(1 for e in events
+                    if isinstance(e.get("args"), dict) and "trace_id" in e["args"])
+    if correlated == 0:
+        fail(f"{path}: no span carries args.trace_id -- "
+             "trace-context propagation is broken")
+        return
+    ok(f"{path}: {len(events)} trace events, {correlated} with trace_id")
+
+
+def validate_events(path):
+    count = 0
+    traced = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not JSON ({e})")
+                return
+            for key in ("ts_ns", "level", "name"):
+                if key not in event:
+                    fail(f"{path}:{lineno}: missing '{key}': {event}")
+                    return
+            count += 1
+            if "trace_id" in event:
+                traced += 1
+    if count == 0:
+        fail(f"{path}: empty event log")
+        return
+    if traced == 0:
+        fail(f"{path}: no event carries a trace_id")
+        return
+    ok(f"{path}: {count} events, {traced} with trace_id")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", default="bench/baselines")
+    parser.add_argument("--fresh", default=".",
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="rate metrics fail below tolerance*baseline")
+    parser.add_argument("--validate-trace", nargs="+", default=[],
+                        metavar="FILE")
+    parser.add_argument("--validate-events", nargs="+", default=[],
+                        metavar="FILE")
+    args = parser.parse_args()
+
+    for path in args.validate_trace:
+        validate_trace(path)
+    for path in args.validate_events:
+        validate_events(path)
+    if args.validate_trace or args.validate_events:
+        if failures:
+            print(f"\nbench gate: {len(failures)} validation failure(s)")
+            return 1
+        print("\nbench gate: validation passed")
+        return 0
+
+    gates = [
+        ("BENCH_sim.json", gate_sim),
+        ("BENCH_fault.json", gate_fault),
+        ("BENCH_service.json", gate_service),
+    ]
+    for filename, gate in gates:
+        fresh_path = os.path.join(args.fresh, filename)
+        base_path = os.path.join(args.baselines, filename)
+        if not os.path.exists(base_path):
+            fail(f"missing baseline {base_path}")
+            continue
+        if not os.path.exists(fresh_path):
+            fail(f"missing fresh report {fresh_path} -- did the bench run?")
+            continue
+        gate(fresh_path, base_path, args.tolerance)
+
+    if failures:
+        print(f"\nbench gate: {len(failures)} failure(s)")
+        return 1
+    print("\nbench gate: all reports within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -46,6 +47,10 @@ DesignEvaluation evaluate_axis_design(const netlist::Design& design,
   // 4: P = ν_max / T_P.
   ev.throughput_mops =
       ev.periodicity_cycles > 0 ? ev.fmax_mhz / ev.periodicity_cycles : 0.0;
+  obs::log_event(obs::EventLevel::kInfo, "core.evaluate",
+                 {{"design", design.name()},
+                  {"workload", spec.name},
+                  {"functional", ev.functional ? "true" : "false"}});
   return ev;
 }
 

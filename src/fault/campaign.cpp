@@ -10,6 +10,7 @@
 #include "base/strings.hpp"
 #include "core/report.hpp"
 #include "netlist/exec_plan.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
@@ -308,6 +309,15 @@ CampaignReport run_campaign(const Design& d,
                 "ExecPlan for '" << d.name()
                                  << "' was recompiled mid-campaign — the "
                                     "design mutated under the workers");
+  obs::log_event(obs::EventLevel::kInfo, "fault.campaign",
+                 {{"design", d.name()},
+                  {"workload", spec.name},
+                  {"sites", std::to_string(sites.size())},
+                  {"jobs", std::to_string(jobs)},
+                  {"masked", std::to_string(report.counts.masked)},
+                  {"sdc", std::to_string(report.counts.sdc)},
+                  {"detected", std::to_string(report.counts.detected)},
+                  {"hang", std::to_string(report.counts.hang)}});
   return report;
 }
 

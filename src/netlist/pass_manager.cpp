@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -112,6 +113,11 @@ Design PassManager::run(const Design& d, PassStats* stats,
         obs::registry()
             .timer("netlist.pass." + pass_name + ".ns")
             ->record_ns(run.wall_ns);
+        obs::log_event(obs::EventLevel::kDebug, "netlist.pass",
+                       {{"pass", pass_name},
+                        {"design", d.name()},
+                        {"iteration", std::to_string(run.iteration)},
+                        {"changes", std::to_string(run.changes)}});
       }
       if (pass_name == "fold_constants") local.folded += run.changes;
       if (pass_name == "eliminate_dead") local.removed += run.changes;

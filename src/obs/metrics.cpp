@@ -21,7 +21,9 @@ int64_t now_ns() {
 int64_t Histogram::percentile(double p) const {
   const int64_t n = count();
   if (n <= 0) return 0;
-  if (p < 0.0) p = 0.0;
+  // Clamp into [0, 1]; the negated comparison routes NaN to 0 instead of
+  // feeding it into the int cast below (which would be UB).
+  if (!(p >= 0.0)) p = 0.0;
   if (p > 1.0) p = 1.0;
   // Rank of the requested sample, 1-based; walk buckets to find it and
   // report that bucket's inclusive upper bound (2^bucket - 1).
@@ -79,6 +81,30 @@ Json Registry::to_json() const {
     }
     out.set("histograms", std::move(histograms));
   }
+  return out;
+}
+
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 3);
+  out.append(name).push_back('{');
+  out.append(key).push_back('=');
+  out.append(value).push_back('}');
+  return out;
+}
+
+std::string labeled(std::string_view name, std::string_view key1,
+                    std::string_view value1, std::string_view key2,
+                    std::string_view value2) {
+  std::string out;
+  out.reserve(name.size() + key1.size() + value1.size() + key2.size() +
+              value2.size() + 4);
+  out.append(name).push_back('{');
+  out.append(key1).push_back('=');
+  out.append(value1).push_back(',');
+  out.append(key2).push_back('=');
+  out.append(value2).push_back('}');
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "obs/json.hpp"
 
@@ -111,8 +112,12 @@ class Histogram {
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t max() const { return max_.load(std::memory_order_relaxed); }
 
-  /// Upper bound of the bucket holding the `p`-quantile sample (p in
-  /// [0, 1]); 0 when empty. p=0.5 → p50, p=0.99 → p99.
+  /// Upper bound of the bucket holding the `p`-quantile sample. Edge cases
+  /// are defined, not UB: an empty histogram returns 0 for every p, and p
+  /// is clamped into [0, 1] (p <= 0 → the smallest recorded sample's bucket
+  /// bound, p >= 1 → the largest; NaN behaves as 0). p=0.5 → p50,
+  /// p=0.99 → p99. The top bucket reports max() exactly instead of a
+  /// 2^63-scale bound.
   int64_t percentile(double p) const;
 
  private:
@@ -186,6 +191,18 @@ class Registry {
 
 /// The process-wide registry used by all instrumented subsystems.
 Registry& registry();
+
+/// Canonical labeled-metric name: `name{key=value}` — one string key per
+/// (name, label) pair, so labeled series live in the same registry (and the
+/// same sorted JSON export) as plain metrics while staying distinct per
+/// label value. Use for low-cardinality dimensions only (method, workload,
+/// outcome): every distinct value is a live registry entry.
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value);
+/// Two-label variant: `name{k1=v1,k2=v2}`.
+std::string labeled(std::string_view name, std::string_view key1,
+                    std::string_view value1, std::string_view key2,
+                    std::string_view value2);
 
 /// Convenience: bump a named counter iff metrics are enabled. For hot loops
 /// prefer resolving the Counter* once and guarding manually.

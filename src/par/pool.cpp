@@ -79,6 +79,7 @@ void Pool::parallel_for_worker(
       std::lock_guard<std::mutex> lock(mutex_);
       workers_in_loop_ = jobs_ - 1;
       loop_start_ns_ = obs::now_ns();
+      loop_trace_ = obs::current_trace();  // adopted by the woken workers
       ++epoch_;
     }
     cv_work_.notify_all();
@@ -104,12 +105,18 @@ void Pool::worker_main(int worker) {
     if (shutdown_) return;
     seen = epoch_;
     const int64_t loop_start = loop_start_ns_;
+    const obs::TraceContext loop_trace = loop_trace_;
     lock.unlock();
     // Queue wait: how long this loop's work sat before the worker reached
     // it (wakeup latency — there is no other queueing in a steal-free pool).
     stats_[static_cast<size_t>(worker)].wait_ns +=
         obs::now_ns() - loop_start;
-    run_chunks(worker);
+    {
+      // Adopt the caller's request context for the loop: chunk spans and any
+      // events the body emits land in the one span tree of that request.
+      obs::TraceScope scope(loop_trace);
+      run_chunks(worker);
+    }
     lock.lock();
     if (--workers_in_loop_ == 0) cv_done_.notify_one();
   }

@@ -45,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hlshc::par {
 
 /// Hard ceiling on worker counts (absurd values are clamped here, not
@@ -125,6 +127,9 @@ class Pool {
   bool shutdown_ = false;
   int workers_in_loop_ = 0;
   int64_t loop_start_ns_ = 0;  ///< epoch bump time, for queue-wait metrics
+  /// The caller's request context at loop start; workers install it for the
+  /// loop's duration so their spans/events join the caller's span tree.
+  obs::TraceContext loop_trace_;
 
   // Current-loop state (valid while workers_in_loop_ > 0).
   const std::function<void(int, int64_t)>* body_ = nullptr;

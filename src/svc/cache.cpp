@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "netlist/dump.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
@@ -48,11 +49,21 @@ CachedCompile DesignCache::get_or_compile(
       lru_.splice(lru_.end(), lru_, it->second.lru);  // mark MRU
       ++hits_;
       publish_metrics_locked();
+      if (obs::enabled()) {
+        obs::count(obs::labeled("svc.cache.lookups", "result", "hit"));
+        obs::log_event(obs::EventLevel::kDebug, "svc.cache.lookup",
+                       {{"result", "hit"}, {"key", key}});
+      }
       return {it->second.design, it->second.stats, key,
               it->second.result_hash, true};
     }
     ++misses_;
     publish_metrics_locked();
+  }
+  if (obs::enabled()) {
+    obs::count(obs::labeled("svc.cache.lookups", "result", "miss"));
+    obs::log_event(obs::EventLevel::kDebug, "svc.cache.lookup",
+                   {{"result", "miss"}, {"key", key}});
   }
 
   // Miss: compile outside the lock (a slow compile must not block hits),
@@ -104,6 +115,8 @@ void DesignCache::evict_over_budget_locked() {
     entries_.erase(it);
     lru_.pop_front();
     ++evictions_;
+    if (obs::enabled())
+      obs::count(obs::labeled("svc.cache.lookups", "result", "evict"));
   }
 }
 

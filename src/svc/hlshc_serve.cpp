@@ -14,10 +14,19 @@
 //   --deadline-ms N   default per-request wall budget (default 0 = none)
 //   --cache-mb N      compiled-design cache byte budget (default 8)
 //   --cache-entries N compiled-design cache entry budget (default 64)
+//   --slow-ms N       log requests slower than N ms as svc.slow_request
+//                     events (default 1000; 0 disables)
+//   --event-log FILE  enable observability and append every structured
+//                     event to FILE as JSON lines (one object per line)
+//   --trace FILE      record Chrome trace_event spans for the whole run
+//                     and write them to FILE at shutdown
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "svc/server.hpp"
 
@@ -26,7 +35,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--jobs N] [--queue N] [--deadline-ms N] [--cache-mb N]"
-               " [--cache-entries N]\n";
+               " [--cache-entries N] [--slow-ms N] [--event-log FILE]"
+               " [--trace FILE]\n";
   std::exit(2);
 }
 
@@ -37,6 +47,8 @@ int main(int argc, char** argv) {
 
   svc::ServerOptions options;
   options.workers = par::default_jobs();
+  std::string event_log_path;
+  std::string trace_path;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -54,6 +66,12 @@ int main(int argc, char** argv) {
         options.cache.max_bytes = std::stoull(value()) << 20;
       } else if (arg == "--cache-entries") {
         options.cache.max_entries = std::stoull(value());
+      } else if (arg == "--slow-ms") {
+        options.slow_request_ms = std::stoll(value());
+      } else if (arg == "--event-log") {
+        event_log_path = value();
+      } else if (arg == "--trace") {
+        trace_path = value();
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
       } else {
@@ -66,6 +84,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Observability switches: the event-log sink implies obs::enabled() (an
+  // event log with emission disabled would be a confusing no-op file), and
+  // --trace turns the span recorder on for the daemon's whole lifetime.
+  if (!event_log_path.empty()) {
+    try {
+      obs::event_log().open_sink(event_log_path);
+    } catch (const std::exception& e) {
+      std::cerr << "fatal: " << e.what() << '\n';
+      return 1;
+    }
+    obs::set_enabled(true);
+  }
+  if (!trace_path.empty()) obs::tracer().start();
+
   try {
     svc::Server server(options);
     server.serve(std::cin, std::cout);
@@ -75,5 +107,16 @@ int main(int argc, char** argv) {
     std::cerr << "fatal: " << e.what() << '\n';
     return 1;
   }
+
+  if (!trace_path.empty()) {
+    obs::tracer().stop();
+    try {
+      obs::tracer().write_file(trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "trace write failed: " << e.what() << '\n';
+      return 1;
+    }
+  }
+  if (!event_log_path.empty()) obs::event_log().close_sink();
   return 0;
 }

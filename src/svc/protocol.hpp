@@ -30,6 +30,22 @@
 //
 // Request ids are echoed verbatim (any JSON value). Responses to requests
 // whose id could not be parsed carry id null.
+//
+// Tracing: every response — success, error, even a shed or unparseable
+// request — additionally carries a top-level "trace_id" (16 lowercase hex
+// chars), the correlation id minted at admission. The `trace` method turns
+// an id back into diagnostics:
+//
+//   -> {"id": 8, "method": "trace",
+//       "params": {"trace_id": "00b492e4f1f59cd3", "limit": 32}}
+//   <- {"id": 8, "ok": true, "result": {"requests": [...], "events": [...],
+//                                       "events_recorded": true, ...}}
+//
+// Without params.trace_id it returns summaries of the most recent requests
+// (always recorded, bounded ring); with it, also the structured event-log
+// entries of that trace (recorded only while observability is enabled —
+// result.events_recorded says which regime the server is in). `stats`
+// reports event-log occupancy/drops alongside cache and queue counters.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 #include "fault/campaign.hpp"
 #include "fault/model.hpp"
 #include "netlist/dump.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tools/flows.hpp"
@@ -61,6 +62,14 @@ bool get_bool(const Json& params, const char* key, bool fallback) {
   return v->as_bool();
 }
 
+/// Attaches the request's correlation id to a response line: clients quote
+/// it back through the `trace` method to self-diagnose.
+std::string stamp_trace(Json response, const obs::TraceContext& trace) {
+  if (trace.valid())
+    response.set("trace_id", Json::string(obs::trace_id_hex(trace.trace_id)));
+  return response.dump();
+}
+
 }  // namespace
 
 Server::Server(const ServerOptions& options)
@@ -102,15 +111,18 @@ std::future<std::string> Server::submit(const std::string& line) {
   auto promise = std::make_shared<std::promise<std::string>>();
   std::future<std::string> future = promise->get_future();
   const int64_t admitted_ns = obs::now_ns();
+  // Every request — even one that fails to parse — gets a trace identity at
+  // admission; it correlates the span tree, the event log, and the response.
+  const obs::TraceContext trace = obs::new_trace();
   obs::count("svc.requests");
 
   Request req;
   try {
     req = parse_request(line, options_.max_request_bytes);
   } catch (const ProtocolError& e) {
-    finish(error_code_name(e.code()), admitted_ns);
+    finish(req, error_code_name(e.code()), admitted_ns, 0, trace);
     promise->set_value(
-        error_response(Json(), e.code(), e.what()).dump());
+        stamp_trace(error_response(Json(), e.code(), e.what()), trace));
     return future;
   }
 
@@ -119,21 +131,30 @@ std::future<std::string> Server::submit(const std::string& line) {
   std::shared_ptr<const Deadline> deadline;
   if (budget_ms > 0) deadline = Deadline::shared_after_ms(budget_ms);
 
+  if (obs::enabled()) {
+    obs::Event admitted;
+    admitted.level = obs::EventLevel::kDebug;
+    admitted.trace_id = trace.trace_id;
+    admitted.name = "svc.admitted";
+    admitted.kv = {{"method", req.method}};
+    obs::event_log().emit(std::move(admitted));
+  }
   const bool accepted = queue_.try_submit(
-      [this, promise, req = std::move(req), deadline, admitted_ns]() mutable {
-        promise->set_value(process(req, deadline, admitted_ns));
+      [this, promise, req = std::move(req), deadline, admitted_ns,
+       trace]() mutable {
+        promise->set_value(process(req, deadline, admitted_ns, trace));
       });
   if (!accepted) {
     // Shed at admission: O(1), no handler work consumed, and the hint tells
     // a well-behaved client how long to back off before retrying.
     obs::count("svc.shed");
-    finish("overloaded", admitted_ns);
-    promise->set_value(
+    finish(req, "overloaded", admitted_ns, 0, trace);
+    promise->set_value(stamp_trace(
         error_response(req.id, ErrorCode::kOverloaded,
                        "admission queue full (capacity " +
                            std::to_string(options_.queue_capacity) + ')',
-                       options_.retry_after_ms)
-            .dump());
+                       options_.retry_after_ms),
+        trace));
   }
   return future;
 }
@@ -173,9 +194,14 @@ void Server::serve(std::istream& in, std::ostream& out) {
 
 std::string Server::process(const Request& req,
                             const std::shared_ptr<const Deadline>& deadline,
-                            int64_t admitted_ns) {
+                            int64_t admitted_ns,
+                            const obs::TraceContext& trace) {
+  // Install the request context minted at admission: every span and event
+  // below — compile passes, cache lookups, pool chunks — carries its ids.
+  obs::TraceScope trace_scope(trace);
+  const int64_t queue_ns = obs::now_ns() - admitted_ns;
   obs::Span span("svc.request", "svc");
-  span.arg("method", req.method);
+  span.arg("method", req.method).arg("queue_ns", queue_ns);
   Json response;
   std::string outcome = "ok";
   // Per-request crash isolation: nothing a handler throws escapes this
@@ -183,8 +209,7 @@ std::string Server::process(const Request& req,
   try {
     if (deadline)
       deadline->check("request '" + req.method + "' dequeued after " +
-                      std::to_string((obs::now_ns() - admitted_ns) / 1000000) +
-                      " ms in queue");
+                      std::to_string(queue_ns / 1000000) + " ms in queue");
     response = ok_response(req.id, dispatch(req, deadline));
   } catch (const ProtocolError& e) {
     outcome = error_code_name(e.code());
@@ -201,8 +226,9 @@ std::string Server::process(const Request& req,
     response = error_response(req.id, ErrorCode::kInternalError,
                               "unknown exception in handler");
   }
-  finish(outcome, admitted_ns);
-  return response.dump();
+  span.arg("outcome", outcome);
+  finish(req, outcome, admitted_ns, queue_ns, trace);
+  return stamp_trace(std::move(response), trace);
 }
 
 Json Server::dispatch(const Request& req,
@@ -225,6 +251,7 @@ Json Server::dispatch(const Request& req,
     return result;
   }
   if (req.method == "stats") return handle_stats();
+  if (req.method == "trace") return handle_trace(req);
   if (req.method == "shutdown") {
     Json result = Json::object();
     result.set("shutting_down", Json::boolean(true));
@@ -256,6 +283,13 @@ netlist::Design Server::build_design(const Json& params) const {
 const workload::WorkloadSpec& Server::resolve_workload(
     const Json& params) const {
   const workload::Registry& reg = workload::Registry::instance();
+  // Per-workload request accounting: every compile/evaluate/campaign
+  // resolves its workload exactly once, right here.
+  const auto counted = [](const workload::WorkloadSpec& spec)
+      -> const workload::WorkloadSpec& {
+    obs::count(obs::labeled("svc.requests", "workload", spec.name));
+    return spec;
+  };
   const Json* v = params.find("workload");
   if (v) {
     if (v->kind() != Json::Kind::kString)
@@ -272,7 +306,7 @@ const workload::WorkloadSpec& Server::resolve_workload(
                           "unknown workload '" + v->as_string() +
                               "' (known: " + known + ')');
     }
-    return *spec;
+    return counted(*spec);
   }
   // Qualified design names carry their workload; a registered test design
   // that happens to contain a dot just falls through to the default.
@@ -282,9 +316,9 @@ const workload::WorkloadSpec& Server::resolve_workload(
     const size_t dot = name.find('.');
     if (dot != std::string::npos)
       if (const workload::WorkloadSpec* spec = reg.find(name.substr(0, dot)))
-        return *spec;
+        return counted(*spec);
   }
-  return reg.get("idct");
+  return counted(reg.get("idct"));
 }
 
 tools::CompileOptions Server::compile_options(
@@ -466,6 +500,57 @@ Json Server::handle_dse(const Request& req,
   return result;
 }
 
+Json Server::handle_trace(const Request& req) const {
+  const int64_t limit = get_int(req.params, "limit", 32, 1, 1024);
+  uint64_t want_trace = 0;
+  if (const Json* v = req.params.find("trace_id")) {
+    if (v->kind() != Json::Kind::kString)
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "params.trace_id must be a hex string "
+                          "(the response field of an earlier request)");
+    want_trace = obs::parse_trace_id(v->as_string());
+    if (want_trace == 0)
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "params.trace_id '" + v->as_string() +
+                              "' is not a valid trace id");
+  }
+
+  Json requests = Json::array();
+  int64_t listed = 0;
+  for (const RequestRecord& r : recent_requests()) {
+    if (want_trace != 0 && r.trace_id != want_trace) continue;
+    if (listed >= limit) break;
+    Json row = Json::object();
+    row.set("trace_id", Json::string(obs::trace_id_hex(r.trace_id)));
+    row.set("method", Json::string(r.method));
+    if (!r.design.empty()) row.set("design", Json::string(r.design));
+    row.set("outcome", Json::string(r.outcome));
+    row.set("queue_ms",
+            Json::number(static_cast<double>(r.queue_ns) / 1e6));
+    row.set("total_ms",
+            Json::number(static_cast<double>(r.total_ns) / 1e6));
+    requests.push(std::move(row));
+    ++listed;
+  }
+
+  // Correlated event-log entries for one specific trace. Events exist only
+  // while obs::enabled(); events_recorded tells the client which case an
+  // empty list means.
+  Json events = Json::array();
+  if (want_trace != 0)
+    for (const obs::Event& e : obs::event_log().for_trace(want_trace))
+      events.push(obs::EventLog::event_json(e));
+
+  Json result = Json::object();
+  result.set("requests", std::move(requests));
+  if (want_trace != 0) {
+    result.set("trace_id", Json::string(obs::trace_id_hex(want_trace)));
+    result.set("events", std::move(events));
+  }
+  result.set("events_recorded", Json::boolean(obs::enabled()));
+  return result;
+}
+
 Json Server::handle_stats() const {
   const DesignCache::Stats cs = cache_.stats();
   Json cache = Json::object();
@@ -482,18 +567,88 @@ Json Server::handle_stats() const {
   queue.set("accepted", Json::number(queue_.accepted()));
   queue.set("shed", Json::number(queue_.shed()));
 
+  const obs::EventLog& log = obs::event_log();
+  Json events = Json::object();
+  events.set("held", Json::number(static_cast<int64_t>(log.size())));
+  events.set("capacity", Json::number(static_cast<int64_t>(log.capacity())));
+  events.set("total", Json::number(log.total()));
+  events.set("dropped", Json::number(log.dropped()));
+
   Json result = Json::object();
   result.set("cache", std::move(cache));
   result.set("queue", std::move(queue));
+  result.set("events", std::move(events));
+  result.set("recent_requests",
+             Json::number(static_cast<int64_t>(recent_requests().size())));
   if (obs::enabled()) result.set("metrics", obs::registry().to_json());
   return result;
 }
 
-void Server::finish(const std::string& outcome, int64_t admitted_ns) const {
+void Server::finish(const Request& req, const std::string& outcome,
+                    int64_t admitted_ns, int64_t queue_ns,
+                    const obs::TraceContext& trace) {
+  const int64_t total_ns = obs::now_ns() - admitted_ns;
+
+  // The recent-requests ring is always on: it is what the `trace` protocol
+  // method serves, and one small record per request is cheap at any load.
+  std::string design;
+  if (const Json* d = req.params.find("design"))
+    if (d->kind() == Json::Kind::kString) design = d->as_string();
+  RequestRecord record;
+  record.trace_id = trace.trace_id;
+  record.method = req.method;
+  record.design = design;
+  record.outcome = outcome;
+  record.queue_ns = queue_ns;
+  record.total_ns = total_ns;
+  if (options_.recent_requests > 0) {
+    std::lock_guard<std::mutex> lock(recent_mutex_);
+    recent_.push_back(std::move(record));
+    while (recent_.size() > options_.recent_requests) recent_.pop_front();
+  }
+
   if (!obs::enabled()) return;
   obs::Registry& reg = obs::registry();
   reg.counter(outcome == "ok" ? "svc.ok" : "svc.error." + outcome)->add(1);
-  reg.histogram("svc.request_ns")->record(obs::now_ns() - admitted_ns);
+  reg.counter(obs::labeled("svc.outcome", "code", outcome))->add(1);
+  reg.histogram("svc.request_ns")->record(total_ns);
+  if (!req.method.empty()) {
+    reg.counter(obs::labeled("svc.requests", "method", req.method))->add(1);
+    reg.histogram(obs::labeled("svc.request_ns", "method", req.method))
+        ->record(total_ns);
+  }
+
+  obs::Event done;
+  done.level = outcome == "ok" ? obs::EventLevel::kInfo
+                               : obs::EventLevel::kWarn;
+  done.trace_id = trace.trace_id;
+  done.name = "svc.request";
+  done.kv = {{"method", req.method},
+             {"outcome", outcome},
+             {"queue_ns", std::to_string(queue_ns)},
+             {"total_ns", std::to_string(total_ns)}};
+  obs::event_log().emit(std::move(done));
+
+  // The slow-request log: one kWarn event per offender, with enough context
+  // to find it again (method, design, latency split).
+  if (options_.slow_request_ms > 0 &&
+      total_ns > options_.slow_request_ms * 1000000) {
+    obs::Event slow;
+    slow.level = obs::EventLevel::kWarn;
+    slow.trace_id = trace.trace_id;
+    slow.name = "svc.slow_request";
+    slow.kv = {{"method", req.method},
+               {"design", design},
+               {"threshold_ms", std::to_string(options_.slow_request_ms)},
+               {"queue_ns", std::to_string(queue_ns)},
+               {"total_ns", std::to_string(total_ns)}};
+    obs::event_log().emit(std::move(slow));
+  }
+}
+
+std::vector<Server::RequestRecord> Server::recent_requests() const {
+  std::lock_guard<std::mutex> lock(recent_mutex_);
+  return {recent_.rbegin(), recent_.rend()};
 }
 
 }  // namespace hlshc::svc

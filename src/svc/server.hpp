@@ -27,8 +27,18 @@
 //     compile no matter how many clients ask.
 //
 // Metrics (when obs::enabled()): svc.requests / svc.ok / svc.error.<code> /
-// svc.shed counters, the svc.request_ns latency histogram, par.queue.depth
-// and svc.cache.* via their owning layers.
+// svc.shed counters, the svc.request_ns latency histogram — plus labeled
+// series keyed per method and per workload (svc.requests{method=…},
+// svc.request_ns{method=…}, svc.requests{workload=…},
+// svc.outcome{code=…}) — par.queue.depth and svc.cache.* via their owning
+// layers.
+//
+// Tracing (always): every request — including malformed and shed ones —
+// mints an obs::TraceContext at admission; the handling worker installs it,
+// so the compile pipeline's spans, the pool's chunk spans, and every
+// obs::EventLog event of that request share one trace_id. Responses carry
+// the id as a top-level "trace_id" field, and the `trace` protocol method
+// returns recent request summaries and per-trace events in-band.
 //
 // The server is in-process by design — tests and benches drive it through
 // svc::Client; the hlshc_serve binary wires serve() to stdin/stdout for the
@@ -37,6 +47,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <iosfwd>
@@ -47,6 +58,7 @@
 #include <vector>
 
 #include "base/deadline.hpp"
+#include "obs/trace.hpp"
 #include "netlist/ir.hpp"
 #include "par/queue.hpp"
 #include "svc/cache.hpp"
@@ -62,6 +74,12 @@ struct ServerOptions {
   size_t max_request_bytes = 1u << 16;  ///< request-line byte limit
   int64_t default_deadline_ms = 0;  ///< applied when a request names none
   int retry_after_ms = 5;           ///< hint attached to overloaded responses
+  /// Requests slower than this (admission → response) emit a kWarn
+  /// "svc.slow_request" event when obs::enabled(); 0 disables the slow log.
+  int64_t slow_request_ms = 1000;
+  /// Per-request summaries held for the `trace` protocol method (always on:
+  /// one small struct per request, bounded ring).
+  size_t recent_requests = 64;
   CacheConfig cache;
   /// Base compile options for compile/evaluate/campaign requests; per-request
   /// params may override optimize/strength_reduce, and the per-request
@@ -106,10 +124,21 @@ class Server {
   int64_t shed_count() const { return queue_.shed(); }
   const ServerOptions& options() const { return options_; }
 
+  /// One completed (or shed) request, as served by the `trace` method.
+  struct RequestRecord {
+    uint64_t trace_id = 0;
+    std::string method;
+    std::string design;    ///< params.design when present
+    std::string outcome;   ///< "ok" or the wire error code
+    int64_t queue_ns = 0;  ///< admission → dequeue
+    int64_t total_ns = 0;  ///< admission → response
+  };
+  std::vector<RequestRecord> recent_requests() const;  ///< newest first
+
  private:
   std::string process(const Request& req,
                       const std::shared_ptr<const Deadline>& deadline,
-                      int64_t admitted_ns);
+                      int64_t admitted_ns, const obs::TraceContext& trace);
   obs::Json dispatch(const Request& req,
                      const std::shared_ptr<const Deadline>& deadline);
   obs::Json handle_compile(const Request& req,
@@ -121,6 +150,9 @@ class Server {
   obs::Json handle_dse(const Request& req,
                        const std::shared_ptr<const Deadline>& deadline);
   obs::Json handle_stats() const;
+  /// The `trace` method: recent request summaries, plus the correlated
+  /// event-log entries when params.trace_id names a specific trace.
+  obs::Json handle_trace(const Request& req) const;
 
   /// Builds the design named in params.design (kInvalidRequest when absent
   /// or unregistered). The builder runs on the worker, under the deadline.
@@ -133,12 +165,18 @@ class Server {
   tools::CompileOptions compile_options(
       const obs::Json& params,
       const std::shared_ptr<const Deadline>& deadline) const;
-  void finish(const std::string& outcome, int64_t admitted_ns) const;
+  /// Outcome accounting: labeled counters/histograms, the slow-request log,
+  /// and the recent-requests ring. Runs for every request, shed included.
+  void finish(const Request& req, const std::string& outcome,
+              int64_t admitted_ns, int64_t queue_ns,
+              const obs::TraceContext& trace);
 
   ServerOptions options_;
   DesignCache cache_;
   mutable std::mutex designs_mutex_;
   std::map<std::string, std::function<netlist::Design()>> designs_;
+  mutable std::mutex recent_mutex_;
+  std::deque<RequestRecord> recent_;  ///< newest at the back, bounded
   par::TaskQueue queue_;  ///< declared last: workers die before the rest
 };
 

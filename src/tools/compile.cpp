@@ -4,6 +4,7 @@
 
 #include "base/strings.hpp"
 #include "core/report.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "sim/verify.hpp"
 
@@ -31,6 +32,12 @@ CompiledDesign compile(const netlist::Design& design,
   span.arg("iterations", static_cast<int64_t>(out.stats.iterations))
       .arg("nodes_before", static_cast<int64_t>(out.stats.nodes_before()))
       .arg("nodes_after", static_cast<int64_t>(out.stats.nodes_after()));
+  obs::log_event(
+      obs::EventLevel::kInfo, "tools.compile",
+      {{"design", design.name()},
+       {"iterations", std::to_string(out.stats.iterations)},
+       {"nodes_before", std::to_string(out.stats.nodes_before())},
+       {"nodes_after", std::to_string(out.stats.nodes_after())}});
   return out;
 }
 

@@ -5,10 +5,12 @@
 
 #include <fstream>
 #include <iterator>
+#include <limits>
 
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
 #include "idct/reference.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -349,6 +351,225 @@ TEST_F(ObsTest, RunReportCapturesMetricsAndWritesFile) {
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   EXPECT_EQ(obs::Json::parse(text).at("tool").as_string(), "unit_test_tool");
+}
+
+// ---- Histogram percentile edge cases ---------------------------------------
+
+TEST_F(ObsTest, HistogramPercentileEdgeCases) {
+  obs::Histogram* h = obs::registry().histogram("t.edges");
+  // Empty histogram: every quantile (including out-of-range p) is 0.
+  EXPECT_EQ(h->percentile(0.0), 0);
+  EXPECT_EQ(h->percentile(1.0), 0);
+  EXPECT_EQ(h->percentile(-3.0), 0);
+  EXPECT_EQ(h->percentile(7.0), 0);
+
+  for (int i = 0; i < 10; ++i) h->record(1000);
+  h->record(1u << 20);  // one large sample defines the max
+
+  // p clamps into [0, 1]: below-range behaves like p=0, above-range (and
+  // NaN) like safe extremes — never UB, never a throw.
+  EXPECT_EQ(h->percentile(-0.5), h->percentile(0.0));
+  EXPECT_EQ(h->percentile(1.5), h->percentile(1.0));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h->percentile(nan), h->percentile(0.0));
+
+  // p=1 lands in the top occupied bucket, whose conservative upper bound
+  // covers (is >=) the true maximum.
+  EXPECT_GE(h->percentile(1.0), static_cast<int64_t>(1u << 20));
+  EXPECT_LT(h->percentile(1.0), static_cast<int64_t>(1u << 22));
+  EXPECT_GE(h->percentile(0.0), 1000);
+  EXPECT_LE(h->percentile(0.5), h->percentile(0.99));
+}
+
+// ---- labeled metric names --------------------------------------------------
+
+TEST_F(ObsTest, LabeledMetricNames) {
+  EXPECT_EQ(obs::labeled("svc.requests", "method", "compile"),
+            "svc.requests{method=compile}");
+  EXPECT_EQ(obs::labeled("svc.outcome", "code", "ok", "method", "evaluate"),
+            "svc.outcome{code=ok,method=evaluate}");
+
+  // Labeled series live in the same registry and export next to their
+  // unlabeled parent.
+  obs::set_enabled(true);
+  obs::count("t.req");
+  obs::count(obs::labeled("t.req", "method", "compile"), 2);
+  const obs::Json j = obs::registry().to_json();
+  EXPECT_EQ(j.at("counters").at("t.req").as_int(), 1);
+  EXPECT_EQ(j.at("counters").at("t.req{method=compile}").as_int(), 2);
+}
+
+// ---- TraceContext ----------------------------------------------------------
+
+TEST_F(ObsTest, TraceContextMintAndChild) {
+  const obs::TraceContext a = obs::new_trace();
+  const obs::TraceContext b = obs::new_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, 0u);  // trace open, no span yet
+
+  const obs::TraceContext child = obs::child_of(a);
+  EXPECT_EQ(child.trace_id, a.trace_id);
+  EXPECT_NE(child.span_id, 0u);
+  EXPECT_EQ(child.parent_span_id, a.span_id);
+
+  const std::string hex = obs::trace_id_hex(a.trace_id);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(obs::parse_trace_id(hex), a.trace_id);
+  EXPECT_EQ(obs::parse_trace_id("zzz"), 0u);
+  EXPECT_EQ(obs::parse_trace_id(""), 0u);
+  EXPECT_EQ(obs::parse_trace_id("00112233445566778"), 0u);  // 17 chars
+}
+
+TEST_F(ObsTest, TraceScopeInstallsAndRestores) {
+  EXPECT_FALSE(obs::current_trace().valid());
+  const obs::TraceContext outer = obs::new_trace();
+  {
+    obs::TraceScope scope(outer);
+    EXPECT_EQ(obs::current_trace().trace_id, outer.trace_id);
+    {
+      obs::TraceScope inner(obs::new_trace());
+      EXPECT_NE(obs::current_trace().trace_id, outer.trace_id);
+    }
+    EXPECT_EQ(obs::current_trace().trace_id, outer.trace_id);
+  }
+  EXPECT_FALSE(obs::current_trace().valid());
+}
+
+TEST_F(ObsTest, SpansInheritAndExtendTheCurrentContext) {
+  SKIP_IF_TRACER_COMPILED_OUT();
+  obs::tracer().start();
+  const obs::TraceContext root = obs::new_trace();
+  {
+    obs::TraceScope scope(root);
+    obs::Span parent("t.parent", "test");
+    const obs::TraceContext at_parent = obs::current_trace();
+    EXPECT_EQ(at_parent.trace_id, root.trace_id);
+    EXPECT_NE(at_parent.span_id, 0u);
+    {
+      obs::Span child("t.child", "test");
+      EXPECT_EQ(obs::current_trace().parent_span_id, at_parent.span_id);
+    }
+    // child ended: the parent's context is current again.
+    EXPECT_EQ(obs::current_trace().span_id, at_parent.span_id);
+  }
+  obs::tracer().stop();
+
+  // The exported spans carry the correlation ids in args.
+  const obs::Json j = obs::tracer().to_json();
+  const obs::Json& events = j.at("traceEvents");
+  const std::string want = obs::trace_id_hex(root.trace_id);
+  int correlated = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::Json* args = events[i].find("args");
+    if (args && args->find("trace_id") &&
+        args->find("trace_id")->as_string() == want)
+      ++correlated;
+  }
+  EXPECT_EQ(correlated, 2);
+}
+
+// ---- EventLog --------------------------------------------------------------
+
+TEST_F(ObsTest, EventLogRingBoundsAndDrops) {
+  obs::EventLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (int i = 0; i < 6; ++i)
+    log.emit(obs::EventLevel::kInfo, "e" + std::to_string(i));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total(), 6);
+  EXPECT_EQ(log.dropped(), 2);
+
+  // Oldest-first snapshot of the survivors: e2..e5.
+  const std::vector<obs::Event> all = log.snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().name, "e2");
+  EXPECT_EQ(all.back().name, "e5");
+  EXPECT_GT(all.front().ts_ns, 0);  // stamped at emit
+  EXPECT_NE(all.front().tid, 0);
+
+  const std::vector<obs::Event> last2 = log.snapshot(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2.front().name, "e4");
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total(), 6);  // totals survive clear
+}
+
+TEST_F(ObsTest, EventLogStampsAndFiltersByTrace) {
+  obs::EventLog log(16);
+  const obs::TraceContext a = obs::new_trace();
+  const obs::TraceContext b = obs::new_trace();
+  {
+    obs::TraceScope scope(a);
+    log.emit(obs::EventLevel::kInfo, "in_a", {{"k", "v"}});
+  }
+  {
+    obs::TraceScope scope(b);
+    log.emit(obs::EventLevel::kWarn, "in_b");
+  }
+  log.emit(obs::EventLevel::kDebug, "no_trace");
+
+  const std::vector<obs::Event> of_a = log.for_trace(a.trace_id);
+  ASSERT_EQ(of_a.size(), 1u);
+  EXPECT_EQ(of_a[0].name, "in_a");
+  EXPECT_EQ(of_a[0].trace_id, a.trace_id);
+  EXPECT_EQ(log.for_trace(b.trace_id).size(), 1u);
+  EXPECT_TRUE(log.for_trace(0x12345).empty());
+}
+
+TEST_F(ObsTest, EventLogJsonAndSinkParseBack) {
+  obs::EventLog log(16);
+  const std::string path = ::testing::TempDir() + "obs_event_log_test.jsonl";
+  log.open_sink(path);
+  EXPECT_TRUE(log.sink_open());
+
+  const obs::TraceContext trace = obs::new_trace();
+  {
+    obs::TraceScope scope(trace);
+    log.emit(obs::EventLevel::kInfo, "svc.request",
+             {{"method", "compile"}, {"outcome", "ok"}});
+  }
+  log.emit(obs::EventLevel::kError, "bare");
+  log.close_sink();
+  EXPECT_FALSE(log.sink_open());
+
+  // event_json: envelope fields plus flattened kv; ids only when traced.
+  const std::vector<obs::Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::Json traced = obs::EventLog::event_json(events[0]);
+  EXPECT_EQ(traced.at("level").as_string(), "info");
+  EXPECT_EQ(traced.at("name").as_string(), "svc.request");
+  EXPECT_EQ(traced.at("method").as_string(), "compile");
+  EXPECT_EQ(traced.at("trace_id").as_string(),
+            obs::trace_id_hex(trace.trace_id));
+  const obs::Json bare = obs::EventLog::event_json(events[1]);
+  EXPECT_EQ(bare.find("trace_id"), nullptr);
+  EXPECT_EQ(bare.at("level").as_string(), "error");
+
+  // The sink wrote one parseable JSON object per line.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const obs::Json parsed = obs::Json::parse(line);
+    EXPECT_NE(parsed.find("ts_ns"), nullptr);
+    EXPECT_NE(parsed.find("name"), nullptr);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST_F(ObsTest, LogEventHelperIsGatedOnEnabled) {
+  const int64_t before = obs::event_log().total();
+  obs::log_event(obs::EventLevel::kInfo, "gated.off");
+  EXPECT_EQ(obs::event_log().total(), before);
+  obs::set_enabled(true);
+  obs::log_event(obs::EventLevel::kInfo, "gated.on");
+  EXPECT_EQ(obs::event_log().total(), before + 1);
+  obs::set_enabled(false);
 }
 
 }  // namespace

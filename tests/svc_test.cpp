@@ -18,6 +18,9 @@
 
 #include "base/deadline.hpp"
 #include "netlist/dump.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/queue.hpp"
 #include "rtl/designs.hpp"
 #include "svc/cache.hpp"
@@ -684,6 +687,116 @@ TEST(Server, TwoClientOverloadSoakEndsHealthy) {
   EXPECT_EQ(server.queue_depth(), 0);
   EXPECT_TRUE(call_ok(server, R"({"method":"ping"})").find("pong")->as_bool());
   EXPECT_GE(server.cache_stats().hits, 1);
+}
+
+TEST(Server, EveryResponseCarriesATraceId) {
+  Server server(small_server());
+  // Success, caller-bug error, and even an unparseable line: all stamped.
+  const Json ok = Json::parse(server.handle(
+      R"({"id":1,"method":"compile","params":{"design":"verilog_opt1"}})"));
+  const Json bad = Json::parse(
+      server.handle(R"({"method":"compile","params":{"design":"nope"}})"));
+  const Json mangled = Json::parse(server.handle("{{{nope"));
+  for (const Json* r : {&ok, &bad, &mangled}) {
+    const Json* id = r->find("trace_id");
+    ASSERT_NE(id, nullptr) << r->dump();
+    EXPECT_EQ(id->as_string().size(), 16u);
+    EXPECT_NE(obs::parse_trace_id(id->as_string()), 0u);
+  }
+  EXPECT_NE(ok.find("trace_id")->as_string(),
+            bad.find("trace_id")->as_string());
+}
+
+TEST(Server, TraceMethodCorrelatesRequestsAndEvents) {
+  obs::set_enabled(true);
+  obs::event_log().clear();
+  Server server(small_server());
+  const Json compiled = Json::parse(server.handle(
+      R"({"id":1,"method":"compile","params":{"design":"verilog_opt2"}})"));
+  ASSERT_TRUE(compiled.find("ok")->as_bool());
+  const std::string trace_id = compiled.find("trace_id")->as_string();
+
+  const Json result = call_ok(
+      server, R"({"method":"trace","params":{"trace_id":")" + trace_id +
+                  R"("}})");
+  EXPECT_TRUE(result.find("events_recorded")->as_bool());
+  EXPECT_EQ(result.find("trace_id")->as_string(), trace_id);
+
+  // The summary names the request; the correlated events show its guts
+  // (admission, cache lookup, compile, per-pass progress, completion).
+  const Json& requests = *result.find("requests");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].find("method")->as_string(), "compile");
+  EXPECT_EQ(requests[0].find("design")->as_string(), "verilog_opt2");
+  EXPECT_EQ(requests[0].find("outcome")->as_string(), "ok");
+  EXPECT_GE(requests[0].find("total_ms")->as_number(), 0.0);
+
+  const Json& events = *result.find("events");
+  ASSERT_GT(events.size(), 0u);
+  bool saw_request = false, saw_cache = false, saw_compile = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const std::string name = events[i].find("name")->as_string();
+    saw_request |= name == "svc.request";
+    saw_cache |= name == "svc.cache.lookup";
+    saw_compile |= name == "tools.compile";
+    EXPECT_EQ(events[i].find("trace_id")->as_string(), trace_id);
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_cache);
+  EXPECT_TRUE(saw_compile);
+
+  // Without a trace_id filter: newest-first summaries of recent requests.
+  const Json all = call_ok(server, R"({"method":"trace"})");
+  EXPECT_GE(all.find("requests")->size(), 2u);
+  EXPECT_EQ(all.find("events"), nullptr);
+  obs::set_enabled(false);
+  obs::registry().reset();
+}
+
+TEST(Server, TraceMethodRejectsMalformedTraceIds) {
+  Server server(small_server());
+  EXPECT_EQ(error_code_of(server,
+                          R"({"method":"trace","params":{"trace_id":42}})"),
+            "invalid_request");
+  EXPECT_EQ(
+      error_code_of(server,
+                    R"({"method":"trace","params":{"trace_id":"nope!"}})"),
+      "invalid_request");
+  EXPECT_EQ(error_code_of(server,
+                          R"({"method":"trace","params":{"limit":0}})"),
+            "invalid_request");
+  // A well-formed id that matches nothing is an empty answer, not an error.
+  const Json result = call_ok(
+      server,
+      R"({"method":"trace","params":{"trace_id":"00000000000000ff"}})");
+  EXPECT_EQ(result.find("requests")->size(), 0u);
+}
+
+TEST(Server, StatsReportsEventLogAndRecentRequests) {
+  Server server(small_server());
+  call_ok(server, R"({"method":"ping"})");
+  const Json result = call_ok(server, R"({"method":"stats"})");
+  const Json* events = result.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GE(events->find("capacity")->as_int(), 1);
+  EXPECT_GE(events->find("total")->as_int(), 0);
+  EXPECT_GE(events->find("dropped")->as_int(), 0);
+  EXPECT_GE(events->find("held")->as_int(), 0);
+  EXPECT_GE(result.find("recent_requests")->as_int(), 1);
+}
+
+TEST(Server, RecentRequestRingIsBounded) {
+  ServerOptions options = small_server();
+  options.recent_requests = 4;
+  Server server(options);
+  for (int i = 0; i < 10; ++i) call_ok(server, R"({"method":"ping"})");
+  const std::vector<Server::RequestRecord> recent = server.recent_requests();
+  ASSERT_EQ(recent.size(), 4u);
+  for (const Server::RequestRecord& r : recent) {
+    EXPECT_EQ(r.method, "ping");
+    EXPECT_EQ(r.outcome, "ok");
+    EXPECT_NE(r.trace_id, 0u);
+  }
 }
 
 TEST(Server, ServeRunsLineProtocolInOrder) {
