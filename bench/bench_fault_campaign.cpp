@@ -5,18 +5,21 @@
 // paper's A / P / Q axes for each variant — what the hardening costs in
 // Table II terms.
 //
-// Each campaign runs twice — serial (jobs=1) and parallel (jobs=N) — to
-// report the parallel speedup alongside the classification results; the
-// outcome counts are asserted identical between the two runs.
+// Each campaign runs three ways — scalar (lanes=1, jobs=1), lane-batched
+// (lanes=L, jobs=1) and batched-parallel (lanes=L, jobs=N; skipped when
+// jobs == 1) — to report the batch and pool speedups alongside the
+// classification results; the outcome counts are asserted identical across
+// all runs (the {lanes, jobs} determinism contract).
 //
 // Writes BENCH_fault.json (cwd) through the obs::RunReport schema.
 //
-// Usage: bench_fault_campaign [sites_per_design] [--jobs N]
+// Usage: bench_fault_campaign [sites_per_design] [--jobs N] [--lanes L]
 //                              [--workload NAME|all]
 //   sites_per_design defaults to 1000; --jobs defaults to all cores
-//   (HLSHC_JOBS / hardware_concurrency); --workload campaigns a workload
-//   registry entry's rtl_comb builder (and its TMR variant) instead of the
-//   default IDCT progression; "all" covers every registry entry.
+//   (HLSHC_JOBS / hardware_concurrency); --lanes defaults to
+//   par::default_lanes() (HLSHC_LANES, else 32); --workload campaigns a
+//   workload registry entry's rtl_comb builder (and its TMR variant)
+//   instead of the default IDCT progression; "all" covers every entry.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,10 +48,14 @@ constexpr uint64_t kSampleSeed = 2026;
 constexpr uint64_t kMaxInjectCycle = 60;  // within the 2-matrix stream window
 
 struct CampaignTiming {
-  double serial_sec = 0.0;
-  double parallel_sec = 0.0;
+  double serial_sec = 0.0;    ///< scalar: lanes=1, jobs=1
+  double batched_sec = 0.0;   ///< lane-batched: lanes=L, jobs=1
+  double parallel_sec = 0.0;  ///< lanes=L, jobs=N (== batched when jobs=1)
   double speedup() const {
     return parallel_sec > 0 ? serial_sec / parallel_sec : 1.0;
+  }
+  double batch_speedup() const {
+    return batched_sec > 0 ? serial_sec / batched_sec : 1.0;
   }
 };
 
@@ -57,13 +64,25 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Runs the campaign serially, then again over `jobs` workers (skipped when
-/// jobs == 1), verifies the outcome counts match bit-for-bit, and joins the
-/// parallel campaign with the A/P/Q axes.
+void check_counts_equal(const hlshc::fault::CampaignCounts& a,
+                        const hlshc::fault::CampaignCounts& b,
+                        const char* what) {
+  if (a.masked != b.masked || a.sdc != b.sdc || a.detected != b.detected ||
+      a.hang != b.hang) {
+    std::fprintf(stderr, "FATAL: %s campaign diverged from the scalar run\n",
+                 what);
+    std::exit(1);
+  }
+}
+
+/// Runs the campaign scalar (lanes=1, jobs=1), lane-batched (lanes=L,
+/// jobs=1), then batched-parallel over `jobs` workers (skipped when
+/// jobs == 1), verifies the outcome counts match bit-for-bit across all
+/// three runs, and joins the final campaign with the A/P/Q axes.
 hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
                                        const hlshc::workload::WorkloadSpec& spec,
                                        const hlshc::synth::NormalizedSynth& ns,
-                                       int sites, int jobs,
+                                       int sites, int jobs, int lanes,
                                        CampaignTiming* timing) {
   auto sampled =
       hlshc::fault::sample_seu_sites(d, sites, kMaxInjectCycle, kSampleSeed);
@@ -73,27 +92,26 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
   opts.keep_runs = false;  // counts only; the run log is O(sites)
 
   opts.jobs = 1;
+  opts.lanes = 1;
   auto t0 = std::chrono::steady_clock::now();
-  hlshc::fault::CampaignReport serial =
+  hlshc::fault::CampaignReport scalar =
       hlshc::fault::run_campaign(d, spec, sampled, opts);
   timing->serial_sec = seconds_since(t0);
 
-  hlshc::fault::CampaignReport campaign = serial;
-  timing->parallel_sec = timing->serial_sec;
+  opts.lanes = lanes;
+  t0 = std::chrono::steady_clock::now();
+  hlshc::fault::CampaignReport campaign =
+      hlshc::fault::run_campaign(d, spec, sampled, opts);
+  timing->batched_sec = seconds_since(t0);
+  check_counts_equal(scalar.counts, campaign.counts, "lane-batched");
+
+  timing->parallel_sec = timing->batched_sec;
   if (jobs != 1) {
     opts.jobs = jobs;
     t0 = std::chrono::steady_clock::now();
     campaign = hlshc::fault::run_campaign(d, spec, sampled, opts);
     timing->parallel_sec = seconds_since(t0);
-    const auto& a = serial.counts;
-    const auto& b = campaign.counts;
-    if (a.masked != b.masked || a.sdc != b.sdc || a.detected != b.detected ||
-        a.hang != b.hang) {
-      std::fprintf(stderr,
-                   "FATAL: parallel campaign (jobs=%d) diverged from serial\n",
-                   jobs);
-      std::exit(1);
-    }
+    check_counts_equal(scalar.counts, campaign.counts, "batched-parallel");
   }
   return hlshc::fault::resilience_from_campaign(d, spec, std::move(campaign),
                                                 ns, opts);
@@ -103,12 +121,20 @@ hlshc::fault::DesignResilience measure(const hlshc::netlist::Design& d,
 
 int main(int argc, char** argv) {
   int sites = 1000;
-  int jobs = 0;  // 0 = all cores
+  int jobs = 0;   // 0 = all cores
+  int lanes = 0;  // 0 = par::default_lanes()
   std::string workload = "idct";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       try {
         jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      try {
+        lanes = hlshc::par::parse_lanes(argv[++i], "--lanes");
       } catch (const hlshc::Error& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
@@ -121,20 +147,22 @@ int main(int argc, char** argv) {
   }
   if (sites <= 0 || jobs < 0) {
     std::fprintf(stderr,
-                 "usage: %s [sites_per_design > 0] [--jobs N] "
+                 "usage: %s [sites_per_design > 0] [--jobs N] [--lanes L] "
                  "[--workload NAME|all]\n",
                  argv[0]);
     return 1;
   }
   if (jobs == 0) jobs = hlshc::par::default_jobs();
+  if (lanes == 0) lanes = hlshc::par::default_lanes();
 
   // One trace id for the whole invocation — campaign spans, pool chunks and
   // events all correlate under it, exactly like a traced service request.
   const hlshc::obs::TraceScope bench_trace(hlshc::obs::new_trace());
 
   std::printf(
-      "=== SEU campaign: %d sampled sites/design, seed %llu, %d jobs ===\n\n",
-      sites, static_cast<unsigned long long>(kSampleSeed), jobs);
+      "=== SEU campaign: %d sampled sites/design, seed %llu, %d jobs, "
+      "%d lanes ===\n\n",
+      sites, static_cast<unsigned long long>(kSampleSeed), jobs, lanes);
 
   struct Row {
     std::string tag;
@@ -184,6 +212,7 @@ int main(int argc, char** argv) {
       .set("max_inject_cycle",
            hlshc::obs::Json::number(static_cast<int64_t>(kMaxInjectCycle)))
       .set("jobs", hlshc::obs::Json::number(jobs))
+      .set("lanes", hlshc::obs::Json::number(lanes))
       .set("workload", hlshc::obs::Json::string(workload));
   hlshc::obs::Json designs = hlshc::obs::Json::array();
 
@@ -195,19 +224,26 @@ int main(int argc, char** argv) {
     hlshc::synth::NormalizedSynth ns =
         hlshc::tools::compile_synth_normalized(row.design, no_pipeline);
     results.push_back(
-        measure(row.design, *row.spec, ns, sites, jobs, &timing));
+        measure(row.design, *row.spec, ns, sites, jobs, lanes, &timing));
     const hlshc::fault::DesignResilience& r = results.back();
     const hlshc::fault::CampaignCounts& c = r.campaign.counts;
     double rate =
         timing.parallel_sec > 0 ? sites / timing.parallel_sec : 0.0;
+    double rate_scalar =
+        timing.serial_sec > 0 ? sites / timing.serial_sec : 0.0;
+    double rate_batched =
+        timing.batched_sec > 0 ? sites / timing.batched_sec : 0.0;
     std::printf(
         "%-20s %8s faults/sec  masked=%d sdc=%d detected=%d hang=%d  VF=%s\n",
         row.tag.c_str(), format_fixed(rate, 1).c_str(), c.masked, c.sdc,
         c.detected,
         c.hang, format_fixed(c.vulnerability(), 4).c_str());
     std::printf(
-        "%-20s serial %ss  parallel(jobs=%d) %ss  speedup %sx\n", "",
-        format_fixed(timing.serial_sec, 2).c_str(), jobs,
+        "%-20s scalar %ss  batched(lanes=%d) %ss (%sx)  "
+        "parallel(jobs=%d) %ss (%sx)\n",
+        "", format_fixed(timing.serial_sec, 2).c_str(), lanes,
+        format_fixed(timing.batched_sec, 2).c_str(),
+        format_fixed(timing.batch_speedup(), 2).c_str(), jobs,
         format_fixed(timing.parallel_sec, 2).c_str(),
         format_fixed(timing.speedup(), 2).c_str());
 
@@ -222,9 +258,14 @@ int main(int argc, char** argv) {
         .set("vulnerability_factor",
              hlshc::obs::Json::number(c.vulnerability()))
         .set("faults_per_sec", hlshc::obs::Json::number(rate))
+        .set("faults_per_sec_scalar", hlshc::obs::Json::number(rate_scalar))
+        .set("faults_per_sec_batched", hlshc::obs::Json::number(rate_batched))
         .set("serial_sec", hlshc::obs::Json::number(timing.serial_sec))
+        .set("batched_sec", hlshc::obs::Json::number(timing.batched_sec))
         .set("parallel_sec", hlshc::obs::Json::number(timing.parallel_sec))
         .set("speedup", hlshc::obs::Json::number(timing.speedup()))
+        .set("batch_speedup",
+             hlshc::obs::Json::number(timing.batch_speedup()))
         .set("fmax_mhz", hlshc::obs::Json::number(r.fmax_mhz))
         .set("periodicity_cycles",
              hlshc::obs::Json::number(r.periodicity_cycles))

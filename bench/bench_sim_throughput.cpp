@@ -10,6 +10,11 @@
 //   stream  — the full AXI-Stream testbench pushing matrices: what the
 //             evaluation procedure and fault campaigns actually pay.
 //
+// A third, lane-batched series replays the stream workload through
+// sim::BatchSimulator with the same stimulus on every lane and reports
+// aggregate lane-cycles/sec — the rate the batched fault campaigns see —
+// plus its speedup over the scalar compiled stream run.
+//
 // After the timing sweep, an activity-profiled stream run over the
 // optimized Verilog IDCT prints the top-10 toggle hotspot table (identical
 // on both engines — asserted here, not assumed).
@@ -18,12 +23,13 @@
 // obs::RunReport schema and prints a table.
 //
 // Usage: bench_sim_throughput [raw_cycles] [stream_matrices] [--trace FILE]
-//                              [--workload NAME|all]
+//                              [--lanes L] [--workload NAME|all]
 // (defaults 200000 and 64). --trace additionally records Chrome trace_event
 // JSON for the whole bench, viewable in chrome://tracing / Perfetto.
-// --workload times a workload-registry entry's builders (or every entry)
-// instead of the default IDCT family set; stimulus always comes from the
-// workload's own registered generator.
+// --lanes sets the batched-series lane count (default par::default_lanes():
+// HLSHC_LANES, else 32). --workload times a workload-registry entry's
+// builders (or every entry) instead of the default IDCT family set;
+// stimulus always comes from the workload's own registered generator.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,12 +40,15 @@
 #include <string>
 #include <vector>
 
+#include "axis/batch.hpp"
 #include "axis/testbench.hpp"
 #include "base/strings.hpp"
 #include "core/report.hpp"
 #include "netlist/exec_plan.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "par/pool.hpp"
+#include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "workload/workload.hpp"
 
@@ -98,6 +107,22 @@ double stream_cps(sim::Engine& e, const std::vector<hlshc::idct::Block>& ins) {
   double secs = seconds_since(t0);
   return secs > 0 ? static_cast<double>(tb.timing().total_cycles) / secs
                   : 0.0;
+}
+
+/// Lane-batched stream throughput: one BatchSimulator sweep streaming the
+/// same stimulus on every lane. Returns aggregate lane-cycles/sec
+/// (simulated cycles x lanes / wall time) — directly comparable with the
+/// scalar stream cycles/sec columns.
+double batch_stream_cps(const netlist::Design& d, int lanes,
+                        const std::vector<hlshc::idct::Block>& ins) {
+  sim::BatchSimulator bsim(d, lanes);
+  hlshc::axis::BatchStreamTestbench tb(bsim);
+  const std::vector<std::vector<hlshc::idct::Block>> lane_ins(
+      static_cast<size_t>(lanes), ins);
+  auto t0 = std::chrono::steady_clock::now();
+  tb.run(lane_ins, 10'000'000);
+  double secs = seconds_since(t0);
+  return secs > 0 ? static_cast<double>(bsim.cycle()) * lanes / secs : 0.0;
 }
 
 obs::Json rate(double v) {
@@ -169,12 +194,20 @@ bool hotspot_section(const std::vector<hlshc::idct::Block>& ins,
 int main(int argc, char** argv) {
   int64_t raw_cycles = 200000;
   int matrices = 64;
+  int lanes = 0;  // 0 = par::default_lanes()
   std::string trace_path;
   std::string workload = "idct";
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      try {
+        lanes = hlshc::par::parse_lanes(argv[++i], "--lanes");
+      } catch (const hlshc::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
       workload = argv[++i];
     } else {
@@ -186,10 +219,11 @@ int main(int argc, char** argv) {
   if (raw_cycles <= 0 || matrices <= 0) {
     std::fprintf(stderr,
                  "usage: %s [raw_cycles > 0] [stream_matrices > 0] "
-                 "[--trace FILE] [--workload NAME|all]\n",
+                 "[--trace FILE] [--lanes L] [--workload NAME|all]\n",
                  argv[0]);
     return 1;
   }
+  if (lanes == 0) lanes = hlshc::par::default_lanes();
   const hlshc::workload::Registry& registry =
       hlshc::workload::Registry::instance();
   std::vector<std::string> workload_names;
@@ -212,17 +246,19 @@ int main(int argc, char** argv) {
   const obs::TraceScope bench_trace(obs::new_trace());
 
   std::printf(
-      "=== simulation engine throughput: %lld raw cycles, %d matrices ===\n\n",
-      static_cast<long long>(raw_cycles), matrices);
+      "=== simulation engine throughput: %lld raw cycles, %d matrices, "
+      "%d lanes ===\n\n",
+      static_cast<long long>(raw_cycles), matrices, lanes);
   std::printf(
-      "%-16s %6s %6s | %12s %12s %6s | %12s %12s %6s\n", "design", "nodes",
-      "depth", "interp c/s", "compiled c/s", "raw x", "interp c/s",
-      "compiled c/s", "strm x");
+      "%-16s %6s %6s | %12s %12s %6s | %12s %12s %6s | %12s %6s\n", "design",
+      "nodes", "depth", "interp c/s", "compiled c/s", "raw x", "interp c/s",
+      "compiled c/s", "strm x", "batch lc/s", "bat x");
 
   obs::RunReport report("bench_sim_throughput");
   report.params()
       .set("raw_cycles", obs::Json::number(raw_cycles))
       .set("stream_matrices", obs::Json::number(matrices))
+      .set("lanes", obs::Json::number(lanes))
       .set("workload", obs::Json::string(workload));
   obs::Json designs = obs::Json::array();
 
@@ -248,17 +284,22 @@ int main(int argc, char** argv) {
     double raw_c = raw_cps(*compiled, raw_cycles);
     double strm_i = stream_cps(*interp, ins);
     double strm_c = stream_cps(*compiled, ins);
+    double batch_c = batch_stream_cps(d, lanes, ins);
     double raw_x = raw_i > 0 ? raw_c / raw_i : 0.0;
     double strm_x = strm_i > 0 ? strm_c / strm_i : 0.0;
+    double batch_x = strm_c > 0 ? batch_c / strm_c : 0.0;
 
-    std::printf("%-16s %6zu %6d | %12s %12s %5sx | %12s %12s %5sx\n",
+    std::printf("%-16s %6zu %6d | %12s %12s %5sx | %12s %12s %5sx | "
+                "%12s %5sx\n",
                 c.name.c_str(), nodes, plan->depth(),
                 format_grouped((long)raw_i).c_str(),
                 format_grouped((long)raw_c).c_str(),
                 format_fixed(raw_x, 1).c_str(),
                 format_grouped((long)strm_i).c_str(),
                 format_grouped((long)strm_c).c_str(),
-                format_fixed(strm_x, 1).c_str());
+                format_fixed(strm_x, 1).c_str(),
+                format_grouped((long)batch_c).c_str(),
+                format_fixed(batch_x, 1).c_str());
 
     obs::Json row = obs::Json::object();
     row.set("design", obs::Json::string(c.name))
@@ -271,7 +312,9 @@ int main(int argc, char** argv) {
         .set("compiled_ops_per_sec", rate(raw_c * static_cast<double>(nodes)))
         .set("stream_interp_cycles_per_sec", rate(strm_i))
         .set("stream_compiled_cycles_per_sec", rate(strm_c))
-        .set("stream_speedup", rate(strm_x));
+        .set("stream_speedup", rate(strm_x))
+        .set("batch_lane_cycles_per_sec", rate(batch_c))
+        .set("batch_speedup", rate(batch_x));
     designs.push(std::move(row));
   }
   }

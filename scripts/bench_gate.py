@@ -21,6 +21,7 @@ of different sizes would make every number meaningless.
 
 Usage:
   bench_gate.py [--baselines DIR] [--fresh DIR] [--tolerance F]
+                [--min-ratio R]
   bench_gate.py --validate-trace FILE [FILE...]
   bench_gate.py --validate-events FILE [FILE...]
 
@@ -104,33 +105,73 @@ def compare_rows(name, fresh, base, list_key, id_key, exact, ratio, tolerance):
     )
 
 
-def gate_sim(fresh_path, base_path, tolerance):
+def check_batch_ratio(name, report, which, min_ratio, numer, denom):
+    """Lane-batching floor: the batched series must beat the scalar series
+    by `min_ratio` on at least one design row. Per-row enforcement would be
+    wrong — a straggler-dominated campaign (one hang site serializing
+    20000 cycles) is Amdahl-capped regardless of lane count — but if *no*
+    row clears the floor, batching regressed to scalar speed."""
+    best = None
+    best_design = None
+    for row in report["results"]["designs"]:
+        scalar, batched = row.get(denom, 0), row.get(numer, 0)
+        if scalar <= 0 or batched <= 0:
+            continue
+        speedup = batched / scalar
+        if best is None or speedup > best:
+            best, best_design = speedup, row["design"]
+    if best is None:
+        fail(f"{name} ({which}): no row carries both {numer} and {denom} "
+             "-- the batched series is missing from the report")
+        return
+    if best < min_ratio:
+        fail(f"{name} ({which}): best batched/scalar speedup {best:.2f}x "
+             f"({best_design}) < required {min_ratio:.2f}x -- "
+             "lane batching regressed")
+        return
+    ok(f"{name} ({which}): best batched/scalar speedup {best:.2f}x "
+       f"({best_design}) >= {min_ratio:.2f}x")
+
+
+def gate_sim(fresh_path, base_path, tolerance, min_ratio):
     fresh, base = load_report(fresh_path), load_report(base_path)
     check_params("BENCH_sim", fresh, base,
-                 ["raw_cycles", "stream_matrices", "workload"])
+                 ["raw_cycles", "stream_matrices", "workload", "lanes"])
     compare_rows(
         "BENCH_sim", fresh, base, "designs", "design",
         exact=["nodes", "depth"],
         ratio=["compiled_cycles_per_sec", "interp_cycles_per_sec",
-               "stream_compiled_cycles_per_sec"],
+               "stream_compiled_cycles_per_sec",
+               "batch_lane_cycles_per_sec"],
         tolerance=tolerance,
     )
+    if min_ratio > 0:
+        for which, report in (("baseline", base), ("fresh", fresh)):
+            check_batch_ratio("BENCH_sim", report, which, min_ratio,
+                              numer="batch_lane_cycles_per_sec",
+                              denom="stream_compiled_cycles_per_sec")
 
 
-def gate_fault(fresh_path, base_path, tolerance):
+def gate_fault(fresh_path, base_path, tolerance, min_ratio):
     fresh, base = load_report(fresh_path), load_report(base_path)
     check_params("BENCH_fault", fresh, base,
                  ["sites_per_design", "sample_seed", "max_inject_cycle",
-                  "workload"])
+                  "workload", "lanes"])
     compare_rows(
         "BENCH_fault", fresh, base, "designs", "design",
         # The campaign is seeded and single-jobs-deterministic: the outcome
         # mix, the A/P/Q axes, and the TMR contract are exact.
         exact=["runs", "masked", "sdc", "detected", "hang",
                "vulnerability_factor", "area", "periodicity_cycles"],
-        ratio=["faults_per_sec"],
+        ratio=["faults_per_sec", "faults_per_sec_scalar",
+               "faults_per_sec_batched"],
         tolerance=tolerance,
     )
+    if min_ratio > 0:
+        for which, report in (("baseline", base), ("fresh", fresh)):
+            check_batch_ratio("BENCH_fault", report, which, min_ratio,
+                              numer="faults_per_sec_batched",
+                              denom="faults_per_sec_scalar")
 
 
 def gate_service(fresh_path, base_path, tolerance):
@@ -226,6 +267,9 @@ def main():
                         help="directory holding the fresh BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="rate metrics fail below tolerance*baseline")
+    parser.add_argument("--min-ratio", type=float, default=0.0,
+                        help="require the best batched/scalar speedup row to "
+                             "reach this factor (0 disables the check)")
     parser.add_argument("--validate-trace", nargs="+", default=[],
                         metavar="FILE")
     parser.add_argument("--validate-events", nargs="+", default=[],
@@ -244,9 +288,12 @@ def main():
         return 0
 
     gates = [
-        ("BENCH_sim.json", gate_sim),
-        ("BENCH_fault.json", gate_fault),
-        ("BENCH_service.json", gate_service),
+        ("BENCH_sim.json",
+         lambda f, b: gate_sim(f, b, args.tolerance, args.min_ratio)),
+        ("BENCH_fault.json",
+         lambda f, b: gate_fault(f, b, args.tolerance, args.min_ratio)),
+        ("BENCH_service.json",
+         lambda f, b: gate_service(f, b, args.tolerance)),
     ]
     for filename, gate in gates:
         fresh_path = os.path.join(args.fresh, filename)
@@ -257,7 +304,7 @@ def main():
         if not os.path.exists(fresh_path):
             fail(f"missing fresh report {fresh_path} -- did the bench run?")
             continue
-        gate(fresh_path, base_path, args.tolerance)
+        gate(fresh_path, base_path)
 
     if failures:
         print(f"\nbench gate: {len(failures)} failure(s)")

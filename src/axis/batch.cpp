@@ -1,0 +1,135 @@
+#include "axis/batch.hpp"
+
+#include <memory>
+
+#include "base/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hlshc::axis {
+
+std::vector<BatchLaneResult> BatchStreamTestbench::run(
+    const std::vector<std::vector<idct::Block>>& inputs, uint64_t max_cycles,
+    const std::vector<netlist::NodeId>& probes) {
+  const int lanes = sim_.lanes();
+  HLSHC_CHECK(static_cast<int>(inputs.size()) == lanes,
+              "batch run got " << inputs.size() << " input sets for "
+                               << lanes << " lanes");
+  obs::Span span("testbench.batch_run", "axis");
+  span.arg("design", sim_.design().name())
+      .arg("lanes", static_cast<int64_t>(lanes));
+
+  sim_.reset_all();
+
+  // Per-lane drivers/monitors over the lane views: the same state machines
+  // the scalar StreamTestbench uses, constructed per run for clean state.
+  std::vector<std::unique_ptr<SourceDriver>> sources;
+  std::vector<std::unique_ptr<SinkDriver>> sinks;
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  sources.reserve(static_cast<size_t>(lanes));
+  sinks.reserve(static_cast<size_t>(lanes));
+  monitors.reserve(static_cast<size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    sources.push_back(std::make_unique<SourceDriver>(sim_.lane(l)));
+    sinks.push_back(std::make_unique<SinkDriver>(sim_.lane(l)));
+    monitors.push_back(std::make_unique<Monitor>(sim_.lane(l)));
+  }
+
+  std::vector<BatchLaneResult> results(static_cast<size_t>(lanes));
+  std::vector<size_t> want(static_cast<size_t>(lanes), 0);
+  std::vector<char> active(static_cast<size_t>(lanes), 0);
+  // Completion cycle per lane (the iteration count at which it finished),
+  // for the masked-lane accounting below.
+  std::vector<uint64_t> done_at(static_cast<size_t>(lanes), 0);
+  int remaining = 0;
+  for (int l = 0; l < lanes; ++l) {
+    const size_t sl = static_cast<size_t>(l);
+    want[sl] = inputs[sl].size();
+    for (const idct::Block& b : inputs[sl]) sources[sl]->queue(b);
+    active[sl] = want[sl] > 0;
+    if (active[sl])
+      ++remaining;
+    else
+      sim_.retire_lane(l);  // nothing to stream: drop it from the sweep
+  }
+  const int lanes_active = remaining;
+
+  auto finish_lane = [&](int l, uint64_t cycles, bool hung) {
+    const size_t sl = static_cast<size_t>(l);
+    BatchLaneResult& r = results[sl];
+    r.matrices = sinks[sl]->matrices();
+    r.clean = monitors[sl]->clean();
+    r.hung = hung;
+    // Same read point as the scalar campaign's post-run detector reads:
+    // the settled state right after the lane's final step.
+    r.probes.reserve(probes.size());
+    for (netlist::NodeId p : probes) r.probes.push_back(sim_.value_i64(l, p));
+    r.timing = derive_stream_timing(static_cast<int>(want[sl]), sim_.cycle(),
+                                    sources[sl]->matrix_start_cycles(),
+                                    sinks[sl]->matrix_end_cycles());
+    done_at[sl] = cycles;
+    active[sl] = 0;
+    --remaining;
+    // A finished lane leaves the batch entirely: the remaining sweep only
+    // pays for lanes still running, so one straggler (e.g. a hang
+    // candidate burning its whole cycle budget) degrades toward scalar
+    // cost instead of dragging `lanes` columns along.
+    if (!hung) sim_.retire_lane(l);
+  };
+
+  uint64_t cycles = 0;
+  bool timed_out = false;
+  while (remaining > 0) {
+    if (cycles >= max_cycles) {
+      timed_out = true;
+      for (int l = 0; l < lanes; ++l)
+        if (active[static_cast<size_t>(l)]) finish_lane(l, cycles, true);
+      break;
+    }
+    // One scalar-testbench cycle, in the scalar order, for every active
+    // lane: drive, settle all lanes together, consume, check, clock edge.
+    for (int l = 0; l < lanes; ++l) {
+      if (!active[static_cast<size_t>(l)]) continue;
+      sources[static_cast<size_t>(l)]->pre_cycle();
+      sinks[static_cast<size_t>(l)]->pre_cycle();
+    }
+    sim_.eval_all();
+    for (int l = 0; l < lanes; ++l) {
+      if (!active[static_cast<size_t>(l)]) continue;
+      sources[static_cast<size_t>(l)]->post_eval();
+      sinks[static_cast<size_t>(l)]->post_eval();
+      monitors[static_cast<size_t>(l)]->sample();
+    }
+    sim_.step_all();
+    ++cycles;
+    for (int l = 0; l < lanes; ++l) {
+      const size_t sl = static_cast<size_t>(l);
+      if (active[sl] && sinks[sl]->matrices().size() >= want[sl])
+        finish_lane(l, cycles, false);
+    }
+  }
+
+  // Masked lanes: finished (or never started) while the batch kept
+  // stepping for stragglers. Hung lanes all end at the final cycle and are
+  // not "masked" — they ran the whole sweep.
+  masked_early_ = 0;
+  for (int l = 0; l < lanes; ++l) {
+    const size_t sl = static_cast<size_t>(l);
+    if (want[sl] == 0) {
+      if (cycles > 0) ++masked_early_;
+    } else if (!results[sl].hung && done_at[sl] < cycles) {
+      ++masked_early_;
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim.batch.sweeps")->add(1);
+    reg.counter("sim.batch.lanes")->add(lanes_active);
+  }
+  span.arg("cycles", static_cast<int64_t>(cycles))
+      .arg("timed_out", timed_out ? int64_t{1} : int64_t{0});
+  return results;
+}
+
+}  // namespace hlshc::axis

@@ -1,0 +1,66 @@
+// axis::BatchStreamTestbench — the lockstep lane harness over
+// sim::BatchSimulator.
+//
+// Each lane gets its own SourceDriver / SinkDriver / Monitor instance bound
+// to that lane's PortAccess view — the *same* driver and monitor state
+// machines StreamTestbench uses for scalar engines — and all lanes advance
+// through one shared step_all() per cycle. Because a lane's stimulus, its
+// handshake decisions and its protocol checks run exactly the scalar code
+// over exactly the scalar per-cycle protocol, a lane's captured matrices,
+// violations and timing are bitwise-identical to the same run on a scalar
+// engine.
+//
+// Divergence handling (the "masking" of the lane-batched design): a lane is
+// done when its sink has collected its quota of matrices; done lanes stop
+// being driven and sampled (their TVALID stays low, their monitor stops
+// accumulating) and are retired from the simulator — the lane-major arrays
+// compact, so the remaining sweep only pays for the lanes still running and
+// a single straggler degrades toward scalar cost. A lane still unfinished
+// at max_cycles is flagged hung (the scalar harness throws sim::SimTimeout
+// for the same condition; campaign code maps both to the hang outcome).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axis/testbench.hpp"
+#include "sim/batch.hpp"
+
+namespace hlshc::axis {
+
+/// One lane's run result.
+struct BatchLaneResult {
+  std::vector<idct::Block> matrices;
+  bool clean = true;   ///< no protocol violations up to lane completion
+  bool hung = false;   ///< lane did not finish within max_cycles
+  /// Probe node values sampled at lane completion (same read point as the
+  /// scalar campaign's post-run detector reads), canonical int64 per probe.
+  std::vector<int64_t> probes;
+  StreamTiming timing;
+};
+
+class BatchStreamTestbench {
+ public:
+  explicit BatchStreamTestbench(sim::BatchSimulator& sim) : sim_(sim) {}
+
+  /// Push `inputs[l]` through lane l (an empty vector idles the lane);
+  /// runs until every lane collected its matrices or `max_cycles` elapse
+  /// (stragglers come back with hung=true — no exception, other lanes'
+  /// results stay valid). `probes` names nodes to sample per lane at its
+  /// completion cycle.
+  std::vector<BatchLaneResult> run(
+      const std::vector<std::vector<idct::Block>>& inputs,
+      uint64_t max_cycles,
+      const std::vector<netlist::NodeId>& probes = {});
+
+  /// Lanes of the last run() that completed strictly before the final
+  /// active lane (the "masked" lanes that idled while stragglers ran),
+  /// including lanes given no input at all.
+  int lanes_masked_early() const { return masked_early_; }
+
+ private:
+  sim::BatchSimulator& sim_;
+  int masked_early_ = 0;
+};
+
+}  // namespace hlshc::axis

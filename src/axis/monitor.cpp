@@ -10,7 +10,7 @@ namespace {
 
 // The port may be an input (testbench-driven) or an output (DUT-driven);
 // look it up on either side.
-netlist::NodeId resolve_port(const sim::Engine& sim, const std::string& name) {
+netlist::NodeId resolve_port(const sim::PortAccess& sim, const std::string& name) {
   const netlist::Design& d = sim.design();
   netlist::NodeId id = d.find_output(name);
   if (id == netlist::kInvalidNode) id = d.find_input(name);
@@ -21,7 +21,7 @@ netlist::NodeId resolve_port(const sim::Engine& sim, const std::string& name) {
 
 }  // namespace
 
-StreamWatch::StreamWatch(sim::Engine& sim, std::string prefix, int lane_width)
+StreamWatch::StreamWatch(sim::PortAccess& sim, std::string prefix, int lane_width)
     : sim_(sim),
       prefix_(std::move(prefix)),
       lane_width_(lane_width),
@@ -93,7 +93,7 @@ void StreamWatch::publish_metrics() const {
       ->add(static_cast<int64_t>(violations_.size()));
 }
 
-Monitor::Monitor(sim::Engine& sim)
+Monitor::Monitor(sim::PortAccess& sim)
     : slave_(sim, "s", kInElemWidth), master_(sim, "m", kOutElemWidth) {}
 
 void Monitor::publish_metrics() const {

@@ -11,7 +11,8 @@
 //
 // Ports are resolved to node ids once at construction (a stream port may be
 // an input or an output depending on which side of the DUT it sits);
-// sampling reads by id on any sim::Engine.
+// sampling reads by id through sim::PortAccess, so the same monitor serves
+// a scalar sim::Engine and each lane of a sim::BatchSimulator.
 //
 // Integration tests arm the monitor on both the slave and master side of
 // every design family under random back-pressure.
@@ -30,7 +31,7 @@ class StreamWatch {
  public:
   /// `data_lanes` may be 0 for streams observed on the input side where the
   /// testbench itself guarantees data stability.
-  StreamWatch(sim::Engine& sim, std::string prefix, int lane_width);
+  StreamWatch(sim::PortAccess& sim, std::string prefix, int lane_width);
 
   /// Call after eval(), before step().
   void sample();
@@ -49,7 +50,7 @@ class StreamWatch {
   void publish_metrics() const;
 
  private:
-  sim::Engine& sim_;
+  sim::PortAccess& sim_;
   std::string prefix_;
   int lane_width_;
   netlist::NodeId tvalid_, tready_, tlast_;
@@ -67,7 +68,7 @@ class StreamWatch {
 /// Watches both the slave-side and master-side streams of a DUT.
 class Monitor {
  public:
-  explicit Monitor(sim::Engine& sim);
+  explicit Monitor(sim::PortAccess& sim);
 
   void sample();
 

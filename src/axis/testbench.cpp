@@ -9,7 +9,8 @@ namespace hlshc::axis {
 
 namespace {
 
-netlist::NodeId resolve_input(const sim::Engine& sim, const std::string& name) {
+netlist::NodeId resolve_input(const sim::PortAccess& sim,
+                              const std::string& name) {
   netlist::NodeId id = sim.design().find_input(name);
   HLSHC_CHECK(id != netlist::kInvalidNode,
               "no input port '" << name << "' in design '"
@@ -17,7 +18,7 @@ netlist::NodeId resolve_input(const sim::Engine& sim, const std::string& name) {
   return id;
 }
 
-netlist::NodeId resolve_output(const sim::Engine& sim,
+netlist::NodeId resolve_output(const sim::PortAccess& sim,
                                const std::string& name) {
   netlist::NodeId id = sim.design().find_output(name);
   HLSHC_CHECK(id != netlist::kInvalidNode,
@@ -30,7 +31,7 @@ netlist::NodeId resolve_output(const sim::Engine& sim,
 
 // ---- SourceDriver ----------------------------------------------------------
 
-SourceDriver::SourceDriver(sim::Engine& sim, std::string prefix)
+SourceDriver::SourceDriver(sim::PortAccess& sim, std::string prefix)
     : sim_(sim),
       prefix_(std::move(prefix)),
       tvalid_(resolve_input(sim, prefix_ + "_tvalid")),
@@ -76,7 +77,7 @@ bool SourceDriver::post_eval() {
 
 // ---- SinkDriver ------------------------------------------------------------
 
-SinkDriver::SinkDriver(sim::Engine& sim, std::string prefix)
+SinkDriver::SinkDriver(sim::PortAccess& sim, std::string prefix)
     : sim_(sim),
       prefix_(std::move(prefix)),
       tvalid_(resolve_output(sim, prefix_ + "_tvalid")),
@@ -154,12 +155,22 @@ std::vector<idct::Block> StreamTestbench::run(
     ++cycles;
   }
 
-  timing_.matrices = static_cast<int>(want);
-  timing_.total_cycles = sim_.cycle();
-  const auto& starts = source_.matrix_start_cycles();
-  const auto& ends = sink_.matrix_end_cycles();
+  timing_ = derive_stream_timing(static_cast<int>(want), sim_.cycle(),
+                                 source_.matrix_start_cycles(),
+                                 sink_.matrix_end_cycles());
+  monitor_.publish_metrics();
+  span.arg("cycles", static_cast<int64_t>(timing_.total_cycles));
+  return sink_.matrices();
+}
+
+StreamTiming derive_stream_timing(int matrices, uint64_t total_cycles,
+                                  const std::vector<uint64_t>& starts,
+                                  const std::vector<uint64_t>& ends) {
+  StreamTiming timing;
+  timing.matrices = matrices;
+  timing.total_cycles = total_cycles;
   if (!starts.empty() && !ends.empty())
-    timing_.latency_cycles =
+    timing.latency_cycles =
         static_cast<int>(ends.front() - starts.front() + 1);
   if (ends.size() >= 3) {
     // Steady-state completion interval: median of successive differences,
@@ -168,16 +179,14 @@ std::vector<idct::Block> StreamTestbench::run(
     for (size_t i = 1; i < ends.size(); ++i)
       deltas.push_back(ends[i] - ends[i - 1]);
     std::sort(deltas.begin(), deltas.end());
-    timing_.periodicity_cycles =
+    timing.periodicity_cycles =
         static_cast<double>(deltas[deltas.size() / 2]);
   } else if (ends.size() == 2) {
-    timing_.periodicity_cycles = static_cast<double>(ends[1] - ends[0]);
+    timing.periodicity_cycles = static_cast<double>(ends[1] - ends[0]);
   } else {
-    timing_.periodicity_cycles = static_cast<double>(timing_.latency_cycles);
+    timing.periodicity_cycles = static_cast<double>(timing.latency_cycles);
   }
-  monitor_.publish_metrics();
-  span.arg("cycles", static_cast<int64_t>(timing_.total_cycles));
-  return sink_.matrices();
+  return timing;
 }
 
 }  // namespace hlshc::axis

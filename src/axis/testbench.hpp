@@ -33,7 +33,7 @@ class SourceDriver {
  public:
   /// Resolves the port names against the engine's design; throws on a
   /// design that lacks the canonical stream ports.
-  SourceDriver(sim::Engine& sim, std::string prefix = "s");
+  SourceDriver(sim::PortAccess& sim, std::string prefix = "s");
 
   void queue(const idct::Block& block);
   bool idle() const { return beats_.empty(); }
@@ -54,7 +54,7 @@ class SourceDriver {
   }
 
  private:
-  sim::Engine& sim_;
+  sim::PortAccess& sim_;
   std::string prefix_;
   netlist::NodeId tvalid_, tlast_, tready_;
   std::array<netlist::NodeId, kLanes> lanes_{};
@@ -68,7 +68,7 @@ class SourceDriver {
 /// Consumes the DUT's master (output) stream port.
 class SinkDriver {
  public:
-  SinkDriver(sim::Engine& sim, std::string prefix = "m");
+  SinkDriver(sim::PortAccess& sim, std::string prefix = "m");
 
   /// Deassert TREADY for `n` cycles out of every `period` (0 = always ready).
   void set_backpressure(int stall_cycles, int period);
@@ -83,7 +83,7 @@ class SinkDriver {
   const std::vector<uint64_t>& matrix_end_cycles() const { return ends_; }
 
  private:
-  sim::Engine& sim_;
+  sim::PortAccess& sim_;
   std::string prefix_;
   netlist::NodeId tvalid_, tlast_, tready_;
   std::array<netlist::NodeId, kLanes> lanes_{};
@@ -102,6 +102,14 @@ struct StreamTiming {
   double periodicity_cycles = 0.0;  ///< steady-state completion interval T_P
   uint64_t total_cycles = 0;
 };
+
+/// The one timing derivation (T_L from the first start/end pair, T_P as the
+/// median completion interval) shared by StreamTestbench and the lane-batched
+/// harness, so both report bitwise-identical numbers for the same handshake
+/// timestamps.
+StreamTiming derive_stream_timing(int matrices, uint64_t total_cycles,
+                                  const std::vector<uint64_t>& starts,
+                                  const std::vector<uint64_t>& ends);
 
 class StreamTestbench {
  public:

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "axis/batch.hpp"
 #include "axis/testbench.hpp"
 #include "base/rng.hpp"
 #include "base/strings.hpp"
@@ -182,6 +183,75 @@ Outcome classify_site(sim::Engine& sim, const workload::WorkloadSpec& spec,
   return outcome;
 }
 
+/// FaultSite -> the sim-layer lane fault (sim cannot depend on src/fault,
+/// so BatchSimulator speaks its own struct).
+sim::LaneFault to_lane_fault(const FaultSite& site) {
+  sim::LaneFault f;
+  switch (site.kind) {
+    case FaultKind::kSeuReg: f.kind = sim::LaneFault::Kind::kSeuReg; break;
+    case FaultKind::kSeuMem: f.kind = sim::LaneFault::Kind::kSeuMem; break;
+    case FaultKind::kStuckAt0: f.kind = sim::LaneFault::Kind::kStuck0; break;
+    case FaultKind::kStuckAt1: f.kind = sim::LaneFault::Kind::kStuck1; break;
+    case FaultKind::kTransient:
+      f.kind = sim::LaneFault::Kind::kTransient;
+      break;
+  }
+  f.node = site.node;
+  f.mem = site.mem;
+  f.addr = site.addr;
+  f.bit = site.bit;
+  f.cycle = site.cycle;
+  return f;
+}
+
+/// Classify one lane-group of sites in a single batched sweep: `count`
+/// sites from `sites[from]`, one per lane, every lane streaming the same
+/// input set. Each lane's outcome derivation mirrors classify_site line by
+/// line (hang, then detection via monitor/sticky ports, then SDC); the
+/// per-lane probes are sampled by the harness at the lane's completion
+/// cycle — the same read point as the scalar post-run detector reads.
+void classify_group(sim::BatchSimulator& bsim,
+                    const workload::WorkloadSpec& spec,
+                    const std::vector<FaultSite>& sites, size_t from,
+                    int count, const std::vector<idct::Block>& inputs,
+                    const std::vector<idct::Block>& golden,
+                    const std::vector<NodeId>& detector_ids,
+                    const CampaignOptions& options, Outcome* out) {
+  const int lanes = bsim.lanes();
+  for (int l = 0; l < lanes; ++l) {
+    if (l < count)
+      bsim.arm_lane_fault(l, to_lane_fault(sites[from + static_cast<size_t>(l)]));
+    else
+      bsim.disarm_lane_fault(l);
+  }
+  std::vector<std::vector<idct::Block>> lane_inputs(
+      static_cast<size_t>(lanes));
+  for (int l = 0; l < count; ++l) lane_inputs[static_cast<size_t>(l)] = inputs;
+  axis::BatchStreamTestbench tb(bsim);
+  const auto results = tb.run(lane_inputs, options.max_cycles, detector_ids);
+  if (obs::enabled())
+    obs::registry()
+        .counter("fault.lanes_masked")
+        ->add(tb.lanes_masked_early());
+  for (int l = 0; l < count; ++l) {
+    const axis::BatchLaneResult& r = results[static_cast<size_t>(l)];
+    Outcome outcome;
+    if (r.hung) {
+      outcome = Outcome::kHang;
+    } else {
+      bool flagged = !r.clean;
+      for (int64_t probe : r.probes) flagged = flagged || probe != 0;
+      if (flagged)
+        outcome = Outcome::kDetected;
+      else if (workload::diff_outputs(spec, golden, r.matrices) != 0)
+        outcome = Outcome::kSdc;
+      else
+        outcome = Outcome::kMasked;
+    }
+    out[l] = outcome;
+  }
+}
+
 void count_outcome(Outcome outcome, CampaignCounts* counts) {
   switch (outcome) {
     case Outcome::kMasked: ++counts->masked; break;
@@ -197,16 +267,29 @@ CampaignReport run_campaign(const Design& d,
                             const workload::WorkloadSpec& spec,
                             const std::vector<FaultSite>& sites,
                             const CampaignOptions& options) {
+  const int lanes = std::max(
+      1, std::min(options.lanes == 0 ? par::default_lanes() : options.lanes,
+                  par::kMaxLanes));
+  // The batched strategy only exists for the compiled engine (it executes
+  // the shared ExecPlan); the interpreter keeps the scalar per-site loop.
+  const bool batched = lanes > 1 &&
+                       options.engine == sim::EngineKind::kCompiled &&
+                       !sites.empty();
+  // Work shards over the pool: lane-groups when batched, single sites
+  // otherwise — the jobs clamp follows the shard count.
+  const int64_t shards =
+      batched ? (static_cast<int64_t>(sites.size()) + lanes - 1) / lanes
+              : static_cast<int64_t>(sites.size());
   const int jobs = std::max<int64_t>(
       1, std::min<int64_t>(
-             options.jobs <= 0 ? par::default_jobs() : options.jobs,
-             static_cast<int64_t>(sites.size())));
+             options.jobs <= 0 ? par::default_jobs() : options.jobs, shards));
   obs::Span span("fault.campaign", "fault");
   span.arg("design", d.name())
       .arg("workload", spec.name)
       .arg("sites", static_cast<int64_t>(sites.size()))
       .arg("engine", sim::engine_kind_name(options.engine))
-      .arg("jobs", static_cast<int64_t>(jobs));
+      .arg("jobs", static_cast<int64_t>(jobs))
+      .arg("lanes", static_cast<int64_t>(batched ? lanes : 1));
   for (const FaultSite& site : sites) validate_site(d, site);
 
   CampaignReport report;
@@ -239,7 +322,101 @@ CampaignReport run_campaign(const Design& d,
   const int total = static_cast<int>(sites.size());
   ProgressGuard progress_guard;
 
-  if (jobs == 1) {
+  if (batched) {
+    // Lane-batched loops: sites shard into groups of `lanes`, each group
+    // classified in one BatchSimulator sweep. Outcomes land in per-site
+    // slots and merge in site order, so counts and the run log are bitwise
+    // identical to the scalar loop at every {lanes, jobs} combination.
+    // (The per-outcome wall timers recorded by classify_site have no
+    // per-site meaning inside a shared sweep and are skipped here.)
+    std::vector<NodeId> detector_ids;
+    detector_ids.reserve(detectors.size());
+    for (const std::string& name : detectors)
+      detector_ids.push_back(d.find_output(name));
+    std::vector<Outcome> outcomes(sites.size());
+    const int64_t n_groups = shards;
+
+    if (jobs == 1) {
+      sim::BatchSimulator bsim(d, lanes);
+      if (options.deadline) bsim.set_deadline(options.deadline);
+      int completed = 0;
+      for (int64_t g = 0; g < n_groups; ++g) {
+        const size_t from = static_cast<size_t>(g) *
+                            static_cast<size_t>(lanes);
+        const int count =
+            std::min(lanes, total - static_cast<int>(from));
+        classify_group(bsim, spec, sites, from, count, inputs, golden,
+                       detector_ids, options, outcomes.data() + from);
+        const int prev = completed;
+        for (int l = 0; l < count; ++l)
+          count_outcome(outcomes[from + static_cast<size_t>(l)],
+                        &report.counts);
+        completed += count;
+        // A sweep retires a whole lane-group at once, but the progress
+        // contract is per-site: every exact multiple of the cadence fires
+        // exactly once, same as the scalar loop, so callbacks see the same
+        // tick sequence at any lane count.
+        if (options.progress_every > 0) {
+          for (int m = (prev / options.progress_every + 1) *
+                       options.progress_every;
+               m <= completed; m += options.progress_every)
+            report_progress(options, {d.name(), m, total, report.counts},
+                            &progress_guard);
+        }
+      }
+    } else {
+      par::Pool pool(jobs);
+      std::vector<std::unique_ptr<sim::BatchSimulator>> sims(
+          static_cast<size_t>(pool.jobs()));
+      std::atomic<int> completed{0};
+      std::atomic<int> masked{0}, sdc{0}, detected{0}, hang{0};
+      std::mutex progress_mutex;
+      pool.parallel_for_worker(n_groups, [&](int worker, int64_t g) {
+        std::unique_ptr<sim::BatchSimulator>& bsim =
+            sims[static_cast<size_t>(worker)];
+        if (!bsim) {
+          bsim = std::make_unique<sim::BatchSimulator>(d, lanes);
+          if (options.deadline) bsim->set_deadline(options.deadline);
+        }
+        const size_t from = static_cast<size_t>(g) *
+                            static_cast<size_t>(lanes);
+        const int count = std::min(lanes, total - static_cast<int>(from));
+        classify_group(*bsim, spec, sites, from, count, inputs, golden,
+                       detector_ids, options, outcomes.data() + from);
+        for (int l = 0; l < count; ++l) {
+          switch (outcomes[from + static_cast<size_t>(l)]) {
+            case Outcome::kMasked: ++masked; break;
+            case Outcome::kSdc: ++sdc; break;
+            case Outcome::kDetected: ++detected; break;
+            case Outcome::kHang: ++hang; break;
+          }
+        }
+        const int done = count + completed.fetch_add(count);
+        const int prev = done - count;
+        // Same per-site cadence contract as the scalar loop: the atomic
+        // counter hands each multiple of the cadence in (prev, done] to
+        // exactly one worker, which fires once per multiple.
+        if (options.progress_every > 0 &&
+            prev / options.progress_every != done / options.progress_every) {
+          CampaignCounts running{masked.load(), sdc.load(), detected.load(),
+                                 hang.load()};
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          for (int m = (prev / options.progress_every + 1) *
+                       options.progress_every;
+               m <= done; m += options.progress_every)
+            report_progress(options, {d.name(), m, total, running},
+                            &progress_guard);
+        }
+      });
+      for (size_t i = 0; i < sites.size(); ++i)
+        count_outcome(outcomes[i], &report.counts);
+    }
+    if (options.keep_runs) {
+      report.runs.reserve(sites.size());
+      for (size_t i = 0; i < sites.size(); ++i)
+        report.runs.push_back({sites[i], outcomes[i]});
+    }
+  } else if (jobs == 1) {
     // Serial loop: the tier-1 path, byte-identical to the pre-parallel
     // implementation (every run on the one reference engine, in order).
     if (options.keep_runs) report.runs.reserve(sites.size());
@@ -314,6 +491,7 @@ CampaignReport run_campaign(const Design& d,
                   {"workload", spec.name},
                   {"sites", std::to_string(sites.size())},
                   {"jobs", std::to_string(jobs)},
+                  {"lanes", std::to_string(batched ? lanes : 1)},
                   {"masked", std::to_string(report.counts.masked)},
                   {"sdc", std::to_string(report.counts.sdc)},
                   {"detected", std::to_string(report.counts.detected)},

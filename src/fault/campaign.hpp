@@ -95,6 +95,16 @@ struct CampaignOptions {
   /// are bitwise identical at every jobs value: each site's classification
   /// is a pure function of (design, site, input set).
   int jobs = 1;
+  /// Simulation lanes per instruction-stream sweep. 0 (the default) means
+  /// par::default_lanes() (HLSHC_LANES, else 32); 1 forces the classic
+  /// scalar per-site loop. With lanes > 1 and the compiled engine, sites
+  /// shard into lane-groups and each group runs as one
+  /// sim::BatchSimulator sweep — composing with `jobs` (lane-groups shard
+  /// over the pool). Classifications — counts AND the per-run log — are
+  /// bitwise identical at every {lanes, jobs} combination: each lane
+  /// replays the exact scalar per-cycle protocol. The interpreter engine
+  /// ignores this and always runs the scalar loop.
+  int lanes = 0;
   /// Per-request wall budget (synthesis service): armed on every campaign
   /// engine, so a whole campaign aborts with DeadlineExceeded mid-run
   /// instead of overrunning its budget site by site.

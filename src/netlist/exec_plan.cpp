@@ -1,6 +1,7 @@
 #include "netlist/exec_plan.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "obs/trace.hpp"
 
@@ -140,6 +141,15 @@ ExecPlan::ExecPlan(const Design& d) {
 }
 
 std::shared_ptr<const ExecPlan> ExecPlan::for_design(const Design& design) {
+  // Fault campaigns build one engine per pool worker (and per lane-group)
+  // over a shared design, so first use of a design's plan can race: guard
+  // the check-compile-store sequence with one process-wide mutex. Compiles
+  // are one-time per design and cheap relative to a campaign, so a single
+  // mutex (rather than per-design state) keeps Design header-simple; after
+  // the first compile every caller takes the lock briefly and reads the
+  // cached handle.
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
   auto cached =
       std::static_pointer_cast<const ExecPlan>(design.cached_exec_plan());
   if (cached) return cached;

@@ -91,7 +91,10 @@ class ExecPlan {
 
   /// The cached plan for `design`, compiling it on first use. The cache
   /// lives in the design and is dropped on mutation; the returned handle
-  /// stays valid regardless.
+  /// stays valid regardless. Safe to call concurrently for the same design
+  /// (pool workers and lane-groups race on first compile; a process-wide
+  /// mutex serializes the check-compile-store sequence). Mutating the
+  /// design concurrently with for_design is still a data race.
   static std::shared_ptr<const ExecPlan> for_design(const Design& design);
 
   /// Per-cycle instruction stream, levelized: sorted by (level, opcode,

@@ -11,20 +11,39 @@
 
 namespace hlshc::par {
 
-int parse_jobs(std::string_view text, std::string_view what) {
+namespace {
+
+// Shared validation behind parse_jobs / parse_lanes: strict positive
+// decimal, clamped at `max`. `noun` only flavours the error text.
+int parse_positive_count(std::string_view text, std::string_view what,
+                         std::string_view noun, long max) {
   const std::string s(text);
   char* end = nullptr;
   errno = 0;
   const long v = std::strtol(s.c_str(), &end, 10);
   // First-char digit check: strtol quietly skips leading whitespace and
-  // accepts sign characters, neither of which is a worker count.
+  // accepts sign characters, neither of which is a valid count.
   HLSHC_CHECK(!s.empty() && s[0] >= '0' && s[0] <= '9' &&
                   end == s.c_str() + s.size() && errno == 0,
-              what << " must be a decimal worker count, got '" << s << '\'');
-  HLSHC_CHECK(v > 0, what << " must be a positive worker count, got '" << s
-                          << "' (use 1 for serial; omit the option for all "
-                             "cores)");
-  return static_cast<int>(std::min(v, static_cast<long>(kMaxJobs)));
+              what << " must be a decimal " << noun << " count, got '" << s
+                   << '\'');
+  HLSHC_CHECK(v > 0, what << " must be a positive " << noun
+                          << " count, got '" << s
+                          << "' (use 1 for serial; omit the option for the "
+                             "default)");
+  return static_cast<int>(std::min(v, max));
+}
+
+}  // namespace
+
+int parse_jobs(std::string_view text, std::string_view what) {
+  return parse_positive_count(text, what, "worker",
+                              static_cast<long>(kMaxJobs));
+}
+
+int parse_lanes(std::string_view text, std::string_view what) {
+  return parse_positive_count(text, what, "lane",
+                              static_cast<long>(kMaxLanes));
 }
 
 int default_jobs() {
@@ -32,6 +51,12 @@ int default_jobs() {
     return parse_jobs(env, "HLSHC_JOBS");
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int default_lanes() {
+  if (const char* env = std::getenv("HLSHC_LANES"))
+    return parse_lanes(env, "HLSHC_LANES");
+  return kDefaultLanes;
 }
 
 Pool::Pool(int jobs) : jobs_(jobs <= 0 ? default_jobs() : jobs) {

@@ -53,6 +53,19 @@ namespace hlshc::par {
 /// rejected — 10000 workers is a typo for "lots", not a semantic request).
 inline constexpr int kMaxJobs = 256;
 
+/// Hard ceiling on simulation lane counts (sim::BatchSimulator packs this
+/// many independent runs into one instruction-stream sweep; beyond it the
+/// lane vectors outgrow the cache and batching stops paying).
+inline constexpr int kMaxLanes = 64;
+
+/// Lane count used when neither HLSHC_LANES nor --lanes says otherwise.
+/// Fixed (not hardware-derived) so batched campaign results and bench
+/// parameters are reproducible across hosts. 32 packs four AVX-512 (or
+/// eight AVX2) vectors per instruction — wide enough to amortize dispatch,
+/// measured fastest on the campaign benchmarks; lane retirement keeps
+/// partially-drained batches from paying for the full width.
+inline constexpr int kDefaultLanes = 32;
+
 /// The one validator for user-provided worker counts (the HLSHC_JOBS
 /// environment variable, every bench's --jobs flag, the service daemon's
 /// --jobs flag). Accepts a positive decimal integer, clamps values above
@@ -61,11 +74,21 @@ inline constexpr int kMaxJobs = 256;
 /// loudly, not silently fall back to some other worker count.
 int parse_jobs(std::string_view text, std::string_view what);
 
+/// Same validation contract for simulation lane counts (the HLSHC_LANES
+/// environment variable, every bench's --lanes flag): positive decimal,
+/// clamped at kMaxLanes, throws hlshc::Error naming `what` otherwise.
+int parse_lanes(std::string_view text, std::string_view what);
+
 /// Default worker count: the HLSHC_JOBS environment variable when set
 /// (validated through parse_jobs — a malformed value throws rather than
 /// being ignored), otherwise std::thread::hardware_concurrency (at least
 /// 1). Read on every call so tests can vary the environment.
 int default_jobs();
+
+/// Default simulation lane count: HLSHC_LANES when set (validated through
+/// parse_lanes), otherwise kDefaultLanes. Read on every call so tests can
+/// vary the environment.
+int default_lanes();
 
 class Pool {
  public:

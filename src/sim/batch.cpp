@@ -1,0 +1,390 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "sim/batch_kernels.hpp"
+
+namespace hlshc::sim {
+
+using netlist::ExecInstr;
+using netlist::ExecPlan;
+using netlist::MemCommit;
+using netlist::MemShape;
+using netlist::NodeId;
+using netlist::Op;
+using netlist::RegCommit;
+
+namespace {
+
+/// Truncate to the instruction's width, then sign-extend — the same
+/// branchless canonicalization pair as CompiledSimulator's wrap().
+inline int64_t wrap(uint8_t dsh, uint64_t u) {
+  return static_cast<int64_t>(u << dsh) >> dsh;
+}
+
+inline int64_t canon(int width, int64_t v) {
+  return BitVec(width, v).to_int64();
+}
+
+/// Left-packs a lane-major array from `old_stride` columns down to
+/// `new_stride`, keeping old column c at newcol[c] (-1 = dropped). Every
+/// write lands at or before its read, so the in-place packing is safe.
+void compact_columns(LaneVec& v, size_t rows, int old_stride,
+                     const std::vector<int>& newcol, int new_stride) {
+  const size_t a = static_cast<size_t>(old_stride);
+  const size_t b = static_cast<size_t>(new_stride);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t src = r * a;
+    const size_t dst = r * b;
+    for (size_t c = 0; c < a; ++c)
+      if (newcol[c] >= 0) v[dst + static_cast<size_t>(newcol[c])] = v[src + c];
+  }
+  v.resize(rows * b);
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(const netlist::Design& design, int lanes)
+    : design_(design), plan_(ExecPlan::for_design(design)), lanes_(lanes) {
+  HLSHC_CHECK(lanes >= 1 && lanes <= 64,
+              "lane count " << lanes << " outside [1, 64]");
+  design_.validate();
+  const size_t l = static_cast<size_t>(lanes_);
+  active_ = lanes_;
+  live_ = lanes_;
+  values_.assign(plan_->slot_count() * l, 0);
+  state_.assign(plan_->slot_count() * l, 0);
+  for (const MemShape& m : plan_->mem_shapes())
+    mem_.emplace_back(static_cast<size_t>(m.depth) * l, int64_t{0});
+  phys_.resize(l);
+  for (int i = 0; i < lanes_; ++i) phys_[static_cast<size_t>(i)] = i;
+  retired_.assign(l, 0);
+  faults_.assign(l, LaneFault{});
+  seu_fired_.assign(l, 0);
+  comb_slot_flag_.assign(plan_->slot_count(), 0);
+  views_.resize(l);
+  for (int i = 0; i < lanes_; ++i) {
+    views_[static_cast<size_t>(i)].sim_ = this;
+    views_[static_cast<size_t>(i)].lane_ = i;
+  }
+  stream_kernel_ = select_stream_kernel(lanes_);
+  reset_all();
+}
+
+PortAccess& BatchSimulator::lane(int l) {
+  HLSHC_CHECK(l >= 0 && l < lanes_,
+              "lane " << l << " outside [0, " << lanes_ << ')');
+  return views_[static_cast<size_t>(l)];
+}
+
+void BatchSimulator::restore_consts(int lane) {
+  // Constants are hoisted out of the per-cycle stream; rematerialize this
+  // lane's const slots so a transform armed earlier cannot outlive itself
+  // (mirrors CompiledSimulator::on_injector_changed).
+  if (retired_[static_cast<size_t>(lane)])
+    return;  // the next reset_all() restores everything
+  const int p = phys_[static_cast<size_t>(lane)];
+  for (const ExecInstr& in : plan_->const_instrs())
+    values_[static_cast<size_t>(in.dst) * static_cast<size_t>(active_) +
+            static_cast<size_t>(p)] = in.imm;
+}
+
+void BatchSimulator::revive_lanes() {
+  if (live_ == lanes_) return;
+  if (active_ != lanes_) {
+    const size_t l = static_cast<size_t>(lanes_);
+    values_.assign(plan_->slot_count() * l, 0);
+    state_.assign(plan_->slot_count() * l, 0);
+    for (size_t m = 0; m < mem_.size(); ++m)
+      mem_[m].assign(
+          static_cast<size_t>(plan_->mem_shapes()[m].depth) * l, int64_t{0});
+    active_ = lanes_;
+    stream_kernel_ = select_stream_kernel(lanes_);
+  }
+  for (int i = 0; i < lanes_; ++i) phys_[static_cast<size_t>(i)] = i;
+  std::fill(retired_.begin(), retired_.end(), uint8_t{0});
+  live_ = lanes_;
+}
+
+void BatchSimulator::reset_all() {
+  revive_lanes();  // retirement never outlives a reset
+  const size_t L = static_cast<size_t>(lanes_);
+  for (const RegCommit& rc : plan_->reg_commits()) {
+    int64_t* s = state_.data() + static_cast<size_t>(rc.reg) * L;
+    std::fill(s, s + L, rc.init);
+  }
+  for (LaneVec& mem : mem_) std::fill(mem.begin(), mem.end(), int64_t{0});
+  for (NodeId in : design_.inputs()) {
+    int64_t* v = values_.data() + static_cast<size_t>(in) * L;
+    std::fill(v, v + L, int64_t{0});
+  }
+  for (int i = 0; i < lanes_; ++i) restore_consts(i);
+  rebuild_comb_index();
+  cycle_ = 0;
+  evaluated_ = false;
+  std::fill(seu_fired_.begin(), seu_fired_.end(), uint8_t{0});
+  // Engine::reset() ends with injector_->at_cycle(): cycle-0 SEUs land on
+  // the reset state, before the first settle.
+  seu_flips();
+}
+
+void BatchSimulator::poke_input(int lane, NodeId id, int64_t value) {
+  HLSHC_CHECK(lane >= 0 && lane < lanes_,
+              "lane " << lane << " outside [0, " << lanes_ << ')');
+  const netlist::Node& n = design_.node(id);
+  HLSHC_CHECK(n.op == Op::Input,
+              "poke target " << id << " is not an input of design '"
+                             << design_.name() << '\'');
+  HLSHC_CHECK(!retired_[static_cast<size_t>(lane)],
+              "poke on retired lane " << lane);
+  const int p = phys_[static_cast<size_t>(lane)];
+  values_[static_cast<size_t>(id) * static_cast<size_t>(active_) +
+          static_cast<size_t>(p)] = canon(n.width, value);
+  evaluated_ = false;
+}
+
+BitVec BatchSimulator::value(int lane, NodeId id) const {
+  return BitVec(design_.node(id).width, value_i64(lane, id));
+}
+
+// ---- execution -------------------------------------------------------------
+
+StreamKernelFn select_stream_kernel(int lanes) {
+  // One-time CPUID probe per construction; the result is stored in the
+  // simulator's function pointer, so the hot path never re-tests.
+#if defined(HLSHC_BATCH_HAVE_V4)
+  if (__builtin_cpu_supports("x86-64-v4")) return select_stream_kernel_v4(lanes);
+#endif
+#if defined(HLSHC_BATCH_HAVE_V3)
+  if (__builtin_cpu_supports("x86-64-v3")) return select_stream_kernel_v3(lanes);
+#endif
+  return select_stream_kernel_base(lanes);
+}
+
+void BatchSimulator::apply_comb_entry(const CombEntry& e) {
+  int64_t& v =
+      values_[static_cast<size_t>(e.slot) * static_cast<size_t>(active_) +
+              static_cast<size_t>(phys_[static_cast<size_t>(e.lane)])];
+  const int64_t m = static_cast<int64_t>(uint64_t{1} << e.bit);
+  switch (e.kind) {
+    case LaneFault::Kind::kStuck0:
+      v = wrap(e.dsh, static_cast<uint64_t>(v & ~m));
+      break;
+    case LaneFault::Kind::kStuck1:
+      v = wrap(e.dsh, static_cast<uint64_t>(v | m));
+      break;
+    case LaneFault::Kind::kTransient:
+      if (cycle_ == e.cycle) v = wrap(e.dsh, static_cast<uint64_t>(v ^ m));
+      break;
+    default:
+      break;
+  }
+}
+
+void BatchSimulator::eval_stream_injected() {
+  // Inputs and constants have no per-cycle instruction; flagged inputs
+  // transform in place, flagged constants rematerialize from the immediate
+  // and then transform (mirrors exec_stream_injected).
+  for (const CombEntry& e : comb_entries_) {
+    if (e.is_const)
+      values_[static_cast<size_t>(e.slot) * static_cast<size_t>(active_) +
+              static_cast<size_t>(phys_[static_cast<size_t>(e.lane)])] =
+          e.imm;
+    if (e.is_input || e.is_const) apply_comb_entry(e);
+  }
+  const uint8_t* flag = comb_slot_flag_.data();
+  for (const ExecInstr& in : plan_->instrs()) {
+    exec_instr_lanes(in, values_.data(), state_.data(), &mem_, active_);
+    if (flag[in.dst]) {
+      for (const CombEntry& e : comb_entries_)
+        if (e.slot == in.dst && !e.is_input && !e.is_const)
+          apply_comb_entry(e);
+    }
+  }
+}
+
+void BatchSimulator::eval_all() {
+  if (!comb_armed_)
+    stream_kernel_(plan_->instrs().data(), plan_->instrs().size(),
+                   values_.data(), state_.data(), &mem_, active_);
+  else
+    eval_stream_injected();
+  evaluated_ = true;
+}
+
+void BatchSimulator::commit_all() {
+  const size_t L = static_cast<size_t>(active_);
+  // Latch registers: reads go to the pre-edge value slots, writes to the
+  // separate state array, so ordering within the loop cannot matter.
+  for (const RegCommit& rc : plan_->reg_commits()) {
+    int64_t* s = state_.data() + static_cast<size_t>(rc.reg) * L;
+    const int64_t* next = values_.data() + static_cast<size_t>(rc.next) * L;
+    if (rc.enable < 0) {
+      for (size_t l = 0; l < L; ++l) s[l] = next[l];
+    } else {
+      const int64_t* en = values_.data() + static_cast<size_t>(rc.enable) * L;
+      for (size_t l = 0; l < L; ++l)
+        if (en[l] != 0) s[l] = next[l];
+    }
+  }
+  // Commit memory writes in node order (later writes win on collisions).
+  for (const MemCommit& mc : plan_->mem_commits()) {
+    LaneVec& mem = mem_[static_cast<size_t>(mc.mem)];
+    const size_t depth = mem.size() / L;
+    const int64_t* en = values_.data() + static_cast<size_t>(mc.enable) * L;
+    const int64_t* addr = values_.data() + static_cast<size_t>(mc.addr) * L;
+    const int64_t* data = values_.data() + static_cast<size_t>(mc.data) * L;
+    for (size_t l = 0; l < L; ++l) {
+      if (en[l] == 0) continue;
+      uint64_t w = (static_cast<uint64_t>(addr[l]) & mc.addr_mask) % depth;
+      mem[w * L + l] = data[l];
+    }
+  }
+}
+
+void BatchSimulator::flip_state_bit(int lane, const LaneFault& f) {
+  const size_t L = static_cast<size_t>(active_);
+  const size_t p = static_cast<size_t>(phys_[static_cast<size_t>(lane)]);
+  if (f.kind == LaneFault::Kind::kSeuReg) {
+    int64_t& s = state_[static_cast<size_t>(f.node) * L + p];
+    s = canon(design_.node(f.node).width,
+              s ^ static_cast<int64_t>(uint64_t{1} << f.bit));
+  } else if (f.kind == LaneFault::Kind::kSeuMem) {
+    const MemShape& shape = plan_->mem_shapes()[static_cast<size_t>(f.mem)];
+    int64_t& w =
+        mem_[static_cast<size_t>(f.mem)][static_cast<size_t>(f.addr) * L + p];
+    w = canon(shape.width, w ^ static_cast<int64_t>(uint64_t{1} << f.bit));
+  }
+}
+
+void BatchSimulator::seu_flips() {
+  for (int l = 0; l < lanes_; ++l) {
+    if (retired_[static_cast<size_t>(l)]) continue;
+    const LaneFault& f = faults_[static_cast<size_t>(l)];
+    if (f.kind != LaneFault::Kind::kSeuReg &&
+        f.kind != LaneFault::Kind::kSeuMem)
+      continue;
+    if (seu_fired_[static_cast<size_t>(l)] || cycle_ != f.cycle) continue;
+    flip_state_bit(l, f);
+    seu_fired_[static_cast<size_t>(l)] = 1;
+  }
+}
+
+void BatchSimulator::step_all() {
+  // Deadline poll every 256 cycles, exactly like Engine::step(): one clock
+  // read per poll keeps multi-million-cycle sweeps interruptible.
+  if (deadline_ && (cycle_ & 0xFF) == 0 && deadline_->expired())
+    deadline_->check("batched simulation of design '" + design_.name() +
+                     '\'');
+  if (!evaluated_) eval_all();
+  commit_all();
+  ++cycle_;
+  seu_flips();
+  evaluated_ = false;
+  eval_all();
+}
+
+void BatchSimulator::rebuild_comb_index() {
+  comb_entries_.clear();
+  std::fill(comb_slot_flag_.begin(), comb_slot_flag_.end(), uint8_t{0});
+  comb_armed_ = false;
+  for (int l = 0; l < lanes_; ++l) {
+    if (retired_[static_cast<size_t>(l)]) continue;
+    const LaneFault& f = faults_[static_cast<size_t>(l)];
+    if (f.kind != LaneFault::Kind::kStuck0 &&
+        f.kind != LaneFault::Kind::kStuck1 &&
+        f.kind != LaneFault::Kind::kTransient)
+      continue;
+    const netlist::Node& n = design_.node(f.node);
+    CombEntry e;
+    e.slot = static_cast<int32_t>(f.node);
+    e.lane = l;
+    e.kind = f.kind;
+    e.bit = f.bit;
+    e.cycle = f.cycle;
+    e.dsh = static_cast<uint8_t>(64 - n.width);
+    e.is_input = n.op == Op::Input;
+    e.is_const = n.op == Op::Const;
+    e.imm = n.imm;
+    comb_entries_.push_back(e);
+    if (!e.is_input && !e.is_const) comb_slot_flag_[static_cast<size_t>(e.slot)] = 1;
+    comb_armed_ = true;
+  }
+}
+
+void BatchSimulator::arm_lane_fault(int lane, const LaneFault& fault) {
+  HLSHC_CHECK(lane >= 0 && lane < lanes_,
+              "lane " << lane << " outside [0, " << lanes_ << ')');
+  if (fault.kind != LaneFault::Kind::kNone &&
+      fault.kind != LaneFault::Kind::kSeuMem) {
+    HLSHC_CHECK(fault.node != netlist::kInvalidNode &&
+                    static_cast<size_t>(fault.node) < design_.node_count(),
+                "lane fault targets invalid node " << fault.node);
+    HLSHC_CHECK(fault.bit >= 0 && fault.bit < design_.node(fault.node).width,
+                "lane fault bit " << fault.bit << " outside node width");
+  }
+  if (fault.kind == LaneFault::Kind::kSeuMem) {
+    HLSHC_CHECK(fault.mem >= 0 &&
+                    static_cast<size_t>(fault.mem) < plan_->mem_shapes().size(),
+                "lane fault targets invalid memory " << fault.mem);
+    const MemShape& shape = plan_->mem_shapes()[static_cast<size_t>(fault.mem)];
+    HLSHC_CHECK(fault.addr >= 0 && fault.addr < shape.depth &&
+                    fault.bit >= 0 && fault.bit < shape.width,
+                "lane fault addr/bit outside memory shape");
+  }
+  faults_[static_cast<size_t>(lane)] = fault;
+  seu_fired_[static_cast<size_t>(lane)] = 0;
+  // Heal any const slot a previously armed transform rewrote. (On a retired
+  // lane only the bookkeeping updates; the next reset_all() revives it.)
+  restore_consts(lane);
+  rebuild_comb_index();
+  evaluated_ = false;
+}
+
+void BatchSimulator::retire_lane(int lane) {
+  HLSHC_CHECK(lane >= 0 && lane < lanes_,
+              "lane " << lane << " outside [0, " << lanes_ << ')');
+  HLSHC_CHECK(!retired_[static_cast<size_t>(lane)],
+              "lane " << lane << " already retired");
+  retired_[static_cast<size_t>(lane)] = 1;
+  --live_;
+  // Drop the lane's comb transforms (a fully-healthy remainder regains the
+  // fast stream path; transforms on a dead column would be harmless but
+  // wasted work).
+  if (comb_armed_) rebuild_comb_index();
+  // Deferred compaction: physically dropping columns costs a full pass over
+  // storage, so only pay it when at least half the columns are dead. Until
+  // then the dead columns keep computing values nobody reads.
+  if (live_ > 0 && live_ * 2 <= active_) compact_dead();
+}
+
+void BatchSimulator::compact_dead() {
+  std::vector<int> newcol(static_cast<size_t>(active_), -1);
+  {
+    std::vector<uint8_t> keep(static_cast<size_t>(active_), 0);
+    for (int l = 0; l < lanes_; ++l)
+      if (!retired_[static_cast<size_t>(l)] &&
+          phys_[static_cast<size_t>(l)] >= 0)
+        keep[static_cast<size_t>(phys_[static_cast<size_t>(l)])] = 1;
+    int nc = 0;
+    for (int p = 0; p < active_; ++p)
+      if (keep[static_cast<size_t>(p)]) newcol[static_cast<size_t>(p)] = nc++;
+  }
+  compact_columns(values_, plan_->slot_count(), active_, newcol, live_);
+  compact_columns(state_, plan_->slot_count(), active_, newcol, live_);
+  for (size_t m = 0; m < mem_.size(); ++m)
+    compact_columns(mem_[m],
+                    static_cast<size_t>(plan_->mem_shapes()[m].depth), active_,
+                    newcol, live_);
+  for (int l = 0; l < lanes_; ++l) {
+    int& p = phys_[static_cast<size_t>(l)];
+    p = (!retired_[static_cast<size_t>(l)] && p >= 0)
+            ? newcol[static_cast<size_t>(p)]
+            : -1;
+  }
+  active_ = live_;
+  stream_kernel_ = select_stream_kernel(active_);
+}
+
+}  // namespace hlshc::sim

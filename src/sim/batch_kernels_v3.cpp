@@ -1,0 +1,19 @@
+// x86-64-v3 instantiation of the lane kernels: same source as the baseline
+// TU (batch_kernels.inc), compiled with -march=x86-64-v3 so the lane loops
+// vectorize to AVX2 (four int64 per vector). Only added to the build when
+// the toolchain accepts the flag and __builtin_cpu_supports can test for it
+// at runtime (see src/sim/CMakeLists.txt); never executed on CPUs that
+// don't report x86-64-v3.
+#include "sim/batch_kernels.hpp"
+
+namespace hlshc::sim {
+
+namespace kernels_v3 {
+#include "sim/batch_kernels.inc"
+}  // namespace kernels_v3
+
+StreamKernelFn select_stream_kernel_v3(int lanes) {
+  return kernels_v3::select(lanes);
+}
+
+}  // namespace hlshc::sim

@@ -1,0 +1,20 @@
+// x86-64-v4 instantiation of the lane kernels: same source as the baseline
+// TU (batch_kernels.inc), compiled with -march=x86-64-v4 so the lane loops
+// vectorize to AVX-512 (eight int64 per vector — four registers for the
+// default 32-lane batch). Only added to the build when the toolchain accepts
+// the flag and __builtin_cpu_supports can test for it at runtime (see
+// src/sim/CMakeLists.txt); never executed on CPUs that don't report the
+// level.
+#include "sim/batch_kernels.hpp"
+
+namespace hlshc::sim {
+
+namespace kernels_v4 {
+#include "sim/batch_kernels.inc"
+}  // namespace kernels_v4
+
+StreamKernelFn select_stream_kernel_v4(int lanes) {
+  return kernels_v4::select(lanes);
+}
+
+}  // namespace hlshc::sim

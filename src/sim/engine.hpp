@@ -52,6 +52,27 @@ class SimTimeout : public Error {
 
 class Engine;
 
+/// The minimal port-level view of one simulated run: poke inputs, peek node
+/// values, read the cycle counter. The AXI-Stream drivers and protocol
+/// monitors (src/axis) program against this interface instead of Engine, so
+/// the same driver state machines serve a scalar Engine and each lane of a
+/// sim::BatchSimulator — which is what makes lane-batched classifications
+/// bitwise-identical to scalar runs by construction.
+class PortAccess {
+ public:
+  virtual ~PortAccess() = default;
+
+  virtual const netlist::Design& design() const = 0;
+
+  /// Drive an Input node by id (resolve the port once, poke every cycle).
+  virtual void poke(netlist::NodeId input, int64_t value) = 0;
+
+  /// Value of any node after the most recent combinational settle.
+  virtual BitVec value(netlist::NodeId id) const = 0;
+
+  virtual uint64_t cycle() const = 0;
+};
+
 /// Per-node dynamic-activity counts, the repo's power/hotspot proxy.
 /// Accumulated by the Engine base while activity profiling is enabled, from
 /// value snapshots taken at every clock edge (the settled combinational
@@ -107,11 +128,11 @@ class FaultInjector {
   virtual void at_cycle(Engine& engine) { (void)engine; }
 };
 
-class Engine {
+class Engine : public PortAccess {
  public:
-  virtual ~Engine() = default;
+  ~Engine() override = default;
 
-  const netlist::Design& design() const { return design_; }
+  const netlist::Design& design() const override { return design_; }
 
   /// "interpreter" or "compiled"; shows up in bench output and reports.
   virtual const char* kind_name() const = 0;
@@ -137,15 +158,15 @@ class Engine {
 
   /// Fast-path input drive by node id (resolve the port once, poke every
   /// cycle). The id must name an Input node of the design.
-  void poke(netlist::NodeId input, int64_t value);
+  void poke(netlist::NodeId input, int64_t value) override;
 
   /// Value of any node after the most recent eval()/step().
-  virtual BitVec value(netlist::NodeId id) const = 0;
+  BitVec value(netlist::NodeId id) const override = 0;
 
   BitVec output(std::string_view port) const;
   int64_t output_i64(std::string_view port) const;
 
-  uint64_t cycle() const { return cycle_; }
+  uint64_t cycle() const override { return cycle_; }
 
   // ---- robustness hooks ----------------------------------------------------
 

@@ -436,6 +436,8 @@ Json Server::handle_campaign(const Request& req,
   copts.matrices =
       static_cast<int>(get_int(req.params, "matrices", 2, 1, 64));
   copts.jobs = static_cast<int>(get_int(req.params, "jobs", 1, 1, 256));
+  // 0 = the process default (HLSHC_LANES, else 32); 1 forces scalar.
+  copts.lanes = static_cast<int>(get_int(req.params, "lanes", 0, 0, 64));
   copts.progress_every = 0;  // a service response is the progress report
   copts.keep_runs = false;
   copts.deadline = deadline;
@@ -580,7 +582,20 @@ Json Server::handle_stats() const {
   result.set("events", std::move(events));
   result.set("recent_requests",
              Json::number(static_cast<int64_t>(recent_requests().size())));
-  if (obs::enabled()) result.set("metrics", obs::registry().to_json());
+  if (obs::enabled()) {
+    // Batched-campaign utilization passthrough: total sweeps, lane-runs
+    // packed into them, and lanes that sat masked while stragglers ran.
+    // A sweeps-free process reports zeros (the counters default-construct).
+    obs::Registry& reg = obs::registry();
+    Json batch = Json::object();
+    batch.set("sweeps", Json::number(reg.counter("sim.batch.sweeps")->value()));
+    batch.set("lane_runs",
+              Json::number(reg.counter("sim.batch.lanes")->value()));
+    batch.set("lanes_masked",
+              Json::number(reg.counter("fault.lanes_masked")->value()));
+    result.set("batch", std::move(batch));
+    result.set("metrics", obs::registry().to_json());
+  }
   return result;
 }
 

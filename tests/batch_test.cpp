@@ -1,0 +1,486 @@
+// Differential tests: the lane-batched engine against the scalar oracle.
+//
+// sim::BatchSimulator packs N independent runs into one instruction-stream
+// sweep; its contract is that every lane's trajectory is bitwise-identical
+// to the same run on a scalar sim::CompiledSimulator. Layers of evidence:
+//
+//   1. randomized netlists (the same testutil::random_design space the
+//      compiled-vs-interpreter suite fuzzes) driven with per-lane stimulus,
+//      every node of every lane compared against a scalar engine after
+//      every eval, at several lane counts;
+//   2. per-lane fault injection (every LaneFault kind, including input and
+//      hoisted-const targets) against a scalar engine running the
+//      equivalent FaultInjector, plus disarm/heal parity;
+//   3. lane retirement: surviving lanes keep their exact trajectories
+//      while columns compact away, and reset_all() revives the batch;
+//   4. fault campaigns classified at several {lanes, jobs} combinations,
+//      counts AND the per-run log bitwise identical to the scalar loop,
+//      for every registered workload;
+//   5. core::evaluate_axis_design with lanes > 1 agrees with the scalar
+//      evaluation;
+//   6. concurrent ExecPlan::for_design first use (the TSan target) and the
+//      batch utilization counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/evaluate.hpp"
+#include "fault/campaign.hpp"
+#include "fault/model.hpp"
+#include "netlist/exec_plan.hpp"
+#include "obs/metrics.hpp"
+#include "rtl/designs.hpp"
+#include "sim/batch.hpp"
+#include "sim/compiled.hpp"
+#include "testutil.hpp"
+#include "workload/workload.hpp"
+
+namespace hlshc {
+namespace {
+
+using netlist::Design;
+using netlist::NodeId;
+using netlist::Op;
+using testutil::random_design;
+
+void expect_lane_equals_scalar(const sim::BatchSimulator& batch, int lane,
+                               const sim::CompiledSimulator& scalar,
+                               const Design& d, uint64_t seed, int cycle) {
+  for (size_t i = 0; i < d.node_count(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    ASSERT_EQ(batch.value(lane, id), scalar.value(id))
+        << "seed " << seed << " cycle " << cycle << " lane " << lane
+        << " node " << id << " (" << netlist::op_name(d.node(id).op)
+        << " w=" << d.node(id).width << ')';
+  }
+}
+
+// ---- 1. every node, every cycle, every lane --------------------------------
+
+class RandomNetlistBatchDiff : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetlistBatchDiff, EveryLaneMatchesScalarEveryCycle) {
+  const uint64_t seed = GetParam();
+  const Design d = random_design(seed);
+  const std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+
+  // 3 exercises the generic kernel, 4 and 8 the fixed-trip specializations.
+  for (int lanes : {3, 4, 8}) {
+    sim::BatchSimulator batch(d, lanes);
+    std::vector<std::unique_ptr<sim::CompiledSimulator>> scalars;
+    std::vector<SplitMix64> rngs;
+    for (int l = 0; l < lanes; ++l) {
+      scalars.push_back(std::make_unique<sim::CompiledSimulator>(d));
+      rngs.emplace_back(seed * 64 + static_cast<uint64_t>(l));
+    }
+
+    for (int cycle = 0; cycle < 16; ++cycle) {
+      for (int l = 0; l < lanes; ++l) {
+        for (NodeId in : ins) {
+          const int64_t v = static_cast<int64_t>(rngs[l].next());
+          batch.poke_input(l, in, v);
+          scalars[l]->poke(in, v);
+        }
+      }
+      batch.eval_all();
+      for (int l = 0; l < lanes; ++l) {
+        scalars[l]->eval();
+        expect_lane_equals_scalar(batch, l, *scalars[l], d, seed, cycle);
+      }
+      batch.step_all();
+      for (int l = 0; l < lanes; ++l) scalars[l]->step();
+      ASSERT_EQ(batch.cycle(), scalars[0]->cycle());
+    }
+
+    // Mid-run reset must restore every lane to the scalar reset state.
+    batch.reset_all();
+    batch.eval_all();
+    for (int l = 0; l < lanes; ++l) {
+      scalars[l]->reset();
+      scalars[l]->eval();
+      expect_lane_equals_scalar(batch, l, *scalars[l], d, seed, -1);
+    }
+  }
+}
+
+// ---- 2. per-lane fault injection -------------------------------------------
+
+/// The scalar reference injector: one fault::FaultSite, same semantics as
+/// the campaign's internal SiteInjector (campaign.cpp).
+class ScalarSiteInjector : public sim::FaultInjector {
+ public:
+  explicit ScalarSiteInjector(const fault::FaultSite& site) : site_(site) {}
+
+  std::vector<NodeId> combinational_targets() const override {
+    switch (site_.kind) {
+      case fault::FaultKind::kStuckAt0:
+      case fault::FaultKind::kStuckAt1:
+      case fault::FaultKind::kTransient:
+        return {site_.node};
+      default:
+        return {};
+    }
+  }
+
+  BitVec transform(NodeId, const BitVec& value, uint64_t cycle) override {
+    const int w = value.width();
+    const BitVec mask(w, static_cast<int64_t>(uint64_t{1} << site_.bit));
+    switch (site_.kind) {
+      case fault::FaultKind::kStuckAt0:
+        return BitVec::band(value, BitVec::bnot(mask, w), w);
+      case fault::FaultKind::kStuckAt1:
+        return BitVec::bor(value, mask, w);
+      case fault::FaultKind::kTransient:
+        return cycle == site_.cycle ? BitVec::bxor(value, mask, w) : value;
+      default:
+        return value;
+    }
+  }
+
+  void at_cycle(sim::Engine& sim) override {
+    if (fired_ || sim.cycle() != site_.cycle) return;
+    if (site_.kind == fault::FaultKind::kSeuReg) {
+      sim.flip_reg_bit(site_.node, site_.bit);
+      fired_ = true;
+    } else if (site_.kind == fault::FaultKind::kSeuMem) {
+      sim.flip_mem_bit(site_.mem, site_.addr, site_.bit);
+      fired_ = true;
+    }
+  }
+
+ private:
+  fault::FaultSite site_;
+  bool fired_ = false;
+};
+
+sim::LaneFault to_lane_fault(const fault::FaultSite& s) {
+  sim::LaneFault f;
+  switch (s.kind) {
+    case fault::FaultKind::kSeuReg: f.kind = sim::LaneFault::Kind::kSeuReg; break;
+    case fault::FaultKind::kSeuMem: f.kind = sim::LaneFault::Kind::kSeuMem; break;
+    case fault::FaultKind::kStuckAt0: f.kind = sim::LaneFault::Kind::kStuck0; break;
+    case fault::FaultKind::kStuckAt1: f.kind = sim::LaneFault::Kind::kStuck1; break;
+    case fault::FaultKind::kTransient:
+      f.kind = sim::LaneFault::Kind::kTransient;
+      break;
+  }
+  f.node = s.node;
+  f.mem = s.mem;
+  f.addr = s.addr;
+  f.bit = s.bit;
+  f.cycle = s.cycle;
+  return f;
+}
+
+/// First node of the given op kind with width > `bit`, or kInvalidNode.
+NodeId find_node(const Design& d, Op op, int bit) {
+  for (size_t i = 0; i < d.node_count(); ++i) {
+    const netlist::Node& n = d.node(static_cast<NodeId>(i));
+    if (n.op == op && n.width > bit) return static_cast<NodeId>(i);
+  }
+  return netlist::kInvalidNode;
+}
+
+class RandomNetlistLaneFaults : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomNetlistLaneFaults, EveryLaneFaultKindMatchesScalarInjector) {
+  const uint64_t seed = GetParam();
+  const Design d = random_design(seed);
+  const std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+
+  // One fault per lane, covering every kind plus input/const stuck-at
+  // targets (the slots the fast stream never rewrites) and one clean lane.
+  std::vector<fault::FaultSite> sites;
+  {
+    fault::FaultSite s;
+    s.kind = fault::FaultKind::kSeuReg;
+    s.node = find_node(d, Op::Reg, 0);
+    s.cycle = 3;
+    sites.push_back(s);
+    s = {};
+    s.kind = fault::FaultKind::kSeuMem;
+    s.mem = 0;
+    s.addr = 2;
+    s.bit = d.memories()[0].width - 1;
+    s.cycle = 0;  // cycle-0 SEU: fires inside reset
+    sites.push_back(s);
+    s = {};
+    s.kind = fault::FaultKind::kStuckAt0;
+    s.node = d.outputs()[0];
+    sites.push_back(s);
+    s = {};
+    s.kind = fault::FaultKind::kStuckAt1;
+    s.node = find_node(d, Op::Input, 0);
+    sites.push_back(s);
+    s = {};
+    s.kind = fault::FaultKind::kTransient;
+    s.node = find_node(d, Op::Const, 0);
+    s.cycle = 5;
+    sites.push_back(s);
+  }
+
+  const int lanes = static_cast<int>(sites.size()) + 1;  // +1 fault-free
+  sim::BatchSimulator batch(d, lanes);
+  std::vector<std::unique_ptr<sim::CompiledSimulator>> scalars;
+  std::vector<std::unique_ptr<ScalarSiteInjector>> injectors;
+  for (int l = 0; l < lanes; ++l) {
+    scalars.push_back(std::make_unique<sim::CompiledSimulator>(d));
+    if (l < static_cast<int>(sites.size())) {
+      if (sites[l].node == netlist::kInvalidNode &&
+          sites[l].kind != fault::FaultKind::kSeuMem)
+        continue;  // design has no node of that kind; lane stays clean
+      batch.arm_lane_fault(l, to_lane_fault(sites[l]));
+      injectors.push_back(std::make_unique<ScalarSiteInjector>(sites[l]));
+      scalars[l]->set_fault_injector(injectors.back().get());
+    }
+  }
+  batch.reset_all();
+  for (auto& s : scalars) s->reset();
+
+  SplitMix64 rng(seed ^ 0xabcdefull);
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    for (NodeId in : ins) {
+      const int64_t v = static_cast<int64_t>(rng.next());
+      for (int l = 0; l < lanes; ++l) {
+        batch.poke_input(l, in, v);
+        scalars[l]->poke(in, v);
+      }
+    }
+    batch.eval_all();
+    for (int l = 0; l < lanes; ++l) {
+      scalars[l]->eval();
+      expect_lane_equals_scalar(batch, l, *scalars[l], d, seed, cycle);
+    }
+    batch.step_all();
+    for (auto& s : scalars) s->step();
+  }
+
+  // Disarm heals every lane — including the const slot the transient
+  // rewrote — back to the fault-free trajectory.
+  for (int l = 0; l < lanes; ++l) {
+    batch.disarm_lane_fault(l);
+    scalars[l]->set_fault_injector(nullptr);
+  }
+  batch.eval_all();
+  for (int l = 0; l < lanes; ++l) {
+    scalars[l]->eval();
+    expect_lane_equals_scalar(batch, l, *scalars[l], d, seed, 999);
+  }
+}
+
+// ---- 3. lane retirement ----------------------------------------------------
+
+TEST(BatchRetirement, SurvivorsKeepExactTrajectoriesAcrossCompaction) {
+  const uint64_t seed = 11;
+  const Design d = random_design(seed);
+  const std::vector<NodeId> ins(d.inputs().begin(), d.inputs().end());
+  const int lanes = 8;
+
+  sim::BatchSimulator batch(d, lanes);
+  std::vector<std::unique_ptr<sim::CompiledSimulator>> scalars;
+  std::vector<SplitMix64> rngs;
+  for (int l = 0; l < lanes; ++l) {
+    scalars.push_back(std::make_unique<sim::CompiledSimulator>(d));
+    rngs.emplace_back(seed + static_cast<uint64_t>(l) * 1337);
+  }
+
+  // Retire lanes one by one (crossing the deferred-compaction thresholds
+  // at 4, 2 and 1 live lanes); survivors must stay bit-exact throughout.
+  const int retire_order[] = {2, 5, 0, 7, 3, 6, 1};
+  std::vector<bool> dead(static_cast<size_t>(lanes), false);
+  int retired = 0;
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    if (cycle > 0 && cycle % 3 == 0 && retired < 7) {
+      const int victim = retire_order[retired++];
+      batch.retire_lane(victim);
+      dead[static_cast<size_t>(victim)] = true;
+      EXPECT_TRUE(batch.lane_retired(victim));
+      EXPECT_EQ(batch.active_lanes(), lanes - retired);
+    }
+    for (int l = 0; l < lanes; ++l) {
+      if (dead[static_cast<size_t>(l)]) continue;
+      for (NodeId in : ins) {
+        const int64_t v = static_cast<int64_t>(rngs[l].next());
+        batch.poke_input(l, in, v);
+        scalars[l]->poke(in, v);
+      }
+    }
+    batch.eval_all();
+    for (int l = 0; l < lanes; ++l) {
+      if (dead[static_cast<size_t>(l)]) continue;
+      scalars[l]->eval();
+      expect_lane_equals_scalar(batch, l, *scalars[l], d, seed, cycle);
+    }
+    batch.step_all();
+    for (int l = 0; l < lanes; ++l)
+      if (!dead[static_cast<size_t>(l)]) scalars[l]->step();
+  }
+  EXPECT_EQ(batch.active_lanes(), 1);
+
+  // reset_all revives every lane at the scalar reset state.
+  batch.reset_all();
+  EXPECT_EQ(batch.active_lanes(), lanes);
+  batch.eval_all();
+  scalars[0]->reset();
+  scalars[0]->eval();
+  for (int l = 0; l < lanes; ++l) {
+    EXPECT_FALSE(batch.lane_retired(l));
+    expect_lane_equals_scalar(batch, l, *scalars[0], d, seed, -1);
+  }
+}
+
+// ---- 4. campaign classification parity -------------------------------------
+
+fault::CampaignReport campaign_at(const Design& d,
+                                  const workload::WorkloadSpec& spec,
+                                  const std::vector<fault::FaultSite>& sites,
+                                  int lanes, int jobs) {
+  fault::CampaignOptions opts;
+  opts.matrices = 2;
+  opts.max_cycles = 20000;
+  opts.keep_runs = true;
+  opts.progress_every = 0;
+  opts.lanes = lanes;
+  opts.jobs = jobs;
+  return fault::run_campaign(d, spec, sites, opts);
+}
+
+void expect_reports_equal(const fault::CampaignReport& a,
+                          const fault::CampaignReport& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.counts.masked, b.counts.masked) << what;
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc) << what;
+  EXPECT_EQ(a.counts.detected, b.counts.detected) << what;
+  EXPECT_EQ(a.counts.hang, b.counts.hang) << what;
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << what;
+  for (size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome)
+        << what << " site " << i << " ("
+        << a.runs[i].site.to_string() << ')';
+    EXPECT_EQ(a.runs[i].site.to_string(), b.runs[i].site.to_string())
+        << what << " site " << i;
+  }
+}
+
+TEST(BatchCampaign, BitwiseIdenticalAcrossLanesAndJobs) {
+  const Design d = rtl::build_verilog_opt2();
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
+  // SEU and stuck-at sites: the latter exercise the injected (slow-path)
+  // batched stream, the former the fast stream + per-lane flip schedule.
+  std::vector<fault::FaultSite> sites = fault::sample_seu_sites(d, 24, 60, 9);
+  for (const fault::FaultSite& s : fault::sample_stuck_sites(d, 12, 10))
+    sites.push_back(s);
+
+  const fault::CampaignReport scalar = campaign_at(d, spec, sites, 1, 1);
+  ASSERT_EQ(scalar.runs.size(), sites.size());
+  for (int lanes : {4, 32}) {
+    for (int jobs : {1, 4}) {
+      const fault::CampaignReport batched =
+          campaign_at(d, spec, sites, lanes, jobs);
+      expect_reports_equal(scalar, batched,
+                           "lanes=" + std::to_string(lanes) +
+                               " jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
+TEST(BatchCampaign, EveryRegisteredWorkloadClassifiesIdentically) {
+  const workload::Registry& reg = workload::Registry::instance();
+  for (const std::string& name : reg.names()) {
+    const workload::WorkloadSpec& spec = reg.get(name);
+    // The cheapest tier-1 builder keeps the sweep unit-fast.
+    const workload::BuilderInfo* builder = nullptr;
+    for (const workload::BuilderInfo& b : spec.builders)
+      if (!b.slow) { builder = &b; break; }
+    ASSERT_NE(builder, nullptr) << name;
+    const Design d = builder->build();
+    const std::vector<fault::FaultSite> sites =
+        fault::sample_seu_sites(d, 12, 40, 3);
+    const fault::CampaignReport scalar = campaign_at(d, spec, sites, 1, 1);
+    const fault::CampaignReport batched = campaign_at(d, spec, sites, 8, 1);
+    expect_reports_equal(scalar, batched, name + "/" + builder->name);
+  }
+}
+
+// ---- 5. batched evaluation -------------------------------------------------
+
+TEST(BatchEvaluate, LanedEvaluationAgreesWithScalar) {
+  const Design d = rtl::build_verilog_opt2();
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
+  core::EvaluateOptions opts;
+  opts.matrices = 4;
+  const core::DesignEvaluation scalar = core::evaluate_axis_design(d, spec, opts);
+  opts.lanes = 8;
+  const core::DesignEvaluation batched =
+      core::evaluate_axis_design(d, spec, opts);
+  EXPECT_TRUE(scalar.functional);
+  EXPECT_TRUE(batched.functional);
+  // Lane 0 replays the scalar stimulus: measured timing is identical.
+  EXPECT_EQ(batched.latency_cycles, scalar.latency_cycles);
+  EXPECT_EQ(batched.periodicity_cycles, scalar.periodicity_cycles);
+  EXPECT_EQ(batched.throughput_mops, scalar.throughput_mops);
+}
+
+// ---- 6. shared-plan thread safety and utilization counters -----------------
+
+TEST(BatchInfra, ExecPlanConcurrentFirstUseYieldsOneSharedPlan) {
+  // Fresh design each run: the first for_design() call races 8 threads
+  // into the per-design cache. Run under TSan (the CI tsan job builds this
+  // test) this pins the compile-once lock discipline.
+  const Design d = random_design(0xbeef);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const netlist::ExecPlan>> plans(kThreads);
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) {}
+      plans[static_cast<size_t>(t)] = netlist::ExecPlan::for_design(d);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_NE(plans[static_cast<size_t>(t)], nullptr);
+    EXPECT_EQ(plans[static_cast<size_t>(t)].get(), plans[0].get())
+        << "thread " << t << " compiled a duplicate plan";
+  }
+  EXPECT_GT(plans[0]->depth(), 0);
+}
+
+TEST(BatchInfra, UtilizationCountersTrackSweepsAndLanes) {
+  obs::set_enabled(true);
+  obs::registry().counter("sim.batch.sweeps")->add(0);
+  const int64_t sweeps0 = obs::registry().counter("sim.batch.sweeps")->value();
+  const int64_t lanes0 = obs::registry().counter("sim.batch.lanes")->value();
+  const int64_t masked0 =
+      obs::registry().counter("fault.lanes_masked")->value();
+
+  const Design d = rtl::build_verilog_opt2();
+  const workload::WorkloadSpec& spec =
+      workload::Registry::instance().get("idct");
+  const std::vector<fault::FaultSite> sites =
+      fault::sample_seu_sites(d, 12, 40, 5);
+  campaign_at(d, spec, sites, 4, 1);
+  obs::set_enabled(false);
+
+  // 12 sites in groups of 4 = at least 3 sweeps / 12 lane-runs (each site
+  // also replays reference runs; >= keeps the bound implementation-free).
+  EXPECT_GE(obs::registry().counter("sim.batch.sweeps")->value(), sweeps0 + 3);
+  EXPECT_GE(obs::registry().counter("sim.batch.lanes")->value(), lanes0 + 12);
+  EXPECT_GE(obs::registry().counter("fault.lanes_masked")->value(), masked0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistBatchDiff,
+                         ::testing::Range<uint64_t>(1, 21));
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistLaneFaults,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace hlshc

@@ -47,118 +47,9 @@ using netlist::Op;
 
 // ---- randomized netlist fuzzing --------------------------------------------
 
-/// A random but valid design: every op kind, mixed widths, registers with
-/// and without enables, and a memory with read and write ports.
-Design random_design(uint64_t seed) {
-  SplitMix64 rng(seed);
-  Design d("fuzz_" + std::to_string(seed));
-
-  const int widths[] = {1, 2, 5, 8, 12, 16, 31, 32, 33, 63, 64};
-  auto pick_width = [&] { return widths[rng.next_in(0, 10)]; };
-
-  std::vector<NodeId> pool;
-  const int n_inputs = static_cast<int>(rng.next_in(2, 4));
-  for (int i = 0; i < n_inputs; ++i)
-    pool.push_back(d.input("in" + std::to_string(i), pick_width()));
-  const int n_consts = static_cast<int>(rng.next_in(1, 3));
-  for (int i = 0; i < n_consts; ++i) {
-    int w = pick_width();
-    pool.push_back(d.constant(w, static_cast<int64_t>(rng.next())));
-  }
-
-  std::vector<NodeId> regs;
-  const int n_regs = static_cast<int>(rng.next_in(1, 3));
-  for (int i = 0; i < n_regs; ++i) {
-    int w = pick_width();
-    NodeId r = d.reg(w, static_cast<int64_t>(rng.next()),
-                     "r" + std::to_string(i));
-    regs.push_back(r);
-    pool.push_back(r);
-  }
-
-  const int mem_width = pick_width();
-  const int mem_id = d.add_memory("m", mem_width, 8);
-
-  auto any = [&] { return pool[rng.next_in(0, static_cast<long>(pool.size()) - 1)]; };
-  /// Adapt `n` to exactly `w` bits (slice down or extend up).
-  auto fit = [&](NodeId n, int w) {
-    int have = d.node(n).width;
-    if (have == w) return n;
-    if (have > w) return d.slice(n, w - 1, 0);
-    return rng.next_in(0, 1) ? d.sext(n, w) : d.zext(n, w);
-  };
-
-  const int n_ops = static_cast<int>(rng.next_in(30, 60));
-  for (int i = 0; i < n_ops; ++i) {
-    int w = pick_width();
-    NodeId a = any(), b = any();
-    NodeId made = netlist::kInvalidNode;
-    switch (rng.next_in(0, 22)) {
-      case 0: made = d.add(a, b, w); break;
-      case 1: made = d.sub(a, b, w); break;
-      case 2: made = d.mul(a, b, w); break;
-      case 3: made = d.neg(a, w); break;
-      case 4:
-        made = d.shl(a, static_cast<int>(rng.next_in(0, 70)), w);
-        break;
-      case 5:
-        made = d.ashr(a, static_cast<int>(rng.next_in(0, 70)), w);
-        break;
-      case 6:
-        made = d.lshr(a, static_cast<int>(rng.next_in(0, 70)), w);
-        break;
-      case 7: made = d.band(a, b, w); break;
-      case 8: made = d.bor(a, b, w); break;
-      case 9: made = d.bxor(a, b, w); break;
-      case 10: made = d.bnot(a, w); break;
-      case 11: made = d.eq(a, b); break;
-      case 12: made = d.ne(a, b); break;
-      case 13: made = d.slt(a, b); break;
-      case 14: made = d.sle(a, b); break;
-      case 15: made = d.sgt(a, b); break;
-      case 16: made = d.sge(a, b); break;
-      case 17: made = d.ult(a, b); break;
-      case 18: made = d.mux(fit(a, 1), a, b, w); break;
-      case 19: {
-        int have = d.node(a).width;
-        int lo = static_cast<int>(rng.next_in(0, have - 1));
-        int hi = static_cast<int>(rng.next_in(lo, have - 1));
-        made = d.slice(a, hi, lo);
-        break;
-      }
-      case 20:
-        if (d.node(a).width + d.node(b).width <= 64) {
-          made = d.concat(a, b);
-        } else {
-          made = d.bxor(a, b, w);
-        }
-        break;
-      case 21: made = d.sext(a, w >= d.node(a).width ? w : 64); break;
-      case 22: made = d.zext(a, w >= d.node(a).width ? w : 64); break;
-    }
-    pool.push_back(made);
-  }
-
-  // Memory ports: read at a random address, write gated by a 1-bit enable.
-  NodeId addr = fit(any(), 5);  // 5-bit address over depth 8 exercises wrap
-  pool.push_back(d.mem_read(mem_id, addr));
-  d.mem_write(mem_id, fit(any(), 3), fit(any(), mem_width), fit(any(), 1));
-
-  // Close the register loops (half with enables).
-  for (size_t i = 0; i < regs.size(); ++i) {
-    NodeId next = fit(any(), d.node(regs[i]).width);
-    if (i % 2 == 0) {
-      d.set_reg_next(regs[i], next, fit(any(), 1));
-    } else {
-      d.set_reg_next(regs[i], next);
-    }
-  }
-
-  // A few observable outputs (every node is compared anyway).
-  for (int i = 0; i < 3; ++i)
-    d.output("out" + std::to_string(i), any());
-  return d;
-}
+// random_design lives in testutil.hpp so the batched-engine differential
+// suite (tests/batch_test.cpp) fuzzes the exact same design space.
+using testutil::random_design;
 
 void expect_all_nodes_equal(const sim::Simulator& oracle,
                             const sim::CompiledSimulator& compiled,

@@ -214,6 +214,9 @@ TEST(Campaign, ProgressCallbackSeesRunningOutcomeMix) {
   opts.matrices = 1;
   opts.max_cycles = 500;
   opts.progress_every = 2;
+  // Per-site cadence is a scalar-loop contract: a lane-batched campaign
+  // fires once per sweep at cadence crossings instead.
+  opts.lanes = 1;
   std::vector<CampaignProgress> seen;
   opts.on_progress = [&](const CampaignProgress& p) { seen.push_back(p); };
   CampaignReport rep = run_campaign(d, sites, opts);

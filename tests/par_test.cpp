@@ -71,6 +71,74 @@ TEST(DefaultJobs, ReadsEnvironment) {
   }
 }
 
+/// Scoped HLSHC_LANES override, same contract as ScopedJobsEnv.
+class ScopedLanesEnv {
+ public:
+  explicit ScopedLanesEnv(const char* value) {
+    const char* old = std::getenv("HLSHC_LANES");
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+    if (value)
+      ::setenv("HLSHC_LANES", value, 1);
+    else
+      ::unsetenv("HLSHC_LANES");
+  }
+  ~ScopedLanesEnv() {
+    if (had_)
+      ::setenv("HLSHC_LANES", saved_.c_str(), 1);
+    else
+      ::unsetenv("HLSHC_LANES");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(DefaultLanes, ReadsEnvironmentElseFixedDefault) {
+  {
+    ScopedLanesEnv env("4");
+    EXPECT_EQ(default_lanes(), 4);
+  }
+  {
+    ScopedLanesEnv env("999");  // clamped to the lane ceiling
+    EXPECT_EQ(default_lanes(), kMaxLanes);
+  }
+  {
+    ScopedLanesEnv env("0");  // non-positive: rejected loudly
+    EXPECT_THROW(default_lanes(), Error);
+  }
+  {
+    // Unset: the fixed default, NOT hardware-derived — batched campaign
+    // shapes must be reproducible across hosts.
+    ScopedLanesEnv env(nullptr);
+    EXPECT_EQ(default_lanes(), kDefaultLanes);
+  }
+}
+
+// Same validation contract as parse_jobs, for the lanes knobs
+// (HLSHC_LANES, every bench's --lanes flag).
+TEST(ParseLanes, AcceptsPositiveDecimalAndClamps) {
+  EXPECT_EQ(parse_lanes("1", "--lanes"), 1);
+  EXPECT_EQ(parse_lanes("32", "--lanes"), 32);
+  EXPECT_EQ(parse_lanes("64", "--lanes"), 64);
+  EXPECT_EQ(parse_lanes("65", "--lanes"), kMaxLanes);
+  EXPECT_EQ(parse_lanes("100000", "HLSHC_LANES"), kMaxLanes);
+}
+
+TEST(ParseLanes, RejectsGarbageWithTheKnobName) {
+  for (const char* bad :
+       {"", "0", "-1", "-8", "8lanes", " 8", "8 ", "3.5", "0x8"}) {
+    try {
+      parse_lanes(bad, "--lanes");
+      FAIL() << "parse_lanes accepted '" << bad << '\'';
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("--lanes"), std::string::npos)
+          << "error for '" << bad << "' does not name the knob: " << e.what();
+    }
+  }
+}
+
 // One shared validator for every jobs knob (HLSHC_JOBS, --jobs flags, the
 // service's --queue): positive decimal integers only, clamped at kMaxJobs,
 // everything else a structured error naming the offending knob.

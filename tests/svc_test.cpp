@@ -785,6 +785,23 @@ TEST(Server, StatsReportsEventLogAndRecentRequests) {
   EXPECT_GE(result.find("recent_requests")->as_int(), 1);
 }
 
+TEST(Server, StatsReportsBatchUtilizationWithMetricsOn) {
+  obs::set_enabled(true);
+  Server server(small_server());
+  // A lane-batched campaign (lanes=4 over 8 sites = at least 2 sweeps)
+  // moves the process-wide batch counters the stats method passes through.
+  call_ok(server,
+          R"({"method":"campaign","params":{"design":"verilog_opt2",)"
+          R"("sites":8,"seed":7,"lanes":4}})");
+  const Json result = call_ok(server, R"({"method":"stats"})");
+  obs::set_enabled(false);
+  const Json* batch = result.find("batch");
+  ASSERT_NE(batch, nullptr) << "stats has no batch block under metrics";
+  EXPECT_GE(batch->find("sweeps")->as_int(), 2);
+  EXPECT_GE(batch->find("lane_runs")->as_int(), 8);
+  EXPECT_GE(batch->find("lanes_masked")->as_int(), 0);
+}
+
 TEST(Server, RecentRequestRingIsBounded) {
   ServerOptions options = small_server();
   options.recent_requests = 4;

@@ -103,6 +103,9 @@ fault::CampaignReport traced_campaign(const hlshc::netlist::Design& d,
   opts.max_cycles = 20000;
   opts.keep_runs = true;
   opts.jobs = jobs;
+  // Small lane groups so 24 sites shard into several pool chunks — the
+  // test pins pool adoption, not the default lane policy.
+  opts.lanes = 4;
 
   obs::tracer().start();
   const obs::TraceContext root = obs::new_trace();
