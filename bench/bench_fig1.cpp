@@ -60,7 +60,8 @@ int run_workload_mode(const std::string& workload, int jobs) {
     points.push_back({r.flow, r.workload + "." + r.builder,
                       r.eval.throughput_mops, r.eval.area,
                       static_cast<long>(r.eval.pipeline.nodes_before()) -
-                          static_cast<long>(r.eval.pipeline.nodes_after())});
+                          static_cast<long>(r.eval.pipeline.nodes_after()),
+                      r.workload});
   std::puts(hlshc::core::scatter_summary(points).c_str());
   std::puts("--- Pareto frontier (throughput up, area down) ---");
   for (const auto& p : hlshc::core::pareto_front(points))
@@ -100,8 +101,10 @@ int main(int argc, char** argv) {
   }
 
   std::puts("=== Fig. 1: design space exploration for IDCT ===");
-  std::printf("(synthesizing every configuration; this sweeps ~97 circuits "
-              "twice: serial, then %d jobs)\n\n", jobs);
+  std::printf("(synthesizing every configuration; this sweeps 200+ circuits "
+              "— every flow with narrowing on and off, the scheduler grid, "
+              "and the workload cells — twice: serial, then %d jobs)\n\n",
+              jobs);
 
   auto t0 = std::chrono::steady_clock::now();
   auto serial_points = hlshc::tools::full_dse(1);

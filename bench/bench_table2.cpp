@@ -3,13 +3,15 @@
 // latency, periodicity and the area/DSP/IO block, plus a paper-vs-measured
 // digest of the headline ratios.
 //
-// Usage: bench_table2 [--jobs N] [--verbose] [--workload NAME|all]
+// Usage: bench_table2 [--jobs N] [--verbose] [--wide] [--workload NAME|all]
 // (default: all cores; the seven flows evaluate concurrently, results in
 // column order at any worker count; --verbose prints the per-pass
 // compile-pipeline breakdown per design). With --workload the bench sweeps
 // the named workload-registry entry (or every entry) across all of its
 // builders instead of the IDCT-only Table II; "all" additionally writes
-// BENCH_workloads.json.
+// BENCH_workloads.json. --wide disables the width-narrowing pass — the
+// pre-narrowing pipeline — so the emitted table2.csv can be diffed bitwise
+// against bench/baselines/table2_prenarrow.csv (the refactor oracle).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +50,7 @@ int run_workload_mode(const std::string& workload, int jobs) {
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = all cores
   bool verbose = false;
+  bool wide = false;
   std::string workload;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -55,13 +58,15 @@ int main(int argc, char** argv) {
         jobs = hlshc::par::parse_jobs(argv[++i], "--jobs");
       } catch (const hlshc::Error& e) {
         std::fprintf(stderr,
-                     "%s\nusage: %s [--jobs N] [--verbose] "
+                     "%s\nusage: %s [--jobs N] [--verbose] [--wide] "
                      "[--workload NAME|all]\n",
                      e.what(), argv[0]);
         return 1;
       }
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--wide") == 0) {
+      wide = true;
     } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
       workload = argv[++i];
     }
@@ -77,7 +82,12 @@ int main(int argc, char** argv) {
   std::puts("=== Table II: HLS/HC tools evaluation results ===");
   std::puts("(all designs verified bit-exact against the ISO 13818-4 "
             "software model before measurement)\n");
-  hlshc::tools::Table2 table = hlshc::tools::build_table2(jobs);
+  hlshc::tools::CompileOptions copts;
+  copts.narrow = !wide;
+  if (wide)
+    std::puts("(--wide: width narrowing disabled; this regenerates the "
+              "pre-narrowing pipeline bitwise)\n");
+  hlshc::tools::Table2 table = hlshc::tools::build_table2(jobs, copts);
   std::puts(hlshc::tools::render_table2(table).c_str());
   std::ofstream("table2.csv") << hlshc::tools::table2_csv(table);
   std::puts("(machine-readable copy written to ./table2.csv)\n");

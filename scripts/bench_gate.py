@@ -2,8 +2,9 @@
 """Perf-regression gate over the hlshc bench reports.
 
 Compares freshly produced BENCH_sim.json / BENCH_fault.json /
-BENCH_service.json (obs::RunReport schema) against the committed reference
-reports in bench/baselines/, with a per-metric check mode:
+BENCH_service.json / BENCH_dse.json (obs::RunReport schema) against the
+committed reference reports in bench/baselines/, with a per-metric check
+mode:
 
   * exact  -- values the toolchain computes deterministically (node counts,
               exec-plan depth, campaign outcome mixes, areas). Any drift is
@@ -208,6 +209,42 @@ def gate_service(fresh_path, base_path, tolerance):
     ok(f"BENCH_service: {len(rounds)} rounds, invariants + throughput floor")
 
 
+def gate_dse(fresh_path, base_path):
+    """Design-space floor: the sweep must stay 200+ configurations wide and
+    the per-workload quality frontier must never retreat. All DSE metrics
+    are deterministic (modeled fmax/area over seeded evaluation), so a
+    best-Q drop is a real regression in a flow or the scheduler, not
+    noise; growth (new sweep points that beat the old frontier) is fine."""
+    fresh, base = load_report(fresh_path), load_report(base_path)
+    configs = fresh["results"].get("configs", 0)
+    if configs < 200:
+        fail(f"BENCH_dse: {configs} configurations < 200 -- the sweep "
+             "grid collapsed (a flow stopped contributing points)")
+    fresh_rows = index_rows(fresh, "workloads", "workload")
+    base_rows = index_rows(base, "workloads", "workload")
+    if set(fresh_rows) != set(base_rows):
+        fail(
+            f"BENCH_dse: workload sets differ "
+            f"(fresh-only: {sorted(set(fresh_rows) - set(base_rows))}, "
+            f"baseline-only: {sorted(set(base_rows) - set(fresh_rows))})"
+        )
+        return
+    for workload in sorted(base_rows):
+        f_row, b_row = fresh_rows[workload], base_rows[workload]
+        if f_row["configs"] < b_row["configs"]:
+            fail(f"BENCH_dse [{workload}]: {f_row['configs']} configs < "
+                 f"baseline {b_row['configs']} -- sweep points disappeared")
+        if f_row["best_quality"] < b_row["best_quality"] - 1e-6:
+            fail(f"BENCH_dse [{workload}]: best quality "
+                 f"{f_row['best_quality']:.1f} "
+                 f"({f_row.get('best_quality_config')}) < baseline "
+                 f"{b_row['best_quality']:.1f} "
+                 f"({b_row.get('best_quality_config')}) -- "
+                 "the quality frontier retreated")
+    ok(f"BENCH_dse: {configs} configurations, "
+       f"{len(base_rows)} per-workload quality floors")
+
+
 def validate_trace(path):
     with open(path) as f:
         trace = json.load(f)
@@ -294,6 +331,8 @@ def main():
          lambda f, b: gate_fault(f, b, args.tolerance, args.min_ratio)),
         ("BENCH_service.json",
          lambda f, b: gate_service(f, b, args.tolerance)),
+        ("BENCH_dse.json",
+         lambda f, b: gate_dse(f, b)),
     ]
     for filename, gate in gates:
         fresh_path = os.path.join(args.fresh, filename)

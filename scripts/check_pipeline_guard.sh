@@ -62,6 +62,24 @@ if ! grep -q 'tools::compile(' src/svc/cache.cpp; then
   fail=1
 fi
 
+# Interval analysis (netlist::RangeAnalysis, netlist/range.hpp) has exactly
+# two production clients: the narrow pass (src/netlist) and the synthesis
+# cost model's width reasoning (src/synth). Any other layer consuming raw
+# ranges would fork the width story the narrow pass already owns — flows
+# and benches see narrowing only through tools::compile's `narrow` knob.
+# Tests may call anything: they pin the analysis on purpose.
+range_hits=$(grep -rnE '\bRangeAnalysis\b|"netlist/range\.hpp"' \
+    src bench examples --include='*.cpp' --include='*.hpp' \
+  | grep -vE '^src/(netlist|synth)/' \
+  || true)
+if [ -n "$range_hits" ]; then
+  echo "ERROR: RangeAnalysis used outside src/netlist and src/synth:" >&2
+  echo "$range_hits" >&2
+  echo "Width narrowing is the narrow pass's job — enable it through" \
+       "tools::CompileOptions.narrow (src/tools/compile.hpp)." >&2
+  fail=1
+fi
+
 # The workload registry (src/workload) is the only production gateway to the
 # IDCT golden model and stimulus: code elsewhere must consume a WorkloadSpec
 # (reference/encode/eval_stimulus/campaign_inputs) so every workload flows

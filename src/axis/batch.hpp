@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "axis/testbench.hpp"
@@ -58,9 +59,36 @@ class BatchStreamTestbench {
   /// including lanes given no input at all.
   int lanes_masked_early() const { return masked_early_; }
 
+  /// One unit of streamed work: an input set plus the fault armed for its
+  /// whole run (kNone = clean). Each job's result is bitwise-identical to
+  /// a scalar run of the same fault/inputs from reset.
+  struct Job {
+    std::vector<idct::Block> inputs;
+    sim::LaneFault fault;
+  };
+
+  /// Streaming variant of run(): pulls `jobs` through the lane pool,
+  /// refilling freed lanes with fresh jobs instead of draining a whole
+  /// group behind a straggler. Lanes that finish (or hang — each lane gets
+  /// its own `max_cycles` budget on its own clock) go idle; once at least
+  /// half the live lanes are idle (or no lane is left running), every idle
+  /// lane is refilled via sim::BatchSimulator::refill_lane with the next
+  /// pending jobs, in ascending lane order. Results land in job order.
+  /// `on_done(job, result)` fires as each job completes, in completion
+  /// order — campaign progress hooks ride on it.
+  std::vector<BatchLaneResult> run_jobs(
+      const std::vector<Job>& jobs, uint64_t max_cycles,
+      const std::vector<netlist::NodeId>& probes = {},
+      const std::function<void(size_t, const BatchLaneResult&)>& on_done =
+          {});
+
+  /// Mid-sweep lane refills performed by the last run_jobs().
+  int lane_refills() const { return refills_; }
+
  private:
   sim::BatchSimulator& sim_;
   int masked_early_ = 0;
+  int refills_ = 0;
 };
 
 }  // namespace hlshc::axis

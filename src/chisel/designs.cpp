@@ -376,6 +376,24 @@ netlist::Design build_row_pass_kernel() {
   return b.take();
 }
 
+netlist::Design build_matrix_kernel() {
+  Builder b("chisel_idct_kernel");
+  std::array<std::array<SInt, 8>, 8> in;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      in[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          b.input("x" + std::to_string(r * 8 + c), axis::kInElemWidth);
+  std::array<std::array<SInt, 8>, 8> row_out;
+  for (int r = 0; r < 8; ++r)
+    row_out[static_cast<size_t>(r)] = idct_row(b, in[static_cast<size_t>(r)]);
+  auto result = column_pass(b, row_out);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      b.output("y" + std::to_string(r * 8 + c),
+               result[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+  return b.take();
+}
+
 netlist::Design build_col_pass_kernel(int input_width) {
   Builder b("chisel_col_pass");
   std::array<SInt, 8> in;

@@ -31,4 +31,10 @@ netlist::Design build_chisel_opt();
 netlist::Design build_row_pass_kernel();
 netlist::Design build_col_pass_kernel(int input_width = 16);
 
+/// The pure 2-D IDCT dataflow kernel with inferred widths, in the
+/// framework's MatrixKernel port shape (x0..x63 -> y0..y63, combinational)
+/// — the synth::schedule_pipeline input for the Chisel flow's pipelined
+/// sweep points.
+netlist::Design build_matrix_kernel();
+
 }  // namespace hlshc::chisel

@@ -43,9 +43,9 @@ std::string Table::render() const {
 
 std::string scatter_csv(const std::vector<ScatterPoint>& points) {
   std::ostringstream os;
-  os << "family,config,throughput_mops,area,quality,nodes_saved\n";
+  os << "family,config,workload,throughput_mops,area,quality,nodes_saved\n";
   for (const ScatterPoint& p : points)
-    os << p.family << ',' << p.config << ','
+    os << p.family << ',' << p.config << ',' << p.workload << ','
        << format_fixed(p.throughput_mops, 3) << ',' << p.area << ','
        << format_fixed(p.quality(), 1) << ',' << p.nodes_saved << '\n';
   return os.str();

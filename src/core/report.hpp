@@ -33,12 +33,16 @@ struct ScatterPoint {
   /// Nodes eliminated by the compile pipeline before synthesis (0 when the
   /// point was measured without the pipeline).
   long nodes_saved = 0;
+  /// Workload-registry entry the point was measured against; the DSE
+  /// groups its A/P/Q fronts by this.
+  std::string workload = "idct";
   double quality() const {
     return area > 0 ? throughput_mops * 1e6 / static_cast<double>(area) : 0;
   }
 };
 
-/// CSV with header: family,config,throughput_mops,area,quality,nodes_saved.
+/// CSV with header: family,config,workload,throughput_mops,area,quality,
+/// nodes_saved.
 std::string scatter_csv(const std::vector<ScatterPoint>& points);
 
 /// A text rendering of the scatter grouped by family (for bench output).

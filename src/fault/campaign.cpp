@@ -204,12 +204,25 @@ sim::LaneFault to_lane_fault(const FaultSite& site) {
   return f;
 }
 
+/// One batched lane result -> the scalar outcome, mirroring classify_site
+/// line by line: hang, then detection via monitor/sticky ports, then SDC.
+/// The per-lane probes were sampled by the harness at the lane's completion
+/// cycle — the same read point as the scalar post-run detector reads.
+Outcome classify_result(const workload::WorkloadSpec& spec,
+                        const std::vector<idct::Block>& golden,
+                        const axis::BatchLaneResult& r) {
+  if (r.hung) return Outcome::kHang;
+  bool flagged = !r.clean;
+  for (int64_t probe : r.probes) flagged = flagged || probe != 0;
+  if (flagged) return Outcome::kDetected;
+  if (workload::diff_outputs(spec, golden, r.matrices) != 0)
+    return Outcome::kSdc;
+  return Outcome::kMasked;
+}
+
 /// Classify one lane-group of sites in a single batched sweep: `count`
 /// sites from `sites[from]`, one per lane, every lane streaming the same
-/// input set. Each lane's outcome derivation mirrors classify_site line by
-/// line (hang, then detection via monitor/sticky ports, then SDC); the
-/// per-lane probes are sampled by the harness at the lane's completion
-/// cycle — the same read point as the scalar post-run detector reads.
+/// input set.
 void classify_group(sim::BatchSimulator& bsim,
                     const workload::WorkloadSpec& spec,
                     const std::vector<FaultSite>& sites, size_t from,
@@ -233,23 +246,8 @@ void classify_group(sim::BatchSimulator& bsim,
     obs::registry()
         .counter("fault.lanes_masked")
         ->add(tb.lanes_masked_early());
-  for (int l = 0; l < count; ++l) {
-    const axis::BatchLaneResult& r = results[static_cast<size_t>(l)];
-    Outcome outcome;
-    if (r.hung) {
-      outcome = Outcome::kHang;
-    } else {
-      bool flagged = !r.clean;
-      for (int64_t probe : r.probes) flagged = flagged || probe != 0;
-      if (flagged)
-        outcome = Outcome::kDetected;
-      else if (workload::diff_outputs(spec, golden, r.matrices) != 0)
-        outcome = Outcome::kSdc;
-      else
-        outcome = Outcome::kMasked;
-    }
-    out[l] = outcome;
-  }
+  for (int l = 0; l < count; ++l)
+    out[l] = classify_result(spec, golden, results[static_cast<size_t>(l)]);
 }
 
 void count_outcome(Outcome outcome, CampaignCounts* counts) {
@@ -323,12 +321,14 @@ CampaignReport run_campaign(const Design& d,
   ProgressGuard progress_guard;
 
   if (batched) {
-    // Lane-batched loops: sites shard into groups of `lanes`, each group
-    // classified in one BatchSimulator sweep. Outcomes land in per-site
-    // slots and merge in site order, so counts and the run log are bitwise
-    // identical to the scalar loop at every {lanes, jobs} combination.
-    // (The per-outcome wall timers recorded by classify_site have no
-    // per-site meaning inside a shared sweep and are skipped here.)
+    // Lane-batched loops: a single worker streams every site through one
+    // refilling sweep; multiple workers shard site groups of `lanes` over
+    // the pool, each group classified in one BatchSimulator sweep. Either
+    // way outcomes land in per-site slots and merge in site order, so
+    // counts and the run log are bitwise identical to the scalar loop at
+    // every {lanes, jobs} combination. (The per-outcome wall timers
+    // recorded by classify_site have no per-site meaning inside a shared
+    // sweep and are skipped here.)
     std::vector<NodeId> detector_ids;
     detector_ids.reserve(detectors.size());
     for (const std::string& name : detectors)
@@ -337,33 +337,40 @@ CampaignReport run_campaign(const Design& d,
     const int64_t n_groups = shards;
 
     if (jobs == 1) {
+      // Single worker: one streaming sweep over every site. Each site is a
+      // job; lanes freed by early finishers refill with fresh sites once
+      // half the group idles, so a hang straggler burning its whole cycle
+      // budget no longer drains the group — the other lanes keep
+      // classifying new sites around it. Outcomes land in per-site slots,
+      // so counts and the run log stay bitwise identical to the scalar
+      // loop; completions (and therefore progress ticks) arrive in lane
+      // completion order, with the same once-per-cadence-multiple contract
+      // as the scalar loop.
       sim::BatchSimulator bsim(d, lanes);
       if (options.deadline) bsim.set_deadline(options.deadline);
-      int completed = 0;
-      for (int64_t g = 0; g < n_groups; ++g) {
-        const size_t from = static_cast<size_t>(g) *
-                            static_cast<size_t>(lanes);
-        const int count =
-            std::min(lanes, total - static_cast<int>(from));
-        classify_group(bsim, spec, sites, from, count, inputs, golden,
-                       detector_ids, options, outcomes.data() + from);
-        const int prev = completed;
-        for (int l = 0; l < count; ++l)
-          count_outcome(outcomes[from + static_cast<size_t>(l)],
-                        &report.counts);
-        completed += count;
-        // A sweep retires a whole lane-group at once, but the progress
-        // contract is per-site: every exact multiple of the cadence fires
-        // exactly once, same as the scalar loop, so callbacks see the same
-        // tick sequence at any lane count.
-        if (options.progress_every > 0) {
-          for (int m = (prev / options.progress_every + 1) *
-                       options.progress_every;
-               m <= completed; m += options.progress_every)
-            report_progress(options, {d.name(), m, total, report.counts},
-                            &progress_guard);
-        }
+      std::vector<axis::BatchStreamTestbench::Job> batch_jobs(sites.size());
+      for (size_t i = 0; i < sites.size(); ++i) {
+        batch_jobs[i].inputs = inputs;
+        batch_jobs[i].fault = to_lane_fault(sites[i]);
       }
+      axis::BatchStreamTestbench tb(bsim);
+      int completed = 0;
+      tb.run_jobs(
+          batch_jobs, options.max_cycles, detector_ids,
+          [&](size_t job, const axis::BatchLaneResult& r) {
+            outcomes[job] = classify_result(spec, golden, r);
+            count_outcome(outcomes[job], &report.counts);
+            ++completed;
+            if (options.progress_every > 0 &&
+                completed % options.progress_every == 0)
+              report_progress(options,
+                              {d.name(), completed, total, report.counts},
+                              &progress_guard);
+          });
+      if (obs::enabled())
+        obs::registry()
+            .counter("fault.lane_refills")
+            ->add(tb.lane_refills());
     } else {
       par::Pool pool(jobs);
       std::vector<std::unique_ptr<sim::BatchSimulator>> sims(

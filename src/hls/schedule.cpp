@@ -8,17 +8,21 @@
 
 namespace hlshc::hls {
 
-double dfg_op_delay(DOp op) {
+double dfg_op_delay(DOp op, const synth::DelayModel& delay) {
   switch (op) {
-    case DOp::kMul: return 2.4;   // DSP multiply
+    case DOp::kMul: return delay.dsp_mul;
+    // The DFG has no widths: a 32-bit carry chain is priced as a fixed
+    // constant rather than adder_base + w * carry_per_bit. The literals are
+    // the historical calibration — kept verbatim so chaining decisions (and
+    // through them every HLS Table II row) are reproducible bit for bit.
     case DOp::kAdd: case DOp::kSub: case DOp::kNeg: return 0.7;
     case DOp::kLt: case DOp::kGt: case DOp::kLe: case DOp::kGe:
     case DOp::kEq: case DOp::kNe: return 0.6;
     case DOp::kSelect: return 0.2;
     case DOp::kAnd: case DOp::kOr: case DOp::kXor: case DOp::kNot:
-      return 0.35;
-    case DOp::kLoad: return 1.1;
-    case DOp::kStore: return 0.35;
+      return delay.logic_level;
+    case DOp::kLoad: return delay.mem_read;
+    case DOp::kStore: return delay.logic_level;
     case DOp::kShl: case DOp::kShr: case DOp::kCastShort: return 0.0;
     case DOp::kConst: case DOp::kInput: return 0.0;
   }
@@ -74,7 +78,7 @@ Schedule schedule(const Dfg& dfg, const ScheduleOptions& options) {
       options.speculative ? options.cycle_budget_ns * 1.3
                           : options.cycle_budget_ns;
   auto op_chain_delay = [&](DOp op) {
-    double d = dfg_op_delay(op);
+    double d = dfg_op_delay(op, options.delay);
     if (options.speculative &&
         (op == DOp::kSelect || op == DOp::kLt || op == DOp::kGt ||
          op == DOp::kLe || op == DOp::kGe))

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hls/dfg.hpp"
+#include "synth/cost_model.hpp"
 
 namespace hlshc::hls {
 
@@ -32,6 +33,10 @@ struct ScheduleOptions {
   double cycle_budget_ns = 6.0;  ///< max combinational chain per cycle
   bool speculative = false;
   int region_overhead = 18;  ///< cycles per non-inlined call (stream in/out)
+  /// Delay model shared with synthesis (synth/cost_model.hpp): chaining
+  /// decisions and the timing engine price a multiply, a logic level, and a
+  /// memory access off the same constants.
+  synth::DelayModel delay;
 };
 
 struct Schedule {
@@ -41,9 +46,12 @@ struct Schedule {
   int add_units_used = 0;
 };
 
-/// Operator delays used for chaining decisions (ns); mirrors the synth
-/// delay model at 32 bits.
-double dfg_op_delay(DOp op);
+/// Operator delays used for chaining decisions (ns), expressed over the
+/// synth delay model. The DFG carries no operand widths, so the
+/// width-dependent operators (add/compare) chain at fixed 32-bit
+/// calibrations of the model's carry chain; everything else reads the
+/// model's constants directly.
+double dfg_op_delay(DOp op, const synth::DelayModel& delay = {});
 
 /// True when `node`'s result comes out of a shared, output-registered
 /// functional unit under `options` (consumers start a cycle later).

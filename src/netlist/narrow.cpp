@@ -1,0 +1,171 @@
+// The `narrow` pass: rewrite nodes to their range-proven effective widths.
+//
+// RangeAnalysis proves a conservative signed interval for every node; any
+// costed node (adder, subtractor, multiplier, mux, shifter, register) whose
+// interval fits fewer bits than declared is rebuilt at that width. Values
+// are canonical sign-extended int64s in both engines, so a node narrowed
+// from W to t bits produces the *same* canonical value — only consumers
+// that interpret the raw W-bit pattern (ZExt, Slice, Concat, LShr, Ult,
+// memory addressing/data, output ports) need an SExt adapter back to the
+// declared width, which later passes fold or keep as free wiring.
+//
+// Saturated intervals (bounds clamped at Interval::kSat) are lossy and
+// never justify a rewrite; the analysis' wrap-around fallback (an interval
+// that does not fit the declared width becomes the full declared range)
+// keeps the rewrite sound for overflowing arithmetic. Input/Output port
+// widths are never changed, so the rewritten design is drop-in for every
+// testbench, campaign and emission path.
+//
+// Like strength_reduce_mults, the pass rebuilds the design: adapters must
+// be spliced in *before* their consumers to preserve the index-order
+// invariant (combinational operands always point backwards).
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.hpp"
+#include "netlist/passes.hpp"
+#include "netlist/range.hpp"
+
+namespace hlshc::netlist {
+
+namespace {
+
+/// Ops whose declared width the pass may shrink. Wiring ops (extensions,
+/// slices, concats) are free in the cost model and carry width semantics of
+/// their own; everything else either has a fixed width (comparisons) or a
+/// full-range interval anyway (bitwise logic, memory reads).
+bool narrowable(Op op) {
+  switch (op) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Neg:
+    case Op::Shl:
+    case Op::AShr:
+    case Op::Mux:
+    case Op::Reg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int narrow_widths(Design& d) {
+  const size_t n = d.node_count();
+  RangeAnalysis ra(d);
+
+  std::vector<int> target(n, 0);
+  int shrunk = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = d.node(static_cast<NodeId>(i));
+    target[i] = nd.width;
+    if (!narrowable(nd.op)) continue;
+    const Interval& iv = ra.range(static_cast<NodeId>(i));
+    if (iv.saturated()) continue;  // lossy bound: unsound to rewrite
+    const int t = std::max(1, iv.min_width());
+    if (t < nd.width) {
+      target[i] = t;
+      ++shrunk;
+    }
+  }
+  if (shrunk == 0) return 0;
+
+  Design out(d.name());
+  for (int m = 0; m < static_cast<int>(d.memories().size()); ++m) {
+    const Memory& mem = d.memories()[static_cast<size_t>(m)];
+    int mid = out.add_memory(mem.name, mem.width, mem.depth);
+    HLSHC_CHECK(mid == m, "memory remap mismatch");
+  }
+
+  std::vector<NodeId> remap(n, kInvalidNode);
+  // The remapped operand restored to its original declared width: identical
+  // canonical value, but the raw bit pattern a width-sensitive consumer
+  // reads is the declared-width one again.
+  auto widened = [&](NodeId o) -> NodeId {
+    NodeId m = remap[static_cast<size_t>(o)];
+    const int declared = d.node(o).width;
+    return out.node(m).width < declared ? out.sext(m, declared) : m;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const Node& nd = d.node(id);
+    NodeId nid;
+    switch (nd.op) {
+      case Op::Input:
+        nid = out.input(nd.name, nd.width);  // port widths are interface
+        break;
+      case Op::Output:
+        // output() derives the port width from its driver: widen the
+        // (possibly narrowed) value back so the port keeps its width.
+        nid = out.output(nd.name, widened(nd.operands[0]));
+        break;
+      case Op::Reg:
+        // Placeholder at the narrowed width; next-value wired below. The
+        // reset value fits (the register's interval includes it).
+        nid = out.reg(target[i], nd.imm, nd.name);
+        break;
+      case Op::MemWrite:
+        // Address and data are raw-pattern consumers (modular addressing,
+        // word storage); the enable is 1-bit.
+        nid = out.mem_write(nd.mem, widened(nd.operands[0]),
+                            widened(nd.operands[1]),
+                            remap[static_cast<size_t>(nd.operands[2])]);
+        break;
+      default: {
+        Node copy = nd;
+        copy.width = target[i];
+        copy.operands.clear();
+        switch (nd.op) {
+          case Op::ZExt:
+          case Op::Slice:
+          case Op::LShr:
+            copy.operands.push_back(widened(nd.operands[0]));
+            break;
+          case Op::Concat:
+          case Op::Ult:
+            copy.operands.push_back(widened(nd.operands[0]));
+            copy.operands.push_back(widened(nd.operands[1]));
+            break;
+          case Op::MemRead:
+            copy.operands.push_back(widened(nd.operands[0]));
+            break;
+          default:
+            // Canonical-value-safe consumers (arithmetic, muxes, signed
+            // compares, bitwise logic, SExt) take narrowed operands as-is.
+            for (NodeId o : nd.operands)
+              copy.operands.push_back(remap[static_cast<size_t>(o)]);
+            break;
+        }
+        nid = out.constant(copy.width, 0);
+        out.mutable_node(nid) = copy;
+        break;
+      }
+    }
+    remap[i] = nid;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const Node& nd = d.node(id);
+    if (nd.op != Op::Reg) continue;
+    HLSHC_CHECK(!nd.operands.empty(), "register without next-value");
+    NodeId next = remap[static_cast<size_t>(nd.operands[0])];
+    // The register was narrowed to hold its whole reachable range, which
+    // contains the next-value's range — SExt to the register width is a
+    // value-preserving truncation (or widening) in canonical form.
+    if (out.node(next).width != target[i]) next = out.sext(next, target[i]);
+    NodeId en = nd.operands.size() > 1
+                    ? remap[static_cast<size_t>(nd.operands[1])]
+                    : kInvalidNode;
+    out.set_reg_next(remap[i], next, en);
+  }
+
+  out.validate();
+  d = std::move(out);
+  return shrunk;
+}
+
+}  // namespace hlshc::netlist

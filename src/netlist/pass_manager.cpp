@@ -36,8 +36,8 @@ int run_dce(Design& d) {
 }  // namespace
 
 std::vector<std::string> registered_pass_names() {
-  return {"fold_constants", "strength_reduce", "mux_simplify",
-          "copy_prop",      "cse",             "eliminate_dead"};
+  return {"fold_constants", "narrow", "strength_reduce", "mux_simplify",
+          "copy_prop",      "cse",    "eliminate_dead"};
 }
 
 std::unique_ptr<Pass> make_pass(const std::string& pass_name) {
@@ -53,6 +53,8 @@ std::unique_ptr<Pass> make_pass(const std::string& pass_name) {
     return std::make_unique<FunctionPass>(pass_name, simplify_mux_bool);
   if (pass_name == "strength_reduce")
     return std::make_unique<FunctionPass>(pass_name, strength_reduce_mults);
+  if (pass_name == "narrow")
+    return std::make_unique<FunctionPass>(pass_name, narrow_widths);
   throw Error("unknown netlist pass '" + pass_name + "'");
 }
 
@@ -140,9 +142,13 @@ Design PassManager::run(const Design& d, PassStats* stats,
   return work;
 }
 
-PassManager default_pipeline(bool strength_reduce) {
+PassManager default_pipeline(bool strength_reduce, bool narrow) {
   PassManager pm;
   pm.add("fold_constants");
+  // Narrowing runs after folding (constant subtrees collapse to points the
+  // interval analysis can prove) and before strength reduction, so the CSD
+  // shift-add trees are built at the narrowed multiplier widths.
+  if (narrow) pm.add("narrow");
   if (strength_reduce) pm.add("strength_reduce");
   pm.add("mux_simplify");
   pm.add("copy_prop");

@@ -76,9 +76,13 @@ std::vector<std::string> registered_pass_names();
 std::unique_ptr<Pass> make_pass(const std::string& pass_name);
 
 /// The canonical cleanup pipeline every frontend goes through:
-/// fold_constants [, strength_reduce], mux_simplify, copy_prop, cse,
-/// eliminate_dead. Strength reduction is opt-in because expanding multipliers
-/// changes the DSP/LUT split that Table II normalizes over.
-PassManager default_pipeline(bool strength_reduce = false);
+/// fold_constants [, narrow] [, strength_reduce], mux_simplify, copy_prop,
+/// cse, eliminate_dead. Strength reduction is opt-in because expanding
+/// multipliers changes the DSP/LUT split that Table II normalizes over.
+/// Width narrowing is on by default (every flow executes and is costed at
+/// range-proven widths); narrow = false reproduces the pre-narrowing
+/// pipeline bit for bit.
+PassManager default_pipeline(bool strength_reduce = false,
+                             bool narrow = true);
 
 }  // namespace hlshc::netlist

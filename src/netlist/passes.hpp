@@ -69,6 +69,13 @@ int propagate_copies(Design& d);
 /// the width-adapted copy). Returns the number of rewrites.
 int simplify_mux_bool(Design& d);
 
+/// Width narrowing: rewrites costed nodes (adders, subtractors, multipliers,
+/// muxes, shifters, registers) to the effective width proven by
+/// netlist::RangeAnalysis, inserting minimal SExt adapters where a consumer
+/// reads the raw declared-width pattern. Port widths never change. Returns
+/// the number of nodes narrowed; `d` is rebuilt when any were.
+int narrow_widths(Design& d);
+
 /// Multiply-by-constant strength reduction: expands Mul nodes with exactly
 /// one Const operand into the CSD shift-add form used by `synth/csd` (the
 /// paper's hand-optimization recipe, applied mechanically). Returns the

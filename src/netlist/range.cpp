@@ -1,21 +1,17 @@
-#include "synth/range.hpp"
+#include "netlist/range.hpp"
 
 #include <algorithm>
 
 #include "base/bitvec.hpp"
 
-namespace hlshc::synth {
-
-using netlist::Node;
-using netlist::NodeId;
-using netlist::Op;
+namespace hlshc::netlist {
 
 namespace {
 
 // Saturation bound well inside int64 so interval arithmetic cannot
 // overflow (products of two in-bound values fit in __int128 and are
 // clamped back).
-constexpr int64_t kSat = int64_t{1} << 56;
+constexpr int64_t kSat = Interval::kSat;
 
 int64_t clamp_sat(__int128 v) {
   if (v > kSat) return kSat;
@@ -67,7 +63,7 @@ int Interval::min_width() const {
   return w;
 }
 
-RangeAnalysis::RangeAnalysis(const netlist::Design& design) {
+RangeAnalysis::RangeAnalysis(const Design& design) {
   const size_t n = design.node_count();
   ranges_.assign(n, Interval{0, 0});
   widths_.assign(n, 1);
@@ -184,4 +180,4 @@ RangeAnalysis::RangeAnalysis(const netlist::Design& design) {
   }
 }
 
-}  // namespace hlshc::synth
+}  // namespace hlshc::netlist

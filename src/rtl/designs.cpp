@@ -341,4 +341,30 @@ netlist::Design build_verilog_opt2() {
   return d;
 }
 
+netlist::Design build_matrix_kernel() {
+  Design d("rtl_idct_kernel");
+  std::array<std::array<NodeId, 8>, 8> in;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      in[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          d.input("x" + std::to_string(r * 8 + c), axis::kInElemWidth);
+
+  std::array<std::array<NodeId, 8>, 8> rows;
+  for (int r = 0; r < 8; ++r)
+    rows[static_cast<size_t>(r)] =
+        build_row_unit(d, in[static_cast<size_t>(r)]);
+
+  for (int col = 0; col < 8; ++col) {
+    std::array<NodeId, 8> column;
+    for (int r = 0; r < 8; ++r)
+      column[static_cast<size_t>(r)] =
+          rows[static_cast<size_t>(r)][static_cast<size_t>(col)];
+    auto out = build_col_unit(d, column);
+    for (int r = 0; r < 8; ++r)
+      d.output("y" + std::to_string(r * 8 + col),
+               out[static_cast<size_t>(r)]);
+  }
+  return d;
+}
+
 }  // namespace hlshc::rtl

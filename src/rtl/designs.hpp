@@ -28,4 +28,10 @@ netlist::Design build_verilog_initial();
 netlist::Design build_verilog_opt1();
 netlist::Design build_verilog_opt2();
 
+/// The pure 2-D IDCT dataflow kernel at the family's declared widths, in
+/// the framework's MatrixKernel port shape (x0..x63 -> y0..y63,
+/// combinational) — the synth::schedule_pipeline input for the Verilog
+/// flow's pipelined sweep points.
+netlist::Design build_matrix_kernel();
+
 }  // namespace hlshc::rtl

@@ -60,6 +60,7 @@ BatchSimulator::BatchSimulator(const netlist::Design& design, int lanes)
   phys_.resize(l);
   for (int i = 0; i < lanes_; ++i) phys_[static_cast<size_t>(i)] = i;
   retired_.assign(l, 0);
+  base_.assign(l, 0);
   faults_.assign(l, LaneFault{});
   seu_fired_.assign(l, 0);
   comb_slot_flag_.assign(plan_->slot_count(), 0);
@@ -120,6 +121,14 @@ void BatchSimulator::reset_all() {
     std::fill(v, v + L, int64_t{0});
   }
   for (int i = 0; i < lanes_; ++i) restore_consts(i);
+  // Re-anchor every armed fault onto the fresh sweep clock: faults_ stores
+  // sweep-absolute cycles (base_[l] + lane-relative), and both collapse to
+  // the caller's lane-relative cycle at base 0.
+  for (int i = 0; i < lanes_; ++i) {
+    const size_t sl = static_cast<size_t>(i);
+    faults_[sl].cycle -= base_[sl];
+    base_[sl] = 0;
+  }
   rebuild_comb_index();
   cycle_ = 0;
   evaluated_ = false;
@@ -333,13 +342,51 @@ void BatchSimulator::arm_lane_fault(int lane, const LaneFault& fault) {
                     fault.bit >= 0 && fault.bit < shape.width,
                 "lane fault addr/bit outside memory shape");
   }
-  faults_[static_cast<size_t>(lane)] = fault;
+  LaneFault rebased = fault;
+  rebased.cycle += base_[static_cast<size_t>(lane)];  // lane -> sweep clock
+  faults_[static_cast<size_t>(lane)] = rebased;
   seu_fired_[static_cast<size_t>(lane)] = 0;
   // Heal any const slot a previously armed transform rewrote. (On a retired
   // lane only the bookkeeping updates; the next reset_all() revives it.)
   restore_consts(lane);
   rebuild_comb_index();
   evaluated_ = false;
+}
+
+void BatchSimulator::refill_lane(int lane, const LaneFault& fault) {
+  HLSHC_CHECK(lane >= 0 && lane < lanes_,
+              "lane " << lane << " outside [0, " << lanes_ << ')');
+  HLSHC_CHECK(!retired_[static_cast<size_t>(lane)],
+              "refill of retired lane " << lane
+                                        << " — retired columns leave the "
+                                           "storage; keep a refillable lane "
+                                           "live instead");
+  // Per-lane Engine::reset(): this lane's column back to the reset state,
+  // every other column untouched.
+  const size_t L = static_cast<size_t>(active_);
+  const size_t p = static_cast<size_t>(phys_[static_cast<size_t>(lane)]);
+  for (const RegCommit& rc : plan_->reg_commits())
+    state_[static_cast<size_t>(rc.reg) * L + p] = rc.init;
+  for (size_t m = 0; m < mem_.size(); ++m) {
+    LaneVec& mem = mem_[m];
+    const size_t depth = static_cast<size_t>(plan_->mem_shapes()[m].depth);
+    for (size_t w = 0; w < depth; ++w) mem[w * L + p] = 0;
+  }
+  for (NodeId in : design_.inputs())
+    values_[static_cast<size_t>(in) * L + p] = 0;
+  base_[static_cast<size_t>(lane)] = cycle_;
+  // Validates, restores consts, rebuilds the comb index, and rebases the
+  // fault cycle onto the sweep clock (arm_lane_fault reads base_).
+  arm_lane_fault(lane, fault);
+  // Engine::reset() ends with the injector's cycle hook: a lane-cycle-0
+  // SEU lands on the fresh reset state, before the lane's first settle.
+  const LaneFault& f = faults_[static_cast<size_t>(lane)];
+  if ((f.kind == LaneFault::Kind::kSeuReg ||
+       f.kind == LaneFault::Kind::kSeuMem) &&
+      f.cycle == cycle_) {
+    flip_state_bit(lane, f);
+    seu_fired_[static_cast<size_t>(lane)] = 1;
+  }
 }
 
 void BatchSimulator::retire_lane(int lane) {

@@ -100,6 +100,14 @@ class BatchSimulator {
   /// Lanes still being simulated (lanes() minus retired ones).
   int active_lanes() const { return live_; }
   uint64_t cycle() const { return cycle_; }
+  /// One lane's own cycle count: the sweep cycle minus the lane's start
+  /// cycle. Equal to cycle() until the lane is refilled mid-sweep, after
+  /// which the lane restarts from 0 — so a refilled lane's drivers, fault
+  /// schedule, and timing all see the same cycle numbers a fresh scalar run
+  /// would.
+  uint64_t lane_cycle(int lane) const {
+    return cycle_ - base_[static_cast<size_t>(lane)];
+  }
 
   /// Engine::reset() for every lane: registers to init, memories/inputs to
   /// zero, cycle counter to 0, then each lane's cycle-0 SEU flip.
@@ -125,9 +133,21 @@ class BatchSimulator {
   }
 
   /// Arms `fault` on one lane (replacing whatever was armed), healing any
-  /// const slot the previous fault had rewritten. kNone disarms.
+  /// const slot the previous fault had rewritten. kNone disarms. The
+  /// fault's cycle is interpreted on the lane's own clock (lane_cycle), so
+  /// arming after a refill behaves exactly like arming before reset_all.
   void arm_lane_fault(int lane, const LaneFault& fault);
   void disarm_lane_fault(int lane) { arm_lane_fault(lane, LaneFault{}); }
+
+  /// Restarts one live lane mid-sweep with a fresh trajectory: per-lane
+  /// Engine::reset() (registers to init, memory/inputs to zero, consts
+  /// rematerialized), the lane clock rebased to 0, `fault` armed on the
+  /// new clock, and a lane-cycle-0 SEU fired on the reset state — the
+  /// refilled lane's trajectory is bitwise-identical to a scalar run of
+  /// the same fault from reset. Other lanes are unaffected. This is what
+  /// lets a fault campaign stream fresh sites into lanes freed by early
+  /// finishers instead of draining a whole group behind a hang straggler.
+  void refill_lane(int lane, const LaneFault& fault);
 
   /// Removes a finished lane from the batch. Reading or poking a retired
   /// lane is invalid until the next reset_all(), which revives every lane.
@@ -164,7 +184,7 @@ class BatchSimulator {
     BitVec value(netlist::NodeId id) const override {
       return sim_->value(lane_, id);
     }
-    uint64_t cycle() const override { return sim_->cycle(); }
+    uint64_t cycle() const override { return sim_->lane_cycle(lane_); }
 
    private:
     friend class BatchSimulator;
@@ -219,6 +239,11 @@ class BatchSimulator {
   /// compact_dead(). Identity after any reset_all().
   std::vector<int> phys_;
   std::vector<uint8_t> retired_;  ///< per logical lane
+  /// Sweep cycle at which each lane's current trajectory started (0 after
+  /// reset_all; the refill cycle after refill_lane). Armed fault cycles
+  /// are stored rebased onto the sweep clock: faults_[l].cycle ==
+  /// base_[l] + the lane-relative cycle the caller armed.
+  std::vector<uint64_t> base_;
 
   std::vector<LaneFault> faults_;      ///< per logical lane; kNone = disarmed
   std::vector<uint8_t> seu_fired_;     ///< per logical lane: SEU applied

@@ -2,9 +2,11 @@
 
 #include <deque>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <utility>
 
+#include "chisel/designs.hpp"
 #include "core/evaluate.hpp"
 #include "fault/campaign.hpp"
 #include "fault/model.hpp"
@@ -12,6 +14,8 @@
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rtl/designs.hpp"
+#include "synth/schedule.hpp"
 #include "tools/flows.hpp"
 #include "workload/workload.hpp"
 
@@ -88,6 +92,12 @@ Server::Server(const ServerOptions& options)
   for (const char* name : {"verilog_initial", "verilog_opt1", "verilog_opt2",
                            "chisel_initial", "chisel_opt"})
     register_design(name, idct.builder(name).build);
+  // The raw combinational matrix kernels behind the DSE's scheduler sweep.
+  // The compile method's stages/objective/retime knobs pipeline a pure
+  // dataflow function; the harness-wrapped registry designs above contain
+  // registers, so the unwrapped kernels get their own names.
+  register_design("idct.rtl_kernel", rtl::build_matrix_kernel);
+  register_design("idct.chisel_kernel", chisel::build_matrix_kernel);
 }
 
 Server::~Server() = default;
@@ -328,23 +338,76 @@ tools::CompileOptions Server::compile_options(
   opts.optimize = get_bool(params, "optimize", opts.optimize);
   opts.strength_reduce =
       get_bool(params, "strength_reduce", opts.strength_reduce);
+  opts.narrow = get_bool(params, "narrow", opts.narrow);
   opts.verify = get_bool(params, "verify", opts.verify);
   opts.deadline = deadline;
   return opts;
 }
+
+namespace {
+
+/// Scheduler knobs shared by the compile method: params.stages (0 =
+/// combinational, the default), params.objective ("balance"/"regmin"),
+/// params.retime. Unknown values are an invalid_request, with the
+/// synth::parse_* diagnostics naming the offending knob.
+synth::ScheduleOptions schedule_options(const Json& params) {
+  synth::ScheduleOptions opts;
+  opts.stages = static_cast<int>(
+      get_int(params, "stages", 0, 0, synth::kMaxScheduleStages));
+  if (const Json* v = find_param(params, "objective")) {
+    if (v->kind() != Json::Kind::kString)
+      throw ProtocolError(ErrorCode::kInvalidRequest,
+                          "params.objective must be a string");
+    try {
+      opts.objective =
+          synth::parse_objective(v->as_string(), "params.objective");
+    } catch (const Error& e) {
+      throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+    }
+  }
+  opts.retime_boundaries = get_bool(params, "retime", false);
+  return opts;
+}
+
+}  // namespace
 
 Json Server::handle_compile(const Request& req,
                             const std::shared_ptr<const Deadline>& deadline) {
   // Validate params.workload up front so a typo is an invalid_request, not a
   // half-finished compile.
   const workload::WorkloadSpec& spec = resolve_workload(req.params);
-  const netlist::Design design = build_design(req.params);
+  const synth::ScheduleOptions sched = schedule_options(req.params);
+  netlist::Design design = build_design(req.params);
   if (deadline) deadline->check("compile of '" + design.name() + "' (built)");
+
+  // Scheduler knobs: stages > 0 pipelines the (combinational) function
+  // before the canonical compile pipeline, the same order the DSE flows
+  // use. Asking to pipeline a sequential design is a client mistake, not a
+  // server fault — schedule_pipeline's diagnostic comes back verbatim.
+  std::optional<synth::ScheduleResult> scheduled;
+  if (sched.stages > 0) {
+    try {
+      scheduled = synth::schedule_pipeline(design, sched);
+    } catch (const Error& e) {
+      throw ProtocolError(ErrorCode::kInvalidRequest, e.what());
+    }
+    design = std::move(scheduled->design);
+  }
+
   const CachedCompile compiled =
       cache_.get_or_compile(design, compile_options(req.params, deadline));
 
   Json result = Json::object();
   result.set("design", Json::string(design.name()));
+  if (sched.stages > 0) {
+    result.set("stages", Json::number(static_cast<int64_t>(sched.stages)));
+    result.set("objective", Json::string(synth::schedule_objective_name(
+                                sched.objective)));
+    result.set("latency",
+               Json::number(static_cast<int64_t>(scheduled->latency)));
+    result.set("pipeline_regs",
+               Json::number(static_cast<int64_t>(scheduled->pipeline_regs)));
+  }
   result.set("workload", Json::string(spec.name));
   result.set("cached", Json::boolean(compiled.hit));
   result.set("key", Json::string(compiled.key));
@@ -466,7 +529,10 @@ Json Server::handle_dse(const Request& req,
   const std::string family = require_string(req.params, "flow");
   const int64_t limit = get_int(req.params, "limit", 1 << 20, 1, 1 << 20);
 
-  std::vector<std::unique_ptr<tools::Flow>> flows = tools::make_flows();
+  // The narrowing knob reshapes every flow's sweep grid (params.narrow =
+  // false regenerates the pre-narrowing design space).
+  std::vector<std::unique_ptr<tools::Flow>> flows =
+      tools::make_flows(compile_options(req.params, deadline));
   const tools::Flow* flow = nullptr;
   std::string known;
   for (const auto& f : flows) {
@@ -594,6 +660,18 @@ Json Server::handle_stats() const {
     batch.set("lanes_masked",
               Json::number(reg.counter("fault.lanes_masked")->value()));
     result.set("batch", std::move(batch));
+    // Rewrite-pass passthrough: how much work the narrow pass is actually
+    // doing across this process's compiles (0/0 when narrowing is off or
+    // nothing compiled yet — the counters default-construct).
+    Json passes = Json::object();
+    Json narrow = Json::object();
+    narrow.set("changes",
+               Json::number(reg.counter("netlist.pass.narrow.changes")->value()));
+    const obs::Timer* nt = reg.timer("netlist.pass.narrow.ns");
+    narrow.set("runs", Json::number(nt->count()));
+    narrow.set("ns", Json::number(nt->total_ns()));
+    passes.set("narrow", std::move(narrow));
+    result.set("passes", std::move(passes));
     result.set("metrics", obs::registry().to_json());
   }
   return result;

@@ -5,7 +5,6 @@
 #include <cmath>
 
 #include "synth/csd.hpp"
-#include "synth/range.hpp"
 
 namespace hlshc::synth {
 

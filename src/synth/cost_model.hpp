@@ -23,8 +23,15 @@
 #include <memory>
 
 #include "netlist/ir.hpp"
+#include "netlist/range.hpp"
 
 namespace hlshc::synth {
+
+/// Interval analysis now lives in the netlist layer (it feeds the `narrow`
+/// rewrite pass there); synthesis keeps consuming it for cost discounting
+/// on designs compiled without the pass.
+using netlist::Interval;
+using netlist::RangeAnalysis;
 
 /// Delay model, all values in nanoseconds.
 struct DelayModel {
@@ -58,8 +65,11 @@ struct SynthOptions {
   /// Use CSD recoding for constant multipliers (true, default) or naive
   /// binary shift-add (ablation).
   bool csd_recoding = true;
-  /// Narrow operator widths by value-range analysis (src/synth/range.hpp),
+  /// Narrow operator widths by value-range analysis (netlist/range.hpp),
   /// like Vivado's optimization sweep. Off = pay declared widths (ablation).
+  /// Designs already rewritten by the `narrow` pass have nothing left to
+  /// trim, so this discount degrades to a no-op on them (one source of
+  /// truth: the declared widths).
   bool range_narrowing = true;
   /// Imperfection of that sweep: the effective width keeps this fraction of
   /// the declared-minus-range fat. Real tools trim most but not all of the
@@ -79,8 +89,6 @@ struct NodeCost {
   int dsps = 0;
   int brams = 0;
 };
-
-class RangeAnalysis;  // range.hpp
 
 class CostModel {
  public:

@@ -27,7 +27,7 @@ CompiledDesign compile(const netlist::Design& design,
     po.verifier = sim::make_pass_verifier(vo);
   }
   netlist::PassManager pipeline =
-      netlist::default_pipeline(options.strength_reduce);
+      netlist::default_pipeline(options.strength_reduce, options.narrow);
   out.design = pipeline.run(design, &out.stats, po);
   span.arg("iterations", static_cast<int64_t>(out.stats.iterations))
       .arg("nodes_before", static_cast<int64_t>(out.stats.nodes_before()))

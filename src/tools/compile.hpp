@@ -24,6 +24,11 @@ namespace hlshc::tools {
 struct CompileOptions {
   bool optimize = true;          ///< run the pass pipeline at all
   bool strength_reduce = false;  ///< expand const multiplies to CSD trees
+  /// Rewrite nodes to their range-proven effective widths (the `narrow`
+  /// pass). Default on: every flow executes, campaigns and emits the
+  /// trimmed design. false reproduces the pre-narrowing pipeline bit for
+  /// bit (the Table II oracle path).
+  bool narrow = true;
   /// Differentially simulate after every pass (both engines); a divergence
   /// aborts compilation with an Error naming the pass.
   bool verify = false;

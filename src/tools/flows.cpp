@@ -5,13 +5,17 @@
 #include "base/strings.hpp"
 #include "tools/compile.hpp"
 #include "bsv/designs.hpp"
+#include "chisel/designs.hpp"
 #include "core/diff.hpp"
 #include "core/loc.hpp"
 #include "core/metrics.hpp"
+#include "framework/compose.hpp"
 #include "hls/tool.hpp"
 #include "maxj/kernels.hpp"
 #include "maxj/system.hpp"
 #include "par/sweep.hpp"
+#include "rtl/designs.hpp"
+#include "synth/schedule.hpp"
 #include "workload/workload.hpp"
 #include "xls/designs.hpp"
 
@@ -35,9 +39,10 @@ int code_loc(const std::string& rel) {
 }
 
 ScatterPoint point(const std::string& family, const std::string& config,
-                   const DesignEvaluation& ev) {
+                   const DesignEvaluation& ev,
+                   const std::string& workload = "idct") {
   return ScatterPoint{family, config, ev.throughput_mops, ev.area,
-                      static_cast<long>(ev.pipeline.nodes_delta())};
+                      static_cast<long>(ev.pipeline.nodes_delta()), workload};
 }
 
 /// Wraps a deferred evaluation into a SweepTask. `eval` must be
@@ -53,10 +58,30 @@ SweepTask task(std::string family, std::string config,
   return t;
 }
 
+/// A sweep point that pipelines a flow's pure matrix kernel through the
+/// flow-neutral scheduler and wraps it in the framework's AXI adapter —
+/// how the RTL and Chisel flows (which have no tool-native pipeliner)
+/// join the stage-count axis of the DSE.
+SweepTask pipelined_kernel_task(const std::string& family,
+                                netlist::Design (*kernel)(), int stages,
+                                const CompileOptions& copts) {
+  return task(family, "pipe=" + std::to_string(stages),
+              [family, kernel, stages, copts] {
+                synth::ScheduleOptions so;
+                so.stages = stages;
+                synth::ScheduleResult r = synth::schedule_pipeline(kernel(), so);
+                netlist::Design wrapped = framework::wrap_matrix_kernel(
+                    framework::MatrixKernel{r.design, r.latency},
+                    family + "_pipe" + std::to_string(stages));
+                return evaluate_design(wrapped, copts);
+              });
+}
+
 // ---- Verilog -----------------------------------------------------------------
 
 class VerilogFlow : public Flow {
  public:
+  explicit VerilogFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "verilog"; }
   ToolInfo info() const override {
     return {"Verilog", "Classical RTL", "Vivado", "LS/PR", "Commercial"};
@@ -64,8 +89,8 @@ class VerilogFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("verilog_initial"));
-    r.optimized = evaluate_design(registry_build("verilog_opt2"));
+    r.initial = evaluate_design(registry_build("verilog_initial"), copts_);
+    r.optimized = evaluate_design(registry_build("verilog_opt2"), copts_);
     r.loc.initial = code_loc("verilog/idct_initial.v");
     r.loc.optimized = code_loc("verilog/idct_opt.v");
     r.loc.delta = core::diff_data_files("verilog/idct_initial.v",
@@ -75,23 +100,33 @@ class VerilogFlow : public Flow {
   }
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
-    out.push_back(task(family(), "initial", [] {
-      return evaluate_design(registry_build("verilog_initial"));
+    CompileOptions copts = copts_;
+    out.push_back(task(family(), "initial", [copts] {
+      return evaluate_design(registry_build("verilog_initial"), copts);
     }));
-    out.push_back(task(family(), "opt1-1row8col", [] {
-      return evaluate_design(registry_build("verilog_opt1"));
+    out.push_back(task(family(), "opt1-1row8col", [copts] {
+      return evaluate_design(registry_build("verilog_opt1"), copts);
     }));
-    out.push_back(task(family(), "opt2-pipelined", [] {
-      return evaluate_design(registry_build("verilog_opt2"));
+    out.push_back(task(family(), "opt2-pipelined", [copts] {
+      return evaluate_design(registry_build("verilog_opt2"), copts);
     }));
+    // Scheduler-pipelined kernel points: the hand-written rows/columns at
+    // declared widths, staged by synth::schedule_pipeline.
+    for (int stages : {2, 4, 8})
+      out.push_back(pipelined_kernel_task(family(), rtl::build_matrix_kernel,
+                                          stages, copts));
     return out;
   }
+
+ private:
+  CompileOptions copts_;
 };
 
 // ---- Chisel -------------------------------------------------------------------
 
 class ChiselFlow : public Flow {
  public:
+  explicit ChiselFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "chisel"; }
   ToolInfo info() const override {
     return {"Chisel", "Functional/RTL", "Chisel", "HC", "Open-source"};
@@ -99,8 +134,8 @@ class ChiselFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("chisel_initial"));
-    r.optimized = evaluate_design(registry_build("chisel_opt"));
+    r.initial = evaluate_design(registry_build("chisel_initial"), copts_);
+    r.optimized = evaluate_design(registry_build("chisel_opt"), copts_);
     int shared = code_loc("chisel/Butterfly.scala");
     r.loc.initial = shared + code_loc("chisel/IdctInitial.scala");
     r.loc.optimized = shared + code_loc("chisel/IdctOpt.scala");
@@ -111,14 +146,22 @@ class ChiselFlow : public Flow {
   }
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
-    out.push_back(task(family(), "initial", [] {
-      return evaluate_design(registry_build("chisel_initial"));
+    CompileOptions copts = copts_;
+    out.push_back(task(family(), "initial", [copts] {
+      return evaluate_design(registry_build("chisel_initial"), copts);
     }));
-    out.push_back(task(family(), "opt", [] {
-      return evaluate_design(registry_build("chisel_opt"));
+    out.push_back(task(family(), "opt", [copts] {
+      return evaluate_design(registry_build("chisel_opt"), copts);
     }));
+    // Scheduler-pipelined kernel points at inferred widths.
+    for (int stages : {2, 4, 8})
+      out.push_back(pipelined_kernel_task(
+          family(), chisel::build_matrix_kernel, stages, copts));
     return out;
   }
+
+ private:
+  CompileOptions copts_;
 };
 
 // ---- BSV ----------------------------------------------------------------------
@@ -158,6 +201,7 @@ std::string bsv_label(const bsv::SchedulerOptions& o) {
 
 class BsvFlow : public Flow {
  public:
+  explicit BsvFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "bsv"; }
   ToolInfo info() const override {
     return {"BSV", "Rule-based/RTL", "BSC", "HC", "Open-source"};
@@ -165,8 +209,8 @@ class BsvFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("bsv_initial"));
-    r.optimized = evaluate_design(registry_build("bsv_opt"));
+    r.initial = evaluate_design(registry_build("bsv_initial"), copts_);
+    r.optimized = evaluate_design(registry_build("bsv_opt"), copts_);
     int shared = code_loc("bsv/IdctFuncs.bsv");
     r.loc.initial = shared + code_loc("bsv/IdctInitial.bsv");
     r.loc.optimized = shared + code_loc("bsv/IdctOpt.bsv");
@@ -177,22 +221,27 @@ class BsvFlow : public Flow {
   }
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
+    CompileOptions copts = copts_;
     for (const auto& cfg : bsv_configs()) {
-      out.push_back(task(family(), "initial:" + bsv_label(cfg), [cfg] {
-        return evaluate_design(bsv::build_bsv_initial(cfg));
+      out.push_back(task(family(), "initial:" + bsv_label(cfg), [cfg, copts] {
+        return evaluate_design(bsv::build_bsv_initial(cfg), copts);
       }));
-      out.push_back(task(family(), "opt:" + bsv_label(cfg), [cfg] {
-        return evaluate_design(bsv::build_bsv_opt(cfg));
+      out.push_back(task(family(), "opt:" + bsv_label(cfg), [cfg, copts] {
+        return evaluate_design(bsv::build_bsv_opt(cfg), copts);
       }));
     }
     return out;  // 26 circuits
   }
+
+ private:
+  CompileOptions copts_;
 };
 
 // ---- DSLX / XLS -----------------------------------------------------------------
 
 class XlsFlow : public Flow {
  public:
+  explicit XlsFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "xls"; }
   ToolInfo info() const override {
     return {"DSLX", "Functional", "XLS", "HLS", "Open-source"};
@@ -200,8 +249,8 @@ class XlsFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("xls_comb"));
-    r.optimized = evaluate_design(registry_build("xls_p8"));
+    r.initial = evaluate_design(registry_build("xls_comb"), copts_);
+    r.optimized = evaluate_design(registry_build("xls_p8"), copts_);
     // L = kernel source + hand-crafted adapter (+ codegen options for the
     // optimized configuration).
     int base = code_loc("dslx/idct.x") + code_loc("dslx/axis_adapter.v");
@@ -213,23 +262,55 @@ class XlsFlow : public Flow {
   }
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
-    out.push_back(task(family(), "comb", [] {
-      return evaluate_design(xls::build_xls_design({0}).design);
+    CompileOptions copts = copts_;
+    out.push_back(task(family(), "comb", [copts] {
+      return evaluate_design(xls::build_xls_design({0}).design, copts);
     }));
-    for (int stages = 1; stages <= 18; ++stages)
+    // The paper's sweep: 1..18 requested stages under the default
+    // delay-balance objective (19 configurations with "comb").
+    for (int stages = 1; stages <= kPaperMaxStages; ++stages)
       out.push_back(
-          task(family(), "stages=" + std::to_string(stages), [stages] {
-            return evaluate_design(
-                xls::build_xls_design({stages}).design);
+          task(family(), "stages=" + std::to_string(stages), [stages, copts] {
+            return evaluate_design(xls::build_xls_design({stages}).design,
+                                   copts);
           }));
-    return out;  // 19 circuits
+    // Scheduler-objective points beyond the paper: register-minimizing
+    // stage assignment and boundary retiming across extensions.
+    for (int stages = 2; stages <= kPaperMaxStages; stages += 2) {
+      out.push_back(task(family(), "stages=" + std::to_string(stages) +
+                                       "+regmin",
+                         [stages, copts] {
+                           xls::XlsOptions o;
+                           o.pipeline_stages = stages;
+                           o.objective = synth::ScheduleObjective::kRegisterMin;
+                           return evaluate_design(
+                               xls::build_xls_design(o).design, copts);
+                         }));
+      out.push_back(task(family(), "stages=" + std::to_string(stages) + "+rt",
+                         [stages, copts] {
+                           xls::XlsOptions o;
+                           o.pipeline_stages = stages;
+                           o.retime_boundaries = true;
+                           return evaluate_design(
+                               xls::build_xls_design(o).design, copts);
+                         }));
+    }
+    return out;  // 19 + 18 circuits
   }
+
+ private:
+  /// The paper sweeps comb + 1..18 stages; scheduler validation itself
+  /// accepts up to synth::kMaxScheduleStages (see synth::parse_stages).
+  static constexpr int kPaperMaxStages = 18;
+
+  CompileOptions copts_;
 };
 
 // ---- MaxJ -----------------------------------------------------------------------
 
 class MaxjFlow : public Flow {
  public:
+  explicit MaxjFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "maxj"; }
   ToolInfo info() const override {
     return {"MaxJ", "Dataflow", "MaxCompiler", "HLS", "Commercial"};
@@ -243,12 +324,14 @@ class MaxjFlow : public Flow {
     r.initial = core::from_maxj(
         "maxj_matrix", init,
         maxj::evaluate_system(init, compile_synth_normalized(
-                                        init.design, {}, {}, &init_stats)));
+                                        init.design, copts_, {},
+                                        &init_stats)));
     r.initial.pipeline = init_stats;
     r.optimized = core::from_maxj(
         "maxj_row", opt,
         maxj::evaluate_system(
-            opt, compile_synth_normalized(opt.design, {}, {}, &opt_stats)));
+            opt,
+            compile_synth_normalized(opt.design, copts_, {}, &opt_stats)));
     r.optimized.pipeline = opt_stats;
     // MaxCompiler generates the PCIe interface: L_AXI = 0; the manager is
     // part of the description.
@@ -263,34 +346,39 @@ class MaxjFlow : public Flow {
   }
   std::vector<SweepTask> sweep_tasks() const override {
     std::vector<SweepTask> out;
-    out.push_back(task(family(), "matrix-per-tick", [] {
+    CompileOptions copts = copts_;
+    out.push_back(task(family(), "matrix-per-tick", [copts] {
       maxj::Kernel k = maxj::build_matrix_kernel();
       netlist::PassStats ps;
       DesignEvaluation ev = core::from_maxj(
           "maxj_matrix", k,
           maxj::evaluate_system(
-              k, compile_synth_normalized(k.design, {}, {}, &ps)));
+              k, compile_synth_normalized(k.design, copts, {}, &ps)));
       ev.pipeline = ps;
       return ev;
     }));
-    out.push_back(task(family(), "row-per-tick", [] {
+    out.push_back(task(family(), "row-per-tick", [copts] {
       maxj::Kernel k = maxj::build_row_kernel();
       netlist::PassStats ps;
       DesignEvaluation ev = core::from_maxj(
           "maxj_row", k,
           maxj::evaluate_system(
-              k, compile_synth_normalized(k.design, {}, {}, &ps)));
+              k, compile_synth_normalized(k.design, copts, {}, &ps)));
       ev.pipeline = ps;
       return ev;
     }));
     return out;
   }
+
+ private:
+  CompileOptions copts_;
 };
 
 // ---- C / Bambu --------------------------------------------------------------------
 
 class BambuFlow : public Flow {
  public:
+  explicit BambuFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "bambu"; }
   ToolInfo info() const override {
     return {"C", "Imperative", "Bambu", "HLS", "Open-source"};
@@ -298,8 +386,8 @@ class BambuFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("bambu"));
-    r.optimized = evaluate_design(registry_build("bambu_perf"));
+    r.initial = evaluate_design(registry_build("bambu"), copts_);
+    r.optimized = evaluate_design(registry_build("bambu_perf"), copts_);
     int base = code_loc("c/idct.c") + code_loc("c/axis_adapter.v");
     int conf = code_loc("c/bambu_opt.cfg");
     r.loc.initial = base;
@@ -312,18 +400,23 @@ class BambuFlow : public Flow {
     const std::string src = hls::idct_source();
     core::EvaluateOptions eo;
     eo.matrices = 3;  // hundreds of cycles per matrix: keep the sweep quick
+    CompileOptions copts = copts_;
     for (const hls::BambuOptions& o : hls::bambu_sweep())
-      out.push_back(task(family(), o.label(), [src, o, eo] {
-        return evaluate_design(hls::compile_bambu(src, o).design, {}, eo);
+      out.push_back(task(family(), o.label(), [src, o, eo, copts] {
+        return evaluate_design(hls::compile_bambu(src, o).design, copts, eo);
       }));
     return out;  // 42 circuits
   }
+
+ private:
+  CompileOptions copts_;
 };
 
 // ---- C / Vivado HLS ----------------------------------------------------------------
 
 class VhlsFlow : public Flow {
  public:
+  explicit VhlsFlow(CompileOptions copts = {}) : copts_(std::move(copts)) {}
   std::string family() const override { return "vhls"; }
   ToolInfo info() const override {
     return {"C", "Imperative", "Vivado HLS", "HLS", "Commercial"};
@@ -331,9 +424,9 @@ class VhlsFlow : public Flow {
   FlowResult evaluate() const override {
     FlowResult r;
     r.info = info();
-    r.initial = evaluate_design(registry_build("vhls_pushbutton"), {},
+    r.initial = evaluate_design(registry_build("vhls_pushbutton"), copts_,
                                 slow_options());
-    r.optimized = evaluate_design(registry_build("vhls_pragmas"));
+    r.optimized = evaluate_design(registry_build("vhls_pragmas"), copts_);
     r.loc.initial = code_loc("c/idct_vhls.c");
     r.loc.optimized = code_loc("c/idct_vhls_opt.c");
     r.loc.delta =
@@ -343,8 +436,9 @@ class VhlsFlow : public Flow {
   std::vector<SweepTask> sweep_tasks() const override {
     const std::string src = hls::idct_source();
     std::vector<SweepTask> out;
-    out.push_back(task(family(), "push-button", [src] {
-      return evaluate_design(hls::compile_vhls(src, {}).design, {},
+    CompileOptions copts = copts_;
+    out.push_back(task(family(), "push-button", [src, copts] {
+      return evaluate_design(hls::compile_vhls(src, {}).design, copts,
                              slow_options());
     }));
     for (int stages : {1, 2}) {
@@ -352,9 +446,9 @@ class VhlsFlow : public Flow {
       o.pragmas = true;
       o.pipeline_stages = stages;
       out.push_back(task(family(), "pragmas-s" + std::to_string(stages),
-                         [src, o] {
+                         [src, o, copts] {
                            return evaluate_design(
-                               hls::compile_vhls(src, o).design);
+                               hls::compile_vhls(src, o).design, copts);
                          }));
     }
     return out;  // 3 circuits
@@ -366,6 +460,8 @@ class VhlsFlow : public Flow {
     o.matrices = 3;  // the push-button design takes ~700 cycles per matrix
     return o;
   }
+
+  CompileOptions copts_;
 };
 
 }  // namespace
@@ -376,24 +472,24 @@ std::vector<core::ScatterPoint> Flow::sweep() const {
   return out;
 }
 
-std::vector<std::unique_ptr<Flow>> make_flows() {
+std::vector<std::unique_ptr<Flow>> make_flows(const CompileOptions& compile) {
   std::vector<std::unique_ptr<Flow>> out;
-  out.push_back(std::make_unique<VerilogFlow>());
-  out.push_back(std::make_unique<ChiselFlow>());
-  out.push_back(std::make_unique<BsvFlow>());
-  out.push_back(std::make_unique<XlsFlow>());
-  out.push_back(std::make_unique<MaxjFlow>());
-  out.push_back(std::make_unique<BambuFlow>());
-  out.push_back(std::make_unique<VhlsFlow>());
+  out.push_back(std::make_unique<VerilogFlow>(compile));
+  out.push_back(std::make_unique<ChiselFlow>(compile));
+  out.push_back(std::make_unique<BsvFlow>(compile));
+  out.push_back(std::make_unique<XlsFlow>(compile));
+  out.push_back(std::make_unique<MaxjFlow>(compile));
+  out.push_back(std::make_unique<BambuFlow>(compile));
+  out.push_back(std::make_unique<VhlsFlow>(compile));
   return out;
 }
 
-Table2 build_table2(int jobs) {
+Table2 build_table2(int jobs, const CompileOptions& compile) {
   Table2 table;
   // Each flow builds and measures its own designs from scratch — no shared
   // mutable state — so the seven evaluations parallelize trivially. Results
   // land in flow order regardless of completion order.
-  auto flows = make_flows();
+  auto flows = make_flows(compile);
   par::SweepRunner runner(jobs);
   std::vector<FlowResult> results = runner.map<FlowResult>(
       "table2", static_cast<int64_t>(flows.size()), [&](int64_t i) {
@@ -423,19 +519,86 @@ Table2 build_table2(int jobs) {
   return table;
 }
 
-std::vector<core::ScatterPoint> full_dse(int jobs) {
-  // Flatten every flow's sweep into one task list so a single pool keeps all
-  // workers busy across flow boundaries (the Bambu sweep alone is 42 of the
-  // ~97 points). parallel_map writes each point into its input-order slot,
-  // so the scatter list is identical at any worker count.
-  std::vector<SweepTask> tasks;
-  for (const auto& flow : make_flows())
-    for (SweepTask& t : flow->sweep_tasks()) tasks.push_back(std::move(t));
+namespace {
+
+/// Relabels a sweep task with a "+wide" config suffix (narrowing off): the
+/// wrapped run re-tags its point so config strings and point labels agree
+/// at any worker count.
+SweepTask wide_variant(SweepTask t) {
+  const std::string config = t.config + "+wide";
+  auto inner = std::move(t.run);
+  t.config = config;
+  t.run = [inner = std::move(inner), config]() {
+    core::ScatterPoint p = inner();
+    p.config = config;
+    return p;
+  };
+  return t;
+}
+
+/// One (workload, builder) DSE cell evaluated against its registry spec.
+SweepTask workload_task(const std::string& workload_name,
+                        const workload::BuilderInfo& builder,
+                        const CompileOptions& copts) {
+  return SweepTask{
+      builder.flow, workload_name + "." + builder.name,
+      [workload_name, name = builder.name, flow = builder.flow, copts] {
+        const workload::WorkloadSpec& spec =
+            workload::Registry::instance().get(workload_name);
+        DesignEvaluation ev =
+            evaluate_design(spec.builder(name).build(), spec, copts);
+        return point(flow, workload_name + "." + name, ev, workload_name);
+      }};
+}
+
+std::vector<core::ScatterPoint> run_tasks(const char* label,
+                                          std::vector<SweepTask> tasks,
+                                          int jobs) {
   par::SweepRunner runner(jobs);
   return runner.map<core::ScatterPoint>(
-      "full_dse", static_cast<int64_t>(tasks.size()), [&](int64_t i) {
+      label, static_cast<int64_t>(tasks.size()), [&](int64_t i) {
         return tasks[static_cast<size_t>(i)].run();
       });
+}
+
+}  // namespace
+
+std::vector<core::ScatterPoint> flow_dse(int jobs,
+                                         const CompileOptions& compile) {
+  // Flatten every flow's sweep into one task list so a single pool keeps all
+  // workers busy across flow boundaries (the Bambu sweep alone is 42 of the
+  // points). parallel_map writes each point into its input-order slot, so
+  // the scatter list is identical at any worker count.
+  std::vector<SweepTask> tasks;
+  for (const auto& flow : make_flows(compile))
+    for (SweepTask& t : flow->sweep_tasks()) tasks.push_back(std::move(t));
+  return run_tasks("flow_dse", std::move(tasks), jobs);
+}
+
+std::vector<core::ScatterPoint> full_dse(int jobs) {
+  std::vector<SweepTask> tasks;
+  // Axis 1+2: every flow's sweep (stage counts, scheduler objectives, tool
+  // options) with width narrowing on, then the same grid with narrowing
+  // off ("+wide") — the cost of over-declared widths made visible per
+  // configuration.
+  for (const auto& flow : make_flows())
+    for (SweepTask& t : flow->sweep_tasks()) tasks.push_back(std::move(t));
+  CompileOptions wide;
+  wide.narrow = false;
+  for (const auto& flow : make_flows(wide))
+    for (SweepTask& t : flow->sweep_tasks())
+      tasks.push_back(wide_variant(std::move(t)));
+  // Axis 3: the non-IDCT workload-registry cells (the IDCT is axes 1-2),
+  // so the scatter carries per-workload A/P/Q fronts.
+  for (const std::string& w : workload::Registry::instance().names()) {
+    if (w == "idct") continue;
+    const workload::WorkloadSpec& spec = workload::Registry::instance().get(w);
+    for (const workload::BuilderInfo& b : spec.builders) {
+      if (b.slow) continue;
+      tasks.push_back(workload_task(w, b, CompileOptions{}));
+    }
+  }
+  return run_tasks("full_dse", std::move(tasks), jobs);
 }
 
 std::string render_table1() {

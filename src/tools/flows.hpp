@@ -16,6 +16,7 @@
 
 #include "core/evaluate.hpp"
 #include "core/report.hpp"
+#include "tools/compile.hpp"
 
 namespace hlshc::tools {
 
@@ -64,8 +65,13 @@ class Flow {
   std::vector<core::ScatterPoint> sweep() const;
 };
 
-/// All seven flows, in the paper's column order.
-std::vector<std::unique_ptr<Flow>> make_flows();
+/// All seven flows, in the paper's column order. Every design a flow
+/// builds or sweeps goes through tools::compile with `compile` — narrowing
+/// on/off, strength reduction, verify — so Table II and the DSE can be
+/// regenerated under any pipeline configuration (compile.narrow = false is
+/// the pre-narrowing bitwise oracle).
+std::vector<std::unique_ptr<Flow>> make_flows(
+    const CompileOptions& compile = {});
 
 /// One assembled Table II column (both configurations + derived metrics).
 struct Table2Column {
@@ -85,12 +91,20 @@ struct Table2 {
 /// synthesis of 14 designs). `jobs` != 1 evaluates the seven flows
 /// concurrently over a par::SweepRunner (0 = all cores); the derived
 /// metrics and column order are identical at any worker count.
-Table2 build_table2(int jobs = 1);
+Table2 build_table2(int jobs = 1, const CompileOptions& compile = {});
 
-/// All Fig. 1 scatter points from every flow's sweep. `jobs` != 1 evaluates
-/// the ~97 design points concurrently (0 = all cores); the point list is
-/// identical at any worker count.
+/// The full design-space exploration: every flow's sweep with narrowing on,
+/// the same grid with narrowing off (config suffix "+wide"), and every
+/// non-IDCT workload-registry cell — 200+ configurations swept over one
+/// par::SweepRunner pool. `jobs` != 1 evaluates concurrently (0 = all
+/// cores); the point list is identical at any worker count. bench_dse
+/// records this as BENCH_dse.json with per-workload A/P/Q fronts.
 std::vector<core::ScatterPoint> full_dse(int jobs = 1);
+
+/// Just the classic narrowing-on flow sweeps (the paper's Fig. 1 set plus
+/// the new scheduler points), without the "+wide" and workload dimensions.
+std::vector<core::ScatterPoint> flow_dse(int jobs = 1,
+                                         const CompileOptions& compile = {});
 
 /// Renderers used by the benches.
 std::string render_table1();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "axis/stream.hpp"
+#include "base/check.hpp"
 #include "framework/compose.hpp"
 #include "rtl/units.hpp"
 
@@ -46,14 +47,26 @@ netlist::Design build_idct_kernel() {
 }
 
 XlsDesign build_xls_design(const XlsOptions& options) {
-  PipelineResult pr =
-      pipeline_function(build_idct_kernel(), options.pipeline_stages);
+  HLSHC_CHECK(options.pipeline_stages >= 0 &&
+                  options.pipeline_stages <= synth::kMaxScheduleStages,
+              "XlsOptions::pipeline_stages must be in [0, "
+                  << synth::kMaxScheduleStages << "], got "
+                  << options.pipeline_stages);
+  synth::ScheduleOptions schedule;
+  schedule.stages = options.pipeline_stages;
+  schedule.objective = options.objective;
+  schedule.retime_boundaries = options.retime_boundaries;
+  PipelineResult pr = pipeline_function(build_idct_kernel(), schedule);
   const int L = pr.latency;
   // The hand-crafted AXI adapter is the framework's generated interface
   // (the XLS flow was its first client).
   netlist::Design wrapped = framework::wrap_matrix_kernel(
       framework::MatrixKernel{pr.design, L},
-      "xls_stages" + std::to_string(options.pipeline_stages));
+      "xls_stages" + std::to_string(options.pipeline_stages) +
+          (options.objective == synth::ScheduleObjective::kRegisterMin
+               ? "_regmin"
+               : "") +
+          (options.retime_boundaries ? "_rt" : ""));
   return XlsDesign{std::move(wrapped), L, std::move(pr)};
 }
 

@@ -22,8 +22,16 @@ namespace hlshc::xls {
 
 struct XlsOptions {
   /// 0 = combinational codegen (the paper's initial design);
-  /// 1..18 = requested pipeline stages (8 is the paper's optimum).
+  /// >= 1 = requested pipeline stages (8 is the paper's optimum; the
+  /// paper's sweep stops at 18, the scheduler accepts up to
+  /// synth::kMaxScheduleStages). Validated by build_xls_design — out of
+  /// range throws with the knob's name, same contract as
+  /// synth::parse_stages.
   int pipeline_stages = 0;
+  /// Stage-assignment objective (delay balance reproduces the paper).
+  synth::ScheduleObjective objective = synth::ScheduleObjective::kDelayBalance;
+  /// Retime boundary registers across sign/zero extensions.
+  bool retime_boundaries = false;
 };
 
 /// The pure dataflow 2-D IDCT function: inputs x0..x63 (12 bit),

@@ -1,138 +1,22 @@
 #include "xls/pipeline.hpp"
 
-#include <algorithm>
-#include <map>
-#include <vector>
-
-#include "base/check.hpp"
-#include "synth/range.hpp"
+#include <utility>
 
 namespace hlshc::xls {
 
-using netlist::Design;
-using netlist::Node;
-using netlist::NodeId;
-using netlist::Op;
+PipelineResult pipeline_function(const netlist::Design& function,
+                                 const synth::ScheduleOptions& schedule) {
+  synth::ScheduleResult r = synth::schedule_pipeline(function, schedule);
+  return PipelineResult{std::move(r.design), r.latency, r.requested_stages,
+                        r.merged_stages, r.pipeline_regs};
+}
 
-PipelineResult pipeline_function(const Design& function, int stages,
+PipelineResult pipeline_function(const netlist::Design& function, int stages,
                                  const synth::SynthOptions& options) {
-  for (size_t i = 0; i < function.node_count(); ++i) {
-    Op op = function.node(static_cast<NodeId>(i)).op;
-    HLSHC_CHECK(op != Op::Reg && op != Op::MemRead && op != Op::MemWrite,
-                "pipeline_function requires a pure dataflow function");
-  }
-
-  PipelineResult res{Design(function.name()), 0, stages, 0, 0};
-  if (stages <= 0) {
-    res.design = function;
-    return res;
-  }
-
-  // Arrival times with the synthesis delay model (no I/O pads: the function
-  // is an internal kernel).
-  synth::Mapper mapper(function, options);
-  const auto order = function.topo_order();
-  const size_t n = function.node_count();
-  std::vector<double> arrival(n, 0.0);
-  double crit = 0.0;
-  for (NodeId id : order) {
-    const Node& nd = function.node(id);
-    double in = 0.0;
-    for (NodeId o : nd.operands) in = std::max(in, arrival[static_cast<size_t>(o)]);
-    arrival[static_cast<size_t>(id)] = in + mapper.cost(id).delay_ns;
-    crit = std::max(crit, arrival[static_cast<size_t>(id)]);
-  }
-  if (crit <= 0.0) crit = 1.0;
-
-  // Greedy balanced stage assignment, monotone over operands.
-  std::vector<int> stage(n, 0);
-  for (NodeId id : order) {
-    const Node& nd = function.node(id);
-    int s = static_cast<int>(arrival[static_cast<size_t>(id)] *
-                             static_cast<double>(stages) / (crit * 1.0001));
-    s = std::min(s, stages - 1);
-    for (NodeId o : nd.operands)
-      s = std::max(s, stage[static_cast<size_t>(o)]);
-    if (nd.op == Op::Input) s = 0;
-    stage[static_cast<size_t>(id)] = s;
-  }
-
-  // Merge empty stages: remap used stage indices to a dense range.
-  std::vector<bool> used(static_cast<size_t>(stages), false);
-  for (NodeId id : order)
-    if (function.node(id).op != Op::Input && function.node(id).op != Op::Const)
-      used[static_cast<size_t>(stage[static_cast<size_t>(id)])] = true;
-  std::vector<int> remap(static_cast<size_t>(stages), 0);
-  int dense = 0;
-  for (int s = 0; s < stages; ++s) {
-    remap[static_cast<size_t>(s)] = dense;
-    if (used[static_cast<size_t>(s)]) ++dense;
-  }
-  if (dense == 0) dense = 1;
-  const int depth = dense;  // surviving stages == register layers
-  res.merged_stages = stages - depth;
-  res.latency = depth;
-
-  for (NodeId id : order)
-    stage[static_cast<size_t>(id)] =
-        std::min(remap[static_cast<size_t>(stage[static_cast<size_t>(id)])],
-                 depth - 1);
-
-  // Rebuild with pipeline registers. pipe[(node, layer)] = value of `node`
-  // delayed to just after boundary `layer` (boundary L sits after stage L).
-  Design& out = res.design;
-  std::vector<NodeId> built(n, netlist::kInvalidNode);
-  std::map<std::pair<NodeId, int>, NodeId> pipe;
-
-  auto delayed = [&](NodeId src, int to_layer) -> NodeId {
-    // Value of src (produced in stage[src]) as seen after `to_layer`
-    // register layers (to_layer >= stage[src] means that many boundaries
-    // crossed; to_layer == stage[src] means raw combinational value).
-    // Constants exist in every stage — never pipelined.
-    if (function.node(src).op == Op::Const)
-      return built[static_cast<size_t>(src)];
-    NodeId cur = built[static_cast<size_t>(src)];
-    int have = stage[static_cast<size_t>(src)];
-    for (int l = have; l < to_layer; ++l) {
-      auto key = std::make_pair(src, l);
-      auto it = pipe.find(key);
-      if (it != pipe.end()) {
-        cur = it->second;
-      } else {
-        NodeId r = out.reg(out.node(cur).width, 0,
-                           "p" + std::to_string(l) + "_n" +
-                               std::to_string(src));
-        out.set_reg_next(r, cur);
-        res.pipeline_regs += out.node(cur).width;
-        pipe[key] = r;
-        cur = r;
-      }
-    }
-    return cur;
-  };
-
-  for (NodeId id : order) {
-    const Node& nd = function.node(id);
-    Node copy = nd;
-    copy.operands.clear();
-    int my_stage = stage[static_cast<size_t>(id)];
-    for (NodeId o : nd.operands) copy.operands.push_back(delayed(o, my_stage));
-    NodeId nid;
-    if (nd.op == Op::Input) {
-      nid = out.input(nd.name, nd.width);
-    } else if (nd.op == Op::Output) {
-      // Outputs are registered at the final boundary: delay the driven
-      // value through every remaining layer.
-      NodeId v = delayed(nd.operands[0], depth);
-      nid = out.output(nd.name, v);
-    } else {
-      nid = out.constant(nd.width, 0);
-      out.mutable_node(nid) = copy;
-    }
-    built[static_cast<size_t>(id)] = nid;
-  }
-  out.validate();
-  return res;
+  synth::ScheduleOptions schedule;
+  schedule.stages = stages;
+  schedule.synth = options;
+  return pipeline_function(function, schedule);
 }
 
 }  // namespace hlshc::xls

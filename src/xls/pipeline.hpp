@@ -1,26 +1,15 @@
 // XLS-style feed-forward pipeliner.
 //
 // XLS consumes a pure dataflow function (no registers) and a
-// `pipeline_stages` option, then emits a pipelined circuit: nodes are
-// assigned to stages by delay balancing against the function's critical
-// path, and every value crossing a stage boundary gets a pipeline
-// register. This module reproduces that codegen step for our netlist IR:
-//
-//   * stage(node) = floor(arrival_end(node) * N / critical_path), clamped
-//     monotone over operands — the same greedy ASAP balancing XLS's
-//     scheduler defaults to;
-//   * empty stages are merged away (XLS also emits fewer effective stages
-//     than requested when the schedule doesn't need them — the paper notes
-//     its best 8-stage configuration "for unknown reasons" takes only 3
-//     cycles; stage merging is precisely such a mechanism);
-//   * outputs are registered at the final boundary, so the pipeline
-//     latency equals the number of surviving stages.
-//
-// The returned design has the same port names as the input function.
+// `pipeline_stages` option, then emits a pipelined circuit. The actual
+// stage-assignment machinery now lives in synth/schedule.hpp so every flow
+// can pipeline its kernel; this header keeps the XLS flow's historical
+// entry point as a thin wrapper (delay-balance objective, no boundary
+// retiming — the configuration the paper's Table II was measured with).
 #pragma once
 
 #include "netlist/ir.hpp"
-#include "synth/cost_model.hpp"
+#include "synth/schedule.hpp"
 
 namespace hlshc::xls {
 
@@ -37,5 +26,10 @@ struct PipelineResult {
 /// contains registers or memories.
 PipelineResult pipeline_function(const netlist::Design& function, int stages,
                                  const synth::SynthOptions& options = {});
+
+/// Full-control variant: forwards `schedule` (stages, objective, boundary
+/// retiming) to synth::schedule_pipeline.
+PipelineResult pipeline_function(const netlist::Design& function,
+                                 const synth::ScheduleOptions& schedule);
 
 }  // namespace hlshc::xls

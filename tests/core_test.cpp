@@ -156,9 +156,9 @@ TEST(Report, TableAlignsColumns) {
 TEST(Report, ScatterCsvShape) {
   std::vector<ScatterPoint> pts = {{"verilog", "initial", 6.99, 30396}};
   std::string csv = scatter_csv(pts);
-  EXPECT_NE(csv.find("family,config,throughput_mops,area,quality"),
+  EXPECT_NE(csv.find("family,config,workload,throughput_mops,area,quality"),
             std::string::npos);
-  EXPECT_NE(csv.find("verilog,initial,6.990,30396,"), std::string::npos);
+  EXPECT_NE(csv.find("verilog,initial,idct,6.990,30396,"), std::string::npos);
 }
 
 TEST(Report, HotspotTableRanksTogglesAndNamesNodes) {

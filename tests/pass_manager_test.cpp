@@ -59,10 +59,10 @@ size_t count_op(const Design& d, Op op) {
 
 TEST(PassRegistry, ListsAllPassesAndInstantiatesThem) {
   auto names = registered_pass_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   for (const char* expected :
-       {"fold_constants", "strength_reduce", "mux_simplify", "copy_prop",
-        "cse", "eliminate_dead"})
+       {"fold_constants", "narrow", "strength_reduce", "mux_simplify",
+        "copy_prop", "cse", "eliminate_dead"})
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   for (const std::string& n : names) {
@@ -80,12 +80,17 @@ TEST(PassRegistry, UnknownNameThrows) {
 
 TEST(PassRegistry, DefaultPipelineOrder) {
   PassManager base = default_pipeline();
-  EXPECT_EQ(base.size(), 5u);
+  EXPECT_EQ(base.size(), 6u);
+  EXPECT_EQ(base.pass_names()[1], "narrow");
+  PassManager pre_narrow = default_pipeline(/*strength_reduce=*/false,
+                                            /*narrow=*/false);
+  EXPECT_EQ(pre_narrow.size(), 5u);
   PassManager sr = default_pipeline(/*strength_reduce=*/true);
-  EXPECT_EQ(sr.size(), 6u);
+  EXPECT_EQ(sr.size(), 7u);
   auto names = sr.pass_names();
   EXPECT_EQ(names.front(), "fold_constants");
-  EXPECT_EQ(names[1], "strength_reduce");
+  EXPECT_EQ(names[1], "narrow");
+  EXPECT_EQ(names[2], "strength_reduce");
   EXPECT_EQ(names.back(), "eliminate_dead");
 }
 

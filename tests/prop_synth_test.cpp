@@ -12,7 +12,7 @@
 #include "netlist/ir.hpp"
 #include "sim/simulator.hpp"
 #include "synth/csd.hpp"
-#include "synth/range.hpp"
+#include "netlist/range.hpp"
 #include "synth/synthesize.hpp"
 #include "xls/designs.hpp"
 #include "xls/pipeline.hpp"

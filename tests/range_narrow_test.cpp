@@ -1,0 +1,309 @@
+// Interval-analysis edge cases and narrow-pass property tests.
+//
+// RangeAnalysis is the basis for an *irreversible* rewrite (the narrow
+// pass), so its corner behaviour — wrap-around fallback, register-feedback
+// widening, saturation — is pinned here, and the pass itself is checked to
+// preserve behaviour not just on the scalar engines (prop_netlist_test
+// covers those) but on the lane-batched simulator at every lane shape the
+// campaigns use.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "netlist/ir.hpp"
+#include "netlist/passes.hpp"
+#include "netlist/range.hpp"
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+
+namespace hlshc::netlist {
+namespace {
+
+// ---- Interval arithmetic ---------------------------------------------------
+
+TEST(Interval, FullPointJoinFitsAndMinWidth) {
+  const Interval full4 = Interval::full(4);
+  EXPECT_EQ(full4.lo, -8);
+  EXPECT_EQ(full4.hi, 7);
+  EXPECT_TRUE(full4.fits(4));
+  EXPECT_EQ(full4.min_width(), 4);
+
+  EXPECT_EQ(Interval::point(5).lo, 5);
+  EXPECT_EQ(Interval::point(5).hi, 5);
+  EXPECT_TRUE(Interval::point(5).fits(4));
+  EXPECT_FALSE(Interval::point(8).fits(4));
+
+  const Interval joined = Interval::point(-3).join(Interval::point(10));
+  EXPECT_EQ(joined.lo, -3);
+  EXPECT_EQ(joined.hi, 10);
+
+  EXPECT_EQ((Interval{0, 1}).min_width(), 2);
+  EXPECT_EQ((Interval{-1, 0}).min_width(), 1);
+  EXPECT_EQ((Interval{-16, 14}).min_width(), 5);
+  EXPECT_EQ((Interval{3, 10}).min_width(), 5);
+}
+
+// ---- transfer-function edges ----------------------------------------------
+
+TEST(RangeAnalysis, BoundedAddNarrowsBelowDeclaredWidth) {
+  Design d("add_narrow");
+  NodeId a = d.input("a", 4);
+  NodeId b = d.input("b", 4);
+  NodeId s = d.add(a, b, 32);
+  d.output("s", s);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  EXPECT_EQ(ra.range(a).lo, -8);
+  EXPECT_EQ(ra.range(a).hi, 7);
+  EXPECT_EQ(ra.range(s).lo, -16);
+  EXPECT_EQ(ra.range(s).hi, 14);
+  EXPECT_EQ(ra.effective_width(s), 5);
+}
+
+TEST(RangeAnalysis, CompareAndMuxCarryTightBounds) {
+  Design d("cmp_mux");
+  NodeId a = d.input("a", 8);
+  NodeId b = d.input("b", 8);
+  NodeId c = d.slt(a, b);
+  NodeId m = d.mux(c, d.constant(32, 3), d.constant(32, 10), 32);
+  d.output("m", m);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  // Comparisons are 1-bit signed: true is all-ones, i.e. -1.
+  EXPECT_EQ(ra.range(c).lo, -1);
+  EXPECT_EQ(ra.range(c).hi, 0);
+  EXPECT_EQ(ra.range(m).lo, 3);
+  EXPECT_EQ(ra.range(m).hi, 10);
+  EXPECT_EQ(ra.effective_width(m), 5);
+}
+
+TEST(RangeAnalysis, ShiftBoundsFollowTheShiftAmount) {
+  Design d("shifts");
+  NodeId a = d.input("a", 4);  // [-8, 7]
+  NodeId l = d.shl(a, 2, 32);  // [-32, 28]
+  NodeId r = d.ashr(a, 1, 4);  // [-4, 3]
+  d.output("l", l);
+  d.output("r", r);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  EXPECT_EQ(ra.range(l).lo, -32);
+  EXPECT_EQ(ra.range(l).hi, 28);
+  EXPECT_EQ(ra.effective_width(l), 6);
+  EXPECT_EQ(ra.range(r).lo, -4);
+  EXPECT_EQ(ra.range(r).hi, 3);
+  EXPECT_EQ(ra.effective_width(r), 3);
+}
+
+TEST(RangeAnalysis, WrapAroundFallsBackToDeclaredFullRange) {
+  // The sum of two full-range 8-bit values does not fit 8 bits, so the
+  // result wraps: the only sound interval is the declared width's own.
+  Design d("wrap");
+  NodeId a = d.input("a", 8);
+  NodeId b = d.input("b", 8);
+  NodeId s = d.add(a, b, 8);
+  d.output("s", s);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  EXPECT_EQ(ra.range(s).lo, -128);
+  EXPECT_EQ(ra.range(s).hi, 127);
+  EXPECT_EQ(ra.effective_width(s), 8);
+}
+
+TEST(RangeAnalysis, UnboundedRegisterFeedbackWidensToDeclaredWidth) {
+  // A free-running accumulator has no invariant tighter than its declared
+  // width: widening must terminate there instead of iterating forever.
+  Design d("acc");
+  NodeId r = d.reg(16, 0, "r");
+  d.set_reg_next(r, d.add(r, d.constant(16, 1), 16));
+  d.output("r", r);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  EXPECT_EQ(ra.range(r).hi, Interval::full(16).hi);
+  EXPECT_EQ(ra.effective_width(r), 16);
+}
+
+TEST(RangeAnalysis, BoundedRegisterFeedbackStaysSound) {
+  // A saturating counter (counts to 10, then holds). Widening may
+  // overshoot, but the fixpoint must contain every reachable value.
+  Design d("ctr");
+  NodeId r = d.reg(8, 0, "r");
+  NodeId bumped = d.add(r, d.constant(8, 1), 8);
+  d.set_reg_next(r, d.mux(d.slt(r, d.constant(8, 10)), bumped, r, 8));
+  d.output("r", r);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  EXPECT_LE(ra.range(r).lo, 0);
+  EXPECT_GE(ra.range(r).hi, 10);
+}
+
+TEST(RangeAnalysis, SaturatedIntervalsNeverJustifyARewrite) {
+  // 2^29 * 2^29 overflows the +-2^56 clamp: the interval saturates. The
+  // clamped bound still yields a (lossy) effective width for cost
+  // discounts, but the narrow pass must refuse to rewrite on it — the
+  // true range may be wider than the clamp.
+  Design d("sat");
+  NodeId a = d.input("a", 30);
+  NodeId m = d.mul(a, a, 62);
+  d.output("m", m);
+  d.validate();
+
+  RangeAnalysis ra(d);
+  ASSERT_TRUE(ra.range(m).saturated());
+  EXPECT_LT(ra.effective_width(m), 62);  // the lossy cost-only width
+
+  Design narrowed = d;
+  narrow_widths(narrowed);
+  narrowed.validate();
+  bool found = false;
+  for (size_t i = 0; i < narrowed.node_count(); ++i) {
+    const Node& n = narrowed.node(static_cast<NodeId>(i));
+    if (n.op != Op::Mul) continue;
+    found = true;
+    EXPECT_EQ(n.width, 62) << "narrow rewrote a saturated node";
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- narrow preserves behaviour at every lane count ------------------------
+
+/// Random sequential design: the same shape prop_netlist_test fuzzes the
+/// pass registry with — arithmetic bias, register feedback, slices.
+Design random_design(uint64_t seed, int ops = 50) {
+  SplitMix64 rng(seed);
+  Design d("rand_" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  std::vector<NodeId> regs;
+  int n_inputs = 2 + static_cast<int>(rng.next() % 3);
+  for (int i = 0; i < n_inputs; ++i)
+    pool.push_back(d.input("in" + std::to_string(i),
+                           4 + static_cast<int>(rng.next() % 13)));
+  for (int i = 0; i < 2; ++i) {
+    NodeId r = d.reg(8 + static_cast<int>(rng.next() % 9),
+                     static_cast<int64_t>(rng.next_in(-100, 100)),
+                     "r" + std::to_string(i));
+    regs.push_back(r);
+    pool.push_back(r);
+  }
+  pool.push_back(d.constant(8, rng.next_in(-128, 127)));
+  auto pick = [&]() {
+    return pool[static_cast<size_t>(rng.next() % pool.size())];
+  };
+  for (int i = 0; i < ops; ++i) {
+    int w = 2 + static_cast<int>(rng.next() % 23);
+    NodeId a = pick(), b = pick();
+    switch (rng.next() % 10) {
+      case 0: pool.push_back(d.add(a, b, w)); break;
+      case 1: pool.push_back(d.sub(a, b, w)); break;
+      case 2: pool.push_back(d.mul(a, b, std::min(w + 16, 40))); break;
+      case 3: pool.push_back(d.band(a, b, w)); break;
+      case 4: pool.push_back(d.bxor(a, b, w)); break;
+      case 5: pool.push_back(d.shl(a, static_cast<int>(rng.next() % 6), w));
+        break;
+      case 6: pool.push_back(d.ashr(a, static_cast<int>(rng.next() % 6), w));
+        break;
+      case 7: pool.push_back(d.mux(d.slt(a, b), a, b, w)); break;
+      case 8: pool.push_back(d.sext(a, w)); break;
+      default: pool.push_back(d.neg(a, w)); break;
+    }
+  }
+  for (NodeId r : regs)
+    d.set_reg_next(r, d.sext(pick(), d.node(r).width));
+  for (int i = 0; i < 4; ++i)
+    d.output("out" + std::to_string(i),
+             pool[pool.size() - 1 - static_cast<size_t>(i)]);
+  d.validate();
+  return d;
+}
+
+class NarrowedNetlist : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NarrowedNetlist, BatchLanesMatchScalarOriginalAtEveryLaneCount) {
+  const Design original = random_design(GetParam());
+  Design narrowed = original;
+  narrow_widths(narrowed);
+  narrowed.validate();
+
+  // The rewrite rebuilds the netlist, so node ids shift: resolve the
+  // narrowed design's ports by name.
+  std::map<std::string, NodeId> nin, nout;
+  for (NodeId in : narrowed.inputs()) nin[narrowed.node(in).name] = in;
+  for (NodeId out : narrowed.outputs()) nout[narrowed.node(out).name] = out;
+
+  // Every lane of the narrowed batch must replay the un-narrowed scalar
+  // run bit-for-bit: lane 1 (scalar-shaped), an odd count (generic
+  // kernel), and 8 (the specialized kernel the campaigns use).
+  const int kCycles = 24;
+  for (int lanes : {1, 3, 8}) {
+    sim::BatchSimulator batch(narrowed, lanes);
+    std::vector<std::unique_ptr<sim::Engine>> scalars;
+    std::vector<SplitMix64> rngs;
+    for (int l = 0; l < lanes; ++l) {
+      scalars.push_back(
+          sim::make_engine(original, sim::EngineKind::kCompiled));
+      scalars.back()->reset();
+      rngs.emplace_back(GetParam() * 977 + static_cast<uint64_t>(l));
+    }
+    batch.reset_all();
+    for (int t = 0; t < kCycles; ++t) {
+      for (int l = 0; l < lanes; ++l)
+        for (NodeId in : original.inputs()) {
+          const int64_t v = static_cast<int64_t>(rngs[static_cast<size_t>(l)].next());
+          batch.poke_input(l, nin.at(original.node(in).name), v);
+          scalars[static_cast<size_t>(l)]->poke(in, v);
+        }
+      batch.eval_all();
+      for (int l = 0; l < lanes; ++l) {
+        scalars[static_cast<size_t>(l)]->eval();
+        for (NodeId out : original.outputs())
+          EXPECT_EQ(batch.value(l, nout.at(original.node(out).name)).to_int64(),
+                    scalars[static_cast<size_t>(l)]->value(out).to_int64())
+              << "seed " << GetParam() << " lanes " << lanes << " lane " << l
+              << " cycle " << t << " output " << original.node(out).name;
+      }
+      batch.step_all();
+      for (int l = 0; l < lanes; ++l) scalars[static_cast<size_t>(l)]->step();
+    }
+  }
+}
+
+TEST_P(NarrowedNetlist, EffectiveWidthsAreSoundOverSampledTraces) {
+  // Every value the simulator ever produces must sit inside the interval
+  // the analysis claimed for its node.
+  const Design d = random_design(GetParam());
+  RangeAnalysis ra(d);
+  std::unique_ptr<sim::Engine> eng =
+      sim::make_engine(d, sim::EngineKind::kInterpreter);
+  eng->reset();
+  SplitMix64 rng(GetParam() * 31 + 7);
+  for (int t = 0; t < 24; ++t) {
+    for (NodeId in : d.inputs())
+      eng->poke(in, static_cast<int64_t>(rng.next()));
+    eng->eval();
+    for (size_t i = 0; i < d.node_count(); ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      const Node& n = d.node(id);
+      if (n.op == Op::Output) continue;
+      const int64_t v = eng->value(id).to_int64();
+      const Interval& r = ra.range(id);
+      EXPECT_GE(v, r.lo) << "node " << i << " (" << n.name << ") cycle " << t;
+      EXPECT_LE(v, r.hi) << "node " << i << " (" << n.name << ") cycle " << t;
+    }
+    eng->step();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NarrowedNetlist,
+                         ::testing::Range<uint64_t>(50, 62));
+
+}  // namespace
+}  // namespace hlshc::netlist

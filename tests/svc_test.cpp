@@ -788,8 +788,9 @@ TEST(Server, StatsReportsEventLogAndRecentRequests) {
 TEST(Server, StatsReportsBatchUtilizationWithMetricsOn) {
   obs::set_enabled(true);
   Server server(small_server());
-  // A lane-batched campaign (lanes=4 over 8 sites = at least 2 sweeps)
-  // moves the process-wide batch counters the stats method passes through.
+  // A lane-batched campaign (lanes=4 over 8 sites, one refilling streaming
+  // sweep) moves the process-wide batch counters the stats method passes
+  // through.
   call_ok(server,
           R"({"method":"campaign","params":{"design":"verilog_opt2",)"
           R"("sites":8,"seed":7,"lanes":4}})");
@@ -797,9 +798,82 @@ TEST(Server, StatsReportsBatchUtilizationWithMetricsOn) {
   obs::set_enabled(false);
   const Json* batch = result.find("batch");
   ASSERT_NE(batch, nullptr) << "stats has no batch block under metrics";
-  EXPECT_GE(batch->find("sweeps")->as_int(), 2);
+  EXPECT_GE(batch->find("sweeps")->as_int(), 1);
   EXPECT_GE(batch->find("lane_runs")->as_int(), 8);
   EXPECT_GE(batch->find("lanes_masked")->as_int(), 0);
+}
+
+TEST(Server, CompileAcceptsSchedulerAndNarrowingKnobs) {
+  Server server(small_server());
+  // Pipelining a raw combinational kernel through the service matches the
+  // DSE flows: stages > 0 schedules before the canonical compile pipeline.
+  const Json piped = call_ok(
+      server, R"({"method":"compile","params":{"design":"idct.rtl_kernel",)"
+              R"("stages":4,"objective":"regmin","retime":true}})");
+  EXPECT_EQ(piped.find("stages")->as_int(), 4);
+  EXPECT_EQ(piped.find("objective")->as_string(), "regmin");
+  EXPECT_GE(piped.find("latency")->as_int(), 1);
+  EXPECT_LE(piped.find("latency")->as_int(), 4);
+  EXPECT_GT(piped.find("pipeline_regs")->as_int(), 0);
+  // Narrowing off is the pre-rewrite pipeline; a combinational request
+  // reports no scheduler fields.
+  const Json wide = call_ok(
+      server, R"({"method":"compile","params":{"design":"idct.rtl_kernel",)"
+              R"("narrow":false}})");
+  EXPECT_GT(wide.find("node_count")->as_int(), 0);
+  EXPECT_EQ(wide.find("stages"), nullptr);
+  // The two configurations are distinct cache entries.
+  EXPECT_NE(piped.find("key")->as_string(), wide.find("key")->as_string());
+}
+
+TEST(Server, SchedulerKnobRejectsBadValues) {
+  Server server(small_server());
+  // Unknown objective, out-of-range stages, wrong-typed knobs: each is the
+  // client's mistake, never an internal error.
+  for (const char* params :
+       {R"({"design":"idct.rtl_kernel","stages":2,"objective":"fastest"})",
+        R"({"design":"idct.rtl_kernel","stages":100})",
+        R"({"design":"idct.rtl_kernel","stages":-1})",
+        R"({"design":"idct.rtl_kernel","stages":2,"objective":42})",
+        R"({"design":"idct.rtl_kernel","stages":2,"retime":1})",
+        R"({"design":"idct.rtl_kernel","narrow":"wide"})",
+        // Pipelining a sequential design is impossible, not a server fault.
+        R"({"design":"verilog_initial","stages":2})"}) {
+    const std::string line =
+        std::string(R"({"method":"compile","params":)") + params + '}';
+    EXPECT_EQ(error_code_of(server, line), "invalid_request") << params;
+  }
+}
+
+TEST(Server, DseHonorsTheNarrowKnob) {
+  Server server(small_server());
+  const Json result = call_ok(
+      server,
+      R"({"method":"dse","params":{"flow":"verilog","limit":1,"narrow":false}})");
+  ASSERT_GE(result.find("points")->size(), 1u);
+  EXPECT_GT((*result.find("points"))[0].find("quality")->as_number(), 0.0);
+  EXPECT_EQ(error_code_of(server,
+                          R"({"method":"dse","params":)"
+                          R"({"flow":"verilog","narrow":"wide"}})"),
+            "invalid_request");
+}
+
+TEST(Server, StatsReportsNarrowPassCountersWithMetricsOn) {
+  obs::set_enabled(true);
+  Server server(small_server());
+  // A default compile runs the narrow pass at least once; the stats method
+  // passes its rewrite counters through.
+  call_ok(server,
+          R"({"method":"compile","params":{"design":"fir16.rtl_comb"}})");
+  const Json result = call_ok(server, R"({"method":"stats"})");
+  obs::set_enabled(false);
+  const Json* passes = result.find("passes");
+  ASSERT_NE(passes, nullptr) << "stats has no passes block under metrics";
+  const Json* narrow = passes->find("narrow");
+  ASSERT_NE(narrow, nullptr);
+  EXPECT_GE(narrow->find("runs")->as_int(), 1);
+  EXPECT_GE(narrow->find("changes")->as_int(), 0);
+  EXPECT_GE(narrow->find("ns")->as_int(), 0);
 }
 
 TEST(Server, RecentRequestRingIsBounded) {

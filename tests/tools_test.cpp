@@ -42,8 +42,10 @@ TEST(Flows, SweepCardinalitiesMatchThePaper) {
   auto flows = make_flows();
   // The expensive sweeps are counted without evaluating: check the cheap
   // ones end-to-end and the per-family counts via full size expectations.
-  EXPECT_EQ(flows[0]->sweep().size(), 3u);   // Verilog
-  EXPECT_EQ(flows[1]->sweep().size(), 2u);   // Chisel
+  // The paper-shaped points (Verilog 3, Chisel 2) gained scheduler-staged
+  // kernel points at stages {2, 4, 8} in PR 10.
+  EXPECT_EQ(flows[0]->sweep().size(), 6u);   // Verilog: 3 paper + 3 staged
+  EXPECT_EQ(flows[1]->sweep().size(), 5u);   // Chisel: 2 paper + 3 staged
   EXPECT_EQ(flows[4]->sweep().size(), 2u);   // MaxJ
 }
 

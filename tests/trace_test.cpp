@@ -82,13 +82,18 @@ void expect_connected_tree(const std::vector<SpanInfo>& spans,
   }
 }
 
-/// Name multiset of the spans that are deterministic across worker counts
-/// (par.chunk spans exist only when a pool actually shards the loop).
+/// Name multiset of the spans that are deterministic across worker counts.
+/// par.chunk spans exist only when a pool actually shards the loop, and the
+/// batch sweep spans depend on the execution strategy: jobs=1 streams every
+/// site through one refilling testbench.batch_stream sweep, while jobs>1
+/// shards lane groups, each a testbench.batch_run.
 std::map<std::string, int> deterministic_names(
     const std::vector<SpanInfo>& spans) {
   std::map<std::string, int> names;
   for (const SpanInfo& s : spans)
-    if (s.name != "par.chunk") ++names[s.name];
+    if (s.name != "par.chunk" && s.name != "testbench.batch_run" &&
+        s.name != "testbench.batch_stream")
+      ++names[s.name];
   return names;
 }
 
@@ -166,17 +171,28 @@ TEST_F(TraceTest, CampaignSpanTreeAndResultsAgreeAcrossJobs) {
 
   // Spans: every span of each run carries that run's trace id and links
   // into one tree. The deterministic span names match exactly; only the
-  // pool's chunk spans (absent in the strictly serial path) may differ.
+  // pool's chunk spans and the strategy-dependent batch sweep spans
+  // (streaming serially, per lane group under the pool) may differ.
   expect_connected_tree(serial_spans, serial_trace);
   expect_connected_tree(parallel_spans, parallel_trace);
   EXPECT_NE(serial_trace, parallel_trace);
   EXPECT_EQ(deterministic_names(serial_spans),
             deterministic_names(parallel_spans));
 
-  const auto count_chunks = [](const std::vector<SpanInfo>& spans) {
+  const auto count_named = [](const std::vector<SpanInfo>& spans,
+                              const std::string& name) {
     int n = 0;
-    for (const SpanInfo& s : spans) n += s.name == "par.chunk";
+    for (const SpanInfo& s : spans) n += s.name == name;
     return n;
+  };
+  // The strategy-dependent sweep spans: one streaming sweep serially, one
+  // sweep per lane group under the pool.
+  EXPECT_EQ(count_named(serial_spans, "testbench.batch_stream"), 1);
+  EXPECT_EQ(count_named(serial_spans, "testbench.batch_run"), 0);
+  EXPECT_EQ(count_named(parallel_spans, "testbench.batch_stream"), 0);
+  EXPECT_GT(count_named(parallel_spans, "testbench.batch_run"), 0);
+  const auto count_chunks = [&](const std::vector<SpanInfo>& spans) {
+    return count_named(spans, "par.chunk");
   };
   EXPECT_EQ(count_chunks(serial_spans), 0);
   EXPECT_GT(count_chunks(parallel_spans), 0)
